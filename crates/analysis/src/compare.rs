@@ -1,0 +1,218 @@
+//! Paper-vs-measured comparison and the EXPERIMENTS.md generator.
+//!
+//! The reproduction's claim is about *shape*, not absolute seconds:
+//! short SMIs should vanish into noise, long SMIs should cost at least
+//! the duty cycle and grow with scale, and the HTT deltas should have
+//! the paper's signs where the paper's signs are themselves outside its
+//! noise. This module quantifies those statements per cell.
+
+use crate::mpi_tables::{HttTableResult, TableResult};
+use std::fmt::Write as _;
+
+/// Agreement summary over a set of paired (paper, measured) percentages.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct Agreement {
+    /// Cells compared.
+    pub cells: usize,
+    /// Cells where both values exceed the noise floor and share a sign,
+    /// plus cells where both are within the noise floor.
+    pub direction_matches: usize,
+    /// Mean absolute error in percentage points.
+    pub mean_abs_err_pp: f64,
+    /// Pearson correlation between paper and measured percentages.
+    pub correlation: f64,
+}
+
+/// Noise floor below which a percentage is treated as "no effect"
+/// (the paper's short-SMI scatter reaches ±6 %).
+pub const NOISE_FLOOR_PP: f64 = 3.0;
+
+/// Compare paired percentage impacts.
+pub fn agreement(pairs: &[(f64, f64)]) -> Agreement {
+    if pairs.is_empty() {
+        return Agreement::default();
+    }
+    let n = pairs.len();
+    let matches = pairs
+        .iter()
+        .filter(|(p, m)| {
+            let p_quiet = p.abs() <= NOISE_FLOOR_PP;
+            let m_quiet = m.abs() <= NOISE_FLOOR_PP;
+            (p_quiet && m_quiet) || (!p_quiet && !m_quiet && p.signum() == m.signum())
+        })
+        .count();
+    let mae = pairs.iter().map(|(p, m)| (p - m).abs()).sum::<f64>() / n as f64;
+    let corr = if n >= 2 {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.iter().copied().unzip();
+        correlation(&xs, &ys)
+    } else {
+        1.0
+    };
+    Agreement { cells: n, direction_matches: matches, mean_abs_err_pp: mae, correlation: corr }
+}
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Extract the (paper %, measured %) pairs for SMM class `k` from a table.
+pub fn table_pct_pairs(result: &TableResult, k: usize) -> Vec<(f64, f64)> {
+    result
+        .cells
+        .iter()
+        .filter_map(|c| Some((c.paper_pct(k)?, c.measured_pct(k)?)))
+        .collect()
+}
+
+/// Render one table's paper-vs-measured block for EXPERIMENTS.md.
+pub fn table_report(result: &TableResult, table_no: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### Table {table_no} — {} ", result.bench.name());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| class | nodes | r/n | paper SMM0 | model SMM0 | paper %short | model %short | paper %long | model %long |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for c in &result.cells {
+        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            c.class.letter(),
+            c.nodes,
+            c.ranks_per_node,
+            fmt(c.paper[0]),
+            fmt(c.measured[0].map(|m| m.mean)),
+            fmt(c.paper_pct(1)),
+            fmt(c.measured_pct(1)),
+            fmt(c.paper_pct(2)),
+            fmt(c.measured_pct(2)),
+        );
+    }
+    let long = agreement(&table_pct_pairs(result, 2));
+    let short = agreement(&table_pct_pairs(result, 1));
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Long-SMI agreement: {}/{} directions, mean |err| {:.1} pp, r = {:.2}.  ",
+        long.direction_matches, long.cells, long.mean_abs_err_pp, long.correlation
+    );
+    let _ = writeln!(
+        out,
+        "Short-SMI agreement: {}/{} cells where both stay within the ±{NOISE_FLOOR_PP} pp noise floor or share a sign.",
+        short.direction_matches, short.cells
+    );
+    let _ = writeln!(out);
+    out
+}
+
+/// Render one HTT table's comparison block for EXPERIMENTS.md.
+pub fn htt_report(result: &HttTableResult, table_no: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### Table {table_no} — HTT effect on {} (4 ranks/node)", result.bench.name());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| class | nodes | paper Δlong [s] | model Δlong [s] | paper Δlong % | model Δlong % |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    let mut pairs = Vec::new();
+    for c in &result.cells {
+        let paper_d = c.paper_delta(2);
+        let model_d = c.measured_delta(2);
+        let paper_pct = c.paper.map(|p| (p[2][1] - p[2][0]) / p[2][0] * 100.0);
+        let model_pct = c.measured[2][0].zip(c.measured[2][1]).map(|(h0, h1)| {
+            (h1.mean - h0.mean) / h0.mean * 100.0
+        });
+        if let (Some(pp), Some(mp)) = (paper_pct, model_pct) {
+            pairs.push((pp, mp));
+        }
+        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            c.class.letter(),
+            c.nodes,
+            fmt(paper_d),
+            fmt(model_d),
+            fmt(paper_pct),
+            fmt(model_pct),
+        );
+    }
+    let agg = agreement(&pairs);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Long-SMI HTT-delta agreement: {}/{} directions (noise floor ±{NOISE_FLOOR_PP} pp), mean |err| {:.1} pp.",
+        agg.direction_matches, agg.cells, agg.mean_abs_err_pp
+    );
+    let _ = writeln!(out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let pairs = [(10.0, 10.0), (50.0, 50.0), (0.5, 0.2)];
+        let a = agreement(&pairs);
+        assert_eq!(a.direction_matches, 3);
+        assert!(a.mean_abs_err_pp < 0.2);
+        assert!(a.correlation > 0.999);
+    }
+
+    #[test]
+    fn sign_disagreement_counts() {
+        let pairs = [(10.0, -10.0), (20.0, 22.0)];
+        let a = agreement(&pairs);
+        assert_eq!(a.direction_matches, 1);
+    }
+
+    #[test]
+    fn noise_floor_treats_small_values_as_agreeing() {
+        // Paper -0.5%, model +1.2%: both are noise, that is agreement.
+        let a = agreement(&[(-0.5, 1.2)]);
+        assert_eq!(a.direction_matches, 1);
+    }
+
+    #[test]
+    fn mixed_magnitudes_disagree_across_the_floor() {
+        // Paper says +20%, model says +1% (below floor): disagreement.
+        let a = agreement(&[(20.0, 1.0)]);
+        assert_eq!(a.direction_matches, 0);
+    }
+
+    #[test]
+    fn empty_pairs_are_safe() {
+        let a = agreement(&[]);
+        assert_eq!(a.cells, 0);
+        assert_eq!(a.direction_matches, 0);
+    }
+
+    #[test]
+    fn correlation_is_scale_invariant() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 30.0];
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let yneg = [-10.0, -20.0, -30.0];
+        assert!((correlation(&xs, &yneg) + 1.0).abs() < 1e-12);
+    }
+}

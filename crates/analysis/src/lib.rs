@@ -1,0 +1,36 @@
+//! # analysis — experiment harness, tables, figures, comparisons
+//!
+//! Drives the reproduction of every table and figure in the paper's
+//! evaluation:
+//!
+//! * [`mpi_tables`] — Tables 1–3 (NAS EP/BT/FT under SMM 0/1/2) and
+//!   Tables 4–5 (the HTT interaction), each cell calibrated to the
+//!   paper's SMM-0 baseline and replicated with fresh SMI phases;
+//! * [`figures`] — Figure 1 (Convolve interval/CPU sweeps) and Figure 2
+//!   (UnixBench index sweeps);
+//! * [`render`] — paper-layout text tables and CSV export;
+//! * [`compare`] — paper-vs-measured agreement metrics and the
+//!   EXPERIMENTS.md report blocks.
+
+#![warn(missing_docs)]
+
+pub mod absorption;
+pub mod compare;
+pub mod extensions;
+pub mod figures;
+pub mod mpi_tables;
+pub mod opts;
+pub mod render;
+pub mod svg;
+
+pub use absorption::{absorption_profile, probe, AbsorptionPoint};
+pub use compare::{agreement, htt_report, table_report, Agreement, NOISE_FLOOR_PP};
+pub use extensions::{scale_projection, variance_study, ScalePoint, VariancePoint};
+pub use figures::{impact_slope, run_figure1, run_figure2, FigPoint, FigSeries, Figure1Result, Figure2Result};
+pub use mpi_tables::{
+    measure_cell, run_htt_table, run_table, HttTableCell, HttTableResult, Measured, TableCell,
+    TableResult, SMM_CLASSES,
+};
+pub use opts::RunOptions;
+pub use render::{render_figure1, render_figure2, render_htt_table, render_table, series_csv, table_csv};
+pub use svg::{render_chart, ChartSpec};

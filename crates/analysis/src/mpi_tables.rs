@@ -1,0 +1,309 @@
+//! Drivers for Tables 1–5: the NAS benchmark × SMI grid.
+//!
+//! Each cell `(benchmark, class, nodes, ranks/node[, htt])` is:
+//!
+//! 1. calibrated once against the paper's SMM-0 measurement (see
+//!    `nas::model`),
+//! 2. replicated `reps` times per SMM class with fresh per-node SMI
+//!    phases, per-occurrence durations, and per-rank compute jitter,
+//! 3. summarized as a mean (matching "for each case we measured six runs
+//!    and report the average").
+
+use crate::opts::RunOptions;
+use mpi_sim::{ClusterSpec, NetworkParams, NodeState, RankProgram};
+use nas::{calibrate_extra, htt_cell, programs, table_cell, Bench, Class};
+use sim_core::stats::Accumulator;
+use sim_core::SimRng;
+use smi_driver::{SmiClass, SmiDriver, SmiDriverConfig};
+
+/// Measured statistics for one (cell, SMM class) combination.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct Measured {
+    /// Mean seconds over the reps.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Replications.
+    pub reps: u32,
+}
+
+/// One row cell of Tables 1–3: measured times under the three SMM
+/// classes, plus the paper's values for comparison.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TableCell {
+    /// Problem class.
+    pub class: Class,
+    /// Node count (the tables' "MPI rks" row label).
+    pub nodes: u32,
+    /// Ranks per node (1 or 4).
+    pub ranks_per_node: u32,
+    /// Measured `[SMM0, SMM1, SMM2]`; `None` when the paper has no
+    /// baseline to calibrate against (FT class C small configs).
+    pub measured: [Option<Measured>; 3],
+    /// The paper's `[SMM0, SMM1, SMM2]` seconds.
+    pub paper: [Option<f64>; 3],
+}
+
+impl TableCell {
+    /// Percent change of SMM class `k` (1 or 2) over the measured baseline.
+    pub fn measured_pct(&self, k: usize) -> Option<f64> {
+        let base = self.measured[0]?.mean;
+        let v = self.measured[k]?.mean;
+        Some((v - base) / base * 100.0)
+    }
+
+    /// Percent change of SMM class `k` in the paper's data.
+    pub fn paper_pct(&self, k: usize) -> Option<f64> {
+        let base = self.paper[0]?;
+        let v = self.paper[k]?;
+        Some((v - base) / base * 100.0)
+    }
+}
+
+/// A full Table 1/2/3 reproduction.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TableResult {
+    /// Which benchmark.
+    pub bench: Bench,
+    /// All cells, ordered class-major then nodes then ranks/node.
+    pub cells: Vec<TableCell>,
+}
+
+/// The SMM classes in table order.
+pub const SMM_CLASSES: [SmiClass; 3] = [SmiClass::None, SmiClass::Short, SmiClass::Long];
+
+/// Build per-node noise state for one rep.
+fn nodes_for(
+    spec: &ClusterSpec,
+    smm: SmiClass,
+    rng: &mut SimRng,
+) -> Vec<NodeState> {
+    let driver = SmiDriver::new(SmiDriverConfig::mpi_study(smm));
+    (0..spec.nodes)
+        .map(|_| NodeState {
+            schedule: driver.schedule_for_node(rng),
+            effects: driver.side_effects(spec.htt),
+            online_cpus: spec.online_cpus(),
+        })
+        .collect()
+}
+
+fn jittered_programs(
+    bench: Bench,
+    class: Class,
+    spec: &ClusterSpec,
+    extra: f64,
+    opts: &RunOptions,
+    rng: &mut SimRng,
+) -> Vec<RankProgram> {
+    let jitters: Vec<f64> = (0..spec.total_ranks()).map(|_| rng.jitter(opts.jitter)).collect();
+    programs(bench, class, spec, extra, &jitters)
+}
+
+/// Measure one cell (fixed spec) under one SMM class.
+pub fn measure_cell(
+    bench: Bench,
+    class: Class,
+    spec: &ClusterSpec,
+    extra: f64,
+    smm: SmiClass,
+    opts: &RunOptions,
+    network: &NetworkParams,
+    cell_label: &str,
+) -> Measured {
+    let mut acc = Accumulator::new();
+    for rep in 0..opts.reps {
+        let mut rng = SimRng::from_path(
+            opts.seed,
+            &[bench.name(), cell_label, smm.label(), &format!("rep{rep}")],
+        );
+        let progs = jittered_programs(bench, class, spec, extra, opts, &mut rng);
+        let nodes = nodes_for(spec, smm, &mut rng);
+        let out = mpi_sim::run(spec, &nodes, &progs, network);
+        acc.push(out.seconds());
+    }
+    Measured { mean: acc.mean(), std: acc.stddev(), reps: opts.reps }
+}
+
+/// Reproduce Table 1 (BT), 2 (EP) or 3 (FT).
+pub fn run_table(bench: Bench, opts: &RunOptions) -> TableResult {
+    let network = NetworkParams::gigabit_cluster();
+    let mut cells = Vec::new();
+    for class in Class::PAPER {
+        for &nodes in bench.node_counts() {
+            for rpn in [1u32, 4] {
+                let paper = table_cell(bench, class, nodes, rpn)
+                    .map(|c| c.smm)
+                    .unwrap_or([None, None, None]);
+                let label = format!("{}-n{}-r{}", class.letter(), nodes, rpn);
+                let Some(target) = paper[0] else {
+                    cells.push(TableCell {
+                        class,
+                        nodes,
+                        ranks_per_node: rpn,
+                        measured: [None, None, None],
+                        paper,
+                    });
+                    continue;
+                };
+                let spec = ClusterSpec::wyeast(nodes, rpn, false);
+                let extra = calibrate_extra(bench, class, &spec, &network, target);
+                let measured = SMM_CLASSES.map(|smm| {
+                    Some(measure_cell(bench, class, &spec, extra, smm, opts, &network, &label))
+                });
+                cells.push(TableCell { class, nodes, ranks_per_node: rpn, measured, paper });
+            }
+        }
+    }
+    TableResult { bench, cells }
+}
+
+/// One row of Tables 4–5: measured `[smm][ht]` plus the paper's values.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct HttTableCell {
+    /// Problem class.
+    pub class: Class,
+    /// Node count.
+    pub nodes: u32,
+    /// Measured `[SMM0/1/2][ht=0, ht=1]`.
+    pub measured: [[Option<Measured>; 2]; 3],
+    /// Paper `[SMM0/1/2][ht=0, ht=1]`.
+    pub paper: Option<[[f64; 2]; 3]>,
+}
+
+impl HttTableCell {
+    /// Measured HTT delta (ht1 − ht0) for SMM class `k`.
+    pub fn measured_delta(&self, k: usize) -> Option<f64> {
+        Some(self.measured[k][1]?.mean - self.measured[k][0]?.mean)
+    }
+
+    /// Paper HTT delta for SMM class `k`.
+    pub fn paper_delta(&self, k: usize) -> Option<f64> {
+        self.paper.map(|p| p[k][1] - p[k][0])
+    }
+}
+
+/// A full Table 4/5 reproduction.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct HttTableResult {
+    /// EP for Table 4, FT for Table 5.
+    pub bench: Bench,
+    /// Cells, class-major.
+    pub cells: Vec<HttTableCell>,
+}
+
+/// Reproduce Table 4 (EP × HTT) or Table 5 (FT × HTT); 4 ranks/node.
+pub fn run_htt_table(bench: Bench, opts: &RunOptions) -> HttTableResult {
+    assert!(matches!(bench, Bench::Ep | Bench::Ft), "HTT tables exist for EP and FT only");
+    let network = NetworkParams::gigabit_cluster();
+    let mut cells = Vec::new();
+    for class in Class::PAPER {
+        for &nodes in bench.node_counts() {
+            let paper = htt_cell(bench, class, nodes).map(|c| c.smm_ht);
+            let Some(paper_vals) = paper else {
+                cells.push(HttTableCell { class, nodes, measured: [[None, None]; 3], paper });
+                continue;
+            };
+            let mut measured = [[None, None]; 3];
+            for (ht_idx, htt) in [false, true].into_iter().enumerate() {
+                let spec = ClusterSpec::wyeast(nodes, 4, htt);
+                // Each HTT setting calibrates to its own SMM-0 column.
+                let target = paper_vals[0][ht_idx];
+                let extra = calibrate_extra(bench, class, &spec, &network, target);
+                let label = format!("{}-n{}-ht{}", class.letter(), nodes, ht_idx);
+                for (k, smm) in SMM_CLASSES.into_iter().enumerate() {
+                    measured[k][ht_idx] = Some(measure_cell(
+                        bench, class, &spec, extra, smm, opts, &network, &label,
+                    ));
+                }
+            }
+            cells.push(HttTableCell { class, nodes, measured, paper });
+        }
+    }
+    HttTableResult { bench, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> RunOptions {
+        RunOptions { reps: 2, seed: 7, jitter: 0.004 }
+    }
+
+    #[test]
+    fn ep_single_node_cell_reproduces_duty_cycle() {
+        let spec = ClusterSpec::wyeast(1, 1, false);
+        let net = NetworkParams::gigabit_cluster();
+        let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 23.12);
+        let base = measure_cell(
+            Bench::Ep, Class::A, &spec, extra, SmiClass::None, &tiny_opts(), &net, "t",
+        );
+        let long = measure_cell(
+            Bench::Ep, Class::A, &spec, extra, SmiClass::Long, &tiny_opts(), &net, "t",
+        );
+        assert!((base.mean - 23.12).abs() < 0.3, "baseline {}", base.mean);
+        let pct = (long.mean - base.mean) / base.mean * 100.0;
+        // Paper: +10.99% for this cell; duty cycle alone predicts ~10.5%.
+        assert!((8.0..15.0).contains(&pct), "long-SMI impact {pct}%");
+    }
+
+    #[test]
+    fn short_smis_are_negligible() {
+        let spec = ClusterSpec::wyeast(2, 1, false);
+        let net = NetworkParams::gigabit_cluster();
+        let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 11.69);
+        let base = measure_cell(
+            Bench::Ep, Class::A, &spec, extra, SmiClass::None, &tiny_opts(), &net, "t",
+        );
+        let short = measure_cell(
+            Bench::Ep, Class::A, &spec, extra, SmiClass::Short, &tiny_opts(), &net, "t",
+        );
+        let pct = ((short.mean - base.mean) / base.mean * 100.0).abs();
+        assert!(pct < 2.0, "short-SMI impact should be in the noise: {pct}%");
+    }
+
+    #[test]
+    fn measurement_is_reproducible_for_fixed_seed() {
+        let spec = ClusterSpec::wyeast(1, 1, false);
+        let net = NetworkParams::gigabit_cluster();
+        let a = measure_cell(
+            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x",
+        );
+        let b = measure_cell(
+            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x",
+        );
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std, b.std);
+    }
+
+    #[test]
+    fn different_cells_get_independent_noise() {
+        let spec = ClusterSpec::wyeast(1, 1, false);
+        let net = NetworkParams::gigabit_cluster();
+        let a = measure_cell(
+            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "cell-a",
+        );
+        let b = measure_cell(
+            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "cell-b",
+        );
+        assert_ne!(a.mean, b.mean, "distinct labels must decorrelate phases");
+    }
+
+    #[test]
+    fn table_cell_percentages() {
+        let cell = TableCell {
+            class: Class::A,
+            nodes: 1,
+            ranks_per_node: 1,
+            measured: [
+                Some(Measured { mean: 100.0, std: 0.0, reps: 2 }),
+                Some(Measured { mean: 101.0, std: 0.0, reps: 2 }),
+                Some(Measured { mean: 111.0, std: 0.0, reps: 2 }),
+            ],
+            paper: [Some(100.0), Some(100.5), Some(110.0)],
+        };
+        assert!((cell.measured_pct(2).unwrap() - 11.0).abs() < 1e-9);
+        assert!((cell.paper_pct(2).unwrap() - 10.0).abs() < 1e-9);
+    }
+}

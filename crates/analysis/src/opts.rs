@@ -1,0 +1,62 @@
+//! Experiment run options.
+
+/// Options shared by every experiment driver.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct RunOptions {
+    /// Replications per cell (the paper uses six for the MPI tables and
+    /// three for Convolve).
+    pub reps: u32,
+    /// Root seed; every cell derives its own stream from it.
+    pub seed: u64,
+    /// Relative compute jitter per rank/thread per rep (run-to-run noise).
+    pub jitter: f64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { reps: 6, seed: 20160816, jitter: 0.004 }
+    }
+}
+
+impl RunOptions {
+    /// A faster configuration for smoke runs.
+    pub fn quick() -> Self {
+        RunOptions { reps: 2, ..RunOptions::default() }
+    }
+
+    /// Override the rep count.
+    pub fn with_reps(mut self, reps: u32) -> Self {
+        assert!(reps >= 1, "at least one rep");
+        self.reps = reps;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = RunOptions::default();
+        assert_eq!(o.reps, 6);
+        assert!(o.jitter > 0.0);
+    }
+
+    #[test]
+    fn quick_reduces_reps() {
+        assert!(RunOptions::quick().reps < RunOptions::default().reps);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rep")]
+    fn zero_reps_rejected() {
+        let _ = RunOptions::default().with_reps(0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Text rendering: paper-layout tables, series listings, and CSV export.
+
+use crate::figures::{FigSeries, Figure1Result, Figure2Result};
+use crate::mpi_tables::{HttTableResult, TableResult};
+use nas::Class;
+use std::fmt::Write as _;
+
+fn fmt_opt(v: Option<f64>, width: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.2}"),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+/// Render a Table 1/2/3 reproduction in the paper's layout: per class,
+/// one row per node count, with SMM0 / SMM1 / Δ / % / SMM2 / Δ / % for
+/// the 1-rank-per-node block then the 4-ranks-per-node block.
+pub fn render_table(result: &TableResult, table_no: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table {table_no}: {} Benchmark with no (0), short (1) and long (2) SMM intervals",
+        result.bench.name()
+    );
+    let _ = writeln!(out, "  (simulated reproduction; means over replicated runs)");
+    let header = format!(
+        "{:>5} {:>5} | {:>9} {:>9} {:>8} {:>7} {:>9} {:>8} {:>7} | {:>9} {:>9} {:>8} {:>7} {:>9} {:>8} {:>7}",
+        "class", "nodes",
+        "SMM0", "SMM1", "d1", "%1", "SMM2", "d2", "%2",
+        "SMM0", "SMM1", "d1", "%1", "SMM2", "d2", "%2",
+    );
+    let _ = writeln!(out, "{:>12}| {:^63}| {:^63}", "", "1 MPI rank per node", "4 MPI ranks per node");
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for class in Class::PAPER {
+        let rows: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.class == class)
+            .collect();
+        let mut by_nodes: std::collections::BTreeMap<u32, [Option<&crate::mpi_tables::TableCell>; 2]> =
+            Default::default();
+        for c in rows {
+            let slot = if c.ranks_per_node == 1 { 0 } else { 1 };
+            by_nodes.entry(c.nodes).or_insert([None, None])[slot] = Some(c);
+        }
+        for (nodes, pair) in by_nodes {
+            let mut line = format!("{:>5} {:>5} |", class.letter(), nodes);
+            for cell in pair {
+                match cell {
+                    Some(c) => {
+                        let m0 = c.measured[0].map(|m| m.mean);
+                        let m1 = c.measured[1].map(|m| m.mean);
+                        let m2 = c.measured[2].map(|m| m.mean);
+                        let d1 = m0.zip(m1).map(|(a, b)| b - a);
+                        let d2 = m0.zip(m2).map(|(a, b)| b - a);
+                        let _ = write!(
+                            line,
+                            " {} {} {} {} {} {} {} |",
+                            fmt_opt(m0, 9),
+                            fmt_opt(m1, 9),
+                            fmt_opt(d1, 8),
+                            fmt_opt(c.measured_pct(1), 7),
+                            fmt_opt(m2, 9),
+                            fmt_opt(d2, 8),
+                            fmt_opt(c.measured_pct(2), 7),
+                        );
+                    }
+                    None => {
+                        let _ = write!(line, " {:>63} |", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render a Table 4/5 reproduction (HTT effect, 4 ranks/node).
+pub fn render_htt_table(result: &HttTableResult, table_no: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table {table_no}: Effect of HTT on {} with 4 MPI ranks per node (simulated)",
+        result.bench.name()
+    );
+    let header = format!(
+        "{:>5} {:>5} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} {:>7}",
+        "class", "nodes", "ht=0", "ht=1", "d", "ht=0", "ht=1", "d", "ht=0", "ht=1", "d", "%",
+    );
+    let _ = writeln!(
+        out,
+        "{:>12}| {:^29} | {:^29} | {:^37}",
+        "", "SMM 0", "SMM 1", "SMM 2"
+    );
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for cell in &result.cells {
+        let mut line = format!("{:>5} {:>5} |", cell.class.letter(), cell.nodes);
+        for k in 0..3 {
+            let h0 = cell.measured[k][0].map(|m| m.mean);
+            let h1 = cell.measured[k][1].map(|m| m.mean);
+            let d = cell.measured_delta(k);
+            let _ = write!(
+                line,
+                " {} {} {}",
+                fmt_opt(h0, 9),
+                fmt_opt(h1, 9),
+                fmt_opt(d, 8),
+            );
+            if k == 2 {
+                let pct = h0.zip(d).map(|(base, d)| d / base * 100.0);
+                let _ = write!(line, " {}", fmt_opt(pct, 7));
+            }
+            let _ = write!(line, " |");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+fn render_series(out: &mut String, title: &str, xlabel: &str, series: &[FigSeries]) {
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{xlabel:>10}");
+    for s in series {
+        let _ = write!(header, " {:>16}", s.label);
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    if series.is_empty() {
+        return;
+    }
+    for i in 0..series[0].points.len() {
+        let mut line = format!("{:>10.0}", series[0].points[i].x);
+        for s in series {
+            let p = s.points[i];
+            let _ = write!(line, " {:>8.2}±{:<7.2}", p.mean, p.std);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out);
+}
+
+/// Render Figure 1's four panels as aligned series tables.
+pub fn render_figure1(fig: &Figure1Result) -> String {
+    let mut out = String::new();
+    let names = ["CacheUnfriendly", "CacheFriendly"];
+    for (panel, name) in fig.interval_panels.iter().zip(names) {
+        render_series(
+            &mut out,
+            &format!("Figure 1 ({name}): execution time [s] vs SMI interval [ms]"),
+            "interval",
+            panel,
+        );
+    }
+    for (panel, name) in fig.cpu_panels.iter().zip(names) {
+        render_series(
+            &mut out,
+            &format!("Figure 1 ({name}): execution time [s] vs logical CPUs at 50 ms interval"),
+            "cpus",
+            std::slice::from_ref(panel),
+        );
+    }
+    out
+}
+
+/// Render Figure 2 as aligned series tables.
+pub fn render_figure2(fig: &Figure2Result) -> String {
+    let mut out = String::new();
+    render_series(
+        &mut out,
+        "Figure 2: UnixBench total index vs SMI interval [ms], long SMIs (higher is better)",
+        "interval",
+        &fig.long_series,
+    );
+    render_series(
+        &mut out,
+        "Figure 2 control: short SMIs (the paper reports no effect)",
+        "interval",
+        &fig.short_series,
+    );
+    let _ = writeln!(out, "Quiet baselines:");
+    for (cpus, idx) in &fig.baselines {
+        let _ = writeln!(out, "  {cpus} CPUs: index {idx:.1}");
+    }
+    out
+}
+
+/// Serialize a table result as CSV (one line per cell × SMM class).
+pub fn table_csv(result: &TableResult) -> String {
+    let mut out = String::from("bench,class,nodes,ranks_per_node,smm,measured_mean,measured_std,paper\n");
+    for c in &result.cells {
+        for k in 0..3 {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                result.bench.name(),
+                c.class.letter(),
+                c.nodes,
+                c.ranks_per_node,
+                k,
+                c.measured[k].map(|m| m.mean.to_string()).unwrap_or_default(),
+                c.measured[k].map(|m| m.std.to_string()).unwrap_or_default(),
+                c.paper[k].map(|v| v.to_string()).unwrap_or_default(),
+            );
+        }
+    }
+    out
+}
+
+/// Serialize a figure's series as CSV.
+pub fn series_csv(series: &[FigSeries]) -> String {
+    let mut out = String::from("series,x,mean,std\n");
+    for s in series {
+        for p in &s.points {
+            let _ = writeln!(out, "{},{},{},{}", s.label, p.x, p.mean, p.std);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigPoint;
+    use crate::mpi_tables::{Measured, TableCell};
+    use nas::Bench;
+
+    fn sample_table() -> TableResult {
+        TableResult {
+            bench: Bench::Ep,
+            cells: vec![TableCell {
+                class: Class::A,
+                nodes: 1,
+                ranks_per_node: 1,
+                measured: [
+                    Some(Measured { mean: 23.1, std: 0.1, reps: 6 }),
+                    Some(Measured { mean: 23.2, std: 0.1, reps: 6 }),
+                    Some(Measured { mean: 25.6, std: 0.2, reps: 6 }),
+                ],
+                paper: [Some(23.12), Some(23.18), Some(25.66)],
+            }],
+        }
+    }
+
+    #[test]
+    fn table_renders_all_columns() {
+        let txt = render_table(&sample_table(), 2);
+        assert!(txt.contains("Table 2: EP Benchmark"));
+        assert!(txt.contains("23.10"));
+        assert!(txt.contains("25.60"));
+        // Percent column: (25.6-23.1)/23.1 = 10.82%.
+        assert!(txt.contains("10.82"), "{txt}");
+    }
+
+    #[test]
+    fn missing_cells_render_dashes() {
+        let mut t = sample_table();
+        t.cells[0].measured = [None, None, None];
+        t.cells[0].paper = [None, None, None];
+        let txt = render_table(&t, 3);
+        assert!(txt.contains('-'));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let csv = table_csv(&sample_table());
+        assert!(csv.starts_with("bench,class"));
+        assert!(csv.contains("EP,A,1,1,0,23.1,0.1,23.12"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn series_render_and_csv() {
+        let s = vec![FigSeries {
+            label: "4 CPUs".into(),
+            points: vec![FigPoint { x: 50.0, mean: 12.5, std: 0.4 }],
+        }];
+        let csv = series_csv(&s);
+        assert!(csv.contains("4 CPUs,50,12.5,0.4"));
+        let mut out = String::new();
+        render_series(&mut out, "t", "x", &s);
+        assert!(out.contains("12.50"));
+    }
+}

@@ -1,0 +1,287 @@
+//! A dependency-free SVG line-chart writer for the figure reproductions.
+//!
+//! Renders [`FigSeries`] collections as publication-style line charts
+//! (axes, ticks, legend, error bars) so `smi-lab figure1 --svg out/`
+//! produces images directly comparable to the paper's Figures 1 and 2.
+
+use crate::figures::FigSeries;
+use std::fmt::Write as _;
+
+/// Chart geometry and labels.
+#[derive(Clone, Debug)]
+pub struct ChartSpec {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+    /// Force the y-axis to start at zero.
+    pub y_from_zero: bool,
+}
+
+impl Default for ChartSpec {
+    fn default() -> Self {
+        ChartSpec {
+            title: String::new(),
+            xlabel: String::new(),
+            ylabel: String::new(),
+            width: 720,
+            height: 440,
+            y_from_zero: true,
+        }
+    }
+}
+
+/// Color-blind-safe series palette (Okabe–Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 140.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 52.0;
+
+/// Render series as an SVG document.
+///
+/// # Panics
+/// Panics if every series is empty or any value is non-finite.
+pub fn render_chart(spec: &ChartSpec, series: &[FigSeries]) -> String {
+    let points: Vec<(f64, f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| (p.x, p.mean, p.std)))
+        .collect();
+    assert!(!points.is_empty(), "render_chart: no data");
+    for &(x, y, e) in &points {
+        assert!(x.is_finite() && y.is_finite() && e.is_finite(), "non-finite chart datum");
+    }
+    let (xmin, xmax) = bounds(points.iter().map(|p| p.0));
+    let (mut ymin, mut ymax) = bounds(points.iter().flat_map(|p| [p.1 - p.2, p.1 + p.2]));
+    if spec.y_from_zero {
+        ymin = ymin.min(0.0);
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let plot_w = spec.width as f64 - MARGIN_L - MARGIN_R;
+    let plot_h = spec.height as f64 - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - xmin) / (xmax - xmin).max(1e-12) * plot_w;
+    let sy = move |y: f64| MARGIN_T + plot_h - (y - ymin) / (ymax - ymin) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+        w = spec.width,
+        h = spec.height
+    );
+    let _ = write!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Title.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="22" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        escape(&spec.title)
+    );
+    // Axes box + grid + ticks.
+    for i in 0..=5 {
+        let fy = ymin + (ymax - ymin) * i as f64 / 5.0;
+        let y = sy(fy);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x1}" y1="{y:.1}" x2="{x2}" y2="{y:.1}" stroke="#ddd"/>"##,
+            x1 = MARGIN_L,
+            x2 = MARGIN_L + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{:.1}" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+            MARGIN_L - 6.0,
+            y,
+            tick_label(fy)
+        );
+    }
+    for i in 0..=5 {
+        let fx = xmin + (xmax - xmin) * i as f64 / 5.0;
+        let x = sx(fx);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{y1}" x2="{x:.1}" y2="{y2}" stroke="#ddd"/>"##,
+            y1 = MARGIN_T,
+            y2 = MARGIN_T + plot_h
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            tick_label(fx)
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<rect x="{}" y="{}" width="{:.1}" height="{:.1}" fill="none" stroke="black"/>"#,
+        MARGIN_L, MARGIN_T, plot_w, plot_h
+    );
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        spec.height as f64 - 12.0,
+        escape(&spec.xlabel)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {y})">{label}</text>"#,
+        sy((ymin + ymax) / 2.0),
+        y = sy((ymin + ymax) / 2.0),
+        label = escape(&spec.ylabel)
+    );
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let mut path = String::new();
+        for (i, p) in s.points.iter().enumerate() {
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            let _ = write!(path, "{cmd}{:.1},{:.1} ", sx(p.x), sy(p.mean));
+        }
+        let _ = write!(
+            svg,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+        );
+        for p in &s.points {
+            // Error bars.
+            if p.std > 0.0 {
+                let _ = write!(
+                    svg,
+                    r#"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="{color}" stroke-width="1"/>"#,
+                    sy(p.mean - p.std),
+                    sy(p.mean + p.std),
+                    x = sx(p.x)
+                );
+            }
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                sx(p.x),
+                sy(p.mean)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 10.0 + si as f64 * 18.0;
+        let lx = MARGIN_L + plot_w + 10.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{:.1}" dominant-baseline="middle">{}</text>"#,
+            lx + 24.0,
+            ly,
+            escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+fn tick_label(v: f64) -> String {
+    if v.abs() >= 1000.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigPoint;
+
+    fn series() -> Vec<FigSeries> {
+        vec![
+            FigSeries {
+                label: "4 CPUs".into(),
+                points: (1..=5)
+                    .map(|i| FigPoint { x: i as f64 * 100.0, mean: 20.0 / i as f64, std: 0.5 })
+                    .collect(),
+            },
+            FigSeries {
+                label: "8 CPUs".into(),
+                points: (1..=5)
+                    .map(|i| FigPoint { x: i as f64 * 100.0, mean: 25.0 / i as f64, std: 0.0 })
+                    .collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = render_chart(&ChartSpec::default(), &series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Two polylines, legend labels present.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("4 CPUs"));
+        assert!(svg.contains("8 CPUs"));
+    }
+
+    #[test]
+    fn error_bars_only_when_std_positive() {
+        let svg = render_chart(&ChartSpec::default(), &series());
+        // 5 error bars for the first series, none for the second; plus
+        // grid lines and legend swatches also use <line>.
+        let lines = svg.matches("<line").count();
+        assert!(lines >= 5 + 12 + 2, "line count {lines}");
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let spec = ChartSpec { title: "a < b & c".into(), ..ChartSpec::default() };
+        let svg = render_chart(&spec, &series());
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_series_panics() {
+        let _ = render_chart(&ChartSpec::default(), &[]);
+    }
+
+    #[test]
+    fn degenerate_y_range_is_padded() {
+        let flat = vec![FigSeries {
+            label: "flat".into(),
+            points: vec![
+                FigPoint { x: 0.0, mean: 5.0, std: 0.0 },
+                FigPoint { x: 1.0, mean: 5.0, std: 0.0 },
+            ],
+        }];
+        let spec = ChartSpec { y_from_zero: false, ..ChartSpec::default() };
+        let svg = render_chart(&spec, &flat);
+        assert!(svg.contains("<path"));
+    }
+}

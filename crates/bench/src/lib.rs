@@ -1,0 +1,16 @@
+//! # bench — criterion harnesses for every table and figure
+//!
+//! Each table/figure of the paper has a bench target that exercises its
+//! full regeneration path at reduced replication (see `benches/`), plus
+//! ablation benches for the design choices DESIGN.md calls out
+//! (synchronized vs unsynchronized SMI phases, side effects on/off, SMT
+//! contention) and microbenchmarks of the freeze algebra and detector.
+//!
+//! Helpers shared by the bench targets live here.
+
+use analysis::RunOptions;
+
+/// Bench-sized options: single rep, fixed seed.
+pub fn bench_opts() -> RunOptions {
+    RunOptions { reps: 1, seed: 424242, jitter: 0.004 }
+}

@@ -1,0 +1,150 @@
+//! Cache geometry configuration.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of `line_bytes * associativity`.
+    pub size_bytes: u64,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Ways per set. Use `1` for direct-mapped; use `size/line` for fully
+    /// associative.
+    pub associativity: u64,
+}
+
+impl CacheConfig {
+    /// Construct and validate a configuration.
+    ///
+    /// # Panics
+    /// Panics on zero fields, a non-power-of-two line size, or a capacity
+    /// that does not divide evenly into sets.
+    pub fn new(size_bytes: u64, line_bytes: u64, associativity: u64) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && associativity > 0, "zero cache parameter");
+        assert!(line_bytes.is_power_of_two(), "line size {line_bytes} not a power of two");
+        let way_bytes = line_bytes * associativity;
+        assert!(
+            size_bytes % way_bytes == 0,
+            "capacity {size_bytes} not divisible by line*assoc {way_bytes}"
+        );
+        let sets = size_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "set count {sets} not a power of two");
+        CacheConfig { size_bytes, line_bytes, associativity }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// A three-level hierarchy with per-level access latencies (in cycles).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HierarchyConfig {
+    /// Level-1 data cache.
+    pub l1: CacheConfig,
+    /// Level-2 unified cache.
+    pub l2: CacheConfig,
+    /// Level-3 last-level cache (shared across a socket).
+    pub l3: CacheConfig,
+    /// Load-to-use latency of an L1 hit, in cycles.
+    pub l1_latency: u64,
+    /// Latency of an L2 hit.
+    pub l2_latency: u64,
+    /// Latency of an L3 hit.
+    pub l3_latency: u64,
+    /// Latency of a DRAM access (L3 miss).
+    pub mem_latency: u64,
+}
+
+impl HierarchyConfig {
+    /// The per-core geometry of the Intel Xeon E5620 ("Westmere-EP") used
+    /// in the paper's multithreaded study: 32 KiB 8-way L1d, 256 KiB 8-way
+    /// L2, 12 MiB 16-way shared L3. (The paper's "4 MB L1, 8 MB L2, 24 MB
+    /// L3" figures are chipset totals across the two-socket R410; the
+    /// per-core reality is what locality sees.)
+    pub fn xeon_e5620() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 64, 8),
+            l2: CacheConfig::new(256 * 1024, 64, 8),
+            l3: CacheConfig::new(12 * 1024 * 1024, 64, 24),
+            l1_latency: 4,
+            l2_latency: 10,
+            l3_latency: 40,
+            mem_latency: 200,
+        }
+    }
+
+    /// The Intel Xeon E5520 ("Nehalem-EP") used for the MPI cluster
+    /// (Wyeast): 32 KiB 8-way L1d, 256 KiB 8-way L2, 8 MiB 16-way L3.
+    pub fn xeon_e5520() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 64, 8),
+            l2: CacheConfig::new(256 * 1024, 64, 8),
+            l3: CacheConfig::new(8 * 1024 * 1024, 64, 16),
+            l1_latency: 4,
+            l2_latency: 10,
+            l3_latency: 38,
+            mem_latency: 190,
+        }
+    }
+
+    /// A tiny hierarchy for fast unit tests.
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(1024, 64, 2),
+            l2: CacheConfig::new(4096, 64, 4),
+            l3: CacheConfig::new(16384, 64, 4),
+            l1_latency: 1,
+            l2_latency: 4,
+            l3_latency: 10,
+            mem_latency: 50,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_arithmetic() {
+        let c = CacheConfig::new(32 * 1024, 64, 8);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.lines(), 512);
+    }
+
+    #[test]
+    fn direct_mapped_and_fully_associative() {
+        let dm = CacheConfig::new(4096, 64, 1);
+        assert_eq!(dm.sets(), 64);
+        let fa = CacheConfig::new(4096, 64, 64);
+        assert_eq!(fa.sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn rejects_odd_line() {
+        let _ = CacheConfig::new(4096, 48, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_uneven_capacity() {
+        let _ = CacheConfig::new(5000, 64, 2);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [HierarchyConfig::xeon_e5620(), HierarchyConfig::xeon_e5520(), HierarchyConfig::tiny()] {
+            assert!(cfg.l1.size_bytes < cfg.l2.size_bytes);
+            assert!(cfg.l2.size_bytes < cfg.l3.size_bytes);
+            assert!(cfg.l1_latency < cfg.l2_latency);
+            assert!(cfg.l3_latency < cfg.mem_latency);
+        }
+    }
+}

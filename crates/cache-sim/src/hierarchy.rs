@@ -1,0 +1,251 @@
+//! A three-level cache hierarchy.
+
+use crate::cache::SetAssocCache;
+use crate::config::HierarchyConfig;
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum Level {
+    /// Hit in the level-1 cache.
+    L1,
+    /// Hit in the level-2 cache.
+    L2,
+    /// Hit in the level-3 cache.
+    L3,
+    /// Missed every level; served from memory.
+    Memory,
+}
+
+/// Outcome of a single access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct AccessResult {
+    /// The level that satisfied the access.
+    pub level: Level,
+    /// Load-to-use latency in cycles.
+    pub latency: u64,
+}
+
+/// L1 → L2 → L3 → memory, allocate-on-miss at every level (a "mostly
+/// inclusive" policy: a line missing at Ln is installed at Ln and all
+/// levels above).
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    total_latency: u64,
+    counts: [u64; 4],
+}
+
+impl Hierarchy {
+    /// An empty hierarchy with the given geometry.
+    pub fn new(config: HierarchyConfig) -> Self {
+        Hierarchy {
+            config,
+            l1: SetAssocCache::new(config.l1),
+            l2: SetAssocCache::new(config.l2),
+            l3: SetAssocCache::new(config.l3),
+            total_latency: 0,
+            counts: [0; 4],
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Perform one access.
+    pub fn access(&mut self, addr: u64) -> AccessResult {
+        let (level, latency) = if self.l1.access(addr) {
+            (Level::L1, self.config.l1_latency)
+        } else if self.l2.access(addr) {
+            (Level::L2, self.config.l2_latency)
+        } else if self.l3.access(addr) {
+            (Level::L3, self.config.l3_latency)
+        } else {
+            (Level::Memory, self.config.mem_latency)
+        };
+        self.total_latency += latency;
+        self.counts[level_index(level)] += 1;
+        AccessResult { level, latency }
+    }
+
+    /// Run a whole address stream; returns the L1 miss ratio.
+    pub fn run<I: IntoIterator<Item = u64>>(&mut self, addrs: I) -> f64 {
+        for a in addrs {
+            self.access(a);
+        }
+        self.l1_miss_ratio()
+    }
+
+    /// L1 miss ratio so far (cachegrind's "D1 miss rate").
+    pub fn l1_miss_ratio(&self) -> f64 {
+        self.l1.miss_ratio()
+    }
+
+    /// Last-level (L3) miss ratio relative to *all* accesses — the
+    /// fraction of references that went to DRAM.
+    pub fn memory_ratio(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[3] as f64 / total as f64
+        }
+    }
+
+    /// Accesses satisfied at each level `[L1, L2, L3, Memory]`.
+    pub fn level_counts(&self) -> [u64; 4] {
+        self.counts
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean latency per access, in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / n as f64
+        }
+    }
+
+    /// Flush every level (models SMM handler pollution at its most severe;
+    /// `pollute` for partial effect).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.l3.flush();
+    }
+
+    /// Partially invalidate every level. SMM handlers touch kilobytes of
+    /// SMRAM plus device state; the practical effect is heavy L1/L2
+    /// pollution and mild L3 pollution, so the fraction is applied fully
+    /// to L1/L2 and quartered for L3.
+    pub fn pollute(&mut self, fraction: f64) {
+        self.l1.pollute(fraction);
+        self.l2.pollute(fraction);
+        self.l3.pollute(fraction / 4.0);
+    }
+
+    /// Reset statistics but keep contents.
+    pub fn reset_counters(&mut self) {
+        self.l1.reset_counters();
+        self.l2.reset_counters();
+        self.l3.reset_counters();
+        self.total_latency = 0;
+        self.counts = [0; 4];
+    }
+}
+
+fn level_index(l: Level) -> usize {
+    match l {
+        Level::L1 => 0,
+        Level::L2 => 1,
+        Level::L3 => 2,
+        Level::Memory => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+
+    #[test]
+    fn first_access_goes_to_memory() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        let r = h.access(0x1234);
+        assert_eq!(r.level, Level::Memory);
+        assert_eq!(r.latency, 50);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        h.access(0x1234);
+        let r = h.access(0x1234);
+        assert_eq!(r.level, Level::L1);
+        assert_eq!(r.latency, 1);
+    }
+
+    #[test]
+    fn evicted_from_l1_hits_l2() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        // tiny L1: 1 KiB, 2-way, 64 B lines -> 8 sets. Fill set 0 beyond
+        // its 2 ways with lines 0, 8, 16 (stride 512 B).
+        h.access(0);
+        h.access(512);
+        h.access(1024); // evicts line 0 from L1; still in L2
+        let r = h.access(0);
+        assert_eq!(r.level, Level::L2);
+    }
+
+    #[test]
+    fn working_set_larger_than_l3_streams_from_memory() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        // Touch 64 KiB (4x the 16 KiB L3) twice with 64 B stride.
+        let addrs: Vec<u64> = (0..(64 * 1024u64)).step_by(64).collect();
+        h.run(addrs.iter().copied());
+        h.reset_counters();
+        h.run(addrs.iter().copied());
+        assert!(
+            h.memory_ratio() > 0.9,
+            "streaming working set should defeat all levels: {}",
+            h.memory_ratio()
+        );
+    }
+
+    #[test]
+    fn working_set_within_l1_hits_after_warmup() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        let addrs: Vec<u64> = (0..512u64).step_by(64).collect(); // 8 lines
+        h.run(addrs.iter().copied());
+        h.reset_counters();
+        for _ in 0..10 {
+            h.run(addrs.iter().copied());
+        }
+        assert_eq!(h.l1_miss_ratio(), 0.0);
+        assert_eq!(h.mean_latency(), 1.0);
+    }
+
+    #[test]
+    fn flush_forces_memory_again() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        h.access(0x40);
+        h.flush();
+        let r = h.access(0x40);
+        assert_eq!(r.level, Level::Memory);
+    }
+
+    #[test]
+    fn level_counts_sum_to_accesses() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        for i in 0..100u64 {
+            h.access(i * 128);
+        }
+        assert_eq!(h.level_counts().iter().sum::<u64>(), 100);
+        assert_eq!(h.accesses(), 100);
+    }
+
+    #[test]
+    fn pollution_degrades_l1_but_less_than_flush() {
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        let addrs: Vec<u64> = (0..1024u64).step_by(64).collect();
+        for _ in 0..4 {
+            h.run(addrs.iter().copied());
+        }
+        h.pollute(0.5);
+        h.reset_counters();
+        h.run(addrs.iter().copied());
+        let polluted_ratio = h.l1_miss_ratio();
+        assert!(polluted_ratio > 0.0, "pollution should cause some misses");
+        assert!(polluted_ratio < 1.0, "pollution should not flush everything");
+    }
+}

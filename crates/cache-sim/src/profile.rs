@@ -1,0 +1,146 @@
+//! Memory profiles: the summary the node model consumes.
+//!
+//! A [`MemoryProfile`] condenses a workload's memory behaviour into the
+//! handful of numbers the SMT throughput model in `machine` needs:
+//! references per instruction, the L1 miss ratio, and the mean miss
+//! penalty. [`classify`] applies the paper's CF/CU thresholds.
+
+use crate::hierarchy::Hierarchy;
+
+/// The paper's qualitative classification of Convolve configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum CacheBehavior {
+    /// ≈1 % miss ratio: the "CacheFriendly" configuration.
+    Friendly,
+    /// ≈70 % miss ratio: the "CacheUnfriendly" configuration.
+    Unfriendly,
+    /// Anything in between.
+    Mixed,
+}
+
+/// Condensed memory behaviour of a workload phase.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct MemoryProfile {
+    /// Memory references per executed instruction.
+    pub refs_per_instruction: f64,
+    /// Fraction of references missing L1.
+    pub l1_miss_ratio: f64,
+    /// Fraction of references served by DRAM.
+    pub memory_ratio: f64,
+    /// Mean access latency in cycles, over all references.
+    pub mean_latency_cycles: f64,
+}
+
+impl MemoryProfile {
+    /// Build a profile from a measured hierarchy plus the instruction
+    /// count of the code that generated the stream.
+    pub fn from_hierarchy(h: &Hierarchy, instructions: u64) -> Self {
+        assert!(instructions > 0, "MemoryProfile: zero instructions");
+        MemoryProfile {
+            refs_per_instruction: h.accesses() as f64 / instructions as f64,
+            l1_miss_ratio: h.l1_miss_ratio(),
+            memory_ratio: h.memory_ratio(),
+            mean_latency_cycles: h.mean_latency(),
+        }
+    }
+
+    /// An idealised compute-bound profile (negligible memory traffic).
+    pub fn compute_bound() -> Self {
+        MemoryProfile {
+            refs_per_instruction: 0.1,
+            l1_miss_ratio: 0.005,
+            memory_ratio: 0.0005,
+            mean_latency_cycles: 4.1,
+        }
+    }
+
+    /// An idealised streaming, memory-bound profile.
+    pub fn memory_bound() -> Self {
+        MemoryProfile {
+            refs_per_instruction: 0.5,
+            l1_miss_ratio: 0.7,
+            memory_ratio: 0.35,
+            mean_latency_cycles: 80.0,
+        }
+    }
+
+    /// The fraction of cycles this profile stalls waiting on memory,
+    /// assuming `base_cpi` cycles per instruction of pure execution. This
+    /// is the quantity the SMT model uses: stalled cycles are what a
+    /// hyper-threaded sibling can fill.
+    pub fn stall_fraction(&self, base_cpi: f64) -> f64 {
+        assert!(base_cpi > 0.0, "stall_fraction: non-positive base CPI {base_cpi}");
+        // Extra cycles per instruction spent in the memory system beyond
+        // an L1 hit (which is pipelined away in the base CPI).
+        let l1_hit_cost = 0.0;
+        let extra = self.refs_per_instruction * (self.mean_latency_cycles - 4.0).max(l1_hit_cost);
+        extra / (base_cpi + extra)
+    }
+}
+
+/// Apply the paper's thresholds: friendly below 5 % L1 misses, unfriendly
+/// above 40 %.
+pub fn classify(l1_miss_ratio: f64) -> CacheBehavior {
+    assert!((0.0..=1.0).contains(&l1_miss_ratio), "miss ratio {l1_miss_ratio} outside [0,1]");
+    if l1_miss_ratio < 0.05 {
+        CacheBehavior::Friendly
+    } else if l1_miss_ratio > 0.40 {
+        CacheBehavior::Unfriendly
+    } else {
+        CacheBehavior::Mixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+    use crate::stream::{col_major, row_major};
+
+    #[test]
+    fn classify_thresholds() {
+        assert_eq!(classify(0.01), CacheBehavior::Friendly);
+        assert_eq!(classify(0.70), CacheBehavior::Unfriendly);
+        assert_eq!(classify(0.20), CacheBehavior::Mixed);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn classify_rejects_bogus_ratio() {
+        let _ = classify(1.5);
+    }
+
+    #[test]
+    fn profiles_from_real_streams_classify_correctly() {
+        // Friendly: a matrix that fits in L1 (8x16x8 B = 1 KiB), traversed
+        // repeatedly — all hits after the first pass.
+        let mut friendly = Hierarchy::new(HierarchyConfig::tiny());
+        for _ in 0..20 {
+            friendly.run(row_major(0, 8, 16, 8));
+        }
+        let mut hostile = Hierarchy::new(HierarchyConfig::tiny());
+        hostile.run(col_major(0, 512, 512, 8));
+        let pf = MemoryProfile::from_hierarchy(&friendly, 20 * 8 * 16 * 4);
+        let ph = MemoryProfile::from_hierarchy(&hostile, 512 * 512 * 4);
+        assert_eq!(classify(pf.l1_miss_ratio), CacheBehavior::Friendly);
+        assert_eq!(classify(ph.l1_miss_ratio), CacheBehavior::Unfriendly);
+    }
+
+    #[test]
+    fn stall_fraction_orders_profiles() {
+        let cb = MemoryProfile::compute_bound().stall_fraction(1.0);
+        let mb = MemoryProfile::memory_bound().stall_fraction(1.0);
+        assert!(cb < 0.05, "compute-bound stalls {cb}");
+        assert!(mb > 0.9, "memory-bound stalls {mb}");
+    }
+
+    #[test]
+    fn stall_fraction_is_bounded() {
+        for p in [MemoryProfile::compute_bound(), MemoryProfile::memory_bound()] {
+            for cpi in [0.25, 1.0, 4.0] {
+                let s = p.stall_fraction(cpi);
+                assert!((0.0..1.0).contains(&s), "stall {s} for cpi {cpi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Node energy accounting under SMM noise.
+//!
+//! The predecessor study (Delgado & Karavanic, IISWC 2013 — reference
+//! \[7\] of the reproduced paper) found that SMIs "increase energy usage":
+//! SMM handlers execute flat-out with every core captive, so frozen time
+//! burns near-active power while contributing nothing, and the extended
+//! runtime keeps the platform out of idle longer. This module prices a
+//! run with a simple three-state power model so the laboratory can
+//! reproduce that qualitative claim.
+
+use crate::executor::ExecOutcome;
+use sim_core::SimDuration;
+
+/// Average package power in each node state, in watts.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct PowerModel {
+    /// Executing host work (all used cores busy).
+    pub active_w: f64,
+    /// Host idle (C-states).
+    pub idle_w: f64,
+    /// Inside SMM: the handler spins on the BSP while the other cores
+    /// wait in a non-idle microcode loop — close to active power.
+    pub smm_w: f64,
+}
+
+impl PowerModel {
+    /// A Nehalem/Westmere-era dual-socket node (Xeon E5520/E5620 class):
+    /// ~220 W active, ~95 W idle, ~200 W in SMM.
+    pub fn xeon_node() -> Self {
+        PowerModel { active_w: 220.0, idle_w: 95.0, smm_w: 200.0 }
+    }
+
+    /// Validate the model's ordering assumptions.
+    pub fn validate(&self) {
+        assert!(self.idle_w > 0.0, "idle power must be positive");
+        assert!(self.active_w >= self.idle_w, "active below idle");
+        assert!(self.smm_w >= self.idle_w, "SMM below idle");
+    }
+
+    /// Energy in joules for an executed outcome: busy work at active
+    /// power, frozen time at SMM power, and any remaining wall time
+    /// (scheduling gaps) at idle power. `busy_fraction` scales between
+    /// idle and active for partially loaded nodes.
+    pub fn energy_joules(&self, outcome: &ExecOutcome, busy_fraction: f64) -> f64 {
+        self.validate();
+        assert!((0.0..=1.0).contains(&busy_fraction), "busy fraction {busy_fraction}");
+        let host = outcome.wall.saturating_sub(outcome.frozen);
+        let host_w = self.idle_w + (self.active_w - self.idle_w) * busy_fraction;
+        host.as_secs_f64() * host_w + outcome.frozen.as_secs_f64() * self.smm_w
+    }
+
+    /// Energy for a plain duration entirely at one effective load.
+    pub fn energy_for(&self, duration: SimDuration, busy_fraction: f64) -> f64 {
+        self.validate();
+        let w = self.idle_w + (self.active_w - self.idle_w) * busy_fraction;
+        duration.as_secs_f64() * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{NodeExecutor, SmiSideEffects};
+    use sim_core::{
+        DurationModel, FreezeSchedule, PeriodicFreeze, SimTime, TriggerPolicy,
+    };
+
+    fn run(schedule: &FreezeSchedule) -> ExecOutcome {
+        NodeExecutor::new(schedule, SmiSideEffects::none(), 8, 0.5, 0.0)
+            .execute(SimTime::ZERO, SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn long_smis_increase_energy() {
+        let quiet = run(&FreezeSchedule::none());
+        let noisy = run(&FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(500),
+            period: SimDuration::from_secs(1),
+            durations: DurationModel::long_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 1,
+        }));
+        let pm = PowerModel::xeon_node();
+        let e_quiet = pm.energy_joules(&quiet, 1.0);
+        let e_noisy = pm.energy_joules(&noisy, 1.0);
+        // Same useful work, ~10.5% more wall time at near-active power.
+        let inflation = e_noisy / e_quiet;
+        assert!((1.08..1.13).contains(&inflation), "energy inflation {inflation}");
+    }
+
+    #[test]
+    fn smm_burns_more_than_idle_would() {
+        // An SMI-riddled node spends its stolen time at 200 W, not 95 W:
+        // compare against a hypothetical machine that idled instead.
+        let noisy = run(&FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::ZERO,
+            period: SimDuration::from_millis(400),
+            durations: DurationModel::long_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 2,
+        }));
+        let pm = PowerModel::xeon_node();
+        let actual = pm.energy_joules(&noisy, 1.0);
+        let if_idle = noisy.wall.saturating_sub(noisy.frozen).as_secs_f64() * pm.active_w
+            + noisy.frozen.as_secs_f64() * pm.idle_w;
+        assert!(actual > if_idle * 1.05, "SMM power must be visible: {actual} vs {if_idle}");
+    }
+
+    #[test]
+    fn busy_fraction_interpolates() {
+        let pm = PowerModel::xeon_node();
+        let hour = SimDuration::from_secs(3600);
+        let idle = pm.energy_for(hour, 0.0);
+        let half = pm.energy_for(hour, 0.5);
+        let full = pm.energy_for(hour, 1.0);
+        assert!((idle - 95.0 * 3600.0).abs() < 1e-6);
+        assert!((full - 220.0 * 3600.0).abs() < 1e-6);
+        assert!((half - (95.0 + 62.5) * 3600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "active below idle")]
+    fn invalid_model_is_rejected() {
+        let pm = PowerModel { active_w: 50.0, idle_w: 95.0, smm_w: 200.0 };
+        let _ = pm.energy_for(SimDuration::from_secs(1), 1.0);
+    }
+}

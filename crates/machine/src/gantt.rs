@@ -1,0 +1,166 @@
+//! ASCII Gantt rendering of a scheduled run under SMM noise.
+//!
+//! Takes the work-time [`Trace`] recorded by
+//! [`run_with_trace`](crate::scheduler::run_with_trace) and a
+//! freeze schedule, and renders the **wall-time** view: per logical
+//! CPU, which thread occupied it at each instant, with `#` marking the
+//! node-global SMM windows. This is the picture the OS can never see —
+//! every `#` column is time the kernel believes was spent by whatever
+//! thread the row shows next.
+//!
+//! ```text
+//! cpu0 |000000##0000111##111...|
+//! cpu1 |222222##2222333##333...|
+//!        ^ all rows freeze together
+//! ```
+
+use sim_core::{FreezeSchedule, SimDuration, SimTime, Trace, TraceKind};
+use std::fmt::Write as _;
+
+/// Render a wall-time Gantt chart of `width` columns spanning
+/// `[0, wall_end)`.
+///
+/// Thread ids are shown base-36 (0-9 then a-z, `.` for idle, `#` for
+/// SMM); ids ≥ 36 wrap.
+pub fn render_gantt(
+    trace: &Trace,
+    schedule: &FreezeSchedule,
+    wall_end: SimTime,
+    width: usize,
+) -> String {
+    assert!(width >= 10, "gantt needs at least 10 columns");
+    assert!(wall_end > SimTime::ZERO, "empty time range");
+
+    // Collect the CPUs that ever appear, in order.
+    let mut cpus: Vec<u32> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::Schedule { cpu, .. } => Some(cpu),
+            _ => None,
+        })
+        .collect();
+    cpus.sort_unstable();
+    cpus.dedup();
+
+    // Per-CPU piecewise-constant assignment over *work* time.
+    let mut steps: Vec<Vec<(u64, Option<u32>)>> = vec![Vec::new(); cpus.len()];
+    for e in trace.events() {
+        if let TraceKind::Schedule { cpu, thread } = e.kind {
+            let row = cpus.binary_search(&cpu).expect("cpu collected above");
+            steps[row].push((e.time.as_nanos(), thread));
+        }
+    }
+
+    let lookup = |row: usize, work_ns: u64| -> Option<u32> {
+        let s = &steps[row];
+        match s.partition_point(|&(t, _)| t <= work_ns) {
+            0 => None,
+            i => s[i - 1].1,
+        }
+    };
+
+    let glyph = |t: Option<u32>| -> char {
+        match t {
+            None => '.',
+            Some(id) => char::from_digit(id % 36, 36).expect("base-36 digit"),
+        }
+    };
+
+    let mut out = String::new();
+    let col_span = SimDuration(wall_end.as_nanos() / width as u64);
+    for (row, cpu) in cpus.iter().enumerate() {
+        let _ = write!(out, "cpu{cpu:<2}|");
+        for c in 0..width {
+            let wall = SimTime(col_span.as_nanos() * c as u64 + col_span.as_nanos() / 2);
+            if schedule.is_frozen(wall) {
+                out.push('#');
+            } else {
+                let work_ns = schedule.work_between(SimTime::ZERO, wall).as_nanos();
+                out.push(glyph(lookup(row, work_ns)));
+            }
+        }
+        out.push_str("|\n");
+    }
+    let _ = writeln!(
+        out,
+        "     0{:>width$}",
+        format!("{:.2}s", wall_end.as_secs_f64()),
+        width = width
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{run_with_trace, SchedParams};
+    use crate::topology::{NodeSpec, Topology};
+    use crate::workload::{Phase, ThreadProgram, ThreadSpec};
+    use sim_core::{DurationModel, PeriodicFreeze, TriggerPolicy};
+
+    fn traced_run(threads: usize, cpus: u32) -> (Trace, SimDuration) {
+        let mut topo = Topology::new(NodeSpec::dell_r410());
+        topo.set_online_count(cpus);
+        let specs: Vec<ThreadSpec> = (0..threads)
+            .map(|_| {
+                ThreadSpec::new(
+                    ThreadProgram::new().then(Phase::compute(SimDuration::from_millis(80))),
+                )
+            })
+            .collect();
+        let mut trace = Trace::enabled();
+        let out = run_with_trace(&topo, &SchedParams::default(), &specs, &mut trace).unwrap();
+        (trace, out.makespan)
+    }
+
+    #[test]
+    fn rows_match_online_cpus_used() {
+        let (trace, makespan) = traced_run(4, 2);
+        let g = render_gantt(&trace, &FreezeSchedule::none(), SimTime::ZERO + makespan, 60);
+        assert_eq!(g.matches("cpu").count(), 2, "{g}");
+    }
+
+    #[test]
+    fn quiet_gantt_has_no_freeze_marks() {
+        let (trace, makespan) = traced_run(2, 2);
+        let g = render_gantt(&trace, &FreezeSchedule::none(), SimTime::ZERO + makespan, 60);
+        assert!(!g.contains('#'), "{g}");
+        assert!(g.contains('0') && g.contains('1'), "{g}");
+    }
+
+    #[test]
+    fn frozen_columns_align_across_cpus() {
+        let (trace, makespan) = traced_run(2, 2);
+        let schedule = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(20),
+            period: SimDuration::from_millis(40),
+            durations: DurationModel::Fixed(SimDuration::from_millis(12)),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 1,
+        });
+        // Wall end = advance(makespan).
+        let wall_end = schedule.advance(SimTime::ZERO, makespan);
+        let g = render_gantt(&trace, &schedule, wall_end, 80);
+        let rows: Vec<&str> = g.lines().filter(|l| l.starts_with("cpu")).collect();
+        assert_eq!(rows.len(), 2);
+        let a: Vec<usize> = rows[0].match_indices('#').map(|(i, _)| i).collect();
+        let b: Vec<usize> = rows[1].match_indices('#').map(|(i, _)| i).collect();
+        assert!(!a.is_empty(), "no SMM columns rendered:\n{g}");
+        assert_eq!(a, b, "SMM is node-global; rows must freeze together:\n{g}");
+    }
+
+    #[test]
+    fn single_thread_leaves_other_cpu_idle() {
+        let (trace, makespan) = traced_run(1, 2);
+        let g = render_gantt(&trace, &FreezeSchedule::none(), SimTime::ZERO + makespan, 40);
+        assert!(g.contains('.'), "cpu1 should be idle somewhere:\n{g}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 columns")]
+    fn tiny_width_rejected() {
+        let (trace, makespan) = traced_run(1, 1);
+        let _ = render_gantt(&trace, &FreezeSchedule::none(), SimTime::ZERO + makespan, 3);
+    }
+}

@@ -1,0 +1,895 @@
+//! The node scheduler: time-shared execution of thread programs over the
+//! online logical CPUs, with SMT-aware progress rates.
+//!
+//! The simulation runs entirely in **work time** (time during which the
+//! node is executing host software). Because an SMI freezes every logical
+//! CPU of the node simultaneously, freezing commutes with scheduling; the
+//! [`NodeExecutor`](crate::executor::NodeExecutor) maps the resulting
+//! makespan through a [`FreezeSchedule`](sim_core::FreezeSchedule)
+//! afterwards. An integration test (`tests/freeze_commutes.rs` at the
+//! workspace root) verifies this equivalence against a step-by-step
+//! interleaving.
+//!
+//! Scheduling policy is a CFS-like least-vruntime discipline: at every
+//! event the runnable threads with the smallest virtual runtime get the
+//! online CPUs, spread across physical cores before doubling up on HTT
+//! siblings (Linux's sched-domain balancing does the same).
+
+use crate::smt::{pair_rates, ExecProfile, SmtParams};
+use crate::topology::{CpuId, Topology};
+use crate::workload::{Phase, PipeId, ThreadSpec};
+use sim_core::{SimDuration, SimTime, Trace, TraceKind};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Tunable scheduler/OS parameters.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SchedParams {
+    /// Preemption quantum.
+    pub quantum: SimDuration,
+    /// CPU cost charged to a thread on wakeup or involuntary switch.
+    pub ctx_switch: SimDuration,
+    /// Pipe buffer capacity in bytes (Linux default: 64 KiB).
+    pub pipe_capacity: u64,
+    /// CPU cost per KiB copied through a pipe (charged to each side).
+    pub pipe_cost_per_kib: SimDuration,
+    /// Fixed syscall overhead per pipe operation.
+    pub pipe_op_overhead: SimDuration,
+    /// SMT model parameters.
+    pub smt: SmtParams,
+}
+
+impl Default for SchedParams {
+    fn default() -> Self {
+        SchedParams {
+            quantum: SimDuration::from_millis(10),
+            ctx_switch: SimDuration::from_micros(5),
+            pipe_capacity: 64 * 1024,
+            pipe_cost_per_kib: SimDuration::from_micros(1),
+            pipe_op_overhead: SimDuration::from_nanos(700),
+            smt: SmtParams::default(),
+        }
+    }
+}
+
+/// Why a run could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// Every unfinished thread is blocked on a pipe.
+    Deadlock {
+        /// Ids of the blocked threads.
+        blocked: Vec<usize>,
+    },
+    /// A single pipe write larger than the pipe capacity can never complete.
+    WriteTooLarge {
+        /// Offending thread.
+        thread: usize,
+        /// Requested bytes.
+        bytes: u64,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Deadlock { blocked } => {
+                write!(f, "deadlock: threads {blocked:?} all blocked on pipes")
+            }
+            SchedError::WriteTooLarge { thread, bytes } => {
+                write!(f, "thread {thread}: pipe write of {bytes} B exceeds capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Result of running a thread set to completion.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SchedOutcome {
+    /// Work-time instant the last thread finished.
+    pub makespan: SimDuration,
+    /// Per-thread finish instants (work time).
+    pub finish_times: Vec<SimDuration>,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Sum over threads of executed solo-equivalent work.
+    pub total_work: SimDuration,
+    /// Mean online-CPU utilization over the run (assigned CPU-time /
+    /// (makespan × online CPUs)).
+    pub utilization: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Waiting for `start_delay`.
+    Sleeping,
+    Runnable,
+    BlockedWrite(PipeId),
+    BlockedRead(PipeId),
+    Done,
+}
+
+struct ThreadRt {
+    phases: Vec<Phase>,
+    phase_idx: usize,
+    /// Remaining solo-equivalent work in the current compute leg, in ns.
+    remaining_ns: f64,
+    profile: ExecProfile,
+    /// Pipe operation to perform once the compute leg finishes.
+    pending_op: Option<(bool, PipeId, u64)>, // (is_write, pipe, bytes)
+    state: State,
+    start_delay_ns: f64,
+    vruntime_ns: f64,
+    finish_ns: f64,
+    executed_ns: f64,
+}
+
+#[derive(Default)]
+struct PipeRt {
+    fill: u64,
+    wait_read: VecDeque<usize>,
+    wait_write: VecDeque<usize>,
+}
+
+/// Run `threads` on the online CPUs of `topo` until all complete.
+pub fn run(
+    topo: &Topology,
+    params: &SchedParams,
+    threads: &[ThreadSpec],
+) -> Result<SchedOutcome, SchedError> {
+    let mut trace = Trace::disabled();
+    run_with_trace(topo, params, threads, &mut trace)
+}
+
+/// Like [`run`], recording a [`TraceKind::Schedule`] event (in node work
+/// time) every time a logical CPU's assigned thread changes. Feed the
+/// trace to [`crate::gantt::render_gantt`] for a wall-time timeline.
+pub fn run_with_trace(
+    topo: &Topology,
+    params: &SchedParams,
+    threads: &[ThreadSpec],
+    trace: &mut Trace,
+) -> Result<SchedOutcome, SchedError> {
+    assert!(!threads.is_empty(), "no threads to run");
+    let online = topo.online_cpus();
+    assert!(!online.is_empty(), "no online CPUs");
+    // Validate affinities (Linux rejects masks with no online CPU).
+    let pinned: Vec<Option<usize>> = threads
+        .iter()
+        .map(|t| {
+            t.pinned.map(|cpu| {
+                online
+                    .iter()
+                    .position(|&c| c == cpu)
+                    .unwrap_or_else(|| panic!("thread pinned to offline cpu{}", cpu.0))
+            })
+        })
+        .collect();
+
+    // Validate pipe writes up front.
+    for (i, t) in threads.iter().enumerate() {
+        for p in &t.program.phases {
+            if let Phase::PipeWrite { bytes, .. } = p {
+                if *bytes > params.pipe_capacity {
+                    return Err(SchedError::WriteTooLarge { thread: i, bytes: *bytes });
+                }
+            }
+        }
+    }
+
+    let mut rts: Vec<ThreadRt> = threads
+        .iter()
+        .map(|t| {
+            let mut rt = ThreadRt {
+                phases: t.program.phases.clone(),
+                phase_idx: 0,
+                remaining_ns: 0.0,
+                profile: ExecProfile::compute_bound(),
+                pending_op: None,
+                state: if t.start_delay.is_zero() { State::Runnable } else { State::Sleeping },
+                start_delay_ns: t.start_delay.as_nanos() as f64,
+                vruntime_ns: 0.0,
+                finish_ns: 0.0,
+                executed_ns: 0.0,
+            };
+            begin_phase(&mut rt, params);
+            rt
+        })
+        .collect();
+
+    let mut pipes: HashMap<PipeId, PipeRt> = HashMap::new();
+    let mut now_ns = 0.0f64;
+    let mut prev_assignment: Vec<Option<usize>> = vec![None; online.len()];
+    let mut context_switches: u64 = 0;
+    let mut assigned_cpu_ns = 0.0f64;
+    let quantum_ns = params.quantum.as_nanos() as f64;
+
+    // Threads whose programs are empty finish immediately.
+    for rt in rts.iter_mut() {
+        maybe_finish(rt, now_ns);
+    }
+
+    loop {
+        // Wake sleepers whose start time has arrived.
+        for rt in rts.iter_mut() {
+            if rt.state == State::Sleeping && rt.start_delay_ns <= now_ns + 1e-9 {
+                rt.state = State::Runnable;
+            }
+        }
+
+        if rts.iter().all(|r| r.state == State::Done) {
+            break;
+        }
+
+        // Runnable threads ordered by least vruntime (ties by id).
+        let mut runnable: Vec<usize> = (0..rts.len())
+            .filter(|&i| rts[i].state == State::Runnable)
+            .collect();
+        runnable.sort_by(|&a, &b| {
+            rts[a]
+                .vruntime_ns
+                .partial_cmp(&rts[b].vruntime_ns)
+                .expect("vruntime is finite")
+                .then(a.cmp(&b))
+        });
+
+        if runnable.is_empty() {
+            // Either everyone left is sleeping (jump to next wake) or
+            // everyone is blocked (deadlock).
+            let next_wake = rts
+                .iter()
+                .filter(|r| r.state == State::Sleeping)
+                .map(|r| r.start_delay_ns)
+                .fold(f64::INFINITY, f64::min);
+            if next_wake.is_finite() {
+                now_ns = next_wake;
+                continue;
+            }
+            let blocked: Vec<usize> = (0..rts.len())
+                .filter(|&i| !matches!(rts[i].state, State::Done))
+                .collect();
+            return Err(SchedError::Deadlock { blocked });
+        }
+
+        // Place threads on CPUs: affinity first, then spread across
+        // physical cores.
+        let assignment = place(topo, &online, &runnable, &pinned);
+
+        // Count context switches against the previous assignment.
+        for (slot, &thr) in assignment.iter().enumerate() {
+            if thr != prev_assignment[slot] {
+                if thr.is_some() {
+                    context_switches += 1;
+                }
+                trace.record(
+                    SimTime::from_nanos(now_ns.round() as u64),
+                    TraceKind::Schedule { cpu: online[slot].0, thread: thr.map(|t| t as u32) },
+                );
+            }
+        }
+
+        // Progress rate per assigned thread from SMT pairing.
+        let rates = compute_rates(topo, &online, &assignment, &rts, &params.smt);
+
+        // Step length: nearest completion, capped by the quantum and the
+        // next sleeper wake.
+        let mut dt = quantum_ns;
+        for (slot, &thr) in assignment.iter().enumerate() {
+            if let Some(i) = thr {
+                let rate = rates[slot];
+                debug_assert!(rate > 0.0);
+                dt = dt.min(rts[i].remaining_ns / rate);
+            }
+        }
+        for rt in rts.iter() {
+            if rt.state == State::Sleeping {
+                dt = dt.min((rt.start_delay_ns - now_ns).max(0.0));
+            }
+        }
+        let dt = dt.max(1.0); // guarantee progress (>= 1 ns)
+
+        // Advance.
+        now_ns += dt;
+        for (slot, &thr) in assignment.iter().enumerate() {
+            if let Some(i) = thr {
+                let progress = dt * rates[slot];
+                rts[i].remaining_ns = (rts[i].remaining_ns - progress).max(0.0);
+                rts[i].executed_ns += progress;
+                rts[i].vruntime_ns += dt;
+                assigned_cpu_ns += dt;
+            }
+        }
+
+        // Handle completions in thread-id order for determinism.
+        for i in 0..rts.len() {
+            if rts[i].state == State::Runnable && rts[i].remaining_ns <= 1e-6 {
+                if phase_done(&rts[i]) {
+                    // Only a trailing wakeup cost remained (the program was
+                    // already exhausted); the thread is now finished.
+                    maybe_finish(&mut rts[i], now_ns);
+                } else {
+                    complete_leg(i, &mut rts, &mut pipes, params, now_ns);
+                }
+            }
+        }
+
+        prev_assignment = assignment;
+    }
+
+    let makespan_ns = rts.iter().map(|r| r.finish_ns).fold(0.0, f64::max);
+    let online_n = online.len() as f64;
+    Ok(SchedOutcome {
+        makespan: SimDuration::from_nanos(makespan_ns.round() as u64),
+        finish_times: rts
+            .iter()
+            .map(|r| SimDuration::from_nanos(r.finish_ns.round() as u64))
+            .collect(),
+        context_switches,
+        total_work: SimDuration::from_nanos(
+            rts.iter().map(|r| r.executed_ns).sum::<f64>().round() as u64,
+        ),
+        utilization: if makespan_ns > 0.0 { assigned_cpu_ns / (makespan_ns * online_n) } else { 0.0 },
+    })
+}
+
+/// True when the thread has consumed all phases.
+fn phase_done(rt: &ThreadRt) -> bool {
+    rt.phase_idx >= rt.phases.len() && rt.pending_op.is_none() && rt.remaining_ns <= 1e-6
+}
+
+/// Load the current phase's compute leg into the runtime state.
+fn begin_phase(rt: &mut ThreadRt, params: &SchedParams) {
+    let Some(phase) = rt.phases.get(rt.phase_idx) else {
+        return;
+    };
+    match phase {
+        Phase::Compute { work, profile } => {
+            rt.remaining_ns = work.as_nanos() as f64;
+            rt.profile = *profile;
+            rt.pending_op = None;
+        }
+        Phase::Syscalls { count, each } => {
+            rt.remaining_ns = (*count as f64) * each.as_nanos() as f64;
+            rt.profile = ExecProfile::compute_bound();
+            rt.pending_op = None;
+        }
+        Phase::PipeWrite { pipe, bytes } => {
+            rt.remaining_ns = pipe_cpu_cost(params, *bytes);
+            rt.profile = ExecProfile::compute_bound();
+            rt.pending_op = Some((true, *pipe, *bytes));
+        }
+        Phase::PipeRead { pipe, bytes } => {
+            rt.remaining_ns = pipe_cpu_cost(params, *bytes);
+            rt.profile = ExecProfile::compute_bound();
+            rt.pending_op = Some((false, *pipe, *bytes));
+        }
+    }
+}
+
+fn pipe_cpu_cost(params: &SchedParams, bytes: u64) -> f64 {
+    params.pipe_op_overhead.as_nanos() as f64
+        + params.pipe_cost_per_kib.as_nanos() as f64 * (bytes as f64 / 1024.0)
+}
+
+/// Mark a thread finished if its program is exhausted.
+fn maybe_finish(rt: &mut ThreadRt, now_ns: f64) {
+    if phase_done(rt) && rt.state != State::Done {
+        rt.state = State::Done;
+        rt.finish_ns = now_ns;
+    }
+}
+
+/// A thread finished the compute leg of its current phase: perform the
+/// pipe side effect (possibly blocking) and move on.
+fn complete_leg(
+    i: usize,
+    rts: &mut [ThreadRt],
+    pipes: &mut HashMap<PipeId, PipeRt>,
+    params: &SchedParams,
+    now_ns: f64,
+) {
+    match rts[i].pending_op.take() {
+        None => {
+            rts[i].phase_idx += 1;
+            begin_phase(&mut rts[i], params);
+            maybe_finish(&mut rts[i], now_ns);
+            // A zero-length next leg completes immediately.
+            if rts[i].state == State::Runnable && rts[i].remaining_ns <= 1e-6 && !phase_done(&rts[i])
+            {
+                complete_leg(i, rts, pipes, params, now_ns);
+            }
+        }
+        Some((true, pipe, bytes)) => {
+            let p = pipes.entry(pipe).or_default();
+            if p.fill + bytes <= params.pipe_capacity {
+                p.fill += bytes;
+                rts[i].phase_idx += 1;
+                begin_phase(&mut rts[i], params);
+                maybe_finish(&mut rts[i], now_ns);
+                wake_waiters(pipe, rts, pipes, params, now_ns);
+            } else {
+                rts[i].pending_op = Some((true, pipe, bytes));
+                rts[i].state = State::BlockedWrite(pipe);
+                pipes.get_mut(&pipe).expect("pipe exists").wait_write.push_back(i);
+            }
+        }
+        Some((false, pipe, bytes)) => {
+            let p = pipes.entry(pipe).or_default();
+            if p.fill >= bytes {
+                p.fill -= bytes;
+                rts[i].phase_idx += 1;
+                begin_phase(&mut rts[i], params);
+                maybe_finish(&mut rts[i], now_ns);
+                wake_waiters(pipe, rts, pipes, params, now_ns);
+            } else {
+                rts[i].pending_op = Some((false, pipe, bytes));
+                rts[i].state = State::BlockedRead(pipe);
+                pipes.get_mut(&pipe).expect("pipe exists").wait_read.push_back(i);
+            }
+        }
+    }
+}
+
+/// After a pipe's fill level changed, complete any waiter whose operation
+/// can now proceed (FIFO per direction; loops until quiescent).
+fn wake_waiters(
+    pipe: PipeId,
+    rts: &mut [ThreadRt],
+    pipes: &mut HashMap<PipeId, PipeRt>,
+    params: &SchedParams,
+    now_ns: f64,
+) {
+    loop {
+        let mut progressed = false;
+        // Readers first (frees writers faster, like the kernel's pipe wake).
+        let reader = {
+            let p = pipes.get_mut(&pipe).expect("pipe exists");
+            if let Some(&cand) = p.wait_read.front() {
+                let (_, _, bytes) = rts[cand].pending_op.expect("blocked thread has an op");
+                if p.fill >= bytes {
+                    p.wait_read.pop_front();
+                    p.fill -= bytes;
+                    Some(cand)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(cand) = reader {
+            finish_wake(cand, rts, params, now_ns);
+            progressed = true;
+        }
+        let writer = {
+            let p = pipes.get_mut(&pipe).expect("pipe exists");
+            if let Some(&cand) = p.wait_write.front() {
+                let (_, _, bytes) = rts[cand].pending_op.expect("blocked thread has an op");
+                if p.fill + bytes <= params.pipe_capacity {
+                    p.wait_write.pop_front();
+                    p.fill += bytes;
+                    Some(cand)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(cand) = writer {
+            finish_wake(cand, rts, params, now_ns);
+            progressed = true;
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// A blocked thread's pipe op just completed during a wake: charge the
+/// context-switch cost and start the next phase.
+fn finish_wake(i: usize, rts: &mut [ThreadRt], params: &SchedParams, now_ns: f64) {
+    rts[i].pending_op = None;
+    rts[i].state = State::Runnable;
+    rts[i].phase_idx += 1;
+    begin_phase(&mut rts[i], params);
+    // Wakeup cost is paid before the next phase's work.
+    rts[i].remaining_ns += params.ctx_switch.as_nanos() as f64;
+    maybe_finish_with_pending_cost(&mut rts[i], params, now_ns);
+}
+
+/// Like `maybe_finish`, but a thread woken at its final phase still owes
+/// the wakeup cost; treat the residual cost as a trailing compute leg.
+fn maybe_finish_with_pending_cost(rt: &mut ThreadRt, _params: &SchedParams, now_ns: f64) {
+    if rt.phase_idx >= rt.phases.len() && rt.pending_op.is_none() {
+        // Only the wakeup cost remains; let it drain as a normal leg if
+        // nonzero, otherwise finish now.
+        if rt.remaining_ns <= 1e-6 {
+            rt.state = State::Done;
+            rt.finish_ns = now_ns;
+        }
+    }
+}
+
+/// Greedy placement: pinned threads take their CPU first (in vruntime
+/// order), then unpinned threads fill the remaining online CPUs,
+/// preferring CPUs whose physical core is not yet occupied. Returns, per
+/// online-CPU slot, the thread index assigned.
+fn place(
+    topo: &Topology,
+    online: &[CpuId],
+    runnable: &[usize],
+    pinned: &[Option<usize>],
+) -> Vec<Option<usize>> {
+    let mut assignment: Vec<Option<usize>> = vec![None; online.len()];
+    let mut core_used: HashMap<u32, u32> = HashMap::new();
+
+    // Pass 0: affinity. First (= least vruntime) pinned thread per CPU wins.
+    for &t in runnable {
+        if let Some(slot) = pinned[t] {
+            if assignment[slot].is_none() {
+                assignment[slot] = Some(t);
+                *core_used.entry(topo.core_of(online[slot]).0).or_insert(0) += 1;
+            }
+        }
+    }
+    // A pinned thread whose CPU is taken stays off-CPU this round (its
+    // affinity mask forbids anywhere else), so only unpinned threads
+    // participate in the fill passes.
+    let unpinned: Vec<usize> =
+        runnable.iter().copied().filter(|&t| pinned[t].is_none()).collect();
+    let mut next = unpinned.into_iter();
+
+    // Pass 1: one thread per physical core.
+    for (slot, &cpu) in online.iter().enumerate() {
+        if assignment[slot].is_some() {
+            continue;
+        }
+        let core = topo.core_of(cpu).0;
+        if core_used.get(&core).copied().unwrap_or(0) == 0 {
+            if let Some(t) = next.next() {
+                assignment[slot] = Some(t);
+                *core_used.entry(core).or_insert(0) += 1;
+            }
+        }
+    }
+    // Pass 2: fill HTT siblings.
+    for (slot, &cpu) in online.iter().enumerate() {
+        if assignment[slot].is_none() {
+            if let Some(t) = next.next() {
+                assignment[slot] = Some(t);
+                *core_used.entry(topo.core_of(cpu).0).or_insert(0) += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    assignment
+}
+
+/// Per-slot progress rates given the placement.
+fn compute_rates(
+    topo: &Topology,
+    online: &[CpuId],
+    assignment: &[Option<usize>],
+    rts: &[ThreadRt],
+    smt: &SmtParams,
+) -> Vec<f64> {
+    let mut rates = vec![0.0; assignment.len()];
+    // Group slots by physical core.
+    let mut by_core: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (slot, &cpu) in online.iter().enumerate() {
+        if assignment[slot].is_some() {
+            by_core.entry(topo.core_of(cpu).0).or_default().push(slot);
+        }
+    }
+    for slots in by_core.values() {
+        match slots.as_slice() {
+            [s] => rates[*s] = 1.0,
+            [s1, s2] => {
+                let a = &rts[assignment[*s1].expect("assigned")].profile;
+                let b = &rts[assignment[*s2].expect("assigned")].profile;
+                let (ra, rb) = pair_rates(a, b, smt);
+                rates[*s1] = ra;
+                rates[*s2] = rb;
+            }
+            more => unreachable!("more than 2 threads on one core: {more:?}"),
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeSpec;
+    use crate::workload::ThreadProgram;
+
+    fn r410() -> Topology {
+        Topology::new(NodeSpec::dell_r410())
+    }
+
+    fn compute_thread(ms: u64) -> ThreadSpec {
+        ThreadSpec::new(ThreadProgram::new().then(Phase::compute(SimDuration::from_millis(ms))))
+    }
+
+    #[test]
+    fn single_thread_takes_its_solo_time() {
+        let topo = r410();
+        let out = run(&topo, &SchedParams::default(), &[compute_thread(50)]).unwrap();
+        assert_eq!(out.makespan, SimDuration::from_millis(50));
+        assert_eq!(out.context_switches, 1);
+    }
+
+    #[test]
+    fn threads_up_to_core_count_run_in_parallel() {
+        let topo = r410();
+        let threads: Vec<_> = (0..4).map(|_| compute_thread(50)).collect();
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        assert_eq!(out.makespan, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn compute_bound_threads_gain_nothing_from_htt() {
+        let topo = r410();
+        let threads: Vec<_> = (0..8).map(|_| compute_thread(50)).collect();
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        // 8 compute-bound threads on 4 cores: ~2x the solo time.
+        let ms = out.makespan.as_millis_f64();
+        assert!((98.0..=103.0).contains(&ms), "makespan {ms} ms");
+    }
+
+    #[test]
+    fn memory_bound_threads_do_gain_from_htt() {
+        let topo = r410();
+        let mk = |n: usize| -> Vec<ThreadSpec> {
+            (0..n)
+                .map(|_| {
+                    ThreadSpec::new(
+                        ThreadProgram::new().then(Phase::memory(SimDuration::from_millis(50))),
+                    )
+                })
+                .collect()
+        };
+        let out8 = run(&topo, &SchedParams::default(), &mk(8)).unwrap();
+        // With contention the gain is modest but 8 memory-bound threads
+        // should beat the 2x serialization of the compute-bound case.
+        let ms = out8.makespan.as_millis_f64();
+        assert!(ms < 98.0, "makespan {ms} ms should show some SMT gain");
+        assert!(ms > 55.0, "makespan {ms} ms cannot be near-perfect under contention");
+    }
+
+    #[test]
+    fn offline_cpus_serialize_execution() {
+        let mut topo = r410();
+        topo.set_online_count(1);
+        let threads: Vec<_> = (0..4).map(|_| compute_thread(10)).collect();
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        assert!((out.makespan.as_millis_f64() - 40.0).abs() < 1.0, "{:?}", out.makespan);
+        // Round-robin across quanta: many context switches.
+        assert!(out.context_switches >= 4);
+    }
+
+    #[test]
+    fn vruntime_fairness_interleaves_threads() {
+        let mut topo = r410();
+        topo.set_online_count(1);
+        // Two equal threads on one CPU should finish near-simultaneously.
+        let threads: Vec<_> = (0..2).map(|_| compute_thread(40)).collect();
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        let f0 = out.finish_times[0].as_millis_f64();
+        let f1 = out.finish_times[1].as_millis_f64();
+        assert!((f0 - f1).abs() <= 10.5, "finishes {f0} vs {f1}");
+    }
+
+    #[test]
+    fn start_delay_defers_execution() {
+        let topo = r410();
+        let t = ThreadSpec::new(
+            ThreadProgram::new().then(Phase::compute(SimDuration::from_millis(10))),
+        )
+        .delayed(SimDuration::from_millis(100));
+        let out = run(&topo, &SchedParams::default(), &[t]).unwrap();
+        assert!((out.makespan.as_millis_f64() - 110.0).abs() < 0.5, "{:?}", out.makespan);
+    }
+
+    #[test]
+    fn pipe_roundtrip_completes() {
+        let topo = r410();
+        let a = ThreadSpec::new(
+            ThreadProgram::new()
+                .then(Phase::PipeWrite { pipe: PipeId(0), bytes: 1024 })
+                .then(Phase::PipeRead { pipe: PipeId(1), bytes: 1024 }),
+        );
+        let b = ThreadSpec::new(
+            ThreadProgram::new()
+                .then(Phase::PipeRead { pipe: PipeId(0), bytes: 1024 })
+                .then(Phase::PipeWrite { pipe: PipeId(1), bytes: 1024 }),
+        );
+        let out = run(&topo, &SchedParams::default(), &[a, b]).unwrap();
+        assert!(out.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reader_blocks_until_writer_delivers() {
+        let topo = r410();
+        let writer = ThreadSpec::new(
+            ThreadProgram::new()
+                .then(Phase::compute(SimDuration::from_millis(20)))
+                .then(Phase::PipeWrite { pipe: PipeId(0), bytes: 64 }),
+        );
+        let reader =
+            ThreadSpec::new(ThreadProgram::new().then(Phase::PipeRead { pipe: PipeId(0), bytes: 64 }));
+        let out = run(&topo, &SchedParams::default(), &[writer, reader]).unwrap();
+        // Reader cannot finish before the writer's 20ms compute.
+        assert!(out.finish_times[1] >= SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn writer_blocks_on_full_pipe() {
+        let topo = r410();
+        let params = SchedParams { pipe_capacity: 1024, ..SchedParams::default() };
+        let writer = ThreadSpec::new(
+            ThreadProgram::new()
+                .then(Phase::PipeWrite { pipe: PipeId(0), bytes: 1024 })
+                .then(Phase::PipeWrite { pipe: PipeId(0), bytes: 1024 }),
+        );
+        let reader = ThreadSpec::new(
+            ThreadProgram::new()
+                .then(Phase::compute(SimDuration::from_millis(30)))
+                .then(Phase::PipeRead { pipe: PipeId(0), bytes: 1024 })
+                .then(Phase::PipeRead { pipe: PipeId(0), bytes: 1024 }),
+        );
+        let out = run(&topo, &params, &[writer, reader]).unwrap();
+        // Second write can only complete after the reader drains at ~30ms.
+        assert!(out.finish_times[0] >= SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let topo = r410();
+        let a = ThreadSpec::new(
+            ThreadProgram::new().then(Phase::PipeRead { pipe: PipeId(0), bytes: 1 }),
+        );
+        let b = ThreadSpec::new(
+            ThreadProgram::new().then(Phase::PipeRead { pipe: PipeId(1), bytes: 1 }),
+        );
+        let err = run(&topo, &SchedParams::default(), &[a, b]).unwrap_err();
+        assert_eq!(err, SchedError::Deadlock { blocked: vec![0, 1] });
+    }
+
+    #[test]
+    fn oversized_write_is_rejected() {
+        let topo = r410();
+        let t = ThreadSpec::new(
+            ThreadProgram::new().then(Phase::PipeWrite { pipe: PipeId(0), bytes: 1 << 20 }),
+        );
+        let err = run(&topo, &SchedParams::default(), &[t]).unwrap_err();
+        assert!(matches!(err, SchedError::WriteTooLarge { thread: 0, .. }));
+    }
+
+    #[test]
+    fn ping_pong_many_rounds() {
+        let topo = r410();
+        let rounds = 200;
+        let mut pa = ThreadProgram::new();
+        let mut pb = ThreadProgram::new();
+        for _ in 0..rounds {
+            pa = pa
+                .then(Phase::PipeWrite { pipe: PipeId(0), bytes: 4 })
+                .then(Phase::PipeRead { pipe: PipeId(1), bytes: 4 });
+            pb = pb
+                .then(Phase::PipeRead { pipe: PipeId(0), bytes: 4 })
+                .then(Phase::PipeWrite { pipe: PipeId(1), bytes: 4 });
+        }
+        let out =
+            run(&topo, &SchedParams::default(), &[ThreadSpec::new(pa), ThreadSpec::new(pb)]).unwrap();
+        assert!(out.makespan > SimDuration::ZERO);
+        // Both threads complete all rounds.
+        assert_eq!(out.finish_times.len(), 2);
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let topo = r410();
+        let threads: Vec<_> = (0..8).map(|_| compute_thread(20)).collect();
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        assert!(out.utilization > 0.9, "utilization {}", out.utilization);
+        assert!(out.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn syscall_phase_behaves_like_compute() {
+        let topo = r410();
+        let t = ThreadSpec::new(ThreadProgram::new().then(Phase::Syscalls {
+            count: 1000,
+            each: SimDuration::from_micros(10),
+        }));
+        let out = run(&topo, &SchedParams::default(), &[t]).unwrap();
+        assert_eq!(out.makespan, SimDuration::from_millis(10));
+    }
+}
+
+#[cfg(test)]
+mod affinity_tests {
+    use super::*;
+    use crate::topology::NodeSpec;
+    use crate::workload::ThreadProgram;
+
+    fn compute(ms: u64) -> ThreadProgram {
+        ThreadProgram::new().then(Phase::compute(SimDuration::from_millis(ms)))
+    }
+
+    #[test]
+    fn pinned_threads_share_their_cpu() {
+        // Two threads pinned to cpu0 serialize even with 8 CPUs online.
+        let topo = Topology::new(NodeSpec::dell_r410());
+        let threads = vec![
+            ThreadSpec::new(compute(40)).pinned_to(CpuId(0)),
+            ThreadSpec::new(compute(40)).pinned_to(CpuId(0)),
+        ];
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        assert!(
+            (out.makespan.as_millis_f64() - 80.0).abs() < 1.0,
+            "{:?}",
+            out.makespan
+        );
+    }
+
+    #[test]
+    fn pinning_across_cpus_runs_in_parallel() {
+        let topo = Topology::new(NodeSpec::dell_r410());
+        let threads: Vec<ThreadSpec> = (0..4)
+            .map(|i| ThreadSpec::new(compute(40)).pinned_to(CpuId(i)))
+            .collect();
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        assert!(
+            (out.makespan.as_millis_f64() - 40.0).abs() < 0.5,
+            "{:?}",
+            out.makespan
+        );
+    }
+
+    #[test]
+    fn pinned_siblings_pay_the_smt_tax() {
+        // cpu0 and cpu4 share physical core 0 on the R410: two
+        // compute-bound threads pinned there run at half speed each.
+        let topo = Topology::new(NodeSpec::dell_r410());
+        let threads = vec![
+            ThreadSpec::new(compute(40)).pinned_to(CpuId(0)),
+            ThreadSpec::new(compute(40)).pinned_to(CpuId(4)),
+        ];
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        let ms = out.makespan.as_millis_f64();
+        assert!((75.0..85.0).contains(&ms), "expected ~2x slowdown, got {ms} ms");
+    }
+
+    #[test]
+    fn unpinned_threads_avoid_the_pinned_cpu_when_possible() {
+        // One pinned hog on cpu0 + three unpinned threads, 4 online CPUs:
+        // everyone gets a core, makespan = solo time.
+        let topo = {
+            let mut t = Topology::new(NodeSpec::dell_r410());
+            t.set_online_count(4);
+            t
+        };
+        let mut threads = vec![ThreadSpec::new(compute(50)).pinned_to(CpuId(0))];
+        threads.extend((0..3).map(|_| ThreadSpec::new(compute(50))));
+        let out = run(&topo, &SchedParams::default(), &threads).unwrap();
+        assert!(
+            (out.makespan.as_millis_f64() - 50.0).abs() < 1.0,
+            "{:?}",
+            out.makespan
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offline cpu")]
+    fn pinning_to_offline_cpu_is_rejected() {
+        let mut topo = Topology::new(NodeSpec::dell_r410());
+        topo.set_online_count(2);
+        let threads = vec![ThreadSpec::new(compute(1)).pinned_to(CpuId(7))];
+        let _ = run(&topo, &SchedParams::default(), &threads);
+    }
+}

@@ -1,0 +1,234 @@
+//! A sysfs-like string interface over the topology.
+//!
+//! The paper varies logical CPU count through the Linux *sysfs* interface
+//! ("we used the Linux sysfs interface to selectively offline specific
+//! logical cores"), i.e. writes to
+//! `/sys/devices/system/cpu/cpu<N>/online`. This module reproduces that
+//! interface textually so experiment scripts in this repository read like
+//! the shell commands used on the real machines.
+
+use crate::topology::{CpuId, Topology};
+
+/// Errors surfaced by the emulated sysfs, mirroring the errno a real
+/// kernel would return.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SysfsError {
+    /// Path does not exist (`ENOENT`).
+    NoEntry(String),
+    /// Write not permitted (`EPERM`), e.g. offlining cpu0.
+    NotPermitted(String),
+    /// Malformed value written (`EINVAL`).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SysfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SysfsError::NoEntry(p) => write!(f, "{p}: No such file or directory"),
+            SysfsError::NotPermitted(p) => write!(f, "{p}: Operation not permitted"),
+            SysfsError::Invalid(v) => write!(f, "write error: Invalid argument: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SysfsError {}
+
+/// The emulated `/sys/devices/system/cpu` subtree.
+#[derive(Debug)]
+pub struct CpuSysfs<'a> {
+    topo: &'a mut Topology,
+}
+
+const PREFIX: &str = "/sys/devices/system/cpu";
+
+impl<'a> CpuSysfs<'a> {
+    /// Wrap a topology.
+    pub fn new(topo: &'a mut Topology) -> Self {
+        CpuSysfs { topo }
+    }
+
+    /// Read a sysfs file; supported paths:
+    ///
+    /// * `/sys/devices/system/cpu/present` — `0-N`
+    /// * `/sys/devices/system/cpu/online` — range list of online CPUs
+    /// * `/sys/devices/system/cpu/cpu<N>/online` — `0` or `1`
+    /// * `/sys/devices/system/cpu/cpu<N>/topology/core_id`
+    /// * `/sys/devices/system/cpu/cpu<N>/topology/thread_siblings_list`
+    pub fn read(&self, path: &str) -> Result<String, SysfsError> {
+        let rel = path
+            .strip_prefix(PREFIX)
+            .ok_or_else(|| SysfsError::NoEntry(path.into()))?
+            .trim_start_matches('/');
+        match rel {
+            "present" => Ok(format!("0-{}", self.topo.present() - 1)),
+            "online" => Ok(range_list(
+                &self.topo.online_cpus().iter().map(|c| c.0).collect::<Vec<_>>(),
+            )),
+            _ => {
+                let (cpu, leaf) = parse_cpu_path(rel, path)?;
+                if cpu.0 >= self.topo.present() {
+                    return Err(SysfsError::NoEntry(path.into()));
+                }
+                match leaf {
+                    "online" => Ok(if self.topo.is_online(cpu) { "1" } else { "0" }.into()),
+                    "topology/core_id" => Ok(self.topo.core_of(cpu).0.to_string()),
+                    "topology/thread_siblings_list" => {
+                        let mut ids = vec![cpu.0];
+                        if let Some(s) = self.topo.sibling_of(cpu) {
+                            ids.push(s.0);
+                        }
+                        ids.sort_unstable();
+                        Ok(range_list(&ids))
+                    }
+                    _ => Err(SysfsError::NoEntry(path.into())),
+                }
+            }
+        }
+    }
+
+    /// Write a sysfs file; only `cpu<N>/online` accepts writes, with
+    /// values `"0"` and `"1"` (trailing newline tolerated, like `echo`).
+    pub fn write(&mut self, path: &str, value: &str) -> Result<(), SysfsError> {
+        let rel = path
+            .strip_prefix(PREFIX)
+            .ok_or_else(|| SysfsError::NoEntry(path.into()))?
+            .trim_start_matches('/');
+        let (cpu, leaf) = parse_cpu_path(rel, path)?;
+        if cpu.0 >= self.topo.present() {
+            return Err(SysfsError::NoEntry(path.into()));
+        }
+        if leaf != "online" {
+            return Err(SysfsError::NotPermitted(path.into()));
+        }
+        match value.trim() {
+            "1" => {
+                self.topo.online(cpu);
+                Ok(())
+            }
+            "0" => {
+                if cpu.0 == 0 {
+                    return Err(SysfsError::NotPermitted(path.into()));
+                }
+                self.topo.offline(cpu);
+                Ok(())
+            }
+            other => Err(SysfsError::Invalid(other.into())),
+        }
+    }
+}
+
+fn parse_cpu_path<'p>(rel: &'p str, full: &str) -> Result<(CpuId, &'p str), SysfsError> {
+    let rest = rel.strip_prefix("cpu").ok_or_else(|| SysfsError::NoEntry(full.into()))?;
+    let slash = rest.find('/').ok_or_else(|| SysfsError::NoEntry(full.into()))?;
+    let n: u32 = rest[..slash]
+        .parse()
+        .map_err(|_| SysfsError::NoEntry(full.into()))?;
+    Ok((CpuId(n), &rest[slash + 1..]))
+}
+
+/// Render ids as the kernel's range-list format, e.g. `0-3,6`.
+fn range_list(ids: &[u32]) -> String {
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < ids.len() {
+        let start = ids[i];
+        let mut end = start;
+        while i + 1 < ids.len() && ids[i + 1] == end + 1 {
+            i += 1;
+            end = ids[i];
+        }
+        if start == end {
+            parts.push(format!("{start}"));
+        } else {
+            parts.push(format!("{start}-{end}"));
+        }
+        i += 1;
+    }
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeSpec;
+
+    fn topo() -> Topology {
+        Topology::new(NodeSpec::dell_r410())
+    }
+
+    #[test]
+    fn read_present_and_online() {
+        let mut t = topo();
+        let fs = CpuSysfs::new(&mut t);
+        assert_eq!(fs.read("/sys/devices/system/cpu/present").unwrap(), "0-7");
+        assert_eq!(fs.read("/sys/devices/system/cpu/online").unwrap(), "0-7");
+    }
+
+    #[test]
+    fn offline_a_sibling_like_the_paper() {
+        let mut t = topo();
+        let mut fs = CpuSysfs::new(&mut t);
+        fs.write("/sys/devices/system/cpu/cpu7/online", "0\n").unwrap();
+        assert_eq!(fs.read("/sys/devices/system/cpu/cpu7/online").unwrap(), "0");
+        assert_eq!(fs.read("/sys/devices/system/cpu/online").unwrap(), "0-6");
+    }
+
+    #[test]
+    fn range_list_handles_gaps() {
+        assert_eq!(range_list(&[0, 1, 2, 5, 7, 8]), "0-2,5,7-8");
+        assert_eq!(range_list(&[3]), "3");
+        assert_eq!(range_list(&[]), "");
+    }
+
+    #[test]
+    fn topology_files() {
+        let mut t = topo();
+        let fs = CpuSysfs::new(&mut t);
+        assert_eq!(fs.read("/sys/devices/system/cpu/cpu5/topology/core_id").unwrap(), "1");
+        assert_eq!(
+            fs.read("/sys/devices/system/cpu/cpu5/topology/thread_siblings_list").unwrap(),
+            "1,5"
+        );
+        assert_eq!(
+            fs.read("/sys/devices/system/cpu/cpu0/topology/thread_siblings_list").unwrap(),
+            "0,4"
+        );
+    }
+
+    #[test]
+    fn cpu0_offline_is_eperm() {
+        let mut t = topo();
+        let mut fs = CpuSysfs::new(&mut t);
+        let err = fs.write("/sys/devices/system/cpu/cpu0/online", "0").unwrap_err();
+        assert!(matches!(err, SysfsError::NotPermitted(_)));
+    }
+
+    #[test]
+    fn bad_paths_are_enoent() {
+        let mut t = topo();
+        let fs = CpuSysfs::new(&mut t);
+        assert!(matches!(
+            fs.read("/sys/devices/system/cpu/cpu99/online"),
+            Err(SysfsError::NoEntry(_))
+        ));
+        assert!(matches!(fs.read("/proc/cpuinfo"), Err(SysfsError::NoEntry(_))));
+        assert!(matches!(
+            fs.read("/sys/devices/system/cpu/cpu1/bogus"),
+            Err(SysfsError::NoEntry(_))
+        ));
+    }
+
+    #[test]
+    fn bad_value_is_einval() {
+        let mut t = topo();
+        let mut fs = CpuSysfs::new(&mut t);
+        let err = fs.write("/sys/devices/system/cpu/cpu1/online", "yes").unwrap_err();
+        assert!(matches!(err, SysfsError::Invalid(_)));
+    }
+
+    #[test]
+    fn error_display_looks_like_shell_output() {
+        let e = SysfsError::NotPermitted("/sys/devices/system/cpu/cpu0/online".into());
+        assert!(e.to_string().contains("Operation not permitted"));
+    }
+}

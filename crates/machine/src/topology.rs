@@ -1,0 +1,251 @@
+//! Node topology: physical cores, SMT siblings, logical CPU hotplug.
+//!
+//! Logical CPUs are numbered the way Linux enumerates them on the paper's
+//! Xeon E5620: CPUs `0..P` are thread 0 of each physical core, CPUs
+//! `P..2P` are the Hyper-Threading siblings (`cpu{i}` and `cpu{i+P}` share
+//! physical core `i`). The paper's methodology — "tested 1–4 logical
+//! processor cores with all HTT siblings offlined, then selectively
+//! onlined the HTT siblings to test 5–8" — maps directly onto
+//! [`Topology::set_online_count`].
+
+/// Identifier of a logical CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct CpuId(pub u32);
+
+/// Identifier of a physical core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct CoreId(pub u32);
+
+/// Static shape of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct NodeSpec {
+    /// Physical cores per node.
+    pub physical_cores: u32,
+    /// Hardware threads per physical core (1 = no SMT, 2 = HTT).
+    pub smt_per_core: u32,
+}
+
+impl NodeSpec {
+    /// The paper's Dell R410 node: one Xeon E5620 quad-core with HTT.
+    pub fn dell_r410() -> Self {
+        NodeSpec { physical_cores: 4, smt_per_core: 2 }
+    }
+
+    /// The paper's Wyeast cluster node: Xeon E5520 quad-core with HTT.
+    pub fn wyeast() -> Self {
+        NodeSpec { physical_cores: 4, smt_per_core: 2 }
+    }
+
+    /// Total logical CPUs when everything is online.
+    pub fn logical_cpus(&self) -> u32 {
+        self.physical_cores * self.smt_per_core
+    }
+}
+
+/// Mutable topology state: which logical CPUs are online.
+///
+/// CPU 0 is the boot CPU and cannot be offlined, matching Linux.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    spec: NodeSpec,
+    online: Vec<bool>,
+}
+
+impl Topology {
+    /// A topology with every logical CPU online.
+    pub fn new(spec: NodeSpec) -> Self {
+        assert!(spec.physical_cores > 0, "node needs at least one core");
+        assert!((1..=2).contains(&spec.smt_per_core), "smt_per_core must be 1 or 2");
+        Topology { spec, online: vec![true; spec.logical_cpus() as usize] }
+    }
+
+    /// The static shape.
+    pub fn spec(&self) -> NodeSpec {
+        self.spec
+    }
+
+    /// Total logical CPUs present (online or not).
+    pub fn present(&self) -> u32 {
+        self.spec.logical_cpus()
+    }
+
+    /// The physical core a logical CPU belongs to.
+    pub fn core_of(&self, cpu: CpuId) -> CoreId {
+        assert!(cpu.0 < self.present(), "cpu{} not present", cpu.0);
+        CoreId(cpu.0 % self.spec.physical_cores)
+    }
+
+    /// The SMT sibling of a logical CPU, if the node has HTT.
+    pub fn sibling_of(&self, cpu: CpuId) -> Option<CpuId> {
+        assert!(cpu.0 < self.present(), "cpu{} not present", cpu.0);
+        if self.spec.smt_per_core == 1 {
+            return None;
+        }
+        let p = self.spec.physical_cores;
+        Some(if cpu.0 < p { CpuId(cpu.0 + p) } else { CpuId(cpu.0 - p) })
+    }
+
+    /// Whether a logical CPU is online.
+    pub fn is_online(&self, cpu: CpuId) -> bool {
+        assert!(cpu.0 < self.present(), "cpu{} not present", cpu.0);
+        self.online[cpu.0 as usize]
+    }
+
+    /// Bring a logical CPU online.
+    pub fn online(&mut self, cpu: CpuId) {
+        assert!(cpu.0 < self.present(), "cpu{} not present", cpu.0);
+        self.online[cpu.0 as usize] = true;
+    }
+
+    /// Take a logical CPU offline.
+    ///
+    /// # Panics
+    /// Panics for CPU 0 (the boot CPU), as Linux refuses the same write.
+    pub fn offline(&mut self, cpu: CpuId) {
+        assert!(cpu.0 < self.present(), "cpu{} not present", cpu.0);
+        assert!(cpu.0 != 0, "cpu0 is the boot CPU and cannot be offlined");
+        self.online[cpu.0 as usize] = false;
+    }
+
+    /// Online logical CPUs, in id order.
+    pub fn online_cpus(&self) -> Vec<CpuId> {
+        (0..self.present())
+            .map(CpuId)
+            .filter(|&c| self.is_online(c))
+            .collect()
+    }
+
+    /// Number of online logical CPUs.
+    pub fn online_count(&self) -> u32 {
+        self.online.iter().filter(|&&o| o).count() as u32
+    }
+
+    /// Whether the sibling of `cpu` is also online (i.e. the physical core
+    /// is running two hardware threads).
+    pub fn sibling_online(&self, cpu: CpuId) -> bool {
+        self.sibling_of(cpu).is_some_and(|s| self.is_online(s))
+    }
+
+    /// Reproduce the paper's CPU-count sweep: bring exactly `n` logical
+    /// CPUs online — first one thread per physical core (1–P), then HTT
+    /// siblings (P+1–2P).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds the present CPUs.
+    pub fn set_online_count(&mut self, n: u32) {
+        assert!(n >= 1, "at least CPU 0 must stay online");
+        assert!(n <= self.present(), "{n} exceeds present CPUs {}", self.present());
+        for i in 0..self.present() {
+            self.online[i as usize] = i < n;
+        }
+    }
+
+    /// Emulate full HTT disable (BIOS setting on Wyeast): offline every
+    /// sibling, keep one thread per core.
+    pub fn disable_htt(&mut self) {
+        let p = self.spec.physical_cores;
+        for i in 0..self.present() {
+            self.online[i as usize] = i < p;
+        }
+    }
+
+    /// Bring everything online (HTT enabled).
+    pub fn enable_all(&mut self) {
+        self.online.fill(true);
+    }
+
+    /// Number of physical cores with at least one online thread.
+    pub fn active_cores(&self) -> u32 {
+        (0..self.spec.physical_cores)
+            .filter(|&c| {
+                (0..self.spec.smt_per_core).any(|t| {
+                    self.online[(c + t * self.spec.physical_cores) as usize]
+                })
+            })
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r410_shape() {
+        let t = Topology::new(NodeSpec::dell_r410());
+        assert_eq!(t.present(), 8);
+        assert_eq!(t.online_count(), 8);
+        assert_eq!(t.active_cores(), 4);
+    }
+
+    #[test]
+    fn sibling_mapping_is_linux_style() {
+        let t = Topology::new(NodeSpec::dell_r410());
+        assert_eq!(t.sibling_of(CpuId(0)), Some(CpuId(4)));
+        assert_eq!(t.sibling_of(CpuId(4)), Some(CpuId(0)));
+        assert_eq!(t.sibling_of(CpuId(3)), Some(CpuId(7)));
+        assert_eq!(t.core_of(CpuId(5)), CoreId(1));
+    }
+
+    #[test]
+    fn no_smt_has_no_siblings() {
+        let t = Topology::new(NodeSpec { physical_cores: 2, smt_per_core: 1 });
+        assert_eq!(t.sibling_of(CpuId(1)), None);
+        assert_eq!(t.present(), 2);
+    }
+
+    #[test]
+    fn paper_sweep_onlines_cores_then_siblings() {
+        let mut t = Topology::new(NodeSpec::dell_r410());
+        t.set_online_count(3);
+        assert_eq!(t.online_cpus(), vec![CpuId(0), CpuId(1), CpuId(2)]);
+        assert_eq!(t.active_cores(), 3);
+        assert!(!t.sibling_online(CpuId(0)));
+
+        t.set_online_count(6);
+        assert_eq!(t.online_count(), 6);
+        // CPUs 0..6: cores 0-3 plus siblings of cores 0 and 1.
+        assert!(t.sibling_online(CpuId(0)));
+        assert!(t.sibling_online(CpuId(1)));
+        assert!(!t.sibling_online(CpuId(2)));
+        assert_eq!(t.active_cores(), 4);
+    }
+
+    #[test]
+    fn disable_htt_keeps_one_thread_per_core() {
+        let mut t = Topology::new(NodeSpec::dell_r410());
+        t.disable_htt();
+        assert_eq!(t.online_count(), 4);
+        assert_eq!(t.active_cores(), 4);
+        assert!(!t.is_online(CpuId(4)));
+        t.enable_all();
+        assert_eq!(t.online_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boot CPU")]
+    fn cpu0_cannot_offline() {
+        let mut t = Topology::new(NodeSpec::dell_r410());
+        t.offline(CpuId(0));
+    }
+
+    #[test]
+    fn offline_online_roundtrip() {
+        let mut t = Topology::new(NodeSpec::dell_r410());
+        t.offline(CpuId(5));
+        assert!(!t.is_online(CpuId(5)));
+        assert!(!t.sibling_online(CpuId(1)));
+        t.online(CpuId(5));
+        assert!(t.sibling_online(CpuId(1)));
+    }
+
+    #[test]
+    fn active_cores_counts_any_online_thread() {
+        let mut t = Topology::new(NodeSpec::dell_r410());
+        t.set_online_count(1);
+        assert_eq!(t.active_cores(), 1);
+        // Online only a sibling thread for core 2.
+        t.online(CpuId(6));
+        assert_eq!(t.active_cores(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Thread programs: what the node scheduler executes.
+//!
+//! A thread is a sequence of [`Phase`]s. Compute phases carry a *solo
+//! duration* (how long the phase takes running alone on one physical
+//! core) plus an [`ExecProfile`] so the SMT model can slow it down when a
+//! sibling is co-resident. Pipe phases give the scheduler real blocking
+//! behaviour — needed for the UnixBench pipe throughput and pipe-based
+//! context-switching tests.
+
+use crate::smt::ExecProfile;
+use crate::topology::CpuId;
+use sim_core::SimDuration;
+
+/// Identifier of a pipe shared between threads of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct PipeId(pub u32);
+
+/// One step of a thread program.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub enum Phase {
+    /// Execute for `work` (solo time), with the given SMT profile.
+    Compute {
+        /// Solo duration of the phase.
+        work: SimDuration,
+        /// SMT/cache behaviour while computing.
+        profile: ExecProfile,
+    },
+    /// Issue `count` system calls costing `each` apiece (kernel-side CPU
+    /// work; scheduled like compute with a compute-bound profile).
+    Syscalls {
+        /// Number of system calls.
+        count: u64,
+        /// CPU cost per call.
+        each: SimDuration,
+    },
+    /// Write `bytes` into a pipe, blocking while the buffer is full.
+    PipeWrite {
+        /// Target pipe.
+        pipe: PipeId,
+        /// Bytes to write.
+        bytes: u64,
+    },
+    /// Read `bytes` from a pipe, blocking until they are available.
+    PipeRead {
+        /// Source pipe.
+        pipe: PipeId,
+        /// Bytes to read.
+        bytes: u64,
+    },
+}
+
+impl Phase {
+    /// A compute phase with a compute-bound profile.
+    pub fn compute(work: SimDuration) -> Phase {
+        Phase::Compute { work, profile: ExecProfile::compute_bound() }
+    }
+
+    /// A compute phase with a memory-bound profile.
+    pub fn memory(work: SimDuration) -> Phase {
+        Phase::Compute { work, profile: ExecProfile::memory_bound() }
+    }
+}
+
+/// A complete thread program.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct ThreadProgram {
+    /// Phases executed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl ThreadProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        ThreadProgram { phases: Vec::new() }
+    }
+
+    /// Append a phase (builder style).
+    pub fn then(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Total solo compute time (ignores blocking).
+    pub fn solo_work(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for p in &self.phases {
+            match p {
+                Phase::Compute { work, .. } => total += *work,
+                Phase::Syscalls { count, each } => total += *each * *count,
+                _ => {}
+            }
+        }
+        total
+    }
+}
+
+/// A thread to run on the node.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ThreadSpec {
+    /// The program to execute.
+    pub program: ThreadProgram,
+    /// Work-time instant at which the thread becomes runnable (models
+    /// spawn cost / staggered starts).
+    pub start_delay: SimDuration,
+    /// CPU affinity: pin the thread to one logical CPU (how MPI launchers
+    /// bind ranks). `None` lets the scheduler balance freely.
+    pub pinned: Option<CpuId>,
+}
+
+impl ThreadSpec {
+    /// A thread runnable from time zero, unpinned.
+    pub fn new(program: ThreadProgram) -> Self {
+        ThreadSpec { program, start_delay: SimDuration::ZERO, pinned: None }
+    }
+
+    /// Delay the thread's start.
+    pub fn delayed(mut self, d: SimDuration) -> Self {
+        self.start_delay = d;
+        self
+    }
+
+    /// Pin the thread to a logical CPU.
+    pub fn pinned_to(mut self, cpu: CpuId) -> Self {
+        self.pinned = Some(cpu);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_work_sums_compute_and_syscalls() {
+        let p = ThreadProgram::new()
+            .then(Phase::compute(SimDuration::from_millis(5)))
+            .then(Phase::Syscalls { count: 1000, each: SimDuration::from_micros(1) })
+            .then(Phase::PipeWrite { pipe: PipeId(0), bytes: 100 });
+        assert_eq!(p.solo_work(), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn builder_preserves_order() {
+        let p = ThreadProgram::new()
+            .then(Phase::compute(SimDuration::from_millis(1)))
+            .then(Phase::memory(SimDuration::from_millis(2)));
+        assert_eq!(p.phases.len(), 2);
+        assert!(matches!(p.phases[1], Phase::Compute { work, .. } if work == SimDuration::from_millis(2)));
+    }
+
+    #[test]
+    fn delayed_thread_records_delay() {
+        let t = ThreadSpec::new(ThreadProgram::new()).delayed(SimDuration::from_micros(30));
+        assert_eq!(t.start_delay, SimDuration::from_micros(30));
+    }
+}

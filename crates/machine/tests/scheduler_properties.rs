@@ -1,0 +1,118 @@
+//! Property-based tests for the node scheduler: work conservation,
+//! makespan bounds, determinism, and fairness.
+
+use machine::{run, NodeSpec, Phase, SchedParams, ThreadProgram, ThreadSpec, Topology};
+use proptest::prelude::*;
+use sim_core::SimDuration;
+
+fn compute_threads(works_ms: &[u64]) -> Vec<ThreadSpec> {
+    works_ms
+        .iter()
+        .map(|&ms| {
+            ThreadSpec::new(ThreadProgram::new().then(Phase::compute(SimDuration::from_millis(ms))))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn makespan_is_bounded_by_serial_and_ideal(
+        works in prop::collection::vec(1u64..500, 1..12),
+        online in 1u32..=8,
+    ) {
+        let mut topo = Topology::new(NodeSpec::dell_r410());
+        topo.set_online_count(online);
+        let out = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
+        let total_ms: u64 = works.iter().sum();
+        let max_ms = *works.iter().max().unwrap();
+        let physical = online.min(4) as f64; // SMT pairs give <= 4 cores of compute throughput
+        let ideal_ms = (total_ms as f64 / physical).max(max_ms as f64);
+        let makespan = out.makespan.as_millis_f64();
+        // Never better than the perfect-parallel bound (compute-bound
+        // threads gain nothing from SMT)...
+        prop_assert!(
+            makespan >= ideal_ms * 0.999,
+            "makespan {makespan} below ideal {ideal_ms}"
+        );
+        // ...and never worse than fully serial (plus scheduling slop).
+        prop_assert!(
+            makespan <= total_ms as f64 * 1.05 + 1.0,
+            "makespan {makespan} above serial {total_ms}"
+        );
+    }
+
+    #[test]
+    fn executed_work_is_conserved(
+        works in prop::collection::vec(1u64..300, 1..10),
+        online in 1u32..=8,
+    ) {
+        let mut topo = Topology::new(NodeSpec::dell_r410());
+        topo.set_online_count(online);
+        let out = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
+        let total: u64 = works.iter().sum();
+        let executed = out.total_work.as_millis_f64();
+        // Compute-bound threads at rate <= 1: executed solo-equivalent
+        // work equals the programmed work (within fp accumulation).
+        prop_assert!(
+            (executed - total as f64).abs() < 0.01 * total as f64 + 0.1,
+            "executed {executed} vs programmed {total}"
+        );
+    }
+
+    #[test]
+    fn scheduler_is_deterministic(
+        works in prop::collection::vec(1u64..200, 2..8),
+        online in 1u32..=8,
+    ) {
+        let mut topo = Topology::new(NodeSpec::dell_r410());
+        topo.set_online_count(online);
+        let a = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
+        let b = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.finish_times, b.finish_times);
+        prop_assert_eq!(a.context_switches, b.context_switches);
+    }
+
+    #[test]
+    fn more_cpus_never_slow_compute_work(
+        works in prop::collection::vec(1u64..300, 1..10),
+    ) {
+        // Onlining additional physical cores (1->4) must not hurt.
+        let mut prev = f64::INFINITY;
+        for online in [1u32, 2, 3, 4] {
+            let mut topo = Topology::new(NodeSpec::dell_r410());
+            topo.set_online_count(online);
+            let out = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
+            let ms = out.makespan.as_millis_f64();
+            prop_assert!(
+                ms <= prev * 1.02 + 0.1,
+                "online {online}: {ms} vs previous {prev}"
+            );
+            prev = ms;
+        }
+    }
+
+    #[test]
+    fn equal_threads_finish_nearly_together(
+        n in 2u32..8,
+        work in 50u64..300,
+    ) {
+        // vruntime fairness: identical threads on one CPU finish within
+        // one round-robin rotation (n quanta) of each other — no thread
+        // is starved.
+        let mut topo = Topology::new(NodeSpec::dell_r410());
+        topo.set_online_count(1);
+        let works = vec![work; n as usize];
+        let out = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
+        let first = out.finish_times.iter().min().unwrap().as_millis_f64();
+        let last = out.finish_times.iter().max().unwrap().as_millis_f64();
+        let quantum_ms = 10.0;
+        prop_assert!(
+            last - first <= n as f64 * quantum_ms + 0.5,
+            "spread {} ms with n={n}",
+            last - first
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Cluster shape: nodes, rank placement, and per-node noise state.
+
+use machine::{NodeSpec, SmiSideEffects};
+use sim_core::FreezeSchedule;
+
+/// Static shape of an MPI job on the cluster.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct ClusterSpec {
+    /// Number of nodes in the job.
+    pub nodes: u32,
+    /// MPI ranks per node (the paper uses 1 or 4).
+    pub ranks_per_node: u32,
+    /// Node hardware shape.
+    pub node: NodeSpec,
+    /// Whether Hyper-Threading is enabled in the BIOS (`ht=1` in the
+    /// paper's Tables 4–5). Affects online logical CPU count and thus the
+    /// SMI rendezvous/refill costs.
+    pub htt: bool,
+}
+
+impl ClusterSpec {
+    /// The Wyeast configuration used for Tables 1–3: HTT state as given,
+    /// quad-core nodes.
+    pub fn wyeast(nodes: u32, ranks_per_node: u32, htt: bool) -> Self {
+        assert!(nodes >= 1, "at least one node");
+        assert!(ranks_per_node >= 1, "at least one rank per node");
+        let node = NodeSpec::wyeast();
+        assert!(
+            ranks_per_node <= node.physical_cores,
+            "more ranks per node ({ranks_per_node}) than physical cores"
+        );
+        ClusterSpec { nodes, ranks_per_node, node, htt }
+    }
+
+    /// Total MPI ranks.
+    pub fn total_ranks(&self) -> u32 {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The node hosting a rank (block placement, like `mpirun` filling
+    /// slots node by node).
+    pub fn node_of(&self, rank: u32) -> u32 {
+        assert!(rank < self.total_ranks(), "rank {rank} out of range");
+        rank / self.ranks_per_node
+    }
+
+    /// Online logical CPUs per node given the HTT setting.
+    pub fn online_cpus(&self) -> u32 {
+        if self.htt {
+            self.node.logical_cpus()
+        } else {
+            self.node.physical_cores
+        }
+    }
+}
+
+/// Per-node dynamic state: the freeze schedule and SMI side effects.
+#[derive(Debug)]
+pub struct NodeState {
+    /// This node's SMM windows.
+    pub schedule: FreezeSchedule,
+    /// Second-order SMI costs.
+    pub effects: SmiSideEffects,
+    /// Online logical CPUs (decides rendezvous/refill scale).
+    pub online_cpus: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement() {
+        let c = ClusterSpec::wyeast(4, 4, false);
+        assert_eq!(c.total_ranks(), 16);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(3), 0);
+        assert_eq!(c.node_of(4), 1);
+        assert_eq!(c.node_of(15), 3);
+    }
+
+    #[test]
+    fn htt_doubles_online_cpus() {
+        assert_eq!(ClusterSpec::wyeast(1, 1, false).online_cpus(), 4);
+        assert_eq!(ClusterSpec::wyeast(1, 1, true).online_cpus(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks per node")]
+    fn rejects_oversubscription() {
+        let _ = ClusterSpec::wyeast(2, 5, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_rank_lookup() {
+        let c = ClusterSpec::wyeast(2, 1, false);
+        let _ = c.node_of(2);
+    }
+}

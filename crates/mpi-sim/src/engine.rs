@@ -1,0 +1,555 @@
+//! The cluster discrete-event engine.
+//!
+//! Executes one lowered [`LowOp`] per event per rank, in global time
+//! order, so message matching and NIC reservations happen causally. Every
+//! timestamp a rank produces is mapped through its node's
+//! [`FreezeSchedule`](sim_core::FreezeSchedule): compute segments via
+//! `NodeExecutor` (which adds SMI rendezvous and
+//! cache-refill overhead per window), message completions via
+//! `advance`/`unfreeze`. The paper's central result — long-SMI
+//! perturbation growing with node count — emerges from unsynchronized
+//! per-node schedules delaying different collective rounds on different
+//! nodes.
+
+use crate::cluster::{ClusterSpec, NodeState};
+use crate::network::{NetworkParams, NicState};
+use crate::program::{lower, LowOp, RankProgram};
+use machine::NodeExecutor;
+use sim_core::{EventQueue, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of one MPI job execution.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RunResult {
+    /// Wall-clock duration of the job (last rank's finish).
+    pub makespan: SimDuration,
+    /// Per-rank wall finish instants.
+    pub rank_finish: Vec<SimTime>,
+    /// Messages transferred (p2p, after lowering).
+    pub messages: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Sum over nodes of SMM residency during the job.
+    pub total_frozen: SimDuration,
+    /// Sum over nodes of SMM windows that began during the job.
+    pub smi_count: usize,
+}
+
+impl RunResult {
+    /// Job duration in seconds (the unit the paper's tables use).
+    pub fn seconds(&self) -> f64 {
+        self.makespan.as_secs_f64()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingSend {
+    post_time: SimTime,
+    bytes: u64,
+    rendezvous: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PostedRecv {
+    post_time: SimTime,
+}
+
+/// Run an MPI job: one [`RankProgram`] per rank over the given nodes.
+///
+/// # Panics
+/// Panics on mismatched lengths, unmatched messages (deadlock), or a rank
+/// messaging itself.
+pub fn run(
+    spec: &ClusterSpec,
+    nodes: &[NodeState],
+    programs: &[RankProgram],
+    network: &NetworkParams,
+) -> RunResult {
+    let n_ranks = spec.total_ranks() as usize;
+    assert_eq!(nodes.len(), spec.nodes as usize, "one NodeState per node");
+    assert_eq!(programs.len(), n_ranks, "one program per rank");
+
+    // Lower every rank's program.
+    let lowered: Vec<Vec<LowOp>> = programs
+        .iter()
+        .enumerate()
+        .map(|(r, p)| lower(p, r as u32, n_ranks as u32, |b| network.reduce_cost(b)))
+        .collect();
+
+    // Per-rank executors (borrow the node schedules).
+    let executors: Vec<NodeExecutor<'_>> = (0..n_ranks)
+        .map(|r| {
+            let node = &nodes[spec.node_of(r as u32) as usize];
+            NodeExecutor::new(
+                &node.schedule,
+                node.effects,
+                node.online_cpus,
+                programs[r].memory_intensity,
+                programs[r].comm_intensity,
+            )
+        })
+        .collect();
+
+    let mut pc = vec![0usize; n_ranks];
+    let mut parts = vec![0u32; n_ranks];
+    let mut avail = vec![SimTime::ZERO; n_ranks];
+    let mut done: Vec<Option<SimTime>> = vec![None; n_ranks];
+    let mut pending_sends: HashMap<(u32, u32, u64), VecDeque<PendingSend>> = HashMap::new();
+    let mut posted_recvs: HashMap<(u32, u32, u64), VecDeque<PostedRecv>> = HashMap::new();
+    let mut nic = NicState::new(spec.nodes as usize);
+    let mut queue: EventQueue<u32> = EventQueue::new();
+    let mut messages = 0u64;
+    let mut bytes_total = 0u64;
+
+    for r in 0..n_ranks {
+        queue.push(SimTime::ZERO, r as u32);
+    }
+
+    let sched = |r: usize| &nodes[spec.node_of(r as u32) as usize].schedule;
+
+    // Price one transfer and reserve the NICs. Returns the completion
+    // instant of the payload at the receiving node.
+    let mut transfer = |nic: &mut NicState,
+                        src: usize,
+                        dst: usize,
+                        bytes: u64,
+                        send_ready: SimTime,
+                        recv_ready: SimTime|
+     -> SimTime {
+        assert_ne!(src, dst, "rank messaging itself");
+        messages += 1;
+        bytes_total += bytes;
+        let sn = spec.node_of(src as u32) as usize;
+        let dn = spec.node_of(dst as u32) as usize;
+        let earliest = send_ready.max(recv_ready);
+        if sn == dn {
+            earliest + network.shm_latency + network.shm_time(bytes)
+        } else {
+            let (_, wire_end) = nic.reserve(sn, dn, earliest, network.wire_time(bytes));
+            wire_end + network.net_latency
+        }
+    };
+
+    // A blocking part of rank `r` completed at `time`.
+    macro_rules! part_done {
+        ($r:expr, $time:expr) => {{
+            let r = $r;
+            debug_assert!(parts[r] > 0, "part_done on rank {r} with no pending parts");
+            parts[r] -= 1;
+            avail[r] = avail[r].max($time);
+            if parts[r] == 0 {
+                queue.push(avail[r], r as u32);
+            }
+        }};
+    }
+
+    while let Some((t, r32)) = queue.pop() {
+        let r = r32 as usize;
+        if done[r].is_some() {
+            continue;
+        }
+        let t = t.max(avail[r]);
+        let Some(op) = lowered[r].get(pc[r]).cloned() else {
+            done[r] = Some(t);
+            continue;
+        };
+        match op {
+            LowOp::Compute(w) => {
+                let end = executors[r].execute(t, w).wall_end;
+                pc[r] += 1;
+                queue.push(end, r32);
+            }
+            LowOp::Send { dst, bytes, tag } => {
+                let dst = dst as usize;
+                let t_post = sched(r).advance(t, network.send_overhead);
+                let rendezvous = bytes > network.eager_threshold;
+                pc[r] += 1;
+                let key = (r as u32, dst as u32, tag);
+                if let Some(recv) = posted_recvs.get_mut(&key).and_then(|q| q.pop_front()) {
+                    let completion = transfer(&mut nic, r, dst, bytes, t_post, recv.post_time);
+                    let resume_recv = sched(dst).advance(completion, network.recv_overhead);
+                    part_done!(dst, resume_recv);
+                    let resume_self = if rendezvous {
+                        t_post.max(sched(r).unfreeze(completion))
+                    } else {
+                        t_post
+                    };
+                    queue.push(resume_self, r32);
+                } else {
+                    pending_sends
+                        .entry(key)
+                        .or_default()
+                        .push_back(PendingSend { post_time: t_post, bytes, rendezvous });
+                    if rendezvous {
+                        parts[r] = 1;
+                        avail[r] = t_post;
+                    } else {
+                        queue.push(t_post, r32);
+                    }
+                }
+            }
+            LowOp::Recv { src, tag } => {
+                let src = src as usize;
+                pc[r] += 1;
+                let key = (src as u32, r as u32, tag);
+                if let Some(send) = pending_sends.get_mut(&key).and_then(|q| q.pop_front()) {
+                    let completion = transfer(&mut nic, src, r, send.bytes, send.post_time, t);
+                    if send.rendezvous {
+                        part_done!(src, sched(src).unfreeze(completion));
+                    }
+                    let resume = sched(r).advance(completion, network.recv_overhead);
+                    queue.push(resume, r32);
+                } else {
+                    posted_recvs.entry(key).or_default().push_back(PostedRecv { post_time: t });
+                    parts[r] = 1;
+                    avail[r] = t;
+                }
+            }
+            LowOp::SendRecv { dst, src, bytes, tag } => {
+                let dst = dst as usize;
+                let src = src as usize;
+                let t_post = sched(r).advance(t, network.send_overhead);
+                let rendezvous = bytes > network.eager_threshold;
+                pc[r] += 1;
+                parts[r] = 0;
+                avail[r] = t_post;
+                // Outgoing half.
+                let out_key = (r as u32, dst as u32, tag);
+                if let Some(recv) = posted_recvs.get_mut(&out_key).and_then(|q| q.pop_front()) {
+                    let completion = transfer(&mut nic, r, dst, bytes, t_post, recv.post_time);
+                    let resume_recv = sched(dst).advance(completion, network.recv_overhead);
+                    part_done!(dst, resume_recv);
+                    if rendezvous {
+                        avail[r] = avail[r].max(sched(r).unfreeze(completion));
+                    }
+                } else {
+                    pending_sends
+                        .entry(out_key)
+                        .or_default()
+                        .push_back(PendingSend { post_time: t_post, bytes, rendezvous });
+                    if rendezvous {
+                        parts[r] += 1;
+                    }
+                }
+                // Incoming half.
+                let in_key = (src as u32, r as u32, tag);
+                if let Some(send) = pending_sends.get_mut(&in_key).and_then(|q| q.pop_front()) {
+                    let completion = transfer(&mut nic, src, r, send.bytes, send.post_time, t_post);
+                    if send.rendezvous {
+                        part_done!(src, sched(src).unfreeze(completion));
+                    }
+                    avail[r] = avail[r].max(sched(r).advance(completion, network.recv_overhead));
+                } else {
+                    posted_recvs
+                        .entry(in_key)
+                        .or_default()
+                        .push_back(PostedRecv { post_time: t_post });
+                    parts[r] += 1;
+                }
+                if parts[r] == 0 {
+                    queue.push(avail[r], r32);
+                }
+            }
+        }
+    }
+
+    // Every rank must have finished; anything else is an unmatched message.
+    let stuck: Vec<usize> = (0..n_ranks).filter(|&r| done[r].is_none()).collect();
+    assert!(
+        stuck.is_empty(),
+        "deadlock: ranks {stuck:?} never finished (unmatched sends/recvs in lowered programs)"
+    );
+
+    let rank_finish: Vec<SimTime> = done.into_iter().map(|d| d.expect("all done")).collect();
+    let end = rank_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+    let mut total_frozen = SimDuration::ZERO;
+    let mut smi_count = 0usize;
+    for node in nodes {
+        total_frozen += node.schedule.frozen_between(SimTime::ZERO, end);
+        smi_count += node.schedule.count_between(SimTime::ZERO, end);
+    }
+    RunResult {
+        makespan: end.since(SimTime::ZERO),
+        rank_finish,
+        messages,
+        bytes: bytes_total,
+        total_frozen,
+        smi_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Op;
+    use machine::SmiSideEffects;
+    use sim_core::{DurationModel, FreezeSchedule, PeriodicFreeze, SimRng, TriggerPolicy};
+
+    fn quiet_nodes(n: u32) -> Vec<NodeState> {
+        (0..n)
+            .map(|_| NodeState {
+                schedule: FreezeSchedule::none(),
+                effects: SmiSideEffects::none(),
+                online_cpus: 4,
+            })
+            .collect()
+    }
+
+    fn noisy_nodes(n: u32, seed: u64) -> Vec<NodeState> {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|_| NodeState {
+                schedule: FreezeSchedule::periodic(PeriodicFreeze::with_random_phase(
+                    SimDuration::from_secs(1),
+                    DurationModel::long_smi(),
+                    &mut rng,
+                )),
+                effects: SmiSideEffects::none(),
+                online_cpus: 4,
+            })
+            .collect()
+    }
+
+    fn net() -> NetworkParams {
+        NetworkParams::gigabit_cluster()
+    }
+
+    #[test]
+    fn single_rank_compute_only() {
+        let spec = ClusterSpec::wyeast(1, 1, false);
+        let prog = RankProgram::new(vec![Op::Compute(SimDuration::from_secs(2))]);
+        let out = run(&spec, &quiet_nodes(1), &[prog], &net());
+        assert_eq!(out.makespan, SimDuration::from_secs(2));
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn eager_ping_pong_latency() {
+        let spec = ClusterSpec::wyeast(2, 1, false);
+        let p0 = RankProgram::new(vec![
+            Op::Send { dst: 1, bytes: 8, tag: 1 },
+            Op::Recv { src: 1, tag: 2 },
+        ]);
+        let p1 = RankProgram::new(vec![
+            Op::Recv { src: 0, tag: 1 },
+            Op::Send { dst: 0, bytes: 8, tag: 2 },
+        ]);
+        let out = run(&spec, &quiet_nodes(2), &[p0, p1], &net());
+        // Round trip: 2 x (send overhead + latency + wire + recv overhead).
+        let expect = 2.0
+            * (net().send_overhead.as_secs_f64()
+                + net().net_latency.as_secs_f64()
+                + net().wire_time(8).as_secs_f64()
+                + net().recv_overhead.as_secs_f64());
+        assert!(
+            (out.makespan.as_secs_f64() - expect).abs() < 1e-6,
+            "makespan {} vs expected {expect}",
+            out.makespan.as_secs_f64()
+        );
+        assert_eq!(out.messages, 2);
+        assert_eq!(out.bytes, 16);
+    }
+
+    #[test]
+    fn intra_node_messages_skip_the_nic() {
+        let spec = ClusterSpec::wyeast(1, 2, false);
+        let p0 = RankProgram::new(vec![Op::Send { dst: 1, bytes: 1 << 20, tag: 1 }]);
+        let p1 = RankProgram::new(vec![Op::Recv { src: 0, tag: 1 }]);
+        let out = run(&spec, &quiet_nodes(1), &[p0, p1], &net());
+        // 1 MiB over shared memory is sub-millisecond; over the wire it
+        // would be ~9 ms.
+        assert!(out.makespan < SimDuration::from_millis(2), "{:?}", out.makespan);
+    }
+
+    #[test]
+    fn rendezvous_sender_waits_for_receiver() {
+        let spec = ClusterSpec::wyeast(2, 1, false);
+        let big = 10 << 20; // 10 MiB >> eager threshold
+        let p0 = RankProgram::new(vec![Op::Send { dst: 1, bytes: big, tag: 1 }]);
+        let p1 = RankProgram::new(vec![
+            Op::Compute(SimDuration::from_secs(1)),
+            Op::Recv { src: 0, tag: 1 },
+        ]);
+        let out = run(&spec, &quiet_nodes(2), &[p0.clone(), p1], &net());
+        // Sender finishes only after the late receiver posts + transfer.
+        assert!(out.rank_finish[0] > SimTime::from_secs(1));
+
+        // Control: an eager-sized send returns immediately.
+        let p0e = RankProgram::new(vec![Op::Send { dst: 1, bytes: 8, tag: 1 }]);
+        let p1e = RankProgram::new(vec![
+            Op::Compute(SimDuration::from_secs(1)),
+            Op::Recv { src: 0, tag: 1 },
+        ]);
+        let out2 = run(&spec, &quiet_nodes(2), &[p0e, p1e], &net());
+        assert!(out2.rank_finish[0] < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn barrier_synchronizes_uneven_ranks() {
+        let spec = ClusterSpec::wyeast(4, 1, false);
+        let progs: Vec<RankProgram> = (0..4)
+            .map(|r| {
+                RankProgram::new(vec![
+                    Op::Compute(SimDuration::from_millis(100 * (r + 1) as u64)),
+                    Op::Barrier,
+                ])
+            })
+            .collect();
+        let out = run(&spec, &quiet_nodes(4), &progs, &net());
+        // Everyone leaves the barrier at or after the slowest arrival.
+        for f in &out.rank_finish {
+            assert!(*f >= SimTime::from_millis(400), "finish {f:?}");
+        }
+        assert!(out.makespan < SimDuration::from_millis(402), "{:?}", out.makespan);
+    }
+
+    #[test]
+    fn allreduce_completes_and_costs_log_rounds() {
+        let spec = ClusterSpec::wyeast(8, 1, false);
+        let progs: Vec<RankProgram> =
+            (0..8).map(|_| RankProgram::new(vec![Op::Allreduce { bytes: 8 }])).collect();
+        let out = run(&spec, &quiet_nodes(8), &progs, &net());
+        // 3 rounds x 8 ranks = 24 messages.
+        assert_eq!(out.messages, 24);
+        // Three latency-bound rounds: roughly 3 x (overheads + latency).
+        let per_round = net().send_overhead.as_secs_f64()
+            + net().net_latency.as_secs_f64()
+            + net().recv_overhead.as_secs_f64();
+        let secs = out.makespan.as_secs_f64();
+        assert!(secs >= 3.0 * net().net_latency.as_secs_f64());
+        assert!(secs < 6.0 * per_round, "makespan {secs}");
+    }
+
+    #[test]
+    fn alltoall_serializes_on_the_nic() {
+        // 4 ranks on 1 node vs 4 ranks on 4 nodes, 1 MiB per pair.
+        let shm_spec = ClusterSpec::wyeast(1, 4, false);
+        let progs: Vec<RankProgram> = (0..4)
+            .map(|_| RankProgram::new(vec![Op::Alltoall { bytes_per_pair: 1 << 20 }]))
+            .collect();
+        let shm = run(&shm_spec, &quiet_nodes(1), &progs, &net());
+
+        let net_spec = ClusterSpec::wyeast(4, 1, false);
+        let wire = run(&net_spec, &quiet_nodes(4), &progs, &net());
+        assert!(
+            wire.makespan > shm.makespan * 4,
+            "wire {:?} should dwarf shm {:?}",
+            wire.makespan,
+            shm.makespan
+        );
+    }
+
+    #[test]
+    fn single_node_long_smi_adds_duty_cycle() {
+        let spec = ClusterSpec::wyeast(1, 1, false);
+        let prog = RankProgram::new(vec![Op::Compute(SimDuration::from_secs(20))]);
+        let base = run(&spec, &quiet_nodes(1), &[prog.clone()], &net());
+        let noisy = run(&spec, &noisy_nodes(1, 42), &[prog], &net());
+        let slowdown = noisy.seconds() / base.seconds();
+        assert!((1.09..1.13).contains(&slowdown), "slowdown {slowdown}");
+        assert!(noisy.smi_count >= 20);
+    }
+
+    #[test]
+    fn unsynchronized_smis_amplify_with_nodes() {
+        // Iterated barriers: with more nodes, each round waits for any
+        // node that froze; unsynchronized schedules freeze different
+        // rounds on different nodes, so perturbation grows with N.
+        let mk_progs = |n: u32| -> Vec<RankProgram> {
+            (0..n)
+                .map(|_| {
+                    let mut ops = Vec::new();
+                    for _ in 0..200 {
+                        ops.push(Op::Compute(SimDuration::from_millis(50)));
+                        ops.push(Op::Barrier);
+                    }
+                    RankProgram::new(ops)
+                })
+                .collect()
+        };
+        let mut slowdowns = Vec::new();
+        for n in [1u32, 4, 16] {
+            let spec = ClusterSpec::wyeast(n, 1, false);
+            let base = run(&spec, &quiet_nodes(n), &mk_progs(n), &net());
+            let noisy = run(&spec, &noisy_nodes(n, 7), &mk_progs(n), &net());
+            slowdowns.push(noisy.seconds() / base.seconds());
+        }
+        assert!(
+            slowdowns[1] > slowdowns[0] + 0.02,
+            "4 nodes {} should exceed 1 node {}",
+            slowdowns[1],
+            slowdowns[0]
+        );
+        assert!(
+            slowdowns[2] > slowdowns[1],
+            "16 nodes {} should exceed 4 nodes {}",
+            slowdowns[2],
+            slowdowns[1]
+        );
+    }
+
+    #[test]
+    fn synchronized_smis_do_not_amplify() {
+        // Ablation: if every node freezes at the same instants, barriers
+        // absorb the noise and the slowdown stays near the duty cycle.
+        use crate::network::NetworkParams;
+        let n = 8u32;
+        let progs: Vec<RankProgram> = (0..n)
+            .map(|_| {
+                let mut ops = Vec::new();
+                for _ in 0..100 {
+                    ops.push(Op::Compute(SimDuration::from_millis(50)));
+                    ops.push(Op::Barrier);
+                }
+                RankProgram::new(ops)
+            })
+            .collect();
+        let spec = ClusterSpec::wyeast(n, 1, false);
+        let base = run(&spec, &quiet_nodes(n), &progs, &NetworkParams::gigabit_cluster());
+
+        let mut rng = SimRng::new(3);
+        let phase = SimDuration::from_millis(rng.below(1000));
+        let seed = rng.next();
+        let sync_nodes: Vec<NodeState> = (0..n)
+            .map(|_| NodeState {
+                schedule: FreezeSchedule::periodic(PeriodicFreeze {
+                    first_trigger: SimTime::ZERO + phase,
+                    period: SimDuration::from_secs(1),
+                    durations: DurationModel::Fixed(SimDuration::from_millis(105)),
+                    policy: TriggerPolicy::SkipWhileFrozen,
+                    seed,
+                }),
+                effects: SmiSideEffects::none(),
+                online_cpus: 4,
+            })
+            .collect();
+        let sync = run(&spec, &sync_nodes, &progs, &NetworkParams::gigabit_cluster());
+        let slowdown = sync.seconds() / base.seconds();
+        assert!((1.08..1.16).contains(&slowdown), "synchronized slowdown {slowdown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unmatched_recv_deadlocks() {
+        let spec = ClusterSpec::wyeast(2, 1, false);
+        let p0 = RankProgram::new(vec![Op::Recv { src: 1, tag: 9 }]);
+        let p1 = RankProgram::new(vec![Op::Compute(SimDuration::from_millis(1))]);
+        let _ = run(&spec, &quiet_nodes(2), &[p0, p1], &net());
+    }
+
+    #[test]
+    fn message_order_is_fifo_per_channel() {
+        let spec = ClusterSpec::wyeast(2, 1, false);
+        let p0 = RankProgram::new(vec![
+            Op::Send { dst: 1, bytes: 100, tag: 5 },
+            Op::Send { dst: 1, bytes: 200, tag: 5 },
+        ]);
+        let p1 = RankProgram::new(vec![
+            Op::Recv { src: 0, tag: 5 },
+            Op::Recv { src: 0, tag: 5 },
+        ]);
+        let out = run(&spec, &quiet_nodes(2), &[p0, p1], &net());
+        assert_eq!(out.messages, 2);
+        assert_eq!(out.bytes, 300);
+    }
+}

@@ -1,0 +1,182 @@
+//! The cluster interconnect model.
+//!
+//! Wyeast is a small gigabit-Ethernet Linux cluster; the model is the
+//! classic postal/LogGP shape: a message of `b` bytes between nodes costs
+//! `alpha + b/beta`, with the `b/beta` portion serializing on each node's
+//! NIC (one wire per node). Ranks co-located on a node communicate
+//! through shared memory with much lower latency and no NIC involvement.
+//!
+//! NIC serialization is what reproduces the paper's FT baseline shape:
+//! "16 MPI ranks with 1 per node, or any number of ranks with 4 per node,
+//! are poor fits for the underlying platform ... performance worsens as
+//! the number of MPI ranks increases" — all-to-all traffic from four
+//! ranks funnels through one wire.
+
+use sim_core::{SimDuration, SimTime};
+
+/// Interconnect parameters.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct NetworkParams {
+    /// One-way small-message latency between nodes.
+    pub net_latency: SimDuration,
+    /// Node-to-node bandwidth in bytes/second (shared per node NIC).
+    pub net_bandwidth: f64,
+    /// Latency between ranks on the same node (shared memory).
+    pub shm_latency: SimDuration,
+    /// Intra-node copy bandwidth in bytes/second.
+    pub shm_bandwidth: f64,
+    /// CPU overhead on the sender per message.
+    pub send_overhead: SimDuration,
+    /// CPU overhead on the receiver per message.
+    pub recv_overhead: SimDuration,
+    /// Messages at or below this size are eager (sender does not wait
+    /// for the receiver).
+    pub eager_threshold: u64,
+    /// Per-byte reduction compute cost (for Reduce/Allreduce combining).
+    pub reduce_ns_per_byte: f64,
+}
+
+impl NetworkParams {
+    /// Gigabit Ethernet circa the Wyeast cluster.
+    pub fn gigabit_cluster() -> Self {
+        NetworkParams {
+            net_latency: SimDuration::from_micros(50),
+            net_bandwidth: 112e6, // ~112 MB/s on the wire
+            shm_latency: SimDuration::from_micros(1),
+            shm_bandwidth: 3.0e9,
+            send_overhead: SimDuration::from_micros(5),
+            recv_overhead: SimDuration::from_micros(5),
+            eager_threshold: 64 * 1024,
+            reduce_ns_per_byte: 0.25,
+        }
+    }
+
+    /// Pure-wire transfer time for `bytes` between nodes.
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.net_bandwidth)
+    }
+
+    /// Intra-node copy time for `bytes`.
+    pub fn shm_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.shm_bandwidth)
+    }
+
+    /// Combining cost for `bytes` of reduction operands.
+    pub fn reduce_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * self.reduce_ns_per_byte / 1e9)
+    }
+}
+
+/// Per-node NIC occupancy tracker. Gigabit Ethernet is full duplex, so
+/// transmit and receive directions are tracked independently: a node can
+/// send and receive at wire speed simultaneously, but two concurrent
+/// sends from the same node serialize.
+#[derive(Clone, Debug)]
+pub struct NicState {
+    tx_free: Vec<SimTime>,
+    rx_free: Vec<SimTime>,
+}
+
+impl NicState {
+    /// NICs for `nodes` nodes, all free at time zero.
+    pub fn new(nodes: usize) -> Self {
+        NicState { tx_free: vec![SimTime::ZERO; nodes], rx_free: vec![SimTime::ZERO; nodes] }
+    }
+
+    /// Reserve the sender's transmit side and the receiver's receive side
+    /// for a transfer that may begin at `earliest` and occupies the wire
+    /// for `wire`; returns the transfer's `(start, end)`.
+    pub fn reserve(&mut self, src: usize, dst: usize, earliest: SimTime, wire: SimDuration) -> (SimTime, SimTime) {
+        assert!(src != dst, "intra-node traffic does not use the NIC");
+        let start = earliest.max(self.tx_free[src]).max(self.rx_free[dst]);
+        let end = start + wire;
+        self.tx_free[src] = end;
+        self.rx_free[dst] = end;
+        (start, end)
+    }
+
+    /// When a node's transmit direction next becomes free.
+    pub fn tx_free_at(&self, node: usize) -> SimTime {
+        self.tx_free[node]
+    }
+
+    /// When a node's receive direction next becomes free.
+    pub fn rx_free_at(&self, node: usize) -> SimTime {
+        self.rx_free[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let p = NetworkParams::gigabit_cluster();
+        let t1 = p.wire_time(1_000_000);
+        let t2 = p.wire_time(2_000_000);
+        // Linear up to nanosecond rounding.
+        assert!(t2.as_nanos().abs_diff(t1.as_nanos() * 2) <= 1);
+        // ~112 MB/s => 1 MB in ~8.9 ms.
+        assert!((t1.as_millis_f64() - 8.93).abs() < 0.1, "{t1:?}");
+    }
+
+    #[test]
+    fn shm_is_much_faster_than_wire() {
+        let p = NetworkParams::gigabit_cluster();
+        assert!(p.shm_time(1 << 20) < p.wire_time(1 << 20) / 10);
+        assert!(p.shm_latency < p.net_latency);
+    }
+
+    #[test]
+    fn nic_serializes_same_direction_transfers() {
+        let mut nic = NicState::new(3);
+        let wire = SimDuration::from_millis(10);
+        let (s1, e1) = nic.reserve(0, 1, SimTime::ZERO, wire);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(e1, SimTime::from_millis(10));
+        // A second send from node 0 queues behind the first on its tx side.
+        let (s2, e2) = nic.reserve(0, 2, SimTime::ZERO, wire);
+        assert_eq!(s2, SimTime::from_millis(10));
+        assert_eq!(e2, SimTime::from_millis(20));
+        // 1 -> 2: node 1's tx is free, but node 2's rx is busy until 20.
+        let (s3, _) = nic.reserve(1, 2, SimTime::ZERO, wire);
+        assert_eq!(s3, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn nic_is_full_duplex() {
+        let mut nic = NicState::new(2);
+        let wire = SimDuration::from_millis(10);
+        let (s1, _) = nic.reserve(0, 1, SimTime::ZERO, wire);
+        // The reverse direction proceeds concurrently.
+        let (s2, _) = nic.reserve(1, 0, SimTime::ZERO, wire);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, SimTime::ZERO);
+        assert_eq!(nic.tx_free_at(0), SimTime::from_millis(10));
+        assert_eq!(nic.rx_free_at(0), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn disjoint_pairs_proceed_in_parallel() {
+        let mut nic = NicState::new(4);
+        let wire = SimDuration::from_millis(5);
+        let (s1, _) = nic.reserve(0, 1, SimTime::ZERO, wire);
+        let (s2, _) = nic.reserve(2, 3, SimTime::ZERO, wire);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node")]
+    fn same_node_reserve_is_a_bug() {
+        let mut nic = NicState::new(2);
+        nic.reserve(1, 1, SimTime::ZERO, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn reduce_cost_scales() {
+        let p = NetworkParams::gigabit_cluster();
+        assert_eq!(p.reduce_cost(4_000_000), SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the cluster engine and collective lowering.
+
+use machine::SmiSideEffects;
+use mpi_sim::{lower, ClusterSpec, LowOp, NetworkParams, NodeState, Op, RankProgram};
+use proptest::prelude::*;
+use sim_core::{
+    DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng, SimTime, TriggerPolicy,
+};
+use std::collections::HashMap;
+
+/// Arbitrary SPMD collective sequences (every rank runs the same ops, so
+/// matching must hold by construction).
+fn collective_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..50).prop_map(|ms| Op::Compute(SimDuration::from_millis(ms))),
+        Just(Op::Barrier),
+        (0u32..4, 1u64..100_000).prop_map(|(root, bytes)| Op::Bcast { root, bytes }),
+        (0u32..4, 1u64..100_000).prop_map(|(root, bytes)| Op::Reduce { root, bytes }),
+        (1u64..100_000).prop_map(|bytes| Op::Allreduce { bytes }),
+        (1u64..10_000).prop_map(|bytes_per_pair| Op::Alltoall { bytes_per_pair }),
+    ]
+}
+
+/// Check send/recv matching across all lowered rank programs.
+fn assert_matched(programs: &[Vec<LowOp>]) {
+    let mut balance: HashMap<(u32, u32, u64), i64> = HashMap::new();
+    for (r, prog) in programs.iter().enumerate() {
+        for op in prog {
+            match *op {
+                LowOp::Send { dst, tag, .. } => *balance.entry((r as u32, dst, tag)).or_insert(0) += 1,
+                LowOp::Recv { src, tag } => *balance.entry((src, r as u32, tag)).or_insert(0) -= 1,
+                LowOp::SendRecv { dst, src, tag, .. } => {
+                    *balance.entry((r as u32, dst, tag)).or_insert(0) += 1;
+                    *balance.entry((src, r as u32, tag)).or_insert(0) -= 1;
+                }
+                LowOp::Compute(_) => {}
+            }
+        }
+    }
+    for (k, v) in balance {
+        assert_eq!(v, 0, "unmatched channel {k:?}");
+    }
+}
+
+fn sizes() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(2u32), Just(3), Just(4), Just(5), Just(8), Just(16)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lowering_is_always_matched(
+        ops in prop::collection::vec(collective_op_strategy(), 1..8),
+        size in sizes(),
+    ) {
+        // Clamp roots into range for the drawn size.
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Bcast { root, bytes } => Op::Bcast { root: root % size, bytes },
+                Op::Reduce { root, bytes } => Op::Reduce { root: root % size, bytes },
+                other => other,
+            })
+            .collect();
+        let programs: Vec<Vec<LowOp>> = (0..size)
+            .map(|r| lower(&RankProgram::new(ops.clone()), r, size, |_| SimDuration::ZERO))
+            .collect();
+        assert_matched(&programs);
+    }
+
+    #[test]
+    fn spmd_collective_jobs_always_terminate(
+        ops in prop::collection::vec(collective_op_strategy(), 1..6),
+        nodes in prop_oneof![Just(2u32), Just(4), Just(8)],
+    ) {
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Bcast { root, bytes } => Op::Bcast { root: root % nodes, bytes },
+                Op::Reduce { root, bytes } => Op::Reduce { root: root % nodes, bytes },
+                other => other,
+            })
+            .collect();
+        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let programs: Vec<RankProgram> =
+            (0..nodes).map(|_| RankProgram::new(ops.clone())).collect();
+        let quiet: Vec<NodeState> = (0..nodes)
+            .map(|_| NodeState {
+                schedule: FreezeSchedule::none(),
+                effects: SmiSideEffects::none(),
+                online_cpus: 4,
+            })
+            .collect();
+        // run() panics on deadlock; completing is the property.
+        let out = mpi_sim::run(&spec, &quiet, &programs, &NetworkParams::gigabit_cluster());
+        prop_assert!(out.makespan >= SimDuration::ZERO);
+        // Makespan is at least the per-rank compute.
+        let compute = programs[0].total_compute();
+        prop_assert!(out.makespan >= compute);
+    }
+
+    #[test]
+    fn noise_never_speeds_a_job_up(
+        compute_ms in 20u64..200,
+        iters in 1u32..10,
+        seed in any::<u64>(),
+    ) {
+        let nodes = 4u32;
+        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let programs: Vec<RankProgram> = (0..nodes)
+            .map(|_| {
+                let mut ops = Vec::new();
+                for _ in 0..iters {
+                    ops.push(Op::Compute(SimDuration::from_millis(compute_ms)));
+                    ops.push(Op::Barrier);
+                }
+                RankProgram::new(ops)
+            })
+            .collect();
+        let net = NetworkParams::gigabit_cluster();
+        let quiet: Vec<NodeState> = (0..nodes)
+            .map(|_| NodeState {
+                schedule: FreezeSchedule::none(),
+                effects: SmiSideEffects::none(),
+                online_cpus: 4,
+            })
+            .collect();
+        let base = mpi_sim::run(&spec, &quiet, &programs, &net).makespan;
+
+        let mut rng = SimRng::new(seed);
+        let noisy: Vec<NodeState> = (0..nodes)
+            .map(|_| NodeState {
+                schedule: FreezeSchedule::periodic(PeriodicFreeze::with_random_phase(
+                    SimDuration::from_millis(300),
+                    DurationModel::short_smi(),
+                    &mut rng,
+                )),
+                effects: SmiSideEffects::none(),
+                online_cpus: 4,
+            })
+            .collect();
+        let noised = mpi_sim::run(&spec, &noisy, &programs, &net).makespan;
+        prop_assert!(noised >= base, "noise sped the job up: {noised:?} < {base:?}");
+    }
+
+    #[test]
+    fn engine_is_deterministic(
+        bytes in 1u64..500_000,
+        nodes in prop_oneof![Just(2u32), Just(4)],
+        seed in any::<u64>(),
+    ) {
+        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let programs: Vec<RankProgram> = (0..nodes)
+            .map(|_| {
+                RankProgram::new(vec![
+                    Op::Compute(SimDuration::from_millis(10)),
+                    Op::Allreduce { bytes },
+                    Op::Alltoall { bytes_per_pair: bytes / 4 + 1 },
+                ])
+            })
+            .collect();
+        let net = NetworkParams::gigabit_cluster();
+        let mk_nodes = || -> Vec<NodeState> {
+            let mut rng = SimRng::new(seed);
+            (0..nodes)
+                .map(|_| NodeState {
+                    schedule: FreezeSchedule::periodic(PeriodicFreeze::with_random_phase(
+                        SimDuration::from_secs(1),
+                        DurationModel::long_smi(),
+                        &mut rng,
+                    )),
+                    effects: SmiSideEffects::none(),
+                    online_cpus: 4,
+                })
+                .collect()
+        };
+        let a = mpi_sim::run(&spec, &mk_nodes(), &programs, &net);
+        let b = mpi_sim::run(&spec, &mk_nodes(), &programs, &net);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.messages, b.messages);
+        prop_assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn barrier_count_scales_messages_linearly(
+        barriers in 1usize..10,
+    ) {
+        let nodes = 8u32;
+        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let programs: Vec<RankProgram> = (0..nodes)
+            .map(|_| RankProgram::new(vec![Op::Barrier; barriers]))
+            .collect();
+        let quiet: Vec<NodeState> = (0..nodes)
+            .map(|_| NodeState {
+                schedule: FreezeSchedule::none(),
+                effects: SmiSideEffects::none(),
+                online_cpus: 4,
+            })
+            .collect();
+        let out = mpi_sim::run(&spec, &quiet, &programs, &NetworkParams::gigabit_cluster());
+        // Dissemination barrier: n x log2(n) sendrecvs per barrier.
+        prop_assert_eq!(out.messages, (barriers as u64) * 8 * 3);
+    }
+}

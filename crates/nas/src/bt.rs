@@ -1,0 +1,425 @@
+//! The BT (Block Tri-diagonal) solver kernel.
+//!
+//! NPB BT solves the 3-D compressible Navier–Stokes equations with an
+//! ADI scheme whose core is, in each of the three sweep directions, the
+//! solution of many independent block-tridiagonal systems with 5×5
+//! blocks (one per grid line). That line solver is the computational
+//! heart of the benchmark and is implemented here exactly: block Thomas
+//! elimination with 5×5 matrix inverses.
+//!
+//! The paper uses BT as its synchronization-heavy workload ("the impact
+//! of the long SMIs increases with the number of MPI ranks"); the timing
+//! model in [`crate::model`] wraps this kernel's operation counts in the
+//! ADI sweep communication structure.
+
+/// A 5-vector (the five conserved flow variables).
+pub type Vec5 = [f64; 5];
+/// A 5×5 block, row-major.
+pub type Mat5 = [[f64; 5]; 5];
+
+/// The 5×5 identity.
+pub fn identity() -> Mat5 {
+    let mut m = [[0.0; 5]; 5];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+/// `a * b` for 5×5 blocks.
+pub fn matmul(a: &Mat5, b: &Mat5) -> Mat5 {
+    let mut out = [[0.0; 5]; 5];
+    for i in 0..5 {
+        for k in 0..5 {
+            let aik = a[i][k];
+            if aik != 0.0 {
+                for j in 0..5 {
+                    out[i][j] += aik * b[k][j];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `m * v` for a 5×5 block and a 5-vector.
+pub fn matvec(m: &Mat5, v: &Vec5) -> Vec5 {
+    let mut out = [0.0; 5];
+    for i in 0..5 {
+        for j in 0..5 {
+            out[i] += m[i][j] * v[j];
+        }
+    }
+    out
+}
+
+/// `a - b` elementwise.
+pub fn matsub(a: &Mat5, b: &Mat5) -> Mat5 {
+    let mut out = [[0.0; 5]; 5];
+    for i in 0..5 {
+        for j in 0..5 {
+            out[i][j] = a[i][j] - b[i][j];
+        }
+    }
+    out
+}
+
+/// Invert a 5×5 block by Gauss–Jordan with partial pivoting.
+///
+/// # Panics
+/// Panics if the block is singular to working precision.
+pub fn inverse(m: &Mat5) -> Mat5 {
+    let mut a = *m;
+    let mut inv = identity();
+    for col in 0..5 {
+        // Pivot.
+        let pivot_row = (col..5)
+            .max_by(|&r1, &r2| {
+                a[r1][col]
+                    .abs()
+                    .partial_cmp(&a[r2][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("nonempty range");
+        assert!(
+            a[pivot_row][col].abs() > 1e-300,
+            "singular 5x5 block in BT solve (column {col})"
+        );
+        a.swap(col, pivot_row);
+        inv.swap(col, pivot_row);
+        // Normalize.
+        let p = a[col][col];
+        for j in 0..5 {
+            a[col][j] /= p;
+            inv[col][j] /= p;
+        }
+        // Eliminate.
+        for r in 0..5 {
+            if r != col {
+                let f = a[r][col];
+                if f != 0.0 {
+                    for j in 0..5 {
+                        a[r][j] -= f * a[col][j];
+                        inv[r][j] -= f * inv[col][j];
+                    }
+                }
+            }
+        }
+    }
+    inv
+}
+
+/// One line of a block-tridiagonal system:
+/// `A[i]·x[i-1] + B[i]·x[i] + C[i]·x[i+1] = r[i]` (`A[0]` and `C[n-1]` unused).
+#[derive(Clone, Debug)]
+pub struct BlockTriSystem {
+    /// Sub-diagonal blocks.
+    pub a: Vec<Mat5>,
+    /// Diagonal blocks.
+    pub b: Vec<Mat5>,
+    /// Super-diagonal blocks.
+    pub c: Vec<Mat5>,
+    /// Right-hand sides.
+    pub r: Vec<Vec5>,
+}
+
+impl BlockTriSystem {
+    /// Number of block rows.
+    pub fn len(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.b.is_empty()
+    }
+
+    /// Multiply the system matrix by `x` (for residual checks).
+    pub fn apply(&self, x: &[Vec5]) -> Vec<Vec5> {
+        let n = self.len();
+        assert_eq!(x.len(), n);
+        (0..n)
+            .map(|i| {
+                let mut out = matvec(&self.b[i], &x[i]);
+                if i > 0 {
+                    let lo = matvec(&self.a[i], &x[i - 1]);
+                    for k in 0..5 {
+                        out[k] += lo[k];
+                    }
+                }
+                if i + 1 < n {
+                    let hi = matvec(&self.c[i], &x[i + 1]);
+                    for k in 0..5 {
+                        out[k] += hi[k];
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// Solve a block-tridiagonal system by block Thomas elimination.
+/// Returns the solution vectors.
+///
+/// # Panics
+/// Panics on inconsistent dimensions or a singular pivot block.
+pub fn solve(sys: &BlockTriSystem) -> Vec<Vec5> {
+    let n = sys.len();
+    assert!(n > 0, "empty system");
+    assert!(
+        sys.a.len() == n && sys.c.len() == n && sys.r.len() == n,
+        "inconsistent system dimensions"
+    );
+    // Forward elimination: after step i, c_prime[i] = B'^-1 C_i and
+    // r_prime[i] = B'^-1 r_i with B' the fill-reduced diagonal block.
+    let mut c_prime: Vec<Mat5> = Vec::with_capacity(n);
+    let mut r_prime: Vec<Vec5> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (b_eff, r_eff) = if i == 0 {
+            (sys.b[0], sys.r[0])
+        } else {
+            let b_eff = matsub(&sys.b[i], &matmul(&sys.a[i], &c_prime[i - 1]));
+            let correction = matvec(&sys.a[i], &r_prime[i - 1]);
+            let mut r_eff = sys.r[i];
+            for k in 0..5 {
+                r_eff[k] -= correction[k];
+            }
+            (b_eff, r_eff)
+        };
+        let binv = inverse(&b_eff);
+        c_prime.push(if i + 1 < n { matmul(&binv, &sys.c[i]) } else { [[0.0; 5]; 5] });
+        r_prime.push(matvec(&binv, &r_eff));
+    }
+    // Back substitution.
+    let mut x = vec![[0.0; 5]; n];
+    x[n - 1] = r_prime[n - 1];
+    for i in (0..n - 1).rev() {
+        let corr = matvec(&c_prime[i], &x[i + 1]);
+        for k in 0..5 {
+            x[i][k] = r_prime[i][k] - corr[k];
+        }
+    }
+    x
+}
+
+/// Floating-point operations per block row of the Thomas solve
+/// (two 5×5 multiplies, one inverse, and vector updates) — used by the
+/// timing model to convert grid sizes into work.
+pub const FLOPS_PER_BLOCK_ROW: u64 = 2 * 250 + 290 + 105;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimRng;
+
+    fn rng_mat(rng: &mut SimRng, scale: f64) -> Mat5 {
+        let mut m = [[0.0; 5]; 5];
+        for row in &mut m {
+            for v in row.iter_mut() {
+                *v = rng.uniform_range(-scale, scale);
+            }
+        }
+        m
+    }
+
+    /// A diagonally dominant random system (well conditioned).
+    fn random_system(rng: &mut SimRng, n: usize) -> BlockTriSystem {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        let mut r = Vec::new();
+        for i in 0..n {
+            a.push(if i > 0 { rng_mat(rng, 0.1) } else { [[0.0; 5]; 5] });
+            let mut diag = rng_mat(rng, 0.2);
+            for (k, row) in diag.iter_mut().enumerate() {
+                row[k] += 3.0; // dominance
+            }
+            b.push(diag);
+            c.push(if i + 1 < n { rng_mat(rng, 0.1) } else { [[0.0; 5]; 5] });
+            let mut rhs = [0.0; 5];
+            for v in &mut rhs {
+                *v = rng.uniform_range(-1.0, 1.0);
+            }
+            r.push(rhs);
+        }
+        BlockTriSystem { a, b, c, r }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..20 {
+            let mut m = rng_mat(&mut rng, 1.0);
+            for (k, row) in m.iter_mut().enumerate() {
+                row[k] += 4.0;
+            }
+            let inv = inverse(&m);
+            let prod = matmul(&inv, &m);
+            let id = identity();
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert!(
+                        (prod[i][j] - id[i][j]).abs() < 1e-10,
+                        "({i},{j}) = {}",
+                        prod[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_uses_pivoting() {
+        // Zero in the (0,0) position requires a row swap.
+        let mut m = identity();
+        m[0][0] = 0.0;
+        m[0][1] = 1.0;
+        m[1][0] = 1.0;
+        m[1][1] = 0.0;
+        let inv = inverse(&m);
+        let prod = matmul(&inv, &m);
+        for i in 0..5 {
+            assert!((prod[i][i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_block_panics() {
+        let m = [[0.0; 5]; 5];
+        let _ = inverse(&m);
+    }
+
+    #[test]
+    fn solve_single_block_row() {
+        let sys = BlockTriSystem {
+            a: vec![[[0.0; 5]; 5]],
+            b: vec![{
+                let mut d = identity();
+                d[0][0] = 2.0;
+                d
+            }],
+            c: vec![[[0.0; 5]; 5]],
+            r: vec![[2.0, 1.0, 1.0, 1.0, 1.0]],
+        };
+        let x = solve(&sys);
+        assert!((x[0][0] - 1.0).abs() < 1e-14);
+        assert!((x[0][1] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_satisfies_residual() {
+        let mut rng = SimRng::new(42);
+        for n in [2usize, 3, 8, 33] {
+            let sys = random_system(&mut rng, n);
+            let x = solve(&sys);
+            let ax = sys.apply(&x);
+            for i in 0..n {
+                for k in 0..5 {
+                    assert!(
+                        (ax[i][k] - sys.r[i][k]).abs() < 1e-9,
+                        "n={n} row {i} comp {k}: {} vs {}",
+                        ax[i][k],
+                        sys.r[i][k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_dense_elimination() {
+        // Build the equivalent dense 5n x 5n system and solve it naively.
+        let mut rng = SimRng::new(7);
+        let n = 6;
+        let sys = random_system(&mut rng, n);
+        let dim = 5 * n;
+        let mut dense = vec![vec![0.0f64; dim + 1]; dim];
+        for i in 0..n {
+            for bi in 0..5 {
+                let row = 5 * i + bi;
+                for bj in 0..5 {
+                    dense[row][5 * i + bj] += sys.b[i][bi][bj];
+                    if i > 0 {
+                        dense[row][5 * (i - 1) + bj] += sys.a[i][bi][bj];
+                    }
+                    if i + 1 < n {
+                        dense[row][5 * (i + 1) + bj] += sys.c[i][bi][bj];
+                    }
+                }
+                dense[row][dim] = sys.r[i][bi];
+            }
+        }
+        // Gaussian elimination with partial pivoting.
+        for col in 0..dim {
+            let piv = (col..dim)
+                .max_by(|&a, &b| dense[a][col].abs().partial_cmp(&dense[b][col].abs()).unwrap())
+                .unwrap();
+            dense.swap(col, piv);
+            let p = dense[col][col];
+            for j in col..=dim {
+                dense[col][j] /= p;
+            }
+            for r in 0..dim {
+                if r != col {
+                    let f = dense[r][col];
+                    if f != 0.0 {
+                        for j in col..=dim {
+                            dense[r][j] -= f * dense[col][j];
+                        }
+                    }
+                }
+            }
+        }
+        let x = solve(&sys);
+        for i in 0..n {
+            for k in 0..5 {
+                assert!(
+                    (x[i][k] - dense[5 * i + k][dim]).abs() < 1e-8,
+                    "row {i} comp {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_matmul_agree() {
+        let mut rng = SimRng::new(3);
+        let a = rng_mat(&mut rng, 1.0);
+        let b = rng_mat(&mut rng, 1.0);
+        let v = [1.0, -2.0, 0.5, 3.0, -0.25];
+        let via_mat = matvec(&matmul(&a, &b), &v);
+        let via_vec = matvec(&a, &matvec(&b, &v));
+        for k in 0..5 {
+            assert!((via_mat[k] - via_vec[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_is_linear() {
+        let mut rng = SimRng::new(9);
+        let sys = random_system(&mut rng, 4);
+        let x1: Vec<Vec5> = (0..4).map(|i| [i as f64 + 1.0; 5]).collect();
+        let x2: Vec<Vec5> = (0..4).map(|i| [2.0 - i as f64; 5]).collect();
+        let sum: Vec<Vec5> = x1
+            .iter()
+            .zip(&x2)
+            .map(|(a, b)| {
+                let mut s = [0.0; 5];
+                for k in 0..5 {
+                    s[k] = a[k] + b[k];
+                }
+                s
+            })
+            .collect();
+        let lhs = sys.apply(&sum);
+        let r1 = sys.apply(&x1);
+        let r2 = sys.apply(&x2);
+        for i in 0..4 {
+            for k in 0..5 {
+                assert!((lhs[i][k] - r1[i][k] - r2[i][k]).abs() < 1e-12);
+            }
+        }
+    }
+}

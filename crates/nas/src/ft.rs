@@ -1,0 +1,530 @@
+//! The FT (3-D Fast Fourier Transform) kernel.
+//!
+//! NPB FT solves a 3-D diffusion PDE spectrally: one forward 3-D FFT,
+//! then per iteration a pointwise evolution in frequency space, an
+//! inverse 3-D FFT and a checksum. The MPI version's defining feature is
+//! the transpose — an `MPI_Alltoall` moving the entire dataset — which is
+//! why the paper uses FT as its communication-saturated workload.
+//!
+//! This module implements the numerical core: an iterative radix-2
+//! complex FFT, the 3-D transform applied axis by axis, and the evolve
+//! step. Correctness is pinned by impulse/roundtrip/Parseval/linearity
+//! tests; the timing model in [`crate::model`] wraps the operation counts
+//! in the all-to-all structure.
+
+/// A complex number (we avoid external crates by keeping it local).
+#[derive(Clone, Copy, Debug, PartialEq, Default, serde::Serialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+    /// Complex addition.
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+    /// Complex subtraction.
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+    /// Complex multiplication.
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+    /// Scale by a real.
+    pub fn scale(self, k: f64) -> Complex {
+        Complex::new(self.re * k, self.im * k)
+    }
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place iterative radix-2 FFT. `inverse` applies the conjugate
+/// transform *without* the 1/n normalization (call [`normalize`] or use
+/// [`ifft`]).
+///
+/// # Panics
+/// Panics unless the length is a power of two.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Divide every element by `n`.
+pub fn normalize(data: &mut [Complex]) {
+    let k = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(k);
+    }
+}
+
+/// Forward FFT returning a new vector.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut v = input.to_vec();
+    fft_in_place(&mut v, false);
+    v
+}
+
+/// Normalized inverse FFT returning a new vector.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut v = input.to_vec();
+    fft_in_place(&mut v, true);
+    normalize(&mut v);
+    v
+}
+
+/// A dense 3-D complex field stored x-fastest (`idx = x + nx*(y + ny*z)`).
+#[derive(Clone, Debug)]
+pub struct Field3 {
+    /// Extents.
+    pub dims: (usize, usize, usize),
+    /// Data, length `nx*ny*nz`.
+    pub data: Vec<Complex>,
+}
+
+impl Field3 {
+    /// A zero field.
+    pub fn zeros(dims: (usize, usize, usize)) -> Self {
+        let (nx, ny, nz) = dims;
+        assert!(
+            nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
+            "FT grid dims must be powers of two"
+        );
+        Field3 { dims, data: vec![Complex::ZERO; nx * ny * nz] }
+    }
+
+    /// Linear index of `(x, y, z)`.
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        let (nx, ny, nz) = self.dims;
+        debug_assert!(x < nx && y < ny && z < nz);
+        x + nx * (y + ny * z)
+    }
+
+    /// Total points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the field has no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Apply the FFT along every axis (`inverse` selects direction; the
+    /// inverse path normalizes by the total point count, matching NPB).
+    pub fn fft3(&mut self, inverse: bool) {
+        let (nx, ny, nz) = self.dims;
+        // Axis X: contiguous lines.
+        let mut line = vec![Complex::ZERO; nx];
+        for z in 0..nz {
+            for y in 0..ny {
+                let base = self.idx(0, y, z);
+                line.copy_from_slice(&self.data[base..base + nx]);
+                fft_in_place(&mut line, inverse);
+                self.data[base..base + nx].copy_from_slice(&line);
+            }
+        }
+        // Axis Y.
+        let mut line = vec![Complex::ZERO; ny];
+        for z in 0..nz {
+            for x in 0..nx {
+                for (y, v) in line.iter_mut().enumerate() {
+                    *v = self.data[self.idx(x, y, z)];
+                }
+                fft_in_place(&mut line, inverse);
+                for (y, v) in line.iter().enumerate() {
+                    let i = self.idx(x, y, z);
+                    self.data[i] = *v;
+                }
+            }
+        }
+        // Axis Z.
+        let mut line = vec![Complex::ZERO; nz];
+        for y in 0..ny {
+            for x in 0..nx {
+                for (z, v) in line.iter_mut().enumerate() {
+                    *v = self.data[self.idx(x, y, z)];
+                }
+                fft_in_place(&mut line, inverse);
+                for (z, v) in line.iter().enumerate() {
+                    let i = self.idx(x, y, z);
+                    self.data[i] = *v;
+                }
+            }
+        }
+        if inverse {
+            let k = 1.0 / self.len() as f64;
+            for v in &mut self.data {
+                *v = v.scale(k);
+            }
+        }
+    }
+
+    /// NPB FT's evolve step: multiply each mode by
+    /// `exp(-4 alpha pi^2 (kx^2+ky^2+kz^2) t)` with wavenumbers folded to
+    /// the symmetric range.
+    pub fn evolve(&mut self, alpha: f64, t: f64) {
+        let (nx, ny, nz) = self.dims;
+        let fold = |k: usize, n: usize| -> f64 {
+            let k = k as i64;
+            let n = n as i64;
+            let kk = if k > n / 2 { k - n } else { k };
+            (kk * kk) as f64
+        };
+        for z in 0..nz {
+            let kz2 = fold(z, nz);
+            for y in 0..ny {
+                let ky2 = fold(y, ny);
+                for x in 0..nx {
+                    let kx2 = fold(x, nx);
+                    let factor =
+                        (-4.0 * alpha * std::f64::consts::PI.powi(2) * (kx2 + ky2 + kz2) * t).exp();
+                    let i = self.idx(x, y, z);
+                    self.data[i] = self.data[i].scale(factor);
+                }
+            }
+        }
+    }
+
+    /// NPB's checksum: the sum of 1024 strided samples.
+    pub fn checksum(&self) -> Complex {
+        let n = self.len();
+        let mut acc = Complex::ZERO;
+        for j in 1..=1024usize {
+            let q = (j * 13) % n;
+            acc = acc.add(self.data[q]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimRng;
+
+    fn random_signal(rng: &mut SimRng, n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|_| Complex::new(rng.uniform_range(-1.0, 1.0), rng.uniform_range(-1.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut v = vec![Complex::ZERO; 16];
+        v[0] = Complex::ONE;
+        let spec = fft(&v);
+        for s in spec {
+            assert!((s.re - 1.0).abs() < 1e-12 && s.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_at_dc() {
+        let v = vec![Complex::ONE; 8];
+        let spec = fft(&v);
+        assert!((spec[0].re - 8.0).abs() < 1e-12);
+        for s in &spec[1..] {
+            assert!(s.norm_sqr() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let mut rng = SimRng::new(5);
+        for n in [1usize, 2, 8, 64, 1024] {
+            let v = random_signal(&mut rng, n);
+            let back = ifft(&fft(&v));
+            for (a, b) in v.iter().zip(&back) {
+                assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let mut rng = SimRng::new(6);
+        let v = random_signal(&mut rng, 256);
+        let spec = fft(&v);
+        let time_energy: f64 = v.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn fft_is_linear() {
+        let mut rng = SimRng::new(7);
+        let a = random_signal(&mut rng, 64);
+        let b = random_signal(&mut rng, 64);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        for i in 0..64 {
+            let expect = fa[i].add(fb[i]);
+            assert!((fsum[i].re - expect.re).abs() < 1e-9);
+            assert!((fsum[i].im - expect.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut rng = SimRng::new(8);
+        let n = 32;
+        let v = random_signal(&mut rng, n);
+        let fast = fft(&v);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (j, x) in v.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * (k * j) as f64 / n as f64;
+                acc = acc.add(x.mul(Complex::cis(ang)));
+            }
+            assert!((fast[k].re - acc.re).abs() < 1e-9, "k={k}");
+            assert!((fast[k].im - acc.im).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut v = vec![Complex::ZERO; 12];
+        fft_in_place(&mut v, false);
+    }
+
+    #[test]
+    fn field3_roundtrip() {
+        let mut rng = SimRng::new(9);
+        let mut f = Field3::zeros((8, 4, 4));
+        for v in &mut f.data {
+            *v = Complex::new(rng.uniform_range(-1.0, 1.0), 0.0);
+        }
+        let original = f.data.clone();
+        f.fft3(false);
+        f.fft3(true);
+        for (a, b) in f.data.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn field3_impulse_spectrum_flat() {
+        let mut f = Field3::zeros((4, 4, 4));
+        f.data[0] = Complex::ONE;
+        f.fft3(false);
+        for v in &f.data {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evolve_decays_high_modes_faster() {
+        let mut f = Field3::zeros((8, 8, 8));
+        let dc = f.idx(0, 0, 0);
+        let hi = f.idx(4, 4, 4);
+        f.data[dc] = Complex::ONE;
+        f.data[hi] = Complex::ONE;
+        f.evolve(1e-3, 1.0);
+        assert!((f.data[dc].re - 1.0).abs() < 1e-12, "DC mode must not decay");
+        assert!(f.data[hi].re < 0.6, "Nyquist mode should decay: {}", f.data[hi].re);
+    }
+
+    #[test]
+    fn evolve_t_zero_is_identity() {
+        let mut rng = SimRng::new(10);
+        let mut f = Field3::zeros((4, 4, 4));
+        for v in &mut f.data {
+            *v = Complex::new(rng.uniform(), rng.uniform());
+        }
+        let before = f.data.clone();
+        f.evolve(1e-6, 0.0);
+        assert_eq!(
+            f.data.iter().map(|c| c.re.to_bits()).collect::<Vec<_>>(),
+            before.iter().map(|c| c.re.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        let mut f = Field3::zeros((8, 8, 8));
+        for (i, v) in f.data.iter_mut().enumerate() {
+            *v = Complex::new(i as f64, -(i as f64));
+        }
+        let c1 = f.checksum();
+        let c2 = f.checksum();
+        assert_eq!(c1, c2);
+        assert!(c1.re != 0.0);
+    }
+}
+
+/// NPB FT's initial conditions: the field is filled with uniform deviates
+/// from the NPB LCG (seed 314159265), two per point (real then
+/// imaginary), in x-major order plane by plane; each z-plane's starting
+/// state is reached with an O(log n) jump, exactly as the MPI code gives
+/// every rank its own planes without communicating.
+pub fn initial_conditions(dims: (usize, usize, usize)) -> Field3 {
+    use crate::randlc::Randlc;
+    const FT_SEED: u64 = 314_159_265;
+    let (nx, ny, nz) = dims;
+    let mut field = Field3::zeros(dims);
+    let per_plane = 2 * nx * ny;
+    for z in 0..nz {
+        let mut rng = Randlc::new(FT_SEED);
+        rng.skip((per_plane * z) as u64);
+        for y in 0..ny {
+            for x in 0..nx {
+                let re = rng.next();
+                let im = rng.next();
+                let i = field.idx(x, y, z);
+                field.data[i] = Complex::new(re, im);
+            }
+        }
+    }
+    field
+}
+
+/// One full miniature FT benchmark run: initialize, forward transform,
+/// then `iterations` of evolve + inverse transform + checksum — the
+/// complete NPB FT pipeline at a reduced size. Returns the checksum
+/// after each iteration.
+pub fn ft_mini(dims: (usize, usize, usize), iterations: u32, alpha: f64) -> Vec<Complex> {
+    let mut u0 = initial_conditions(dims);
+    u0.fft3(false);
+    let mut sums = Vec::with_capacity(iterations as usize);
+    for t in 1..=iterations {
+        let mut u1 = u0.clone();
+        u1.evolve(alpha, t as f64);
+        u1.fft3(true);
+        sums.push(u1.checksum());
+    }
+    sums
+}
+
+#[cfg(test)]
+mod init_tests {
+    use super::*;
+
+    #[test]
+    fn initial_conditions_are_deterministic_uniforms() {
+        let a = initial_conditions((8, 4, 4));
+        let b = initial_conditions((8, 4, 4));
+        for (x, y) in a.data.iter().zip(&b.data) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        for v in &a.data {
+            assert!(v.re > 0.0 && v.re < 1.0 && v.im > 0.0 && v.im < 1.0);
+        }
+    }
+
+    #[test]
+    fn plane_jumping_matches_the_sequential_stream() {
+        // Filling plane-by-plane with skip() must equal one continuous
+        // stream — the property that lets MPI ranks initialize their own
+        // planes independently.
+        use crate::randlc::Randlc;
+        let dims = (4usize, 4, 4);
+        let field = initial_conditions(dims);
+        let mut seq = Randlc::new(314_159_265);
+        for z in 0..dims.2 {
+            for y in 0..dims.1 {
+                for x in 0..dims.0 {
+                    let v = field.data[field.idx(x, y, z)];
+                    assert_eq!(v.re.to_bits(), seq.next().to_bits(), "({x},{y},{z}) re");
+                    assert_eq!(v.im.to_bits(), seq.next().to_bits(), "({x},{y},{z}) im");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ft_mini_checksums_are_reproducible() {
+        let a = ft_mini((8, 8, 8), 4, 1e-6);
+        let b = ft_mini((8, 8, 8), 4, 1e-6);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn ft_mini_checksums_evolve_smoothly() {
+        // Diffusion in spectral space: successive checksums change, but
+        // slowly (alpha is tiny), and never blow up.
+        let sums = ft_mini((8, 8, 8), 6, 1e-4);
+        for w in sums.windows(2) {
+            let delta = w[1].sub(w[0]);
+            assert!(delta.norm_sqr() > 0.0, "checksum froze");
+            assert!(
+                delta.norm_sqr() < w[0].norm_sqr(),
+                "checksum jumped: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn evolve_only_damps_the_spectrum() {
+        // After the forward transform, evolve at large alpha wipes all
+        // non-DC energy; the inverse then yields a nearly constant field
+        // equal to the mean of the initial data.
+        let dims = (8, 4, 4);
+        let mut f = initial_conditions(dims);
+        let mean_re = f.data.iter().map(|c| c.re).sum::<f64>() / f.len() as f64;
+        f.fft3(false);
+        f.evolve(1.0, 10.0);
+        f.fft3(true);
+        for v in &f.data {
+            assert!((v.re - mean_re).abs() < 1e-6, "{} vs {mean_re}", v.re);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! A minimal discrete-event queue.
+//!
+//! The cluster simulator ([`mpi-sim`]) and the node scheduler
+//! ([`machine`]) both advance time by repeatedly popping the earliest
+//! pending event. Ties are broken by insertion order (FIFO), which keeps
+//! simulations deterministic under equal timestamps.
+//!
+//! [`mpi-sim`]: ../../mpi_sim/index.html
+//! [`machine`]: ../../machine/index.html
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of payloads with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedule `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(5), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(SimTime::from_millis(7), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO + SimDuration::from_nanos(1), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,692 @@
+//! Freeze schedules: the laboratory's model of time spent in System
+//! Management Mode.
+//!
+//! When a System Management Interrupt fires, **every** logical CPU of the
+//! node enters SMM and host software makes no progress until the handler
+//! returns ([Delgado & Karavanic 2013], §II.A of the reproduced paper).
+//! From the point of view of anything running on the node, an SMI is a
+//! *freeze window*: an interval of wall-clock time during which zero work
+//! happens, invisible to the OS.
+//!
+//! A [`FreezeSchedule`] is the set of freeze windows for one node. The key
+//! operations are the mapping from *work* to *wall* time
+//! ([`FreezeSchedule::advance`]) and its inverse
+//! ([`FreezeSchedule::work_between`]). Because the freeze is node-global,
+//! an entire node-local simulation can run in work time and be mapped
+//! through the schedule afterwards; the property tests in this module and
+//! the cross-crate integration tests verify the algebra that makes this
+//! sound:
+//!
+//! * `advance(t, 0) == t` (identity),
+//! * `advance(advance(t, a), b) == advance(t, a + b)` (additivity),
+//! * `advance(t, w) - t >= w` (wall time dominates work time),
+//! * `work_between(t, advance(t, w)) == w` (inverse).
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+
+/// How per-occurrence SMM residency is generated.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DurationModel {
+    /// Every occurrence freezes for exactly this long.
+    Fixed(SimDuration),
+    /// Each occurrence draws uniformly from `[lo, hi]` (inclusive).
+    Uniform {
+        /// Shortest possible residency.
+        lo: SimDuration,
+        /// Longest possible residency.
+        hi: SimDuration,
+    },
+}
+
+impl DurationModel {
+    /// The paper's "short" SMI band: 1–3 ms in SMM.
+    pub fn short_smi() -> Self {
+        DurationModel::Uniform {
+            lo: SimDuration::from_millis(1),
+            hi: SimDuration::from_millis(3),
+        }
+    }
+
+    /// The paper's "long" SMI band: 100–110 ms in SMM.
+    pub fn long_smi() -> Self {
+        DurationModel::Uniform {
+            lo: SimDuration::from_millis(100),
+            hi: SimDuration::from_millis(110),
+        }
+    }
+
+    /// The largest duration the model can produce.
+    pub fn max(&self) -> SimDuration {
+        match *self {
+            DurationModel::Fixed(d) => d,
+            DurationModel::Uniform { hi, .. } => hi,
+        }
+    }
+
+    /// The expected duration of one occurrence.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            DurationModel::Fixed(d) => d,
+            DurationModel::Uniform { lo, hi } => SimDuration((lo.0 + hi.0) / 2),
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            DurationModel::Fixed(d) => d,
+            DurationModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "DurationModel::Uniform: lo > hi");
+                SimDuration(rng.range_u64(lo.0, hi.0))
+            }
+        }
+    }
+}
+
+/// What the trigger source does when the trigger instant falls while the
+/// node is still inside a previous SMM window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TriggerPolicy {
+    /// The trigger is lost; the next SMI fires at the next periodic
+    /// instant that falls outside SMM. This models a host-side timer that
+    /// simply does not run while the node is frozen (the behaviour of the
+    /// modified Blackbox SMI driver re-arming its timer).
+    SkipWhileFrozen,
+    /// The trigger is latched and fires as soon as the node leaves SMM,
+    /// after a small sliver of host progress (`min_gap`). This models a
+    /// pending timer interrupt delivering immediately at SMM exit. Without
+    /// the sliver, a duration longer than the period would freeze the node
+    /// forever; real hosts always regain the CPU long enough for the timer
+    /// softirq to run.
+    DeferToExit {
+        /// Minimum host-visible gap between consecutive windows.
+        min_gap: SimDuration,
+    },
+    /// The driver sleeps for the full period *after* the handler returns
+    /// (a `msleep(x)` loop): consecutive windows are separated by exactly
+    /// one period of host time, so the duty cycle `d/(d+p)` varies
+    /// smoothly with the period even when residency exceeds it. This is
+    /// the behaviour the multithreaded study's smooth interval sweeps
+    /// imply for the modified Blackbox driver.
+    RearmAfterExit,
+}
+
+/// Configuration for a periodic SMI source on one node.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PeriodicFreeze {
+    /// Wall time of the first trigger.
+    pub first_trigger: SimTime,
+    /// Trigger interval ("one SMI every x jiffies").
+    pub period: SimDuration,
+    /// SMM residency per occurrence.
+    pub durations: DurationModel,
+    /// Behaviour when a trigger lands inside an existing window.
+    pub policy: TriggerPolicy,
+    /// Seed for the per-occurrence duration stream.
+    pub seed: u64,
+}
+
+impl PeriodicFreeze {
+    /// A conventional configuration: triggers every `period` starting at a
+    /// random phase within the first period (drawn from `rng`), skipping
+    /// triggers that land inside SMM.
+    pub fn with_random_phase(
+        period: SimDuration,
+        durations: DurationModel,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(!period.is_zero(), "PeriodicFreeze: zero period");
+        let phase = SimDuration(rng.below(period.0.max(1)));
+        PeriodicFreeze {
+            first_trigger: SimTime::ZERO + phase,
+            period,
+            durations,
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: rng.next(),
+        }
+    }
+}
+
+/// Lazily generated, cached window list.
+#[derive(Debug)]
+struct GenState {
+    /// Windows generated so far, in increasing, non-overlapping order.
+    windows: Vec<(SimTime, SimTime)>,
+    /// Index of the next candidate trigger (`first_trigger + k * period`).
+    next_k: u64,
+    /// RNG for occurrence durations, advanced once per *accepted* window.
+    rng: SimRng,
+    /// Every window starting at or before this instant has been generated.
+    covered: SimTime,
+}
+
+/// The freeze windows of one node.
+///
+/// Cheap to clone configuration-wise, but the window cache is per-instance;
+/// cloning re-derives identical windows from the same seed.
+#[derive(Debug)]
+pub struct FreezeSchedule {
+    config: Option<PeriodicFreeze>,
+    gen: RefCell<Option<GenState>>,
+}
+
+impl Clone for FreezeSchedule {
+    fn clone(&self) -> Self {
+        FreezeSchedule::from_config(self.config.clone())
+    }
+}
+
+impl FreezeSchedule {
+    /// A schedule with no SMI activity (the paper's "SMM 0" case).
+    pub fn none() -> Self {
+        FreezeSchedule { config: None, gen: RefCell::new(None) }
+    }
+
+    /// A periodic schedule (the paper's "SMM 1" / "SMM 2" cases).
+    pub fn periodic(config: PeriodicFreeze) -> Self {
+        assert!(!config.period.is_zero(), "FreezeSchedule: zero period");
+        if let TriggerPolicy::DeferToExit { min_gap } = config.policy {
+            assert!(!min_gap.is_zero(), "DeferToExit requires a nonzero min_gap");
+        }
+        FreezeSchedule::from_config(Some(config))
+    }
+
+    fn from_config(config: Option<PeriodicFreeze>) -> Self {
+        let gen = config.as_ref().map(|c| GenState {
+            windows: Vec::new(),
+            next_k: 0,
+            rng: SimRng::new(c.seed),
+            covered: SimTime::ZERO,
+        });
+        FreezeSchedule { config, gen: RefCell::new(gen) }
+    }
+
+    /// Whether this schedule ever freezes the node.
+    pub fn is_noisy(&self) -> bool {
+        self.config.is_some()
+    }
+
+    /// The configuration, if periodic.
+    pub fn config(&self) -> Option<&PeriodicFreeze> {
+        self.config.as_ref()
+    }
+
+    /// Generate windows until the window cache provably covers all windows
+    /// that *begin* at or before `t`.
+    fn ensure_covered(&self, t: SimTime) {
+        let Some(cfg) = &self.config else { return };
+        let mut gen = self.gen.borrow_mut();
+        let gen = gen.as_mut().expect("gen state present when config is");
+        if t <= gen.covered {
+            return;
+        }
+        loop {
+            let last_end = gen.windows.last().map(|&(_, e)| e).unwrap_or(SimTime::ZERO);
+            // Next candidate trigger instant.
+            let candidate = if cfg.policy == TriggerPolicy::RearmAfterExit {
+                if gen.windows.is_empty() {
+                    cfg.first_trigger
+                } else {
+                    match last_end.checked_add(cfg.period) {
+                        Some(c) => c,
+                        None => {
+                            gen.covered = SimTime::MAX;
+                            return;
+                        }
+                    }
+                }
+            } else {
+                let Some(offset) = cfg.period.0.checked_mul(gen.next_k) else {
+                    gen.covered = SimTime::MAX;
+                    return;
+                };
+                match cfg.first_trigger.checked_add(SimDuration(offset)) {
+                    Some(c) => c,
+                    None => {
+                        gen.covered = SimTime::MAX;
+                        return;
+                    }
+                }
+            };
+            let start = if candidate >= last_end {
+                gen.next_k += 1;
+                candidate
+            } else {
+                match cfg.policy {
+                    TriggerPolicy::SkipWhileFrozen => {
+                        // Trigger lost; advance to the next candidate.
+                        gen.next_k += 1;
+                        if candidate > t {
+                            // This candidate was past the horizon anyway.
+                            gen.covered = gen.covered.max(t);
+                            return;
+                        }
+                        continue;
+                    }
+                    TriggerPolicy::DeferToExit { min_gap } => {
+                        // Latched trigger fires after a sliver of host time.
+                        gen.next_k += 1;
+                        last_end + min_gap
+                    }
+                    TriggerPolicy::RearmAfterExit => {
+                        unreachable!("rearm candidates never precede the last window end")
+                    }
+                }
+            };
+            if start > t && candidate > t {
+                // We have generated a window beyond the horizon; everything
+                // starting at or before `t` is now cached (the window just
+                // generated is kept — it is valid — and coverage extends to
+                // just before its start).
+                let d = cfg.durations.sample(&mut gen.rng);
+                gen.windows.push((start, start + d));
+                gen.covered = gen.covered.max(t).max(SimTime(start.0 - 1));
+                return;
+            }
+            let d = cfg.durations.sample(&mut gen.rng);
+            gen.windows.push((start, start + d));
+        }
+    }
+
+    /// The freeze windows overlapping the half-open interval `[a, b)`.
+    pub fn windows_between(&self, a: SimTime, b: SimTime) -> Vec<(SimTime, SimTime)> {
+        if self.config.is_none() || b <= a {
+            return Vec::new();
+        }
+        self.ensure_covered(b);
+        let gen = self.gen.borrow();
+        let gen = gen.as_ref().expect("gen state present");
+        gen.windows
+            .iter()
+            .copied()
+            .filter(|&(s, e)| s < b && e > a)
+            .collect()
+    }
+
+    /// Whether the node is frozen at instant `t` (windows are half-open:
+    /// frozen on `[start, end)`).
+    pub fn is_frozen(&self, t: SimTime) -> bool {
+        self.window_containing(t).is_some()
+    }
+
+    /// The window containing `t`, if any.
+    pub fn window_containing(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
+        self.config.as_ref()?;
+        self.ensure_covered(t);
+        let gen = self.gen.borrow();
+        let gen = gen.as_ref().expect("gen state present");
+        // Windows are sorted; find the last window starting at or before t.
+        let idx = gen.windows.partition_point(|&(s, _)| s <= t);
+        if idx == 0 {
+            return None;
+        }
+        let (s, e) = gen.windows[idx - 1];
+        (t >= s && t < e).then_some((s, e))
+    }
+
+    /// The earliest instant `>= t` at which the node is not frozen.
+    pub fn unfreeze(&self, t: SimTime) -> SimTime {
+        match self.window_containing(t) {
+            Some((_, end)) => end,
+            None => t,
+        }
+    }
+
+    /// The start of the first window beginning strictly after `t`, if it
+    /// can be generated without overflowing simulated time.
+    pub fn next_window_after(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
+        self.config.as_ref()?;
+        // Generate a little past t until we find a window starting after t.
+        let mut horizon = t;
+        let step = {
+            let cfg = self.config.as_ref().expect("config present");
+            SimDuration(cfg.period.0.saturating_add(cfg.durations.max().0).max(1))
+        };
+        for _ in 0..64 {
+            horizon = horizon.saturating_add(step);
+            self.ensure_covered(horizon);
+            let gen = self.gen.borrow();
+            let gen = gen.as_ref().expect("gen state present");
+            let idx = gen.windows.partition_point(|&(s, _)| s <= t);
+            if idx < gen.windows.len() {
+                return Some(gen.windows[idx]);
+            }
+            if horizon == SimTime::MAX {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Map `work` units of useful execution starting at wall instant
+    /// `start` to the wall instant at which the work completes.
+    ///
+    /// Work only progresses outside freeze windows. `advance(t, 0) == t`
+    /// exactly (even if `t` is frozen), which makes the mapping additive.
+    pub fn advance(&self, start: SimTime, work: SimDuration) -> SimTime {
+        if work.is_zero() {
+            return start;
+        }
+        if self.config.is_none() {
+            return start + work;
+        }
+        let mut t = start;
+        let mut remaining = work;
+        loop {
+            t = self.unfreeze(t);
+            let gap_end = match self.next_window_after(t) {
+                Some((s, _)) => s,
+                None => SimTime::MAX,
+            };
+            debug_assert!(gap_end >= t);
+            let avail = gap_end.since(t);
+            if avail >= remaining {
+                return t + remaining;
+            }
+            remaining -= avail;
+            t = gap_end;
+        }
+    }
+
+    /// Total frozen time within the half-open wall interval `[a, b)`.
+    pub fn frozen_between(&self, a: SimTime, b: SimTime) -> SimDuration {
+        if b <= a {
+            return SimDuration::ZERO;
+        }
+        let mut total = SimDuration::ZERO;
+        for (s, e) in self.windows_between(a, b) {
+            let lo = s.max(a);
+            let hi = e.min(b);
+            total += hi.since(lo);
+        }
+        total
+    }
+
+    /// Useful work accomplished within the wall interval `[a, b)`: the
+    /// interval length minus frozen time. Inverse of [`advance`].
+    ///
+    /// [`advance`]: FreezeSchedule::advance
+    pub fn work_between(&self, a: SimTime, b: SimTime) -> SimDuration {
+        if b <= a {
+            return SimDuration::ZERO;
+        }
+        b.since(a) - self.frozen_between(a, b)
+    }
+
+    /// Number of freeze windows that *begin* within `[a, b)`.
+    pub fn count_between(&self, a: SimTime, b: SimTime) -> usize {
+        self.windows_between(a, b)
+            .iter()
+            .filter(|&&(s, _)| s >= a && s < b)
+            .count()
+    }
+
+    /// The long-run fraction of wall time spent frozen (duty cycle), as
+    /// implied by the configuration. For `SkipWhileFrozen` with durations
+    /// that can exceed the period this accounts for lost triggers.
+    pub fn duty_cycle(&self) -> f64 {
+        let Some(cfg) = &self.config else { return 0.0 };
+        let d = cfg.durations.mean().0 as f64;
+        let p = cfg.period.0 as f64;
+        match cfg.policy {
+            TriggerPolicy::SkipWhileFrozen => {
+                // Windows occupy d out of every ceil(d/p)*p of wall time
+                // (to first order, treating d as its mean).
+                let slots = (d / p).ceil().max(1.0);
+                (d / (slots * p)).min(1.0)
+            }
+            TriggerPolicy::DeferToExit { min_gap } => {
+                let g = min_gap.0 as f64;
+                if d >= p {
+                    d / (d + g)
+                } else {
+                    (d / p).min(1.0)
+                }
+            }
+            TriggerPolicy::RearmAfterExit => d / (d + p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(period_ms: u64, dur_ms: u64, phase_ms: u64) -> FreezeSchedule {
+        FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(phase_ms),
+            period: SimDuration::from_millis(period_ms),
+            durations: DurationModel::Fixed(SimDuration::from_millis(dur_ms)),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn none_schedule_is_transparent() {
+        let s = FreezeSchedule::none();
+        let t = SimTime::from_millis(5);
+        assert!(!s.is_frozen(t));
+        assert_eq!(s.unfreeze(t), t);
+        assert_eq!(s.advance(t, SimDuration::from_millis(7)), SimTime::from_millis(12));
+        assert_eq!(s.frozen_between(SimTime::ZERO, SimTime::from_secs(10)), SimDuration::ZERO);
+        assert!(!s.is_noisy());
+    }
+
+    #[test]
+    fn window_membership_is_half_open() {
+        let s = fixed(1000, 100, 500);
+        assert!(!s.is_frozen(SimTime::from_millis(499)));
+        assert!(s.is_frozen(SimTime::from_millis(500)));
+        assert!(s.is_frozen(SimTime::from_millis(599)));
+        assert!(!s.is_frozen(SimTime::from_millis(600)));
+    }
+
+    #[test]
+    fn advance_passes_through_one_window() {
+        // Window [500, 600) ms. 450ms of work from t=100 runs 400ms to the
+        // window, waits 100ms, then 50ms more: finishes at 650ms.
+        let s = fixed(1000, 100, 500);
+        let end = s.advance(SimTime::from_millis(100), SimDuration::from_millis(450));
+        assert_eq!(end, SimTime::from_millis(650));
+    }
+
+    #[test]
+    fn advance_landing_exactly_on_window_start() {
+        let s = fixed(1000, 100, 500);
+        let end = s.advance(SimTime::from_millis(100), SimDuration::from_millis(400));
+        assert_eq!(end, SimTime::from_millis(500));
+        // Continuing from the boundary skips the window first.
+        let end2 = s.advance(end, SimDuration::from_millis(1));
+        assert_eq!(end2, SimTime::from_millis(601));
+    }
+
+    #[test]
+    fn advance_zero_is_identity_even_when_frozen() {
+        let s = fixed(1000, 100, 500);
+        let frozen_instant = SimTime::from_millis(550);
+        assert!(s.is_frozen(frozen_instant));
+        assert_eq!(s.advance(frozen_instant, SimDuration::ZERO), frozen_instant);
+    }
+
+    #[test]
+    fn advance_starting_inside_window_waits_for_exit() {
+        let s = fixed(1000, 100, 500);
+        let end = s.advance(SimTime::from_millis(550), SimDuration::from_millis(10));
+        assert_eq!(end, SimTime::from_millis(610));
+    }
+
+    #[test]
+    fn frozen_between_partial_overlap() {
+        let s = fixed(1000, 100, 500);
+        // [550, 1600): second window [1500,1600) fully inside, first half-in.
+        let frozen =
+            s.frozen_between(SimTime::from_millis(550), SimTime::from_millis(1600));
+        assert_eq!(frozen, SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn work_between_inverts_advance() {
+        let s = fixed(700, 120, 333);
+        let start = SimTime::from_millis(10);
+        for work_ms in [0u64, 1, 100, 333, 700, 3000, 12345] {
+            let work = SimDuration::from_millis(work_ms);
+            let end = s.advance(start, work);
+            assert_eq!(s.work_between(start, end), work, "work={work_ms}ms");
+        }
+    }
+
+    #[test]
+    fn additivity_on_fixed_schedule() {
+        let s = fixed(400, 90, 123);
+        let t = SimTime::from_millis(7);
+        for (a_ms, b_ms) in [(0u64, 5u64), (5, 0), (100, 300), (395, 5), (1000, 1)] {
+            let a = SimDuration::from_millis(a_ms);
+            let b = SimDuration::from_millis(b_ms);
+            assert_eq!(
+                s.advance(s.advance(t, a), b),
+                s.advance(t, a + b),
+                "a={a_ms} b={b_ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_policy_drops_triggers_landing_in_smm() {
+        // period 50ms, duration 105ms: triggers at 0, 50, 100 are inside
+        // the first window [0,105); next accepted trigger is 150.
+        let s = fixed(50, 105, 0);
+        let wins = s.windows_between(SimTime::ZERO, SimTime::from_millis(400));
+        assert_eq!(wins[0], (SimTime::ZERO, SimTime::from_millis(105)));
+        assert_eq!(wins[1].0, SimTime::from_millis(150));
+        assert_eq!(wins[2].0, SimTime::from_millis(300));
+        // Duty cycle: 105 of every 150 ms.
+        assert!((s.duty_cycle() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defer_policy_fires_at_exit_with_min_gap() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::ZERO,
+            period: SimDuration::from_millis(50),
+            durations: DurationModel::Fixed(SimDuration::from_millis(105)),
+            policy: TriggerPolicy::DeferToExit { min_gap: SimDuration::from_millis(1) },
+            seed: 1,
+        });
+        let wins = s.windows_between(SimTime::ZERO, SimTime::from_millis(500));
+        assert_eq!(wins[0], (SimTime::ZERO, SimTime::from_millis(105)));
+        // Pending trigger from t=50 fires at 105+1.
+        assert_eq!(wins[1].0, SimTime::from_millis(106));
+        // Progress is made, slowly: advancing 10ms of work takes many windows.
+        let end = s.advance(SimTime::ZERO, SimDuration::from_millis(10));
+        assert!(end > SimTime::from_millis(1000), "end={end:?}");
+        assert!(end < SimTime::MAX);
+    }
+
+    #[test]
+    fn rearm_policy_spaces_windows_by_period_of_host_time() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(20),
+            period: SimDuration::from_millis(50),
+            durations: DurationModel::Fixed(SimDuration::from_millis(105)),
+            policy: TriggerPolicy::RearmAfterExit,
+            seed: 1,
+        });
+        let wins = s.windows_between(SimTime::ZERO, SimTime::from_millis(600));
+        assert_eq!(wins[0], (SimTime::from_millis(20), SimTime::from_millis(125)));
+        assert_eq!(wins[1].0, SimTime::from_millis(175));
+        assert_eq!(wins[2].0, SimTime::from_millis(330));
+        // Duty cycle is d/(d+p) = 105/155.
+        assert!((s.duty_cycle() - 105.0 / 155.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rearm_duty_is_monotone_in_period() {
+        let duty = |p: u64| {
+            FreezeSchedule::periodic(PeriodicFreeze {
+                first_trigger: SimTime::ZERO,
+                period: SimDuration::from_millis(p),
+                durations: DurationModel::Fixed(SimDuration::from_millis(105)),
+                policy: TriggerPolicy::RearmAfterExit,
+                seed: 2,
+            })
+            .frozen_between(SimTime::ZERO, SimTime::from_secs(60))
+            .as_secs_f64()
+        };
+        let mut last = f64::INFINITY;
+        for p in [50u64, 100, 150, 300, 600, 1200] {
+            let f = duty(p);
+            assert!(f < last, "frozen time must fall as the interval grows: p={p} f={f}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn uniform_durations_stay_in_band() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(10),
+            period: SimDuration::from_secs(1),
+            durations: DurationModel::long_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 42,
+        });
+        let wins = s.windows_between(SimTime::ZERO, SimTime::from_secs(60));
+        assert_eq!(wins.len(), 60);
+        for (st, en) in wins {
+            let d = en.since(st);
+            assert!(
+                d >= SimDuration::from_millis(100) && d <= SimDuration::from_millis(110),
+                "duration {d:?} outside the long band"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_reproduces_identical_windows() {
+        let mut rng = SimRng::new(7);
+        let cfg = PeriodicFreeze::with_random_phase(
+            SimDuration::from_millis(250),
+            DurationModel::short_smi(),
+            &mut rng,
+        );
+        let a = FreezeSchedule::periodic(cfg.clone());
+        let b = a.clone();
+        // Consume from `a` in a different order to stress the lazy cache.
+        let _ = a.advance(SimTime::from_secs(3), SimDuration::from_secs(1));
+        assert_eq!(
+            a.windows_between(SimTime::ZERO, SimTime::from_secs(5)),
+            b.windows_between(SimTime::ZERO, SimTime::from_secs(5))
+        );
+    }
+
+    #[test]
+    fn count_between_counts_window_starts() {
+        let s = fixed(1000, 100, 500);
+        assert_eq!(s.count_between(SimTime::ZERO, SimTime::from_secs(4)), 4);
+        assert_eq!(
+            s.count_between(SimTime::from_millis(501), SimTime::from_secs(2)),
+            1
+        );
+    }
+
+    #[test]
+    fn duty_cycle_long_at_one_hz() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::ZERO,
+            period: SimDuration::from_secs(1),
+            durations: DurationModel::long_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 0,
+        });
+        assert!((s.duty_cycle() - 0.105).abs() < 0.001);
+    }
+
+    #[test]
+    fn long_horizon_queries_are_consistent() {
+        let s = fixed(100, 30, 0);
+        // One hour of simulated time: 36_000 windows.
+        let total = s.frozen_between(SimTime::ZERO, SimTime::from_secs(3600));
+        assert_eq!(total, SimDuration::from_secs(1080));
+    }
+}

@@ -1,0 +1,350 @@
+//! Descriptive statistics for experiment results.
+//!
+//! The paper reports six-run means per cell and (for the multithreaded
+//! study) run-to-run variance, so the harness needs means, sample
+//! standard deviations, confidence intervals, geometric means (for the
+//! UnixBench index) and simple linear regression (for slope-of-impact
+//! charts).
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "Accumulator::push: non-finite observation {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator); zero for fewer than two points.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; NaN if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; NaN if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean, using
+    /// Student's t for small samples.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let t = t_critical_95(self.n - 1);
+        t * self.stddev() / (self.n as f64).sqrt()
+    }
+
+    /// Coefficient of variation (σ/µ); zero if the mean is zero.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m.abs()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Two-sided 95 % critical value of Student's t with `df` degrees of
+/// freedom (tabulated for small df, 1.96 asymptote beyond 30).
+pub fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 31] = [
+        f64::NAN, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201,
+        2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::NAN
+    } else if (df as usize) < TABLE.len() {
+        TABLE[df as usize]
+    } else {
+        1.96
+    }
+}
+
+/// Arithmetic mean of a slice; zero if empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation of a slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    let mut acc = Accumulator::new();
+    for &x in xs {
+        acc.push(x);
+    }
+    acc.stddev()
+}
+
+/// Geometric mean of strictly positive values; the UnixBench index is a
+/// geometric mean of per-test ratios.
+///
+/// # Panics
+/// Panics if any value is non-positive or the slice is empty.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric_mean of an empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric_mean: non-positive value {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Percentile via linear interpolation between closest ranks; `q` in `[0,1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "percentile: q {q} outside [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted"
+    );
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Ordinary least squares fit `y = slope·x + intercept`.
+///
+/// Returns `(slope, intercept, r_squared)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: mismatched lengths");
+    assert!(xs.len() >= 2, "linear_fit needs at least two points");
+    let n = xs.len() as f64;
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    assert!(sxx > 0.0, "linear_fit: degenerate x values");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let _ = n;
+    (slope, intercept, r2)
+}
+
+/// Relative change `(new − base) / base`, in percent — the paper's "%"
+/// columns. Returns zero when the base is zero.
+pub fn percent_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic data set is 32/7.
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+        assert_eq!(acc.count(), 8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..20] {
+            left.push(x);
+        }
+        for &x in &xs[20..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 3.0);
+        let empty = Accumulator::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn ci95_of_six_runs() {
+        // n=6 => df=5 => t=2.571.
+        let mut acc = Accumulator::new();
+        for x in [10.0, 10.2, 9.8, 10.1, 9.9, 10.0] {
+            acc.push(x);
+        }
+        let hw = acc.ci95_half_width();
+        let expected = 2.571 * acc.stddev() / 6f64.sqrt();
+        assert!((hw - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let (m, b, r2) = linear_fit(&xs, &ys);
+        assert!((m - 3.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_change_matches_paper_convention() {
+        // Table 1, class A, 16 ranks: 48.51 -> 95.23 is +96.31 %.
+        let pc = percent_change(48.51, 95.23);
+        assert!((pc - 96.31).abs() < 0.01, "{pc}");
+        assert_eq!(percent_change(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn t_table_endpoints() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(5) - 2.571).abs() < 1e-9);
+        assert_eq!(t_critical_95(1000), 1.96);
+        assert!(t_critical_95(0).is_nan());
+    }
+
+    #[test]
+    fn cv_and_slice_helpers() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((mean(&xs) - 2.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 1.0).abs() < 1e-12);
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.cv() - 0.5).abs() < 1e-12);
+    }
+}

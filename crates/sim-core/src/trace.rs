@@ -1,0 +1,190 @@
+//! Simulation traces.
+//!
+//! A [`Trace`] is an append-only record of notable instants in a simulated
+//! run: freeze windows entered/left, MPI operations, scheduler decisions,
+//! profiler samples. Traces feed the SMI detector (which must *recover*
+//! the freeze schedule from timing evidence alone) and the attribution
+//! model (which shows how a sampling profiler misreports SMM time).
+
+use crate::time::{SimDuration, SimTime};
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct TraceEvent {
+    /// Wall time of the event.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Categories of trace record.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub enum TraceKind {
+    /// The node entered SMM.
+    SmmEnter,
+    /// The node left SMM after residing for `residency`.
+    SmmExit {
+        /// Time spent in SMM for this window.
+        residency: SimDuration,
+    },
+    /// A compute phase completed on a thread or rank.
+    ComputeDone {
+        /// Identifier of the thread/rank.
+        actor: u32,
+        /// Work performed.
+        work: SimDuration,
+    },
+    /// An MPI operation completed.
+    MpiDone {
+        /// Rank that completed the operation.
+        rank: u32,
+        /// Human-readable op name ("send", "allreduce", ...).
+        op: &'static str,
+    },
+    /// A scheduler context switch placed `thread` on `cpu`.
+    Schedule {
+        /// Logical CPU index.
+        cpu: u32,
+        /// Thread id, or `None` for idle.
+        thread: Option<u32>,
+    },
+    /// A profiler sample attributed to `symbol`.
+    Sample {
+        /// Symbol the sample was charged to.
+        symbol: u32,
+    },
+    /// Free-form annotation.
+    Note(String),
+}
+
+/// An append-only event log, optionally disabled to avoid overhead.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Self {
+        Trace { events: Vec::new(), enabled: true }
+    }
+
+    /// A trace that drops everything (zero-cost recording).
+    pub fn disabled() -> Self {
+        Trace { events: Vec::new(), enabled: false }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { time, kind });
+        }
+    }
+
+    /// All records, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records within `[a, b)`, assuming monotone insertion times.
+    pub fn between(&self, a: SimTime, b: SimTime) -> &[TraceEvent] {
+        let lo = self.events.partition_point(|e| e.time < a);
+        let hi = self.events.partition_point(|e| e.time < b);
+        &self.events[lo..hi]
+    }
+
+    /// Iterate over SMM windows recorded as enter/exit pairs.
+    pub fn smm_windows(&self) -> Vec<(SimTime, SimTime)> {
+        let mut out = Vec::new();
+        let mut open: Option<SimTime> = None;
+        for e in &self.events {
+            match e.kind {
+                TraceKind::SmmEnter => open = Some(e.time),
+                TraceKind::SmmExit { .. } => {
+                    if let Some(start) = open.take() {
+                        out.push((start, e.time));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::SmmEnter);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(1), TraceKind::SmmEnter);
+        t.record(
+            SimTime::from_millis(3),
+            TraceKind::SmmExit { residency: SimDuration::from_millis(2) },
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].time, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn smm_windows_pairs_enter_exit() {
+        let mut t = Trace::enabled();
+        for i in 0..3u64 {
+            t.record(SimTime::from_millis(i * 100), TraceKind::SmmEnter);
+            t.record(
+                SimTime::from_millis(i * 100 + 10),
+                TraceKind::SmmExit { residency: SimDuration::from_millis(10) },
+            );
+        }
+        let wins = t.smm_windows();
+        assert_eq!(wins.len(), 3);
+        assert_eq!(wins[1], (SimTime::from_millis(100), SimTime::from_millis(110)));
+    }
+
+    #[test]
+    fn between_slices_by_time() {
+        let mut t = Trace::enabled();
+        for i in 0..10u64 {
+            t.record(SimTime::from_millis(i), TraceKind::Sample { symbol: i as u32 });
+        }
+        let mid = t.between(SimTime::from_millis(3), SimTime::from_millis(6));
+        assert_eq!(mid.len(), 3);
+        assert_eq!(mid[0].time, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn unmatched_exit_is_ignored() {
+        let mut t = Trace::enabled();
+        t.record(
+            SimTime::from_millis(5),
+            TraceKind::SmmExit { residency: SimDuration::from_millis(1) },
+        );
+        assert!(t.smm_windows().is_empty());
+    }
+}

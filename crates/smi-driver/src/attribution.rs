@@ -1,0 +1,220 @@
+//! Profiler misattribution of SMM time.
+//!
+//! "Because the system software is unaware of time spent in SMM, the time
+//! is incorrectly attributed to whatever was running at the time of the
+//! SMI. Performance tools would similarly report the time incorrectly."
+//! (§II.A). This module quantifies that: a program is a repeating
+//! sequence of symbols with known work shares; a sampling profiler ticks
+//! in *wall* time; every tick is charged to the symbol "running" at that
+//! instant — including ticks that land inside SMM, which are charged to
+//! the interrupted symbol.
+
+use sim_core::{FreezeSchedule, SimDuration, SimTime};
+
+/// A symbol (function) with a per-iteration work cost.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Symbol {
+    /// Display name.
+    pub name: String,
+    /// Work per loop iteration spent in this symbol.
+    pub work: SimDuration,
+}
+
+/// Comparison of true and profiler-reported shares for one symbol.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SymbolShare {
+    /// Symbol name.
+    pub name: String,
+    /// Fraction of *work* time truly spent in the symbol.
+    pub true_share: f64,
+    /// Fraction of samples charged to the symbol.
+    pub reported_share: f64,
+    /// Samples charged to the symbol.
+    pub samples: u64,
+}
+
+/// Result of a profiling run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct AttributionReport {
+    /// Per-symbol comparison, in program order.
+    pub shares: Vec<SymbolShare>,
+    /// Total samples taken.
+    pub samples: u64,
+    /// Samples that landed while the node was in SMM (all misattributed).
+    pub smm_samples: u64,
+    /// Largest absolute error between true and reported share.
+    pub max_share_error: f64,
+}
+
+/// Profile a loop of `symbols` for `duration` of wall time, sampling every
+/// `interval`, under the given freeze schedule.
+///
+/// The "program" executes the symbols round-robin, each consuming its
+/// `work`; the profiler fires at wall instants `interval, 2·interval, …`
+/// and charges the sample to the symbol whose work interval covers the
+/// *work-time position* of that wall instant. A sample landing inside a
+/// freeze window is charged to the symbol that was executing when the SMI
+/// arrived — exactly what a real kernel profiler does, because the tick
+/// is delivered after SMM exit with the interrupted context on the stack.
+pub fn profile(
+    symbols: &[Symbol],
+    schedule: &FreezeSchedule,
+    duration: SimDuration,
+    interval: SimDuration,
+) -> AttributionReport {
+    assert!(!symbols.is_empty(), "profile: no symbols");
+    assert!(!interval.is_zero(), "profile: zero sampling interval");
+    let loop_work: u64 = symbols.iter().map(|s| s.work.as_nanos()).sum();
+    assert!(loop_work > 0, "profile: zero-work loop");
+
+    let mut counts = vec![0u64; symbols.len()];
+    let mut samples = 0u64;
+    let mut smm_samples = 0u64;
+
+    let end = SimTime::ZERO + duration;
+    let mut t = SimTime::ZERO + interval;
+    while t < end {
+        // Work completed by wall instant t. For a sample inside a freeze
+        // window this is the work completed when the SMI arrived, i.e.
+        // the interrupted symbol's position.
+        let done = schedule.work_between(SimTime::ZERO, t).as_nanos();
+        let pos = done % loop_work;
+        let mut acc = 0u64;
+        for (i, s) in symbols.iter().enumerate() {
+            acc += s.work.as_nanos();
+            if pos < acc {
+                counts[i] += 1;
+                break;
+            }
+        }
+        if schedule.is_frozen(t) {
+            smm_samples += 1;
+        }
+        samples += 1;
+        t += interval;
+    }
+
+    let shares: Vec<SymbolShare> = symbols
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| SymbolShare {
+            name: s.name.clone(),
+            true_share: s.work.as_nanos() as f64 / loop_work as f64,
+            reported_share: if samples > 0 { c as f64 / samples as f64 } else { 0.0 },
+            samples: c,
+        })
+        .collect();
+    let max_share_error = shares
+        .iter()
+        .map(|s| (s.true_share - s.reported_share).abs())
+        .fold(0.0, f64::max);
+    AttributionReport { shares, samples, smm_samples, max_share_error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{DurationModel, PeriodicFreeze, TriggerPolicy};
+
+    fn symbols() -> Vec<Symbol> {
+        vec![
+            Symbol { name: "compute_kernel".into(), work: SimDuration::from_millis(60) },
+            Symbol { name: "exchange_halo".into(), work: SimDuration::from_millis(30) },
+            Symbol { name: "reduce".into(), work: SimDuration::from_millis(10) },
+        ]
+    }
+
+    #[test]
+    fn quiet_profile_matches_true_shares() {
+        let r = profile(
+            &symbols(),
+            &FreezeSchedule::none(),
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(1),
+        );
+        assert_eq!(r.smm_samples, 0);
+        assert!(r.max_share_error < 0.01, "error {}", r.max_share_error);
+        let total: f64 = r.shares.iter().map(|s| s.reported_share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_smi_inflates_the_interrupted_symbol() {
+        // One 2 s SMM window interrupting the rare `reduce` symbol (true
+        // share 10%): every frozen sample is charged to it. This is the
+        // paper's tool-developer hazard — a lock-holder or a rare phase
+        // can absorb an entire SMI's worth of samples.
+        //
+        // Trigger at wall 5.095 s: work done = 5095 ms, loop position
+        // 5095 mod 100 = 95 ms, inside `reduce` (90-100 ms of the loop).
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(5_095),
+            period: SimDuration::from_secs(100), // exactly one trigger in window
+            durations: DurationModel::Fixed(SimDuration::from_secs(2)),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 8,
+        });
+        let r = profile(
+            &symbols(),
+            &s,
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(1),
+        );
+        // ~2000 of ~10000 samples land in SMM.
+        let smm_frac = r.smm_samples as f64 / r.samples as f64;
+        assert!((0.18..0.22).contains(&smm_frac), "smm sample fraction {smm_frac}");
+        let reduce = r.shares.iter().find(|x| x.name == "reduce").expect("reduce present");
+        assert!((reduce.true_share - 0.10).abs() < 1e-9);
+        assert!(
+            reduce.reported_share > 0.25,
+            "reduce should absorb the SMI samples, got {}",
+            reduce.reported_share
+        );
+        assert!(r.max_share_error > 0.15, "error {}", r.max_share_error);
+    }
+
+    #[test]
+    fn many_random_smis_average_out_per_symbol() {
+        // With many SMIs whose interruption points are spread over the
+        // loop, misattribution is proportional to work shares and the
+        // *aggregate* profile looks deceptively correct — another reason
+        // tools cannot diagnose SMM pressure from sample shares alone.
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(250),
+            period: SimDuration::from_secs(1),
+            durations: DurationModel::Fixed(SimDuration::from_millis(105)),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 8,
+        });
+        let r = profile(
+            &symbols(),
+            &s,
+            SimDuration::from_secs(120),
+            SimDuration::from_millis(1),
+        );
+        let smm_frac = r.smm_samples as f64 / r.samples as f64;
+        assert!((0.09..0.12).contains(&smm_frac), "smm sample fraction {smm_frac}");
+        assert!(r.max_share_error < 0.05, "error {}", r.max_share_error);
+    }
+
+    #[test]
+    fn shares_still_sum_to_one_under_noise() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::ZERO,
+            period: SimDuration::from_millis(400),
+            durations: DurationModel::long_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 9,
+        });
+        let r = profile(&symbols(), &s, SimDuration::from_secs(30), SimDuration::from_millis(1));
+        let total: f64 = r.shares.iter().map(|x| x.reported_share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(r.shares.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no symbols")]
+    fn rejects_empty_program() {
+        let _ = profile(&[], &FreezeSchedule::none(), SimDuration::from_secs(1), SimDuration::from_millis(1));
+    }
+}

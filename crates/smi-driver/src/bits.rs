@@ -1,0 +1,142 @@
+//! BIOSBITS-style SMM latency compliance checking.
+//!
+//! Intel's BIOS Implementation Test Suite (BITS, \[15\] in the paper)
+//! "warns if an interval of time spent in SMM exceeds 150 microseconds".
+//! This module applies that check to a freeze schedule: both of the
+//! paper's SMI classes violate it by construction (1–3 ms and 100–110 ms),
+//! which is the point — the RIM-style workloads being proposed for SMM
+//! are far outside what platform vendors consider acceptable.
+
+use sim_core::{FreezeSchedule, SimDuration, SimTime};
+
+/// The BITS warning threshold for a single SMM residency.
+pub const BITS_THRESHOLD: SimDuration = SimDuration(150_000);
+
+/// Result of a compliance scan.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ComplianceReport {
+    /// Windows examined.
+    pub windows: usize,
+    /// Windows exceeding the threshold.
+    pub violations: usize,
+    /// Longest observed residency.
+    pub max_residency: SimDuration,
+    /// Mean residency.
+    pub mean_residency: SimDuration,
+    /// Threshold used.
+    pub threshold: SimDuration,
+}
+
+impl ComplianceReport {
+    /// Whether the platform passes BITS (no violations).
+    pub fn passes(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Violation ratio in `[0, 1]`; zero when no windows were seen.
+    pub fn violation_ratio(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.windows as f64
+        }
+    }
+}
+
+/// Scan a schedule's windows over `[start, end)` against a threshold.
+pub fn check_compliance(
+    schedule: &FreezeSchedule,
+    start: SimTime,
+    end: SimTime,
+    threshold: SimDuration,
+) -> ComplianceReport {
+    let mut windows = 0usize;
+    let mut violations = 0usize;
+    let mut max_res = SimDuration::ZERO;
+    let mut total = SimDuration::ZERO;
+    for (s, e) in schedule.windows_between(start, end) {
+        if s < start || s >= end {
+            continue;
+        }
+        let residency = e.since(s);
+        windows += 1;
+        total += residency;
+        max_res = max_res.max(residency);
+        if residency > threshold {
+            violations += 1;
+        }
+    }
+    ComplianceReport {
+        windows,
+        violations,
+        max_residency: max_res,
+        mean_residency: if windows > 0 { total / windows as u64 } else { SimDuration::ZERO },
+        threshold,
+    }
+}
+
+/// Scan with the standard BITS threshold.
+pub fn check_bits(schedule: &FreezeSchedule, start: SimTime, end: SimTime) -> ComplianceReport {
+    check_compliance(schedule, start, end, BITS_THRESHOLD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{DurationModel, PeriodicFreeze, TriggerPolicy};
+
+    fn schedule(durations: DurationModel) -> FreezeSchedule {
+        FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(100),
+            period: SimDuration::from_secs(1),
+            durations,
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn quiet_platform_passes() {
+        let r = check_bits(&FreezeSchedule::none(), SimTime::ZERO, SimTime::from_secs(60));
+        assert!(r.passes());
+        assert_eq!(r.windows, 0);
+        assert_eq!(r.violation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn short_smis_violate_bits() {
+        let s = schedule(DurationModel::short_smi());
+        let r = check_bits(&s, SimTime::ZERO, SimTime::from_secs(30));
+        assert_eq!(r.windows, 30);
+        assert_eq!(r.violations, 30, "1-3 ms residencies all exceed 150 us");
+        assert!(!r.passes());
+    }
+
+    #[test]
+    fn long_smis_violate_bits_massively() {
+        let s = schedule(DurationModel::long_smi());
+        let r = check_bits(&s, SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(r.violations, 10);
+        assert!(r.max_residency >= SimDuration::from_millis(100));
+        assert!(r.mean_residency >= SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn compliant_firmware_passes() {
+        // A well-behaved platform: 50 us residencies.
+        let s = schedule(DurationModel::Fixed(SimDuration::from_micros(50)));
+        let r = check_bits(&s, SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(r.windows, 10);
+        assert!(r.passes());
+        assert_eq!(r.max_residency, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn custom_threshold_changes_verdict() {
+        let s = schedule(DurationModel::Fixed(SimDuration::from_millis(2)));
+        let strict = check_compliance(&s, SimTime::ZERO, SimTime::from_secs(5), SimDuration::from_micros(150));
+        let lax = check_compliance(&s, SimTime::ZERO, SimTime::from_secs(5), SimDuration::from_millis(5));
+        assert!(!strict.passes());
+        assert!(lax.passes());
+    }
+}

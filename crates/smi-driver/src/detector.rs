@@ -1,0 +1,239 @@
+//! User-space SMI detection, hwlat style.
+//!
+//! The OS cannot mask or even observe SMIs, but latency-sensitive users
+//! detect them from user space (\[19\]–\[21\] in the paper): spin reading the
+//! TSC and report any gap between consecutive reads that exceeds a
+//! threshold. Linux's `hwlat` tracer and Intel's BITS do exactly this.
+//!
+//! [`HwlatDetector::detect`] runs that polling loop against a
+//! [`FreezeSchedule`]: each poll iteration costs a little host *work*, so
+//! consecutive reads straddling a freeze window observe a wall-clock gap
+//! of roughly the SMM residency.
+
+use crate::tsc::Tsc;
+use sim_core::{FreezeSchedule, SimDuration, SimTime};
+
+/// One detected latency spike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct DetectedSmi {
+    /// Wall time of the poll *before* the gap.
+    pub at: SimTime,
+    /// Observed extra latency (gap minus the expected poll cost).
+    pub latency: SimDuration,
+}
+
+/// Summary of a detection run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct DetectionReport {
+    /// Spikes above threshold, in time order.
+    pub detections: Vec<DetectedSmi>,
+    /// Total number of poll iterations executed.
+    pub polls: u64,
+    /// Sum of detected latency.
+    pub total_latency: SimDuration,
+}
+
+impl DetectionReport {
+    /// Number of detections.
+    pub fn count(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// Largest single detection, if any.
+    pub fn max_latency(&self) -> Option<SimDuration> {
+        self.detections.iter().map(|d| d.latency).max()
+    }
+}
+
+/// A TSC-polling latency detector.
+#[derive(Clone, Copy, Debug)]
+pub struct HwlatDetector {
+    /// Host work consumed by one poll iteration (two RDTSCs plus loop
+    /// overhead; hwlat's inner loop is tens of nanoseconds, but any value
+    /// well below the threshold works).
+    pub poll_cost: SimDuration,
+    /// Report gaps whose excess over `poll_cost` exceeds this. BIOSBITS
+    /// uses 150 µs as the "acceptable SMI" bound.
+    pub threshold: SimDuration,
+}
+
+impl Default for HwlatDetector {
+    fn default() -> Self {
+        HwlatDetector {
+            poll_cost: SimDuration::from_micros(1),
+            threshold: SimDuration::from_micros(150),
+        }
+    }
+}
+
+impl HwlatDetector {
+    /// Run the polling loop over `[start, end)` wall time and report
+    /// every latency spike. The detector sees only TSC values — the
+    /// schedule is used solely to compute when each poll *returns*.
+    pub fn detect(
+        &self,
+        schedule: &FreezeSchedule,
+        start: SimTime,
+        end: SimTime,
+        tsc: &Tsc,
+    ) -> DetectionReport {
+        assert!(self.poll_cost > SimDuration::ZERO, "zero poll cost");
+        assert!(self.threshold >= self.poll_cost, "threshold below poll cost is all noise");
+        let mut detections = Vec::new();
+        let mut polls = 0u64;
+        let mut total = SimDuration::ZERO;
+        // The loop itself begins executing at the first unfrozen instant.
+        let mut t = schedule.unfreeze(start);
+        let mut last_tsc = tsc.read(t);
+        while t < end {
+            let t_next = schedule.advance(t, self.poll_cost);
+            let now_tsc = tsc.read(t_next);
+            let gap = tsc.cycles_to_duration(now_tsc - last_tsc);
+            if let Some(excess) = gap.checked_sub(self.poll_cost) {
+                if excess > self.threshold {
+                    detections.push(DetectedSmi { at: t, latency: excess });
+                    total += excess;
+                }
+            }
+            last_tsc = now_tsc;
+            t = t_next;
+            polls += 1;
+        }
+        DetectionReport { detections, polls, total_latency: total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{DurationModel, PeriodicFreeze, SimRng, TriggerPolicy};
+
+    fn long_schedule(seed: u64) -> FreezeSchedule {
+        FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(137),
+            period: SimDuration::from_secs(1),
+            durations: DurationModel::long_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed,
+        })
+    }
+
+    #[test]
+    fn quiet_system_detects_nothing() {
+        let s = FreezeSchedule::none();
+        let report = HwlatDetector::default().detect(
+            &s,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+            &Tsc::e5620(),
+        );
+        assert_eq!(report.count(), 0);
+        assert_eq!(report.polls, 100_000); // 100ms / 1us
+    }
+
+    #[test]
+    fn recovers_injected_long_smis() {
+        let s = long_schedule(11);
+        let report = HwlatDetector::default().detect(
+            &s,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &Tsc::e5620(),
+        );
+        assert_eq!(report.count(), 10, "one detection per injected SMI");
+        for d in &report.detections {
+            assert!(
+                d.latency >= SimDuration::from_millis(99)
+                    && d.latency <= SimDuration::from_millis(111),
+                "latency {:?} outside the long band",
+                d.latency
+            );
+        }
+    }
+
+    #[test]
+    fn detection_count_matches_ground_truth_count() {
+        let s = long_schedule(23);
+        let end = SimTime::from_secs(7);
+        let truth = s.count_between(SimTime::ZERO, end);
+        let report =
+            HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5520());
+        // The last window may straddle `end`; allow off-by-one.
+        assert!(
+            report.count().abs_diff(truth) <= 1,
+            "detected {} vs injected {}",
+            report.count(),
+            truth
+        );
+    }
+
+    #[test]
+    fn short_smis_are_detected_with_default_threshold() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(50),
+            period: SimDuration::from_millis(500),
+            durations: DurationModel::short_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 3,
+        });
+        let report = HwlatDetector::default().detect(
+            &s,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            &Tsc::e5620(),
+        );
+        assert_eq!(report.count(), 10);
+        assert!(report.max_latency().unwrap() <= SimDuration::from_millis(3) + SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn sub_threshold_noise_is_ignored() {
+        // 100us freezes are below the 150us threshold.
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(10),
+            period: SimDuration::from_millis(100),
+            durations: DurationModel::Fixed(SimDuration::from_micros(100)),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 4,
+        });
+        let report = HwlatDetector::default().detect(
+            &s,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            &Tsc::e5620(),
+        );
+        assert_eq!(report.count(), 0);
+    }
+
+    #[test]
+    fn total_latency_approximates_frozen_time() {
+        let s = long_schedule(31);
+        let end = SimTime::from_secs(20);
+        let report =
+            HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5620());
+        let truth = s.frozen_between(SimTime::ZERO, end).as_secs_f64();
+        let measured = report.total_latency.as_secs_f64();
+        assert!(
+            (measured - truth).abs() / truth < 0.02,
+            "measured {measured} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn random_phase_schedules_are_still_recovered() {
+        let mut rng = SimRng::new(99);
+        let cfg = PeriodicFreeze::with_random_phase(
+            SimDuration::from_millis(700),
+            DurationModel::long_smi(),
+            &mut rng,
+        );
+        let s = FreezeSchedule::periodic(cfg);
+        let report = HwlatDetector::default().detect(
+            &s,
+            SimTime::ZERO,
+            SimTime::from_secs(7),
+            &Tsc::e5520(),
+        );
+        assert_eq!(report.count(), 10);
+    }
+}

@@ -1,0 +1,117 @@
+//! The `MSR_SMI_COUNT` counter (MSR 0x34).
+//!
+//! Nehalem-class processors (both study machines) expose a free-running
+//! count of SMIs serviced since reset. Reading it from user space (via
+//! `/dev/cpu/*/msr`, as `turbostat` does) is the *other* standard
+//! detection technique next to TSC-gap polling: cheap, exact in count,
+//! but blind to residency — it says how *often*, never how *long*. The
+//! paper's latency-sensitive users (\[19\]–\[21\]) need both, which is why
+//! the laboratory models both this counter and the hwlat-style detector.
+
+use sim_core::{FreezeSchedule, SimTime};
+
+/// The architectural MSR address.
+pub const MSR_SMI_COUNT: u32 = 0x34;
+
+/// An emulated SMI-count MSR backed by a node's freeze schedule.
+#[derive(Debug)]
+pub struct SmiCountMsr<'a> {
+    schedule: &'a FreezeSchedule,
+}
+
+impl<'a> SmiCountMsr<'a> {
+    /// Attach to a node.
+    pub fn new(schedule: &'a FreezeSchedule) -> Self {
+        SmiCountMsr { schedule }
+    }
+
+    /// `rdmsr 0x34` at wall instant `t`.
+    ///
+    /// A read issued while the node is inside SMM cannot execute until
+    /// the handler returns — and by then the in-flight SMI has been
+    /// counted — so reads from within a window observe the
+    /// post-increment value.
+    pub fn read(&self, t: SimTime) -> u64 {
+        let effective = self.schedule.unfreeze(t);
+        // Windows beginning strictly before `effective` have all been
+        // serviced by the time the read retires (including the one the
+        // read may itself have been stalled inside).
+        self.schedule.count_between(SimTime::ZERO, effective) as u64
+    }
+
+    /// The count delta over a wall interval — what `turbostat` reports
+    /// per sampling period.
+    pub fn delta(&self, from: SimTime, to: SimTime) -> u64 {
+        assert!(from <= to, "inverted interval");
+        self.read(to) - self.read(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::HwlatDetector;
+    use crate::tsc::Tsc;
+    use sim_core::{DurationModel, PeriodicFreeze, SimDuration, TriggerPolicy};
+
+    fn schedule() -> FreezeSchedule {
+        FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(300),
+            period: SimDuration::from_secs(1),
+            durations: DurationModel::long_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 9,
+        })
+    }
+
+    #[test]
+    fn count_increments_once_per_window() {
+        let s = schedule();
+        let msr = SmiCountMsr::new(&s);
+        assert_eq!(msr.read(SimTime::from_millis(299)), 0);
+        // Mid-window reads complete after the handler, seeing the count.
+        assert_eq!(msr.read(SimTime::from_millis(350)), 1);
+        assert_eq!(msr.read(SimTime::from_millis(500)), 1);
+        assert_eq!(msr.read(SimTime::from_secs(10)), 10);
+    }
+
+    #[test]
+    fn quiet_node_never_counts() {
+        let s = FreezeSchedule::none();
+        let msr = SmiCountMsr::new(&s);
+        assert_eq!(msr.read(SimTime::from_secs(3600)), 0);
+    }
+
+    #[test]
+    fn turbostat_style_deltas() {
+        let s = schedule();
+        let msr = SmiCountMsr::new(&s);
+        // 5-second sampling periods: 5 SMIs per period at 1 Hz.
+        for k in 0..4u64 {
+            let d = msr.delta(
+                SimTime::from_secs(5 * k),
+                SimTime::from_secs(5 * (k + 1)),
+            );
+            assert_eq!(d, 5, "period {k}");
+        }
+    }
+
+    #[test]
+    fn msr_count_agrees_with_hwlat_detection() {
+        // The two standard techniques must agree on the count (hwlat can
+        // additionally report residency, which the MSR cannot).
+        let s = schedule();
+        let msr = SmiCountMsr::new(&s);
+        let end = SimTime::from_secs(30);
+        let hwlat = HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5620());
+        assert_eq!(msr.delta(SimTime::ZERO, end) as usize, hwlat.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_delta_rejected() {
+        let s = schedule();
+        let msr = SmiCountMsr::new(&s);
+        let _ = msr.delta(SimTime::from_secs(2), SimTime::from_secs(1));
+    }
+}

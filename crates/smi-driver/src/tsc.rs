@@ -1,0 +1,96 @@
+//! The Time Stamp Counter model.
+//!
+//! The paper's Blackbox SMI driver "uses the TSC counter to measure the
+//! average SMI latency": on Nehalem-class parts and later the TSC is
+//! *invariant* — it keeps counting at a constant rate while the package
+//! is in SMM — which is precisely why TSC deltas expose SMM residency to
+//! host software that otherwise cannot see it.
+
+use sim_core::{SimDuration, SimTime};
+
+/// An invariant TSC ticking at a fixed frequency.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct Tsc {
+    freq_hz: u64,
+}
+
+impl Tsc {
+    /// A TSC with the given frequency.
+    pub fn new(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "zero TSC frequency");
+        Tsc { freq_hz }
+    }
+
+    /// The Xeon E5520's nominal 2.27 GHz (the Wyeast cluster nodes).
+    pub fn e5520() -> Self {
+        Tsc::new(2_270_000_000)
+    }
+
+    /// The Xeon E5620's nominal 2.40 GHz (the Dell R410 nodes).
+    pub fn e5620() -> Self {
+        Tsc::new(2_400_000_000)
+    }
+
+    /// Counter frequency in Hz.
+    pub fn freq_hz(&self) -> u64 {
+        self.freq_hz
+    }
+
+    /// RDTSC at a wall instant.
+    pub fn read(&self, wall: SimTime) -> u64 {
+        // cycles = ns * freq / 1e9, in u128 to avoid overflow.
+        ((wall.as_nanos() as u128 * self.freq_hz as u128) / 1_000_000_000) as u64
+    }
+
+    /// Convert a cycle delta back to a duration (what the driver prints).
+    pub fn cycles_to_duration(&self, cycles: u64) -> SimDuration {
+        SimDuration::from_nanos(((cycles as u128 * 1_000_000_000) / self.freq_hz as u128) as u64)
+    }
+
+    /// Convert a duration to cycles.
+    pub fn duration_to_cycles(&self, d: SimDuration) -> u64 {
+        ((d.as_nanos() as u128 * self.freq_hz as u128) / 1_000_000_000) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_scales_with_frequency() {
+        let tsc = Tsc::new(1_000_000_000); // 1 GHz: 1 cycle per ns
+        assert_eq!(tsc.read(SimTime::from_micros(5)), 5_000);
+        let tsc2 = Tsc::new(2_000_000_000);
+        assert_eq!(tsc2.read(SimTime::from_micros(5)), 10_000);
+    }
+
+    #[test]
+    fn roundtrip_duration_cycles() {
+        let tsc = Tsc::e5520();
+        let d = SimDuration::from_millis(105);
+        let cycles = tsc.duration_to_cycles(d);
+        let back = tsc.cycles_to_duration(cycles);
+        // Rounding loses at most one cycle (< 1 ns at GHz rates).
+        assert!(back.as_nanos().abs_diff(d.as_nanos()) <= 1);
+    }
+
+    #[test]
+    fn deltas_expose_smm_residency() {
+        // Two reads around a 2 ms freeze differ by the freeze length.
+        let tsc = Tsc::e5620();
+        let before = tsc.read(SimTime::from_millis(10));
+        let after = tsc.read(SimTime::from_millis(12));
+        let observed = tsc.cycles_to_duration(after - before);
+        assert!(observed.as_nanos().abs_diff(2_000_000) <= 1);
+    }
+
+    #[test]
+    fn no_overflow_at_long_uptimes() {
+        let tsc = Tsc::e5520();
+        // A year of nanoseconds.
+        let t = SimTime::from_secs(365 * 24 * 3600);
+        let c = tsc.read(t);
+        assert!(c > 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! MPI noise amplification: the paper's central result, §III.
+//!
+//! Runs NAS EP and BT on a simulated Wyeast cluster at increasing node
+//! counts, with and without long SMIs, and prints the perturbation. The
+//! amplification — long-SMI damage growing with scale even though the
+//! per-node duty cycle is constant — emerges from unsynchronized per-node
+//! freeze phases meeting collective synchronization.
+//!
+//! ```sh
+//! cargo run --release --example mpi_noise
+//! ```
+
+use smi_lab::analysis::{measure_cell, RunOptions, SMM_CLASSES};
+use smi_lab::nas::{calibrate_extra, table_cell, Bench, Class};
+use smi_lab::prelude::*;
+
+fn main() {
+    let opts = RunOptions::default().with_reps(4);
+    let network = NetworkParams::gigabit_cluster();
+    println!("== SMI noise vs scale (class A, 1 rank/node, long SMIs at 1 Hz) ==\n");
+    println!(
+        "{:>5} {:>6} | {:>10} {:>10} {:>8} | {:>10}",
+        "bench", "nodes", "SMM0 [s]", "SMM2 [s]", "impact", "paper"
+    );
+    println!("{}", "-".repeat(62));
+    for bench in [Bench::Ep, Bench::Bt] {
+        for &nodes in bench.node_counts() {
+            let Some(paper) = table_cell(bench, Class::A, nodes, 1) else { continue };
+            let target = paper.baseline().expect("class A is fully measured");
+            let spec = ClusterSpec::wyeast(nodes, 1, false);
+            let extra = calibrate_extra(bench, Class::A, &spec, &network, target);
+            let label = format!("example-n{nodes}");
+            let [base, _short, long] = SMM_CLASSES.map(|smm| {
+                measure_cell(bench, Class::A, &spec, extra, smm, &opts, &network, &label)
+            });
+            let impact = (long.mean - base.mean) / base.mean * 100.0;
+            let paper_impact = match (paper.smm[0], paper.smm[2]) {
+                (Some(b), Some(l)) => format!("{:+.1} %", (l - b) / b * 100.0),
+                _ => "-".into(),
+            };
+            println!(
+                "{:>5} {:>6} | {:>10.2} {:>10.2} {:>+7.1}% | {:>10}",
+                bench.name(),
+                nodes,
+                base.mean,
+                long.mean,
+                impact,
+                paper_impact,
+            );
+        }
+        println!();
+    }
+    println!("EP grows mildly (its only synchronization is start-up and the");
+    println!("final reductions); BT, which exchanges halos every iteration,");
+    println!("amplifies dramatically — matching Tables 1 and 2.");
+}

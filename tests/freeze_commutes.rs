@@ -1,0 +1,123 @@
+//! The soundness theorem behind the whole laboratory: because SMIs freeze
+//! every logical CPU of a node simultaneously, freezing commutes with
+//! node-local scheduling — simulating in work time and mapping the result
+//! through the freeze schedule equals interleaving freezes into the
+//! execution step by step.
+//!
+//! This test builds the step-by-step reference independently (a slice
+//! executor that alternates between run segments and freeze windows) and
+//! checks it against `FreezeSchedule::advance` and the machine executor.
+
+use proptest::prelude::*;
+use smi_lab::machine::{self, Phase, SchedParams, SmiSideEffects, ThreadProgram, ThreadSpec};
+use smi_lab::prelude::*;
+
+/// Reference implementation: walk wall time explicitly, alternating
+/// between executable gaps and freeze windows, consuming `work`.
+fn stepped_execution(schedule: &FreezeSchedule, start: SimTime, work: SimDuration) -> SimTime {
+    let mut t = start;
+    let mut remaining = work;
+    // Step in coarse slices, checking frozenness as we go.
+    while !remaining.is_zero() {
+        if let Some((_, end)) = schedule.window_containing(t) {
+            t = end;
+            continue;
+        }
+        // Run until the next window or for the remaining work.
+        let next = schedule
+            .next_window_after(t)
+            .map(|(s, _)| s)
+            .unwrap_or(SimTime::MAX);
+        let gap = next.since(t);
+        if gap >= remaining {
+            return t + remaining;
+        }
+        remaining -= gap;
+        t = next;
+    }
+    t
+}
+
+fn schedule_strategy() -> impl Strategy<Value = FreezeSchedule> {
+    (
+        10_000_000u64..1_500_000_000,
+        0u64..1_000_000_000,
+        1_000_000u64..200_000_000,
+        any::<u64>(),
+    )
+        .prop_map(|(period, phase, dur, seed)| {
+            FreezeSchedule::periodic(PeriodicFreeze {
+                first_trigger: SimTime::from_nanos(phase),
+                period: SimDuration::from_nanos(period),
+                durations: DurationModel::Fixed(SimDuration::from_nanos(dur)),
+                policy: TriggerPolicy::SkipWhileFrozen,
+                seed,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn advance_equals_stepped_reference(
+        s in schedule_strategy(),
+        start in 0u64..2_000_000_000,
+        work in 0u64..5_000_000_000,
+    ) {
+        let start = SimTime::from_nanos(start);
+        let work = SimDuration::from_nanos(work);
+        prop_assert_eq!(s.advance(start, work), stepped_execution(&s, start, work));
+    }
+
+    #[test]
+    fn per_thread_mapping_equals_makespan_mapping(
+        s in schedule_strategy(),
+        works in prop::collection::vec(1_000_000u64..3_000_000_000, 1..8),
+    ) {
+        // Independent threads, one per physical core: the node's wall
+        // finish is the max of per-thread wall finishes, and both orders
+        // of (max, map) agree because advance is monotone.
+        let per_thread_wall: Vec<SimTime> = works
+            .iter()
+            .map(|&w| s.advance(SimTime::ZERO, SimDuration::from_nanos(w)))
+            .collect();
+        let makespan_work = SimDuration::from_nanos(*works.iter().max().expect("nonempty"));
+        let mapped_makespan = s.advance(SimTime::ZERO, makespan_work);
+        prop_assert_eq!(
+            per_thread_wall.into_iter().max().expect("nonempty"),
+            mapped_makespan
+        );
+    }
+}
+
+#[test]
+fn scheduler_then_map_equals_executor() {
+    // The executor (with no side effects) must agree exactly with mapping
+    // the scheduler's work-time makespan through the schedule.
+    let topo = Topology::new(NodeSpec::dell_r410());
+    let threads: Vec<ThreadSpec> = (0..6)
+        .map(|i| {
+            ThreadSpec::new(
+                ThreadProgram::new()
+                    .then(Phase::compute(SimDuration::from_millis(40 + 13 * i))),
+            )
+        })
+        .collect();
+    let sched = machine::run(&topo, &SchedParams::default(), &threads).expect("no deadlock");
+
+    let schedule = FreezeSchedule::periodic(PeriodicFreeze {
+        first_trigger: SimTime::from_millis(17),
+        period: SimDuration::from_millis(90),
+        durations: DurationModel::Fixed(SimDuration::from_millis(25)),
+        policy: TriggerPolicy::SkipWhileFrozen,
+        seed: 3,
+    });
+    let executor =
+        machine::NodeExecutor::new(&schedule, SmiSideEffects::none(), 8, 0.0, 0.0);
+    let via_executor = executor.execute(SimTime::ZERO, sched.makespan).wall_end;
+    let via_algebra = schedule.advance(SimTime::ZERO, sched.makespan);
+    let via_reference = stepped_execution(&schedule, SimTime::ZERO, sched.makespan);
+    assert_eq!(via_executor, via_algebra);
+    assert_eq!(via_algebra, via_reference);
+}

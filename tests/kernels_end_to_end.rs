@@ -1,0 +1,161 @@
+//! Cross-crate kernel checks: the real computational kernels anchor the
+//! workload models, so their outputs must line up with what the models
+//! assume.
+
+use smi_lab::apps::{convolve_blocked, convolve_serial, Image, Kernel};
+use smi_lab::cache_sim::{classify, CacheBehavior};
+use smi_lab::nas::ep::{ep_parallel, ep_serial, verify};
+use smi_lab::nas::ft::{Complex, Field3};
+use smi_lab::nas::Class;
+use smi_lab::prelude::*;
+
+#[test]
+fn ep_mpi_decomposition_matches_published_sums() {
+    // The EP workload model splits pairs evenly across ranks; the real
+    // kernel split the same way must still verify against NPB's class S
+    // reference values.
+    for ranks in [1u64, 4, 16] {
+        let merged = ep_parallel(Class::S, ranks);
+        assert!(
+            verify(Class::S, &merged),
+            "class S with {ranks} ranks: sx={} sy={}",
+            merged.sx,
+            merged.sy
+        );
+    }
+}
+
+#[test]
+fn ep_work_is_evenly_divisible_for_every_paper_rank_count() {
+    // Every rank count in Tables 2 and 4 divides the pair count exactly
+    // (powers of two), so the model's equal split is faithful.
+    for class in Class::PAPER {
+        let pairs = 1u64 << class.ep_log_pairs();
+        for ranks in [1u64, 2, 4, 8, 16, 32, 64] {
+            assert_eq!(pairs % ranks, 0);
+        }
+    }
+    let serial = ep_serial(Class::S);
+    assert!(serial.gc() > 0);
+}
+
+#[test]
+fn convolve_kernel_and_model_agree_on_configuration_labels() {
+    // The Figure-1 model's cachegrind step must classify its two
+    // configurations the way the paper's cachegrind run did.
+    use smi_lab::apps::ConvolveConfig;
+    let cf = ConvolveConfig::CacheFriendly.memory_profile();
+    let cu = ConvolveConfig::CacheUnfriendly.memory_profile();
+    assert_eq!(classify(cf.l1_miss_ratio), CacheBehavior::Friendly);
+    assert_eq!(classify(cu.l1_miss_ratio), CacheBehavior::Unfriendly);
+    // And the paper's headline numbers: ~1% and well above 40%.
+    assert!(cf.l1_miss_ratio < 0.02, "CF miss ratio {}", cf.l1_miss_ratio);
+    assert!(cu.l1_miss_ratio > 0.40, "CU miss ratio {}", cu.l1_miss_ratio);
+}
+
+#[test]
+fn convolve_threaded_kernel_is_exact_under_the_papers_parameters() {
+    // A miniature of the paper's setup: blocked threads over a Gaussian
+    // kernel — identical to the serial result regardless of block size.
+    let mut rng = SimRng::new(1234);
+    let img = Image::from_fn(48, 48, |_, _| rng.range_u64(0, 255) as i64);
+    let ker = Kernel::gaussian(5);
+    let expect = convolve_serial(&img, &ker);
+    assert_eq!(convolve_blocked(&img, &ker, 4, 24), expect);
+    assert_eq!(convolve_blocked(&img, &ker, 16, 2), expect);
+}
+
+#[test]
+fn ft_field_roundtrips_under_class_s_geometry() {
+    let ((nx, ny, nz), _) = Class::S.ft_grid();
+    let mut f = Field3::zeros((nx as usize / 8, ny as usize / 8, nz as usize / 8));
+    let mut rng = SimRng::new(5);
+    for v in &mut f.data {
+        *v = Complex::new(rng.uniform_range(-1.0, 1.0), rng.uniform_range(-1.0, 1.0));
+    }
+    let before = f.data.clone();
+    f.fft3(false);
+    f.evolve(1e-6, 0.0); // t = 0: identity
+    f.fft3(true);
+    for (a, b) in f.data.iter().zip(&before) {
+        assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn bt_solver_survives_a_sweep_of_line_lengths() {
+    use smi_lab::nas::bt::{solve, BlockTriSystem, Mat5};
+    // The BT model's grid lines range from n/q to n; the solver must be
+    // robust across that whole range.
+    let mut rng = SimRng::new(77);
+    for n in [1usize, 2, 16, 64, 162] {
+        let mut a: Vec<Mat5> = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        let mut r = Vec::new();
+        for i in 0..n {
+            let mut mk = |scale: f64| {
+                let mut m = [[0.0; 5]; 5];
+                for row in &mut m {
+                    for v in row.iter_mut() {
+                        *v = rng.uniform_range(-scale, scale);
+                    }
+                }
+                m
+            };
+            a.push(if i > 0 { mk(0.15) } else { [[0.0; 5]; 5] });
+            let mut d = mk(0.2);
+            for (k, row) in d.iter_mut().enumerate() {
+                row[k] += 4.0;
+            }
+            b.push(d);
+            c.push(if i + 1 < n { mk(0.15) } else { [[0.0; 5]; 5] });
+            r.push([1.0, -1.0, 0.5, 2.0, -0.5]);
+        }
+        let sys = BlockTriSystem { a, b, c, r };
+        let x = solve(&sys);
+        let ax = sys.apply(&x);
+        for i in 0..n {
+            for k in 0..5 {
+                assert!((ax[i][k] - sys.r[i][k]).abs() < 1e-8, "n={n} i={i} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_stack_smoke_noise_hurts_and_detection_sees_it() {
+    // One compact pass over the entire stack: cluster job + SMIs +
+    // detection + attribution consistency.
+    let spec = ClusterSpec::wyeast(4, 1, false);
+    let network = NetworkParams::gigabit_cluster();
+    let progs: Vec<RankProgram> = (0..4)
+        .map(|_| {
+            RankProgram::new(vec![
+                Op::Compute(SimDuration::from_secs(2)),
+                Op::Allreduce { bytes: 64 },
+            ])
+        })
+        .collect();
+    let quiet = smi_lab::nas::quiet_nodes(&spec);
+    let base = smi_lab::mpi_sim::run(&spec, &quiet, &progs, &network);
+
+    let driver = SmiDriver::new(SmiDriverConfig::mpi_study(SmiClass::Long));
+    let mut rng = SimRng::new(9);
+    let noisy: Vec<NodeState> = (0..4)
+        .map(|_| NodeState {
+            schedule: driver.schedule_for_node(&mut rng),
+            effects: driver.side_effects(false),
+            online_cpus: 4,
+        })
+        .collect();
+    let perturbed = smi_lab::mpi_sim::run(&spec, &noisy, &progs, &network);
+    assert!(perturbed.makespan > base.makespan);
+    assert!(perturbed.total_frozen > SimDuration::ZERO);
+
+    // The detector on node 0 sees exactly the windows the engine counted
+    // for node 0.
+    let end = SimTime::ZERO + perturbed.makespan;
+    let report = HwlatDetector::default().detect(&noisy[0].schedule, SimTime::ZERO, end, &Tsc::e5520());
+    assert_eq!(report.count(), noisy[0].schedule.count_between(SimTime::ZERO, end));
+}

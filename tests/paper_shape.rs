@@ -1,0 +1,187 @@
+//! End-to-end shape checks: the qualitative claims of the paper's
+//! evaluation, asserted against the full reproduction pipeline with
+//! reduced replication. Each test names the claim it pins.
+
+use smi_lab::analysis::{measure_cell, RunOptions, SMM_CLASSES};
+use smi_lab::nas::{calibrate_extra, table_cell, Bench, Class};
+use smi_lab::prelude::*;
+use smi_lab::smi_driver::SmiClass;
+
+fn opts() -> RunOptions {
+    RunOptions { reps: 3, seed: 11, jitter: 0.004 }
+}
+
+fn impacts(bench: Bench, class: Class, nodes: u32, rpn: u32, htt: bool) -> (f64, f64) {
+    let network = NetworkParams::gigabit_cluster();
+    let spec = ClusterSpec::wyeast(nodes, rpn, htt);
+    let target = table_cell(bench, class, nodes, rpn)
+        .and_then(|c| c.baseline())
+        .expect("cell measured in the paper");
+    let extra = calibrate_extra(bench, class, &spec, &network, target);
+    let label = format!("shape-{}-{}-{}-{}-{}", bench.name(), class.letter(), nodes, rpn, htt);
+    let [base, short, long] = SMM_CLASSES.map(|smm| {
+        measure_cell(bench, class, &spec, extra, smm, &opts(), &network, &label)
+    });
+    (
+        (short.mean - base.mean) / base.mean * 100.0,
+        (long.mean - base.mean) / base.mean * 100.0,
+    )
+}
+
+#[test]
+fn claim_short_smis_produce_only_jitter() {
+    // "We see minor or no impact from short SMM intervals on any BT
+    // configuration" — and the same for EP and FT.
+    for (bench, nodes) in [(Bench::Bt, 4u32), (Bench::Ep, 8), (Bench::Ft, 4)] {
+        let (short, _) = impacts(bench, Class::A, nodes, 1, false);
+        assert!(
+            short.abs() < 3.0,
+            "{} short-SMI impact {short}% exceeds the noise floor",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn claim_long_smis_cost_at_least_the_duty_cycle() {
+    // On a single node the long class must cost roughly its duty cycle
+    // (~10.5%), as in every Table 1-3 one-node row (+10.1 to +11.7%).
+    for bench in [Bench::Ep, Bench::Bt, Bench::Ft] {
+        let (_, long) = impacts(bench, Class::B, 1, 1, false);
+        assert!(
+            (8.0..18.0).contains(&long),
+            "{} one-node long-SMI impact {long}%",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn claim_bt_amplifies_with_scale() {
+    // Table 1: the impact of the long SMIs increases with the number of
+    // MPI ranks.
+    let (_, one) = impacts(Bench::Bt, Class::A, 1, 1, false);
+    let (_, four) = impacts(Bench::Bt, Class::A, 4, 1, false);
+    let (_, sixteen) = impacts(Bench::Bt, Class::A, 16, 1, false);
+    assert!(four > one + 10.0, "4-node impact {four}% vs 1-node {one}%");
+    assert!(sixteen > four + 10.0, "16-node impact {sixteen}% vs 4-node {four}%");
+}
+
+#[test]
+fn claim_ep_amplifies_mildly_with_scale() {
+    // Table 2: "a pattern of increasing perturbation as the number of
+    // nodes increases from 1 to 16", but far weaker than BT's.
+    let (_, one) = impacts(Bench::Ep, Class::A, 1, 1, false);
+    let (_, sixteen) = impacts(Bench::Ep, Class::A, 16, 1, false);
+    assert!(sixteen > one + 3.0, "16-node {sixteen}% vs 1-node {one}%");
+    assert!(sixteen < 60.0, "EP amplification should stay mild: {sixteen}%");
+}
+
+#[test]
+fn claim_four_ranks_per_node_is_hit_at_least_as_hard() {
+    // SMIs freeze whole nodes, so packing 4 ranks per node does not
+    // dilute the damage (Table 2's right block shows larger percentages
+    // than the left at equal node counts).
+    let (_, spread) = impacts(Bench::Ep, Class::A, 8, 1, false);
+    let (_, packed) = impacts(Bench::Ep, Class::A, 8, 4, false);
+    assert!(
+        packed > spread - 3.0,
+        "packed {packed}% should not be materially below spread {spread}%"
+    );
+}
+
+#[test]
+fn claim_htt_worsens_ep_under_long_smis() {
+    // Table 4: EP's long-SMI column shows ht=1 slower than ht=0 in 13 of
+    // 15 cells.
+    let network = NetworkParams::gigabit_cluster();
+    let mut deltas = Vec::new();
+    for nodes in [1u32, 4] {
+        let mut means = [0.0f64; 2];
+        for (i, htt) in [false, true].into_iter().enumerate() {
+            let spec = ClusterSpec::wyeast(nodes, 4, htt);
+            let cell = smi_lab::nas::htt_cell(Bench::Ep, Class::B, nodes).expect("cell");
+            let extra =
+                calibrate_extra(Bench::Ep, Class::B, &spec, &network, cell.smm_ht[0][i]);
+            means[i] = measure_cell(
+                Bench::Ep,
+                Class::B,
+                &spec,
+                extra,
+                SmiClass::Long,
+                &opts(),
+                &network,
+                &format!("httshape-{nodes}-{htt}"),
+            )
+            .mean;
+        }
+        deltas.push((means[1] - means[0]) / means[0] * 100.0);
+    }
+    for d in &deltas {
+        assert!(*d > 0.0, "HTT should cost EP under long SMIs: deltas {deltas:?}");
+    }
+}
+
+#[test]
+fn claim_detection_recovers_what_the_driver_injects() {
+    // Cross-stack: driver -> schedule -> polling detector, across both
+    // classes and several periods.
+    for class in [SmiClass::Short, SmiClass::Long] {
+        for period in [400u64, 1000] {
+            let driver = SmiDriver::new(SmiDriverConfig::interval_ms(class, period));
+            let mut rng = SimRng::new(period ^ 0xABCD);
+            let schedule = driver.schedule_for_node(&mut rng);
+            let end = SimTime::from_secs(20);
+            let truth = schedule.count_between(SimTime::ZERO, end);
+            let found = HwlatDetector::default()
+                .detect(&schedule, SimTime::ZERO, end, &Tsc::e5620())
+                .count();
+            assert!(
+                found.abs_diff(truth) <= 1,
+                "{class:?}@{period}ms: found {found} vs injected {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_calibration_reproduces_every_available_baseline() {
+    // Every cell with a paper SMM-0 value must calibrate to within 3%.
+    let network = NetworkParams::gigabit_cluster();
+    let ones = |n: u32| vec![1.0; n as usize];
+    for bench in [Bench::Ep, Bench::Bt, Bench::Ft] {
+        for class in [Class::A, Class::C] {
+            for &nodes in bench.node_counts() {
+                for rpn in [1u32, 4] {
+                    let Some(target) =
+                        table_cell(bench, class, nodes, rpn).and_then(|c| c.baseline())
+                    else {
+                        continue;
+                    };
+                    let spec = ClusterSpec::wyeast(nodes, rpn, false);
+                    let extra = calibrate_extra(bench, class, &spec, &network, target);
+                    let progs = smi_lab::nas::programs(
+                        bench,
+                        class,
+                        &spec,
+                        extra,
+                        &ones(spec.total_ranks()),
+                    );
+                    let t = smi_lab::mpi_sim::run(
+                        &spec,
+                        &smi_lab::nas::quiet_nodes(&spec),
+                        &progs,
+                        &network,
+                    )
+                    .seconds();
+                    assert!(
+                        (t - target).abs() / target < 0.03,
+                        "{} {} n{nodes} r{rpn}: {t} vs {target}",
+                        bench.name(),
+                        class.letter()
+                    );
+                }
+            }
+        }
+    }
+}
