@@ -1,0 +1,9 @@
+#!/bin/sh
+# Hermetic CI gate: build, test, and lint the whole workspace with no
+# network access. Any external dependency in any manifest breaks the
+# --offline resolution here — see DESIGN.md §6 (dependency policy).
+set -eux
+
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -21,7 +21,7 @@ use sim_core::{
 };
 
 /// One probe of the absorption profile.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct AbsorptionPoint {
     /// Which node received the single freeze.
     pub victim: u32,

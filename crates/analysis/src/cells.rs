@@ -1,0 +1,445 @@
+//! Cell decomposition of the paper's artifacts for the parallel runner.
+//!
+//! Each table and figure is split into independent [`runner::Cell`]s —
+//! the unit of scheduling, caching, and resume. A cell's work closure
+//! reseeds every RNG stream from the cell's own identity (via
+//! `SimRng::from_path`), so payloads are bit-identical no matter which
+//! worker thread runs them or in what order; the serial drivers
+//! ([`run_table`](crate::run_table) etc.) and these cells compute the
+//! exact same numbers.
+//!
+//! Builders return cells in a fixed documented order; the matching
+//! `assemble_*` function consumes the runner's payloads (same order) and
+//! reconstructs the result structs the renderers expect.
+
+use crate::mpi_tables::{HttTableCell, HttTableResult, Measured, TableCell, TableResult, SMM_CLASSES};
+use crate::figures::{convolve_point, fig1_intervals, ubench_index, FigPoint, FigSeries, Figure1Result, Figure2Result, FIG1_CPUS, FIG2_CPUS, FIG2_INTERVALS};
+use crate::opts::RunOptions;
+use crate::mpi_tables::measure_cell;
+use jsonio::{Json, ToJson};
+use mpi_sim::{ClusterSpec, NetworkParams};
+use nas::{calibrate_extra, htt_cell, table_cell, Bench, Class};
+use runner::{Cell, CellSpec};
+use smi_driver::SmiClass;
+
+fn opts_params(opts: &RunOptions) -> Json {
+    Json::obj(vec![("jitter", Json::F64(opts.jitter))])
+}
+
+fn spec_for(experiment: &str, cell: &str, mut params: Json, opts: &RunOptions) -> CellSpec {
+    if let Json::Obj(fields) = &mut params {
+        if let Json::Obj(extra) = opts_params(opts) {
+            fields.extend(extra);
+        }
+    }
+    CellSpec {
+        experiment: experiment.to_string(),
+        cell: cell.to_string(),
+        params,
+        seed: opts.seed,
+        reps: opts.reps,
+    }
+}
+
+fn measured_from(json: &Json) -> Option<Measured> {
+    Some(Measured {
+        mean: json.get("mean")?.as_f64()?,
+        std: json.get("std")?.as_f64()?,
+        reps: json.get("reps")?.as_u64()? as u32,
+    })
+}
+
+fn point_from(json: &Json) -> FigPoint {
+    FigPoint {
+        // Serialized non-finite x (the quiet baseline point) becomes null.
+        x: json.get("x").and_then(Json::as_f64).unwrap_or(f64::INFINITY),
+        mean: json.get("mean").and_then(Json::as_f64).expect("point mean"),
+        std: json.get("std").and_then(Json::as_f64).expect("point std"),
+    }
+}
+
+fn series_from(json: &Json) -> FigSeries {
+    FigSeries {
+        label: json.get("label").and_then(Json::as_str).expect("series label").to_string(),
+        points: json
+            .get("points")
+            .and_then(Json::as_array)
+            .expect("series points")
+            .iter()
+            .map(point_from)
+            .collect(),
+    }
+}
+
+/// The (class, nodes, ranks-per-node) grid of Table 1/2/3 in row order.
+fn table_grid(bench: Bench) -> Vec<(Class, u32, u32)> {
+    let mut grid = Vec::new();
+    for class in Class::PAPER {
+        for &nodes in bench.node_counts() {
+            for rpn in [1u32, 4] {
+                grid.push((class, nodes, rpn));
+            }
+        }
+    }
+    grid
+}
+
+/// One cell per (class, nodes, ranks/node) of Table 1 (BT), 2 (EP) or
+/// 3 (FT). Each cell calibrates against the paper's SMM-0 baseline and
+/// measures all three SMM classes; cells with no paper baseline return a
+/// null-measured payload so the grid stays dense.
+pub fn table_cells(bench: Bench, opts: &RunOptions) -> Vec<Cell> {
+    let experiment = format!("table-{}", bench.name());
+    table_grid(bench)
+        .into_iter()
+        .map(|(class, nodes, rpn)| {
+            let label = format!("{}-n{}-r{}", class.letter(), nodes, rpn);
+            let params = Json::obj(vec![
+                ("class", Json::Str(class.letter().to_string())),
+                ("nodes", Json::U64(nodes as u64)),
+                ("rpn", Json::U64(rpn as u64)),
+            ]);
+            let opts = *opts;
+            Cell::new(spec_for(&experiment, &label, params, &opts), move || {
+                let paper = table_cell(bench, class, nodes, rpn)
+                    .map(|c| c.smm)
+                    .unwrap_or([None, None, None]);
+                let measured: [Option<Measured>; 3] = match paper[0] {
+                    None => [None, None, None],
+                    Some(target) => {
+                        let network = NetworkParams::gigabit_cluster();
+                        let spec = ClusterSpec::wyeast(nodes, rpn, false);
+                        let extra = calibrate_extra(bench, class, &spec, &network, target);
+                        SMM_CLASSES.map(|smm| {
+                            Some(measure_cell(
+                                bench, class, &spec, extra, smm, &opts, &network, &label,
+                            ))
+                        })
+                    }
+                };
+                Json::obj(vec![("measured", measured.to_json())])
+            })
+        })
+        .collect()
+}
+
+/// Rebuild a [`TableResult`] from `table_cells` payloads (same order).
+pub fn assemble_table(bench: Bench, payloads: &[Json]) -> TableResult {
+    let grid = table_grid(bench);
+    assert_eq!(grid.len(), payloads.len(), "payload count must match the table grid");
+    let cells = grid
+        .into_iter()
+        .zip(payloads)
+        .map(|((class, nodes, rpn), payload)| {
+            let paper = table_cell(bench, class, nodes, rpn)
+                .map(|c| c.smm)
+                .unwrap_or([None, None, None]);
+            let measured_json = payload
+                .get("measured")
+                .and_then(Json::as_array)
+                .expect("table payload measured array");
+            assert_eq!(measured_json.len(), 3, "one entry per SMM class");
+            let mut measured = [None, None, None];
+            for (k, m) in measured_json.iter().enumerate() {
+                measured[k] = measured_from(m);
+            }
+            TableCell { class, nodes, ranks_per_node: rpn, measured, paper }
+        })
+        .collect();
+    TableResult { bench, cells }
+}
+
+/// The (class, nodes) grid of Table 4/5 in row order.
+fn htt_grid(bench: Bench) -> Vec<(Class, u32)> {
+    let mut grid = Vec::new();
+    for class in Class::PAPER {
+        for &nodes in bench.node_counts() {
+            grid.push((class, nodes));
+        }
+    }
+    grid
+}
+
+/// One cell per (class, nodes) of Table 4 (EP) or 5 (FT); each cell
+/// measures both HTT settings under all three SMM classes.
+pub fn htt_cells(bench: Bench, opts: &RunOptions) -> Vec<Cell> {
+    assert!(matches!(bench, Bench::Ep | Bench::Ft), "HTT tables exist for EP and FT only");
+    let experiment = format!("htt-{}", bench.name());
+    htt_grid(bench)
+        .into_iter()
+        .map(|(class, nodes)| {
+            let label = format!("{}-n{}", class.letter(), nodes);
+            let params = Json::obj(vec![
+                ("class", Json::Str(class.letter().to_string())),
+                ("nodes", Json::U64(nodes as u64)),
+            ]);
+            let opts = *opts;
+            Cell::new(spec_for(&experiment, &label, params, &opts), move || {
+                let paper = htt_cell(bench, class, nodes).map(|c| c.smm_ht);
+                let measured: [[Option<Measured>; 2]; 3] = match paper {
+                    None => [[None, None]; 3],
+                    Some(paper_vals) => {
+                        let network = NetworkParams::gigabit_cluster();
+                        let mut measured = [[None, None]; 3];
+                        for (ht_idx, htt) in [false, true].into_iter().enumerate() {
+                            let spec = ClusterSpec::wyeast(nodes, 4, htt);
+                            let target = paper_vals[0][ht_idx];
+                            let extra = calibrate_extra(bench, class, &spec, &network, target);
+                            let label = format!("{}-n{}-ht{}", class.letter(), nodes, ht_idx);
+                            for (k, smm) in SMM_CLASSES.into_iter().enumerate() {
+                                measured[k][ht_idx] = Some(measure_cell(
+                                    bench, class, &spec, extra, smm, &opts, &network, &label,
+                                ));
+                            }
+                        }
+                        measured
+                    }
+                };
+                Json::obj(vec![("measured", measured.to_json())])
+            })
+        })
+        .collect()
+}
+
+/// Rebuild an [`HttTableResult`] from `htt_cells` payloads (same order).
+pub fn assemble_htt_table(bench: Bench, payloads: &[Json]) -> HttTableResult {
+    let grid = htt_grid(bench);
+    assert_eq!(grid.len(), payloads.len(), "payload count must match the HTT grid");
+    let cells = grid
+        .into_iter()
+        .zip(payloads)
+        .map(|((class, nodes), payload)| {
+            let paper = htt_cell(bench, class, nodes).map(|c| c.smm_ht);
+            let rows = payload
+                .get("measured")
+                .and_then(Json::as_array)
+                .expect("htt payload measured array");
+            assert_eq!(rows.len(), 3, "one row per SMM class");
+            let mut measured = [[None, None]; 3];
+            for (k, row) in rows.iter().enumerate() {
+                let cols = row.as_array().expect("htt payload row");
+                assert_eq!(cols.len(), 2, "one column per HTT setting");
+                for (h, m) in cols.iter().enumerate() {
+                    measured[k][h] = measured_from(m);
+                }
+            }
+            HttTableCell { class, nodes, measured, paper }
+        })
+        .collect();
+    HttTableResult { bench, cells }
+}
+
+use apps::ConvolveConfig;
+
+const FIG1_CONFIGS: [ConvolveConfig; 2] =
+    [ConvolveConfig::CacheUnfriendly, ConvolveConfig::CacheFriendly];
+
+/// Figure-1 cells: one per interval-sweep series (config × CPU count),
+/// then one per CPU-sweep panel (config), in panel order.
+pub fn figure1_cells(opts: &RunOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for config in FIG1_CONFIGS {
+        for &cpus in &FIG1_CPUS {
+            let label = format!("{}-c{}-intervals", config.label(), cpus);
+            let params = Json::obj(vec![
+                ("config", Json::Str(config.label().to_string())),
+                ("cpus", Json::U64(cpus as u64)),
+                ("sweep", Json::Str("interval".into())),
+            ]);
+            let opts = *opts;
+            cells.push(Cell::new(spec_for("figure1", &label, params, &opts), move || {
+                FigSeries {
+                    label: format!("{cpus} CPUs"),
+                    points: fig1_intervals()
+                        .into_iter()
+                        .map(|ms| convolve_point(config, cpus, Some(ms), &opts))
+                        .collect(),
+                }
+                .to_json()
+            }));
+        }
+    }
+    for config in FIG1_CONFIGS {
+        let label = format!("{}-cpu-sweep", config.label());
+        let params = Json::obj(vec![
+            ("config", Json::Str(config.label().to_string())),
+            ("sweep", Json::Str("cpus".into())),
+        ]);
+        let opts = *opts;
+        cells.push(Cell::new(spec_for("figure1", &label, params, &opts), move || {
+            FigSeries {
+                label: format!("{} @ 50ms", config.label()),
+                points: (1..=8)
+                    .map(|cpus| {
+                        let p = convolve_point(config, cpus, Some(50), &opts);
+                        FigPoint { x: cpus as f64, ..p }
+                    })
+                    .collect(),
+            }
+            .to_json()
+        }));
+    }
+    cells
+}
+
+/// Rebuild a [`Figure1Result`] from `figure1_cells` payloads.
+pub fn assemble_figure1(payloads: &[Json]) -> Figure1Result {
+    let per_panel = FIG1_CPUS.len();
+    assert_eq!(payloads.len(), 2 * per_panel + 2, "figure-1 payload count");
+    let interval_panels = [
+        payloads[..per_panel].iter().map(series_from).collect::<Vec<_>>(),
+        payloads[per_panel..2 * per_panel].iter().map(series_from).collect::<Vec<_>>(),
+    ];
+    let cpu_panels = [series_from(&payloads[2 * per_panel]), series_from(&payloads[2 * per_panel + 1])];
+    Figure1Result { interval_panels, cpu_panels }
+}
+
+/// Figure-2 cells: long-SMI series per CPU count, short-SMI control
+/// series per CPU count, then one quiet-baseline cell.
+pub fn figure2_cells(opts: &RunOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (smm, tag) in [(SmiClass::Long, "long"), (SmiClass::Short, "short")] {
+        for &cpus in &FIG2_CPUS {
+            let label = format!("{tag}-c{cpus}");
+            let params = Json::obj(vec![
+                ("smm", Json::Str(tag.to_string())),
+                ("cpus", Json::U64(cpus as u64)),
+            ]);
+            let opts = *opts;
+            cells.push(Cell::new(spec_for("figure2", &label, params, &opts), move || {
+                FigSeries {
+                    label: format!("{cpus} CPUs"),
+                    points: FIG2_INTERVALS
+                        .iter()
+                        .map(|&ms| FigPoint {
+                            x: ms as f64,
+                            mean: ubench_index(cpus, smm, ms, &opts),
+                            std: 0.0,
+                        })
+                        .collect(),
+                }
+                .to_json()
+            }));
+        }
+    }
+    let params = Json::obj(vec![("smm", Json::Str("none".into()))]);
+    let opts = *opts;
+    cells.push(Cell::new(spec_for("figure2", "baselines", params, &opts), move || {
+        Json::obj(vec![(
+            "baselines",
+            FIG2_CPUS
+                .iter()
+                .map(|&cpus| (cpus, ubench_index(cpus, SmiClass::None, 1000, &opts)))
+                .collect::<Vec<_>>()
+                .to_json(),
+        )])
+    }));
+    cells
+}
+
+/// Rebuild a [`Figure2Result`] from `figure2_cells` payloads.
+pub fn assemble_figure2(payloads: &[Json]) -> Figure2Result {
+    let per = FIG2_CPUS.len();
+    assert_eq!(payloads.len(), 2 * per + 1, "figure-2 payload count");
+    let long_series = payloads[..per].iter().map(series_from).collect();
+    let short_series = payloads[per..2 * per].iter().map(series_from).collect();
+    let baselines = payloads[2 * per]
+        .get("baselines")
+        .and_then(Json::as_array)
+        .expect("figure-2 baselines")
+        .iter()
+        .map(|pair| {
+            (
+                pair.idx(0).and_then(Json::as_u64).expect("baseline cpus") as u32,
+                pair.idx(1).and_then(Json::as_f64).expect("baseline index"),
+            )
+        })
+        .collect();
+    Figure2Result { long_series, short_series, baselines }
+}
+
+/// Wrap a deterministic text-producing study (the X-series extensions)
+/// as a single runner cell whose payload is the rendered text.
+pub fn text_cell(
+    experiment: &str,
+    opts: &RunOptions,
+    render: impl Fn(&RunOptions) -> String + Send + Sync + 'static,
+) -> Cell {
+    let opts = *opts;
+    Cell::new(
+        spec_for(experiment, "all", Json::obj(vec![]), &opts),
+        move || Json::Str(render(&opts)),
+    )
+}
+
+/// Extract the text payload of a [`text_cell`] result.
+pub fn text_payload(payload: &Json) -> &str {
+    payload.as_str().expect("text cell payload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runner::{CacheMode, Runner};
+
+    fn quiet_runner() -> Runner {
+        let mut r = Runner::new(2);
+        r.cache_mode = CacheMode::Off;
+        r.verbose = false;
+        r
+    }
+
+    fn tiny() -> RunOptions {
+        RunOptions { reps: 2, seed: 11, jitter: 0.004 }
+    }
+
+    #[test]
+    fn cells_reproduce_the_serial_table_driver() {
+        let opts = tiny();
+        let serial = crate::run_table(Bench::Ep, &opts);
+        let report = quiet_runner().run("table-ep-test", table_cells(Bench::Ep, &opts));
+        let parallel = assemble_table(Bench::Ep, &report.payloads());
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(s.nodes, p.nodes);
+            assert_eq!(s.ranks_per_node, p.ranks_per_node);
+            for k in 0..3 {
+                match (s.measured[k], p.measured[k]) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.mean, b.mean, "cell n{} r{} smm{k}", s.nodes, s.ranks_per_node);
+                        assert_eq!(a.std, b.std);
+                        assert_eq!(a.reps, b.reps);
+                    }
+                    (None, None) => {}
+                    other => panic!("measured presence diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_cells_round_trip() {
+        let opts = tiny();
+        let serial = crate::run_figure2(&opts);
+        let report = quiet_runner().run("figure2-test", figure2_cells(&opts));
+        let parallel = assemble_figure2(&report.payloads());
+        assert_eq!(serial.long_series.len(), parallel.long_series.len());
+        for (s, p) in serial.long_series.iter().zip(&parallel.long_series) {
+            assert_eq!(s.label, p.label);
+            for (a, b) in s.points.iter().zip(&p.points) {
+                assert_eq!(a.x, b.x);
+                assert_eq!(a.mean, b.mean);
+            }
+        }
+        assert_eq!(serial.baselines, parallel.baselines);
+    }
+
+    #[test]
+    fn text_cells_carry_rendered_output() {
+        let report = quiet_runner().run(
+            "x-test",
+            vec![text_cell("x-demo", &tiny(), |o| format!("seed {}", o.seed))],
+        );
+        assert_eq!(text_payload(&report.outcomes[0].payload), "seed 11");
+    }
+}

@@ -10,7 +10,7 @@ use crate::mpi_tables::{HttTableResult, TableResult};
 use std::fmt::Write as _;
 
 /// Agreement summary over a set of paired (paper, measured) percentages.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default, jsonio::ToJson)]
 pub struct Agreement {
     /// Cells compared.
     pub cells: usize,

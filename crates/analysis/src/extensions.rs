@@ -21,7 +21,7 @@ use sim_core::{SimDuration, SimRng};
 use smi_driver::{SmiClass, SmiDriver, SmiDriverConfig};
 
 /// One point of the scale projection.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct ScalePoint {
     /// Node count.
     pub nodes: u32,
@@ -95,7 +95,7 @@ pub fn scale_projection(node_counts: &[u32], opts: &RunOptions) -> Vec<ScalePoin
 }
 
 /// One row of the variance study.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct VariancePoint {
     /// Online logical CPUs.
     pub cpus: u32,

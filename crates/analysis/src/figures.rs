@@ -8,7 +8,7 @@ use sim_core::{FreezeSchedule, SimRng};
 use smi_driver::{SmiClass, SmiDriver, SmiDriverConfig};
 
 /// One point of a Figure-1 series.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct FigPoint {
     /// X value (SMI interval in ms, or logical CPU count).
     pub x: f64,
@@ -19,7 +19,7 @@ pub struct FigPoint {
 }
 
 /// One line of a figure panel.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct FigSeries {
     /// Legend label.
     pub label: String,
@@ -28,7 +28,7 @@ pub struct FigSeries {
 }
 
 /// The four panels of Figure 1.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct Figure1Result {
     /// Left panels: execution time vs SMI interval, one series per CPU
     /// configuration; `[CacheUnfriendly, CacheFriendly]`.
@@ -45,7 +45,7 @@ pub fn fig1_intervals() -> Vec<u64> {
     (1..=30).map(|k| k * 50).collect()
 }
 
-fn convolve_point(
+pub(crate) fn convolve_point(
     config: ConvolveConfig,
     cpus: u32,
     interval_ms: Option<u64>,
@@ -103,7 +103,7 @@ pub fn run_figure1(opts: &RunOptions) -> Figure1Result {
 
 /// Figure 2 result: UnixBench total index vs SMI interval, one series per
 /// CPU configuration, plus the short-SMI control showing no effect.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct Figure2Result {
     /// Long-SMI series (the published figure).
     pub long_series: Vec<FigSeries>,
@@ -119,7 +119,7 @@ pub const FIG2_CPUS: [u32; 4] = [1, 2, 4, 8];
 /// 1600ms at 500 ms increments".
 pub const FIG2_INTERVALS: [u64; 4] = [100, 600, 1100, 1600];
 
-fn ubench_index(cpus: u32, smm: SmiClass, interval_ms: u64, opts: &RunOptions) -> f64 {
+pub(crate) fn ubench_index(cpus: u32, smm: SmiClass, interval_ms: u64, opts: &RunOptions) -> f64 {
     let mut rng = SimRng::from_path(opts.seed, &["figure2", &format!("{cpus}-{interval_ms}-{smm:?}")]);
     let costs = UbCosts::default();
     let (schedule, effects) = match smm {

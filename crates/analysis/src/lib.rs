@@ -8,6 +8,9 @@
 //!   paper's SMM-0 baseline and replicated with fresh SMI phases;
 //! * [`figures`] — Figure 1 (Convolve interval/CPU sweeps) and Figure 2
 //!   (UnixBench index sweeps);
+//! * [`cells`] — the same artifacts decomposed into independent cells
+//!   for the parallel [`runner`], with assemblers back into result
+//!   structs;
 //! * [`render`] — paper-layout text tables and CSV export;
 //! * [`compare`] — paper-vs-measured agreement metrics and the
 //!   EXPERIMENTS.md report blocks.
@@ -15,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod absorption;
+pub mod cells;
 pub mod compare;
 pub mod extensions;
 pub mod figures;

@@ -17,7 +17,7 @@ use sim_core::SimRng;
 use smi_driver::{SmiClass, SmiDriver, SmiDriverConfig};
 
 /// Measured statistics for one (cell, SMM class) combination.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct Measured {
     /// Mean seconds over the reps.
     pub mean: f64,
@@ -29,7 +29,7 @@ pub struct Measured {
 
 /// One row cell of Tables 1–3: measured times under the three SMM
 /// classes, plus the paper's values for comparison.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct TableCell {
     /// Problem class.
     pub class: Class,
@@ -61,7 +61,7 @@ impl TableCell {
 }
 
 /// A full Table 1/2/3 reproduction.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct TableResult {
     /// Which benchmark.
     pub bench: Bench,
@@ -101,6 +101,7 @@ fn jittered_programs(
 }
 
 /// Measure one cell (fixed spec) under one SMM class.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_cell(
     bench: Bench,
     class: Class,
@@ -159,7 +160,7 @@ pub fn run_table(bench: Bench, opts: &RunOptions) -> TableResult {
 }
 
 /// One row of Tables 4–5: measured `[smm][ht]` plus the paper's values.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct HttTableCell {
     /// Problem class.
     pub class: Class,
@@ -184,7 +185,7 @@ impl HttTableCell {
 }
 
 /// A full Table 4/5 reproduction.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct HttTableResult {
     /// EP for Table 4, FT for Table 5.
     pub bench: Bench,

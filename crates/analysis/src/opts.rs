@@ -1,7 +1,7 @@
 //! Experiment run options.
 
 /// Options shared by every experiment driver.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct RunOptions {
     /// Replications per cell (the paper uses six for the MPI tables and
     /// three for Convolve).

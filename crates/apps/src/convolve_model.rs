@@ -23,7 +23,7 @@ use machine::{ExecProfile, NodeSpec};
 use sim_core::{FreezeSchedule, SimDuration, SimRng, SimTime};
 
 /// The paper's two Convolve configurations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub enum ConvolveConfig {
     /// ≈1 % cache misses: 0.5 MP image, 4×4 subimages, 61×61 kernel.
     CacheFriendly,
@@ -123,7 +123,7 @@ impl ConvolveConfig {
         let refs = stream.len() as u64;
         h.run(stream.iter().copied());
         h.reset_counters();
-        h.run(stream.into_iter());
+        h.run(stream);
         // Roughly two arithmetic instructions per reference in the MAC loop.
         MemoryProfile::from_hierarchy(&h, refs * 2)
     }
@@ -165,7 +165,7 @@ pub struct ConvolveRun {
 }
 
 /// Outcome of one run.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct ConvolveOutcome {
     /// Wall-clock execution time.
     pub wall_seconds: f64,

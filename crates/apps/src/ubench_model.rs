@@ -18,7 +18,7 @@ use sim_core::{FreezeSchedule, SimDuration, SimTime};
 
 /// Unit costs on the simulated E5620 (chosen to land era-plausible
 /// UnixBench results: a few-hundred index per test single-copy).
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct UbCosts {
     /// One Dhrystone loop.
     pub dhrystone: SimDuration,
@@ -196,7 +196,7 @@ pub fn measure(
 }
 
 /// Full two-pass report for one machine configuration.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct UnixBenchReport {
     /// Per-test single-copy scores.
     pub single: Vec<(UbTest, f64)>,

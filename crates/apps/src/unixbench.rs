@@ -16,7 +16,7 @@
 use sim_core::stats::geometric_mean;
 
 /// The five benchmark tests the paper selected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, jsonio::ToJson)]
 pub enum UbTest {
     /// String manipulation (Dhrystone 2).
     Dhrystone,

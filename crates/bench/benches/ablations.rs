@@ -1,5 +1,5 @@
 //! Ablation benches for the design choices DESIGN.md calls out. Each
-//! compares a mechanism ON vs OFF on the same workload, so the criterion
+//! compares a mechanism ON vs OFF on the same workload, so the bench
 //! report doubles as a sensitivity study:
 //!
 //! * synchronized vs unsynchronized per-node SMI phases (the
@@ -7,7 +7,7 @@
 //! * SMI side effects (rendezvous/refill/herd) on vs off;
 //! * SMT cache-contention coefficient zero vs calibrated.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use machine::{
     pair_rates, ExecProfile, NodeSpec, Phase, SchedParams, SmiSideEffects, SmtParams,
     ThreadProgram, ThreadSpec, Topology,

@@ -2,7 +2,7 @@
 //! runs one representative point of the sweep through the full pipeline.
 
 use apps::{run_convolve, run_suite, ConvolveConfig, ConvolveRun, UbCosts};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use sim_core::SimRng;
 use smi_driver::{SmiClass, SmiDriver, SmiDriverConfig};
 use std::hint::black_box;

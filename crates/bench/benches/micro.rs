@@ -2,7 +2,7 @@
 //! algebra, the detector's polling loop, the cluster engine's event
 //! throughput, and the cache simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use sim_core::{
     DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng, SimTime, TriggerPolicy,
 };

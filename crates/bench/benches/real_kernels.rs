@@ -1,11 +1,11 @@
-//! Criterion benchmarks of the *real* computational kernels — the actual
+//! Benchmarks of the *real* computational kernels — the actual
 //! EP deviate generation, BT block-tridiagonal solves, 3-D FFTs and
 //! threaded convolution that anchor the workload models. These measure
 //! genuine host performance (and incidentally let you estimate what a
 //! class-A run would take on this machine).
 
 use apps::{convolve_blocked, convolve_serial, Image, Kernel};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::{criterion_group, criterion_main, Criterion, Throughput};
 use nas::bt::{solve, BlockTriSystem, Mat5};
 use nas::ep::ep_chunk;
 use nas::ft::{Complex, Field3};

@@ -5,7 +5,7 @@
 //! `smi-lab table1..table5`.
 
 use bench::bench_opts;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use mpi_sim::{ClusterSpec, NetworkParams};
 use nas::{calibrate_extra, table_cell, Bench, Class};
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Cache geometry configuration.
 
 /// Geometry of one cache level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub struct CacheConfig {
     /// Total capacity in bytes. Must be a multiple of `line_bytes * associativity`.
     pub size_bytes: u64,
@@ -23,7 +23,7 @@ impl CacheConfig {
         assert!(line_bytes.is_power_of_two(), "line size {line_bytes} not a power of two");
         let way_bytes = line_bytes * associativity;
         assert!(
-            size_bytes % way_bytes == 0,
+            size_bytes.is_multiple_of(way_bytes),
             "capacity {size_bytes} not divisible by line*assoc {way_bytes}"
         );
         let sets = size_bytes / way_bytes;
@@ -43,7 +43,7 @@ impl CacheConfig {
 }
 
 /// A three-level hierarchy with per-level access latencies (in cycles).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, jsonio::ToJson)]
 pub struct HierarchyConfig {
     /// Level-1 data cache.
     pub l1: CacheConfig,

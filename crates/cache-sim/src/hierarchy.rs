@@ -4,7 +4,7 @@ use crate::cache::SetAssocCache;
 use crate::config::HierarchyConfig;
 
 /// Where an access was satisfied.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub enum Level {
     /// Hit in the level-1 cache.
     L1,
@@ -17,7 +17,7 @@ pub enum Level {
 }
 
 /// Outcome of a single access.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub struct AccessResult {
     /// The level that satisfied the access.
     pub level: Level,

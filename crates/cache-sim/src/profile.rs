@@ -8,7 +8,7 @@
 use crate::hierarchy::Hierarchy;
 
 /// The paper's qualitative classification of Convolve configurations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub enum CacheBehavior {
     /// ≈1 % miss ratio: the "CacheFriendly" configuration.
     Friendly,
@@ -19,7 +19,7 @@ pub enum CacheBehavior {
 }
 
 /// Condensed memory behaviour of a workload phase.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, jsonio::ToJson)]
 pub struct MemoryProfile {
     /// Memory references per executed instruction.
     pub refs_per_instruction: f64,

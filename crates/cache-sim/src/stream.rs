@@ -9,7 +9,7 @@ use sim_core::SimRng;
 
 /// One memory reference (address plus read/write intent; presence-only
 /// simulation treats both alike, but profiles record the mix).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub struct Access {
     /// Byte address.
     pub addr: u64,
@@ -59,6 +59,7 @@ pub fn col_major(base: u64, rows: u64, cols: u64, elem: u64) -> impl Iterator<It
 ///
 /// This mirrors `apps::convolve`'s inner loops and is what gets fed to the
 /// hierarchy to classify CF/CU configurations.
+#[allow(clippy::too_many_arguments)]
 pub fn convolve_block(
     img_base: u64,
     ker_base: u64,
@@ -145,7 +146,7 @@ mod tests {
         // A 3x3 kernel re-read for every pixel should be ~all hits.
         let mut h = Hierarchy::new(HierarchyConfig::tiny());
         let refs = convolve_block(0, 1 << 16, 8, 0, 0, 4, 3, 8);
-        h.run(refs.into_iter());
+        h.run(refs);
         assert!(h.l1_miss_ratio() < 0.2, "miss ratio {}", h.l1_miss_ratio());
     }
 }

@@ -2,7 +2,9 @@
 //! line.
 //!
 //! ```text
-//! smi-lab <command> [--reps N] [--seed N] [--quick] [--csv DIR]
+//! smi-lab <command> [--reps N] [--seed N] [--quick] [--jobs N]
+//!                   [--resume] [--no-cache] [--cache-dir DIR]
+//!                   [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]
 //!
 //! commands:
 //!   table1      BT under SMM 0/1/2            (Table 1)
@@ -24,19 +26,34 @@
 //!   report      EXPERIMENTS.md body (paper vs measured)
 //!   all         everything above
 //! ```
+//!
+//! Every experiment runs through the parallel runner: `--jobs N` fans
+//! cells out over N worker threads (results are bit-identical to serial),
+//! completed cells persist in a content-hash cache under `--cache-dir`
+//! (default `results/cache`) so re-runs and `--resume` skip them, and
+//! `--records FILE` writes one canonical JSONL record per cell.
 
+mod xcmds;
+
+use analysis::cells::{
+    assemble_figure1, assemble_figure2, assemble_htt_table, assemble_table, figure1_cells,
+    figure2_cells, htt_cells, table_cells, text_cell, text_payload,
+};
 use analysis::{
     htt_report, render_chart, render_figure1, render_figure2, render_htt_table, render_table,
-    run_figure1, run_figure2, run_htt_table, run_table, series_csv, table_csv, table_report,
-    ChartSpec, RunOptions,
+    series_csv, table_csv, table_report, ChartSpec, RunOptions,
 };
+use jsonio::ToJson;
 use nas::Bench;
-use sim_core::{SimDuration, SimRng, SimTime};
-use smi_driver::{check_bits, HwlatDetector, SmiClass, SmiDriver, SmiDriverConfig, Symbol, Tsc};
+use runner::{CacheMode, Cell, Runner};
 
 struct Args {
     command: String,
     opts: RunOptions,
+    jobs: usize,
+    cache_mode: CacheMode,
+    cache_dir: String,
+    records: Option<String>,
     csv_dir: Option<String>,
     svg_dir: Option<String>,
     json_dir: Option<String>,
@@ -46,6 +63,11 @@ fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut opts = RunOptions::default();
+    let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut resume = false;
+    let mut no_cache = false;
+    let mut cache_dir = "results/cache".to_string();
+    let mut records = None;
     let mut csv_dir = None;
     let mut svg_dir = None;
     let mut json_dir = None;
@@ -60,6 +82,21 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts = opts.with_seed(v.parse().map_err(|_| format!("bad --seed {v}"))?);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| format!("bad --jobs {v}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--resume" => resume = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                cache_dir = it.next().ok_or("--cache-dir needs a directory")?.clone();
+            }
+            "--records" => {
+                records = Some(it.next().ok_or("--records needs a file path")?.clone());
             }
             "--csv" => {
                 csv_dir = Some(it.next().ok_or("--csv needs a directory")?.clone());
@@ -76,13 +113,55 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    if resume && no_cache {
+        return Err("--resume and --no-cache are mutually exclusive".into());
+    }
     Ok(Args {
         command: command.ok_or("no command given (try `smi-lab all --quick`)")?,
         opts,
+        jobs,
+        // The cache is on by default: re-runs and interrupted-then-
+        // `--resume`d runs both skip completed cells. `--resume` exists
+        // as the explicit, documented spelling of that contract.
+        cache_mode: if no_cache { CacheMode::Off } else { CacheMode::ReadWrite },
+        cache_dir,
+        records,
         csv_dir,
         svg_dir,
         json_dir,
     })
+}
+
+/// Code-version tag mixed into every cache key: a cache entry written by
+/// a different build of the simulators is never returned.
+const CODE_VERSION: &str = concat!("smi-lab-", env!("CARGO_PKG_VERSION"), "+schema1");
+
+fn runner_for(args: &Args) -> Runner {
+    let mut r = Runner::new(args.jobs);
+    r.cache_mode = args.cache_mode;
+    r.cache_dir = args.cache_dir.clone().into();
+    r.code_version = CODE_VERSION.to_string();
+    r
+}
+
+/// Run one labelled batch of cells through the runner; append its JSONL
+/// records (if `--records`) and write the run manifest.
+fn execute(args: &Args, label: &str, cells: Vec<Cell>) -> runner::RunReport {
+    let report = runner_for(args).run(label, cells);
+    if let Some(path) = &args.records {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open records file");
+        f.write_all(report.records_jsonl().as_bytes()).expect("write records");
+    }
+    match report.write_manifest(std::path::Path::new(&args.cache_dir)) {
+        Ok(path) => eprintln!("[runner] manifest {}", path.display()),
+        Err(e) => eprintln!("[runner] manifest write failed: {e}"),
+    }
+    report
 }
 
 fn write_csv(dir: &Option<String>, name: &str, content: &str) {
@@ -103,36 +182,86 @@ fn write_svg(dir: &Option<String>, name: &str, spec: &ChartSpec, series: &[analy
     }
 }
 
-fn write_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
+fn write_json<T: ToJson>(dir: &Option<String>, name: &str, value: &T) {
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create json dir");
         let path = format!("{dir}/{name}.json");
-        let body = serde_json::to_string_pretty(value).expect("serialize result");
+        let mut body = value.to_json().to_string_pretty();
+        body.push('\n');
         std::fs::write(&path, body).expect("write json");
         eprintln!("wrote {path}");
     }
 }
 
+fn run_table_result(args: &Args, n: u32, bench: Bench) -> analysis::TableResult {
+    let report = execute(args, &format!("table{n}"), table_cells(bench, &args.opts));
+    assemble_table(bench, &report.payloads())
+}
+
+fn run_htt_result(args: &Args, n: u32, bench: Bench) -> analysis::HttTableResult {
+    let report = execute(args, &format!("table{n}"), htt_cells(bench, &args.opts));
+    assemble_htt_table(bench, &report.payloads())
+}
+
+fn fig1_opts(opts: &RunOptions) -> RunOptions {
+    RunOptions { reps: opts.reps.min(3), ..*opts }
+}
+
+fn run_figure1_result(args: &Args) -> analysis::Figure1Result {
+    let report = execute(args, "figure1", figure1_cells(&fig1_opts(&args.opts)));
+    assemble_figure1(&report.payloads())
+}
+
+fn run_figure2_result(args: &Args) -> analysis::Figure2Result {
+    let report = execute(args, "figure2", figure2_cells(&args.opts));
+    assemble_figure2(&report.payloads())
+}
+
 fn cmd_table(n: u32, bench: Bench, args: &Args) {
-    eprintln!("running table {n} ({} x classes x nodes x SMM, {} reps)...", bench.name(), args.opts.reps);
-    let result = run_table(bench, &args.opts);
-    print!("{}", render_table(&result, n));
-    write_csv(&args.csv_dir, &format!("table{n}"), &table_csv(&result));
-    write_json(&args.json_dir, &format!("table{n}"), &result);
+    eprintln!(
+        "running table {n} ({} x classes x nodes x SMM, {} reps, {} jobs)...",
+        bench.name(),
+        args.opts.reps,
+        args.jobs
+    );
+    let result = run_table_result(args, n, bench);
+    print_table(n, &result, args);
+}
+
+fn print_table(n: u32, result: &analysis::TableResult, args: &Args) {
+    print!("{}", render_table(result, n));
+    write_csv(&args.csv_dir, &format!("table{n}"), &table_csv(result));
+    write_json(&args.json_dir, &format!("table{n}"), result);
 }
 
 fn cmd_htt_table(n: u32, bench: Bench, args: &Args) {
-    eprintln!("running table {n} (HTT x {} , {} reps)...", bench.name(), args.opts.reps);
-    let result = run_htt_table(bench, &args.opts);
-    print!("{}", render_htt_table(&result, n));
-    write_json(&args.json_dir, &format!("table{n}"), &result);
+    eprintln!(
+        "running table {n} (HTT x {} , {} reps, {} jobs)...",
+        bench.name(),
+        args.opts.reps,
+        args.jobs
+    );
+    let result = run_htt_result(args, n, bench);
+    print_htt_table(n, &result, args);
+}
+
+fn print_htt_table(n: u32, result: &analysis::HttTableResult, args: &Args) {
+    print!("{}", render_htt_table(result, n));
+    write_json(&args.json_dir, &format!("table{n}"), result);
 }
 
 fn cmd_figure1(args: &Args) {
-    eprintln!("running figure 1 (Convolve sweeps, {} reps per point)...", args.opts.reps.min(3));
-    let opts = RunOptions { reps: args.opts.reps.min(3), ..args.opts };
-    let fig = run_figure1(&opts);
-    print!("{}", render_figure1(&fig));
+    eprintln!(
+        "running figure 1 (Convolve sweeps, {} reps per point, {} jobs)...",
+        fig1_opts(&args.opts).reps,
+        args.jobs
+    );
+    let fig = run_figure1_result(args);
+    print_figure1(&fig, args);
+}
+
+fn print_figure1(fig: &analysis::Figure1Result, args: &Args) {
+    print!("{}", render_figure1(fig));
     println!("Slope of SMI impact (time vs duty cycle, CacheUnfriendly panel):");
     for series in &fig.interval_panels[0] {
         let (slope, intercept, r2) = analysis::impact_slope(series, 105.0);
@@ -143,7 +272,7 @@ fn cmd_figure1(args: &Args) {
     }
     write_csv(&args.csv_dir, "figure1_cu_intervals", &series_csv(&fig.interval_panels[0]));
     write_csv(&args.csv_dir, "figure1_cf_intervals", &series_csv(&fig.interval_panels[1]));
-    write_json(&args.json_dir, "figure1", &fig);
+    write_json(&args.json_dir, "figure1", fig);
     for (panel, name, title) in [
         (0usize, "figure1_cu_intervals", "Convolve CacheUnfriendly"),
         (1, "figure1_cf_intervals", "Convolve CacheFriendly"),
@@ -174,12 +303,16 @@ fn cmd_figure1(args: &Args) {
 }
 
 fn cmd_figure2(args: &Args) {
-    eprintln!("running figure 2 (UnixBench sweeps)...");
-    let fig = run_figure2(&args.opts);
-    print!("{}", render_figure2(&fig));
+    eprintln!("running figure 2 (UnixBench sweeps, {} jobs)...", args.jobs);
+    let fig = run_figure2_result(args);
+    print_figure2(&fig, args);
+}
+
+fn print_figure2(fig: &analysis::Figure2Result, args: &Args) {
+    print!("{}", render_figure2(fig));
     write_csv(&args.csv_dir, "figure2_long", &series_csv(&fig.long_series));
     write_csv(&args.csv_dir, "figure2_short", &series_csv(&fig.short_series));
-    write_json(&args.json_dir, "figure2", &fig);
+    write_json(&args.json_dir, "figure2", fig);
     write_svg(
         &args.svg_dir,
         "figure2_long",
@@ -193,205 +326,11 @@ fn cmd_figure2(args: &Args) {
     );
 }
 
-fn cmd_detect(args: &Args) {
-    println!("hwlat-style detection of injected SMIs (60 s window)");
-    for class in [SmiClass::Short, SmiClass::Long] {
-        let driver = SmiDriver::new(SmiDriverConfig::mpi_study(class));
-        let mut rng = SimRng::new(args.opts.seed);
-        let schedule = driver.schedule_for_node(&mut rng);
-        let report = HwlatDetector::default().detect(
-            &schedule,
-            SimTime::ZERO,
-            SimTime::from_secs(60),
-            &Tsc::e5620(),
-        );
-        let truth = schedule.count_between(SimTime::ZERO, SimTime::from_secs(60));
-        println!(
-            "  {}: injected {truth}, detected {} (max latency {}, total {})",
-            class.label(),
-            report.count(),
-            report.max_latency().map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-            report.total_latency,
-        );
-    }
-}
-
-fn cmd_bits(args: &Args) {
-    println!("BIOSBITS compliance (threshold 150 us, 60 s window)");
-    for class in [SmiClass::None, SmiClass::Short, SmiClass::Long] {
-        let driver = SmiDriver::new(SmiDriverConfig::mpi_study(class));
-        let mut rng = SimRng::new(args.opts.seed);
-        let schedule = driver.schedule_for_node(&mut rng);
-        let report = check_bits(&schedule, SimTime::ZERO, SimTime::from_secs(60));
-        println!(
-            "  {}: {} windows, {} violations, max residency {} -> {}",
-            class.label(),
-            report.windows,
-            report.violations,
-            report.max_residency,
-            if report.passes() { "PASS" } else { "FAIL" },
-        );
-    }
-}
-
-fn cmd_attribution(args: &Args) {
-    println!("sampling-profiler attribution under one 2 s SMI (10 s run, 1 ms sampler)");
-    let symbols = vec![
-        Symbol { name: "compute_kernel".into(), work: SimDuration::from_millis(60) },
-        Symbol { name: "exchange_halo".into(), work: SimDuration::from_millis(30) },
-        Symbol { name: "hold_global_lock".into(), work: SimDuration::from_millis(10) },
-    ];
-    let schedule = sim_core::FreezeSchedule::periodic(sim_core::PeriodicFreeze {
-        first_trigger: SimTime::from_millis(5_095),
-        period: SimDuration::from_secs(100),
-        durations: sim_core::DurationModel::Fixed(SimDuration::from_secs(2)),
-        policy: sim_core::TriggerPolicy::SkipWhileFrozen,
-        seed: args.opts.seed,
-    });
-    let report = smi_driver::profile(
-        &symbols,
-        &schedule,
-        SimDuration::from_secs(10),
-        SimDuration::from_millis(1),
-    );
-    println!("  {} samples, {} inside SMM", report.samples, report.smm_samples);
-    for s in &report.shares {
-        println!(
-            "  {:>18}: true {:>5.1}%  reported {:>5.1}%",
-            s.name,
-            s.true_share * 100.0,
-            s.reported_share * 100.0
-        );
-    }
-    println!("  max share error: {:.1} pp", report.max_share_error * 100.0);
-}
-
-fn cmd_unixbench(args: &Args) {
-    use apps::{run_suite, UbCosts};
-    use machine::SmiSideEffects;
-    println!("UnixBench detail (quiet, 4 then 8 logical CPUs, simulated E5620)\n");
-    let costs = UbCosts::default();
-    for cpus in [4u32, 8] {
-        let report = run_suite(cpus, &sim_core::FreezeSchedule::none(), &SmiSideEffects::none(), &costs);
-        println!("{cpus} CPUs:");
-        println!("  {:<42} {:>10} {:>10}", "test", "1 copy", format!("{cpus} copies"));
-        for ((t, s1), (_, sn)) in report.single.iter().zip(&report.multi) {
-            println!("  {:<42} {:>10.1} {:>10.1}", t.name(), s1, sn);
-        }
-        println!(
-            "  {:<42} {:>10.1} {:>10.1}   (total {:.1})\n",
-            "index (geometric mean)", report.single_index, report.multi_index, report.total_index
-        );
-    }
-    let _ = args;
-}
-
-fn cmd_scale(args: &Args) {
-    println!("scale projection: weak-scaled BSP app (50 ms compute + ring halo");
-    println!("per iteration), long SMIs at 1 Hz, beyond the paper's 16 nodes\n");
-    println!("{:>6} {:>10} {:>10} {:>9}", "nodes", "SMM0 [s]", "SMM2 [s]", "impact");
-    let counts = [1u32, 4, 16, 32, 64, 128];
-    for p in analysis::scale_projection(&counts, &args.opts) {
-        println!(
-            "{:>6} {:>10.2} {:>10.2} {:>+8.1}%",
-            p.nodes, p.base, p.long, p.impact_pct
-        );
-    }
-    println!("\nThe paper's 1-to-16-node growth continues briefly, then saturates:");
-    println!("once some node is almost always the most-recently-frozen straggler,");
-    println!("each synchronization interval cannot lose more than ~one residency.");
-    println!("Larger scales get *no relief* — the worst case becomes the steady state.");
-}
-
-fn cmd_variance(args: &Args) {
-    use apps::ConvolveConfig;
-    println!("variance decomposition at 50 ms long-SMI intervals (paper §V:");
-    println!("'the cause of variance with HTT'); {} reps per point\n", args.opts.reps.max(6));
-    for config in [ConvolveConfig::CacheUnfriendly, ConvolveConfig::CacheFriendly] {
-        println!("{}:", config.label());
-        println!("{:>6} {:>10} {:>8} {:>16}", "cpus", "mean [s]", "CV", "CV (phase only)");
-        for p in analysis::variance_study(config, args.opts.reps.max(6), args.opts.seed) {
-            println!(
-                "{:>6} {:>10.2} {:>7.2}% {:>15.2}%",
-                p.cpus,
-                p.mean,
-                p.cv * 100.0,
-                p.cv_no_side_effects * 100.0
-            );
-        }
-        println!();
-    }
-    println!("Phase randomness alone explains most low-CPU variance; the HTT");
-    println!("side effects (post-SMI herd) add the excess above 4 CPUs.");
-}
-
-fn cmd_absorption(_args: &Args) {
-    println!("noise absorption/amplification (Ferreira et al., §II.C)");
-    println!("BSP workload: 4 ranks x 10 iterations x 100 ms compute + barrier;");
-    println!("one 50 ms freeze injected on rank 0's node.\n");
-    for (slack, label) in [
-        (0u64, "victim on the critical path"),
-        (20, "victim has 20 ms slack/iter"),
-        (60, "victim has 60 ms slack/iter"),
-    ] {
-        let profile = analysis::absorption_profile(
-            4,
-            10,
-            100,
-            slack,
-            sim_core::SimDuration::from_millis(50),
-            5,
-        );
-        let mean_ratio: f64 =
-            profile.iter().map(|p| p.transfer_ratio).sum::<f64>() / profile.len() as f64;
-        println!(
-            "  {label:<32} mean transfer ratio {mean_ratio:.2}  (0 = absorbed, 1 = amplified)"
-        );
-    }
-    println!("\nUnsynchronized SMIs at scale keep landing on whichever node is");
-    println!("momentarily critical — which is why Tables 1-3 amplify with nodes.");
-}
-
-fn cmd_energy(args: &Args) {
-    use machine::{NodeExecutor, PowerModel, SmiSideEffects};
-    println!("energy impact of SMM residency (60 s of useful work, Xeon node model)");
-    let pm = PowerModel::xeon_node();
-    for class in [SmiClass::None, SmiClass::Short, SmiClass::Long] {
-        let driver = SmiDriver::new(SmiDriverConfig::mpi_study(class));
-        let mut rng = SimRng::new(args.opts.seed);
-        let schedule = driver.schedule_for_node(&mut rng);
-        let out = NodeExecutor::new(&schedule, SmiSideEffects::none(), 8, 0.5, 0.0)
-            .execute(SimTime::ZERO, SimDuration::from_secs(60));
-        let joules = pm.energy_joules(&out, 1.0);
-        println!(
-            "  {}: wall {:.2} s, {:.2} s in SMM, {:.0} J ({:.1} Wh/hour-of-work)",
-            class.label(),
-            out.wall.as_secs_f64(),
-            out.frozen.as_secs_f64(),
-            joules,
-            joules / 3600.0 * 60.0,
-        );
-    }
-    println!("\nSMM time burns near-active power while doing no host work — the");
-    println!("energy inflation tracks the runtime inflation (prior work [7]).");
-}
-
-fn cmd_mops(_args: &Args) {
-    println!("work completed and MOPs at the paper's serial baselines");
-    println!("{:>6} {:>7} {:>16} {:>12} {:>12}", "bench", "class", "total ops", "time [s]", "MOP/s");
-    for bench in [Bench::Ep, Bench::Bt, Bench::Ft] {
-        for class in nas::Class::PAPER {
-            let secs = nas::serial_seconds(bench, class);
-            println!(
-                "{:>6} {:>7} {:>16.3e} {:>12.2} {:>12.1}",
-                bench.name(),
-                class.letter(),
-                nas::total_ops(bench, class),
-                secs,
-                nas::mops(bench, class, secs),
-            );
-        }
-    }
+/// Run one X study through the runner (so it caches/resumes like every
+/// other experiment) and print its text.
+fn cmd_study(experiment: &str, render: fn(&RunOptions) -> String, args: &Args) {
+    let report = execute(args, experiment, vec![text_cell(experiment, &args.opts, render)]);
+    print!("{}", text_payload(&report.outcomes[0].payload));
 }
 
 /// Generate the EXPERIMENTS.md body: every table and figure, paper vs
@@ -408,18 +347,17 @@ fn cmd_report(args: &Args) {
     out.push_str("## MPI study (Tables 1–3)\n\n");
     for (n, bench) in [(1u32, Bench::Bt), (2, Bench::Ep), (3, Bench::Ft)] {
         eprintln!("report: table {n}...");
-        let result = run_table(bench, &args.opts);
+        let result = run_table_result(args, n, bench);
         out.push_str(&table_report(&result, n));
     }
     out.push_str("## HTT study (Tables 4–5)\n\n");
     for (n, bench) in [(4u32, Bench::Ep), (5, Bench::Ft)] {
         eprintln!("report: table {n}...");
-        let result = run_htt_table(bench, &args.opts);
+        let result = run_htt_result(args, n, bench);
         out.push_str(&htt_report(&result, n));
     }
     eprintln!("report: figure 1...");
-    let fig1_opts = RunOptions { reps: args.opts.reps.min(3), ..args.opts };
-    let fig1 = run_figure1(&fig1_opts);
+    let fig1 = run_figure1_result(args);
     out.push_str("## Figure 1 — Convolve\n\n");
     out.push_str("Paper claims vs. measured (CacheUnfriendly, 4 CPUs):\n\n");
     out.push_str("| SMI interval | measured mean [s] | vs. quiet |\n|---|---|---|\n");
@@ -443,7 +381,7 @@ fn cmd_report(args: &Args) {
     out.push_str("600 ms intervals\" and \"a dramatic impact\" below; the measured\n");
     out.push_str("knee sits in the same place.\n\n");
     eprintln!("report: figure 2...");
-    let fig2 = run_figure2(&args.opts);
+    let fig2 = run_figure2_result(args);
     out.push_str("## Figure 2 — UnixBench\n\n");
     out.push_str("| interval | ");
     for s in &fig2.long_series {
@@ -463,15 +401,87 @@ fn cmd_report(args: &Args) {
     print!("{out}");
 }
 
+/// Everything, as ONE job DAG: all table cells, all figure cells, and
+/// all X studies fan out together over `--jobs` workers, then results
+/// print in the documented command order.
+fn cmd_all(args: &Args) {
+    struct Segment {
+        start: usize,
+        len: usize,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    let seg = |cells: &mut Vec<Cell>, batch: Vec<Cell>| {
+        let s = Segment { start: cells.len(), len: batch.len() };
+        cells.extend(batch);
+        s
+    };
+    let tables: Vec<(u32, Bench, Segment)> = [(1u32, Bench::Bt), (2, Bench::Ep), (3, Bench::Ft)]
+        .into_iter()
+        .map(|(n, b)| {
+            let s = seg(&mut cells, table_cells(b, &args.opts));
+            (n, b, s)
+        })
+        .collect();
+    let htts: Vec<(u32, Bench, Segment)> = [(4u32, Bench::Ep), (5, Bench::Ft)]
+        .into_iter()
+        .map(|(n, b)| {
+            let s = seg(&mut cells, htt_cells(b, &args.opts));
+            (n, b, s)
+        })
+        .collect();
+    let f1 = seg(&mut cells, figure1_cells(&fig1_opts(&args.opts)));
+    let f2 = seg(&mut cells, figure2_cells(&args.opts));
+    let studies: Vec<(&str, Segment)> = xcmds::ALL_STUDIES
+        .into_iter()
+        .map(|(name, render)| {
+            let s = seg(&mut cells, vec![text_cell(name, &args.opts, render)]);
+            (name, s)
+        })
+        .collect();
+
+    eprintln!(
+        "running everything: {} cells over {} jobs (reps {}, seed {})...",
+        cells.len(),
+        args.jobs,
+        args.opts.reps,
+        args.opts.seed
+    );
+    let report = execute(args, "all", cells);
+    let payloads = report.payloads();
+    let slice = |s: &Segment| &payloads[s.start..s.start + s.len];
+
+    for (n, bench, s) in &tables {
+        print_table(*n, &assemble_table(*bench, slice(s)), args);
+    }
+    for (n, bench, s) in &htts {
+        print_htt_table(*n, &assemble_htt_table(*bench, slice(s)), args);
+    }
+    print_figure1(&assemble_figure1(slice(&f1)), args);
+    print_figure2(&assemble_figure2(slice(&f2)), args);
+    for (_, s) in &studies {
+        print!("{}", text_payload(&slice(s)[0]));
+        println!();
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|energy|mops|report|all> [--reps N] [--seed N] [--quick] [--csv DIR] [--svg DIR] [--json DIR]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all> [--reps N] [--seed N] [--quick] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
             std::process::exit(2);
         }
     };
+    // Records accumulate per batch within one invocation; start fresh.
+    if let Some(path) = &args.records {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create records dir");
+            }
+        }
+        std::fs::write(path, "").expect("truncate records file");
+    }
     match args.command.as_str() {
         "table1" => cmd_table(1, Bench::Bt, &args),
         "table2" => cmd_table(2, Bench::Ep, &args),
@@ -480,31 +490,17 @@ fn main() {
         "table5" => cmd_htt_table(5, Bench::Ft, &args),
         "figure1" => cmd_figure1(&args),
         "figure2" => cmd_figure2(&args),
-        "detect" => cmd_detect(&args),
-        "bits" => cmd_bits(&args),
-        "attribution" => cmd_attribution(&args),
-        "absorption" => cmd_absorption(&args),
-        "unixbench" => cmd_unixbench(&args),
-        "scale" => cmd_scale(&args),
-        "variance" => cmd_variance(&args),
-        "energy" => cmd_energy(&args),
-        "mops" => cmd_mops(&args),
+        "detect" => cmd_study("x-detect", xcmds::detect, &args),
+        "bits" => cmd_study("x-bits", xcmds::bits, &args),
+        "attribution" => cmd_study("x-attribution", xcmds::attribution, &args),
+        "absorption" => cmd_study("x-absorption", xcmds::absorption, &args),
+        "unixbench" => cmd_study("x-unixbench", xcmds::unixbench, &args),
+        "scale" => cmd_study("x-scale", xcmds::scale, &args),
+        "variance" => cmd_study("x-variance", xcmds::variance, &args),
+        "energy" => cmd_study("x-energy", xcmds::energy, &args),
+        "mops" => cmd_study("x-mops", xcmds::mops, &args),
         "report" => cmd_report(&args),
-        "all" => {
-            cmd_table(1, Bench::Bt, &args);
-            cmd_table(2, Bench::Ep, &args);
-            cmd_table(3, Bench::Ft, &args);
-            cmd_htt_table(4, Bench::Ep, &args);
-            cmd_htt_table(5, Bench::Ft, &args);
-            cmd_figure1(&args);
-            cmd_figure2(&args);
-            cmd_detect(&args);
-            cmd_bits(&args);
-            cmd_attribution(&args);
-            cmd_absorption(&args);
-            cmd_energy(&args);
-            cmd_mops(&args);
-        }
+        "all" => cmd_all(&args),
         other => {
             eprintln!("error: unknown command {other:?}");
             std::process::exit(2);

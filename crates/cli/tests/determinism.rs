@@ -1,0 +1,81 @@
+//! End-to-end guards on the runner's contract, driven through the real
+//! `smi-lab` binary:
+//!
+//! * serial and `--jobs 8` runs of `table2 --quick` produce byte-identical
+//!   JSONL records (and identical stdout);
+//! * a warm re-run satisfies every cell from cache, still byte-identical.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smi-lab-cli-test-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn smi_lab(args: &[&str]) -> std::process::Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_smi-lab"))
+        .args(args)
+        .output()
+        .expect("run smi-lab");
+    assert!(
+        out.status.success(),
+        "smi-lab {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn parallel_records_are_byte_identical_to_serial() {
+    let dir = tmp_dir("jobs");
+    let rec1 = dir.join("serial.jsonl");
+    let rec8 = dir.join("jobs8.jsonl");
+    let cache = dir.join("cache");
+    let out1 = smi_lab(&[
+        "table2", "--quick", "--jobs", "1", "--no-cache",
+        "--cache-dir", cache.to_str().unwrap(),
+        "--records", rec1.to_str().unwrap(),
+    ]);
+    let out8 = smi_lab(&[
+        "table2", "--quick", "--jobs", "8", "--no-cache",
+        "--cache-dir", cache.to_str().unwrap(),
+        "--records", rec8.to_str().unwrap(),
+    ]);
+    let serial = read(&rec1);
+    assert!(!serial.is_empty(), "records must be written");
+    assert_eq!(serial, read(&rec8), "--jobs 8 records must match serial byte-for-byte");
+    assert_eq!(out1.stdout, out8.stdout, "rendered table must match too");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_rerun_is_fully_cached_and_identical() {
+    let dir = tmp_dir("resume");
+    let cache = dir.join("cache");
+    let rec_cold = dir.join("cold.jsonl");
+    let rec_warm = dir.join("warm.jsonl");
+    let common = ["table2", "--quick", "--cache-dir"];
+    smi_lab(&[&common[..], &[cache.to_str().unwrap(), "--records", rec_cold.to_str().unwrap()]].concat());
+    smi_lab(&[
+        &common[..],
+        &[cache.to_str().unwrap(), "--resume", "--records", rec_warm.to_str().unwrap()],
+    ]
+    .concat());
+    assert_eq!(read(&rec_cold), read(&rec_warm), "resumed records must be identical");
+
+    // The warm run's manifest must show every cell served from cache.
+    let manifest = jsonio::Json::parse(&read(&cache.join("manifests/table2.json")))
+        .expect("parse manifest");
+    let total = manifest.get("cells_total").and_then(jsonio::Json::as_u64).unwrap();
+    let cached = manifest.get("cells_cached").and_then(jsonio::Json::as_u64).unwrap();
+    assert!(total > 0);
+    assert_eq!(cached, total, "every cell of the warm run must come from cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}

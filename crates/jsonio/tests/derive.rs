@@ -1,0 +1,68 @@
+//! End-to-end tests of the `#[derive(ToJson)]` macro against every shape
+//! the laboratory's record types use.
+
+use jsonio::{Json, ToJson};
+
+/// A named-field struct with doc comments and mixed field types.
+#[derive(ToJson)]
+pub struct Record {
+    /// A float.
+    pub mean: f64,
+    /// An int.
+    pub reps: u32,
+    /// Nested array type with const length.
+    pub grid: [[Option<f64>; 2]; 2],
+    /// A vector of tuples.
+    pub pairs: Vec<(u32, f64)>,
+    label: String,
+}
+
+#[derive(ToJson)]
+pub struct Nanos(pub u64);
+
+#[derive(ToJson)]
+pub struct Pair(pub u32, pub u32);
+
+#[derive(ToJson)]
+pub enum Mixed {
+    Plain,
+    Wrapped(Nanos),
+    Fields { lo: u64, hi: u64 },
+    Multi(u32, u32),
+}
+
+#[test]
+fn named_struct_is_an_ordered_object() {
+    let r = Record {
+        mean: 1.5,
+        reps: 6,
+        grid: [[Some(1.0), None], [None, Some(4.0)]],
+        pairs: vec![(1, 0.5)],
+        label: "ep".into(),
+    };
+    assert_eq!(
+        r.to_json().to_string(),
+        r#"{"mean":1.5,"reps":6,"grid":[[1.0,null],[null,4.0]],"pairs":[[1,0.5]],"label":"ep"}"#
+    );
+}
+
+#[test]
+fn newtype_is_transparent() {
+    assert_eq!(Nanos(7).to_json(), Json::U64(7));
+}
+
+#[test]
+fn tuple_struct_is_an_array() {
+    assert_eq!(Pair(1, 2).to_json().to_string(), "[1,2]");
+}
+
+#[test]
+fn enum_variants_are_externally_tagged() {
+    assert_eq!(Mixed::Plain.to_json().to_string(), "\"Plain\"");
+    assert_eq!(Mixed::Wrapped(Nanos(3)).to_json().to_string(), r#"{"Wrapped":3}"#);
+    assert_eq!(
+        Mixed::Fields { lo: 1, hi: 2 }.to_json().to_string(),
+        r#"{"Fields":{"lo":1,"hi":2}}"#
+    );
+    assert_eq!(Mixed::Multi(1, 2).to_json().to_string(), r#"{"Multi":[1,2]}"#);
+}

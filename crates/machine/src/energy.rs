@@ -12,7 +12,7 @@ use crate::executor::ExecOutcome;
 use sim_core::SimDuration;
 
 /// Average package power in each node state, in watts.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct PowerModel {
     /// Executing host work (all used cores busy).
     pub active_w: f64,

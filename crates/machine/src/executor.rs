@@ -39,7 +39,7 @@ use sim_core::{FreezeSchedule, SimDuration, SimTime};
 ///   this work preempts the ranks; with HTT on, idle sibling threads
 ///   absorb it (set it to zero). This is the mechanism by which HTT can
 ///   *help* a communication-heavy benchmark under long SMIs.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct SmiSideEffects {
     /// SMM entry/exit rendezvous cost per online logical CPU, added to
     /// the *effective* residency of every window.
@@ -114,7 +114,7 @@ impl SmiSideEffects {
 pub const RESIDENCY_LOSS_CAP: f64 = 0.08;
 
 /// Wall-time outcome of running some work on a frozen node.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct ExecOutcome {
     /// Wall instant the work completed.
     pub wall_end: SimTime,

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Tunable scheduler/OS parameters.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct SchedParams {
     /// Preemption quantum.
     pub quantum: SimDuration,
@@ -85,7 +85,7 @@ impl std::fmt::Display for SchedError {
 impl std::error::Error for SchedError {}
 
 /// Result of running a thread set to completion.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct SchedOutcome {
     /// Work-time instant the last thread finished.
     pub makespan: SimDuration,

@@ -28,7 +28,7 @@
 //! contention lands at a small net gain.
 
 /// Execution profile of a thread for SMT purposes.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, jsonio::ToJson)]
 pub struct ExecProfile {
     /// Cycles per instruction spent executing (pipeline occupancy).
     pub exec_cpi: f64,
@@ -75,7 +75,7 @@ impl ExecProfile {
 }
 
 /// Machine-level SMT parameters.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, jsonio::ToJson)]
 pub struct SmtParams {
     /// How strongly a co-resident sibling's memory pressure inflates this
     /// thread's memory CPI. Calibrated so the paper's CU Convolve pair

@@ -9,15 +9,15 @@
 //! [`Topology::set_online_count`].
 
 /// Identifier of a logical CPU.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, jsonio::ToJson)]
 pub struct CpuId(pub u32);
 
 /// Identifier of a physical core.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, jsonio::ToJson)]
 pub struct CoreId(pub u32);
 
 /// Static shape of a node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub struct NodeSpec {
     /// Physical cores per node.
     pub physical_cores: u32,

@@ -12,11 +12,11 @@ use crate::topology::CpuId;
 use sim_core::SimDuration;
 
 /// Identifier of a pipe shared between threads of one node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, jsonio::ToJson)]
 pub struct PipeId(pub u32);
 
 /// One step of a thread program.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
 pub enum Phase {
     /// Execute for `work` (solo time), with the given SMT profile.
     Compute {
@@ -62,7 +62,7 @@ impl Phase {
 }
 
 /// A complete thread program.
-#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, jsonio::ToJson)]
 pub struct ThreadProgram {
     /// Phases executed in order.
     pub phases: Vec<Phase>,
@@ -95,7 +95,7 @@ impl ThreadProgram {
 }
 
 /// A thread to run on the node.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct ThreadSpec {
     /// The program to execute.
     pub program: ThreadProgram,

@@ -2,7 +2,7 @@
 //! makespan bounds, determinism, and fairness.
 
 use machine::{run, NodeSpec, Phase, SchedParams, ThreadProgram, ThreadSpec, Topology};
-use proptest::prelude::*;
+use quickprop::check;
 use sim_core::SimDuration;
 
 fn compute_threads(works_ms: &[u64]) -> Vec<ThreadSpec> {
@@ -14,14 +14,11 @@ fn compute_threads(works_ms: &[u64]) -> Vec<ThreadSpec> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn makespan_is_bounded_by_serial_and_ideal(
-        works in prop::collection::vec(1u64..500, 1..12),
-        online in 1u32..=8,
-    ) {
+#[test]
+fn makespan_is_bounded_by_serial_and_ideal() {
+    check("makespan_is_bounded_by_serial_and_ideal", 64, |g| {
+        let works = g.vec_u64(1..12, 1..500);
+        let online = g.u32(1..9);
         let mut topo = Topology::new(NodeSpec::dell_r410());
         topo.set_online_count(online);
         let out = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
@@ -32,22 +29,20 @@ proptest! {
         let makespan = out.makespan.as_millis_f64();
         // Never better than the perfect-parallel bound (compute-bound
         // threads gain nothing from SMT)...
-        prop_assert!(
-            makespan >= ideal_ms * 0.999,
-            "makespan {makespan} below ideal {ideal_ms}"
-        );
+        assert!(makespan >= ideal_ms * 0.999, "makespan {makespan} below ideal {ideal_ms}");
         // ...and never worse than fully serial (plus scheduling slop).
-        prop_assert!(
+        assert!(
             makespan <= total_ms as f64 * 1.05 + 1.0,
             "makespan {makespan} above serial {total_ms}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn executed_work_is_conserved(
-        works in prop::collection::vec(1u64..300, 1..10),
-        online in 1u32..=8,
-    ) {
+#[test]
+fn executed_work_is_conserved() {
+    check("executed_work_is_conserved", 64, |g| {
+        let works = g.vec_u64(1..10, 1..300);
+        let online = g.u32(1..9);
         let mut topo = Topology::new(NodeSpec::dell_r410());
         topo.set_online_count(online);
         let out = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
@@ -55,30 +50,32 @@ proptest! {
         let executed = out.total_work.as_millis_f64();
         // Compute-bound threads at rate <= 1: executed solo-equivalent
         // work equals the programmed work (within fp accumulation).
-        prop_assert!(
+        assert!(
             (executed - total as f64).abs() < 0.01 * total as f64 + 0.1,
             "executed {executed} vs programmed {total}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn scheduler_is_deterministic(
-        works in prop::collection::vec(1u64..200, 2..8),
-        online in 1u32..=8,
-    ) {
+#[test]
+fn scheduler_is_deterministic() {
+    check("scheduler_is_deterministic", 64, |g| {
+        let works = g.vec_u64(2..8, 1..200);
+        let online = g.u32(1..9);
         let mut topo = Topology::new(NodeSpec::dell_r410());
         topo.set_online_count(online);
         let a = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
         let b = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
-        prop_assert_eq!(a.makespan, b.makespan);
-        prop_assert_eq!(a.finish_times, b.finish_times);
-        prop_assert_eq!(a.context_switches, b.context_switches);
-    }
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.finish_times, b.finish_times);
+        assert_eq!(a.context_switches, b.context_switches);
+    });
+}
 
-    #[test]
-    fn more_cpus_never_slow_compute_work(
-        works in prop::collection::vec(1u64..300, 1..10),
-    ) {
+#[test]
+fn more_cpus_never_slow_compute_work() {
+    check("more_cpus_never_slow_compute_work", 64, |g| {
+        let works = g.vec_u64(1..10, 1..300);
         // Onlining additional physical cores (1->4) must not hurt.
         let mut prev = f64::INFINITY;
         for online in [1u32, 2, 3, 4] {
@@ -86,22 +83,20 @@ proptest! {
             topo.set_online_count(online);
             let out = run(&topo, &SchedParams::default(), &compute_threads(&works)).unwrap();
             let ms = out.makespan.as_millis_f64();
-            prop_assert!(
-                ms <= prev * 1.02 + 0.1,
-                "online {online}: {ms} vs previous {prev}"
-            );
+            assert!(ms <= prev * 1.02 + 0.1, "online {online}: {ms} vs previous {prev}");
             prev = ms;
         }
-    }
+    });
+}
 
-    #[test]
-    fn equal_threads_finish_nearly_together(
-        n in 2u32..8,
-        work in 50u64..300,
-    ) {
+#[test]
+fn equal_threads_finish_nearly_together() {
+    check("equal_threads_finish_nearly_together", 64, |g| {
         // vruntime fairness: identical threads on one CPU finish within
         // one round-robin rotation (n quanta) of each other — no thread
         // is starved.
+        let n = g.u32(2..8);
+        let work = g.u64(50..300);
         let mut topo = Topology::new(NodeSpec::dell_r410());
         topo.set_online_count(1);
         let works = vec![work; n as usize];
@@ -109,10 +104,10 @@ proptest! {
         let first = out.finish_times.iter().min().unwrap().as_millis_f64();
         let last = out.finish_times.iter().max().unwrap().as_millis_f64();
         let quantum_ms = 10.0;
-        prop_assert!(
+        assert!(
             last - first <= n as f64 * quantum_ms + 0.5,
             "spread {} ms with n={n}",
             last - first
         );
-    }
+    });
 }

@@ -4,7 +4,7 @@ use machine::{NodeSpec, SmiSideEffects};
 use sim_core::FreezeSchedule;
 
 /// Static shape of an MPI job on the cluster.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct ClusterSpec {
     /// Number of nodes in the job.
     pub nodes: u32,

@@ -19,7 +19,7 @@ use sim_core::{EventQueue, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// Outcome of one MPI job execution.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct RunResult {
     /// Wall-clock duration of the job (last rank's finish).
     pub makespan: SimDuration,
@@ -443,7 +443,7 @@ mod tests {
     fn single_node_long_smi_adds_duty_cycle() {
         let spec = ClusterSpec::wyeast(1, 1, false);
         let prog = RankProgram::new(vec![Op::Compute(SimDuration::from_secs(20))]);
-        let base = run(&spec, &quiet_nodes(1), &[prog.clone()], &net());
+        let base = run(&spec, &quiet_nodes(1), std::slice::from_ref(&prog), &net());
         let noisy = run(&spec, &noisy_nodes(1, 42), &[prog], &net());
         let slowdown = noisy.seconds() / base.seconds();
         assert!((1.09..1.13).contains(&slowdown), "slowdown {slowdown}");

@@ -15,7 +15,7 @@
 use sim_core::{SimDuration, SimTime};
 
 /// Interconnect parameters.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct NetworkParams {
     /// One-way small-message latency between nodes.
     pub net_latency: SimDuration,

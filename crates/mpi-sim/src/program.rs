@@ -13,7 +13,7 @@
 use sim_core::SimDuration;
 
 /// High-level MPI operation.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
 pub enum Op {
     /// Local computation for `work` of solo time.
     Compute(SimDuration),
@@ -77,7 +77,7 @@ pub enum Op {
 }
 
 /// A rank's complete program plus its node-level workload character.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct RankProgram {
     /// Operations in order.
     pub ops: Vec<Op>,
@@ -121,7 +121,7 @@ impl RankProgram {
 }
 
 /// Lowered point-to-point operation.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
 pub enum LowOp {
     /// Local computation.
     Compute(SimDuration),

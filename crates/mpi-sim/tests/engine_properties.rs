@@ -2,23 +2,33 @@
 
 use machine::SmiSideEffects;
 use mpi_sim::{lower, ClusterSpec, LowOp, NetworkParams, NodeState, Op, RankProgram};
-use proptest::prelude::*;
-use sim_core::{
-    DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng, SimTime, TriggerPolicy,
-};
+use quickprop::{check, Gen};
+use sim_core::{DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng};
 use std::collections::HashMap;
 
-/// Arbitrary SPMD collective sequences (every rank runs the same ops, so
-/// matching must hold by construction).
-fn collective_op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..50).prop_map(|ms| Op::Compute(SimDuration::from_millis(ms))),
-        Just(Op::Barrier),
-        (0u32..4, 1u64..100_000).prop_map(|(root, bytes)| Op::Bcast { root, bytes }),
-        (0u32..4, 1u64..100_000).prop_map(|(root, bytes)| Op::Reduce { root, bytes }),
-        (1u64..100_000).prop_map(|bytes| Op::Allreduce { bytes }),
-        (1u64..10_000).prop_map(|bytes_per_pair| Op::Alltoall { bytes_per_pair }),
-    ]
+/// One arbitrary SPMD collective op (every rank runs the same ops, so
+/// matching must hold by construction). Roots are drawn in `0..4` and
+/// clamped into range by the caller.
+fn collective_op(g: &mut Gen) -> Op {
+    match g.u32(0..6) {
+        0 => Op::Compute(SimDuration::from_millis(g.u64(1..50))),
+        1 => Op::Barrier,
+        2 => Op::Bcast { root: g.u32(0..4), bytes: g.u64(1..100_000) },
+        3 => Op::Reduce { root: g.u32(0..4), bytes: g.u64(1..100_000) },
+        4 => Op::Allreduce { bytes: g.u64(1..100_000) },
+        _ => Op::Alltoall { bytes_per_pair: g.u64(1..10_000) },
+    }
+}
+
+fn clamped_ops(g: &mut Gen, len: std::ops::Range<usize>, size: u32) -> Vec<Op> {
+    g.vec(len, collective_op)
+        .into_iter()
+        .map(|op| match op {
+            Op::Bcast { root, bytes } => Op::Bcast { root: root % size, bytes },
+            Op::Reduce { root, bytes } => Op::Reduce { root: root % size, bytes },
+            other => other,
+        })
+        .collect()
 }
 
 /// Check send/recv matching across all lowered rank programs.
@@ -42,70 +52,51 @@ fn assert_matched(programs: &[Vec<LowOp>]) {
     }
 }
 
-fn sizes() -> impl Strategy<Value = u32> {
-    prop_oneof![Just(2u32), Just(3), Just(4), Just(5), Just(8), Just(16)]
+fn quiet_nodes(nodes: u32) -> Vec<NodeState> {
+    (0..nodes)
+        .map(|_| NodeState {
+            schedule: FreezeSchedule::none(),
+            effects: SmiSideEffects::none(),
+            online_cpus: 4,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn lowering_is_always_matched(
-        ops in prop::collection::vec(collective_op_strategy(), 1..8),
-        size in sizes(),
-    ) {
-        // Clamp roots into range for the drawn size.
-        let ops: Vec<Op> = ops
-            .into_iter()
-            .map(|op| match op {
-                Op::Bcast { root, bytes } => Op::Bcast { root: root % size, bytes },
-                Op::Reduce { root, bytes } => Op::Reduce { root: root % size, bytes },
-                other => other,
-            })
-            .collect();
+#[test]
+fn lowering_is_always_matched() {
+    check("lowering_is_always_matched", 48, |g| {
+        let size = g.pick(&[2u32, 3, 4, 5, 8, 16]);
+        let ops = clamped_ops(g, 1..8, size);
         let programs: Vec<Vec<LowOp>> = (0..size)
             .map(|r| lower(&RankProgram::new(ops.clone()), r, size, |_| SimDuration::ZERO))
             .collect();
         assert_matched(&programs);
-    }
+    });
+}
 
-    #[test]
-    fn spmd_collective_jobs_always_terminate(
-        ops in prop::collection::vec(collective_op_strategy(), 1..6),
-        nodes in prop_oneof![Just(2u32), Just(4), Just(8)],
-    ) {
-        let ops: Vec<Op> = ops
-            .into_iter()
-            .map(|op| match op {
-                Op::Bcast { root, bytes } => Op::Bcast { root: root % nodes, bytes },
-                Op::Reduce { root, bytes } => Op::Reduce { root: root % nodes, bytes },
-                other => other,
-            })
-            .collect();
+#[test]
+fn spmd_collective_jobs_always_terminate() {
+    check("spmd_collective_jobs_always_terminate", 48, |g| {
+        let nodes = g.pick(&[2u32, 4, 8]);
+        let ops = clamped_ops(g, 1..6, nodes);
         let spec = ClusterSpec::wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> =
             (0..nodes).map(|_| RankProgram::new(ops.clone())).collect();
-        let quiet: Vec<NodeState> = (0..nodes)
-            .map(|_| NodeState {
-                schedule: FreezeSchedule::none(),
-                effects: SmiSideEffects::none(),
-                online_cpus: 4,
-            })
-            .collect();
         // run() panics on deadlock; completing is the property.
-        let out = mpi_sim::run(&spec, &quiet, &programs, &NetworkParams::gigabit_cluster());
-        prop_assert!(out.makespan >= SimDuration::ZERO);
+        let out = mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
+        assert!(out.makespan >= SimDuration::ZERO);
         // Makespan is at least the per-rank compute.
         let compute = programs[0].total_compute();
-        prop_assert!(out.makespan >= compute);
-    }
+        assert!(out.makespan >= compute);
+    });
+}
 
-    #[test]
-    fn noise_never_speeds_a_job_up(
-        compute_ms in 20u64..200,
-        iters in 1u32..10,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn noise_never_speeds_a_job_up() {
+    check("noise_never_speeds_a_job_up", 48, |g| {
+        let compute_ms = g.u64(20..200);
+        let iters = g.u32(1..10);
+        let seed = g.any_u64();
         let nodes = 4u32;
         let spec = ClusterSpec::wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> = (0..nodes)
@@ -119,14 +110,7 @@ proptest! {
             })
             .collect();
         let net = NetworkParams::gigabit_cluster();
-        let quiet: Vec<NodeState> = (0..nodes)
-            .map(|_| NodeState {
-                schedule: FreezeSchedule::none(),
-                effects: SmiSideEffects::none(),
-                online_cpus: 4,
-            })
-            .collect();
-        let base = mpi_sim::run(&spec, &quiet, &programs, &net).makespan;
+        let base = mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &net).makespan;
 
         let mut rng = SimRng::new(seed);
         let noisy: Vec<NodeState> = (0..nodes)
@@ -141,15 +125,16 @@ proptest! {
             })
             .collect();
         let noised = mpi_sim::run(&spec, &noisy, &programs, &net).makespan;
-        prop_assert!(noised >= base, "noise sped the job up: {noised:?} < {base:?}");
-    }
+        assert!(noised >= base, "noise sped the job up: {noised:?} < {base:?}");
+    });
+}
 
-    #[test]
-    fn engine_is_deterministic(
-        bytes in 1u64..500_000,
-        nodes in prop_oneof![Just(2u32), Just(4)],
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn engine_is_deterministic() {
+    check("engine_is_deterministic", 48, |g| {
+        let bytes = g.u64(1..500_000);
+        let nodes = g.pick(&[2u32, 4]);
+        let seed = g.any_u64();
         let spec = ClusterSpec::wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> = (0..nodes)
             .map(|_| {
@@ -177,29 +162,23 @@ proptest! {
         };
         let a = mpi_sim::run(&spec, &mk_nodes(), &programs, &net);
         let b = mpi_sim::run(&spec, &mk_nodes(), &programs, &net);
-        prop_assert_eq!(a.makespan, b.makespan);
-        prop_assert_eq!(a.messages, b.messages);
-        prop_assert_eq!(a.bytes, b.bytes);
-    }
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+    });
+}
 
-    #[test]
-    fn barrier_count_scales_messages_linearly(
-        barriers in 1usize..10,
-    ) {
+#[test]
+fn barrier_count_scales_messages_linearly() {
+    check("barrier_count_scales_messages_linearly", 48, |g| {
+        let barriers = g.usize(1..10);
         let nodes = 8u32;
         let spec = ClusterSpec::wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> = (0..nodes)
             .map(|_| RankProgram::new(vec![Op::Barrier; barriers]))
             .collect();
-        let quiet: Vec<NodeState> = (0..nodes)
-            .map(|_| NodeState {
-                schedule: FreezeSchedule::none(),
-                effects: SmiSideEffects::none(),
-                online_cpus: 4,
-            })
-            .collect();
-        let out = mpi_sim::run(&spec, &quiet, &programs, &NetworkParams::gigabit_cluster());
+        let out = mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
         // Dissemination barrier: n x log2(n) sendrecvs per barrier.
-        prop_assert_eq!(out.messages, (barriers as u64) * 8 * 3);
-    }
+        assert_eq!(out.messages, (barriers as u64) * 8 * 3);
+    });
 }

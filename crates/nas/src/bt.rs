@@ -210,6 +210,7 @@ pub const FLOPS_PER_BLOCK_ROW: u64 = 2 * 250 + 290 + 105;
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
     use super::*;
     use sim_core::SimRng;
 

@@ -1,7 +1,7 @@
 //! NAS problem classes.
 
 /// The NPB problem classes the paper measures (§III.C).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, jsonio::ToJson)]
 pub enum Class {
     /// Sample size (verification/testing only; not in the paper's tables).
     S,

@@ -13,7 +13,7 @@
 //! in the all-to-all structure.
 
 /// A complex number (we avoid external crates by keeping it local).
-#[derive(Clone, Copy, Debug, PartialEq, Default, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Default, jsonio::ToJson)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -34,15 +34,19 @@ impl Complex {
     pub fn cis(theta: f64) -> Self {
         Complex { re: theta.cos(), im: theta.sin() }
     }
-    /// Complex addition.
+    /// Complex addition (inherent by-value method, not `ops::Add`, so
+    /// kernel inner loops stay explicit).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Complex) -> Complex {
         Complex::new(self.re + o.re, self.im + o.im)
     }
     /// Complex subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Complex) -> Complex {
         Complex::new(self.re - o.re, self.im - o.im)
     }
     /// Complex multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Complex) -> Complex {
         Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
     }
@@ -248,6 +252,7 @@ impl Field3 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
     use super::*;
     use sim_core::SimRng;
 

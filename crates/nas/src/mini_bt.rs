@@ -38,11 +38,9 @@ impl MiniBt {
         // A diagonally dominant, symmetric positive coupling: identity
         // plus a weak symmetric mix, keeping the implicit operator
         // well conditioned.
-        let mut coupling = [[0.0; 5]; 5];
-        for i in 0..5 {
-            for j in 0..5 {
-                coupling[i][j] = if i == j { 1.0 } else { 0.05 };
-            }
+        let mut coupling = [[0.05; 5]; 5];
+        for (i, row) in coupling.iter_mut().enumerate() {
+            row[i] = 1.0;
         }
         let mut u = Vec::with_capacity(n * n * n);
         for z in 0..n {
@@ -175,6 +173,7 @@ pub fn standard_init(n: usize) -> impl FnMut(usize, usize, usize) -> Vec5 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
     use super::*;
     use crate::bt::matvec;
 

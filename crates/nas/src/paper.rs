@@ -15,7 +15,7 @@
 use crate::classes::Class;
 
 /// Which NAS benchmark.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, jsonio::ToJson)]
 pub enum Bench {
     /// Embarrassingly Parallel.
     Ep,
@@ -47,7 +47,7 @@ impl Bench {
 /// One table cell: seconds for SMM 0 / SMM 1 / SMM 2. `None` marks the
 /// paper's "-" entries (FT class C did not fit on 1–2 nodes with one
 /// rank per node).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, jsonio::ToJson)]
 pub struct PaperCell {
     /// Seconds under no / short / long SMIs.
     pub smm: [Option<f64>; 3],
@@ -145,11 +145,11 @@ pub fn table_cell(bench: Bench, class: Class, nodes: u32, ranks_per_node: u32) -
     };
     rows.iter()
         .find(|&&(n, _, _)| n == nodes)
-        .map(|&(_, ref one, ref four)| if ranks_per_node == 1 { *one } else { *four })
+        .map(|(_, one, four)| if ranks_per_node == 1 { *one } else { *four })
 }
 
 /// One HTT-study cell: seconds for `[smm][ht]` (Tables 4–5, 4 ranks/node).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, jsonio::ToJson)]
 pub struct HttCell {
     /// `[SMM 0/1/2][ht=0, ht=1]` seconds.
     pub smm_ht: [[f64; 2]; 3],

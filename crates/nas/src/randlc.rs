@@ -38,8 +38,10 @@ impl Randlc {
         self.x
     }
 
-    /// Advance once and return the uniform value in `(0, 1)`.
+    /// Advance once and return the uniform value in `(0, 1)`. Named
+    /// after NPB's `randlc` convention; deliberately not an `Iterator`.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> f64 {
         self.x = ((self.x as u128 * A as u128) & MASK as u128) as u64;
         self.x as f64 * R46

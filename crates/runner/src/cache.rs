@@ -1,0 +1,164 @@
+//! Content-hash result cache.
+//!
+//! Every completed cell is persisted as a single JSON line under
+//! `results/cache/<xx>/<key>.json`, where `key` is a 128-bit hash of the
+//! cell's full identity: code-version tag, experiment id, cell label,
+//! canonical (compact) cell parameters, seed, and rep count. Any change
+//! to any of those produces a different key, so stale entries are never
+//! *returned* — they are simply never looked up again.
+//!
+//! Robustness contract: a cache entry is advisory. Loads re-verify the
+//! stored identity fields against the request and re-parse the payload;
+//! any mismatch, truncation, or parse failure is treated as a miss (the
+//! cell is recomputed and the entry rewritten). Corruption must never
+//! panic and never poison results.
+
+use crate::CellSpec;
+use jsonio::Json;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every entry; bump to invalidate wholesale.
+pub const ENTRY_SCHEMA: u64 = 1;
+
+/// A 128-bit content key rendered as 32 hex chars.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheKey(pub u64, pub u64);
+
+impl CacheKey {
+    /// Hex form used for file names and manifests.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// FNV-1a over bytes, folded through splitmix for avalanche, in two
+/// independently-offset lanes. Not cryptographic — the cache is a local
+/// memoization layer keyed by our own serializer's canonical output, not
+/// a defense against adversaries.
+fn hash_lane(bytes: &[u8], offset: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325 ^ offset;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Compute the content key of a cell under a code-version tag.
+pub fn cell_key(code_version: &str, spec: &CellSpec) -> CacheKey {
+    let identity = Json::obj(vec![
+        ("schema", Json::U64(ENTRY_SCHEMA)),
+        ("code", Json::Str(code_version.to_string())),
+        ("experiment", Json::Str(spec.experiment.clone())),
+        ("cell", Json::Str(spec.cell.clone())),
+        ("params", spec.params.clone()),
+        ("seed", Json::U64(spec.seed)),
+        ("reps", Json::U64(spec.reps as u64)),
+    ])
+    .to_string();
+    CacheKey(hash_lane(identity.as_bytes(), 0), hash_lane(identity.as_bytes(), 0x9E37_79B9))
+}
+
+/// Path of the entry for `key` under the cache root (two-hex-char shard
+/// directories keep any single directory small).
+pub fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
+    let hex = key.hex();
+    dir.join(&hex[..2]).join(format!("{hex}.json"))
+}
+
+/// Try to load a cached payload. `None` on any miss *or* any form of
+/// corruption (unreadable file, bad JSON, wrong schema/key/identity).
+pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> Option<Json> {
+    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    let entry = Json::parse(text.trim_end()).ok()?;
+    let matches = entry.get("schema").and_then(Json::as_u64) == Some(ENTRY_SCHEMA)
+        && entry.get("key").and_then(Json::as_str) == Some(key.hex().as_str())
+        && entry.get("code").and_then(Json::as_str) == Some(code_version)
+        && entry.get("experiment").and_then(Json::as_str) == Some(spec.experiment.as_str())
+        && entry.get("cell").and_then(Json::as_str) == Some(spec.cell.as_str())
+        && entry.get("params") == Some(&spec.params)
+        && entry.get("seed").and_then(Json::as_u64) == Some(spec.seed)
+        && entry.get("reps").and_then(Json::as_u64) == Some(spec.reps as u64);
+    if !matches {
+        return None;
+    }
+    entry.get("payload").cloned()
+}
+
+/// Persist a payload. Written to a temporary sibling then renamed, so a
+/// concurrent reader never observes a half-written entry. Errors are
+/// swallowed: the cache is an optimization, not a correctness layer.
+pub fn store(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec, payload: &Json) {
+    let path = entry_path(dir, key);
+    let Some(parent) = path.parent() else { return };
+    if std::fs::create_dir_all(parent).is_err() {
+        return;
+    }
+    let entry = Json::obj(vec![
+        ("schema", Json::U64(ENTRY_SCHEMA)),
+        ("key", Json::Str(key.hex())),
+        ("code", Json::Str(code_version.to_string())),
+        ("experiment", Json::Str(spec.experiment.clone())),
+        ("cell", Json::Str(spec.cell.clone())),
+        ("params", spec.params.clone()),
+        ("seed", Json::U64(spec.seed)),
+        ("reps", Json::U64(spec.reps as u64)),
+        ("payload", payload.clone()),
+    ]);
+    let mut line = entry.to_string();
+    line.push('\n');
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, line).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CellSpec {
+        CellSpec {
+            experiment: "table2".into(),
+            cell: "A-n1-r1".into(),
+            params: Json::obj(vec![("nodes", Json::U64(1))]),
+            seed: 20160816,
+            reps: 6,
+        }
+    }
+
+    #[test]
+    fn key_depends_on_every_identity_component() {
+        let base = cell_key("v1", &spec());
+        assert_eq!(base, cell_key("v1", &spec()), "key must be stable");
+        let mut s = spec();
+        s.seed += 1;
+        assert_ne!(base, cell_key("v1", &s), "seed must change the key");
+        let mut s = spec();
+        s.reps = 2;
+        assert_ne!(base, cell_key("v1", &s), "reps must change the key");
+        let mut s = spec();
+        s.cell = "A-n2-r1".into();
+        assert_ne!(base, cell_key("v1", &s), "cell must change the key");
+        let mut s = spec();
+        s.experiment = "table3".into();
+        assert_ne!(base, cell_key("v1", &s), "experiment must change the key");
+        let mut s = spec();
+        s.params = Json::obj(vec![("nodes", Json::U64(2))]);
+        assert_ne!(base, cell_key("v1", &s), "params must change the key");
+        assert_ne!(base, cell_key("v2", &spec()), "code version must change the key");
+    }
+
+    #[test]
+    fn entry_paths_shard_by_prefix() {
+        let key = CacheKey(0xAB00_0000_0000_0001, 2);
+        let p = entry_path(Path::new("cache"), key);
+        assert_eq!(
+            p,
+            Path::new("cache").join("ab").join("ab000000000000010000000000000002.json")
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! # runner — hermetic parallel experiment execution
+//!
+//! The laboratory regenerates the paper's artifacts (Tables 1–5,
+//! Figures 1–2, and the extension studies) by evaluating thousands of
+//! deterministic `(experiment, cell, rep)` simulations. This crate is
+//! the execution engine underneath them:
+//!
+//! * **Job model** — every artifact is decomposed into [`Cell`]s: a
+//!   stable identity ([`CellSpec`]: experiment id, cell label, canonical
+//!   parameters, seed, reps) plus a pure work closure producing a
+//!   [`Json`] payload. Because every cell seeds its own RNG streams from
+//!   its identity (`SimRng::from_path`), payloads are bit-identical
+//!   regardless of scheduling — `--jobs 8` equals `--jobs 1` byte for
+//!   byte.
+//! * **Work-stealing pool** ([`pool`]) — fixed job set over
+//!   `std::thread`, results returned in submission order.
+//! * **Result cache** ([`cache`]) — each completed cell persists as one
+//!   JSON line under `results/cache/`, keyed by a content hash of the
+//!   cell identity and a code-version tag. Re-runs and `--resume` skip
+//!   completed cells; corrupted entries are recomputed, never fatal.
+//! * **Telemetry** ([`telemetry`]) — cells done/total, cache hit rate,
+//!   a log₂ cell-latency histogram, and an ETA on stderr, plus a
+//!   machine-readable run manifest.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod telemetry;
+
+use jsonio::Json;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The stable identity of one experiment cell — everything that
+/// determines its output, and therefore its cache key.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Experiment id (`"table2"`, `"figure1"`, `"x-detect"`, ...).
+    pub experiment: String,
+    /// Cell label within the experiment (`"A-n4-r1"`, ...).
+    pub cell: String,
+    /// Canonical cell parameters (compact JSON participates in the key).
+    pub params: Json,
+    /// Root seed the cell derives its RNG streams from.
+    pub seed: u64,
+    /// Replications folded into this cell.
+    pub reps: u32,
+}
+
+/// A schedulable cell: identity plus the pure work closure.
+pub struct Cell {
+    /// The cell's identity.
+    pub spec: CellSpec,
+    /// Computes the payload. Must be deterministic given `spec` — the
+    /// runner may satisfy it from cache or run it on any worker thread.
+    pub work: Box<dyn Fn() -> Json + Send + Sync>,
+}
+
+impl Cell {
+    /// Convenience constructor.
+    pub fn new(spec: CellSpec, work: impl Fn() -> Json + Send + Sync + 'static) -> Self {
+        Cell { spec, work: Box::new(work) }
+    }
+}
+
+/// How the result cache participates in a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Read hits, write misses (the default; also what `--resume` uses).
+    ReadWrite,
+    /// Recompute everything but still persist results.
+    WriteOnly,
+    /// No cache traffic at all (`--no-cache`).
+    Off,
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Runner {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Cache behaviour.
+    pub cache_mode: CacheMode,
+    /// Cache root directory (`results/cache` by convention).
+    pub cache_dir: PathBuf,
+    /// Code-version tag mixed into every cache key so entries from an
+    /// older build of the simulators are never returned.
+    pub code_version: String,
+    /// Progress ticker on stderr.
+    pub verbose: bool,
+}
+
+impl Runner {
+    /// A runner with the conventional cache location and this crate's
+    /// version as the code tag (callers usually override the tag with
+    /// their own release stamp).
+    pub fn new(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            cache_mode: CacheMode::ReadWrite,
+            cache_dir: PathBuf::from("results/cache"),
+            code_version: concat!("runner-", env!("CARGO_PKG_VERSION")).to_string(),
+            verbose: true,
+        }
+    }
+
+    /// Execute every cell (from cache where possible) and return
+    /// outcomes in submission order.
+    pub fn run(&self, label: &str, cells: Vec<Cell>) -> RunReport {
+        let progress = telemetry::Progress::new(cells.len() as u64, self.verbose);
+        let started = Instant::now();
+        let jobs: Vec<_> = cells
+            .into_iter()
+            .map(|cell| {
+                let progress = &progress;
+                move || self.run_cell(cell, progress)
+            })
+            .collect();
+        let outcomes = pool::run_jobs(jobs, self.jobs);
+        progress.print_summary(label);
+        let (done, cached, _) = progress.totals();
+        RunReport {
+            label: label.to_string(),
+            jobs: self.jobs,
+            code_version: self.code_version.clone(),
+            cells_total: done,
+            cells_cached: cached,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            latency_histogram: progress.histogram(),
+            p50_micros: progress.quantile_micros(0.50),
+            p90_micros: progress.quantile_micros(0.90),
+            outcomes,
+        }
+    }
+
+    fn run_cell(&self, cell: Cell, progress: &telemetry::Progress) -> CellOutcome {
+        let started = Instant::now();
+        let key = cache::cell_key(&self.code_version, &cell.spec);
+        let cached_payload = match self.cache_mode {
+            CacheMode::ReadWrite => {
+                cache::load(&self.cache_dir, key, &self.code_version, &cell.spec)
+            }
+            CacheMode::WriteOnly | CacheMode::Off => None,
+        };
+        let (payload, was_cached) = match cached_payload {
+            Some(payload) => (payload, true),
+            None => {
+                let payload = (cell.work)();
+                if self.cache_mode != CacheMode::Off {
+                    cache::store(&self.cache_dir, key, &self.code_version, &cell.spec, &payload);
+                }
+                (payload, false)
+            }
+        };
+        let micros = started.elapsed().as_micros() as u64;
+        progress.cell_done(&cell.spec.cell, micros, was_cached);
+        CellOutcome { spec: cell.spec, key, payload, cached: was_cached, micros }
+    }
+}
+
+/// One completed cell.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell's identity.
+    pub spec: CellSpec,
+    /// Its cache key.
+    pub key: cache::CacheKey,
+    /// The computed (or cached) payload.
+    pub payload: Json,
+    /// Whether the payload came from cache.
+    pub cached: bool,
+    /// Wall latency of this cell on its worker, in microseconds.
+    pub micros: u64,
+}
+
+impl CellOutcome {
+    /// The canonical JSONL record for this outcome (one compact line).
+    /// Deliberately excludes wall-clock and cache fields so records are
+    /// byte-identical across serial, parallel, cold, and resumed runs.
+    pub fn record(&self) -> String {
+        Json::obj(vec![
+            ("experiment", Json::Str(self.spec.experiment.clone())),
+            ("cell", Json::Str(self.spec.cell.clone())),
+            ("params", self.spec.params.clone()),
+            ("seed", Json::U64(self.spec.seed)),
+            ("reps", Json::U64(self.spec.reps as u64)),
+            ("payload", self.payload.clone()),
+        ])
+        .to_string()
+    }
+}
+
+/// The result of one `Runner::run` invocation.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The label passed to `run` (experiment or command name).
+    pub label: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Code-version tag in effect.
+    pub code_version: String,
+    /// Cells executed or loaded.
+    pub cells_total: u64,
+    /// Cells satisfied from cache.
+    pub cells_cached: u64,
+    /// Wall time of the whole run.
+    pub wall_seconds: f64,
+    /// `(bucket_floor_micros, count)` latency histogram.
+    pub latency_histogram: Vec<(u64, u64)>,
+    /// Approximate median cell latency.
+    pub p50_micros: u64,
+    /// Approximate 90th-percentile cell latency.
+    pub p90_micros: u64,
+    /// Per-cell outcomes, in submission order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl RunReport {
+    /// Payloads in submission order (what assemblers consume).
+    pub fn payloads(&self) -> Vec<Json> {
+        self.outcomes.iter().map(|o| o.payload.clone()).collect()
+    }
+
+    /// All outcome records as JSONL (one compact line per cell, in
+    /// submission order) — the determinism guard compares these bytes.
+    pub fn records_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.record());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The machine-readable run manifest.
+    pub fn manifest(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::U64(1)),
+            ("label", Json::Str(self.label.clone())),
+            ("code", Json::Str(self.code_version.clone())),
+            ("jobs", Json::U64(self.jobs as u64)),
+            ("cells_total", Json::U64(self.cells_total)),
+            ("cells_cached", Json::U64(self.cells_cached)),
+            (
+                "cache_hit_rate",
+                Json::F64(if self.cells_total > 0 {
+                    self.cells_cached as f64 / self.cells_total as f64
+                } else {
+                    0.0
+                }),
+            ),
+            ("wall_seconds", Json::F64(self.wall_seconds)),
+            ("p50_micros", Json::U64(self.p50_micros)),
+            ("p90_micros", Json::U64(self.p90_micros)),
+            (
+                "latency_histogram",
+                Json::Arr(
+                    self.latency_histogram
+                        .iter()
+                        .map(|&(floor, count)| {
+                            Json::obj(vec![
+                                ("ge_micros", Json::U64(floor)),
+                                ("count", Json::U64(count)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cells",
+                Json::Arr(
+                    self.outcomes
+                        .iter()
+                        .map(|o| {
+                            Json::obj(vec![
+                                ("experiment", Json::Str(o.spec.experiment.clone())),
+                                ("cell", Json::Str(o.spec.cell.clone())),
+                                ("key", Json::Str(o.key.hex())),
+                                ("cached", Json::Bool(o.cached)),
+                                ("micros", Json::U64(o.micros)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Write the manifest (pretty JSON) to `<cache_dir>/manifests/<label>.json`.
+    pub fn write_manifest(&self, cache_dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        let dir = cache_dir.join("manifests");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.label.replace(['/', ' '], "-")));
+        let mut body = self.manifest().to_string_pretty();
+        body.push('\n');
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smi-lab-runner-test-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmp cache dir");
+        dir
+    }
+
+    fn counting_cells(n: u64, executions: &Arc<AtomicU64>) -> Vec<Cell> {
+        (0..n)
+            .map(|i| {
+                let executions = Arc::clone(executions);
+                Cell::new(
+                    CellSpec {
+                        experiment: "test".into(),
+                        cell: format!("c{i}"),
+                        params: Json::obj(vec![("i", Json::U64(i))]),
+                        seed: 1,
+                        reps: 1,
+                    },
+                    move || {
+                        executions.fetch_add(1, Ordering::Relaxed);
+                        Json::obj(vec![("value", Json::U64(i * 10))])
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_preserve_order_and_payloads() {
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut runner = Runner::new(4);
+        runner.cache_mode = CacheMode::Off;
+        runner.verbose = false;
+        let report = runner.run("order", counting_cells(20, &executions));
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.spec.cell, format!("c{i}"));
+            assert_eq!(o.payload.get("value").unwrap().as_u64(), Some(i as u64 * 10));
+        }
+        assert_eq!(executions.load(Ordering::Relaxed), 20);
+        assert_eq!(report.cells_cached, 0);
+    }
+
+    #[test]
+    fn second_run_hits_cache_and_skips_execution() {
+        let dir = tmp_dir("hit");
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut runner = Runner::new(2);
+        runner.cache_dir = dir.clone();
+        runner.verbose = false;
+        let first = runner.run("warm", counting_cells(8, &executions));
+        assert_eq!(executions.load(Ordering::Relaxed), 8);
+        assert_eq!(first.cells_cached, 0);
+        let second = runner.run("warm", counting_cells(8, &executions));
+        assert_eq!(executions.load(Ordering::Relaxed), 8, "cache must satisfy re-run");
+        assert_eq!(second.cells_cached, 8);
+        assert_eq!(first.records_jsonl(), second.records_jsonl(), "records identical from cache");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_counts_and_writes() {
+        let dir = tmp_dir("manifest");
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut runner = Runner::new(1);
+        runner.cache_dir = dir.clone();
+        runner.verbose = false;
+        let report = runner.run("mani", counting_cells(3, &executions));
+        let m = report.manifest();
+        assert_eq!(m.get("cells_total").unwrap().as_u64(), Some(3));
+        assert_eq!(m.get("cells").unwrap().as_array().unwrap().len(), 3);
+        let path = report.write_manifest(&dir).expect("manifest written");
+        let parsed = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("mani"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,159 @@
+//! A work-stealing thread pool over `std::thread` for a *fixed* set of
+//! jobs, which keeps termination trivial: a shared remaining-count tells
+//! every worker when the pool has drained.
+//!
+//! Jobs are distributed round-robin across per-worker deques up front;
+//! each worker pops from the front of its own deque (locality, cheap)
+//! and steals from the *back* of a sibling's deque when it runs dry, so
+//! long-running cells migrate away from loaded workers. Results land in
+//! their submission slot — output order is input order, independent of
+//! interleaving, which is what makes `--jobs N` bit-identical to serial.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run every job on `workers` threads and return the results in job
+/// order. `workers` is clamped to `[1, jobs.len()]`; with one worker the
+/// calling thread runs everything (no spawn overhead, exact serial path).
+pub fn run_jobs<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+
+    let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % workers].lock().expect("deque lock").push_back((i, job));
+    }
+    let remaining = AtomicUsize::new(n);
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let remaining = &remaining;
+            let results = &results;
+            scope.spawn(move || {
+                while remaining.load(Ordering::Acquire) > 0 {
+                    let task = pop_or_steal(deques, w);
+                    match task {
+                        Some((idx, job)) => {
+                            // Decrement on unwind too, so a panicking job
+                            // can't strand the other workers in the drain
+                            // loop; the scope re-raises the panic on join.
+                            struct Dec<'a>(&'a AtomicUsize);
+                            impl Drop for Dec<'_> {
+                                fn drop(&mut self) {
+                                    self.0.fetch_sub(1, Ordering::AcqRel);
+                                }
+                            }
+                            let _dec = Dec(remaining);
+                            let value = job();
+                            *results[idx].lock().expect("result lock") = Some(value);
+                        }
+                        None => {
+                            // Everything is claimed but some jobs are still
+                            // in flight on other workers; nothing to steal.
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result lock").expect("every job ran"))
+        .collect()
+}
+
+/// Pop from our own deque, else steal from the busiest sibling's tail.
+fn pop_or_steal<F>(deques: &[Mutex<VecDeque<(usize, F)>>], me: usize) -> Option<(usize, F)> {
+    if let Some(task) = deques[me].lock().expect("deque lock").pop_front() {
+        return Some(task);
+    }
+    for offset in 1..deques.len() {
+        let victim = (me + offset) % deques.len();
+        if let Some(task) = deques[victim].lock().expect("deque lock").pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        for workers in [1, 2, 4, 8] {
+            let jobs: Vec<_> = (0..50u64).map(|i| move || i * i).collect();
+            let out = run_jobs(jobs, workers);
+            assert_eq!(out, (0..50u64).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let jobs: Vec<_> = (0..200)
+            .map(|_| {
+                let counter = &counter;
+                move || counter.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let _ = run_jobs(jobs, 8);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn uneven_jobs_drain_via_stealing() {
+        // One long job pinned to worker 0's deque plus many short ones:
+        // with stealing, the short jobs complete on other workers.
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..40u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let out = run_jobs(jobs, 4);
+        assert_eq!(out, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_oversized_worker_counts() {
+        let empty: Vec<fn() -> u64> = Vec::new();
+        assert!(run_jobs(empty, 8).is_empty());
+        let jobs: Vec<_> = (0..3u64).map(|i| move || i).collect();
+        assert_eq!(run_jobs(jobs, 64), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn panics_in_jobs_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("cell failed")),
+            ];
+            run_jobs(jobs, 2)
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Progress telemetry: a throttled stderr ticker while cells execute,
+//! a log₂ latency histogram, ETA estimation, and cache-hit accounting.
+//! Everything is lock-free on the hot path (atomics only); the printer
+//! takes a short mutex to serialize output lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of log₂ buckets: bucket `i` counts cells with latency in
+/// `[2^i, 2^(i+1))` microseconds; 40 buckets cover > 12 days.
+pub const HISTO_BUCKETS: usize = 40;
+
+/// Shared progress state for one runner invocation.
+pub struct Progress {
+    total: u64,
+    done: AtomicU64,
+    cached: AtomicU64,
+    exec_micros: AtomicU64,
+    histo: [AtomicU64; HISTO_BUCKETS],
+    started: Instant,
+    print: Option<Mutex<Instant>>,
+}
+
+impl Progress {
+    /// New progress tracker; `verbose` enables the stderr ticker.
+    pub fn new(total: u64, verbose: bool) -> Self {
+        Progress {
+            total,
+            done: AtomicU64::new(0),
+            cached: AtomicU64::new(0),
+            exec_micros: AtomicU64::new(0),
+            histo: std::array::from_fn(|_| AtomicU64::new(0)),
+            started: Instant::now(),
+            // Backdate the throttle so the first completion prints.
+            print: verbose.then(|| Mutex::new(Instant::now() - THROTTLE * 2)),
+        }
+    }
+
+    /// Record one finished cell and maybe print a progress line.
+    pub fn cell_done(&self, cell: &str, micros: u64, was_cached: bool) {
+        let done = self.done.fetch_add(1, Ordering::AcqRel) + 1;
+        if was_cached {
+            self.cached.fetch_add(1, Ordering::AcqRel);
+        } else {
+            self.exec_micros.fetch_add(micros, Ordering::AcqRel);
+        }
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(HISTO_BUCKETS - 1);
+        self.histo[bucket].fetch_add(1, Ordering::AcqRel);
+        self.maybe_print(done, cell);
+    }
+
+    fn maybe_print(&self, done: u64, cell: &str) {
+        let Some(print) = &self.print else { return };
+        let now = Instant::now();
+        {
+            let mut last = print.lock().expect("print lock");
+            if done != self.total && now.duration_since(*last) < THROTTLE {
+                return;
+            }
+            *last = now;
+        }
+        let cached = self.cached.load(Ordering::Acquire);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = self.eta_seconds(done, cached, elapsed);
+        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        eprintln!(
+            "[runner] {done}/{total} cells | {cached} cached ({pct:.0}% hit) | {rate:.1} cells/s | elapsed {elapsed:.1}s | eta {eta} | last {cell}",
+            total = self.total,
+            pct = if done > 0 { cached as f64 / done as f64 * 100.0 } else { 0.0 },
+        );
+    }
+
+    fn eta_seconds(&self, done: u64, cached: u64, elapsed: f64) -> String {
+        if done == 0 || done >= self.total {
+            return "0.0s".to_string();
+        }
+        // Scale observed wall throughput; cached cells are ~free, so use
+        // the executed-cell average when anything actually executed.
+        let executed = done - cached;
+        let remaining = (self.total - done) as f64;
+        let eta = if executed > 0 {
+            let per_cell = elapsed / done as f64;
+            remaining * per_cell
+        } else {
+            0.0
+        };
+        format!("{eta:.1}s")
+    }
+
+    /// Totals: `(done, cached, wall_seconds)`.
+    pub fn totals(&self) -> (u64, u64, f64) {
+        (
+            self.done.load(Ordering::Acquire),
+            self.cached.load(Ordering::Acquire),
+            self.started.elapsed().as_secs_f64(),
+        )
+    }
+
+    /// Non-empty histogram buckets as `(bucket_floor_micros, count)`.
+    pub fn histogram(&self) -> Vec<(u64, u64)> {
+        self.histo
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Acquire);
+                (count > 0).then_some((1u64 << i, count))
+            })
+            .collect()
+    }
+
+    /// Approximate latency quantile (upper bucket edge), in microseconds.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let (done, _, _) = self.totals();
+        if done == 0 {
+            return 0;
+        }
+        let target = (done as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.histo.iter().enumerate() {
+            seen += c.load(Ordering::Acquire);
+            if seen >= target {
+                return 2u64 << i;
+            }
+        }
+        2u64 << (HISTO_BUCKETS - 1)
+    }
+
+    /// Print the end-of-run summary block to stderr.
+    pub fn print_summary(&self, label: &str) {
+        if self.print.is_none() {
+            return;
+        }
+        let (done, cached, wall) = self.totals();
+        eprintln!(
+            "[runner] {label}: {done} cells in {wall:.2}s | {cached} cached ({:.0}% hit) | p50 {} | p90 {} | max {}",
+            if done > 0 { cached as f64 / done as f64 * 100.0 } else { 0.0 },
+            fmt_micros(self.quantile_micros(0.50)),
+            fmt_micros(self.quantile_micros(0.90)),
+            fmt_micros(self.quantile_micros(1.0)),
+        );
+    }
+}
+
+const THROTTLE: std::time::Duration = std::time::Duration::from_millis(200);
+
+fn fmt_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.1}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let p = Progress::new(4, false);
+        p.cell_done("a", 1, false); // bucket 0
+        p.cell_done("b", 3, false); // bucket 1
+        p.cell_done("c", 1024, false); // bucket 10
+        p.cell_done("d", 1500, true); // bucket 10
+        assert_eq!(p.histogram(), vec![(1, 1), (2, 1), (1024, 2)]);
+        let (done, cached, _) = p.totals();
+        assert_eq!((done, cached), (4, 1));
+    }
+
+    #[test]
+    fn quantiles_walk_the_histogram() {
+        let p = Progress::new(10, false);
+        for _ in 0..9 {
+            p.cell_done("x", 100, false);
+        }
+        p.cell_done("y", 1 << 20, false);
+        assert!(p.quantile_micros(0.5) <= 256);
+        assert!(p.quantile_micros(1.0) >= 1 << 20);
+    }
+
+    #[test]
+    fn zero_latency_does_not_panic() {
+        let p = Progress::new(1, false);
+        p.cell_done("z", 0, true);
+        assert_eq!(p.histogram(), vec![(1, 1)]);
+    }
+}

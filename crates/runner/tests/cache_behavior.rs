@@ -1,0 +1,166 @@
+//! Result-cache behavior: hits keyed on the full cell identity,
+//! invalidation on any identity change, and corrupted-entry recovery
+//! (skip and recompute — never panic, never return bad data).
+
+use jsonio::Json;
+use runner::cache::{cell_key, entry_path, load, store};
+use runner::{CacheMode, Cell, CellSpec, Runner};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "smi-lab-cache-behavior-{}-{}",
+        std::process::id(),
+        tag
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp cache dir");
+    dir
+}
+
+fn spec(cell: &str, seed: u64, reps: u32) -> CellSpec {
+    CellSpec {
+        experiment: "table2".into(),
+        cell: cell.into(),
+        params: Json::obj(vec![("nodes", Json::U64(4)), ("jitter", Json::F64(0.004))]),
+        seed,
+        reps,
+    }
+}
+
+fn payload(v: u64) -> Json {
+    Json::obj(vec![("value", Json::U64(v))])
+}
+
+#[test]
+fn store_then_load_round_trips() {
+    let dir = tmp_dir("roundtrip");
+    let s = spec("A-n4-r1", 20160816, 6);
+    let key = cell_key("v1", &s);
+    assert!(load(&dir, key, "v1", &s).is_none(), "cold cache must miss");
+    store(&dir, key, "v1", &s, &payload(42));
+    assert_eq!(load(&dir, key, "v1", &s), Some(payload(42)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn any_identity_change_misses() {
+    let dir = tmp_dir("invalidation");
+    let s = spec("A-n4-r1", 20160816, 6);
+    store(&dir, cell_key("v1", &s), "v1", &s, &payload(1));
+
+    // Different code version, experiment, cell, params, seed, or reps each
+    // produce a different key, so the stored entry is never found.
+    let variants: Vec<CellSpec> = vec![
+        spec("A-n4-r1", 20160817, 6),
+        spec("A-n4-r1", 20160816, 2),
+        spec("A-n8-r1", 20160816, 6),
+        CellSpec { experiment: "table3".into(), ..spec("A-n4-r1", 20160816, 6) },
+        CellSpec {
+            params: Json::obj(vec![("nodes", Json::U64(8)), ("jitter", Json::F64(0.004))]),
+            ..spec("A-n4-r1", 20160816, 6)
+        },
+    ];
+    for v in &variants {
+        let key = cell_key("v1", v);
+        assert!(load(&dir, key, "v1", v).is_none(), "variant {v:?} must miss");
+    }
+    assert!(load(&dir, cell_key("v2", &s), "v2", &s).is_none(), "new code tag must miss");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entries_are_misses_not_panics() {
+    let dir = tmp_dir("corruption");
+    let s = spec("A-n4-r1", 20160816, 6);
+    let key = cell_key("v1", &s);
+    store(&dir, key, "v1", &s, &payload(7));
+    let path = entry_path(&dir, key);
+
+    for garbage in [
+        "",                        // truncated to nothing
+        "{\"schema\":1",           // cut off mid-object
+        "not json at all",         // arbitrary bytes
+        "{\"schema\":99}",         // wrong schema version
+        "[1,2,3]",                 // wrong shape entirely
+        "{\"schema\":1,\"key\":\"0000\"}", // identity fields missing/wrong
+    ] {
+        std::fs::write(&path, garbage).expect("inject corruption");
+        assert!(load(&dir, key, "v1", &s).is_none(), "corrupt entry {garbage:?} must miss");
+    }
+
+    // A tampered payload with otherwise-valid identity would need the
+    // identity fields to all match; flip one and it must miss too.
+    store(&dir, key, "v1", &s, &payload(7));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut entry = Json::parse(text.trim_end()).unwrap();
+    if let Json::Obj(fields) = &mut entry {
+        for (k, v) in fields.iter_mut() {
+            if k == "seed" {
+                *v = Json::U64(1);
+            }
+        }
+    }
+    std::fs::write(&path, entry.to_string()).unwrap();
+    assert!(load(&dir, key, "v1", &s).is_none(), "identity mismatch must miss");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn runner_recomputes_through_corruption_and_repairs_the_entry() {
+    let dir = tmp_dir("repair");
+    let executions = Arc::new(AtomicU64::new(0));
+    let make_cells = |executions: &Arc<AtomicU64>| {
+        let executions = Arc::clone(executions);
+        vec![Cell::new(spec("A-n4-r1", 1, 2), move || {
+            executions.fetch_add(1, Ordering::Relaxed);
+            payload(99)
+        })]
+    };
+    let mut runner = Runner::new(1);
+    runner.cache_dir = dir.clone();
+    runner.verbose = false;
+
+    let first = runner.run("cold", make_cells(&executions));
+    assert_eq!(executions.load(Ordering::Relaxed), 1);
+    let key = first.outcomes[0].key;
+
+    // Corrupt the entry on disk: the next run must recompute (not panic,
+    // not return garbage) and leave a valid entry behind.
+    std::fs::write(entry_path(&dir, key), "garbage").unwrap();
+    let second = runner.run("corrupted", make_cells(&executions));
+    assert_eq!(executions.load(Ordering::Relaxed), 2, "corruption forces recompute");
+    assert!(!second.outcomes[0].cached);
+    assert_eq!(second.outcomes[0].payload, payload(99));
+
+    let third = runner.run("repaired", make_cells(&executions));
+    assert_eq!(executions.load(Ordering::Relaxed), 2, "rewritten entry hits again");
+    assert!(third.outcomes[0].cached);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_off_never_touches_disk() {
+    let dir = tmp_dir("off");
+    let executions = Arc::new(AtomicU64::new(0));
+    let mut runner = Runner::new(1);
+    runner.cache_dir = dir.clone();
+    runner.cache_mode = CacheMode::Off;
+    runner.verbose = false;
+    for _ in 0..2 {
+        let executions = Arc::clone(&executions);
+        runner.run(
+            "off",
+            vec![Cell::new(spec("A-n4-r1", 1, 2), move || {
+                executions.fetch_add(1, Ordering::Relaxed);
+                payload(5)
+            })],
+        );
+    }
+    assert_eq!(executions.load(Ordering::Relaxed), 2, "no-cache must recompute every run");
+    let entries = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(entries, 0, "no-cache must not write entries");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,7 +27,7 @@ use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
 
 /// How per-occurrence SMM residency is generated.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
 pub enum DurationModel {
     /// Every occurrence freezes for exactly this long.
     Fixed(SimDuration),
@@ -86,7 +86,7 @@ impl DurationModel {
 
 /// What the trigger source does when the trigger instant falls while the
 /// node is still inside a previous SMM window.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub enum TriggerPolicy {
     /// The trigger is lost; the next SMI fires at the next periodic
     /// instant that falls outside SMM. This models a host-side timer that
@@ -113,7 +113,7 @@ pub enum TriggerPolicy {
 }
 
 /// Configuration for a periodic SMI source on one node.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct PeriodicFreeze {
     /// Wall time of the first trigger.
     pub first_trigger: SimTime,

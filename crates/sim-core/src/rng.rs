@@ -7,11 +7,8 @@
 //! rep 3" produces the identical trace without replaying anything else.
 //!
 //! The generator is xoshiro256++ seeded through SplitMix64, implemented
-//! locally so results are stable regardless of `rand` version bumps. The
-//! `rand` crate's traits are implemented on top so callers can use the
-//! familiar `Rng` API.
-
-use rand::RngCore;
+//! locally (no `rand` dependency) so results are stable forever and the
+//! workspace stays hermetic.
 
 /// SplitMix64 step, used for seeding and for stateless hashing of labels.
 #[inline]
@@ -80,8 +77,10 @@ impl SimRng {
         SimRng::new(mixed)
     }
 
-    /// Next raw 64-bit output (xoshiro256++).
+    /// Next raw 64-bit output (xoshiro256++). Named for the generator
+    /// convention; this type is deliberately not an `Iterator`.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
@@ -170,16 +169,9 @@ impl SimRng {
             xs.swap(i, j);
         }
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill a byte buffer with generator output (little-endian words).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -189,10 +181,6 @@ impl RngCore for SimRng {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -9,7 +9,7 @@
 use crate::time::{SimDuration, SimTime};
 
 /// One trace record.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
 pub struct TraceEvent {
     /// Wall time of the event.
     pub time: SimTime,
@@ -18,7 +18,7 @@ pub struct TraceEvent {
 }
 
 /// Categories of trace record.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
 pub enum TraceKind {
     /// The node entered SMM.
     SmmEnter,

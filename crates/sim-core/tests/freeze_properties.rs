@@ -4,192 +4,177 @@
 //! in work time and map the results through the schedule afterwards (see
 //! `machine::NodeExecutor`), so they are tested exhaustively here.
 
-use proptest::prelude::*;
+use quickprop::{check, Gen};
 use sim_core::{
     DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimTime, TriggerPolicy,
 };
 
-/// Strategy producing arbitrary (but sane) periodic schedules.
-fn schedule_strategy() -> impl Strategy<Value = FreezeSchedule> {
-    (
-        1_000_000u64..2_000_000_000,   // period: 1ms .. 2s
-        0u64..2_000_000_000,           // phase
-        1_000u64..500_000_000,         // duration lo: 1us .. 500ms
-        0u64..200_000_000,             // duration spread
-        any::<u64>(),                  // seed
-        prop_oneof![
-            Just(TriggerPolicy::SkipWhileFrozen),
-            Just(TriggerPolicy::DeferToExit { min_gap: SimDuration::from_micros(100) }),
-            Just(TriggerPolicy::RearmAfterExit),
-        ],
-    )
-        .prop_map(|(period, phase, lo, spread, seed, policy)| {
-            FreezeSchedule::periodic(PeriodicFreeze {
-                first_trigger: SimTime::from_nanos(phase),
-                period: SimDuration::from_nanos(period),
-                durations: DurationModel::Uniform {
-                    lo: SimDuration::from_nanos(lo),
-                    hi: SimDuration::from_nanos(lo + spread),
-                },
-                policy,
-                seed,
-            })
-        })
+/// An arbitrary (but sane) periodic schedule.
+fn schedule(g: &mut Gen) -> FreezeSchedule {
+    let period = g.u64(1_000_000..2_000_000_000); // 1ms .. 2s
+    let phase = g.u64(0..2_000_000_000);
+    let lo = g.u64(1_000..500_000_000); // 1us .. 500ms
+    let spread = g.u64(0..200_000_000);
+    let seed = g.any_u64();
+    let policy = g.pick(&[
+        TriggerPolicy::SkipWhileFrozen,
+        TriggerPolicy::DeferToExit { min_gap: SimDuration::from_micros(100) },
+        TriggerPolicy::RearmAfterExit,
+    ]);
+    FreezeSchedule::periodic(PeriodicFreeze {
+        first_trigger: SimTime::from_nanos(phase),
+        period: SimDuration::from_nanos(period),
+        durations: DurationModel::Uniform {
+            lo: SimDuration::from_nanos(lo),
+            hi: SimDuration::from_nanos(lo + spread),
+        },
+        policy,
+        seed,
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn advance_zero_is_identity() {
+    check("advance_zero_is_identity", 128, |g| {
+        let s = schedule(g);
+        let t = SimTime::from_nanos(g.u64(0..10_000_000_000));
+        assert_eq!(s.advance(t, SimDuration::ZERO), t);
+    });
+}
 
-    #[test]
-    fn advance_zero_is_identity(s in schedule_strategy(), t in 0u64..10_000_000_000) {
-        let t = SimTime::from_nanos(t);
-        prop_assert_eq!(s.advance(t, SimDuration::ZERO), t);
-    }
-
-    #[test]
-    fn wall_time_dominates_work_time(
-        s in schedule_strategy(),
-        t in 0u64..5_000_000_000,
-        w in 0u64..5_000_000_000,
-    ) {
-        let t = SimTime::from_nanos(t);
-        let w = SimDuration::from_nanos(w);
+#[test]
+fn wall_time_dominates_work_time() {
+    check("wall_time_dominates_work_time", 128, |g| {
+        let s = schedule(g);
+        let t = SimTime::from_nanos(g.u64(0..5_000_000_000));
+        let w = SimDuration::from_nanos(g.u64(0..5_000_000_000));
         let end = s.advance(t, w);
-        prop_assert!(end >= t + w, "end {:?} < start {:?} + work {:?}", end, t, w);
-    }
+        assert!(end >= t + w, "end {end:?} < start {t:?} + work {w:?}");
+    });
+}
 
-    #[test]
-    fn advance_is_additive(
-        s in schedule_strategy(),
-        t in 0u64..3_000_000_000,
-        a in 0u64..2_000_000_000,
-        b in 0u64..2_000_000_000,
-    ) {
-        let t = SimTime::from_nanos(t);
-        let a = SimDuration::from_nanos(a);
-        let b = SimDuration::from_nanos(b);
+#[test]
+fn advance_is_additive() {
+    check("advance_is_additive", 128, |g| {
+        let s = schedule(g);
+        let t = SimTime::from_nanos(g.u64(0..3_000_000_000));
+        let a = SimDuration::from_nanos(g.u64(0..2_000_000_000));
+        let b = SimDuration::from_nanos(g.u64(0..2_000_000_000));
         let two_step = s.advance(s.advance(t, a), b);
         let one_step = s.advance(t, a + b);
-        prop_assert_eq!(two_step, one_step);
-    }
+        assert_eq!(two_step, one_step);
+    });
+}
 
-    #[test]
-    fn advance_is_monotone_in_work(
-        s in schedule_strategy(),
-        t in 0u64..3_000_000_000,
-        a in 0u64..2_000_000_000,
-        extra in 1u64..1_000_000_000,
-    ) {
-        let t = SimTime::from_nanos(t);
+#[test]
+fn advance_is_monotone_in_work() {
+    check("advance_is_monotone_in_work", 128, |g| {
+        let s = schedule(g);
+        let t = SimTime::from_nanos(g.u64(0..3_000_000_000));
+        let a = g.u64(0..2_000_000_000);
+        let extra = g.u64(1..1_000_000_000);
         let small = SimDuration::from_nanos(a);
         let large = SimDuration::from_nanos(a + extra);
-        prop_assert!(s.advance(t, large) > s.advance(t, small));
-    }
+        assert!(s.advance(t, large) > s.advance(t, small));
+    });
+}
 
-    #[test]
-    fn advance_is_monotone_in_start(
-        s in schedule_strategy(),
-        t in 0u64..3_000_000_000,
-        dt in 0u64..2_000_000_000,
-        w in 1u64..2_000_000_000,
-    ) {
+#[test]
+fn advance_is_monotone_in_start() {
+    check("advance_is_monotone_in_start", 128, |g| {
+        let s = schedule(g);
+        let t = g.u64(0..3_000_000_000);
+        let dt = g.u64(0..2_000_000_000);
+        let w = SimDuration::from_nanos(g.u64(1..2_000_000_000));
         let t1 = SimTime::from_nanos(t);
         let t2 = SimTime::from_nanos(t + dt);
-        let w = SimDuration::from_nanos(w);
-        prop_assert!(s.advance(t2, w) >= s.advance(t1, w));
-    }
+        assert!(s.advance(t2, w) >= s.advance(t1, w));
+    });
+}
 
-    #[test]
-    fn work_between_inverts_advance(
-        s in schedule_strategy(),
-        t in 0u64..3_000_000_000,
-        w in 0u64..3_000_000_000,
-    ) {
-        let t = SimTime::from_nanos(t);
-        let w = SimDuration::from_nanos(w);
+#[test]
+fn work_between_inverts_advance() {
+    check("work_between_inverts_advance", 128, |g| {
+        let s = schedule(g);
+        let t = SimTime::from_nanos(g.u64(0..3_000_000_000));
+        let w = SimDuration::from_nanos(g.u64(0..3_000_000_000));
         let end = s.advance(t, w);
-        prop_assert_eq!(s.work_between(t, end), w);
-    }
+        assert_eq!(s.work_between(t, end), w);
+    });
+}
 
-    #[test]
-    fn frozen_plus_work_equals_interval(
-        s in schedule_strategy(),
-        a in 0u64..5_000_000_000,
-        len in 0u64..5_000_000_000,
-    ) {
-        let a = SimTime::from_nanos(a);
-        let b = a + SimDuration::from_nanos(len);
+#[test]
+fn frozen_plus_work_equals_interval() {
+    check("frozen_plus_work_equals_interval", 128, |g| {
+        let s = schedule(g);
+        let a = SimTime::from_nanos(g.u64(0..5_000_000_000));
+        let b = a + SimDuration::from_nanos(g.u64(0..5_000_000_000));
         let frozen = s.frozen_between(a, b);
         let work = s.work_between(a, b);
-        prop_assert_eq!(frozen + work, b.since(a));
-    }
+        assert_eq!(frozen + work, b.since(a));
+    });
+}
 
-    #[test]
-    fn frozen_between_is_superadditive_over_split(
-        s in schedule_strategy(),
-        a in 0u64..4_000_000_000,
-        l1 in 0u64..2_000_000_000,
-        l2 in 0u64..2_000_000_000,
-    ) {
+#[test]
+fn frozen_between_is_superadditive_over_split() {
+    check("frozen_between_is_superadditive_over_split", 128, |g| {
         // Frozen time is exactly additive over adjacent intervals.
-        let a = SimTime::from_nanos(a);
-        let m = a + SimDuration::from_nanos(l1);
-        let b = m + SimDuration::from_nanos(l2);
-        prop_assert_eq!(
-            s.frozen_between(a, b),
-            s.frozen_between(a, m) + s.frozen_between(m, b)
-        );
-    }
+        let s = schedule(g);
+        let a = SimTime::from_nanos(g.u64(0..4_000_000_000));
+        let m = a + SimDuration::from_nanos(g.u64(0..2_000_000_000));
+        let b = m + SimDuration::from_nanos(g.u64(0..2_000_000_000));
+        assert_eq!(s.frozen_between(a, b), s.frozen_between(a, m) + s.frozen_between(m, b));
+    });
+}
 
-    #[test]
-    fn unfreeze_is_idempotent_and_unfrozen(
-        s in schedule_strategy(),
-        t in 0u64..5_000_000_000,
-    ) {
-        let t = SimTime::from_nanos(t);
+#[test]
+fn unfreeze_is_idempotent_and_unfrozen() {
+    check("unfreeze_is_idempotent_and_unfrozen", 128, |g| {
+        let s = schedule(g);
+        let t = SimTime::from_nanos(g.u64(0..5_000_000_000));
         let u = s.unfreeze(t);
-        prop_assert!(u >= t);
-        prop_assert!(!s.is_frozen(u));
-        prop_assert_eq!(s.unfreeze(u), u);
-    }
+        assert!(u >= t);
+        assert!(!s.is_frozen(u));
+        assert_eq!(s.unfreeze(u), u);
+    });
+}
 
-    #[test]
-    fn windows_are_disjoint_and_sorted(
-        s in schedule_strategy(),
-        horizon in 1u64..20_000_000_000,
-    ) {
+#[test]
+fn windows_are_disjoint_and_sorted() {
+    check("windows_are_disjoint_and_sorted", 128, |g| {
+        let s = schedule(g);
+        let horizon = g.u64(1..20_000_000_000);
         let wins = s.windows_between(SimTime::ZERO, SimTime::from_nanos(horizon));
         for w in wins.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} then {:?}", w[0], w[1]);
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} then {:?}", w[0], w[1]);
         }
         for &(st, en) in &wins {
-            prop_assert!(st < en, "empty or inverted window ({:?},{:?})", st, en);
+            assert!(st < en, "empty or inverted window ({st:?},{en:?})");
         }
-    }
+    });
+}
 
-    #[test]
-    fn clone_is_observationally_equal(
-        s in schedule_strategy(),
-        probe in 0u64..10_000_000_000,
-    ) {
+#[test]
+fn clone_is_observationally_equal() {
+    check("clone_is_observationally_equal", 128, |g| {
+        let s = schedule(g);
         let c = s.clone();
-        let t = SimTime::from_nanos(probe);
-        prop_assert_eq!(s.is_frozen(t), c.is_frozen(t));
-        prop_assert_eq!(
+        let t = SimTime::from_nanos(g.u64(0..10_000_000_000));
+        assert_eq!(s.is_frozen(t), c.is_frozen(t));
+        assert_eq!(
             s.advance(t, SimDuration::from_millis(10)),
             c.advance(t, SimDuration::from_millis(10))
         );
-    }
+    });
+}
 
-    #[test]
-    fn no_noise_schedule_is_identity(
-        t in 0u64..u64::MAX / 4,
-        w in 0u64..u64::MAX / 4,
-    ) {
+#[test]
+fn no_noise_schedule_is_identity() {
+    check("no_noise_schedule_is_identity", 128, |g| {
         let s = FreezeSchedule::none();
-        let t = SimTime::from_nanos(t);
-        let w = SimDuration::from_nanos(w);
-        prop_assert_eq!(s.advance(t, w), t + w);
-        prop_assert_eq!(s.work_between(t, t + w), w);
-    }
+        let t = SimTime::from_nanos(g.u64(0..u64::MAX / 4));
+        let w = SimDuration::from_nanos(g.u64(0..u64::MAX / 4));
+        assert_eq!(s.advance(t, w), t + w);
+        assert_eq!(s.work_between(t, t + w), w);
+    });
 }

@@ -12,7 +12,7 @@
 use sim_core::{FreezeSchedule, SimDuration, SimTime};
 
 /// A symbol (function) with a per-iteration work cost.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct Symbol {
     /// Display name.
     pub name: String,
@@ -21,7 +21,7 @@ pub struct Symbol {
 }
 
 /// Comparison of true and profiler-reported shares for one symbol.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct SymbolShare {
     /// Symbol name.
     pub name: String,
@@ -34,7 +34,7 @@ pub struct SymbolShare {
 }
 
 /// Result of a profiling run.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct AttributionReport {
     /// Per-symbol comparison, in program order.
     pub shares: Vec<SymbolShare>,

@@ -13,7 +13,7 @@ use sim_core::{FreezeSchedule, SimDuration, SimTime};
 pub const BITS_THRESHOLD: SimDuration = SimDuration(150_000);
 
 /// Result of a compliance scan.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct ComplianceReport {
     /// Windows examined.
     pub windows: usize,

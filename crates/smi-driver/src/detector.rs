@@ -14,7 +14,7 @@ use crate::tsc::Tsc;
 use sim_core::{FreezeSchedule, SimDuration, SimTime};
 
 /// One detected latency spike.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub struct DetectedSmi {
     /// Wall time of the poll *before* the gap.
     pub at: SimTime,
@@ -23,7 +23,7 @@ pub struct DetectedSmi {
 }
 
 /// Summary of a detection run.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct DetectionReport {
     /// Spikes above threshold, in time order.
     pub detections: Vec<DetectedSmi>,

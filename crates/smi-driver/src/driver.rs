@@ -18,7 +18,7 @@ use sim_core::{
 };
 
 /// The paper's three SMM columns.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
 pub enum SmiClass {
     /// "SMM 0": no SMI activity added.
     None,
@@ -53,7 +53,7 @@ impl SmiClass {
 pub const JIFFY: SimDuration = SimDuration(1_000_000);
 
 /// Driver configuration: class + trigger period.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct SmiDriverConfig {
     /// Which residency band to generate.
     pub class: SmiClass,
@@ -94,7 +94,7 @@ pub struct SmiDriver {
 }
 
 /// Latency statistics as the real driver logs them (TSC-derived).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, jsonio::ToJson)]
 pub struct LatencyStats {
     /// Number of SMIs observed in the window.
     pub count: usize,

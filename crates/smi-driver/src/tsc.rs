@@ -9,7 +9,7 @@
 use sim_core::{SimDuration, SimTime};
 
 /// An invariant TSC ticking at a fixed frequency.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
 pub struct Tsc {
     freq_hz: u64,
 }

@@ -8,7 +8,7 @@
 //! executor that alternates between run segments and freeze windows) and
 //! checks it against `FreezeSchedule::advance` and the machine executor.
 
-use proptest::prelude::*;
+use quickprop::{check, Gen};
 use smi_lab::machine::{self, Phase, SchedParams, SmiSideEffects, ThreadProgram, ThreadSpec};
 use smi_lab::prelude::*;
 
@@ -38,57 +38,42 @@ fn stepped_execution(schedule: &FreezeSchedule, start: SimTime, work: SimDuratio
     t
 }
 
-fn schedule_strategy() -> impl Strategy<Value = FreezeSchedule> {
-    (
-        10_000_000u64..1_500_000_000,
-        0u64..1_000_000_000,
-        1_000_000u64..200_000_000,
-        any::<u64>(),
-    )
-        .prop_map(|(period, phase, dur, seed)| {
-            FreezeSchedule::periodic(PeriodicFreeze {
-                first_trigger: SimTime::from_nanos(phase),
-                period: SimDuration::from_nanos(period),
-                durations: DurationModel::Fixed(SimDuration::from_nanos(dur)),
-                policy: TriggerPolicy::SkipWhileFrozen,
-                seed,
-            })
-        })
+fn schedule(g: &mut Gen) -> FreezeSchedule {
+    FreezeSchedule::periodic(PeriodicFreeze {
+        first_trigger: SimTime::from_nanos(g.u64(0..1_000_000_000)),
+        period: SimDuration::from_nanos(g.u64(10_000_000..1_500_000_000)),
+        durations: DurationModel::Fixed(SimDuration::from_nanos(g.u64(1_000_000..200_000_000))),
+        policy: TriggerPolicy::SkipWhileFrozen,
+        seed: g.any_u64(),
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn advance_equals_stepped_reference() {
+    check("advance_equals_stepped_reference", 64, |g| {
+        let s = schedule(g);
+        let start = SimTime::from_nanos(g.u64(0..2_000_000_000));
+        let work = SimDuration::from_nanos(g.u64(0..5_000_000_000));
+        assert_eq!(s.advance(start, work), stepped_execution(&s, start, work));
+    });
+}
 
-    #[test]
-    fn advance_equals_stepped_reference(
-        s in schedule_strategy(),
-        start in 0u64..2_000_000_000,
-        work in 0u64..5_000_000_000,
-    ) {
-        let start = SimTime::from_nanos(start);
-        let work = SimDuration::from_nanos(work);
-        prop_assert_eq!(s.advance(start, work), stepped_execution(&s, start, work));
-    }
-
-    #[test]
-    fn per_thread_mapping_equals_makespan_mapping(
-        s in schedule_strategy(),
-        works in prop::collection::vec(1_000_000u64..3_000_000_000, 1..8),
-    ) {
+#[test]
+fn per_thread_mapping_equals_makespan_mapping() {
+    check("per_thread_mapping_equals_makespan_mapping", 64, |g| {
         // Independent threads, one per physical core: the node's wall
         // finish is the max of per-thread wall finishes, and both orders
         // of (max, map) agree because advance is monotone.
+        let s = schedule(g);
+        let works = g.vec_u64(1..8, 1_000_000..3_000_000_000);
         let per_thread_wall: Vec<SimTime> = works
             .iter()
             .map(|&w| s.advance(SimTime::ZERO, SimDuration::from_nanos(w)))
             .collect();
         let makespan_work = SimDuration::from_nanos(*works.iter().max().expect("nonempty"));
         let mapped_makespan = s.advance(SimTime::ZERO, makespan_work);
-        prop_assert_eq!(
-            per_thread_wall.into_iter().max().expect("nonempty"),
-            mapped_makespan
-        );
-    }
+        assert_eq!(per_thread_wall.into_iter().max().expect("nonempty"), mapped_makespan);
+    });
 }
 
 #[test]

@@ -115,9 +115,9 @@ fn bt_solver_survives_a_sweep_of_line_lengths() {
         let sys = BlockTriSystem { a, b, c, r };
         let x = solve(&sys);
         let ax = sys.apply(&x);
-        for i in 0..n {
+        for (i, (got, want)) in ax.iter().zip(&sys.r).enumerate() {
             for k in 0..5 {
-                assert!((ax[i][k] - sys.r[i][k]).abs() < 1e-8, "n={n} i={i} k={k}");
+                assert!((got[k] - want[k]).abs() < 1e-8, "n={n} i={i} k={k}");
             }
         }
     }
