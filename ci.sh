@@ -7,3 +7,7 @@ set -eux
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo fmt --check
+# Determinism & hermeticity lint (crates/smi-lint): fails on any finding
+# not ratcheted into the baseline. See DESIGN.md "Static analysis".
+cargo run -q --release -p smi-lint --offline -- --format json --baseline results/lint-baseline.json

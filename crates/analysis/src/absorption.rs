@@ -14,8 +14,8 @@
 //! random phases, is exactly why the paper's long-SMI damage grows with
 //! node count.
 
-use mpi_sim::{ClusterSpec, NetworkParams, NodeState, Op, RankProgram};
 use machine::SmiSideEffects;
+use mpi_sim::{ClusterSpec, NetworkParams, NodeState, Op, RankProgram};
 use sim_core::{
     DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimTime, TriggerPolicy,
 };
@@ -172,8 +172,7 @@ mod tests {
     fn profile_is_flat_for_critical_victim() {
         // With no slack, every offset transfers fully — the sensitive
         // window is the whole run.
-        let profile =
-            absorption_profile(4, 10, 100, 0, SimDuration::from_millis(40), 8);
+        let profile = absorption_profile(4, 10, 100, 0, SimDuration::from_millis(40), 8);
         for p in &profile {
             assert!(p.transfer_ratio > 0.9, "offset {} ratio {}", p.offset_ms, p.transfer_ratio);
         }

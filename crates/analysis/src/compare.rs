@@ -72,11 +72,7 @@ fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// Extract the (paper %, measured %) pairs for SMM class `k` from a table.
 pub fn table_pct_pairs(result: &TableResult, k: usize) -> Vec<(f64, f64)> {
-    result
-        .cells
-        .iter()
-        .filter_map(|c| Some((c.paper_pct(k)?, c.measured_pct(k)?)))
-        .collect()
+    result.cells.iter().filter_map(|c| Some((c.paper_pct(k)?, c.measured_pct(k)?))).collect()
 }
 
 /// Render one table's paper-vs-measured block for EXPERIMENTS.md.
@@ -125,7 +121,11 @@ pub fn table_report(result: &TableResult, table_no: u32) -> String {
 /// Render one HTT table's comparison block for EXPERIMENTS.md.
 pub fn htt_report(result: &HttTableResult, table_no: u32) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "### Table {table_no} — HTT effect on {} (4 ranks/node)", result.bench.name());
+    let _ = writeln!(
+        out,
+        "### Table {table_no} — HTT effect on {} (4 ranks/node)",
+        result.bench.name()
+    );
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -137,9 +137,9 @@ pub fn htt_report(result: &HttTableResult, table_no: u32) -> String {
         let paper_d = c.paper_delta(2);
         let model_d = c.measured_delta(2);
         let paper_pct = c.paper.map(|p| (p[2][1] - p[2][0]) / p[2][0] * 100.0);
-        let model_pct = c.measured[2][0].zip(c.measured[2][1]).map(|(h0, h1)| {
-            (h1.mean - h0.mean) / h0.mean * 100.0
-        });
+        let model_pct = c.measured[2][0]
+            .zip(c.measured[2][1])
+            .map(|(h0, h1)| (h1.mean - h0.mean) / h0.mean * 100.0);
         if let (Some(pp), Some(mp)) = (paper_pct, model_pct) {
             pairs.push((pp, mp));
         }

@@ -121,24 +121,19 @@ pub fn variance_study(config: ConvolveConfig, reps: u32, seed: u64) -> Vec<Varia
                         seed,
                         &["variance", config.label(), &cpus.to_string(), &rep.to_string()],
                     );
-                    let driver =
-                        SmiDriver::new(SmiDriverConfig::interval_ms(SmiClass::Long, 50));
+                    let driver = SmiDriver::new(SmiDriverConfig::interval_ms(SmiClass::Long, 50));
                     let schedule = driver.schedule_for_node(&mut rng);
                     let effects = if side_effects {
                         driver.side_effects_jittered(cpus > 4, &mut rng)
                     } else {
                         SmiSideEffects::none()
                     };
-                    let run = ConvolveRun { config, online_cpus: cpus, schedule, effects, threads: 24 };
+                    let run =
+                        ConvolveRun { config, online_cpus: cpus, schedule, effects, threads: 24 };
                     acc.push(run_convolve(&run, &mut rng).wall_seconds);
                 }
             }
-            VariancePoint {
-                cpus,
-                mean: full.mean(),
-                cv: full.cv(),
-                cv_no_side_effects: bare.cv(),
-            }
+            VariancePoint { cpus, mean: full.mean(), cv: full.cv(), cv_no_side_effects: bare.cv() }
         })
         .collect()
 }

@@ -120,7 +120,8 @@ pub const FIG2_CPUS: [u32; 4] = [1, 2, 4, 8];
 pub const FIG2_INTERVALS: [u64; 4] = [100, 600, 1100, 1600];
 
 pub(crate) fn ubench_index(cpus: u32, smm: SmiClass, interval_ms: u64, opts: &RunOptions) -> f64 {
-    let mut rng = SimRng::from_path(opts.seed, &["figure2", &format!("{cpus}-{interval_ms}-{smm:?}")]);
+    let mut rng =
+        SimRng::from_path(opts.seed, &["figure2", &format!("{cpus}-{interval_ms}-{smm:?}")]);
     let costs = UbCosts::default();
     let (schedule, effects) = match smm {
         SmiClass::None => (FreezeSchedule::none(), SmiSideEffects::none()),
@@ -196,12 +197,7 @@ mod tests {
         // Spot-check the knee: 50 ms is dramatically worse than 1500 ms.
         let slow = convolve_point(ConvolveConfig::CacheUnfriendly, 4, Some(50), &tiny());
         let mild = convolve_point(ConvolveConfig::CacheUnfriendly, 4, Some(1500), &tiny());
-        assert!(
-            slow.mean > 2.0 * mild.mean,
-            "50ms {} vs 1500ms {}",
-            slow.mean,
-            mild.mean
-        );
+        assert!(slow.mean > 2.0 * mild.mean, "50ms {} vs 1500ms {}", slow.mean, mild.mean);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   EXPERIMENTS.md report blocks.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod absorption;
 pub mod cells;
@@ -30,11 +31,15 @@ pub mod svg;
 pub use absorption::{absorption_profile, probe, AbsorptionPoint};
 pub use compare::{agreement, htt_report, table_report, Agreement, NOISE_FLOOR_PP};
 pub use extensions::{scale_projection, variance_study, ScalePoint, VariancePoint};
-pub use figures::{impact_slope, run_figure1, run_figure2, FigPoint, FigSeries, Figure1Result, Figure2Result};
+pub use figures::{
+    impact_slope, run_figure1, run_figure2, FigPoint, FigSeries, Figure1Result, Figure2Result,
+};
 pub use mpi_tables::{
     measure_cell, run_htt_table, run_table, HttTableCell, HttTableResult, Measured, TableCell,
     TableResult, SMM_CLASSES,
 };
 pub use opts::RunOptions;
-pub use render::{render_figure1, render_figure2, render_htt_table, render_table, series_csv, table_csv};
+pub use render::{
+    render_figure1, render_figure2, render_htt_table, render_table, series_csv, table_csv,
+};
 pub use svg::{render_chart, ChartSpec};

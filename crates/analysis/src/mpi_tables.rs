@@ -73,11 +73,7 @@ pub struct TableResult {
 pub const SMM_CLASSES: [SmiClass; 3] = [SmiClass::None, SmiClass::Short, SmiClass::Long];
 
 /// Build per-node noise state for one rep.
-fn nodes_for(
-    spec: &ClusterSpec,
-    smm: SmiClass,
-    rng: &mut SimRng,
-) -> Vec<NodeState> {
+fn nodes_for(spec: &ClusterSpec, smm: SmiClass, rng: &mut SimRng) -> Vec<NodeState> {
     let driver = SmiDriver::new(SmiDriverConfig::mpi_study(smm));
     (0..spec.nodes)
         .map(|_| NodeState {
@@ -213,9 +209,8 @@ pub fn run_htt_table(bench: Bench, opts: &RunOptions) -> HttTableResult {
                 let extra = calibrate_extra(bench, class, &spec, &network, target);
                 let label = format!("{}-n{}-ht{}", class.letter(), nodes, ht_idx);
                 for (k, smm) in SMM_CLASSES.into_iter().enumerate() {
-                    measured[k][ht_idx] = Some(measure_cell(
-                        bench, class, &spec, extra, smm, opts, &network, &label,
-                    ));
+                    measured[k][ht_idx] =
+                        Some(measure_cell(bench, class, &spec, extra, smm, opts, &network, &label));
                 }
             }
             cells.push(HttTableCell { class, nodes, measured, paper });
@@ -238,10 +233,24 @@ mod tests {
         let net = NetworkParams::gigabit_cluster();
         let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 23.12);
         let base = measure_cell(
-            Bench::Ep, Class::A, &spec, extra, SmiClass::None, &tiny_opts(), &net, "t",
+            Bench::Ep,
+            Class::A,
+            &spec,
+            extra,
+            SmiClass::None,
+            &tiny_opts(),
+            &net,
+            "t",
         );
         let long = measure_cell(
-            Bench::Ep, Class::A, &spec, extra, SmiClass::Long, &tiny_opts(), &net, "t",
+            Bench::Ep,
+            Class::A,
+            &spec,
+            extra,
+            SmiClass::Long,
+            &tiny_opts(),
+            &net,
+            "t",
         );
         assert!((base.mean - 23.12).abs() < 0.3, "baseline {}", base.mean);
         let pct = (long.mean - base.mean) / base.mean * 100.0;
@@ -255,10 +264,24 @@ mod tests {
         let net = NetworkParams::gigabit_cluster();
         let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 11.69);
         let base = measure_cell(
-            Bench::Ep, Class::A, &spec, extra, SmiClass::None, &tiny_opts(), &net, "t",
+            Bench::Ep,
+            Class::A,
+            &spec,
+            extra,
+            SmiClass::None,
+            &tiny_opts(),
+            &net,
+            "t",
         );
         let short = measure_cell(
-            Bench::Ep, Class::A, &spec, extra, SmiClass::Short, &tiny_opts(), &net, "t",
+            Bench::Ep,
+            Class::A,
+            &spec,
+            extra,
+            SmiClass::Short,
+            &tiny_opts(),
+            &net,
+            "t",
         );
         let pct = ((short.mean - base.mean) / base.mean * 100.0).abs();
         assert!(pct < 2.0, "short-SMI impact should be in the noise: {pct}%");
@@ -268,12 +291,10 @@ mod tests {
     fn measurement_is_reproducible_for_fixed_seed() {
         let spec = ClusterSpec::wyeast(1, 1, false);
         let net = NetworkParams::gigabit_cluster();
-        let a = measure_cell(
-            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x",
-        );
-        let b = measure_cell(
-            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x",
-        );
+        let a =
+            measure_cell(Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x");
+        let b =
+            measure_cell(Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x");
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.std, b.std);
     }
@@ -283,10 +304,24 @@ mod tests {
         let spec = ClusterSpec::wyeast(1, 1, false);
         let net = NetworkParams::gigabit_cluster();
         let a = measure_cell(
-            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "cell-a",
+            Bench::Ep,
+            Class::A,
+            &spec,
+            0.0,
+            SmiClass::Long,
+            &tiny_opts(),
+            &net,
+            "cell-a",
         );
         let b = measure_cell(
-            Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "cell-b",
+            Bench::Ep,
+            Class::A,
+            &spec,
+            0.0,
+            SmiClass::Long,
+            &tiny_opts(),
+            &net,
+            "cell-b",
         );
         assert_ne!(a.mean, b.mean, "distinct labels must decorrelate phases");
     }

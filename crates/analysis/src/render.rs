@@ -29,17 +29,16 @@ pub fn render_table(result: &TableResult, table_no: u32) -> String {
         "SMM0", "SMM1", "d1", "%1", "SMM2", "d2", "%2",
         "SMM0", "SMM1", "d1", "%1", "SMM2", "d2", "%2",
     );
-    let _ = writeln!(out, "{:>12}| {:^63}| {:^63}", "", "1 MPI rank per node", "4 MPI ranks per node");
+    let _ =
+        writeln!(out, "{:>12}| {:^63}| {:^63}", "", "1 MPI rank per node", "4 MPI ranks per node");
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
     for class in Class::PAPER {
-        let rows: Vec<_> = result
-            .cells
-            .iter()
-            .filter(|c| c.class == class)
-            .collect();
-        let mut by_nodes: std::collections::BTreeMap<u32, [Option<&crate::mpi_tables::TableCell>; 2]> =
-            Default::default();
+        let rows: Vec<_> = result.cells.iter().filter(|c| c.class == class).collect();
+        let mut by_nodes: std::collections::BTreeMap<
+            u32,
+            [Option<&crate::mpi_tables::TableCell>; 2],
+        > = Default::default();
         for c in rows {
             let slot = if c.ranks_per_node == 1 { 0 } else { 1 };
             by_nodes.entry(c.nodes).or_insert([None, None])[slot] = Some(c);
@@ -90,11 +89,7 @@ pub fn render_htt_table(result: &HttTableResult, table_no: u32) -> String {
         "{:>5} {:>5} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} {:>7}",
         "class", "nodes", "ht=0", "ht=1", "d", "ht=0", "ht=1", "d", "ht=0", "ht=1", "d", "%",
     );
-    let _ = writeln!(
-        out,
-        "{:>12}| {:^29} | {:^29} | {:^37}",
-        "", "SMM 0", "SMM 1", "SMM 2"
-    );
+    let _ = writeln!(out, "{:>12}| {:^29} | {:^29} | {:^37}", "", "SMM 0", "SMM 1", "SMM 2");
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
     for cell in &result.cells {
@@ -103,13 +98,7 @@ pub fn render_htt_table(result: &HttTableResult, table_no: u32) -> String {
             let h0 = cell.measured[k][0].map(|m| m.mean);
             let h1 = cell.measured[k][1].map(|m| m.mean);
             let d = cell.measured_delta(k);
-            let _ = write!(
-                line,
-                " {} {} {}",
-                fmt_opt(h0, 9),
-                fmt_opt(h1, 9),
-                fmt_opt(d, 8),
-            );
+            let _ = write!(line, " {} {} {}", fmt_opt(h0, 9), fmt_opt(h1, 9), fmt_opt(d, 8),);
             if k == 2 {
                 let pct = h0.zip(d).map(|(base, d)| d / base * 100.0);
                 let _ = write!(line, " {}", fmt_opt(pct, 7));
@@ -190,7 +179,8 @@ pub fn render_figure2(fig: &Figure2Result) -> String {
 
 /// Serialize a table result as CSV (one line per cell × SMM class).
 pub fn table_csv(result: &TableResult) -> String {
-    let mut out = String::from("bench,class,nodes,ranks_per_node,smm,measured_mean,measured_std,paper\n");
+    let mut out =
+        String::from("bench,class,nodes,ranks_per_node,smm,measured_mean,measured_std,paper\n");
     for c in &result.cells {
         for k in 0..3 {
             let _ = writeln!(

@@ -38,9 +38,8 @@ impl Default for ChartSpec {
 }
 
 /// Color-blind-safe series palette (Okabe–Ito).
-const PALETTE: [&str; 8] = [
-    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
-];
+const PALETTE: [&str; 8] =
+    ["#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000"];
 
 const MARGIN_L: f64 = 64.0;
 const MARGIN_R: f64 = 140.0;
@@ -52,10 +51,8 @@ const MARGIN_B: f64 = 52.0;
 /// # Panics
 /// Panics if every series is empty or any value is non-finite.
 pub fn render_chart(spec: &ChartSpec, series: &[FigSeries]) -> String {
-    let points: Vec<(f64, f64, f64)> = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|p| (p.x, p.mean, p.std)))
-        .collect();
+    let points: Vec<(f64, f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().map(|p| (p.x, p.mean, p.std))).collect();
     assert!(!points.is_empty(), "render_chart: no data");
     for &(x, y, e) in &points {
         assert!(x.is_finite() && y.is_finite() && e.is_finite(), "non-finite chart datum");
@@ -150,10 +147,8 @@ pub fn render_chart(spec: &ChartSpec, series: &[FigSeries]) -> String {
             let cmd = if i == 0 { 'M' } else { 'L' };
             let _ = write!(path, "{cmd}{:.1},{:.1} ", sx(p.x), sy(p.mean));
         }
-        let _ = write!(
-            svg,
-            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
-        );
+        let _ =
+            write!(svg, r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#);
         for p in &s.points {
             // Error bars.
             if p.std > 0.0 {

@@ -130,12 +130,7 @@ pub fn convolve_serial(img: &Image, ker: &Kernel) -> Image {
 /// each computed by its own thread into thread-local memory; at most
 /// `max_threads` tiles are in flight at once (the paper limits this
 /// to 24).
-pub fn convolve_blocked(
-    img: &Image,
-    ker: &Kernel,
-    block: usize,
-    max_threads: usize,
-) -> Image {
+pub fn convolve_blocked(img: &Image, ker: &Kernel, block: usize, max_threads: usize) -> Image {
     assert!(block > 0, "zero block size");
     assert!(max_threads > 0, "need at least one thread");
     let rows = img.rows;
@@ -165,7 +160,10 @@ pub fn convolve_blocked(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+                .collect()
         });
         // Assemble (outside the conceptual timed region).
         for ((r0, c0), tile) in results {
@@ -174,6 +172,8 @@ pub fn convolve_blocked(
             let mut it = tile.into_iter();
             for r in r0..rl {
                 for c in c0..cl {
+                    // smi-lint: allow(no-panic): each tile is built with
+                    // exactly (rl-r0)*(cl-c0) entries in the loop above.
                     out.data[r * cols + c] = it.next().expect("tile size");
                 }
             }

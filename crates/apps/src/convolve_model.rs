@@ -190,14 +190,14 @@ pub fn run_convolve(run: &ConvolveRun, rng: &mut SimRng) -> ConvolveOutcome {
         .map(|i| {
             let jitter = rng.jitter(0.006);
             let work = SimDuration::from_secs_f64(per_thread * jitter);
-            ThreadSpec::new(
-                ThreadProgram::new().then(Phase::Compute { work, profile }),
-            )
-            .delayed(spawn_cost * i as u64)
+            ThreadSpec::new(ThreadProgram::new().then(Phase::Compute { work, profile }))
+                .delayed(spawn_cost * i as u64)
         })
         .collect();
 
     let sched = scheduler::run(&topo, &SchedParams::default(), &threads)
+        // smi-lint: allow(no-panic): pure compute phases never block on pipes,
+        // so the scheduler cannot report a deadlock for this program.
         .expect("convolve threads cannot deadlock");
     let executor = NodeExecutor::new(
         &run.schedule,
@@ -275,7 +275,12 @@ mod tests {
         assert!((0.95..1.45).contains(&gain), "HTT gain {gain}");
     }
 
-    fn noisy_run(config: ConvolveConfig, cpus: u32, interval_ms: u64, seed: u64) -> ConvolveOutcome {
+    fn noisy_run(
+        config: ConvolveConfig,
+        cpus: u32,
+        interval_ms: u64,
+        seed: u64,
+    ) -> ConvolveOutcome {
         let mut rng = SimRng::new(seed);
         let run = ConvolveRun {
             config,

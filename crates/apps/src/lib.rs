@@ -9,6 +9,7 @@
 //! machine for Figure 2.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod convolve;
 pub mod convolve_model;

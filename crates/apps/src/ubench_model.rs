@@ -58,6 +58,9 @@ impl UbCosts {
             for i in 0..iters / 10 {
                 acc = acc.wrapping_add(f(i));
             }
+            // smi-lint: allow(wall-clock): calibrate_real is an explicitly
+            // host-dependent utility (doc above); experiments never call it
+            // and always use UbCosts::default for reproducibility.
             let start = Instant::now();
             for i in 0..iters {
                 acc = acc.wrapping_add(f(i));
@@ -96,9 +99,7 @@ pub fn work_rate(test: UbTest, copies: u32, topo: &Topology, costs: &UbCosts) ->
     let threads: Vec<ThreadSpec> = match test {
         UbTest::Dhrystone => (0..copies)
             .map(|_| {
-                ThreadSpec::new(
-                    ThreadProgram::new().then(Phase::compute(costs.dhrystone * units)),
-                )
+                ThreadSpec::new(ThreadProgram::new().then(Phase::compute(costs.dhrystone * units)))
             })
             .collect(),
         UbTest::Whetstone => (0..copies)
@@ -110,10 +111,10 @@ pub fn work_rate(test: UbTest, copies: u32, topo: &Topology, costs: &UbCosts) ->
             .collect(),
         UbTest::SyscallOverhead => (0..copies)
             .map(|_| {
-                ThreadSpec::new(ThreadProgram::new().then(Phase::Syscalls {
-                    count: units,
-                    each: costs.syscall,
-                }))
+                ThreadSpec::new(
+                    ThreadProgram::new()
+                        .then(Phase::Syscalls { count: units, each: costs.syscall }),
+                )
             })
             .collect(),
         UbTest::PipeThroughput => (0..copies)
@@ -148,7 +149,11 @@ pub fn work_rate(test: UbTest, copies: u32, topo: &Topology, costs: &UbCosts) ->
             })
             .collect(),
     };
-    let out = scheduler::run(topo, &params, &threads).expect("unixbench programs are deadlock-free");
+    let out = scheduler::run(topo, &params, &threads)
+        // smi-lint: allow(no-panic): the pipe programs built above strictly
+        // alternate write/read in matched pairs, so the scheduler cannot
+        // deadlock.
+        .expect("unixbench programs are deadlock-free");
     let total_units = units * copies as u64;
     total_units as f64 / out.makespan.as_secs_f64()
 }
@@ -167,9 +172,8 @@ pub fn usable_work_seconds(
     let windows = schedule.count_between(SimTime::ZERO, end) as u64;
     let per_window = effects.per_window_cost(online_cpus, memory_intensity);
     let unfrozen = duration.saturating_sub(frozen);
-    let residency_loss = frozen
-        .mul_f64(effects.per_frozen_fraction(0.0))
-        .min(unfrozen.mul_f64(effects.loss_cap));
+    let residency_loss =
+        frozen.mul_f64(effects.per_frozen_fraction(0.0)).min(unfrozen.mul_f64(effects.loss_cap));
     let overhead = per_window * windows + residency_loss;
     (duration.as_secs_f64() - frozen.as_secs_f64() - overhead.as_secs_f64()).max(0.0)
 }
@@ -263,11 +267,7 @@ mod tests {
     #[test]
     fn quiet_suite_produces_plausible_index() {
         let report = run_suite(4, &quiet(), &SmiSideEffects::none(), &UbCosts::default());
-        assert!(
-            (200.0..4000.0).contains(&report.total_index),
-            "index {}",
-            report.total_index
-        );
+        assert!((200.0..4000.0).contains(&report.total_index), "index {}", report.total_index);
         // Multi-copy on 4 cores beats single-copy.
         assert!(report.multi_index > report.single_index * 2.0);
     }

@@ -91,10 +91,7 @@ fn run_contention(contention: f64) -> f64 {
             }))
         })
         .collect();
-    machine::run(&topo, &params, &threads)
-        .expect("no deadlock")
-        .makespan
-        .as_secs_f64()
+    machine::run(&topo, &params, &threads).expect("no deadlock").makespan.as_secs_f64()
 }
 
 fn ablation_smt_contention(c: &mut Criterion) {

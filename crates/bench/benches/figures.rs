@@ -17,8 +17,7 @@ fn figure1_convolve(c: &mut Criterion) {
         let label = format!("{}_{}cpu_{}ms", config.label(), cpus, interval);
         group.bench_function(&label, |b| {
             b.iter(|| {
-                let driver =
-                    SmiDriver::new(SmiDriverConfig::interval_ms(SmiClass::Long, interval));
+                let driver = SmiDriver::new(SmiDriverConfig::interval_ms(SmiClass::Long, interval));
                 let mut rng = SimRng::new(1);
                 let run = ConvolveRun {
                     config,
@@ -41,8 +40,7 @@ fn figure2_unixbench(c: &mut Criterion) {
         let label = format!("{cpus}cpu_{interval}ms");
         group.bench_function(&label, |b| {
             b.iter(|| {
-                let driver =
-                    SmiDriver::new(SmiDriverConfig::interval_ms(SmiClass::Long, interval));
+                let driver = SmiDriver::new(SmiDriverConfig::interval_ms(SmiClass::Long, interval));
                 let mut rng = SimRng::new(2);
                 let schedule = driver.schedule_for_node(&mut rng);
                 let effects = driver.side_effects(cpus > 4);

@@ -42,7 +42,9 @@ fn detector_polling(c: &mut Criterion) {
     c.bench_function("hwlat_detect_1s_window", |b| {
         let s = long_schedule(3);
         let det = HwlatDetector::default();
-        b.iter(|| black_box(det.detect(&s, SimTime::ZERO, SimTime::from_secs(1), &Tsc::e5620()).count()))
+        b.iter(|| {
+            black_box(det.detect(&s, SimTime::ZERO, SimTime::from_secs(1), &Tsc::e5620()).count())
+        })
     });
 }
 

@@ -16,9 +16,7 @@ fn ep_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("real_ep");
     let pairs = 1u64 << 16;
     group.throughput(Throughput::Elements(pairs));
-    group.bench_function("gaussian_pairs_64k", |b| {
-        b.iter(|| black_box(ep_chunk(0, pairs).gc()))
-    });
+    group.bench_function("gaussian_pairs_64k", |b| b.iter(|| black_box(ep_chunk(0, pairs).gc())));
     group.finish();
 }
 
@@ -79,9 +77,8 @@ fn convolve_kernel(c: &mut Criterion) {
     let ker = Kernel::gaussian(5);
     let mut group = c.benchmark_group("real_convolve");
     group.throughput(Throughput::Elements((img.rows * img.cols) as u64));
-    group.bench_function("serial_192x192_g5", |b| {
-        b.iter(|| black_box(convolve_serial(&img, &ker)))
-    });
+    group
+        .bench_function("serial_192x192_g5", |b| b.iter(|| black_box(convolve_serial(&img, &ker))));
     group.bench_function("blocked_24threads_192x192_g5", |b| {
         b.iter(|| black_box(convolve_blocked(&img, &ker, 48, 24)))
     });

@@ -14,6 +14,8 @@
 //! `--features criterion-bench` restores full sample counts and adds
 //! warmup, turning the same targets into real measurement runs.
 
+#![deny(unsafe_code)]
+
 use analysis::RunOptions;
 use std::time::{Duration, Instant};
 
@@ -122,7 +124,12 @@ fn effective_samples(requested: usize) -> usize {
     }
 }
 
-fn run_bench(name: &str, requested: usize, throughput: Option<Throughput>, mut routine: impl FnMut(&mut Bencher)) {
+fn run_bench(
+    name: &str,
+    requested: usize,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
     let samples = effective_samples(requested);
     // Warmup: quick mode takes one untimed pass, full mode three.
     let warmup = if cfg!(feature = "criterion-bench") { 3 } else { 1 };
@@ -137,7 +144,7 @@ fn run_bench(name: &str, requested: usize, throughput: Option<Throughput>, mut r
     }
     times.sort();
     let min = times[0];
-    let max = *times.last().expect("samples >= 2");
+    let max = times.last().copied().unwrap_or(min);
     let mean = times.iter().sum::<Duration>() / times.len() as u32;
     let rate = throughput.map(|t| {
         let secs = mean.as_secs_f64().max(1e-12);

@@ -70,6 +70,8 @@ impl SetAssocCache {
         let victim = set_ways
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            // smi-lint: allow(no-panic): the constructor rejects assoc == 0,
+            // so every set slice is non-empty.
             .expect("associativity >= 1");
         victim.tag = tag;
         victim.valid = true;
@@ -83,9 +85,7 @@ impl SetAssocCache {
         let set = (line & self.set_mask) as usize;
         let tag = line >> self.config.sets().trailing_zeros();
         let base = set * self.assoc;
-        self.ways[base..base + self.assoc]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.ways[base..base + self.assoc].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Invalidate every line (e.g. to model the cache pollution left
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn conflict_thrashing_in_direct_mapped() {
         let mut c = SetAssocCache::new(CacheConfig::new(256, 64, 1)); // 4 sets
-        // Two addresses mapping to set 0 alternate: always miss after warmup.
+                                                                      // Two addresses mapping to set 0 alternate: always miss after warmup.
         for _ in 0..10 {
             c.access(0x0000);
             c.access(0x0100);

@@ -140,7 +140,9 @@ mod tests {
 
     #[test]
     fn presets_are_valid() {
-        for cfg in [HierarchyConfig::xeon_e5620(), HierarchyConfig::xeon_e5520(), HierarchyConfig::tiny()] {
+        for cfg in
+            [HierarchyConfig::xeon_e5620(), HierarchyConfig::xeon_e5520(), HierarchyConfig::tiny()]
+        {
             assert!(cfg.l1.size_bytes < cfg.l2.size_bytes);
             assert!(cfg.l2.size_bytes < cfg.l3.size_bytes);
             assert!(cfg.l1_latency < cfg.l2_latency);

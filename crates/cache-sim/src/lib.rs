@@ -14,6 +14,7 @@
 //! CF/CU classification needs.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod cache;
 pub mod config;

@@ -170,12 +170,12 @@ fn deterministic_across_identical_runs() {
 /// `cache_properties.proptest-regressions`); it exercised both
 /// stream-only properties, so it is pinned for each explicitly.
 const REGRESSION_ADDRS: [u64; 66] = [
-    192256, 0, 64, 3904, 128, 192, 3968, 249664, 256, 278336, 320, 384, 448, 5649, 118439,
-    448569, 998046, 89638, 221333, 609210, 572382, 414627, 124417, 921273, 302144, 373731,
-    904283, 155664, 606685, 611739, 865210, 834270, 174905, 541362, 371157, 422858, 615143,
-    224407, 922502, 819420, 742598, 980, 283900, 682396, 1022036, 372355, 549193, 441375,
-    636352, 770521, 2494, 155997, 1021671, 704868, 633079, 243478, 58027, 31355, 466527,
-    24825, 911952, 796808, 180546, 606936, 677402, 192272,
+    192256, 0, 64, 3904, 128, 192, 3968, 249664, 256, 278336, 320, 384, 448, 5649, 118439, 448569,
+    998046, 89638, 221333, 609210, 572382, 414627, 124417, 921273, 302144, 373731, 904283, 155664,
+    606685, 611739, 865210, 834270, 174905, 541362, 371157, 422858, 615143, 224407, 922502, 819420,
+    742598, 980, 283900, 682396, 1022036, 372355, 549193, 441375, 636352, 770521, 2494, 155997,
+    1021671, 704868, 633079, 243478, 58027, 31355, 466527, 24825, 911952, 796808, 180546, 606936,
+    677402, 192272,
 ];
 
 #[test]

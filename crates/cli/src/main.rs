@@ -25,6 +25,7 @@
 //!   unixbench   per-test UnixBench score detail
 //!   report      EXPERIMENTS.md body (paper vs measured)
 //!   all         everything above
+//!   lint        determinism & hermeticity linter (see crates/smi-lint)
 //! ```
 //!
 //! Every experiment runs through the parallel runner: `--jobs N` fans
@@ -32,6 +33,8 @@
 //! completed cells persist in a content-hash cache under `--cache-dir`
 //! (default `results/cache`) so re-runs and `--resume` skip them, and
 //! `--records FILE` writes one canonical JSONL record per cell.
+
+#![deny(unsafe_code)]
 
 mod xcmds;
 
@@ -361,14 +364,12 @@ fn cmd_report(args: &Args) {
     out.push_str("## Figure 1 — Convolve\n\n");
     out.push_str("Paper claims vs. measured (CacheUnfriendly, 4 CPUs):\n\n");
     out.push_str("| SMI interval | measured mean [s] | vs. quiet |\n|---|---|---|\n");
-    let quiet = fig1.interval_panels[0][2]
+    let quiet = fig1.interval_panels[0][2].points.last().map(|p| p.mean).unwrap_or(0.0);
+    for p in fig1.interval_panels[0][2]
         .points
-        .last()
-        .map(|p| p.mean)
-        .unwrap_or(0.0);
-    for p in fig1.interval_panels[0][2].points.iter().filter(|p| {
-        [50.0, 300.0, 600.0, 1000.0, 1500.0].contains(&p.x)
-    }) {
+        .iter()
+        .filter(|p| [50.0, 300.0, 600.0, 1000.0, 1500.0].contains(&p.x))
+    {
         out.push_str(&format!(
             "| {} ms | {:.2} ± {:.2} | {:+.1} % |\n",
             p.x,
@@ -465,11 +466,17 @@ fn cmd_all(args: &Args) {
 }
 
 fn main() {
+    // `smi-lab lint` has its own flag grammar; route it straight to the
+    // shared engine in crates/smi-lint before the experiment arg parser.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        std::process::exit(smi_lint::run_cli(&argv[1..]));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all> [--reps N] [--seed N] [--quick] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all|lint> [--reps N] [--seed N] [--quick] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
             std::process::exit(2);
         }
     };

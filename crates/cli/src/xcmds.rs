@@ -62,10 +62,8 @@ pub fn bits(opts: &RunOptions) -> String {
 /// Sampling-profiler misattribution demo.
 pub fn attribution(opts: &RunOptions) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "sampling-profiler attribution under one 2 s SMI (10 s run, 1 ms sampler)"
-    );
+    let _ =
+        writeln!(out, "sampling-profiler attribution under one 2 s SMI (10 s run, 1 ms sampler)");
     let symbols = vec![
         Symbol { name: "compute_kernel".into(), work: SimDuration::from_millis(60) },
         Symbol { name: "exchange_halo".into(), work: SimDuration::from_millis(30) },
@@ -139,7 +137,8 @@ pub fn scale(opts: &RunOptions) -> String {
     let _ = writeln!(out, "\nThe paper's 1-to-16-node growth continues briefly, then saturates:");
     let _ = writeln!(out, "once some node is almost always the most-recently-frozen straggler,");
     let _ = writeln!(out, "each synchronization interval cannot lose more than ~one residency.");
-    let _ = writeln!(out, "Larger scales get *no relief* — the worst case becomes the steady state.");
+    let _ =
+        writeln!(out, "Larger scales get *no relief* — the worst case becomes the steady state.");
     out
 }
 
@@ -148,10 +147,12 @@ pub fn variance(opts: &RunOptions) -> String {
     use apps::ConvolveConfig;
     let mut out = String::new();
     let _ = writeln!(out, "variance decomposition at 50 ms long-SMI intervals (paper §V:");
-    let _ = writeln!(out, "'the cause of variance with HTT'); {} reps per point\n", opts.reps.max(6));
+    let _ =
+        writeln!(out, "'the cause of variance with HTT'); {} reps per point\n", opts.reps.max(6));
     for config in [ConvolveConfig::CacheUnfriendly, ConvolveConfig::CacheFriendly] {
         let _ = writeln!(out, "{}:", config.label());
-        let _ = writeln!(out, "{:>6} {:>10} {:>8} {:>16}", "cpus", "mean [s]", "CV", "CV (phase only)");
+        let _ =
+            writeln!(out, "{:>6} {:>10} {:>8} {:>16}", "cpus", "mean [s]", "CV", "CV (phase only)");
         for p in analysis::variance_study(config, opts.reps.max(6), opts.seed) {
             let _ = writeln!(
                 out,
@@ -233,7 +234,11 @@ pub fn mops(_opts: &RunOptions) -> String {
     use nas::Bench;
     let mut out = String::new();
     let _ = writeln!(out, "work completed and MOPs at the paper's serial baselines");
-    let _ = writeln!(out, "{:>6} {:>7} {:>16} {:>12} {:>12}", "bench", "class", "total ops", "time [s]", "MOP/s");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>7} {:>16} {:>12} {:>12}",
+        "bench", "class", "total ops", "time [s]", "MOP/s"
+    );
     for bench in [Bench::Ep, Bench::Bt, Bench::Ft] {
         for class in nas::Class::PAPER {
             let secs = nas::serial_seconds(bench, class);

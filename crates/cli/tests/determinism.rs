@@ -16,10 +16,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
 }
 
 fn smi_lab(args: &[&str]) -> std::process::Output {
-    let out = Command::new(env!("CARGO_BIN_EXE_smi-lab"))
-        .args(args)
-        .output()
-        .expect("run smi-lab");
+    let out = Command::new(env!("CARGO_BIN_EXE_smi-lab")).args(args).output().expect("run smi-lab");
     assert!(
         out.status.success(),
         "smi-lab {args:?} failed: {}",
@@ -39,14 +36,26 @@ fn parallel_records_are_byte_identical_to_serial() {
     let rec8 = dir.join("jobs8.jsonl");
     let cache = dir.join("cache");
     let out1 = smi_lab(&[
-        "table2", "--quick", "--jobs", "1", "--no-cache",
-        "--cache-dir", cache.to_str().unwrap(),
-        "--records", rec1.to_str().unwrap(),
+        "table2",
+        "--quick",
+        "--jobs",
+        "1",
+        "--no-cache",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--records",
+        rec1.to_str().unwrap(),
     ]);
     let out8 = smi_lab(&[
-        "table2", "--quick", "--jobs", "8", "--no-cache",
-        "--cache-dir", cache.to_str().unwrap(),
-        "--records", rec8.to_str().unwrap(),
+        "table2",
+        "--quick",
+        "--jobs",
+        "8",
+        "--no-cache",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--records",
+        rec8.to_str().unwrap(),
     ]);
     let serial = read(&rec1);
     assert!(!serial.is_empty(), "records must be written");
@@ -62,17 +71,22 @@ fn warm_rerun_is_fully_cached_and_identical() {
     let rec_cold = dir.join("cold.jsonl");
     let rec_warm = dir.join("warm.jsonl");
     let common = ["table2", "--quick", "--cache-dir"];
-    smi_lab(&[&common[..], &[cache.to_str().unwrap(), "--records", rec_cold.to_str().unwrap()]].concat());
-    smi_lab(&[
-        &common[..],
-        &[cache.to_str().unwrap(), "--resume", "--records", rec_warm.to_str().unwrap()],
-    ]
-    .concat());
+    smi_lab(
+        &[&common[..], &[cache.to_str().unwrap(), "--records", rec_cold.to_str().unwrap()]]
+            .concat(),
+    );
+    smi_lab(
+        &[
+            &common[..],
+            &[cache.to_str().unwrap(), "--resume", "--records", rec_warm.to_str().unwrap()],
+        ]
+        .concat(),
+    );
     assert_eq!(read(&rec_cold), read(&rec_warm), "resumed records must be identical");
 
     // The warm run's manifest must show every cell served from cache.
-    let manifest = jsonio::Json::parse(&read(&cache.join("manifests/table2.json")))
-        .expect("parse manifest");
+    let manifest =
+        jsonio::Json::parse(&read(&cache.join("manifests/table2.json"))).expect("parse manifest");
     let total = manifest.get("cells_total").and_then(jsonio::Json::as_u64).unwrap();
     let cached = manifest.get("cells_cached").and_then(jsonio::Json::as_u64).unwrap();
     assert!(total > 0);

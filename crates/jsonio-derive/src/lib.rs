@@ -15,6 +15,8 @@
 //! Generic types and variant discriminants are rejected with a
 //! `compile_error!` rather than silently mis-serialized.
 
+#![deny(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `jsonio::ToJson` for a struct or enum.
@@ -195,9 +197,7 @@ fn named_struct_body(fields: &[String]) -> String {
     let pushes: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "(::std::string::String::from({f:?}), ::jsonio::ToJson::to_json(&self.{f}))"
-            )
+            format!("(::std::string::String::from({f:?}), ::jsonio::ToJson::to_json(&self.{f}))")
         })
         .collect();
     format!("::jsonio::Json::Obj(::std::vec![{}])", pushes.join(", "))
@@ -208,9 +208,8 @@ fn tuple_struct_body(n: usize) -> String {
         0 => "::jsonio::Json::Arr(::std::vec![])".to_string(),
         1 => "::jsonio::ToJson::to_json(&self.0)".to_string(),
         n => {
-            let items: Vec<String> = (0..n)
-                .map(|k| format!("::jsonio::ToJson::to_json(&self.{k})"))
-                .collect();
+            let items: Vec<String> =
+                (0..n).map(|k| format!("::jsonio::ToJson::to_json(&self.{k})")).collect();
             format!("::jsonio::Json::Arr(::std::vec![{}])", items.join(", "))
         }
     }

@@ -34,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 mod parse;
 mod ser;
@@ -194,7 +195,8 @@ mod tests {
 
     #[test]
     fn roundtrip_scalars() {
-        for text in ["null", "true", "false", "0", "-7", "18446744073709551615", "1.5", "\"a\\nb\""] {
+        for text in ["null", "true", "false", "0", "-7", "18446744073709551615", "1.5", "\"a\\nb\""]
+        {
             let v = Json::parse(text).unwrap();
             assert_eq!(Json::parse(&v.to_string()).unwrap(), v, "{text}");
         }

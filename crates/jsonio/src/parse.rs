@@ -26,7 +26,7 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 pub(crate) fn parse(text: &str) -> Result<Json, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { text, bytes: text.as_bytes(), pos: 0 };
     p.skip_ws();
     let value = p.value(0)?;
     p.skip_ws();
@@ -37,6 +37,7 @@ pub(crate) fn parse(text: &str) -> Result<Json, ParseError> {
 }
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -180,7 +181,8 @@ impl<'a> Parser<'a> {
                                     return Err(self.err("invalid low surrogate"));
                                 }
                                 let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(code).ok_or_else(|| self.err("bad surrogate pair"))?
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad surrogate pair"))?
                             } else {
                                 char::from_u32(hi).ok_or_else(|| self.err("lone surrogate"))?
                             };
@@ -191,12 +193,16 @@ impl<'a> Parser<'a> {
                 }
                 0x00..=0x1F => return Err(self.err("raw control character in string")),
                 _ => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume one UTF-8 scalar. The input is a &str and the
+                    // cursor only ever advances by whole scalars or ASCII
+                    // bytes, so pos sits on a char boundary here.
+                    match self.text.get(self.pos..).and_then(|s| s.chars().next()) {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(self.err("string not on a char boundary")),
+                    }
                 }
             }
         }
@@ -253,7 +259,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        // Every byte between start and pos is ASCII (sign/digit/dot/exp),
+        // so the slice is valid UTF-8 on char boundaries.
+        let Some(text) = self.text.get(start..self.pos) else {
+            return Err(self.err("number not on a char boundary"));
+        };
         if !is_float {
             if let Ok(v) = text.parse::<i64>() {
                 return Ok(if v >= 0 { Json::U64(v as u64) } else { Json::I64(v) });
@@ -275,9 +285,26 @@ mod tests {
     #[test]
     fn rejects_garbage_without_panicking() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\"}", "{\"a\":}", "nul", "tru", "-", "1.",
-            "1e", "\"abc", "\"\\u12\"", "\"\\q\"", "[1 2]", "{\"a\":1,}ex", "01x",
-            "\u{7}", "\"\\ud800\"", "[1]]",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "-",
+            "1.",
+            "1e",
+            "\"abc",
+            "\"\\u12\"",
+            "\"\\q\"",
+            "[1 2]",
+            "{\"a\":1,}ex",
+            "01x",
+            "\u{7}",
+            "\"\\ud800\"",
+            "[1]]",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
@@ -293,10 +320,7 @@ mod tests {
     #[test]
     fn unicode_escapes() {
         assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
-        assert_eq!(
-            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
-            Json::Str("\u{1F600}".into())
-        );
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("\u{1F600}".into()));
         assert_eq!(Json::parse("\"caf\u{e9}\"").unwrap(), Json::Str("café".into()));
     }
 

@@ -61,9 +61,7 @@ impl PowerModel {
 mod tests {
     use super::*;
     use crate::executor::{NodeExecutor, SmiSideEffects};
-    use sim_core::{
-        DurationModel, FreezeSchedule, PeriodicFreeze, SimTime, TriggerPolicy,
-    };
+    use sim_core::{DurationModel, FreezeSchedule, PeriodicFreeze, SimTime, TriggerPolicy};
 
     fn run(schedule: &FreezeSchedule) -> ExecOutcome {
         NodeExecutor::new(schedule, SmiSideEffects::none(), 8, 0.5, 0.0)

@@ -233,10 +233,10 @@ mod tests {
         let s4 = long_1hz(2);
         let s8 = long_1hz(2);
         let fx = SmiSideEffects::default();
-        let out4 =
-            NodeExecutor::new(&s4, fx, 4, 1.0, 0.0).execute(SimTime::ZERO, SimDuration::from_secs(30));
-        let out8 =
-            NodeExecutor::new(&s8, fx, 8, 1.0, 0.0).execute(SimTime::ZERO, SimDuration::from_secs(30));
+        let out4 = NodeExecutor::new(&s4, fx, 4, 1.0, 0.0)
+            .execute(SimTime::ZERO, SimDuration::from_secs(30));
+        let out8 = NodeExecutor::new(&s8, fx, 8, 1.0, 0.0)
+            .execute(SimTime::ZERO, SimDuration::from_secs(30));
         assert!(out8.overhead_work > out4.overhead_work);
         assert!(out8.wall > out4.wall);
     }
@@ -249,18 +249,20 @@ mod tests {
             refill_per_cpu: SimDuration::from_micros(500),
             ..SmiSideEffects::none()
         };
-        let compute =
-            NodeExecutor::new(&s, fx, 8, 0.0, 0.0).execute(SimTime::ZERO, SimDuration::from_secs(20));
-        let memory =
-            NodeExecutor::new(&s, fx, 8, 1.0, 0.0).execute(SimTime::ZERO, SimDuration::from_secs(20));
+        let compute = NodeExecutor::new(&s, fx, 8, 0.0, 0.0)
+            .execute(SimTime::ZERO, SimDuration::from_secs(20));
+        let memory = NodeExecutor::new(&s, fx, 8, 1.0, 0.0)
+            .execute(SimTime::ZERO, SimDuration::from_secs(20));
         assert_eq!(compute.overhead_work, SimDuration::ZERO);
         assert!(memory.overhead_work > SimDuration::ZERO);
     }
 
     #[test]
     fn herd_and_backlog_are_residency_proportional() {
-        let htt_on = SmiSideEffects { herd_frac: 0.25, backlog_frac: 0.0, ..SmiSideEffects::none() };
-        let htt_off = SmiSideEffects { herd_frac: 0.0, backlog_frac: 0.5, ..SmiSideEffects::none() };
+        let htt_on =
+            SmiSideEffects { herd_frac: 0.25, backlog_frac: 0.0, ..SmiSideEffects::none() };
+        let htt_off =
+            SmiSideEffects { herd_frac: 0.0, backlog_frac: 0.5, ..SmiSideEffects::none() };
         // Compute-bound workload (comm 0): HTT-on loses herd time, HTT-off
         // loses nothing.
         assert!((htt_on.per_frozen_fraction(0.0) - 0.25).abs() < 1e-12);

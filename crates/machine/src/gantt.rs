@@ -47,8 +47,9 @@ pub fn render_gantt(
     let mut steps: Vec<Vec<(u64, Option<u32>)>> = vec![Vec::new(); cpus.len()];
     for e in trace.events() {
         if let TraceKind::Schedule { cpu, thread } = e.kind {
-            let row = cpus.binary_search(&cpu).expect("cpu collected above");
-            steps[row].push((e.time.as_nanos(), thread));
+            if let Ok(row) = cpus.binary_search(&cpu) {
+                steps[row].push((e.time.as_nanos(), thread));
+            }
         }
     }
 
@@ -63,7 +64,7 @@ pub fn render_gantt(
     let glyph = |t: Option<u32>| -> char {
         match t {
             None => '.',
-            Some(id) => char::from_digit(id % 36, 36).expect("base-36 digit"),
+            Some(id) => char::from_digit(id % 36, 36).unwrap_or('?'),
         }
     };
 
@@ -82,12 +83,8 @@ pub fn render_gantt(
         }
         out.push_str("|\n");
     }
-    let _ = writeln!(
-        out,
-        "     0{:>width$}",
-        format!("{:.2}s", wall_end.as_secs_f64()),
-        width = width
-    );
+    let _ =
+        writeln!(out, "     0{:>width$}", format!("{:.2}s", wall_end.as_secs_f64()), width = width);
     out
 }
 

@@ -17,10 +17,11 @@
 //!   rendezvous and post-SMI cache-refill side effects.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod energy;
-pub mod gantt;
 pub mod executor;
+pub mod gantt;
 pub mod scheduler;
 pub mod smt;
 pub mod sysfs;

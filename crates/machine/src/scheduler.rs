@@ -19,7 +19,7 @@ use crate::smt::{pair_rates, ExecProfile, SmtParams};
 use crate::topology::{CpuId, Topology};
 use crate::workload::{Phase, PipeId, ThreadSpec};
 use sim_core::{SimDuration, SimTime, Trace, TraceKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Tunable scheduler/OS parameters.
@@ -67,6 +67,14 @@ pub enum SchedError {
         /// Requested bytes.
         bytes: u64,
     },
+    /// A thread's affinity mask names a CPU that is not online
+    /// (Linux rejects masks with no online CPU).
+    PinnedOffline {
+        /// Offending thread.
+        thread: usize,
+        /// The offline CPU id it is pinned to.
+        cpu: u32,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -77,6 +85,9 @@ impl std::fmt::Display for SchedError {
             }
             SchedError::WriteTooLarge { thread, bytes } => {
                 write!(f, "thread {thread}: pipe write of {bytes} B exceeds capacity")
+            }
+            SchedError::PinnedOffline { thread, cpu } => {
+                write!(f, "thread {thread} pinned to offline cpu{cpu}")
             }
         }
     }
@@ -155,17 +166,16 @@ pub fn run_with_trace(
     let online = topo.online_cpus();
     assert!(!online.is_empty(), "no online CPUs");
     // Validate affinities (Linux rejects masks with no online CPU).
-    let pinned: Vec<Option<usize>> = threads
-        .iter()
-        .map(|t| {
-            t.pinned.map(|cpu| {
-                online
-                    .iter()
-                    .position(|&c| c == cpu)
-                    .unwrap_or_else(|| panic!("thread pinned to offline cpu{}", cpu.0))
-            })
-        })
-        .collect();
+    let mut pinned: Vec<Option<usize>> = Vec::with_capacity(threads.len());
+    for (i, t) in threads.iter().enumerate() {
+        match t.pinned {
+            None => pinned.push(None),
+            Some(cpu) => match online.iter().position(|&c| c == cpu) {
+                Some(slot) => pinned.push(Some(slot)),
+                None => return Err(SchedError::PinnedOffline { thread: i, cpu: cpu.0 }),
+            },
+        }
+    }
 
     // Validate pipe writes up front.
     for (i, t) in threads.iter().enumerate() {
@@ -198,7 +208,7 @@ pub fn run_with_trace(
         })
         .collect();
 
-    let mut pipes: HashMap<PipeId, PipeRt> = HashMap::new();
+    let mut pipes: BTreeMap<PipeId, PipeRt> = BTreeMap::new();
     let mut now_ns = 0.0f64;
     let mut prev_assignment: Vec<Option<usize>> = vec![None; online.len()];
     let mut context_switches: u64 = 0;
@@ -223,16 +233,10 @@ pub fn run_with_trace(
         }
 
         // Runnable threads ordered by least vruntime (ties by id).
-        let mut runnable: Vec<usize> = (0..rts.len())
-            .filter(|&i| rts[i].state == State::Runnable)
-            .collect();
-        runnable.sort_by(|&a, &b| {
-            rts[a]
-                .vruntime_ns
-                .partial_cmp(&rts[b].vruntime_ns)
-                .expect("vruntime is finite")
-                .then(a.cmp(&b))
-        });
+        let mut runnable: Vec<usize> =
+            (0..rts.len()).filter(|&i| rts[i].state == State::Runnable).collect();
+        runnable
+            .sort_by(|&a, &b| rts[a].vruntime_ns.total_cmp(&rts[b].vruntime_ns).then(a.cmp(&b)));
 
         if runnable.is_empty() {
             // Either everyone left is sleeping (jump to next wake) or
@@ -246,9 +250,8 @@ pub fn run_with_trace(
                 now_ns = next_wake;
                 continue;
             }
-            let blocked: Vec<usize> = (0..rts.len())
-                .filter(|&i| !matches!(rts[i].state, State::Done))
-                .collect();
+            let blocked: Vec<usize> =
+                (0..rts.len()).filter(|&i| !matches!(rts[i].state, State::Done)).collect();
             return Err(SchedError::Deadlock { blocked });
         }
 
@@ -327,9 +330,13 @@ pub fn run_with_trace(
             .collect(),
         context_switches,
         total_work: SimDuration::from_nanos(
-            rts.iter().map(|r| r.executed_ns).sum::<f64>().round() as u64,
+            rts.iter().map(|r| r.executed_ns).sum::<f64>().round() as u64
         ),
-        utilization: if makespan_ns > 0.0 { assigned_cpu_ns / (makespan_ns * online_n) } else { 0.0 },
+        utilization: if makespan_ns > 0.0 {
+            assigned_cpu_ns / (makespan_ns * online_n)
+        } else {
+            0.0
+        },
     })
 }
 
@@ -385,7 +392,7 @@ fn maybe_finish(rt: &mut ThreadRt, now_ns: f64) {
 fn complete_leg(
     i: usize,
     rts: &mut [ThreadRt],
-    pipes: &mut HashMap<PipeId, PipeRt>,
+    pipes: &mut BTreeMap<PipeId, PipeRt>,
     params: &SchedParams,
     now_ns: f64,
 ) {
@@ -395,7 +402,9 @@ fn complete_leg(
             begin_phase(&mut rts[i], params);
             maybe_finish(&mut rts[i], now_ns);
             // A zero-length next leg completes immediately.
-            if rts[i].state == State::Runnable && rts[i].remaining_ns <= 1e-6 && !phase_done(&rts[i])
+            if rts[i].state == State::Runnable
+                && rts[i].remaining_ns <= 1e-6
+                && !phase_done(&rts[i])
             {
                 complete_leg(i, rts, pipes, params, now_ns);
             }
@@ -411,7 +420,7 @@ fn complete_leg(
             } else {
                 rts[i].pending_op = Some((true, pipe, bytes));
                 rts[i].state = State::BlockedWrite(pipe);
-                pipes.get_mut(&pipe).expect("pipe exists").wait_write.push_back(i);
+                p.wait_write.push_back(i);
             }
         }
         Some((false, pipe, bytes)) => {
@@ -425,7 +434,7 @@ fn complete_leg(
             } else {
                 rts[i].pending_op = Some((false, pipe, bytes));
                 rts[i].state = State::BlockedRead(pipe);
-                pipes.get_mut(&pipe).expect("pipe exists").wait_read.push_back(i);
+                p.wait_read.push_back(i);
             }
         }
     }
@@ -436,7 +445,7 @@ fn complete_leg(
 fn wake_waiters(
     pipe: PipeId,
     rts: &mut [ThreadRt],
-    pipes: &mut HashMap<PipeId, PipeRt>,
+    pipes: &mut BTreeMap<PipeId, PipeRt>,
     params: &SchedParams,
     now_ns: f64,
 ) {
@@ -444,18 +453,18 @@ fn wake_waiters(
         let mut progressed = false;
         // Readers first (frees writers faster, like the kernel's pipe wake).
         let reader = {
-            let p = pipes.get_mut(&pipe).expect("pipe exists");
-            if let Some(&cand) = p.wait_read.front() {
-                let (_, _, bytes) = rts[cand].pending_op.expect("blocked thread has an op");
-                if p.fill >= bytes {
+            let p = pipes.entry(pipe).or_default();
+            let head = p
+                .wait_read
+                .front()
+                .and_then(|&cand| rts[cand].pending_op.map(|(_, _, bytes)| (cand, bytes)));
+            match head {
+                Some((cand, bytes)) if p.fill >= bytes => {
                     p.wait_read.pop_front();
                     p.fill -= bytes;
                     Some(cand)
-                } else {
-                    None
                 }
-            } else {
-                None
+                _ => None,
             }
         };
         if let Some(cand) = reader {
@@ -463,18 +472,18 @@ fn wake_waiters(
             progressed = true;
         }
         let writer = {
-            let p = pipes.get_mut(&pipe).expect("pipe exists");
-            if let Some(&cand) = p.wait_write.front() {
-                let (_, _, bytes) = rts[cand].pending_op.expect("blocked thread has an op");
-                if p.fill + bytes <= params.pipe_capacity {
+            let p = pipes.entry(pipe).or_default();
+            let head = p
+                .wait_write
+                .front()
+                .and_then(|&cand| rts[cand].pending_op.map(|(_, _, bytes)| (cand, bytes)));
+            match head {
+                Some((cand, bytes)) if p.fill + bytes <= params.pipe_capacity => {
                     p.wait_write.pop_front();
                     p.fill += bytes;
                     Some(cand)
-                } else {
-                    None
                 }
-            } else {
-                None
+                _ => None,
             }
         };
         if let Some(cand) = writer {
@@ -523,7 +532,7 @@ fn place(
     pinned: &[Option<usize>],
 ) -> Vec<Option<usize>> {
     let mut assignment: Vec<Option<usize>> = vec![None; online.len()];
-    let mut core_used: HashMap<u32, u32> = HashMap::new();
+    let mut core_used: BTreeMap<u32, u32> = BTreeMap::new();
 
     // Pass 0: affinity. First (= least vruntime) pinned thread per CPU wins.
     for &t in runnable {
@@ -537,8 +546,7 @@ fn place(
     // A pinned thread whose CPU is taken stays off-CPU this round (its
     // affinity mask forbids anywhere else), so only unpinned threads
     // participate in the fill passes.
-    let unpinned: Vec<usize> =
-        runnable.iter().copied().filter(|&t| pinned[t].is_none()).collect();
+    let unpinned: Vec<usize> = runnable.iter().copied().filter(|&t| pinned[t].is_none()).collect();
     let mut next = unpinned.into_iter();
 
     // Pass 1: one thread per physical core.
@@ -577,20 +585,18 @@ fn compute_rates(
     smt: &SmtParams,
 ) -> Vec<f64> {
     let mut rates = vec![0.0; assignment.len()];
-    // Group slots by physical core.
-    let mut by_core: HashMap<u32, Vec<usize>> = HashMap::new();
+    // Group (slot, thread) pairs by physical core.
+    let mut by_core: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new();
     for (slot, &cpu) in online.iter().enumerate() {
-        if assignment[slot].is_some() {
-            by_core.entry(topo.core_of(cpu).0).or_default().push(slot);
+        if let Some(t) = assignment[slot] {
+            by_core.entry(topo.core_of(cpu).0).or_default().push((slot, t));
         }
     }
     for slots in by_core.values() {
         match slots.as_slice() {
-            [s] => rates[*s] = 1.0,
-            [s1, s2] => {
-                let a = &rts[assignment[*s1].expect("assigned")].profile;
-                let b = &rts[assignment[*s2].expect("assigned")].profile;
-                let (ra, rb) = pair_rates(a, b, smt);
+            [(s, _)] => rates[*s] = 1.0,
+            [(s1, t1), (s2, t2)] => {
+                let (ra, rb) = pair_rates(&rts[*t1].profile, &rts[*t2].profile, smt);
                 rates[*s1] = ra;
                 rates[*s2] = rb;
             }
@@ -719,8 +725,9 @@ mod tests {
                 .then(Phase::compute(SimDuration::from_millis(20)))
                 .then(Phase::PipeWrite { pipe: PipeId(0), bytes: 64 }),
         );
-        let reader =
-            ThreadSpec::new(ThreadProgram::new().then(Phase::PipeRead { pipe: PipeId(0), bytes: 64 }));
+        let reader = ThreadSpec::new(
+            ThreadProgram::new().then(Phase::PipeRead { pipe: PipeId(0), bytes: 64 }),
+        );
         let out = run(&topo, &SchedParams::default(), &[writer, reader]).unwrap();
         // Reader cannot finish before the writer's 20ms compute.
         assert!(out.finish_times[1] >= SimDuration::from_millis(20));
@@ -783,8 +790,8 @@ mod tests {
                 .then(Phase::PipeRead { pipe: PipeId(0), bytes: 4 })
                 .then(Phase::PipeWrite { pipe: PipeId(1), bytes: 4 });
         }
-        let out =
-            run(&topo, &SchedParams::default(), &[ThreadSpec::new(pa), ThreadSpec::new(pb)]).unwrap();
+        let out = run(&topo, &SchedParams::default(), &[ThreadSpec::new(pa), ThreadSpec::new(pb)])
+            .unwrap();
         assert!(out.makespan > SimDuration::ZERO);
         // Both threads complete all rounds.
         assert_eq!(out.finish_times.len(), 2);
@@ -802,10 +809,10 @@ mod tests {
     #[test]
     fn syscall_phase_behaves_like_compute() {
         let topo = r410();
-        let t = ThreadSpec::new(ThreadProgram::new().then(Phase::Syscalls {
-            count: 1000,
-            each: SimDuration::from_micros(10),
-        }));
+        let t = ThreadSpec::new(
+            ThreadProgram::new()
+                .then(Phase::Syscalls { count: 1000, each: SimDuration::from_micros(10) }),
+        );
         let out = run(&topo, &SchedParams::default(), &[t]).unwrap();
         assert_eq!(out.makespan, SimDuration::from_millis(10));
     }
@@ -830,25 +837,16 @@ mod affinity_tests {
             ThreadSpec::new(compute(40)).pinned_to(CpuId(0)),
         ];
         let out = run(&topo, &SchedParams::default(), &threads).unwrap();
-        assert!(
-            (out.makespan.as_millis_f64() - 80.0).abs() < 1.0,
-            "{:?}",
-            out.makespan
-        );
+        assert!((out.makespan.as_millis_f64() - 80.0).abs() < 1.0, "{:?}", out.makespan);
     }
 
     #[test]
     fn pinning_across_cpus_runs_in_parallel() {
         let topo = Topology::new(NodeSpec::dell_r410());
-        let threads: Vec<ThreadSpec> = (0..4)
-            .map(|i| ThreadSpec::new(compute(40)).pinned_to(CpuId(i)))
-            .collect();
+        let threads: Vec<ThreadSpec> =
+            (0..4).map(|i| ThreadSpec::new(compute(40)).pinned_to(CpuId(i))).collect();
         let out = run(&topo, &SchedParams::default(), &threads).unwrap();
-        assert!(
-            (out.makespan.as_millis_f64() - 40.0).abs() < 0.5,
-            "{:?}",
-            out.makespan
-        );
+        assert!((out.makespan.as_millis_f64() - 40.0).abs() < 0.5, "{:?}", out.makespan);
     }
 
     #[test]
@@ -877,19 +875,15 @@ mod affinity_tests {
         let mut threads = vec![ThreadSpec::new(compute(50)).pinned_to(CpuId(0))];
         threads.extend((0..3).map(|_| ThreadSpec::new(compute(50))));
         let out = run(&topo, &SchedParams::default(), &threads).unwrap();
-        assert!(
-            (out.makespan.as_millis_f64() - 50.0).abs() < 1.0,
-            "{:?}",
-            out.makespan
-        );
+        assert!((out.makespan.as_millis_f64() - 50.0).abs() < 1.0, "{:?}", out.makespan);
     }
 
     #[test]
-    #[should_panic(expected = "offline cpu")]
     fn pinning_to_offline_cpu_is_rejected() {
         let mut topo = Topology::new(NodeSpec::dell_r410());
         topo.set_online_count(2);
         let threads = vec![ThreadSpec::new(compute(1)).pinned_to(CpuId(7))];
-        let _ = run(&topo, &SchedParams::default(), &threads);
+        let err = run(&topo, &SchedParams::default(), &threads).unwrap_err();
+        assert_eq!(err, SchedError::PinnedOffline { thread: 0, cpu: 7 });
     }
 }

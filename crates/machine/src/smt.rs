@@ -47,7 +47,11 @@ impl ExecProfile {
 
     /// Derive from a `cache-sim` memory profile: `refs_per_instruction ×
     /// (mean latency − L1 latency)` extra cycles per instruction.
-    pub fn from_memory_profile(p: &cache_sim::MemoryProfile, base_cpi: f64, l1_latency: f64) -> Self {
+    pub fn from_memory_profile(
+        p: &cache_sim::MemoryProfile,
+        base_cpi: f64,
+        l1_latency: f64,
+    ) -> Self {
         assert!(base_cpi > 0.0, "non-positive base CPI");
         let mem = p.refs_per_instruction * (p.mean_latency_cycles - l1_latency).max(0.0);
         ExecProfile::new(base_cpi, mem)

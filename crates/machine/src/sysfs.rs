@@ -61,9 +61,9 @@ impl<'a> CpuSysfs<'a> {
             .trim_start_matches('/');
         match rel {
             "present" => Ok(format!("0-{}", self.topo.present() - 1)),
-            "online" => Ok(range_list(
-                &self.topo.online_cpus().iter().map(|c| c.0).collect::<Vec<_>>(),
-            )),
+            "online" => {
+                Ok(range_list(&self.topo.online_cpus().iter().map(|c| c.0).collect::<Vec<_>>()))
+            }
             _ => {
                 let (cpu, leaf) = parse_cpu_path(rel, path)?;
                 if cpu.0 >= self.topo.present() {
@@ -120,9 +120,7 @@ impl<'a> CpuSysfs<'a> {
 fn parse_cpu_path<'p>(rel: &'p str, full: &str) -> Result<(CpuId, &'p str), SysfsError> {
     let rest = rel.strip_prefix("cpu").ok_or_else(|| SysfsError::NoEntry(full.into()))?;
     let slash = rest.find('/').ok_or_else(|| SysfsError::NoEntry(full.into()))?;
-    let n: u32 = rest[..slash]
-        .parse()
-        .map_err(|_| SysfsError::NoEntry(full.into()))?;
+    let n: u32 = rest[..slash].parse().map_err(|_| SysfsError::NoEntry(full.into()))?;
     Ok((CpuId(n), &rest[slash + 1..]))
 }
 

@@ -109,10 +109,7 @@ impl Topology {
 
     /// Online logical CPUs, in id order.
     pub fn online_cpus(&self) -> Vec<CpuId> {
-        (0..self.present())
-            .map(CpuId)
-            .filter(|&c| self.is_online(c))
-            .collect()
+        (0..self.present()).map(CpuId).filter(|&c| self.is_online(c)).collect()
     }
 
     /// Number of online logical CPUs.
@@ -158,9 +155,8 @@ impl Topology {
     pub fn active_cores(&self) -> u32 {
         (0..self.spec.physical_cores)
             .filter(|&c| {
-                (0..self.spec.smt_per_core).any(|t| {
-                    self.online[(c + t * self.spec.physical_cores) as usize]
-                })
+                (0..self.spec.smt_per_core)
+                    .any(|t| self.online[(c + t * self.spec.physical_cores) as usize])
             })
             .count() as u32
     }

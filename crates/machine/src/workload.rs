@@ -145,7 +145,9 @@ mod tests {
             .then(Phase::compute(SimDuration::from_millis(1)))
             .then(Phase::memory(SimDuration::from_millis(2)));
         assert_eq!(p.phases.len(), 2);
-        assert!(matches!(p.phases[1], Phase::Compute { work, .. } if work == SimDuration::from_millis(2)));
+        assert!(
+            matches!(p.phases[1], Phase::Compute { work, .. } if work == SimDuration::from_millis(2))
+        );
     }
 
     #[test]

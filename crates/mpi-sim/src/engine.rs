@@ -16,7 +16,7 @@ use crate::network::{NetworkParams, NicState};
 use crate::program::{lower, LowOp, RankProgram};
 use machine::NodeExecutor;
 use sim_core::{EventQueue, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Outcome of one MPI job execution.
 #[derive(Clone, Debug, jsonio::ToJson)]
@@ -94,8 +94,8 @@ pub fn run(
     let mut parts = vec![0u32; n_ranks];
     let mut avail = vec![SimTime::ZERO; n_ranks];
     let mut done: Vec<Option<SimTime>> = vec![None; n_ranks];
-    let mut pending_sends: HashMap<(u32, u32, u64), VecDeque<PendingSend>> = HashMap::new();
-    let mut posted_recvs: HashMap<(u32, u32, u64), VecDeque<PostedRecv>> = HashMap::new();
+    let mut pending_sends: BTreeMap<(u32, u32, u64), VecDeque<PendingSend>> = BTreeMap::new();
+    let mut posted_recvs: BTreeMap<(u32, u32, u64), VecDeque<PostedRecv>> = BTreeMap::new();
     let mut nic = NicState::new(spec.nodes as usize);
     let mut queue: EventQueue<u32> = EventQueue::new();
     let mut messages = 0u64;
@@ -169,17 +169,15 @@ pub fn run(
                     let completion = transfer(&mut nic, r, dst, bytes, t_post, recv.post_time);
                     let resume_recv = sched(dst).advance(completion, network.recv_overhead);
                     part_done!(dst, resume_recv);
-                    let resume_self = if rendezvous {
-                        t_post.max(sched(r).unfreeze(completion))
-                    } else {
-                        t_post
-                    };
+                    let resume_self =
+                        if rendezvous { t_post.max(sched(r).unfreeze(completion)) } else { t_post };
                     queue.push(resume_self, r32);
                 } else {
-                    pending_sends
-                        .entry(key)
-                        .or_default()
-                        .push_back(PendingSend { post_time: t_post, bytes, rendezvous });
+                    pending_sends.entry(key).or_default().push_back(PendingSend {
+                        post_time: t_post,
+                        bytes,
+                        rendezvous,
+                    });
                     if rendezvous {
                         parts[r] = 1;
                         avail[r] = t_post;
@@ -223,10 +221,11 @@ pub fn run(
                         avail[r] = avail[r].max(sched(r).unfreeze(completion));
                     }
                 } else {
-                    pending_sends
-                        .entry(out_key)
-                        .or_default()
-                        .push_back(PendingSend { post_time: t_post, bytes, rendezvous });
+                    pending_sends.entry(out_key).or_default().push_back(PendingSend {
+                        post_time: t_post,
+                        bytes,
+                        rendezvous,
+                    });
                     if rendezvous {
                         parts[r] += 1;
                     }
@@ -260,7 +259,7 @@ pub fn run(
         "deadlock: ranks {stuck:?} never finished (unmatched sends/recvs in lowered programs)"
     );
 
-    let rank_finish: Vec<SimTime> = done.into_iter().map(|d| d.expect("all done")).collect();
+    let rank_finish: Vec<SimTime> = done.into_iter().flatten().collect();
     let end = rank_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
     let mut total_frozen = SimDuration::ZERO;
     let mut smi_count = 0usize;
@@ -544,10 +543,7 @@ mod tests {
             Op::Send { dst: 1, bytes: 100, tag: 5 },
             Op::Send { dst: 1, bytes: 200, tag: 5 },
         ]);
-        let p1 = RankProgram::new(vec![
-            Op::Recv { src: 0, tag: 5 },
-            Op::Recv { src: 0, tag: 5 },
-        ]);
+        let p1 = RankProgram::new(vec![Op::Recv { src: 0, tag: 5 }, Op::Recv { src: 0, tag: 5 }]);
         let out = run(&spec, &quiet_nodes(2), &[p0, p1], &net());
         assert_eq!(out.messages, 2);
         assert_eq!(out.bytes, 300);

@@ -86,7 +86,13 @@ impl NicState {
     /// Reserve the sender's transmit side and the receiver's receive side
     /// for a transfer that may begin at `earliest` and occupies the wire
     /// for `wire`; returns the transfer's `(start, end)`.
-    pub fn reserve(&mut self, src: usize, dst: usize, earliest: SimTime, wire: SimDuration) -> (SimTime, SimTime) {
+    pub fn reserve(
+        &mut self,
+        src: usize,
+        dst: usize,
+        earliest: SimTime,
+        wire: SimDuration,
+    ) -> (SimTime, SimTime) {
         assert!(src != dst, "intra-node traffic does not use the NIC");
         let start = earliest.max(self.tx_free[src]).max(self.rx_free[dst]);
         let end = start + wire;

@@ -256,8 +256,8 @@ fn lower_bcast(out: &mut Vec<LowOp>, rank: u32, size: u32, root: u32, bytes: u64
         return;
     }
     let vr = (rank + size - root) % size; // virtual rank: root = 0
-    // Non-roots receive once, from the parent at their lowest set bit;
-    // the root's loop simply runs mask past `size` without receiving.
+                                          // Non-roots receive once, from the parent at their lowest set bit;
+                                          // the root's loop simply runs mask past `size` without receiving.
     let mut mask = 1u32;
     while mask < size {
         if vr & mask != 0 {
@@ -391,9 +391,7 @@ mod tests {
     }
 
     fn lower_all(op: Op, size: u32) -> Vec<Vec<LowOp>> {
-        (0..size)
-            .map(|r| lower(&RankProgram::new(vec![op.clone()]), r, size, no_cost))
-            .collect()
+        (0..size).map(|r| lower(&RankProgram::new(vec![op.clone()]), r, size, no_cost)).collect()
     }
 
     #[test]
@@ -426,8 +424,7 @@ mod tests {
                 // Every non-root receives exactly once.
                 for (r, p) in progs.iter().enumerate() {
                     if r as u32 != root {
-                        let recvs =
-                            p.iter().filter(|o| matches!(o, LowOp::Recv { .. })).count();
+                        let recvs = p.iter().filter(|o| matches!(o, LowOp::Recv { .. })).count();
                         assert_eq!(recvs, 1, "rank {r} size {size} root {root}");
                     }
                 }
@@ -504,8 +501,7 @@ mod tests {
                     })
                     .collect();
                 dsts.sort_unstable();
-                let expected: Vec<u32> =
-                    (0..size).filter(|&d| d != r as u32).collect();
+                let expected: Vec<u32> = (0..size).filter(|&d| d != r as u32).collect();
                 let mut expected = expected;
                 expected.sort_unstable();
                 assert_eq!(dsts, expected, "rank {r} size {size}");

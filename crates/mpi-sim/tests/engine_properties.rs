@@ -37,7 +37,9 @@ fn assert_matched(programs: &[Vec<LowOp>]) {
     for (r, prog) in programs.iter().enumerate() {
         for op in prog {
             match *op {
-                LowOp::Send { dst, tag, .. } => *balance.entry((r as u32, dst, tag)).or_insert(0) += 1,
+                LowOp::Send { dst, tag, .. } => {
+                    *balance.entry((r as u32, dst, tag)).or_insert(0) += 1
+                }
                 LowOp::Recv { src, tag } => *balance.entry((src, r as u32, tag)).or_insert(0) -= 1,
                 LowOp::SendRecv { dst, src, tag, .. } => {
                     *balance.entry((r as u32, dst, tag)).or_insert(0) += 1;
@@ -83,7 +85,8 @@ fn spmd_collective_jobs_always_terminate() {
         let programs: Vec<RankProgram> =
             (0..nodes).map(|_| RankProgram::new(ops.clone())).collect();
         // run() panics on deadlock; completing is the property.
-        let out = mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
+        let out =
+            mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
         assert!(out.makespan >= SimDuration::ZERO);
         // Makespan is at least the per-rank compute.
         let compute = programs[0].total_compute();
@@ -174,10 +177,10 @@ fn barrier_count_scales_messages_linearly() {
         let barriers = g.usize(1..10);
         let nodes = 8u32;
         let spec = ClusterSpec::wyeast(nodes, 1, false);
-        let programs: Vec<RankProgram> = (0..nodes)
-            .map(|_| RankProgram::new(vec![Op::Barrier; barriers]))
-            .collect();
-        let out = mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
+        let programs: Vec<RankProgram> =
+            (0..nodes).map(|_| RankProgram::new(vec![Op::Barrier; barriers])).collect();
+        let out =
+            mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
         // Dissemination barrier: n x log2(n) sendrecvs per barrier.
         assert_eq!(out.messages, (barriers as u64) * 8 * 3);
     });

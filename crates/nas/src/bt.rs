@@ -74,17 +74,9 @@ pub fn inverse(m: &Mat5) -> Mat5 {
     for col in 0..5 {
         // Pivot.
         let pivot_row = (col..5)
-            .max_by(|&r1, &r2| {
-                a[r1][col]
-                    .abs()
-                    .partial_cmp(&a[r2][col].abs())
-                    .expect("finite matrix entries")
-            })
-            .expect("nonempty range");
-        assert!(
-            a[pivot_row][col].abs() > 1e-300,
-            "singular 5x5 block in BT solve (column {col})"
-        );
+            .max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
+            .unwrap_or(col);
+        assert!(a[pivot_row][col].abs() > 1e-300, "singular 5x5 block in BT solve (column {col})");
         a.swap(col, pivot_row);
         inv.swap(col, pivot_row);
         // Normalize.
@@ -260,11 +252,7 @@ mod tests {
             let id = identity();
             for i in 0..5 {
                 for j in 0..5 {
-                    assert!(
-                        (prod[i][j] - id[i][j]).abs() < 1e-10,
-                        "({i},{j}) = {}",
-                        prod[i][j]
-                    );
+                    assert!((prod[i][j] - id[i][j]).abs() < 1e-10, "({i},{j}) = {}", prod[i][j]);
                 }
             }
         }
@@ -376,10 +364,7 @@ mod tests {
         let x = solve(&sys);
         for i in 0..n {
             for k in 0..5 {
-                assert!(
-                    (x[i][k] - dense[5 * i + k][dim]).abs() < 1e-8,
-                    "row {i} comp {k}"
-                );
+                assert!((x[i][k] - dense[5 * i + k][dim]).abs() < 1e-8, "row {i} comp {k}");
             }
         }
     }

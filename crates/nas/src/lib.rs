@@ -15,6 +15,7 @@
 //!    predictions, not fits.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod bt;
 pub mod classes;

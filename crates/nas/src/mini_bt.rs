@@ -69,12 +69,7 @@ impl MiniBt {
 
     /// The grid L2 norm over all components.
     pub fn norm(&self) -> f64 {
-        self.u
-            .iter()
-            .flat_map(|v| v.iter())
-            .map(|c| c * c)
-            .sum::<f64>()
-            .sqrt()
+        self.u.iter().flat_map(|v| v.iter()).map(|c| c * c).sum::<f64>().sqrt()
     }
 
     /// Solve `(I + tau * L) u = rhs` along one line of length `n`, where
@@ -91,8 +86,7 @@ impl MiniBt {
         for i in 0..5 {
             for j in 0..5 {
                 off[i][j] = -tau * self.coupling[i][j];
-                diag[i][j] =
-                    2.0 * tau * self.coupling[i][j] + if i == j { 1.0 } else { 0.0 };
+                diag[i][j] = 2.0 * tau * self.coupling[i][j] + if i == j { 1.0 } else { 0.0 };
             }
         }
         for i in 0..n {
@@ -156,8 +150,7 @@ impl MiniBt {
     /// standard initial condition, the norm-decay factor per step must be
     /// strictly inside `(0, 1)` and monotone.
     pub fn verify(history: &[f64]) -> bool {
-        history.len() >= 2
-            && history.windows(2).all(|w| w[1] < w[0] && w[1] > 0.0)
+        history.len() >= 2 && history.windows(2).all(|w| w[1] < w[0] && w[1] > 0.0)
     }
 }
 

@@ -133,20 +133,50 @@ fn bt_programs(
                     // copy_faces: periodic halo shifts in both rank-grid
                     // axes (send east / receive west, then the reverse,
                     // then the same for the column axis).
-                    ops.push(Op::Exchange { send_to: east, recv_from: west, bytes: face_bytes, tag: tag(0) });
-                    ops.push(Op::Exchange { send_to: west, recv_from: east, bytes: face_bytes, tag: tag(1) });
-                    ops.push(Op::Exchange { send_to: north, recv_from: south, bytes: face_bytes, tag: tag(2) });
-                    ops.push(Op::Exchange { send_to: south, recv_from: north, bytes: face_bytes, tag: tag(3) });
+                    ops.push(Op::Exchange {
+                        send_to: east,
+                        recv_from: west,
+                        bytes: face_bytes,
+                        tag: tag(0),
+                    });
+                    ops.push(Op::Exchange {
+                        send_to: west,
+                        recv_from: east,
+                        bytes: face_bytes,
+                        tag: tag(1),
+                    });
+                    ops.push(Op::Exchange {
+                        send_to: north,
+                        recv_from: south,
+                        bytes: face_bytes,
+                        tag: tag(2),
+                    });
+                    ops.push(Op::Exchange {
+                        send_to: south,
+                        recv_from: north,
+                        bytes: face_bytes,
+                        tag: tag(3),
+                    });
                 }
                 // x/y/z ADI sweeps: compute plus a boundary shift for the
                 // two decomposed directions.
                 ops.push(Op::Compute(w3));
                 if q > 1 {
-                    ops.push(Op::Exchange { send_to: east, recv_from: west, bytes: face_bytes / 4, tag: tag(4) });
+                    ops.push(Op::Exchange {
+                        send_to: east,
+                        recv_from: west,
+                        bytes: face_bytes / 4,
+                        tag: tag(4),
+                    });
                 }
                 ops.push(Op::Compute(w3));
                 if q > 1 {
-                    ops.push(Op::Exchange { send_to: north, recv_from: south, bytes: face_bytes / 4, tag: tag(5) });
+                    ops.push(Op::Exchange {
+                        send_to: north,
+                        recv_from: south,
+                        bytes: face_bytes / 4,
+                        tag: tag(5),
+                    });
                 }
                 ops.push(Op::Compute(w3));
             }
@@ -259,11 +289,7 @@ mod tests {
         let progs = programs(Bench::Ep, Class::B, &spec, 0.0, &ones(16));
         let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net());
         let ideal = 92.72 / 16.0;
-        assert!(
-            (out.seconds() - ideal).abs() / ideal < 0.05,
-            "{} vs ideal {ideal}",
-            out.seconds()
-        );
+        assert!((out.seconds() - ideal).abs() / ideal < 0.05, "{} vs ideal {ideal}", out.seconds());
     }
 
     #[test]

@@ -156,9 +156,6 @@ mod tests {
     fn entry_paths_shard_by_prefix() {
         let key = CacheKey(0xAB00_0000_0000_0001, 2);
         let p = entry_path(Path::new("cache"), key);
-        assert_eq!(
-            p,
-            Path::new("cache").join("ab").join("ab000000000000010000000000000002.json")
-        );
+        assert_eq!(p, Path::new("cache").join("ab").join("ab000000000000010000000000000002.json"));
     }
 }

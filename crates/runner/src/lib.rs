@@ -23,6 +23,7 @@
 //!   machine-readable run manifest.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod cache;
 pub mod pool;
@@ -30,7 +31,7 @@ pub mod telemetry;
 
 use jsonio::Json;
 use std::path::PathBuf;
-use std::time::Instant;
+use telemetry::Stopwatch;
 
 /// The stable identity of one experiment cell — everything that
 /// determines its output, and therefore its cache key.
@@ -109,7 +110,7 @@ impl Runner {
     /// outcomes in submission order.
     pub fn run(&self, label: &str, cells: Vec<Cell>) -> RunReport {
         let progress = telemetry::Progress::new(cells.len() as u64, self.verbose);
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let jobs: Vec<_> = cells
             .into_iter()
             .map(|cell| {
@@ -126,7 +127,7 @@ impl Runner {
             code_version: self.code_version.clone(),
             cells_total: done,
             cells_cached: cached,
-            wall_seconds: started.elapsed().as_secs_f64(),
+            wall_seconds: started.elapsed_seconds(),
             latency_histogram: progress.histogram(),
             p50_micros: progress.quantile_micros(0.50),
             p90_micros: progress.quantile_micros(0.90),
@@ -135,7 +136,7 @@ impl Runner {
     }
 
     fn run_cell(&self, cell: Cell, progress: &telemetry::Progress) -> CellOutcome {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let key = cache::cell_key(&self.code_version, &cell.spec);
         let cached_payload = match self.cache_mode {
             CacheMode::ReadWrite => {
@@ -153,7 +154,7 @@ impl Runner {
                 (payload, false)
             }
         };
-        let micros = started.elapsed().as_micros() as u64;
+        let micros = started.elapsed_micros();
         progress.cell_done(&cell.spec.cell, micros, was_cached);
         CellOutcome { spec: cell.spec, key, payload, cached: was_cached, micros }
     }

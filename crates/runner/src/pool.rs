@@ -33,7 +33,7 @@ where
     let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.into_iter().enumerate() {
-        deques[i % workers].lock().expect("deque lock").push_back((i, job));
+        lock_clean(&deques[i % workers]).push_back((i, job));
     }
     let remaining = AtomicUsize::new(n);
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -59,7 +59,7 @@ where
                             }
                             let _dec = Dec(remaining);
                             let value = job();
-                            *results[idx].lock().expect("result lock") = Some(value);
+                            *lock_clean(&results[idx]) = Some(value);
                         }
                         None => {
                             // Everything is claimed but some jobs are still
@@ -74,18 +74,30 @@ where
 
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("result lock").expect("every job ran"))
+        .map(|slot| {
+            let value = slot.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+            // smi-lint: allow(no-panic): the scope above re-raises any job
+            // panic before we get here, so every surviving slot is filled.
+            value.expect("every job ran")
+        })
         .collect()
+}
+
+/// Lock a mutex, recovering the data from a poisoned lock. The pool's
+/// drain counter is panic-safe (see `Dec`), so a panicking job must not
+/// take the whole pool down with a poisoned-lock panic of its own.
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Pop from our own deque, else steal from the busiest sibling's tail.
 fn pop_or_steal<F>(deques: &[Mutex<VecDeque<(usize, F)>>], me: usize) -> Option<(usize, F)> {
-    if let Some(task) = deques[me].lock().expect("deque lock").pop_front() {
+    if let Some(task) = lock_clean(&deques[me]).pop_front() {
         return Some(task);
     }
     for offset in 1..deques.len() {
         let victim = (me + offset) % deques.len();
-        if let Some(task) = deques[victim].lock().expect("deque lock").pop_back() {
+        if let Some(task) = lock_clean(&deques[victim]).pop_back() {
             return Some(task);
         }
     }
@@ -148,10 +160,8 @@ mod tests {
     #[test]
     fn panics_in_jobs_propagate() {
         let result = std::panic::catch_unwind(|| {
-            let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
-                Box::new(|| 1),
-                Box::new(|| panic!("cell failed")),
-            ];
+            let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> =
+                vec![Box::new(|| 1), Box::new(|| panic!("cell failed"))];
             run_jobs(jobs, 2)
         });
         assert!(result.is_err());

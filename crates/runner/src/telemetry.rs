@@ -33,7 +33,14 @@ impl Progress {
             histo: std::array::from_fn(|_| AtomicU64::new(0)),
             started: Instant::now(),
             // Backdate the throttle so the first completion prints.
-            print: verbose.then(|| Mutex::new(Instant::now() - THROTTLE * 2)),
+            // `checked_sub` because Instant arithmetic panics on underflow
+            // (process start can be closer than 2×THROTTLE on some
+            // platforms); falling back to `now` merely delays the first
+            // progress line by one throttle window.
+            print: verbose.then(|| {
+                let now = Instant::now();
+                Mutex::new(now.checked_sub(THROTTLE * 2).unwrap_or(now))
+            }),
         }
     }
 
@@ -54,7 +61,9 @@ impl Progress {
         let Some(print) = &self.print else { return };
         let now = Instant::now();
         {
-            let mut last = print.lock().expect("print lock");
+            // Recover from a poisoned lock: losing one progress line is
+            // better than a panic inside the panic handler path.
+            let mut last = print.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             if done != self.total && now.duration_since(*last) < THROTTLE {
                 return;
             }
@@ -143,6 +152,32 @@ impl Progress {
 }
 
 const THROTTLE: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// A wall-clock stopwatch for telemetry timings (cell latency, run wall
+/// time). This module is the workspace's only sanctioned clock reader
+/// outside `bench` (`smi-lint` rule SMI002): timings feed manifests and
+/// progress output, never canonical records.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Elapsed time since start, in whole microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Elapsed time since start, in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
 
 fn fmt_micros(us: u64) -> String {
     if us >= 1_000_000 {

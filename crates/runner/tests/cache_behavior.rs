@@ -10,11 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "smi-lab-cache-behavior-{}-{}",
-        std::process::id(),
-        tag
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("smi-lab-cache-behavior-{}-{}", std::process::id(), tag));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create tmp cache dir");
     dir
@@ -80,11 +77,11 @@ fn corrupted_entries_are_misses_not_panics() {
     let path = entry_path(&dir, key);
 
     for garbage in [
-        "",                        // truncated to nothing
-        "{\"schema\":1",           // cut off mid-object
-        "not json at all",         // arbitrary bytes
-        "{\"schema\":99}",         // wrong schema version
-        "[1,2,3]",                 // wrong shape entirely
+        "",                                // truncated to nothing
+        "{\"schema\":1",                   // cut off mid-object
+        "not json at all",                 // arbitrary bytes
+        "{\"schema\":99}",                 // wrong schema version
+        "[1,2,3]",                         // wrong shape entirely
         "{\"schema\":1,\"key\":\"0000\"}", // identity fields missing/wrong
     ] {
         std::fs::write(&path, garbage).expect("inject corruption");

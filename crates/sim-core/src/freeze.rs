@@ -43,10 +43,7 @@ pub enum DurationModel {
 impl DurationModel {
     /// The paper's "short" SMI band: 1–3 ms in SMM.
     pub fn short_smi() -> Self {
-        DurationModel::Uniform {
-            lo: SimDuration::from_millis(1),
-            hi: SimDuration::from_millis(3),
-        }
+        DurationModel::Uniform { lo: SimDuration::from_millis(1), hi: SimDuration::from_millis(3) }
     }
 
     /// The paper's "long" SMI band: 100–110 ms in SMM.
@@ -217,6 +214,7 @@ impl FreezeSchedule {
     fn ensure_covered(&self, t: SimTime) {
         let Some(cfg) = &self.config else { return };
         let mut gen = self.gen.borrow_mut();
+        // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
         let gen = gen.as_mut().expect("gen state present when config is");
         if t <= gen.covered {
             return;
@@ -296,12 +294,9 @@ impl FreezeSchedule {
         }
         self.ensure_covered(b);
         let gen = self.gen.borrow();
+        // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
         let gen = gen.as_ref().expect("gen state present");
-        gen.windows
-            .iter()
-            .copied()
-            .filter(|&(s, e)| s < b && e > a)
-            .collect()
+        gen.windows.iter().copied().filter(|&(s, e)| s < b && e > a).collect()
     }
 
     /// Whether the node is frozen at instant `t` (windows are half-open:
@@ -315,6 +310,7 @@ impl FreezeSchedule {
         self.config.as_ref()?;
         self.ensure_covered(t);
         let gen = self.gen.borrow();
+        // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
         let gen = gen.as_ref().expect("gen state present");
         // Windows are sorted; find the last window starting at or before t.
         let idx = gen.windows.partition_point(|&(s, _)| s <= t);
@@ -340,6 +336,7 @@ impl FreezeSchedule {
         // Generate a little past t until we find a window starting after t.
         let mut horizon = t;
         let step = {
+            // smi-lint: allow(no-panic): the `?` on config two lines up guarantees Some here.
             let cfg = self.config.as_ref().expect("config present");
             SimDuration(cfg.period.0.saturating_add(cfg.durations.max().0).max(1))
         };
@@ -347,6 +344,7 @@ impl FreezeSchedule {
             horizon = horizon.saturating_add(step);
             self.ensure_covered(horizon);
             let gen = self.gen.borrow();
+            // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
             let gen = gen.as_ref().expect("gen state present");
             let idx = gen.windows.partition_point(|&(s, _)| s <= t);
             if idx < gen.windows.len() {
@@ -416,10 +414,7 @@ impl FreezeSchedule {
 
     /// Number of freeze windows that *begin* within `[a, b)`.
     pub fn count_between(&self, a: SimTime, b: SimTime) -> usize {
-        self.windows_between(a, b)
-            .iter()
-            .filter(|&&(s, _)| s >= a && s < b)
-            .count()
+        self.windows_between(a, b).iter().filter(|&&(s, _)| s >= a && s < b).count()
     }
 
     /// The long-run fraction of wall time spent frozen (duty cycle), as
@@ -521,8 +516,7 @@ mod tests {
     fn frozen_between_partial_overlap() {
         let s = fixed(1000, 100, 500);
         // [550, 1600): second window [1500,1600) fully inside, first half-in.
-        let frozen =
-            s.frozen_between(SimTime::from_millis(550), SimTime::from_millis(1600));
+        let frozen = s.frozen_between(SimTime::from_millis(550), SimTime::from_millis(1600));
         assert_eq!(frozen, SimDuration::from_millis(150));
     }
 
@@ -544,11 +538,7 @@ mod tests {
         for (a_ms, b_ms) in [(0u64, 5u64), (5, 0), (100, 300), (395, 5), (1000, 1)] {
             let a = SimDuration::from_millis(a_ms);
             let b = SimDuration::from_millis(b_ms);
-            assert_eq!(
-                s.advance(s.advance(t, a), b),
-                s.advance(t, a + b),
-                "a={a_ms} b={b_ms}"
-            );
+            assert_eq!(s.advance(s.advance(t, a), b), s.advance(t, a + b), "a={a_ms} b={b_ms}");
         }
     }
 
@@ -664,10 +654,7 @@ mod tests {
     fn count_between_counts_window_starts() {
         let s = fixed(1000, 100, 500);
         assert_eq!(s.count_between(SimTime::ZERO, SimTime::from_secs(4)), 4);
-        assert_eq!(
-            s.count_between(SimTime::from_millis(501), SimTime::from_secs(2)),
-            1
-        );
+        assert_eq!(s.count_between(SimTime::from_millis(501), SimTime::from_secs(2)), 1);
     }
 
     #[test]

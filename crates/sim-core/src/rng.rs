@@ -42,12 +42,8 @@ impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         // xoshiro must not start from the all-zero state; SplitMix64 never
         // produces four consecutive zeros, but be defensive anyway.
         let s = if s == [0, 0, 0, 0] { [1, 2, 3, 4] } else { s };
@@ -70,9 +66,7 @@ impl SimRng {
     /// not advanced, so children with distinct labels are stable even if
     /// the parent's own consumption pattern changes.
     pub fn child(&self, label: &str) -> SimRng {
-        let mixed = self.s[0]
-            .rotate_left(23)
-            .wrapping_add(self.s[2].rotate_left(7))
+        let mixed = self.s[0].rotate_left(23).wrapping_add(self.s[2].rotate_left(7))
             ^ hash_label(label.as_bytes());
         SimRng::new(mixed)
     }
@@ -82,10 +76,7 @@ impl SimRng {
     #[inline]
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -217,8 +208,8 @@ mod tests {
         let parent1 = SimRng::new(99);
         let mut parent2 = SimRng::new(99);
         let _ = parent2.next(); // advance one parent
-        // child() reads state, so consumption does change it; instead verify
-        // label sensitivity and determinism from identical states.
+                                // child() reads state, so consumption does change it; instead verify
+                                // label sensitivity and determinism from identical states.
         let mut c1 = parent1.child("a");
         let mut c2 = SimRng::new(99).child("a");
         assert_eq!(c1.next(), c2.next());

@@ -124,9 +124,37 @@ impl Accumulator {
 /// freedom (tabulated for small df, 1.96 asymptote beyond 30).
 pub fn t_critical_95(df: u64) -> f64 {
     const TABLE: [f64; 31] = [
-        f64::NAN, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201,
-        2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
-        2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        f64::NAN,
+        12.706,
+        4.303,
+        3.182,
+        2.776,
+        2.571,
+        2.447,
+        2.365,
+        2.306,
+        2.262,
+        2.228,
+        2.201,
+        2.179,
+        2.160,
+        2.145,
+        2.131,
+        2.120,
+        2.110,
+        2.101,
+        2.093,
+        2.086,
+        2.080,
+        2.074,
+        2.069,
+        2.064,
+        2.060,
+        2.056,
+        2.052,
+        2.048,
+        2.045,
+        2.042,
     ];
     if df == 0 {
         f64::NAN
@@ -176,10 +204,7 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of an empty slice");
     assert!((0.0..=1.0).contains(&q), "percentile: q {q} outside [0,1]");
-    debug_assert!(
-        sorted.windows(2).all(|w| w[0] <= w[1]),
-        "percentile input must be sorted"
-    );
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "percentile input must be sorted");
     if sorted.len() == 1 {
         return sorted[0];
     }

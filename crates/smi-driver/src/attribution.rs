@@ -104,10 +104,8 @@ pub fn profile(
             samples: c,
         })
         .collect();
-    let max_share_error = shares
-        .iter()
-        .map(|s| (s.true_share - s.reported_share).abs())
-        .fold(0.0, f64::max);
+    let max_share_error =
+        shares.iter().map(|s| (s.true_share - s.reported_share).abs()).fold(0.0, f64::max);
     AttributionReport { shares, samples, smm_samples, max_share_error }
 }
 
@@ -154,12 +152,7 @@ mod tests {
             policy: TriggerPolicy::SkipWhileFrozen,
             seed: 8,
         });
-        let r = profile(
-            &symbols(),
-            &s,
-            SimDuration::from_secs(10),
-            SimDuration::from_millis(1),
-        );
+        let r = profile(&symbols(), &s, SimDuration::from_secs(10), SimDuration::from_millis(1));
         // ~2000 of ~10000 samples land in SMM.
         let smm_frac = r.smm_samples as f64 / r.samples as f64;
         assert!((0.18..0.22).contains(&smm_frac), "smm sample fraction {smm_frac}");
@@ -186,12 +179,7 @@ mod tests {
             policy: TriggerPolicy::SkipWhileFrozen,
             seed: 8,
         });
-        let r = profile(
-            &symbols(),
-            &s,
-            SimDuration::from_secs(120),
-            SimDuration::from_millis(1),
-        );
+        let r = profile(&symbols(), &s, SimDuration::from_secs(120), SimDuration::from_millis(1));
         let smm_frac = r.smm_samples as f64 / r.samples as f64;
         assert!((0.09..0.12).contains(&smm_frac), "smm sample fraction {smm_frac}");
         assert!(r.max_share_error < 0.05, "error {}", r.max_share_error);
@@ -215,6 +203,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "no symbols")]
     fn rejects_empty_program() {
-        let _ = profile(&[], &FreezeSchedule::none(), SimDuration::from_secs(1), SimDuration::from_millis(1));
+        let _ = profile(
+            &[],
+            &FreezeSchedule::none(),
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(1),
+        );
     }
 }

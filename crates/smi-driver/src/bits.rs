@@ -134,8 +134,14 @@ mod tests {
     #[test]
     fn custom_threshold_changes_verdict() {
         let s = schedule(DurationModel::Fixed(SimDuration::from_millis(2)));
-        let strict = check_compliance(&s, SimTime::ZERO, SimTime::from_secs(5), SimDuration::from_micros(150));
-        let lax = check_compliance(&s, SimTime::ZERO, SimTime::from_secs(5), SimDuration::from_millis(5));
+        let strict = check_compliance(
+            &s,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            SimDuration::from_micros(150),
+        );
+        let lax =
+            check_compliance(&s, SimTime::ZERO, SimTime::from_secs(5), SimDuration::from_millis(5));
         assert!(!strict.passes());
         assert!(lax.passes());
     }

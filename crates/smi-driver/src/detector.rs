@@ -156,8 +156,7 @@ mod tests {
         let s = long_schedule(23);
         let end = SimTime::from_secs(7);
         let truth = s.count_between(SimTime::ZERO, end);
-        let report =
-            HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5520());
+        let report = HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5520());
         // The last window may straddle `end`; allow off-by-one.
         assert!(
             report.count().abs_diff(truth) <= 1,
@@ -183,7 +182,10 @@ mod tests {
             &Tsc::e5620(),
         );
         assert_eq!(report.count(), 10);
-        assert!(report.max_latency().unwrap() <= SimDuration::from_millis(3) + SimDuration::from_micros(2));
+        assert!(
+            report.max_latency().unwrap()
+                <= SimDuration::from_millis(3) + SimDuration::from_micros(2)
+        );
     }
 
     #[test]
@@ -209,14 +211,10 @@ mod tests {
     fn total_latency_approximates_frozen_time() {
         let s = long_schedule(31);
         let end = SimTime::from_secs(20);
-        let report =
-            HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5620());
+        let report = HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5620());
         let truth = s.frozen_between(SimTime::ZERO, end).as_secs_f64();
         let measured = report.total_latency.as_secs_f64();
-        assert!(
-            (measured - truth).abs() / truth < 0.02,
-            "measured {measured} vs truth {truth}"
-        );
+        assert!((measured - truth).abs() / truth < 0.02, "measured {measured} vs truth {truth}");
     }
 
     #[test]

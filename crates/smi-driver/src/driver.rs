@@ -253,10 +253,7 @@ mod tests {
         assert_eq!(SmiClass::Short.label(), "SMM 1");
         assert_eq!(SmiClass::Long.label(), "SMM 2");
         assert!(SmiClass::None.durations().is_none());
-        assert_eq!(
-            SmiClass::Long.durations().unwrap().mean(),
-            SimDuration::from_millis(105)
-        );
+        assert_eq!(SmiClass::Long.durations().unwrap().mean(), SimDuration::from_millis(105));
     }
 
     #[test]

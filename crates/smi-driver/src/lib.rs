@@ -16,17 +16,18 @@
 //!   SMM time to the interrupted code (§II.A's tool-developer concern).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod attribution;
 pub mod bits;
 pub mod detector;
-pub mod msr;
 pub mod driver;
+pub mod msr;
 pub mod tsc;
 
 pub use attribution::{profile, AttributionReport, Symbol, SymbolShare};
 pub use bits::{check_bits, check_compliance, ComplianceReport, BITS_THRESHOLD};
 pub use detector::{DetectedSmi, DetectionReport, HwlatDetector};
-pub use msr::{SmiCountMsr, MSR_SMI_COUNT};
 pub use driver::{LatencyStats, SmiClass, SmiDriver, SmiDriverConfig, JIFFY};
+pub use msr::{SmiCountMsr, MSR_SMI_COUNT};
 pub use tsc::Tsc;

@@ -88,10 +88,7 @@ mod tests {
         let msr = SmiCountMsr::new(&s);
         // 5-second sampling periods: 5 SMIs per period at 1 Hz.
         for k in 0..4u64 {
-            let d = msr.delta(
-                SimTime::from_secs(5 * k),
-                SimTime::from_secs(5 * (k + 1)),
-            );
+            let d = msr.delta(SimTime::from_secs(5 * k), SimTime::from_secs(5 * (k + 1)));
             assert_eq!(d, 5, "period {k}");
         }
     }

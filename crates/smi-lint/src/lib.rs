@@ -1,0 +1,469 @@
+//! # smi-lint — the in-tree determinism & hermeticity linter
+//!
+//! The laboratory's headline guarantee is byte-reproducibility: every
+//! record is a pure function of the cell identity and seed, so serial
+//! and parallel runs agree byte for byte and the content-hash result
+//! cache is sound. That guarantee dies quietly — a `HashMap` iteration
+//! here, an `Instant::now` there — so this crate enforces it with a
+//! static pass over every workspace crate instead of reviewer
+//! vigilance. See `DESIGN.md` §"Static analysis & determinism policy".
+//!
+//! The scanner is a small hand-rolled Rust lexer plus line-walking rules
+//! ([`rules`]) — no syn, no rustc internals, no external crates. Six
+//! rules with stable IDs (`SMI001`..`SMI006`), per-line suppression
+//! pragmas (`// smi-lint: allow(<rule>): reason`), and a JSON baseline
+//! for ratcheting legacy findings down to zero.
+//!
+//! Run it as `cargo run -p smi-lint`, or `smi-lab lint` from the CLI.
+
+#![deny(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{FilePolicy, Finding, Rule, ScanResult, Severity, ALL_RULES};
+
+use jsonio::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Crates whose output feeds canonical records (tables, figures,
+/// studies): SMI001/SMI005 apply — hash collections are banned outright.
+pub const RECORD_CRATES: [&str; 8] =
+    ["sim-core", "machine", "cache-sim", "smi-driver", "mpi-sim", "nas", "apps", "analysis"];
+
+/// Binary/tool crates: exempt from SMI004 (a CLI may panic on bad usage)
+/// and SMI003 (they exist to touch the outside world). `jsonio-derive`
+/// rides along: it is a compile-time code generator whose panics surface
+/// as build errors, never in a measurement run.
+pub const TOOL_CRATES: [&str; 3] = ["cli", "smi-lint", "jsonio-derive"];
+
+/// Crates allowed ambient authority (filesystem, environment): the CLI,
+/// the runner (result cache, manifests), and the linter itself.
+pub const HERMETIC_EXEMPT: [&str; 3] = ["cli", "runner", "smi-lint"];
+
+/// Crates allowed to read the wall clock everywhere (`bench` exists to
+/// time the host). `runner` gets a single whitelisted file instead.
+pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 1] = ["bench"];
+
+/// Files allowed to read the wall clock inside otherwise-checked crates
+/// (progress telemetry measures real elapsed time by design).
+pub const WALL_CLOCK_EXEMPT_FILES: [&str; 1] = ["crates/runner/src/telemetry.rs"];
+
+/// The policy for one file, given its crate and workspace-relative path.
+pub fn policy_for(crate_name: &str, rel_path: &str) -> FilePolicy {
+    let wall_clock_exempt = WALL_CLOCK_EXEMPT_CRATES.contains(&crate_name)
+        || WALL_CLOCK_EXEMPT_FILES.contains(&rel_path);
+    let is_tool = TOOL_CRATES.contains(&crate_name);
+    let file = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    FilePolicy {
+        record_producing: RECORD_CRATES.contains(&crate_name),
+        check_wall_clock: !wall_clock_exempt,
+        check_hermeticity: !HERMETIC_EXEMPT.contains(&crate_name),
+        check_panics: !is_tool,
+        is_crate_root: file == "lib.rs" || file == "main.rs",
+    }
+}
+
+/// Scan one file with the policy the workspace scan would apply —
+/// the entry point fixture tests drive directly.
+pub fn scan_with_policy(crate_name: &str, rel_path: &str, src: &str) -> ScanResult {
+    rules::scan_source(crate_name, rel_path, &policy_for(crate_name, rel_path), src)
+}
+
+/// Everything one workspace scan produced.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceScan {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Pragma-suppressed findings (informational).
+    pub suppressed: u32,
+    /// Files visited.
+    pub files_scanned: u32,
+}
+
+/// Scan every workspace crate under `root` (each `crates/*/src/**/*.rs`
+/// plus the facade crate's `src/`). Test directories (`tests/`,
+/// `benches/`, `examples/`) are dev code and out of scope by
+/// construction; `#[cfg(test)]` regions are excluded by the walker.
+pub fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
+    let mut units: Vec<(String, PathBuf)> = vec![("smi-lab".to_string(), root.join("src"))];
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.join("Cargo.toml").is_file() && path.join("src").is_dir() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    for name in names {
+        let src = crates_dir.join(&name).join("src");
+        units.push((name, src));
+    }
+
+    let mut scan = WorkspaceScan::default();
+    for (crate_name, src_dir) in units {
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .map(|p| p.to_string_lossy().replace('\\', "/"))
+                .unwrap_or_else(|_| file.to_string_lossy().into_owned());
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let result = scan_with_policy(&crate_name, &rel, &src);
+            scan.findings.extend(result.findings);
+            scan.suppressed += result.suppressed;
+            scan.files_scanned += 1;
+        }
+    }
+    scan.findings.sort_by(|a, b| (&a.path, a.line, a.rule.id).cmp(&(&b.path, b.line, b.rule.id)));
+    Ok(scan)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Baseline: ratcheting legacy findings.
+// ---------------------------------------------------------------------
+
+/// A baseline maps `(rule id, path)` to the number of findings that are
+/// grandfathered there. Only findings *beyond* the baselined count are
+/// "new" and fail the build, so the count can only ratchet down.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u32>,
+}
+
+impl Baseline {
+    /// Parse the baseline JSON (`{"schema":1,"entries":[{rule,path,count}]}`).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let json = Json::parse(text).map_err(|e| format!("baseline: {e}"))?;
+        let mut entries = BTreeMap::new();
+        let list = json
+            .get("entries")
+            .and_then(|e| e.as_array())
+            .ok_or("baseline: missing `entries` array")?;
+        for item in list {
+            let rule = item
+                .get("rule")
+                .and_then(|r| r.as_str())
+                .ok_or("baseline entry: missing `rule`")?;
+            let path = item
+                .get("path")
+                .and_then(|p| p.as_str())
+                .ok_or("baseline entry: missing `path`")?;
+            let count = item
+                .get("count")
+                .and_then(|c| c.as_u64())
+                .ok_or("baseline entry: missing `count`")? as u32;
+            entries.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Load from a file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Serialize findings as a fresh baseline document.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule.id.to_string(), f.path.clone())).or_insert(0) += 1;
+        }
+        let entries: Vec<Json> = counts
+            .into_iter()
+            .map(|((rule, path), count)| {
+                Json::obj(vec![
+                    ("rule", Json::Str(rule)),
+                    ("path", Json::Str(path)),
+                    ("count", Json::U64(count as u64)),
+                ])
+            })
+            .collect();
+        let mut doc = Json::obj(vec![("schema", Json::U64(1)), ("entries", Json::Arr(entries))])
+            .to_string_pretty();
+        doc.push('\n');
+        doc
+    }
+
+    /// Mark each finding's `new` flag: within a `(rule, path)` group the
+    /// first `count` findings (in line order) are covered, the rest are
+    /// new. Returns the number of new findings.
+    pub fn apply(&self, findings: &mut [Finding]) -> u32 {
+        let mut used: BTreeMap<(String, String), u32> = BTreeMap::new();
+        let mut new = 0;
+        for f in findings.iter_mut() {
+            let key = (f.rule.id.to_string(), f.path.clone());
+            let budget = self.entries.get(&key).copied().unwrap_or(0);
+            let used = used.entry(key).or_insert(0);
+            if *used < budget {
+                *used += 1;
+                f.new = false;
+            } else {
+                f.new = true;
+                new += 1;
+            }
+        }
+        new
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+/// Output format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// One `path:line: ID name [severity]: message` line per finding.
+    Text,
+    /// A single machine-readable JSON document.
+    Json,
+}
+
+/// Render the scan in the requested format. `new_count` comes from
+/// [`Baseline::apply`] (equal to `findings.len()` with no baseline).
+pub fn render_report(scan: &WorkspaceScan, new_count: u32, format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            for f in &scan.findings {
+                let tag = if f.new { "" } else { " (baseline)" };
+                out.push_str(&format!(
+                    "{}:{}: {} {} [{}]{}: {}\n",
+                    f.path,
+                    f.line,
+                    f.rule.id,
+                    f.rule.name,
+                    f.rule.severity.label(),
+                    tag,
+                    f.message
+                ));
+            }
+            out.push_str(&format!(
+                "smi-lint: {} finding(s) ({} new, {} baselined, {} suppressed) in {} files\n",
+                scan.findings.len(),
+                new_count,
+                scan.findings.len() as u32 - new_count,
+                scan.suppressed,
+                scan.files_scanned
+            ));
+            out
+        }
+        Format::Json => {
+            let findings: Vec<Json> = scan
+                .findings
+                .iter()
+                .map(|f| {
+                    Json::obj(vec![
+                        ("rule", Json::Str(f.rule.id.to_string())),
+                        ("name", Json::Str(f.rule.name.to_string())),
+                        ("severity", Json::Str(f.rule.severity.label().to_string())),
+                        ("crate", Json::Str(f.crate_name.clone())),
+                        ("path", Json::Str(f.path.clone())),
+                        ("line", Json::U64(f.line as u64)),
+                        ("new", Json::Bool(f.new)),
+                        ("message", Json::Str(f.message.clone())),
+                    ])
+                })
+                .collect();
+            let mut doc = Json::obj(vec![
+                ("schema", Json::U64(1)),
+                ("tool", Json::Str("smi-lint".to_string())),
+                ("files_scanned", Json::U64(scan.files_scanned as u64)),
+                ("total", Json::U64(scan.findings.len() as u64)),
+                ("new", Json::U64(new_count as u64)),
+                ("suppressed", Json::U64(scan.suppressed as u64)),
+                ("findings", Json::Arr(findings)),
+            ])
+            .to_string_pretty();
+            doc.push('\n');
+            doc
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI driver (shared by the smi-lint binary and `smi-lab lint`).
+// ---------------------------------------------------------------------
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+smi-lint — determinism & hermeticity linter for the smi-lab workspace
+
+usage: smi-lint [--root DIR] [--format text|json]
+                [--baseline FILE] [--write-baseline]
+
+  --root DIR        workspace root to scan (default: .)
+  --format FMT      `text` (default) or `json`
+  --baseline FILE   ratchet file; findings covered by it do not fail
+  --write-baseline  rewrite FILE from the current findings and exit 0
+
+exit status: 0 clean (no new findings), 1 new findings, 2 usage/IO error
+";
+
+/// Parse arguments and run a scan. Returns the process exit code and
+/// writes the report to stdout / errors to stderr.
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--format" => match it.next().map(|s| s.as_str()) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => return usage_error(&format!("--format must be text|json, got {other:?}")),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut scan = match scan_workspace(&root) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("smi-lint: {e}");
+            return 2;
+        }
+    };
+
+    if write_baseline {
+        let Some(path) = baseline_path else {
+            return usage_error("--write-baseline needs --baseline FILE");
+        };
+        let body = Baseline::render(&scan.findings);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("smi-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!(
+            "smi-lint: wrote baseline with {} finding(s) to {}",
+            scan.findings.len(),
+            path.display()
+        );
+        return 0;
+    }
+
+    let baseline = match baseline_path {
+        Some(path) => match Baseline::load(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("smi-lint: {e}");
+                return 2;
+            }
+        },
+        None => Baseline::default(),
+    };
+    let new_count = baseline.apply(&mut scan.findings);
+    print!("{}", render_report(&scan, new_count, format));
+    if new_count > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("smi-lint: {msg}\n{USAGE}");
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_table_matches_the_design() {
+        let p = policy_for("machine", "crates/machine/src/scheduler.rs");
+        assert!(p.record_producing && p.check_panics && p.check_hermeticity);
+        assert!(!p.is_crate_root);
+        let p = policy_for("runner", "crates/runner/src/telemetry.rs");
+        assert!(!p.check_wall_clock && !p.check_hermeticity && p.check_panics);
+        let p = policy_for("runner", "crates/runner/src/lib.rs");
+        assert!(p.check_wall_clock && p.is_crate_root);
+        let p = policy_for("cli", "crates/cli/src/main.rs");
+        assert!(!p.check_panics && !p.check_hermeticity && p.is_crate_root);
+        let p = policy_for("bench", "crates/bench/src/lib.rs");
+        assert!(!p.check_wall_clock && p.check_hermeticity);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let mk = |line: u32| Finding {
+            rule: rules::NO_PANIC,
+            crate_name: "machine".into(),
+            path: "crates/machine/src/x.rs".into(),
+            line,
+            message: "m".into(),
+            new: true,
+        };
+        let findings = vec![mk(3), mk(9)];
+        let doc = Baseline::render(&findings);
+        let baseline = Baseline::parse(&doc).expect("parse rendered baseline");
+        // Same findings: fully covered.
+        let mut f2 = findings.clone();
+        assert_eq!(baseline.apply(&mut f2), 0);
+        assert!(f2.iter().all(|f| !f.new));
+        // One extra finding in the same file: exactly one is new.
+        let mut f3 = vec![mk(3), mk(9), mk(20)];
+        assert_eq!(baseline.apply(&mut f3), 1);
+        assert!(f3[2].new);
+    }
+
+    #[test]
+    fn missing_baseline_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/lint-baseline.json"))
+            .expect("missing file is fine");
+        let mut f = vec![Finding {
+            rule: rules::HASH_ITER,
+            crate_name: "nas".into(),
+            path: "crates/nas/src/x.rs".into(),
+            line: 1,
+            message: "m".into(),
+            new: false,
+        }];
+        assert_eq!(b.apply(&mut f), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Golden fixture for SMI001 (hash-iter): a record-producing crate
+//! pulling in `HashMap`. NOT compiled — scanned as text by golden.rs.
+
+use std::collections::HashMap; // line 4: finding
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut counts: HashMap<u32, u32> = HashMap::new(); // line 7: two findings
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    counts.len()
+}

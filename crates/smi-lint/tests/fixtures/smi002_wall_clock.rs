@@ -1,0 +1,9 @@
+//! Golden fixture for SMI002 (wall-clock): reading host time from code
+//! that must be a function of the seed alone.
+
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let start = Instant::now(); // line 7: finding
+    start.elapsed().as_nanos() as u64
+}

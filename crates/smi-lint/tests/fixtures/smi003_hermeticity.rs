@@ -1,0 +1,6 @@
+//! Golden fixture for SMI003 (hermeticity): ambient authority via
+//! `std::env` outside the cli/runner/smi-lint whitelist.
+
+pub fn knob() -> Option<String> {
+    std::env::var("SMI_LAB_KNOB").ok() // line 5: finding
+}

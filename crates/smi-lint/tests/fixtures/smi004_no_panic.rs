@@ -1,0 +1,15 @@
+//! Golden fixture for SMI004 (no-panic): unwrap/expect/panic! in library
+//! (non-test) code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // line 5: finding
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3); // no finding: inside #[cfg(test)]
+    }
+}

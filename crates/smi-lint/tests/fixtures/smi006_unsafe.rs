@@ -1,0 +1,6 @@
+//! Golden fixture for SMI006 (unsafe): a crate root with no
+//! `#![deny(unsafe_code)]` gate and no justifying pragma.
+
+pub fn answer() -> u32 {
+    42
+}

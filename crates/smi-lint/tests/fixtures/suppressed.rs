@@ -1,0 +1,20 @@
+//! Golden fixture for the suppression pragma: every construct here is
+//! justified, so a scan must return zero findings and count each
+//! suppression.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // smi-lint: allow(no-panic): callers guarantee a non-empty slice.
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    xs[1] // indexing is not flagged; only unwrap/expect/panic! are
+}
+
+pub fn third(xs: &[u32]) -> u32 {
+    // A multi-line justification: the pragma may sit anywhere in the
+    // comment block directly above the finding.
+    // smi-lint: allow(no-panic): bounds are checked by the caller's
+    // contract, documented on the trait.
+    *xs.get(2).unwrap()
+}

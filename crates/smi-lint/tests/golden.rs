@@ -1,0 +1,164 @@
+//! Golden-fixture tests: each rule fires on its fixture at the expected
+//! line, pragmas suppress, the baseline ratchets, and — the keystone —
+//! the real workspace is lint-clean.
+
+use smi_lint::rules::{scan_source, FilePolicy};
+use smi_lint::{policy_for, scan_workspace, Baseline};
+use std::path::Path;
+
+/// The strictest policy: what a record-producing library crate gets.
+fn record_policy() -> FilePolicy {
+    FilePolicy {
+        record_producing: true,
+        check_wall_clock: true,
+        check_hermeticity: true,
+        check_panics: true,
+        is_crate_root: false,
+    }
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Scan a fixture under `policy` and return `(rule id, line)` pairs.
+fn scan_fixture(name: &str, policy: &FilePolicy) -> Vec<(String, u32)> {
+    let src = fixture(name);
+    scan_source("fixture", name, policy, &src)
+        .findings
+        .iter()
+        .map(|f| (f.rule.id.to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn smi001_fires_on_hashmap_in_record_crate() {
+    let got = scan_fixture("smi001_hash_iter.rs", &record_policy());
+    assert!(got.contains(&("SMI001".into(), 4)), "expected SMI001 at line 4, got {got:?}");
+    assert!(got.iter().all(|(id, _)| id == "SMI001"), "only SMI001 expected, got {got:?}");
+}
+
+#[test]
+fn smi002_fires_on_instant_now() {
+    let got = scan_fixture("smi002_wall_clock.rs", &record_policy());
+    assert_eq!(got, vec![("SMI002".to_string(), 7)], "got {got:?}");
+}
+
+#[test]
+fn smi003_fires_on_std_env() {
+    let got = scan_fixture("smi003_hermeticity.rs", &record_policy());
+    assert_eq!(got, vec![("SMI003".to_string(), 5)], "got {got:?}");
+}
+
+#[test]
+fn smi004_fires_on_unwrap_but_not_in_tests() {
+    let got = scan_fixture("smi004_no_panic.rs", &record_policy());
+    assert_eq!(
+        got,
+        vec![("SMI004".to_string(), 5)],
+        "the #[cfg(test)] unwrap must not fire: {got:?}"
+    );
+}
+
+#[test]
+fn smi005_fires_on_float_sum_over_hash_iter() {
+    let got = scan_fixture("smi005_float_reduce.rs", &record_policy());
+    let smi005: Vec<_> = got.iter().filter(|(id, _)| id == "SMI005").collect();
+    assert_eq!(smi005, vec![&("SMI005".to_string(), 9)], "got {got:?}");
+}
+
+#[test]
+fn smi006_fires_on_ungated_crate_root() {
+    let policy = FilePolicy { is_crate_root: true, ..record_policy() };
+    let got = scan_fixture("smi006_unsafe.rs", &policy);
+    assert_eq!(got, vec![("SMI006".to_string(), 1)], "got {got:?}");
+}
+
+#[test]
+fn pragmas_suppress_and_are_counted() {
+    let src = fixture("suppressed.rs");
+    let result = scan_source("fixture", "suppressed.rs", &record_policy(), &src);
+    assert!(result.findings.is_empty(), "pragmas must suppress: {:?}", result.findings);
+    assert_eq!(result.suppressed, 2, "both justified unwraps count as suppressed");
+}
+
+/// Round-trip: the pragma'd source fires when the pragma is removed.
+#[test]
+fn removing_the_pragma_reinstates_the_finding() {
+    let src = fixture("suppressed.rs");
+    let stripped: String =
+        src.lines().filter(|l| !l.contains("smi-lint:")).fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+    let result = scan_source("fixture", "suppressed.rs", &record_policy(), &stripped);
+    assert_eq!(result.suppressed, 0);
+    assert_eq!(result.findings.len(), 2, "both unwraps fire once unjustified");
+    assert!(result.findings.iter().all(|f| f.rule.id == "SMI004"));
+}
+
+#[test]
+fn baseline_ratchets_known_findings_and_flags_new_ones() {
+    let src = fixture("smi001_hash_iter.rs");
+    let mut findings =
+        scan_source("fixture", "smi001_hash_iter.rs", &record_policy(), &src).findings;
+    let total = findings.len() as u32;
+    assert!(total >= 2, "fixture should produce at least two findings");
+
+    // A baseline covering every finding: nothing is new.
+    let full = Baseline::parse(&Baseline::render(&findings)).expect("render/parse round-trip");
+    assert_eq!(full.apply(&mut findings), 0, "fully baselined scan has no new findings");
+
+    // A baseline covering one fewer: exactly one is new.
+    let mut shorter = findings.clone();
+    shorter.pop();
+    let partial = Baseline::parse(&Baseline::render(&shorter)).expect("parse");
+    assert_eq!(partial.apply(&mut findings), 1, "one finding beyond the ratchet is new");
+
+    // An empty baseline: everything is new.
+    let empty = Baseline::parse(r#"{"schema":1,"entries":[]}"#).expect("parse");
+    assert_eq!(empty.apply(&mut findings), total);
+}
+
+/// The keystone self-test: the real workspace, scanned with the shipped
+/// policy tables, has zero findings (everything is either fixed or
+/// carries a justified pragma — the shipped baseline is empty).
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scan = scan_workspace(&root).expect("scan workspace");
+    assert!(scan.files_scanned > 50, "scanner must see the whole workspace");
+    let rendered: Vec<String> = scan
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: {} {}", f.path, f.line, f.rule.id, f.message))
+        .collect();
+    assert!(rendered.is_empty(), "workspace must be lint-clean:\n{}", rendered.join("\n"));
+}
+
+/// Fixtures live under tests/, which the workspace scanner must not
+/// visit (they contain deliberate violations).
+#[test]
+fn fixtures_are_not_scanned_by_the_workspace_walk() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scan = scan_workspace(&root).expect("scan workspace");
+    assert!(scan.findings.iter().all(|f| !f.path.contains("fixtures")));
+}
+
+/// The policy table wiring: spot-check a few files against the shipped
+/// crate classification.
+#[test]
+fn policy_table_spot_checks() {
+    let p = policy_for("sim-core", "crates/sim-core/src/freeze.rs");
+    assert!(p.record_producing && p.check_panics && p.check_wall_clock);
+    let p = policy_for("cli", "crates/cli/src/main.rs");
+    assert!(!p.check_panics && !p.check_hermeticity && p.is_crate_root);
+    let p = policy_for("runner", "crates/runner/src/telemetry.rs");
+    assert!(!p.check_wall_clock, "telemetry is the sanctioned clock reader");
+    let p = policy_for("bench", "crates/bench/src/lib.rs");
+    assert!(!p.check_wall_clock, "bench times real code by design");
+    let p = policy_for("runner", "crates/runner/src/pool.rs");
+    assert!(p.check_wall_clock && !p.check_hermeticity);
+}

@@ -5,7 +5,9 @@
 //! cargo run --release --example gantt
 //! ```
 
-use smi_lab::machine::{render_gantt, run_with_trace, Phase, SchedParams, ThreadProgram, ThreadSpec};
+use smi_lab::machine::{
+    render_gantt, run_with_trace, Phase, SchedParams, ThreadProgram, ThreadSpec,
+};
 use smi_lab::prelude::*;
 use smi_lab::sim_core::Trace;
 

@@ -19,9 +19,7 @@ fn main() {
         let mut sysfs = CpuSysfs::new(&mut topo);
         println!("present: {}", sysfs.read("/sys/devices/system/cpu/present").unwrap());
         for cpu in 4..8 {
-            sysfs
-                .write(&format!("/sys/devices/system/cpu/cpu{cpu}/online"), "0")
-                .unwrap();
+            sysfs.write(&format!("/sys/devices/system/cpu/cpu{cpu}/online"), "0").unwrap();
         }
         println!(
             "after offlining HTT siblings: online = {}",
@@ -29,9 +27,7 @@ fn main() {
         );
         println!(
             "cpu1 siblings: {}",
-            sysfs
-                .read("/sys/devices/system/cpu/cpu1/topology/thread_siblings_list")
-                .unwrap()
+            sysfs.read("/sys/devices/system/cpu/cpu1/topology/thread_siblings_list").unwrap()
         );
     }
 

@@ -38,10 +38,7 @@ fn main() {
         println!(
             "   hwlat-style detector: {} spikes (injected: {injected}), max latency {}",
             report.count(),
-            report
-                .max_latency()
-                .map(|d| d.to_string())
-                .unwrap_or_else(|| "-".into()),
+            report.max_latency().map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
         );
 
         // 4. And BIOSBITS would flag the platform.

@@ -49,7 +49,8 @@ fn main() {
         Symbol { name: "halo_exchange".into(), work: SimDuration::from_millis(20) },
         Symbol { name: "critical_section".into(), work: SimDuration::from_millis(10) },
     ];
-    let attr = profile(&symbols, &schedule, SimDuration::from_secs(30), SimDuration::from_millis(1));
+    let attr =
+        profile(&symbols, &schedule, SimDuration::from_secs(30), SimDuration::from_millis(1));
     println!(
         "  {} samples, {} taken while the node was invisibly frozen:",
         attr.samples, attr.smm_samples
@@ -74,7 +75,8 @@ fn main() {
         policy: TriggerPolicy::SkipWhileFrozen,
         seed: 1,
     });
-    let attr = profile(&symbols, &one_shot, SimDuration::from_secs(10), SimDuration::from_millis(1));
+    let attr =
+        profile(&symbols, &one_shot, SimDuration::from_secs(10), SimDuration::from_millis(1));
     for s in &attr.shares {
         println!(
             "    {:>16}: true {:>5.1}%  reported {:>5.1}%  ({:+.1} pp)",

@@ -45,6 +45,8 @@
 //! assert_eq!(report.count(), schedule.count_between(SimTime::ZERO, end));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use analysis;
 pub use apps;
 pub use cache_sim;
@@ -61,8 +63,7 @@ pub mod prelude {
     pub use mpi_sim::{ClusterSpec, NetworkParams, NodeState, Op, RankProgram};
     pub use nas::{Bench, Class};
     pub use sim_core::{
-        DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng, SimTime,
-        TriggerPolicy,
+        DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng, SimTime, TriggerPolicy,
     };
     pub use smi_driver::{HwlatDetector, SmiClass, SmiDriver, SmiDriverConfig, Tsc};
 }

@@ -24,10 +24,7 @@ fn stepped_execution(schedule: &FreezeSchedule, start: SimTime, work: SimDuratio
             continue;
         }
         // Run until the next window or for the remaining work.
-        let next = schedule
-            .next_window_after(t)
-            .map(|(s, _)| s)
-            .unwrap_or(SimTime::MAX);
+        let next = schedule.next_window_after(t).map(|(s, _)| s).unwrap_or(SimTime::MAX);
         let gap = next.since(t);
         if gap >= remaining {
             return t + remaining;
@@ -66,10 +63,8 @@ fn per_thread_mapping_equals_makespan_mapping() {
         // of (max, map) agree because advance is monotone.
         let s = schedule(g);
         let works = g.vec_u64(1..8, 1_000_000..3_000_000_000);
-        let per_thread_wall: Vec<SimTime> = works
-            .iter()
-            .map(|&w| s.advance(SimTime::ZERO, SimDuration::from_nanos(w)))
-            .collect();
+        let per_thread_wall: Vec<SimTime> =
+            works.iter().map(|&w| s.advance(SimTime::ZERO, SimDuration::from_nanos(w))).collect();
         let makespan_work = SimDuration::from_nanos(*works.iter().max().expect("nonempty"));
         let mapped_makespan = s.advance(SimTime::ZERO, makespan_work);
         assert_eq!(per_thread_wall.into_iter().max().expect("nonempty"), mapped_makespan);
@@ -84,8 +79,7 @@ fn scheduler_then_map_equals_executor() {
     let threads: Vec<ThreadSpec> = (0..6)
         .map(|i| {
             ThreadSpec::new(
-                ThreadProgram::new()
-                    .then(Phase::compute(SimDuration::from_millis(40 + 13 * i))),
+                ThreadProgram::new().then(Phase::compute(SimDuration::from_millis(40 + 13 * i))),
             )
         })
         .collect();
@@ -98,8 +92,7 @@ fn scheduler_then_map_equals_executor() {
         policy: TriggerPolicy::SkipWhileFrozen,
         seed: 3,
     });
-    let executor =
-        machine::NodeExecutor::new(&schedule, SmiSideEffects::none(), 8, 0.0, 0.0);
+    let executor = machine::NodeExecutor::new(&schedule, SmiSideEffects::none(), 8, 0.0, 0.0);
     let via_executor = executor.execute(SimTime::ZERO, sched.makespan).wall_end;
     let via_algebra = schedule.advance(SimTime::ZERO, sched.makespan);
     let via_reference = stepped_execution(&schedule, SimTime::ZERO, sched.makespan);

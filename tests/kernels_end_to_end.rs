@@ -156,6 +156,7 @@ fn full_stack_smoke_noise_hurts_and_detection_sees_it() {
     // The detector on node 0 sees exactly the windows the engine counted
     // for node 0.
     let end = SimTime::ZERO + perturbed.makespan;
-    let report = HwlatDetector::default().detect(&noisy[0].schedule, SimTime::ZERO, end, &Tsc::e5520());
+    let report =
+        HwlatDetector::default().detect(&noisy[0].schedule, SimTime::ZERO, end, &Tsc::e5520());
     assert_eq!(report.count(), noisy[0].schedule.count_between(SimTime::ZERO, end));
 }

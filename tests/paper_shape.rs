@@ -19,13 +19,9 @@ fn impacts(bench: Bench, class: Class, nodes: u32, rpn: u32, htt: bool) -> (f64,
         .expect("cell measured in the paper");
     let extra = calibrate_extra(bench, class, &spec, &network, target);
     let label = format!("shape-{}-{}-{}-{}-{}", bench.name(), class.letter(), nodes, rpn, htt);
-    let [base, short, long] = SMM_CLASSES.map(|smm| {
-        measure_cell(bench, class, &spec, extra, smm, &opts(), &network, &label)
-    });
-    (
-        (short.mean - base.mean) / base.mean * 100.0,
-        (long.mean - base.mean) / base.mean * 100.0,
-    )
+    let [base, short, long] = SMM_CLASSES
+        .map(|smm| measure_cell(bench, class, &spec, extra, smm, &opts(), &network, &label));
+    ((short.mean - base.mean) / base.mean * 100.0, (long.mean - base.mean) / base.mean * 100.0)
 }
 
 #[test]
@@ -48,11 +44,7 @@ fn claim_long_smis_cost_at_least_the_duty_cycle() {
     // (~10.5%), as in every Table 1-3 one-node row (+10.1 to +11.7%).
     for bench in [Bench::Ep, Bench::Bt, Bench::Ft] {
         let (_, long) = impacts(bench, Class::B, 1, 1, false);
-        assert!(
-            (8.0..18.0).contains(&long),
-            "{} one-node long-SMI impact {long}%",
-            bench.name()
-        );
+        assert!((8.0..18.0).contains(&long), "{} one-node long-SMI impact {long}%", bench.name());
     }
 }
 
@@ -101,8 +93,7 @@ fn claim_htt_worsens_ep_under_long_smis() {
         for (i, htt) in [false, true].into_iter().enumerate() {
             let spec = ClusterSpec::wyeast(nodes, 4, htt);
             let cell = smi_lab::nas::htt_cell(Bench::Ep, Class::B, nodes).expect("cell");
-            let extra =
-                calibrate_extra(Bench::Ep, Class::B, &spec, &network, cell.smm_ht[0][i]);
+            let extra = calibrate_extra(Bench::Ep, Class::B, &spec, &network, cell.smm_ht[0][i]);
             means[i] = measure_cell(
                 Bench::Ep,
                 Class::B,
