@@ -6,7 +6,12 @@ set -eux
 
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
+# Chaos gate: the seeded fault-injection suite (runner::chaos) proving
+# panic isolation, retry/quarantine, cache-corruption recovery, orphan
+# sweeping, and crash-safe resume. See DESIGN.md "Failure semantics".
+cargo test -q -p runner --features chaos --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo clippy -p runner --features chaos --all-targets --offline -- -D warnings
 cargo fmt --check
 # Determinism & hermeticity lint (crates/smi-lint): fails on any finding
 # not ratcheted into the baseline. See DESIGN.md "Static analysis".

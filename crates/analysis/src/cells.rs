@@ -57,7 +57,11 @@ fn measured_from(json: &Json) -> Option<Measured> {
 // The `expect`s in the assemble_* path decode payloads written by the
 // paired producer cell in this same module: a shape mismatch means the
 // result cache is corrupted, and aborting with a field-naming message is
-// the intended failure mode (runner::CacheMode::Refresh recovers).
+// the intended failure mode (runner::CacheMode::Refresh recovers). One
+// shape is NOT a corruption: `Json::Null`, the explicit hole a
+// quarantined cell leaves in `RunReport::payloads` — every assembler
+// maps it to an absent measurement so a degraded campaign still renders,
+// with the hole visibly marked, instead of aborting.
 fn point_from(json: &Json) -> FigPoint {
     FigPoint {
         // Serialized non-finite x (the quiet baseline point) becomes null.
@@ -69,7 +73,15 @@ fn point_from(json: &Json) -> FigPoint {
     }
 }
 
+/// Label a failed series carries in rendered figures.
+pub const FAILED_SERIES_LABEL: &str = "(failed)";
+
 fn series_from(json: &Json) -> FigSeries {
+    if matches!(json, Json::Null) {
+        // Quarantined cell: an empty, explicitly-labelled series. The
+        // renderer prints `-` for its missing points.
+        return FigSeries { label: FAILED_SERIES_LABEL.to_string(), points: Vec::new() };
+    }
     FigSeries {
         // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
         label: json.get("label").and_then(Json::as_str).expect("series label").to_string(),
@@ -146,15 +158,17 @@ pub fn assemble_table(bench: Bench, payloads: &[Json]) -> TableResult {
         .map(|((class, nodes, rpn), payload)| {
             let paper =
                 table_cell(bench, class, nodes, rpn).map(|c| c.smm).unwrap_or([None, None, None]);
-            let measured_json = payload
-                .get("measured")
-                .and_then(Json::as_array)
-                // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
-                .expect("table payload measured array");
-            assert_eq!(measured_json.len(), 3, "one entry per SMM class");
             let mut measured = [None, None, None];
-            for (k, m) in measured_json.iter().enumerate() {
-                measured[k] = measured_from(m);
+            if !matches!(payload, Json::Null) {
+                let measured_json = payload
+                    .get("measured")
+                    .and_then(Json::as_array)
+                    // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
+                    .expect("table payload measured array");
+                assert_eq!(measured_json.len(), 3, "one entry per SMM class");
+                for (k, m) in measured_json.iter().enumerate() {
+                    measured[k] = measured_from(m);
+                }
             }
             TableCell { class, nodes, ranks_per_node: rpn, measured, paper }
         })
@@ -223,19 +237,21 @@ pub fn assemble_htt_table(bench: Bench, payloads: &[Json]) -> HttTableResult {
         .zip(payloads)
         .map(|((class, nodes), payload)| {
             let paper = htt_cell(bench, class, nodes).map(|c| c.smm_ht);
-            let rows = payload
-                .get("measured")
-                .and_then(Json::as_array)
-                // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
-                .expect("htt payload measured array");
-            assert_eq!(rows.len(), 3, "one row per SMM class");
             let mut measured = [[None, None]; 3];
-            for (k, row) in rows.iter().enumerate() {
-                // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
-                let cols = row.as_array().expect("htt payload row");
-                assert_eq!(cols.len(), 2, "one column per HTT setting");
-                for (h, m) in cols.iter().enumerate() {
-                    measured[k][h] = measured_from(m);
+            if !matches!(payload, Json::Null) {
+                let rows = payload
+                    .get("measured")
+                    .and_then(Json::as_array)
+                    // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
+                    .expect("htt payload measured array");
+                assert_eq!(rows.len(), 3, "one row per SMM class");
+                for (k, row) in rows.iter().enumerate() {
+                    // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
+                    let cols = row.as_array().expect("htt payload row");
+                    assert_eq!(cols.len(), 2, "one column per HTT setting");
+                    for (h, m) in cols.iter().enumerate() {
+                        measured[k][h] = measured_from(m);
+                    }
                 }
             }
             HttTableCell { class, nodes, measured, paper }
@@ -359,11 +375,17 @@ pub fn assemble_figure2(payloads: &[Json]) -> Figure2Result {
     assert_eq!(payloads.len(), 2 * per + 1, "figure-2 payload count");
     let long_series = payloads[..per].iter().map(series_from).collect();
     let short_series = payloads[per..2 * per].iter().map(series_from).collect();
-    let baselines = payloads[2 * per]
-        .get("baselines")
-        .and_then(Json::as_array)
-        // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
-        .expect("figure-2 baselines")
+    // Quarantined baseline cell: no baseline rows to print.
+    let baseline_rows: &[Json] = if matches!(payloads[2 * per], Json::Null) {
+        &[]
+    } else {
+        payloads[2 * per]
+            .get("baselines")
+            .and_then(Json::as_array)
+            // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
+            .expect("figure-2 baselines")
+    };
+    let baselines = baseline_rows
         .iter()
         .map(|pair| {
             (
@@ -390,8 +412,16 @@ pub fn text_cell(
     })
 }
 
-/// Extract the text payload of a [`text_cell`] result.
+/// What [`text_payload`] renders for a quarantined text cell.
+pub const FAILED_TEXT_PAYLOAD: &str =
+    "(cell failed — study output unavailable; see the run manifest for the quarantine record)";
+
+/// Extract the text payload of a [`text_cell`] result. A quarantined
+/// cell's `Json::Null` hole renders as [`FAILED_TEXT_PAYLOAD`].
 pub fn text_payload(payload: &Json) -> &str {
+    if matches!(payload, Json::Null) {
+        return FAILED_TEXT_PAYLOAD;
+    }
     // smi-lint: allow(no-panic): payload shape fixed by the paired producer.
     payload.as_str().expect("text cell payload")
 }
@@ -461,6 +491,54 @@ mod tests {
     fn text_cells_carry_rendered_output() {
         let report = quiet_runner()
             .run("x-test", vec![text_cell("x-demo", &tiny(), |o| format!("seed {}", o.seed))]);
-        assert_eq!(text_payload(&report.outcomes[0].payload), "seed 11");
+        assert_eq!(text_payload(&report.payloads()[0]), "seed 11");
+    }
+
+    #[test]
+    fn null_holes_assemble_as_absent_measurements() {
+        let opts = tiny();
+        // Quarantine-shaped input: every payload is the Null hole.
+        let holes = vec![Json::Null; table_cells(Bench::Ep, &opts).len()];
+        let table = assemble_table(Bench::Ep, &holes);
+        assert!(table.cells.iter().all(|c| c.measured.iter().all(Option::is_none)));
+
+        let holes = vec![Json::Null; htt_cells(Bench::Ep, &opts).len()];
+        let htt = assemble_htt_table(Bench::Ep, &holes);
+        assert!(htt.cells.iter().all(|c| c.measured.iter().flatten().all(Option::is_none)));
+
+        let holes = vec![Json::Null; figure2_cells(&opts).len()];
+        let fig2 = assemble_figure2(&holes);
+        assert!(fig2.long_series.iter().all(|s| s.label == FAILED_SERIES_LABEL));
+        assert!(fig2.long_series.iter().all(|s| s.points.is_empty()));
+        assert!(fig2.baselines.is_empty());
+
+        assert_eq!(text_payload(&Json::Null), FAILED_TEXT_PAYLOAD);
+    }
+
+    #[test]
+    fn partial_holes_keep_surviving_cells_intact() {
+        let opts = tiny();
+        let reference = quiet_runner().run("holes-ref", table_cells(Bench::Ep, &opts));
+        let mut payloads = reference.payloads();
+        payloads[1] = Json::Null; // quarantine one cell
+        let table = assemble_table(Bench::Ep, &payloads);
+        let full = assemble_table(Bench::Ep, &reference.payloads());
+        assert!(table.cells[1].measured.iter().all(Option::is_none), "the hole is absent");
+        for (i, (a, b)) in table.cells.iter().zip(&full.cells).enumerate() {
+            if i == 1 {
+                continue;
+            }
+            for k in 0..3 {
+                match (a.measured[k], b.measured[k]) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.mean, y.mean, "surviving cell {i} smm{k} untouched");
+                        assert_eq!(x.std, y.std);
+                        assert_eq!(x.reps, y.reps);
+                    }
+                    (None, None) => {}
+                    other => panic!("measured presence diverged at cell {i}: {other:?}"),
+                }
+            }
+        }
     }
 }

@@ -118,14 +118,25 @@ fn render_series(out: &mut String, title: &str, xlabel: &str, series: &[FigSerie
     }
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
-    if series.is_empty() {
-        return;
-    }
-    for i in 0..series[0].points.len() {
-        let mut line = format!("{:>10.0}", series[0].points[i].x);
+    // A quarantined series is empty; row count and the x column come
+    // from whichever series survived, and holes render as dashes.
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series.iter().find_map(|s| s.points.get(i)).map(|p| p.x);
+        let mut line = match x {
+            Some(x) => format!("{x:>10.0}"),
+            None => format!("{:>10}", "-"),
+        };
         for s in series {
-            let p = s.points[i];
-            let _ = write!(line, " {:>8.2}±{:<7.2}", p.mean, p.std);
+            match s.points.get(i) {
+                Some(p) => {
+                    let _ = write!(line, " {:>8.2}±{:<7.2}", p.mean, p.std);
+                }
+                None => {
+                    // 16 = 8 (mean) + 1 (±) + 7 (std), keeping columns aligned.
+                    let _ = write!(line, " {:>16}", "-");
+                }
+            }
         }
         let _ = writeln!(out, "{line}");
     }
@@ -260,6 +271,34 @@ mod tests {
         assert!(csv.starts_with("bench,class"));
         assert!(csv.contains("EP,A,1,1,0,23.1,0.1,23.12"));
         assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn failed_series_render_as_dash_columns() {
+        let s = vec![
+            FigSeries {
+                label: "4 CPUs".into(),
+                points: vec![
+                    FigPoint { x: 50.0, mean: 12.5, std: 0.4 },
+                    FigPoint { x: 100.0, mean: 11.0, std: 0.3 },
+                ],
+            },
+            // A quarantined cell's series: labelled, but no points.
+            FigSeries { label: "(failed)".into(), points: Vec::new() },
+        ];
+        let mut out = String::new();
+        render_series(&mut out, "t", "x", &s);
+        assert!(out.contains("(failed)"), "the hole is labelled in the header:\n{out}");
+        assert!(out.contains("12.50"), "surviving data still renders:\n{out}");
+        let dash_rows =
+            out.lines().filter(|l| l.trim_end().ends_with('-') && l.contains('±')).count();
+        assert_eq!(dash_rows, 2, "each data row marks the failed series with a dash:\n{out}");
+
+        // All series empty: header only, no rows, no panic.
+        let empty = vec![FigSeries { label: "(failed)".into(), points: Vec::new() }];
+        let mut out = String::new();
+        render_series(&mut out, "t", "x", &empty);
+        assert!(out.contains("(failed)"));
     }
 
     #[test]

@@ -33,6 +33,22 @@
 //! completed cells persist in a content-hash cache under `--cache-dir`
 //! (default `results/cache`) so re-runs and `--resume` skip them, and
 //! `--records FILE` writes one canonical JSONL record per cell.
+//!
+//! ## Exit codes
+//!
+//! A panicking cell no longer kills the run: it is retried (bounded,
+//! deterministic) and then quarantined, the campaign drains, and the
+//! artifact renders with the hole explicitly marked. The process exit
+//! code reports the worst outcome across every batch of the invocation:
+//!
+//! * `0` — clean: every cell produced a payload, no cache faults
+//!   (successful retries still count as clean — their records are
+//!   byte-identical to a fault-free run).
+//! * `1` — degraded: every cell produced a payload, but cache I/O faults
+//!   (write errors, corrupt entries, manifest write failure) were
+//!   observed; details are in the run manifest.
+//! * `2` — failed: one or more cells were quarantined (also used for
+//!   usage errors).
 
 #![deny(unsafe_code)]
 
@@ -48,7 +64,16 @@ use analysis::{
 };
 use jsonio::ToJson;
 use nas::Bench;
-use runner::{CacheMode, Cell, Runner};
+use runner::{CacheMode, Cell, RunStatus, Runner};
+use std::sync::atomic::{AtomicI32, Ordering};
+
+/// Worst [`RunStatus`] exit code observed across every batch this
+/// invocation ran; `main` exits with it.
+static WORST_STATUS: AtomicI32 = AtomicI32::new(0);
+
+fn note_status(status: RunStatus) {
+    WORST_STATUS.fetch_max(status.exit_code(), Ordering::Relaxed);
+}
 
 struct Args {
     command: String,
@@ -151,6 +176,7 @@ fn runner_for(args: &Args) -> Runner {
 /// records (if `--records`) and write the run manifest.
 fn execute(args: &Args, label: &str, cells: Vec<Cell>) -> runner::RunReport {
     let report = runner_for(args).run(label, cells);
+    note_status(report.status());
     if let Some(path) = &args.records {
         use std::io::Write as _;
         let mut f = std::fs::OpenOptions::new()
@@ -162,7 +188,28 @@ fn execute(args: &Args, label: &str, cells: Vec<Cell>) -> runner::RunReport {
     }
     match report.write_manifest(std::path::Path::new(&args.cache_dir)) {
         Ok(path) => eprintln!("[runner] manifest {}", path.display()),
-        Err(e) => eprintln!("[runner] manifest write failed: {e}"),
+        Err(e) => {
+            // A missing manifest is silent degradation: the run account
+            // is gone even though the cells themselves survived.
+            eprintln!("[runner] manifest write failed: {e}");
+            note_status(RunStatus::Degraded);
+        }
+    }
+    if report.status() != RunStatus::Clean {
+        eprintln!(
+            "[runner] {label}: run {} — {} quarantined, {} cache store errors, {} corrupt entries (exit {})",
+            report.status().label(),
+            report.cells_failed,
+            report.cache_store_errors,
+            report.cache_load_corruptions,
+            report.status().exit_code(),
+        );
+        for q in &report.quarantined {
+            eprintln!(
+                "[runner]   quarantined {}/{} after {} attempts: {}",
+                q.experiment, q.cell, q.attempts, q.panic
+            );
+        }
     }
     report
 }
@@ -267,6 +314,11 @@ fn print_figure1(fig: &analysis::Figure1Result, args: &Args) {
     print!("{}", render_figure1(fig));
     println!("Slope of SMI impact (time vs duty cycle, CacheUnfriendly panel):");
     for series in &fig.interval_panels[0] {
+        // A quarantined series has no points; the fit needs two.
+        if series.points.len() < 2 {
+            println!("  {:>8}: - (series failed; see run manifest)", series.label);
+            continue;
+        }
         let (slope, intercept, r2) = analysis::impact_slope(series, 105.0);
         println!(
             "  {:>8}: {:6.1} s per unit duty (baseline {:5.1} s, r2 {:.3})",
@@ -333,7 +385,7 @@ fn print_figure2(fig: &analysis::Figure2Result, args: &Args) {
 /// other experiment) and print its text.
 fn cmd_study(experiment: &str, render: fn(&RunOptions) -> String, args: &Args) {
     let report = execute(args, experiment, vec![text_cell(experiment, &args.opts, render)]);
-    print!("{}", text_payload(&report.outcomes[0].payload));
+    print!("{}", text_payload(&report.payloads()[0]));
 }
 
 /// Generate the EXPERIMENTS.md body: every table and figure, paper vs
@@ -389,10 +441,17 @@ fn cmd_report(args: &Args) {
         out.push_str(&format!("{} | ", s.label));
     }
     out.push_str("\n|---|---|---|---|---|\n");
-    for i in 0..fig2.long_series[0].points.len() {
-        out.push_str(&format!("| {} ms | ", fig2.long_series[0].points[i].x));
+    // Row count and the x column come from whichever series survived;
+    // a quarantined series contributes dash cells.
+    let rows = fig2.long_series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = fig2.long_series.iter().find_map(|s| s.points.get(i)).map(|p| p.x);
+        out.push_str(&format!("| {} ms | ", x.unwrap_or(f64::NAN)));
         for s in &fig2.long_series {
-            out.push_str(&format!("{:.0} | ", s.points[i].mean));
+            match s.points.get(i) {
+                Some(p) => out.push_str(&format!("{:.0} | ", p.mean)),
+                None => out.push_str("- | "),
+            }
         }
         out.push('\n');
     }
@@ -513,4 +572,9 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Exit with the worst status any batch reported: 0 clean,
+    // 1 degraded, 2 failed (see the module docs).
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    std::process::exit(WORST_STATUS.load(Ordering::Relaxed));
 }

@@ -9,13 +9,22 @@
 //!
 //! Robustness contract: a cache entry is advisory. Loads re-verify the
 //! stored identity fields against the request and re-parse the payload;
-//! any mismatch, truncation, or parse failure is treated as a miss (the
-//! cell is recomputed and the entry rewritten). Corruption must never
-//! panic and never poison results.
+//! any mismatch, truncation, or parse failure is treated as a
+//! recomputable [`Lookup::Corrupt`] (the cell is recomputed and the
+//! entry rewritten). Corruption must never panic and never poison
+//! results — but it is *counted* (see `telemetry::Progress`) so silent
+//! disk rot becomes observed degradation in the run manifest.
+//!
+//! Writes go to a per-store-unique temporary sibling
+//! (`<entry>.tmp.<pid>.<seq>`) and are renamed into place, so concurrent
+//! stores of the same key never clobber each other's temp file and a
+//! reader never observes a half-written entry. Temp files stranded by a
+//! killed process are removed by [`sweep_orphans`] at runner startup.
 
 use crate::CellSpec;
 use jsonio::Json;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Schema version stamped into every entry; bump to invalidate wholesale.
 pub const ENTRY_SCHEMA: u64 = 1;
@@ -69,11 +78,39 @@ pub fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(&hex[..2]).join(format!("{hex}.json"))
 }
 
-/// Try to load a cached payload. `None` on any miss *or* any form of
-/// corruption (unreadable file, bad JSON, wrong schema/key/identity).
-pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> Option<Json> {
-    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
-    let entry = Json::parse(text.trim_end()).ok()?;
+/// The outcome of a cache lookup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lookup {
+    /// Entry present and verified; the payload is trustworthy.
+    Hit(Json),
+    /// No entry on disk — the ordinary cold miss.
+    Miss,
+    /// An entry exists but is unreadable, torn, or fails the identity
+    /// checks. Callers recompute (exactly like a miss) and count the
+    /// corruption so it surfaces in the run manifest.
+    Corrupt,
+}
+
+impl Lookup {
+    /// The verified payload, if this was a hit.
+    pub fn into_payload(self) -> Option<Json> {
+        match self {
+            Lookup::Hit(payload) => Some(payload),
+            Lookup::Miss | Lookup::Corrupt => None,
+        }
+    }
+}
+
+/// Try to load a cached payload. Never panics: a missing entry is
+/// [`Lookup::Miss`], and any form of corruption (unreadable file, bad
+/// JSON, wrong schema/key/identity) is [`Lookup::Corrupt`].
+pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> Lookup {
+    let text = match std::fs::read_to_string(entry_path(dir, key)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
+        Err(_) => return Lookup::Corrupt,
+    };
+    let Ok(entry) = Json::parse(text.trim_end()) else { return Lookup::Corrupt };
     let matches = entry.get("schema").and_then(Json::as_u64) == Some(ENTRY_SCHEMA)
         && entry.get("key").and_then(Json::as_str) == Some(key.hex().as_str())
         && entry.get("code").and_then(Json::as_str) == Some(code_version)
@@ -83,20 +120,44 @@ pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> O
         && entry.get("seed").and_then(Json::as_u64) == Some(spec.seed)
         && entry.get("reps").and_then(Json::as_u64) == Some(spec.reps as u64);
     if !matches {
-        return None;
+        return Lookup::Corrupt;
     }
-    entry.get("payload").cloned()
+    match entry.get("payload") {
+        Some(payload) => Lookup::Hit(payload.clone()),
+        None => Lookup::Corrupt,
+    }
 }
 
-/// Persist a payload. Written to a temporary sibling then renamed, so a
-/// concurrent reader never observes a half-written entry. Errors are
-/// swallowed: the cache is an optimization, not a correctness layer.
-pub fn store(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec, payload: &Json) {
+/// Monotonic discriminator folded into temp-file names so concurrent
+/// stores (even of the identical key) never share a temp sibling.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique temporary sibling of `path`: `<name>.tmp.<pid>.<seq>`. The
+/// `.tmp.` infix is the marker [`sweep_orphans`] looks for.
+pub(crate) fn unique_tmp(path: &Path) -> PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    path.with_file_name(format!(
+        "{name}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Persist a payload. Written to a per-store-unique temporary sibling
+/// then renamed, so a concurrent reader never observes a half-written
+/// entry and racing writers never tear each other's temp file. The
+/// cache stays an optimization — callers treat an `Err` as degradation
+/// to *count*, never as a reason to abort the run.
+pub fn store(
+    dir: &Path,
+    key: CacheKey,
+    code_version: &str,
+    spec: &CellSpec,
+    payload: &Json,
+) -> std::io::Result<()> {
     let path = entry_path(dir, key);
-    let Some(parent) = path.parent() else { return };
-    if std::fs::create_dir_all(parent).is_err() {
-        return;
-    }
+    let parent = path.parent().ok_or_else(|| std::io::Error::other("entry path has no parent"))?;
+    std::fs::create_dir_all(parent)?;
     let entry = Json::obj(vec![
         ("schema", Json::U64(ENTRY_SCHEMA)),
         ("key", Json::Str(key.hex())),
@@ -110,10 +171,37 @@ pub fn store(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec, pay
     ]);
     let mut line = entry.to_string();
     line.push('\n');
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, line).is_ok() {
-        let _ = std::fs::rename(&tmp, &path);
+    let tmp = unique_tmp(&path);
+    std::fs::write(&tmp, line)?;
+    if let Err(e) = std::fs::rename(&tmp, &path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
+    Ok(())
+}
+
+/// Remove stale `*.tmp.*` siblings stranded by a process killed between
+/// temp write and rename — in the shard directories and in the
+/// `manifests/` directory alike. Returns the number removed. Sweeping is
+/// best-effort: an unreadable directory simply contributes nothing.
+pub fn sweep_orphans(dir: &Path) -> u64 {
+    let mut swept = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    for entry in entries.flatten() {
+        let sub = entry.path();
+        if !sub.is_dir() {
+            continue;
+        }
+        let Ok(files) = std::fs::read_dir(&sub) else { continue };
+        for file in files.flatten() {
+            let name = file.file_name();
+            if name.to_string_lossy().contains(".tmp.") && std::fs::remove_file(file.path()).is_ok()
+            {
+                swept += 1;
+            }
+        }
+    }
+    swept
 }
 
 #[cfg(test)]

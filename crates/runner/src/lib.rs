@@ -1,4 +1,4 @@
-//! # runner — hermetic parallel experiment execution
+//! # runner — hermetic, fault-tolerant parallel experiment execution
 //!
 //! The laboratory regenerates the paper's artifacts (Tables 1–5,
 //! Figures 1–2, and the extension studies) by evaluating thousands of
@@ -18,14 +18,35 @@
 //!   JSON line under `results/cache/`, keyed by a content hash of the
 //!   cell identity and a code-version tag. Re-runs and `--resume` skip
 //!   completed cells; corrupted entries are recomputed, never fatal.
+//! * **Fault isolation** — each cell executes under `catch_unwind`, so
+//!   a panicking cell is *quarantined* instead of killing the pool: the
+//!   campaign drains, the [`RunReport`] carries the failure
+//!   ([`CellOutcome::result`] is a success/failure sum), and downstream
+//!   renderers show an explicitly-marked hole. Cells get a bounded,
+//!   deterministic retry budget ([`Runner::max_attempts`], no wall-clock
+//!   backoff) before quarantine.
+//! * **Completion journal** ([`journal`]) — an append-only JSONL record
+//!   of every completed cell (successes *and* quarantines), written
+//!   crash-safely so a SIGKILL'd campaign resumes exactly.
 //! * **Telemetry** ([`telemetry`]) — cells done/total, cache hit rate,
-//!   a log₂ cell-latency histogram, and an ETA on stderr, plus a
+//!   fault counters (quarantines, retries, cache I/O errors), a log₂
+//!   cell-latency histogram, and an ETA on stderr, plus a
 //!   machine-readable run manifest.
+//! * **Chaos harness** ([`chaos`], test/`chaos`-feature gated) — seeded,
+//!   deterministic fault injection (panics, corrupt/truncated cache
+//!   entries, torn temp files, stragglers) proving every recovery path.
+//!
+//! A finished run maps to a process exit discipline via [`RunStatus`]:
+//! `0` clean, `1` degraded (all cells produced, but cache I/O faults
+//! were observed), `2` failed (one or more cells quarantined).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod cache;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
+pub mod journal;
 pub mod pool;
 pub mod telemetry;
 
@@ -90,6 +111,12 @@ pub struct Runner {
     pub code_version: String,
     /// Progress ticker on stderr.
     pub verbose: bool,
+    /// Attempt budget per cell (clamped to at least 1). A cell whose
+    /// closure panics is retried immediately — deterministically, with
+    /// no wall-clock backoff — until the budget is spent, then
+    /// quarantined. Cell work is a pure function of the cell identity,
+    /// so the retry schedule is too.
+    pub max_attempts: u32,
 }
 
 impl Runner {
@@ -103,92 +130,319 @@ impl Runner {
             cache_dir: PathBuf::from("results/cache"),
             code_version: concat!("runner-", env!("CARGO_PKG_VERSION")).to_string(),
             verbose: true,
+            max_attempts: 3,
         }
     }
 
     /// Execute every cell (from cache where possible) and return
-    /// outcomes in submission order.
+    /// outcomes in submission order. A panicking cell never aborts the
+    /// campaign: it is retried up to [`Runner::max_attempts`] times and
+    /// then quarantined into the report.
     pub fn run(&self, label: &str, cells: Vec<Cell>) -> RunReport {
         let progress = telemetry::Progress::new(cells.len() as u64, self.verbose);
         let started = Stopwatch::start();
+        let cache_active = self.cache_mode != CacheMode::Off;
+        // Interrupted stores leave *.tmp.* siblings behind; sweep them
+        // before any worker races a stale orphan.
+        let orphans_swept = if cache_active { cache::sweep_orphans(&self.cache_dir) } else { 0 };
+        let journal_path = journal::journal_path(&self.cache_dir, label);
+        let prior = if cache_active {
+            journal::Journal::load(&journal_path)
+        } else {
+            journal::Journal::default()
+        };
+        let journal_prior_ok = cells
+            .iter()
+            .filter(|c| {
+                prior.status(cache::cell_key(&self.code_version, &c.spec))
+                    == Some(journal::Status::Ok)
+            })
+            .count() as u64;
+        let writer = if cache_active {
+            match journal::Writer::open(&journal_path) {
+                Ok(w) => Some(w),
+                Err(_) => {
+                    progress.note_store_error();
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let writer = &writer;
         let jobs: Vec<_> = cells
             .into_iter()
             .map(|cell| {
                 let progress = &progress;
-                move || self.run_cell(cell, progress)
+                move || self.run_cell(cell, progress, writer.as_ref())
             })
             .collect();
         let outcomes = pool::run_jobs(jobs, self.jobs);
         progress.print_summary(label);
         let (done, cached, _) = progress.totals();
+        let (cells_failed, retries, cache_store_errors, cache_load_corruptions) = progress.faults();
+        let quarantined = outcomes
+            .iter()
+            .filter_map(|o| match &o.result {
+                Err(e) => Some(QuarantinedCell {
+                    experiment: o.spec.experiment.clone(),
+                    cell: o.spec.cell.clone(),
+                    key: o.key,
+                    attempts: e.attempts,
+                    panic: e.panic.clone(),
+                }),
+                Ok(_) => None,
+            })
+            .collect();
         RunReport {
             label: label.to_string(),
             jobs: self.jobs,
             code_version: self.code_version.clone(),
             cells_total: done,
             cells_cached: cached,
+            cells_failed,
+            retries,
+            cache_store_errors,
+            cache_load_corruptions,
+            orphans_swept,
+            journal_prior_ok,
             wall_seconds: started.elapsed_seconds(),
             latency_histogram: progress.histogram(),
             p50_micros: progress.quantile_micros(0.50),
             p90_micros: progress.quantile_micros(0.90),
+            quarantined,
             outcomes,
         }
     }
 
-    fn run_cell(&self, cell: Cell, progress: &telemetry::Progress) -> CellOutcome {
+    fn run_cell(
+        &self,
+        cell: Cell,
+        progress: &telemetry::Progress,
+        writer: Option<&journal::Writer>,
+    ) -> CellOutcome {
         let started = Stopwatch::start();
         let key = cache::cell_key(&self.code_version, &cell.spec);
-        let cached_payload = match self.cache_mode {
-            CacheMode::ReadWrite => {
-                cache::load(&self.cache_dir, key, &self.code_version, &cell.spec)
-            }
-            CacheMode::WriteOnly | CacheMode::Off => None,
-        };
-        let (payload, was_cached) = match cached_payload {
-            Some(payload) => (payload, true),
-            None => {
-                let payload = (cell.work)();
-                if self.cache_mode != CacheMode::Off {
-                    cache::store(&self.cache_dir, key, &self.code_version, &cell.spec, &payload);
+        let journal_completion = |status: journal::Status, attempts: u32| {
+            if let Some(w) = writer {
+                if w.append(key, &cell.spec.cell, status, attempts).is_err() {
+                    progress.note_store_error();
                 }
-                (payload, false)
             }
         };
-        let micros = started.elapsed_micros();
-        progress.cell_done(&cell.spec.cell, micros, was_cached);
-        CellOutcome { spec: cell.spec, key, payload, cached: was_cached, micros }
+        if self.cache_mode == CacheMode::ReadWrite {
+            match cache::load(&self.cache_dir, key, &self.code_version, &cell.spec) {
+                cache::Lookup::Hit(payload) => {
+                    let micros = started.elapsed_micros();
+                    progress.cell_done(&cell.spec.cell, micros, true);
+                    journal_completion(journal::Status::Ok, 0);
+                    return CellOutcome {
+                        spec: cell.spec,
+                        key,
+                        result: Ok(CellValue { payload, cached: true, attempts: 0, micros }),
+                    };
+                }
+                cache::Lookup::Corrupt => progress.note_load_corruption(),
+                cache::Lookup::Miss => {}
+            }
+        }
+        let budget = self.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let work = &cell.work;
+            // AssertUnwindSafe: the closure is `Fn` over owned captures;
+            // on panic we discard nothing but the failed attempt itself,
+            // and the payload of a later successful attempt is a pure
+            // function of the cell identity.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+                Ok(payload) => {
+                    if self.cache_mode != CacheMode::Off
+                        && cache::store(
+                            &self.cache_dir,
+                            key,
+                            &self.code_version,
+                            &cell.spec,
+                            &payload,
+                        )
+                        .is_err()
+                    {
+                        progress.note_store_error();
+                    }
+                    let micros = started.elapsed_micros();
+                    progress.cell_done(&cell.spec.cell, micros, false);
+                    journal_completion(journal::Status::Ok, attempt);
+                    return CellOutcome {
+                        spec: cell.spec,
+                        key,
+                        result: Ok(CellValue { payload, cached: false, attempts: attempt, micros }),
+                    };
+                }
+                Err(panic_payload) => {
+                    if attempt < budget {
+                        progress.note_retry();
+                        continue;
+                    }
+                    let panic = panic_message(panic_payload.as_ref());
+                    let micros = started.elapsed_micros();
+                    progress.cell_failed(&cell.spec.cell, micros);
+                    journal_completion(journal::Status::Failed, attempt);
+                    return CellOutcome {
+                        spec: cell.spec,
+                        key,
+                        result: Err(CellError { panic, attempts: attempt, micros }),
+                    };
+                }
+            }
+        }
     }
 }
 
-/// One completed cell.
+/// Render a caught panic payload (the `Box<dyn Any>` from
+/// `catch_unwind`) as the human-readable string carried by [`CellError`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The successful side of a cell outcome.
+#[derive(Clone, Debug)]
+pub struct CellValue {
+    /// The computed (or cached) payload.
+    pub payload: Json,
+    /// Whether the payload came from cache.
+    pub cached: bool,
+    /// Work-closure attempts consumed (0 for a cache hit).
+    pub attempts: u32,
+    /// Wall latency of this cell on its worker, in microseconds.
+    pub micros: u64,
+}
+
+/// The failure side of a cell outcome: the cell exhausted its attempt
+/// budget and was quarantined.
+#[derive(Clone, Debug)]
+pub struct CellError {
+    /// The final attempt's panic message.
+    pub panic: String,
+    /// Attempts consumed (equals the runner's budget).
+    pub attempts: u32,
+    /// Wall time spent across all attempts, in microseconds.
+    pub micros: u64,
+}
+
+/// One completed cell: its identity plus a success/failure sum.
 #[derive(Clone, Debug)]
 pub struct CellOutcome {
     /// The cell's identity.
     pub spec: CellSpec,
     /// Its cache key.
     pub key: cache::CacheKey,
-    /// The computed (or cached) payload.
-    pub payload: Json,
-    /// Whether the payload came from cache.
-    pub cached: bool,
-    /// Wall latency of this cell on its worker, in microseconds.
-    pub micros: u64,
+    /// Payload on success, quarantine record on failure.
+    pub result: Result<CellValue, CellError>,
 }
 
 impl CellOutcome {
-    /// The canonical JSONL record for this outcome (one compact line).
+    /// The payload, if the cell succeeded.
+    pub fn payload(&self) -> Option<&Json> {
+        self.result.as_ref().ok().map(|v| &v.payload)
+    }
+
+    /// Whether the payload came from cache (false for failures).
+    pub fn cached(&self) -> bool {
+        self.result.as_ref().map(|v| v.cached).unwrap_or(false)
+    }
+
+    /// Whether the cell was quarantined.
+    pub fn failed(&self) -> bool {
+        self.result.is_err()
+    }
+
+    /// Work-closure attempts consumed.
+    pub fn attempts(&self) -> u32 {
+        match &self.result {
+            Ok(v) => v.attempts,
+            Err(e) => e.attempts,
+        }
+    }
+
+    /// Wall latency of this cell on its worker, in microseconds.
+    pub fn micros(&self) -> u64 {
+        match &self.result {
+            Ok(v) => v.micros,
+            Err(e) => e.micros,
+        }
+    }
+
+    /// The canonical JSONL record for this outcome (one compact line),
+    /// or `None` for a quarantined cell — failures never mint records.
     /// Deliberately excludes wall-clock and cache fields so records are
-    /// byte-identical across serial, parallel, cold, and resumed runs.
-    pub fn record(&self) -> String {
-        Json::obj(vec![
-            ("experiment", Json::Str(self.spec.experiment.clone())),
-            ("cell", Json::Str(self.spec.cell.clone())),
-            ("params", self.spec.params.clone()),
-            ("seed", Json::U64(self.spec.seed)),
-            ("reps", Json::U64(self.spec.reps as u64)),
-            ("payload", self.payload.clone()),
-        ])
-        .to_string()
+    /// byte-identical across serial, parallel, cold, resumed, and
+    /// fault-recovered runs.
+    pub fn record(&self) -> Option<String> {
+        let payload = self.payload()?;
+        Some(
+            Json::obj(vec![
+                ("experiment", Json::Str(self.spec.experiment.clone())),
+                ("cell", Json::Str(self.spec.cell.clone())),
+                ("params", self.spec.params.clone()),
+                ("seed", Json::U64(self.spec.seed)),
+                ("reps", Json::U64(self.spec.reps as u64)),
+                ("payload", payload.clone()),
+            ])
+            .to_string(),
+        )
+    }
+}
+
+/// One quarantined cell, as carried by the report and the manifest.
+#[derive(Clone, Debug)]
+pub struct QuarantinedCell {
+    /// Experiment id.
+    pub experiment: String,
+    /// Cell label.
+    pub cell: String,
+    /// Cache key of the cell.
+    pub key: cache::CacheKey,
+    /// Attempts consumed before quarantine.
+    pub attempts: u32,
+    /// The final panic message.
+    pub panic: String,
+}
+
+/// How a finished run maps to a process exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RunStatus {
+    /// Every cell produced a payload and no cache faults were observed.
+    Clean,
+    /// Every cell produced a payload, but cache I/O faults (write
+    /// errors, corrupt entries) were observed along the way.
+    Degraded,
+    /// One or more cells were quarantined; the artifact has holes.
+    Failed,
+}
+
+impl RunStatus {
+    /// The CLI exit code: 0 clean, 1 degraded, 2 failed.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            RunStatus::Clean => 0,
+            RunStatus::Degraded => 1,
+            RunStatus::Failed => 2,
+        }
+    }
+
+    /// Lowercase label used in manifests and log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunStatus::Clean => "clean",
+            RunStatus::Degraded => "degraded",
+            RunStatus::Failed => "failed",
+        }
     }
 }
 
@@ -201,10 +455,24 @@ pub struct RunReport {
     pub jobs: usize,
     /// Code-version tag in effect.
     pub code_version: String,
-    /// Cells executed or loaded.
+    /// Cells executed, loaded, or quarantined.
     pub cells_total: u64,
     /// Cells satisfied from cache.
     pub cells_cached: u64,
+    /// Cells quarantined after exhausting their attempt budget.
+    pub cells_failed: u64,
+    /// Caught-and-retried attempts across all cells.
+    pub retries: u64,
+    /// Cache/journal write failures (observed, not swallowed).
+    pub cache_store_errors: u64,
+    /// Corrupt cache entries encountered on load (each recomputed).
+    pub cache_load_corruptions: u64,
+    /// Stale `*.tmp.*` files swept at startup.
+    pub orphans_swept: u64,
+    /// Cells of this run already journaled `ok` by an earlier
+    /// (possibly killed) run of the same label — the crash-safe resume
+    /// account.
+    pub journal_prior_ok: u64,
     /// Wall time of the whole run.
     pub wall_seconds: f64,
     /// `(bucket_floor_micros, count)` latency histogram.
@@ -213,36 +481,66 @@ pub struct RunReport {
     pub p50_micros: u64,
     /// Approximate 90th-percentile cell latency.
     pub p90_micros: u64,
+    /// Quarantine details, in submission order.
+    pub quarantined: Vec<QuarantinedCell>,
     /// Per-cell outcomes, in submission order.
     pub outcomes: Vec<CellOutcome>,
 }
 
 impl RunReport {
-    /// Payloads in submission order (what assemblers consume).
+    /// Payloads in submission order (what assemblers consume). A
+    /// quarantined cell contributes `Json::Null` — an explicitly-marked
+    /// hole the assemblers and renderers carry through instead of
+    /// aborting.
     pub fn payloads(&self) -> Vec<Json> {
-        self.outcomes.iter().map(|o| o.payload.clone()).collect()
+        self.outcomes.iter().map(|o| o.payload().cloned().unwrap_or(Json::Null)).collect()
     }
 
-    /// All outcome records as JSONL (one compact line per cell, in
-    /// submission order) — the determinism guard compares these bytes.
+    /// All outcome records as JSONL (one compact line per surviving
+    /// cell, in submission order) — the determinism guard compares
+    /// these bytes. Quarantined cells mint no record, so the surviving
+    /// lines are byte-identical to a fault-free run's.
     pub fn records_jsonl(&self) -> String {
         let mut out = String::new();
         for o in &self.outcomes {
-            out.push_str(&o.record());
-            out.push('\n');
+            if let Some(record) = o.record() {
+                out.push_str(&record);
+                out.push('\n');
+            }
         }
         out
+    }
+
+    /// The run's exit discipline: failed if anything was quarantined,
+    /// degraded if cache faults were observed, clean otherwise.
+    /// Successful retries alone do not degrade a run — the records they
+    /// produce are byte-identical to a fault-free run's.
+    pub fn status(&self) -> RunStatus {
+        if self.cells_failed > 0 {
+            RunStatus::Failed
+        } else if self.cache_store_errors > 0 || self.cache_load_corruptions > 0 {
+            RunStatus::Degraded
+        } else {
+            RunStatus::Clean
+        }
     }
 
     /// The machine-readable run manifest.
     pub fn manifest(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::U64(1)),
+            ("schema", Json::U64(2)),
             ("label", Json::Str(self.label.clone())),
             ("code", Json::Str(self.code_version.clone())),
             ("jobs", Json::U64(self.jobs as u64)),
+            ("status", Json::Str(self.status().label().to_string())),
             ("cells_total", Json::U64(self.cells_total)),
             ("cells_cached", Json::U64(self.cells_cached)),
+            ("cells_failed", Json::U64(self.cells_failed)),
+            ("retries", Json::U64(self.retries)),
+            ("cache_store_errors", Json::U64(self.cache_store_errors)),
+            ("cache_load_corruptions", Json::U64(self.cache_load_corruptions)),
+            ("orphans_swept", Json::U64(self.orphans_swept)),
+            ("journal_prior_ok", Json::U64(self.journal_prior_ok)),
             (
                 "cache_hit_rate",
                 Json::F64(if self.cells_total > 0 {
@@ -269,6 +567,23 @@ impl RunReport {
                 ),
             ),
             (
+                "quarantined",
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|q| {
+                            Json::obj(vec![
+                                ("experiment", Json::Str(q.experiment.clone())),
+                                ("cell", Json::Str(q.cell.clone())),
+                                ("key", Json::Str(q.key.hex())),
+                                ("attempts", Json::U64(q.attempts as u64)),
+                                ("panic", Json::Str(q.panic.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "cells",
                 Json::Arr(
                     self.outcomes
@@ -278,8 +593,13 @@ impl RunReport {
                                 ("experiment", Json::Str(o.spec.experiment.clone())),
                                 ("cell", Json::Str(o.spec.cell.clone())),
                                 ("key", Json::Str(o.key.hex())),
-                                ("cached", Json::Bool(o.cached)),
-                                ("micros", Json::U64(o.micros)),
+                                (
+                                    "status",
+                                    Json::Str(if o.failed() { "failed" } else { "ok" }.to_string()),
+                                ),
+                                ("cached", Json::Bool(o.cached())),
+                                ("attempts", Json::U64(o.attempts() as u64)),
+                                ("micros", Json::U64(o.micros())),
                             ])
                         })
                         .collect(),
@@ -288,14 +608,23 @@ impl RunReport {
         ])
     }
 
-    /// Write the manifest (pretty JSON) to `<cache_dir>/manifests/<label>.json`.
+    /// Write the manifest (pretty JSON) to
+    /// `<cache_dir>/manifests/<label>.json`, atomically: the body goes
+    /// to a unique `*.tmp.*` sibling first and is renamed into place, so
+    /// a kill mid-write never leaves a torn manifest (the stranded temp
+    /// file is swept at the next runner startup).
     pub fn write_manifest(&self, cache_dir: &std::path::Path) -> std::io::Result<PathBuf> {
         let dir = cache_dir.join("manifests");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.label.replace(['/', ' '], "-")));
         let mut body = self.manifest().to_string_pretty();
         body.push('\n');
-        std::fs::write(&path, body)?;
+        let tmp = cache::unique_tmp(&path);
+        std::fs::write(&tmp, body)?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         Ok(path)
     }
 }
@@ -305,6 +634,8 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
+
+    use crate::chaos::quiet_injected_panics;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -347,10 +678,12 @@ mod tests {
         let report = runner.run("order", counting_cells(20, &executions));
         for (i, o) in report.outcomes.iter().enumerate() {
             assert_eq!(o.spec.cell, format!("c{i}"));
-            assert_eq!(o.payload.get("value").unwrap().as_u64(), Some(i as u64 * 10));
+            assert_eq!(o.payload().unwrap().get("value").unwrap().as_u64(), Some(i as u64 * 10));
+            assert_eq!(o.attempts(), 1);
         }
         assert_eq!(executions.load(Ordering::Relaxed), 20);
         assert_eq!(report.cells_cached, 0);
+        assert_eq!(report.status(), RunStatus::Clean);
     }
 
     #[test]
@@ -363,15 +696,17 @@ mod tests {
         let first = runner.run("warm", counting_cells(8, &executions));
         assert_eq!(executions.load(Ordering::Relaxed), 8);
         assert_eq!(first.cells_cached, 0);
+        assert_eq!(first.journal_prior_ok, 0);
         let second = runner.run("warm", counting_cells(8, &executions));
         assert_eq!(executions.load(Ordering::Relaxed), 8, "cache must satisfy re-run");
         assert_eq!(second.cells_cached, 8);
+        assert_eq!(second.journal_prior_ok, 8, "first run journaled every cell");
         assert_eq!(first.records_jsonl(), second.records_jsonl(), "records identical from cache");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn manifest_counts_and_writes() {
+    fn manifest_counts_and_writes_atomically() {
         let dir = tmp_dir("manifest");
         let executions = Arc::new(AtomicU64::new(0));
         let mut runner = Runner::new(1);
@@ -380,10 +715,131 @@ mod tests {
         let report = runner.run("mani", counting_cells(3, &executions));
         let m = report.manifest();
         assert_eq!(m.get("cells_total").unwrap().as_u64(), Some(3));
+        assert_eq!(m.get("cells_failed").unwrap().as_u64(), Some(0));
+        assert_eq!(m.get("status").unwrap().as_str(), Some("clean"));
         assert_eq!(m.get("cells").unwrap().as_array().unwrap().len(), 3);
         let path = report.write_manifest(&dir).expect("manifest written");
-        let parsed = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(parsed.get("label").unwrap().as_str(), Some("mani"));
+        // Atomic rename discipline: no *.tmp.* sibling survives.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "manifest temp files must not leak: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_panic_retries_and_matches_fault_free_records() {
+        quiet_injected_panics();
+        let executions = Arc::new(AtomicU64::new(0));
+        let fault_free = {
+            let mut r = Runner::new(2);
+            r.cache_mode = CacheMode::Off;
+            r.verbose = false;
+            r.run("reference", counting_cells(6, &executions))
+        };
+
+        // Cell c2 panics on its first attempt only.
+        let flaky_attempts = Arc::new(AtomicU64::new(0));
+        let mut cells = counting_cells(6, &executions);
+        let spec = cells[2].spec.clone();
+        let tracker = Arc::clone(&flaky_attempts);
+        cells[2] = Cell::new(spec, move || {
+            if tracker.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("chaos: transient fault");
+            }
+            Json::obj(vec![("value", Json::U64(20))])
+        });
+        let mut runner = Runner::new(2);
+        runner.cache_mode = CacheMode::Off;
+        runner.verbose = false;
+        let report = runner.run("flaky", cells);
+        assert_eq!(report.cells_failed, 0);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.outcomes[2].attempts(), 2, "succeeded on the second attempt");
+        assert_eq!(report.status(), RunStatus::Clean);
+        assert_eq!(report.status().exit_code(), 0);
+        assert_eq!(
+            report.records_jsonl(),
+            fault_free.records_jsonl(),
+            "recovered records must be byte-identical to fault-free"
+        );
+    }
+
+    #[test]
+    fn permanent_panic_quarantines_only_that_cell() {
+        quiet_injected_panics();
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut cells = counting_cells(5, &executions);
+        let spec = cells[3].spec.clone();
+        cells[3] = Cell::new(spec, || panic!("chaos: permanent fault"));
+        let dir = tmp_dir("quarantine");
+        let mut runner = Runner::new(2);
+        runner.cache_dir = dir.clone();
+        runner.verbose = false;
+        runner.max_attempts = 3;
+        let report = runner.run("quarantine", cells);
+
+        assert_eq!(report.cells_total, 5, "campaign drains past the failure");
+        assert_eq!(report.cells_failed, 1);
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.cell, "c3");
+        assert_eq!(q.attempts, 3, "budget fully consumed before quarantine");
+        assert!(q.panic.contains("chaos: permanent fault"));
+        assert_eq!(report.status(), RunStatus::Failed);
+        assert_eq!(report.status().exit_code(), 2);
+
+        // Payload holes are explicit; records skip the hole.
+        assert_eq!(report.payloads()[3], Json::Null);
+        assert_eq!(report.records_jsonl().lines().count(), 4);
+
+        // The journal records the failure; the cache records nothing.
+        let journal = journal::Journal::load(&journal::journal_path(&dir, "quarantine"));
+        assert_eq!(journal.status(report.outcomes[3].key), Some(journal::Status::Failed));
+        assert_eq!(
+            cache::load(
+                &dir,
+                report.outcomes[3].key,
+                &runner.code_version,
+                &report.outcomes[3].spec
+            ),
+            cache::Lookup::Miss,
+            "failed cells never poison the cache"
+        );
+
+        // The manifest carries the quarantine.
+        let m = report.manifest();
+        assert_eq!(m.get("status").unwrap().as_str(), Some("failed"));
+        let listed = m.get("quarantined").unwrap().as_array().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].get("cell").unwrap().as_str(), Some("c3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_cache_degrades_instead_of_failing() {
+        let dir = tmp_dir("degraded");
+        // Point the cache root at a *file*: every store and the journal
+        // open must fail, every load is a corrupt read — all counted,
+        // none fatal.
+        let file = dir.join("not-a-dir");
+        std::fs::write(&file, "x").unwrap();
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut runner = Runner::new(2);
+        runner.cache_dir = file;
+        runner.verbose = false;
+        let report = runner.run("degraded", counting_cells(4, &executions));
+        assert_eq!(executions.load(Ordering::Relaxed), 4, "all cells still compute");
+        assert_eq!(report.cells_failed, 0);
+        assert!(report.cache_store_errors > 0, "swallowed I/O errors must surface");
+        assert_eq!(report.status(), RunStatus::Degraded);
+        assert_eq!(report.status().exit_code(), 1);
+        let m = report.manifest();
+        assert_eq!(m.get("status").unwrap().as_str(), Some("degraded"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -159,11 +159,57 @@ mod tests {
 
     #[test]
     fn panics_in_jobs_propagate() {
+        crate::chaos::quiet_injected_panics();
         let result = std::panic::catch_unwind(|| {
             let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> =
-                vec![Box::new(|| 1), Box::new(|| panic!("cell failed"))];
+                vec![Box::new(|| 1), Box::new(|| panic!("chaos: cell failed"))];
             run_jobs(jobs, 2)
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn panicking_job_does_not_strand_the_pool() {
+        crate::chaos::quiet_injected_panics();
+        // The drain counter must keep decrementing through an unwinding
+        // job: every *other* job still runs to completion and the scope
+        // joins (re-raising the panic) instead of hanging forever on
+        // workers spinning over a count that never reaches zero.
+        let completed = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..20u64)
+                .map(|i| {
+                    let completed = &completed;
+                    Box::new(move || {
+                        if i == 7 {
+                            panic!("chaos: injected job fault");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        i
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect();
+            run_jobs(jobs, 4)
+        }));
+        assert!(result.is_err(), "the scope re-raises the job panic on join");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            19,
+            "all surviving jobs drain despite the panicking one"
+        );
+    }
+
+    #[test]
+    fn lock_clean_recovers_poisoned_mutexes() {
+        crate::chaos::quiet_injected_panics();
+        let shared = Mutex::new(41u64);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.lock().unwrap();
+            panic!("chaos: poison while holding the lock");
+        }));
+        assert!(poison.is_err());
+        assert!(shared.lock().is_err(), "the mutex must actually be poisoned");
+        *lock_clean(&shared) += 1;
+        assert_eq!(*lock_clean(&shared), 42, "lock_clean reads and writes through poison");
     }
 }

@@ -16,6 +16,10 @@ pub struct Progress {
     total: u64,
     done: AtomicU64,
     cached: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    store_errors: AtomicU64,
+    load_corruptions: AtomicU64,
     exec_micros: AtomicU64,
     histo: [AtomicU64; HISTO_BUCKETS],
     started: Instant,
@@ -29,6 +33,10 @@ impl Progress {
             total,
             done: AtomicU64::new(0),
             cached: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            load_corruptions: AtomicU64::new(0),
             exec_micros: AtomicU64::new(0),
             histo: std::array::from_fn(|_| AtomicU64::new(0)),
             started: Instant::now(),
@@ -55,6 +63,45 @@ impl Progress {
         let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(HISTO_BUCKETS - 1);
         self.histo[bucket].fetch_add(1, Ordering::AcqRel);
         self.maybe_print(done, cell);
+    }
+
+    /// Record one terminally-failed (quarantined) cell: it still counts
+    /// toward `done` — the campaign drains past it — but its latency is
+    /// executed time, not useful throughput.
+    pub fn cell_failed(&self, cell: &str, micros: u64) {
+        let done = self.done.fetch_add(1, Ordering::AcqRel) + 1;
+        self.failed.fetch_add(1, Ordering::AcqRel);
+        self.exec_micros.fetch_add(micros, Ordering::AcqRel);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(HISTO_BUCKETS - 1);
+        self.histo[bucket].fetch_add(1, Ordering::AcqRel);
+        self.maybe_print(done, cell);
+    }
+
+    /// Count one retried attempt (a caught panic with budget remaining).
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Count one failed cache (or journal) write — silent degradation
+    /// turned into an observed counter.
+    pub fn note_store_error(&self) {
+        self.store_errors.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Count one corrupt cache entry encountered on load (recomputed,
+    /// never fatal — but worth knowing the disk is rotting).
+    pub fn note_load_corruption(&self) {
+        self.load_corruptions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Fault counters: `(failed, retries, store_errors, load_corruptions)`.
+    pub fn faults(&self) -> (u64, u64, u64, u64) {
+        (
+            self.failed.load(Ordering::Acquire),
+            self.retries.load(Ordering::Acquire),
+            self.store_errors.load(Ordering::Acquire),
+            self.load_corruptions.load(Ordering::Acquire),
+        )
     }
 
     fn maybe_print(&self, done: u64, cell: &str) {
@@ -148,6 +195,12 @@ impl Progress {
             fmt_micros(self.quantile_micros(0.90)),
             fmt_micros(self.quantile_micros(1.0)),
         );
+        let (failed, retries, store_errors, load_corruptions) = self.faults();
+        if failed + retries + store_errors + load_corruptions > 0 {
+            eprintln!(
+                "[runner] {label}: faults — {failed} quarantined | {retries} retried attempts | {store_errors} cache write errors | {load_corruptions} corrupt cache entries"
+            );
+        }
     }
 }
 
@@ -221,5 +274,37 @@ mod tests {
         let p = Progress::new(1, false);
         p.cell_done("z", 0, true);
         assert_eq!(p.histogram(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_independently() {
+        let p = Progress::new(4, false);
+        p.cell_done("a", 10, false);
+        p.note_retry();
+        p.note_retry();
+        p.cell_failed("b", 20);
+        p.note_store_error();
+        p.note_load_corruption();
+        assert_eq!(p.faults(), (1, 2, 1, 1));
+        let (done, cached, _) = p.totals();
+        assert_eq!((done, cached), (2, 0), "failed cells count as done, never as cached");
+    }
+
+    #[test]
+    fn poisoned_print_lock_recovers_instead_of_repanicking() {
+        let p = Progress::new(4, true);
+        // Poison the printer's throttle mutex the only way a real run
+        // can: a panic while the lock is held.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = p.print.as_ref().unwrap().lock().unwrap();
+            panic!("chaos: poison the print lock");
+        }));
+        assert!(poison.is_err());
+        assert!(p.print.as_ref().unwrap().lock().is_err(), "lock must actually be poisoned");
+        // Both print paths must keep working through the poison.
+        p.cell_done("a", 10, false);
+        p.cell_failed("b", 20);
+        p.print_summary("poisoned");
+        assert_eq!(p.totals().0, 2);
     }
 }

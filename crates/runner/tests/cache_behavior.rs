@@ -1,9 +1,10 @@
 //! Result-cache behavior: hits keyed on the full cell identity,
-//! invalidation on any identity change, and corrupted-entry recovery
-//! (skip and recompute — never panic, never return bad data).
+//! invalidation on any identity change, corrupted-entry recovery
+//! (recompute and count — never panic, never return bad data), unique
+//! temp-file naming under concurrent stores, and orphan sweeping.
 
 use jsonio::Json;
-use runner::cache::{cell_key, entry_path, load, store};
+use runner::cache::{cell_key, entry_path, load, store, sweep_orphans, Lookup};
 use runner::{CacheMode, Cell, CellSpec, Runner};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,9 +37,9 @@ fn store_then_load_round_trips() {
     let dir = tmp_dir("roundtrip");
     let s = spec("A-n4-r1", 20160816, 6);
     let key = cell_key("v1", &s);
-    assert!(load(&dir, key, "v1", &s).is_none(), "cold cache must miss");
-    store(&dir, key, "v1", &s, &payload(42));
-    assert_eq!(load(&dir, key, "v1", &s), Some(payload(42)));
+    assert_eq!(load(&dir, key, "v1", &s), Lookup::Miss, "cold cache must miss");
+    store(&dir, key, "v1", &s, &payload(42)).expect("store");
+    assert_eq!(load(&dir, key, "v1", &s), Lookup::Hit(payload(42)));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -46,7 +47,7 @@ fn store_then_load_round_trips() {
 fn any_identity_change_misses() {
     let dir = tmp_dir("invalidation");
     let s = spec("A-n4-r1", 20160816, 6);
-    store(&dir, cell_key("v1", &s), "v1", &s, &payload(1));
+    store(&dir, cell_key("v1", &s), "v1", &s, &payload(1)).expect("store");
 
     // Different code version, experiment, cell, params, seed, or reps each
     // produce a different key, so the stored entry is never found.
@@ -62,18 +63,18 @@ fn any_identity_change_misses() {
     ];
     for v in &variants {
         let key = cell_key("v1", v);
-        assert!(load(&dir, key, "v1", v).is_none(), "variant {v:?} must miss");
+        assert_eq!(load(&dir, key, "v1", v), Lookup::Miss, "variant {v:?} must miss");
     }
-    assert!(load(&dir, cell_key("v2", &s), "v2", &s).is_none(), "new code tag must miss");
+    assert_eq!(load(&dir, cell_key("v2", &s), "v2", &s), Lookup::Miss, "new code tag must miss");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn corrupted_entries_are_misses_not_panics() {
+fn corrupted_entries_are_corrupt_not_panics() {
     let dir = tmp_dir("corruption");
     let s = spec("A-n4-r1", 20160816, 6);
     let key = cell_key("v1", &s);
-    store(&dir, key, "v1", &s, &payload(7));
+    store(&dir, key, "v1", &s, &payload(7)).expect("store");
     let path = entry_path(&dir, key);
 
     for garbage in [
@@ -85,12 +86,17 @@ fn corrupted_entries_are_misses_not_panics() {
         "{\"schema\":1,\"key\":\"0000\"}", // identity fields missing/wrong
     ] {
         std::fs::write(&path, garbage).expect("inject corruption");
-        assert!(load(&dir, key, "v1", &s).is_none(), "corrupt entry {garbage:?} must miss");
+        assert_eq!(
+            load(&dir, key, "v1", &s),
+            Lookup::Corrupt,
+            "corrupt entry {garbage:?} must be distinguishable from a cold miss"
+        );
+        assert!(load(&dir, key, "v1", &s).into_payload().is_none());
     }
 
     // A tampered payload with otherwise-valid identity would need the
-    // identity fields to all match; flip one and it must miss too.
-    store(&dir, key, "v1", &s, &payload(7));
+    // identity fields to all match; flip one and it must be corrupt too.
+    store(&dir, key, "v1", &s, &payload(7)).expect("store");
     let text = std::fs::read_to_string(&path).unwrap();
     let mut entry = Json::parse(text.trim_end()).unwrap();
     if let Json::Obj(fields) = &mut entry {
@@ -101,7 +107,7 @@ fn corrupted_entries_are_misses_not_panics() {
         }
     }
     std::fs::write(&path, entry.to_string()).unwrap();
-    assert!(load(&dir, key, "v1", &s).is_none(), "identity mismatch must miss");
+    assert_eq!(load(&dir, key, "v1", &s), Lookup::Corrupt, "identity mismatch is corruption");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -125,16 +131,19 @@ fn runner_recomputes_through_corruption_and_repairs_the_entry() {
     let key = first.outcomes[0].key;
 
     // Corrupt the entry on disk: the next run must recompute (not panic,
-    // not return garbage) and leave a valid entry behind.
+    // not return garbage), count the corruption, and leave a valid entry.
     std::fs::write(entry_path(&dir, key), "garbage").unwrap();
     let second = runner.run("corrupted", make_cells(&executions));
     assert_eq!(executions.load(Ordering::Relaxed), 2, "corruption forces recompute");
-    assert!(!second.outcomes[0].cached);
-    assert_eq!(second.outcomes[0].payload, payload(99));
+    assert!(!second.outcomes[0].cached());
+    assert_eq!(second.outcomes[0].payload(), Some(&payload(99)));
+    assert_eq!(second.cache_load_corruptions, 1, "corruption must be counted, not silent");
+    assert_eq!(second.status(), runner::RunStatus::Degraded);
 
     let third = runner.run("repaired", make_cells(&executions));
     assert_eq!(executions.load(Ordering::Relaxed), 2, "rewritten entry hits again");
-    assert!(third.outcomes[0].cached);
+    assert!(third.outcomes[0].cached());
+    assert_eq!(third.status(), runner::RunStatus::Clean);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -158,6 +167,69 @@ fn cache_off_never_touches_disk() {
     }
     assert_eq!(executions.load(Ordering::Relaxed), 2, "no-cache must recompute every run");
     let entries = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
-    assert_eq!(entries, 0, "no-cache must not write entries");
+    assert_eq!(entries, 0, "no-cache must not write entries (nor journals)");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_stores_of_the_same_key_never_collide_on_tmp_files() {
+    let dir = tmp_dir("tmp-race");
+    let s = spec("A-n4-r1", 20160816, 6);
+    let key = cell_key("v1", &s);
+    // The old scheme named the temp sibling `<entry>.tmp.<pid>` — every
+    // thread in this process shared it, so one thread's rename raced
+    // another's write. With per-store-unique names, N threads hammering
+    // the same key all succeed and a valid entry survives.
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    store(&dir, key, "v1", &s, &payload(42)).expect("racing store");
+                }
+            });
+        }
+    });
+    assert_eq!(load(&dir, key, "v1", &s), Lookup::Hit(payload(42)));
+    let shard = entry_path(&dir, key);
+    let leftovers: Vec<_> = std::fs::read_dir(shard.parent().unwrap())
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "no temp file may survive the race: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn startup_sweep_removes_stranded_tmp_files_only() {
+    let dir = tmp_dir("sweep");
+    let s = spec("A-n4-r1", 20160816, 6);
+    let key = cell_key("v1", &s);
+    store(&dir, key, "v1", &s, &payload(3)).expect("store");
+    let entry = entry_path(&dir, key);
+    // Strand two orphans (a killed process's torn writes) next to the
+    // real entry and one under manifests/.
+    let orphan1 = entry.with_file_name("aaaa.json.tmp.12345.0");
+    let orphan2 = entry.with_file_name("bbbb.json.tmp.12345.1");
+    std::fs::write(&orphan1, "torn").unwrap();
+    std::fs::write(&orphan2, "torn").unwrap();
+    std::fs::create_dir_all(dir.join("manifests")).unwrap();
+    std::fs::write(dir.join("manifests").join("x.json.tmp.1.2"), "torn").unwrap();
+
+    assert_eq!(sweep_orphans(&dir), 3);
+    assert!(!orphan1.exists() && !orphan2.exists());
+    assert!(entry.exists(), "the real entry must survive the sweep");
+    assert_eq!(load(&dir, key, "v1", &s), Lookup::Hit(payload(3)));
+    assert_eq!(sweep_orphans(&dir), 0, "second sweep finds nothing");
+
+    // A fresh Runner::run sweeps on startup and reports the count.
+    let orphan3 = entry.with_file_name("cccc.json.tmp.9.9");
+    std::fs::write(&orphan3, "torn").unwrap();
+    let mut runner = Runner::new(1);
+    runner.cache_dir = dir.clone();
+    runner.verbose = false;
+    let report = runner.run("sweep", vec![Cell::new(spec("A-n4-r1", 1, 1), || payload(1))]);
+    assert_eq!(report.orphans_swept, 1);
+    assert!(!orphan3.exists());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -46,9 +46,12 @@ pub const HERMETIC_EXEMPT: [&str; 3] = ["cli", "runner", "smi-lint"];
 /// time the host). `runner` gets a single whitelisted file instead.
 pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 1] = ["bench"];
 
-/// Files allowed to read the wall clock inside otherwise-checked crates
-/// (progress telemetry measures real elapsed time by design).
-pub const WALL_CLOCK_EXEMPT_FILES: [&str; 1] = ["crates/runner/src/telemetry.rs"];
+/// Files allowed to read the wall clock inside otherwise-checked crates:
+/// progress telemetry measures real elapsed time by design, and the
+/// fault-injection harness (test/`chaos`-feature gated, never in a
+/// measurement binary) manipulates real time to inject stragglers.
+pub const WALL_CLOCK_EXEMPT_FILES: [&str; 2] =
+    ["crates/runner/src/chaos.rs", "crates/runner/src/telemetry.rs"];
 
 /// The policy for one file, given its crate and workspace-relative path.
 pub fn policy_for(crate_name: &str, rel_path: &str) -> FilePolicy {
@@ -423,6 +426,12 @@ mod tests {
         assert!(!p.check_wall_clock && !p.check_hermeticity && p.check_panics);
         let p = policy_for("runner", "crates/runner/src/lib.rs");
         assert!(p.check_wall_clock && p.is_crate_root);
+        // The chaos harness: clock-exempt (stragglers) and hermeticity-
+        // exempt (runner crate), but its injected panics still need
+        // justified no-panic pragmas.
+        let p = policy_for("runner", "crates/runner/src/chaos.rs");
+        assert!(!p.check_wall_clock && !p.check_hermeticity && p.check_panics);
+        assert!(!p.is_crate_root);
         let p = policy_for("cli", "crates/cli/src/main.rs");
         assert!(!p.check_panics && !p.check_hermeticity && p.is_crate_root);
         let p = policy_for("bench", "crates/bench/src/lib.rs");
