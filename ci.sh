@@ -16,3 +16,7 @@ cargo fmt --check
 # Determinism & hermeticity lint (crates/smi-lint): fails on any finding
 # not ratcheted into the baseline. See DESIGN.md "Static analysis".
 cargo run -q --release -p smi-lint --offline -- --format json --baseline results/lint-baseline.json
+# Validity gate: one table regeneration under the engine's full opt-in
+# audit (--validate; DESIGN.md §9 "Simulation validity"). --no-cache so
+# every cell actually runs the simulation instead of a cache hit.
+./target/release/smi-lab table2 --quick --validate --no-cache >/dev/null

@@ -67,7 +67,8 @@ pub fn probe(
     offset: SimTime,
 ) -> AbsorptionPoint {
     assert!(ranks >= 2, "need at least two ranks for a barrier to matter");
-    let spec = ClusterSpec::wyeast(ranks, 1, false);
+    // smi-lint: allow(no-panic): shape is valid by construction (ranks >= 2, rpn 1).
+    let spec = ClusterSpec::wyeast(ranks, 1, false).expect("valid shape");
     let network = NetworkParams::gigabit_cluster();
     let progs = bsp_programs(ranks, iters, compute_ms, -(victim_slack_ms as i64));
 
@@ -78,7 +79,8 @@ pub fn probe(
             online_cpus: 4,
         })
         .collect();
-    let base = mpi_sim::run(&spec, &quiet, &progs, &network).seconds();
+    // smi-lint: allow(no-panic): the BSP job is matched by construction.
+    let base = mpi_sim::run(&spec, &quiet, &progs, &network).expect("valid job").seconds();
 
     let one_shot = FreezeSchedule::periodic(PeriodicFreeze {
         first_trigger: offset,
@@ -97,7 +99,8 @@ pub fn probe(
             online_cpus: 4,
         });
     }
-    let perturbed = mpi_sim::run(&spec, &noisy, &progs, &network).seconds();
+    // smi-lint: allow(no-panic): the BSP job is matched by construction.
+    let perturbed = mpi_sim::run(&spec, &noisy, &progs, &network).expect("valid job").seconds();
     let extra_ms = (perturbed - base) * 1e3;
     AbsorptionPoint {
         victim: 0,

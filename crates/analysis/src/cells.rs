@@ -125,7 +125,10 @@ pub fn table_cells(bench: Bench, opts: &RunOptions) -> Vec<Cell> {
                 ("rpn", Json::U64(rpn as u64)),
             ]);
             let opts = *opts;
-            Cell::new(spec_for(&experiment, &label, params, &opts), move || {
+            // Fallible: a rejected cluster spec or a simulation that
+            // deadlocks quarantines this one cell with the SimError as
+            // its machine-readable reason; the rest of the table renders.
+            Cell::fallible(spec_for(&experiment, &label, params, &opts), move || {
                 let paper = table_cell(bench, class, nodes, rpn)
                     .map(|c| c.smm)
                     .unwrap_or([None, None, None]);
@@ -133,16 +136,23 @@ pub fn table_cells(bench: Bench, opts: &RunOptions) -> Vec<Cell> {
                     None => [None, None, None],
                     Some(target) => {
                         let network = NetworkParams::gigabit_cluster();
-                        let spec = ClusterSpec::wyeast(nodes, rpn, false);
-                        let extra = calibrate_extra(bench, class, &spec, &network, target);
-                        SMM_CLASSES.map(|smm| {
-                            Some(measure_cell(
-                                bench, class, &spec, extra, smm, &opts, &network, &label,
-                            ))
-                        })
+                        let spec =
+                            ClusterSpec::wyeast(nodes, rpn, false).map_err(|e| e.reason_json())?;
+                        let extra = calibrate_extra(bench, class, &spec, &network, target)
+                            .map_err(|e| e.reason_json())?;
+                        let mut out = [None, None, None];
+                        for (k, smm) in SMM_CLASSES.into_iter().enumerate() {
+                            out[k] = Some(
+                                measure_cell(
+                                    bench, class, &spec, extra, smm, &opts, &network, &label,
+                                )
+                                .map_err(|e| e.reason_json())?,
+                            );
+                        }
+                        out
                     }
                 };
-                Json::obj(vec![("measured", measured.to_json())])
+                Ok(Json::obj(vec![("measured", measured.to_json())]))
             })
         })
         .collect()
@@ -201,7 +211,8 @@ pub fn htt_cells(bench: Bench, opts: &RunOptions) -> Vec<Cell> {
                 ("nodes", Json::U64(nodes as u64)),
             ]);
             let opts = *opts;
-            Cell::new(spec_for(&experiment, &label, params, &opts), move || {
+            // Fallible for the same reason as `table_cells`.
+            Cell::fallible(spec_for(&experiment, &label, params, &opts), move || {
                 let paper = htt_cell(bench, class, nodes).map(|c| c.smm_ht);
                 let measured: [[Option<Measured>; 2]; 3] = match paper {
                     None => [[None, None]; 3],
@@ -209,20 +220,25 @@ pub fn htt_cells(bench: Bench, opts: &RunOptions) -> Vec<Cell> {
                         let network = NetworkParams::gigabit_cluster();
                         let mut measured = [[None, None]; 3];
                         for (ht_idx, htt) in [false, true].into_iter().enumerate() {
-                            let spec = ClusterSpec::wyeast(nodes, 4, htt);
+                            let spec =
+                                ClusterSpec::wyeast(nodes, 4, htt).map_err(|e| e.reason_json())?;
                             let target = paper_vals[0][ht_idx];
-                            let extra = calibrate_extra(bench, class, &spec, &network, target);
+                            let extra = calibrate_extra(bench, class, &spec, &network, target)
+                                .map_err(|e| e.reason_json())?;
                             let label = format!("{}-n{}-ht{}", class.letter(), nodes, ht_idx);
                             for (k, smm) in SMM_CLASSES.into_iter().enumerate() {
-                                measured[k][ht_idx] = Some(measure_cell(
-                                    bench, class, &spec, extra, smm, &opts, &network, &label,
-                                ));
+                                measured[k][ht_idx] = Some(
+                                    measure_cell(
+                                        bench, class, &spec, extra, smm, &opts, &network, &label,
+                                    )
+                                    .map_err(|e| e.reason_json())?,
+                                );
                             }
                         }
                         measured
                     }
                 };
-                Json::obj(vec![("measured", measured.to_json())])
+                Ok(Json::obj(vec![("measured", measured.to_json())]))
             })
         })
         .collect()
@@ -439,7 +455,7 @@ mod tests {
     }
 
     fn tiny() -> RunOptions {
-        RunOptions { reps: 2, seed: 11, jitter: 0.004 }
+        RunOptions { reps: 2, seed: 11, ..RunOptions::default() }
     }
 
     #[test]

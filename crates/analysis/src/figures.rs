@@ -182,7 +182,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> RunOptions {
-        RunOptions { reps: 2, seed: 3, jitter: 0.004 }
+        RunOptions { reps: 2, seed: 3, ..RunOptions::default() }
     }
 
     #[test]

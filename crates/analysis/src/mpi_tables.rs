@@ -10,7 +10,7 @@
 //!    and report the average").
 
 use crate::opts::RunOptions;
-use mpi_sim::{ClusterSpec, NetworkParams, NodeState, RankProgram};
+use mpi_sim::{ClusterSpec, NetworkParams, NodeState, RankProgram, SimError};
 use nas::{calibrate_extra, htt_cell, programs, table_cell, Bench, Class};
 use sim_core::stats::Accumulator;
 use sim_core::SimRng;
@@ -107,8 +107,9 @@ pub fn measure_cell(
     opts: &RunOptions,
     network: &NetworkParams,
     cell_label: &str,
-) -> Measured {
+) -> Result<Measured, SimError> {
     let mut acc = Accumulator::new();
+    let config = opts.engine_config();
     for rep in 0..opts.reps {
         let mut rng = SimRng::from_path(
             opts.seed,
@@ -116,10 +117,10 @@ pub fn measure_cell(
         );
         let progs = jittered_programs(bench, class, spec, extra, opts, &mut rng);
         let nodes = nodes_for(spec, smm, &mut rng);
-        let out = mpi_sim::run(spec, &nodes, &progs, network);
+        let out = mpi_sim::run_with(spec, &nodes, &progs, network, &config)?;
         acc.push(out.seconds());
     }
-    Measured { mean: acc.mean(), std: acc.stddev(), reps: opts.reps }
+    Ok(Measured { mean: acc.mean(), std: acc.stddev(), reps: opts.reps })
 }
 
 /// Reproduce Table 1 (BT), 2 (EP) or 3 (FT).
@@ -143,11 +144,21 @@ pub fn run_table(bench: Bench, opts: &RunOptions) -> TableResult {
                     });
                     continue;
                 };
-                let spec = ClusterSpec::wyeast(nodes, rpn, false);
-                let extra = calibrate_extra(bench, class, &spec, &network, target);
-                let measured = SMM_CLASSES.map(|smm| {
-                    Some(measure_cell(bench, class, &spec, extra, smm, opts, &network, &label))
-                });
+                // An invalid or failing cell degrades to table holes (the
+                // campaign path additionally records the typed reason in
+                // quarantine manifests).
+                let measured = ClusterSpec::wyeast(nodes, rpn, false)
+                    .and_then(|spec| {
+                        let extra = calibrate_extra(bench, class, &spec, &network, target)?;
+                        Ok((spec, extra))
+                    })
+                    .map(|(spec, extra)| {
+                        SMM_CLASSES.map(|smm| {
+                            measure_cell(bench, class, &spec, extra, smm, opts, &network, &label)
+                                .ok()
+                        })
+                    })
+                    .unwrap_or([None, None, None]);
                 cells.push(TableCell { class, nodes, ranks_per_node: rpn, measured, paper });
             }
         }
@@ -203,14 +214,16 @@ pub fn run_htt_table(bench: Bench, opts: &RunOptions) -> HttTableResult {
             };
             let mut measured = [[None, None]; 3];
             for (ht_idx, htt) in [false, true].into_iter().enumerate() {
-                let spec = ClusterSpec::wyeast(nodes, 4, htt);
+                let Ok(spec) = ClusterSpec::wyeast(nodes, 4, htt) else { continue };
                 // Each HTT setting calibrates to its own SMM-0 column.
                 let target = paper_vals[0][ht_idx];
-                let extra = calibrate_extra(bench, class, &spec, &network, target);
+                let Ok(extra) = calibrate_extra(bench, class, &spec, &network, target) else {
+                    continue;
+                };
                 let label = format!("{}-n{}-ht{}", class.letter(), nodes, ht_idx);
                 for (k, smm) in SMM_CLASSES.into_iter().enumerate() {
                     measured[k][ht_idx] =
-                        Some(measure_cell(bench, class, &spec, extra, smm, opts, &network, &label));
+                        measure_cell(bench, class, &spec, extra, smm, opts, &network, &label).ok();
                 }
             }
             cells.push(HttTableCell { class, nodes, measured, paper });
@@ -224,14 +237,14 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> RunOptions {
-        RunOptions { reps: 2, seed: 7, jitter: 0.004 }
+        RunOptions { reps: 2, seed: 7, ..RunOptions::default() }
     }
 
     #[test]
     fn ep_single_node_cell_reproduces_duty_cycle() {
-        let spec = ClusterSpec::wyeast(1, 1, false);
+        let spec = ClusterSpec::wyeast(1, 1, false).expect("valid shape");
         let net = NetworkParams::gigabit_cluster();
-        let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 23.12);
+        let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 23.12).expect("calibrates");
         let base = measure_cell(
             Bench::Ep,
             Class::A,
@@ -241,7 +254,8 @@ mod tests {
             &tiny_opts(),
             &net,
             "t",
-        );
+        )
+        .expect("measures");
         let long = measure_cell(
             Bench::Ep,
             Class::A,
@@ -251,7 +265,8 @@ mod tests {
             &tiny_opts(),
             &net,
             "t",
-        );
+        )
+        .expect("measures");
         assert!((base.mean - 23.12).abs() < 0.3, "baseline {}", base.mean);
         let pct = (long.mean - base.mean) / base.mean * 100.0;
         // Paper: +10.99% for this cell; duty cycle alone predicts ~10.5%.
@@ -260,9 +275,9 @@ mod tests {
 
     #[test]
     fn short_smis_are_negligible() {
-        let spec = ClusterSpec::wyeast(2, 1, false);
+        let spec = ClusterSpec::wyeast(2, 1, false).expect("valid shape");
         let net = NetworkParams::gigabit_cluster();
-        let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 11.69);
+        let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &net, 11.69).expect("calibrates");
         let base = measure_cell(
             Bench::Ep,
             Class::A,
@@ -272,7 +287,8 @@ mod tests {
             &tiny_opts(),
             &net,
             "t",
-        );
+        )
+        .expect("measures");
         let short = measure_cell(
             Bench::Ep,
             Class::A,
@@ -282,26 +298,29 @@ mod tests {
             &tiny_opts(),
             &net,
             "t",
-        );
+        )
+        .expect("measures");
         let pct = ((short.mean - base.mean) / base.mean * 100.0).abs();
         assert!(pct < 2.0, "short-SMI impact should be in the noise: {pct}%");
     }
 
     #[test]
     fn measurement_is_reproducible_for_fixed_seed() {
-        let spec = ClusterSpec::wyeast(1, 1, false);
+        let spec = ClusterSpec::wyeast(1, 1, false).expect("valid shape");
         let net = NetworkParams::gigabit_cluster();
         let a =
-            measure_cell(Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x");
+            measure_cell(Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x")
+                .expect("measures");
         let b =
-            measure_cell(Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x");
+            measure_cell(Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x")
+                .expect("measures");
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.std, b.std);
     }
 
     #[test]
     fn different_cells_get_independent_noise() {
-        let spec = ClusterSpec::wyeast(1, 1, false);
+        let spec = ClusterSpec::wyeast(1, 1, false).expect("valid shape");
         let net = NetworkParams::gigabit_cluster();
         let a = measure_cell(
             Bench::Ep,
@@ -312,7 +331,8 @@ mod tests {
             &tiny_opts(),
             &net,
             "cell-a",
-        );
+        )
+        .expect("measures");
         let b = measure_cell(
             Bench::Ep,
             Class::A,
@@ -322,7 +342,8 @@ mod tests {
             &tiny_opts(),
             &net,
             "cell-b",
-        );
+        )
+        .expect("measures");
         assert_ne!(a.mean, b.mean, "distinct labels must decorrelate phases");
     }
 

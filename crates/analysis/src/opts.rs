@@ -10,11 +10,15 @@ pub struct RunOptions {
     pub seed: u64,
     /// Relative compute jitter per rank/thread per rep (run-to-run noise).
     pub jitter: f64,
+    /// Run the engine's opt-in end-of-run audits (message conservation,
+    /// byte tallies, freeze coverage) on every simulation. Surfaced as
+    /// `smi-lab --validate`; costs one extra pass per run.
+    pub validate: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { reps: 6, seed: 20160816, jitter: 0.004 }
+        RunOptions { reps: 6, seed: 20160816, jitter: 0.004, validate: false }
     }
 }
 
@@ -35,6 +39,17 @@ impl RunOptions {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Enable the engine's opt-in validation audits.
+    pub fn with_validate(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// The engine configuration these options imply.
+    pub fn engine_config(&self) -> mpi_sim::RunConfig {
+        mpi_sim::RunConfig { validate: self.validate }
     }
 }
 

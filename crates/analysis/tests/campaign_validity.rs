@@ -1,0 +1,134 @@
+//! End-to-end simulation-validity degradation: a cell whose simulation
+//! deadlocks (a crafted unmatched receive) must quarantine with the
+//! typed `SimError` as its machine-readable reason and degrade the
+//! campaign (exit code 1) — never crash it — while every surviving
+//! cell's record stays byte-identical to a fault-free campaign.
+
+use jsonio::Json;
+use mpi_sim::{ClusterSpec, NetworkParams, NodeState, Op, RankProgram};
+use runner::{CacheMode, Cell, CellSpec, RunStatus, Runner};
+use sim_core::SimDuration;
+
+fn quiet_runner() -> Runner {
+    let mut r = Runner::new(2);
+    r.cache_mode = CacheMode::Off;
+    r.verbose = false;
+    r
+}
+
+fn spec(cell: &str) -> CellSpec {
+    CellSpec {
+        experiment: "validity-e2e".into(),
+        cell: cell.into(),
+        params: Json::obj(vec![]),
+        seed: 7,
+        reps: 1,
+    }
+}
+
+fn quiet_nodes(n: u32) -> Vec<NodeState> {
+    (0..n)
+        .map(|_| NodeState {
+            schedule: sim_core::FreezeSchedule::none(),
+            effects: machine::SmiSideEffects::none(),
+            online_cpus: 4,
+        })
+        .collect()
+}
+
+/// A healthy cell: a tiny matched ring exchange whose makespan is the
+/// payload.
+fn good_cell(label: &str) -> Cell {
+    let label_owned = label.to_string();
+    Cell::fallible(spec(label), move || {
+        let cluster = ClusterSpec::wyeast(2, 1, false).map_err(|e| e.reason_json())?;
+        let progs: Vec<RankProgram> = (0..2)
+            .map(|r| {
+                RankProgram::new(vec![
+                    Op::Compute(SimDuration::from_millis(1)),
+                    Op::Exchange { send_to: 1 - r, recv_from: 1 - r, bytes: 1024, tag: 5 },
+                ])
+            })
+            .collect();
+        let out =
+            mpi_sim::run(&cluster, &quiet_nodes(2), &progs, &NetworkParams::gigabit_cluster())
+                .map_err(|e| e.reason_json())?;
+        Ok(Json::obj(vec![
+            ("label", Json::Str(label_owned.clone())),
+            ("seconds", Json::F64(out.seconds())),
+        ]))
+    })
+}
+
+/// The poisoned cell: rank 0 posts a receive no one ever sends to.
+fn deadlocked_cell() -> Cell {
+    Cell::fallible(spec("unmatched-recv"), move || {
+        let cluster = ClusterSpec::wyeast(2, 1, false).map_err(|e| e.reason_json())?;
+        let progs = vec![
+            RankProgram::new(vec![Op::Recv { src: 1, tag: 9 }]),
+            RankProgram::new(vec![Op::Compute(SimDuration::from_millis(1))]),
+        ];
+        let out =
+            mpi_sim::run(&cluster, &quiet_nodes(2), &progs, &NetworkParams::gigabit_cluster())
+                .map_err(|e| e.reason_json())?;
+        Ok(Json::obj(vec![("seconds", Json::F64(out.seconds()))]))
+    })
+}
+
+#[test]
+fn deadlocked_cell_quarantines_and_degrades_without_touching_survivors() {
+    let good_labels = ["ring-a", "ring-b", "ring-c"];
+
+    // The fault-free reference: only the healthy cells.
+    let reference =
+        quiet_runner().run("validity-e2e-ref", good_labels.iter().map(|l| good_cell(l)).collect());
+    assert_eq!(reference.status(), RunStatus::Clean);
+
+    // The poisoned campaign: the deadlocking cell sits in the middle.
+    let mut cells: Vec<Cell> = vec![good_cell("ring-a"), good_cell("ring-b")];
+    cells.push(deadlocked_cell());
+    cells.push(good_cell("ring-c"));
+    let report = quiet_runner().run("validity-e2e", cells);
+
+    // Degraded, not crashed: exit code 1, one invalid cell, zero panics.
+    assert_eq!(report.status(), RunStatus::Degraded);
+    assert_eq!(report.status().exit_code(), 1);
+    assert_eq!(report.cells_invalid, 1);
+    assert_eq!(report.cells_failed, 0);
+    assert_eq!(report.retries, 0, "validity verdicts are deterministic: no retry");
+
+    // The quarantine record carries the typed SimError as its reason,
+    // naming the blocked rank and operation.
+    assert_eq!(report.quarantined.len(), 1);
+    let q = &report.quarantined[0];
+    assert_eq!(q.cell, "unmatched-recv");
+    assert_eq!(q.reason.get("kind").and_then(Json::as_str), Some("deadlock"));
+    let msg = q.reason.get("message").and_then(Json::as_str).expect("reason message");
+    assert!(msg.contains("deadlock"), "message: {msg}");
+    assert!(msg.contains("rank 0 blocked on recv from 1 tag 9"), "message: {msg}");
+    let waiting = q
+        .reason
+        .get("error")
+        .and_then(|e| e.get("Deadlock"))
+        .and_then(|d| d.get("waiting_ranks"))
+        .and_then(Json::as_array)
+        .expect("structured waiting_ranks");
+    assert_eq!(waiting.len(), 1);
+
+    // The manifest renders the same structured reason.
+    let manifest = report.manifest();
+    let quarantined = manifest.get("quarantined").and_then(Json::as_array).expect("manifest");
+    assert_eq!(
+        quarantined[0].get("reason").and_then(|r| r.get("kind")).and_then(Json::as_str),
+        Some("deadlock")
+    );
+
+    // The hole: the deadlocked cell's payload is Null, and it mints no
+    // record. Every surviving record is byte-identical to the reference.
+    assert_eq!(report.payloads()[2], Json::Null);
+    let report_jsonl = report.records_jsonl();
+    let reference_jsonl = reference.records_jsonl();
+    let survivors: Vec<&str> = report_jsonl.lines().collect();
+    let expected: Vec<&str> = reference_jsonl.lines().collect();
+    assert_eq!(survivors, expected, "survivors must be byte-identical to a fault-free run");
+}

@@ -32,7 +32,7 @@ fn barrier_workload(n: u32) -> Vec<RankProgram> {
 
 fn run_phases(synchronized: bool) -> f64 {
     let n = 8u32;
-    let spec = ClusterSpec::wyeast(n, 1, false);
+    let spec = ClusterSpec::wyeast(n, 1, false).expect("valid shape");
     let driver = SmiDriver::new(SmiDriverConfig::mpi_study(SmiClass::Long));
     let mut rng = SimRng::new(5);
     let nodes: Vec<NodeState> = if synchronized {
@@ -50,7 +50,9 @@ fn run_phases(synchronized: bool) -> f64 {
             })
             .collect()
     };
-    mpi_sim::run(&spec, &nodes, &barrier_workload(n), &NetworkParams::gigabit_cluster()).seconds()
+    mpi_sim::run(&spec, &nodes, &barrier_workload(n), &NetworkParams::gigabit_cluster())
+        .expect("valid job")
+        .seconds()
 }
 
 fn ablation_phase_alignment(c: &mut Criterion) {

@@ -51,7 +51,7 @@ fn detector_polling(c: &mut Criterion) {
 fn engine_throughput(c: &mut Criterion) {
     use mpi_sim::{ClusterSpec, NetworkParams, Op, RankProgram};
     c.bench_function("engine_16rank_alltoall_x20", |b| {
-        let spec = ClusterSpec::wyeast(16, 1, false);
+        let spec = ClusterSpec::wyeast(16, 1, false).expect("valid shape");
         let progs: Vec<RankProgram> = (0..16)
             .map(|_| {
                 RankProgram::new(
@@ -68,7 +68,9 @@ fn engine_throughput(c: &mut Criterion) {
             .collect();
         let nodes = nas::quiet_nodes(&spec);
         let net = NetworkParams::gigabit_cluster();
-        b.iter(|| black_box(mpi_sim::run(&spec, &nodes, &progs, &net).seconds()))
+        b.iter(|| {
+            black_box(mpi_sim::run(&spec, &nodes, &progs, &net).expect("valid job").seconds())
+        })
     });
 }
 

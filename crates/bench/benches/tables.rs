@@ -12,15 +12,16 @@ use std::hint::black_box;
 
 fn cell_roundtrip(bench: Bench, class: Class, nodes: u32, rpn: u32, htt: bool) -> f64 {
     let network = NetworkParams::gigabit_cluster();
-    let spec = ClusterSpec::wyeast(nodes, rpn, htt);
+    let spec = ClusterSpec::wyeast(nodes, rpn, htt).expect("valid shape");
     let target =
         table_cell(bench, class, nodes, rpn).and_then(|c| c.baseline()).expect("paper cell");
-    let extra = calibrate_extra(bench, class, &spec, &network, target);
+    let extra = calibrate_extra(bench, class, &spec, &network, target).expect("calibrates");
     let opts = bench_opts();
     let mut total = 0.0;
     for smm in analysis::SMM_CLASSES {
-        total +=
-            analysis::measure_cell(bench, class, &spec, extra, smm, &opts, &network, "bench").mean;
+        total += analysis::measure_cell(bench, class, &spec, extra, smm, &opts, &network, "bench")
+            .expect("measures")
+            .mean;
     }
     total
 }

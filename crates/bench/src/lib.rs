@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 /// Bench-sized options: single rep, fixed seed.
 pub fn bench_opts() -> RunOptions {
-    RunOptions { reps: 1, seed: 424242, jitter: 0.004 }
+    RunOptions { reps: 1, seed: 424242, ..RunOptions::default() }
 }
 
 /// Units for throughput reporting, as in criterion.

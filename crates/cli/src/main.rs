@@ -2,8 +2,8 @@
 //! line.
 //!
 //! ```text
-//! smi-lab <command> [--reps N] [--seed N] [--quick] [--jobs N]
-//!                   [--resume] [--no-cache] [--cache-dir DIR]
+//! smi-lab <command> [--reps N] [--seed N] [--quick] [--validate]
+//!                   [--jobs N] [--resume] [--no-cache] [--cache-dir DIR]
 //!                   [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]
 //!
 //! commands:
@@ -34,21 +34,30 @@
 //! (default `results/cache`) so re-runs and `--resume` skip them, and
 //! `--records FILE` writes one canonical JSONL record per cell.
 //!
+//! `--validate` runs the engine's opt-in end-of-run audits (message
+//! conservation, byte tallies, freeze-schedule coverage) on every
+//! simulation — one extra pass per run, off by default.
+//!
 //! ## Exit codes
 //!
-//! A panicking cell no longer kills the run: it is retried (bounded,
-//! deterministic) and then quarantined, the campaign drains, and the
-//! artifact renders with the hole explicitly marked. The process exit
-//! code reports the worst outcome across every batch of the invocation:
+//! A misbehaving cell no longer kills the run. A panicking cell is
+//! retried (bounded, deterministic) and then quarantined; a cell whose
+//! simulation is rejected with a typed `SimError` (bad spec, deadlock,
+//! invariant violation) is quarantined immediately with the structured
+//! reason recorded in the manifest. Either way the campaign drains and
+//! the artifact renders with the hole explicitly marked. The process
+//! exit code reports the worst outcome across every batch of the
+//! invocation:
 //!
-//! * `0` — clean: every cell produced a payload, no cache faults
-//!   (successful retries still count as clean — their records are
-//!   byte-identical to a fault-free run).
-//! * `1` — degraded: every cell produced a payload, but cache I/O faults
-//!   (write errors, corrupt entries, manifest write failure) were
-//!   observed; details are in the run manifest.
-//! * `2` — failed: one or more cells were quarantined (also used for
-//!   usage errors).
+//! * `0` — clean: every cell produced a payload, no faults (successful
+//!   retries still count as clean — their records are byte-identical to
+//!   a fault-free run).
+//! * `1` — degraded: cells were quarantined as *invalid* with typed
+//!   reasons (see the manifest's `quarantined[].reason`), or cache I/O
+//!   faults (write errors, corrupt entries, manifest write failure)
+//!   were observed.
+//! * `2` — failed: one or more cells panicked through their retry
+//!   budget (also used for usage errors).
 
 #![deny(unsafe_code)]
 
@@ -102,7 +111,10 @@ fn parse_args() -> Result<Args, String> {
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => opts = RunOptions::quick().with_seed(opts.seed),
+            "--quick" => {
+                opts = RunOptions::quick().with_seed(opts.seed).with_validate(opts.validate)
+            }
+            "--validate" => opts = opts.with_validate(true),
             "--reps" => {
                 let v = it.next().ok_or("--reps needs a value")?;
                 opts = opts.with_reps(v.parse().map_err(|_| format!("bad --reps {v}"))?);
@@ -197,17 +209,19 @@ fn execute(args: &Args, label: &str, cells: Vec<Cell>) -> runner::RunReport {
     }
     if report.status() != RunStatus::Clean {
         eprintln!(
-            "[runner] {label}: run {} — {} quarantined, {} cache store errors, {} corrupt entries (exit {})",
+            "[runner] {label}: run {} — {} quarantined, {} invalid, {} cache store errors, {} corrupt entries (exit {})",
             report.status().label(),
             report.cells_failed,
+            report.cells_invalid,
             report.cache_store_errors,
             report.cache_load_corruptions,
             report.status().exit_code(),
         );
         for q in &report.quarantined {
+            let kind = q.reason.get("kind").and_then(|k| k.as_str()).unwrap_or("panic");
             eprintln!(
-                "[runner]   quarantined {}/{} after {} attempts: {}",
-                q.experiment, q.cell, q.attempts, q.panic
+                "[runner]   quarantined {}/{} after {} attempts [{kind}]: {}",
+                q.experiment, q.cell, q.attempts, q.message
             );
         }
     }
@@ -535,7 +549,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all|lint> [--reps N] [--seed N] [--quick] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all|lint> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
             std::process::exit(2);
         }
     };

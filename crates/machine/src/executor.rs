@@ -20,7 +20,23 @@
 //! ⇒ more refill work ⇒ more wall time; the iteration converges because
 //! per-window overhead is far below the trigger period).
 
-use sim_core::{FreezeSchedule, SimDuration, SimTime};
+use sim_core::{FreezeSchedule, SimDuration, SimError, SimTime};
+
+/// Clamp an intensity knob into its documented `[0, 1]` domain, mapping
+/// NaN to 0 (the validity layer reports out-of-domain values as typed
+/// errors upstream; the arithmetic here just stays total).
+fn clamp_intensity(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(0.0, 1.0)
+    }
+}
+
+/// Is `v` a finite fraction usable as an intensity or loss fraction?
+fn valid_fraction(v: f64) -> bool {
+    v.is_finite() && (0.0..=1.0).contains(&v)
+}
 
 /// Per-window SMI side-effect model.
 ///
@@ -92,18 +108,33 @@ impl SmiSideEffects {
     /// `online_cpus` logical CPUs running a workload of the given memory
     /// intensity (`0..=1`).
     pub fn per_window_cost(&self, online_cpus: u32, memory_intensity: f64) -> SimDuration {
-        assert!((0.0..=1.0).contains(&memory_intensity), "memory intensity {memory_intensity}");
         let rendezvous = self.rendezvous_per_cpu * online_cpus as u64;
-        let refill = (self.refill_per_cpu * online_cpus as u64).mul_f64(memory_intensity);
+        let refill =
+            (self.refill_per_cpu * online_cpus as u64).mul_f64(clamp_intensity(memory_intensity));
         rendezvous + refill
     }
 
     /// The residency-proportional extra work, per unit of frozen time,
     /// for a workload of the given communication intensity (`0..=1`).
     pub fn per_frozen_fraction(&self, comm_intensity: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&comm_intensity), "comm intensity {comm_intensity}");
-        assert!(self.herd_frac >= 0.0 && self.backlog_frac >= 0.0, "negative side-effect");
-        self.herd_frac + self.backlog_frac * comm_intensity
+        self.herd_frac.max(0.0) + self.backlog_frac.max(0.0) * clamp_intensity(comm_intensity)
+    }
+
+    /// Check every fraction is finite and within its documented domain.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (name, v) in [
+            ("herd_frac", self.herd_frac),
+            ("backlog_frac", self.backlog_frac),
+            ("loss_cap", self.loss_cap),
+        ] {
+            if !valid_fraction(v) {
+                return Err(SimError::invalid(
+                    "SMI side effects",
+                    format!("{name} = {v} is outside [0, 1]"),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -142,6 +173,9 @@ impl<'a> NodeExecutor<'a> {
     /// Build an executor for a node. `memory_intensity` scales the cache
     /// refill cost; `comm_intensity` scales the post-window interrupt
     /// backlog cost.
+    /// Out-of-domain knobs are clamped (0 CPUs becomes 1, intensities to
+    /// `[0, 1]`) so the executor is total; [`NodeExecutor::try_new`] gives
+    /// the typed rejection instead.
     pub fn new(
         schedule: &'a FreezeSchedule,
         effects: SmiSideEffects,
@@ -149,10 +183,40 @@ impl<'a> NodeExecutor<'a> {
         memory_intensity: f64,
         comm_intensity: f64,
     ) -> Self {
-        assert!(online_cpus > 0, "node needs at least one online CPU");
-        assert!((0.0..=1.0).contains(&memory_intensity), "memory intensity {memory_intensity}");
-        assert!((0.0..=1.0).contains(&comm_intensity), "comm intensity {comm_intensity}");
-        NodeExecutor { schedule, effects, online_cpus, memory_intensity, comm_intensity }
+        NodeExecutor {
+            schedule,
+            effects,
+            online_cpus: online_cpus.max(1),
+            memory_intensity: clamp_intensity(memory_intensity),
+            comm_intensity: clamp_intensity(comm_intensity),
+        }
+    }
+
+    /// Like [`NodeExecutor::new`], but rejects malformed inputs with a
+    /// typed error instead of clamping — the simulation engine's entry
+    /// point into node execution.
+    pub fn try_new(
+        schedule: &'a FreezeSchedule,
+        effects: SmiSideEffects,
+        online_cpus: u32,
+        memory_intensity: f64,
+        comm_intensity: f64,
+    ) -> Result<Self, SimError> {
+        if online_cpus == 0 {
+            return Err(SimError::invalid("node", "zero online CPUs"));
+        }
+        effects.validate()?;
+        for (name, v) in
+            [("memory intensity", memory_intensity), ("comm intensity", comm_intensity)]
+        {
+            if !valid_fraction(v) {
+                return Err(SimError::invalid("node", format!("{name} {v} is outside [0, 1]")));
+            }
+        }
+        if let Some(cfg) = schedule.config() {
+            cfg.validate()?;
+        }
+        Ok(NodeExecutor { schedule, effects, online_cpus, memory_intensity, comm_intensity })
     }
 
     /// Map `work` starting at wall `start` to its wall completion,
@@ -295,6 +359,35 @@ mod tests {
         // Overhead equals windows x per-window cost (no residency terms).
         let per = SmiSideEffects::default().per_window_cost(8, 1.0);
         assert_eq!(out.overhead_work, per * out.windows as u64);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_nodes_with_typed_errors() {
+        use sim_core::SimError;
+        let s = FreezeSchedule::none();
+        let fx = SmiSideEffects::none();
+        assert!(matches!(
+            NodeExecutor::try_new(&s, fx, 0, 0.5, 0.5),
+            Err(SimError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            NodeExecutor::try_new(&s, fx, 4, 1.5, 0.5),
+            Err(SimError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            NodeExecutor::try_new(&s, fx, 4, 0.5, f64::NAN),
+            Err(SimError::InvalidSpec { .. })
+        ));
+        let bad_fx = SmiSideEffects { herd_frac: -0.2, ..SmiSideEffects::none() };
+        assert!(matches!(
+            NodeExecutor::try_new(&s, bad_fx, 4, 0.5, 0.5),
+            Err(SimError::InvalidSpec { .. })
+        ));
+        assert!(NodeExecutor::try_new(&s, fx, 4, 0.5, 0.5).is_ok());
+        // `new` clamps the same inputs instead of faulting.
+        let clamped = NodeExecutor::new(&s, fx, 0, 2.0, f64::NAN);
+        let out = clamped.execute(SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(out.wall, SimDuration::from_secs(1));
     }
 
     #[test]

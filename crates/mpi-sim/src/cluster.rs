@@ -1,7 +1,7 @@
 //! Cluster shape: nodes, rank placement, and per-node noise state.
 
 use machine::{NodeSpec, SmiSideEffects};
-use sim_core::FreezeSchedule;
+use sim_core::{FreezeSchedule, SimError};
 
 /// Static shape of an MPI job on the cluster.
 #[derive(Clone, Copy, Debug, jsonio::ToJson)]
@@ -20,16 +20,47 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// The Wyeast configuration used for Tables 1–3: HTT state as given,
-    /// quad-core nodes.
-    pub fn wyeast(nodes: u32, ranks_per_node: u32, htt: bool) -> Self {
-        assert!(nodes >= 1, "at least one node");
-        assert!(ranks_per_node >= 1, "at least one rank per node");
-        let node = NodeSpec::wyeast();
-        assert!(
-            ranks_per_node <= node.physical_cores,
-            "more ranks per node ({ranks_per_node}) than physical cores"
-        );
-        ClusterSpec { nodes, ranks_per_node, node, htt }
+    /// quad-core nodes. Rejects shapes the hardware cannot host (zero
+    /// nodes or ranks, ranks oversubscribing the physical cores) with a
+    /// typed error.
+    pub fn wyeast(nodes: u32, ranks_per_node: u32, htt: bool) -> Result<Self, SimError> {
+        let spec = ClusterSpec { nodes, ranks_per_node, node: NodeSpec::wyeast(), htt };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the shape is hostable: at least one node and one rank per
+    /// node, a real node topology, and no more ranks per node than
+    /// physical cores (the paper never oversubscribes; neither do we).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.nodes == 0 {
+            return Err(SimError::invalid("cluster spec", "zero nodes"));
+        }
+        if self.ranks_per_node == 0 {
+            return Err(SimError::invalid("cluster spec", "zero ranks per node"));
+        }
+        if self.node.physical_cores == 0 {
+            return Err(SimError::invalid("cluster spec", "node has zero physical cores"));
+        }
+        if self.htt && self.node.smt_per_core < 2 {
+            return Err(SimError::invalid(
+                "cluster spec",
+                format!(
+                    "HTT enabled but topology has {} thread(s) per core",
+                    self.node.smt_per_core
+                ),
+            ));
+        }
+        if self.ranks_per_node > self.node.physical_cores {
+            return Err(SimError::invalid(
+                "cluster spec",
+                format!(
+                    "more ranks per node ({}) than physical cores ({})",
+                    self.ranks_per_node, self.node.physical_cores
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Total MPI ranks.
@@ -38,10 +69,11 @@ impl ClusterSpec {
     }
 
     /// The node hosting a rank (block placement, like `mpirun` filling
-    /// slots node by node).
+    /// slots node by node). Total: callers validate rank ranges up front
+    /// (the engine rejects out-of-range peers as `InvalidSpec`), so this
+    /// never needs to fault mid-simulation.
     pub fn node_of(&self, rank: u32) -> u32 {
-        assert!(rank < self.total_ranks(), "rank {rank} out of range");
-        rank / self.ranks_per_node
+        rank / self.ranks_per_node.max(1)
     }
 
     /// Online logical CPUs per node given the HTT setting.
@@ -65,13 +97,28 @@ pub struct NodeState {
     pub online_cpus: u32,
 }
 
+impl NodeState {
+    /// Check the node can execute work: at least one online CPU, sane
+    /// side-effect fractions, and a generable freeze configuration.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.online_cpus == 0 {
+            return Err(SimError::invalid("node state", "zero online CPUs"));
+        }
+        self.effects.validate()?;
+        if let Some(cfg) = self.schedule.config() {
+            cfg.validate()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn block_placement() {
-        let c = ClusterSpec::wyeast(4, 4, false);
+        let c = ClusterSpec::wyeast(4, 4, false).expect("valid shape");
         assert_eq!(c.total_ranks(), 16);
         assert_eq!(c.node_of(0), 0);
         assert_eq!(c.node_of(3), 0);
@@ -81,20 +128,46 @@ mod tests {
 
     #[test]
     fn htt_doubles_online_cpus() {
-        assert_eq!(ClusterSpec::wyeast(1, 1, false).online_cpus(), 4);
-        assert_eq!(ClusterSpec::wyeast(1, 1, true).online_cpus(), 8);
+        assert_eq!(ClusterSpec::wyeast(1, 1, false).expect("valid").online_cpus(), 4);
+        assert_eq!(ClusterSpec::wyeast(1, 1, true).expect("valid").online_cpus(), 8);
     }
 
     #[test]
-    #[should_panic(expected = "more ranks per node")]
-    fn rejects_oversubscription() {
-        let _ = ClusterSpec::wyeast(2, 5, false);
+    fn rejects_malformed_shapes_with_typed_errors() {
+        for (nodes, rpn, problem) in
+            [(0u32, 1u32, "zero nodes"), (2, 0, "zero ranks"), (2, 5, "more ranks per node")]
+        {
+            match ClusterSpec::wyeast(nodes, rpn, false) {
+                Err(SimError::InvalidSpec { problem: p, .. }) => {
+                    assert!(p.contains(problem), "{p:?} should mention {problem:?}")
+                }
+                other => panic!("({nodes},{rpn}) should be InvalidSpec, got {other:?}"),
+            }
+        }
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn rejects_bad_rank_lookup() {
-        let c = ClusterSpec::wyeast(2, 1, false);
-        let _ = c.node_of(2);
+    fn htt_flag_must_match_topology() {
+        let mut spec = ClusterSpec::wyeast(2, 1, true).expect("valid");
+        spec.node.smt_per_core = 1;
+        assert!(matches!(spec.validate(), Err(SimError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn node_state_validation_catches_zero_cpus_and_bad_effects() {
+        let good = NodeState {
+            schedule: FreezeSchedule::none(),
+            effects: SmiSideEffects::none(),
+            online_cpus: 4,
+        };
+        assert!(good.validate().is_ok());
+        let no_cpus = NodeState { online_cpus: 0, ..good };
+        assert!(matches!(no_cpus.validate(), Err(SimError::InvalidSpec { .. })));
+        let bad_effects = NodeState {
+            schedule: FreezeSchedule::none(),
+            effects: SmiSideEffects { herd_frac: f64::NAN, ..SmiSideEffects::none() },
+            online_cpus: 4,
+        };
+        assert!(matches!(bad_effects.validate(), Err(SimError::InvalidSpec { .. })));
     }
 }

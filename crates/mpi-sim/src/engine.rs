@@ -10,17 +10,37 @@
 //! perturbation growing with node count — emerges from unsynchronized
 //! per-node schedules delaying different collective rounds on different
 //! nodes.
+//!
+//! # Validity
+//!
+//! The engine never panics on bad input. [`run`] (and the configurable
+//! [`run_with`]) return `Result<RunOutcome, SimError>`:
+//!
+//! * malformed jobs — wrong lengths, out-of-range peers, self-messaging,
+//!   out-of-domain intensities — are rejected up front as
+//!   [`SimError::InvalidSpec`];
+//! * a drained event queue with unfinished ranks is diagnosed as
+//!   [`SimError::Deadlock`], naming the stuck ranks and the
+//!   send/recv operations they are blocked on;
+//! * an event count beyond any bound a well-formed job can reach is cut
+//!   off as [`SimError::Stalled`] rather than looping forever;
+//! * engine self-checks (time monotonicity, blocking-part accounting, NIC
+//!   routing) report [`SimError::InvariantViolation`]. The always-on
+//!   checks are O(1) per event; [`RunConfig::validate`] adds end-of-run
+//!   message conservation, byte-tally, and freeze-schedule coverage
+//!   audits that cost one extra pass over the lowered programs and the
+//!   freeze windows.
 
 use crate::cluster::{ClusterSpec, NodeState};
 use crate::network::{NetworkParams, NicState};
 use crate::program::{lower, LowOp, RankProgram};
 use machine::NodeExecutor;
-use sim_core::{EventQueue, SimDuration, SimTime};
+use sim_core::{BlockedOp, BlockedOpKind, EventQueue, SimDuration, SimError, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Outcome of one MPI job execution.
 #[derive(Clone, Debug, jsonio::ToJson)]
-pub struct RunResult {
+pub struct RunOutcome {
     /// Wall-clock duration of the job (last rank's finish).
     pub makespan: SimDuration,
     /// Per-rank wall finish instants.
@@ -35,10 +55,27 @@ pub struct RunResult {
     pub smi_count: usize,
 }
 
-impl RunResult {
+impl RunOutcome {
     /// Job duration in seconds (the unit the paper's tables use).
     pub fn seconds(&self) -> f64 {
         self.makespan.as_secs_f64()
+    }
+}
+
+/// Engine knobs beyond the job description itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Run the opt-in end-of-run audits (message conservation, byte
+    /// tallies, freeze-schedule coverage, node-shape cross-checks) in
+    /// addition to the always-on per-event invariants. Surfaced on the
+    /// command line as `smi-lab --validate`.
+    pub validate: bool,
+}
+
+impl RunConfig {
+    /// Configuration with the opt-in audits enabled.
+    pub fn validating() -> Self {
+        RunConfig { validate: true }
     }
 }
 
@@ -54,33 +91,88 @@ struct PostedRecv {
     post_time: SimTime,
 }
 
-/// Run an MPI job: one [`RankProgram`] per rank over the given nodes.
-///
-/// # Panics
-/// Panics on mismatched lengths, unmatched messages (deadlock), or a rank
-/// messaging itself.
+/// Run an MPI job: one [`RankProgram`] per rank over the given nodes,
+/// with default [`RunConfig`] (always-on invariants only).
 pub fn run(
     spec: &ClusterSpec,
     nodes: &[NodeState],
     programs: &[RankProgram],
     network: &NetworkParams,
-) -> RunResult {
+) -> Result<RunOutcome, SimError> {
+    run_with(spec, nodes, programs, network, &RunConfig::default())
+}
+
+/// Reject structurally malformed jobs before any event executes.
+fn validate_inputs(
+    spec: &ClusterSpec,
+    nodes: &[NodeState],
+    programs: &[RankProgram],
+    config: &RunConfig,
+) -> Result<(), SimError> {
+    spec.validate()?;
+    if nodes.len() != spec.nodes as usize {
+        return Err(SimError::invalid(
+            "job",
+            format!("{} node state(s) for a {}-node cluster", nodes.len(), spec.nodes),
+        ));
+    }
     let n_ranks = spec.total_ranks() as usize;
-    assert_eq!(nodes.len(), spec.nodes as usize, "one NodeState per node");
-    assert_eq!(programs.len(), n_ranks, "one program per rank");
+    if programs.len() != n_ranks {
+        return Err(SimError::invalid(
+            "job",
+            format!("{} rank program(s) for {} rank(s)", programs.len(), n_ranks),
+        ));
+    }
+    if n_ranks == 0 {
+        return Err(SimError::invalid("job", "zero ranks"));
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        node.validate().map_err(|e| match e {
+            SimError::InvalidSpec { context, problem } => {
+                SimError::invalid(format!("node {i} {context}"), problem)
+            }
+            other => other,
+        })?;
+        if config.validate && node.online_cpus != spec.online_cpus() {
+            return Err(SimError::invalid(
+                format!("node {i} state"),
+                format!(
+                    "{} online CPUs disagrees with the cluster spec's {}",
+                    node.online_cpus,
+                    spec.online_cpus()
+                ),
+            ));
+        }
+    }
+    for (r, program) in programs.iter().enumerate() {
+        program.validate(r as u32, n_ranks as u32)?;
+    }
+    Ok(())
+}
+
+/// Run an MPI job with explicit engine configuration.
+pub fn run_with(
+    spec: &ClusterSpec,
+    nodes: &[NodeState],
+    programs: &[RankProgram],
+    network: &NetworkParams,
+    config: &RunConfig,
+) -> Result<RunOutcome, SimError> {
+    validate_inputs(spec, nodes, programs, config)?;
+    let n_ranks = spec.total_ranks() as usize;
 
     // Lower every rank's program.
     let lowered: Vec<Vec<LowOp>> = programs
         .iter()
         .enumerate()
         .map(|(r, p)| lower(p, r as u32, n_ranks as u32, |b| network.reduce_cost(b)))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Per-rank executors (borrow the node schedules).
     let executors: Vec<NodeExecutor<'_>> = (0..n_ranks)
         .map(|r| {
             let node = &nodes[spec.node_of(r as u32) as usize];
-            NodeExecutor::new(
+            NodeExecutor::try_new(
                 &node.schedule,
                 node.effects,
                 node.online_cpus,
@@ -88,7 +180,7 @@ pub fn run(
                 programs[r].comm_intensity,
             )
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let mut pc = vec![0usize; n_ranks];
     let mut parts = vec![0u32; n_ranks];
@@ -115,18 +207,23 @@ pub fn run(
                         bytes: u64,
                         send_ready: SimTime,
                         recv_ready: SimTime|
-     -> SimTime {
-        assert_ne!(src, dst, "rank messaging itself");
+     -> Result<SimTime, SimError> {
+        if src == dst {
+            return Err(SimError::invariant(
+                "message routing",
+                format!("rank {src} matched a message with itself"),
+            ));
+        }
         messages += 1;
         bytes_total += bytes;
         let sn = spec.node_of(src as u32) as usize;
         let dn = spec.node_of(dst as u32) as usize;
         let earliest = send_ready.max(recv_ready);
         if sn == dn {
-            earliest + network.shm_latency + network.shm_time(bytes)
+            Ok(earliest + network.shm_latency + network.shm_time(bytes))
         } else {
-            let (_, wire_end) = nic.reserve(sn, dn, earliest, network.wire_time(bytes));
-            wire_end + network.net_latency
+            let (_, wire_end) = nic.reserve(sn, dn, earliest, network.wire_time(bytes))?;
+            Ok(wire_end + network.net_latency)
         }
     };
 
@@ -134,7 +231,12 @@ pub fn run(
     macro_rules! part_done {
         ($r:expr, $time:expr) => {{
             let r = $r;
-            debug_assert!(parts[r] > 0, "part_done on rank {r} with no pending parts");
+            if parts[r] == 0 {
+                return Err(SimError::invariant(
+                    "blocking-part accounting",
+                    format!("rank {r} completed a blocking part it never posted"),
+                ));
+            }
             parts[r] -= 1;
             avail[r] = avail[r].max($time);
             if parts[r] == 0 {
@@ -143,7 +245,29 @@ pub fn run(
         }};
     }
 
+    // A well-formed job pops each rank's events a small constant number
+    // of times per lowered op; anything far beyond that bound means the
+    // loop is spinning without making virtual-time progress.
+    let total_ops: usize = lowered.iter().map(Vec::len).sum();
+    let stall_bound = 8 * total_ops as u64 + 16 * n_ranks as u64 + 256;
+    let mut pops = 0u64;
+    let mut last_pop = SimTime::ZERO;
+
     while let Some((t, r32)) = queue.pop() {
+        pops += 1;
+        if pops > stall_bound {
+            return Err(SimError::Stalled {
+                at_nanos: t.since(SimTime::ZERO).as_nanos(),
+                rounds: pops,
+            });
+        }
+        if t < last_pop {
+            return Err(SimError::invariant(
+                "time monotonicity",
+                format!("event at {t:?} popped after {last_pop:?}"),
+            ));
+        }
+        last_pop = t;
         let r = r32 as usize;
         if done[r].is_some() {
             continue;
@@ -166,7 +290,7 @@ pub fn run(
                 pc[r] += 1;
                 let key = (r as u32, dst as u32, tag);
                 if let Some(recv) = posted_recvs.get_mut(&key).and_then(|q| q.pop_front()) {
-                    let completion = transfer(&mut nic, r, dst, bytes, t_post, recv.post_time);
+                    let completion = transfer(&mut nic, r, dst, bytes, t_post, recv.post_time)?;
                     let resume_recv = sched(dst).advance(completion, network.recv_overhead);
                     part_done!(dst, resume_recv);
                     let resume_self =
@@ -191,7 +315,7 @@ pub fn run(
                 pc[r] += 1;
                 let key = (src as u32, r as u32, tag);
                 if let Some(send) = pending_sends.get_mut(&key).and_then(|q| q.pop_front()) {
-                    let completion = transfer(&mut nic, src, r, send.bytes, send.post_time, t);
+                    let completion = transfer(&mut nic, src, r, send.bytes, send.post_time, t)?;
                     if send.rendezvous {
                         part_done!(src, sched(src).unfreeze(completion));
                     }
@@ -214,7 +338,7 @@ pub fn run(
                 // Outgoing half.
                 let out_key = (r as u32, dst as u32, tag);
                 if let Some(recv) = posted_recvs.get_mut(&out_key).and_then(|q| q.pop_front()) {
-                    let completion = transfer(&mut nic, r, dst, bytes, t_post, recv.post_time);
+                    let completion = transfer(&mut nic, r, dst, bytes, t_post, recv.post_time)?;
                     let resume_recv = sched(dst).advance(completion, network.recv_overhead);
                     part_done!(dst, resume_recv);
                     if rendezvous {
@@ -233,7 +357,8 @@ pub fn run(
                 // Incoming half.
                 let in_key = (src as u32, r as u32, tag);
                 if let Some(send) = pending_sends.get_mut(&in_key).and_then(|q| q.pop_front()) {
-                    let completion = transfer(&mut nic, src, r, send.bytes, send.post_time, t_post);
+                    let completion =
+                        transfer(&mut nic, src, r, send.bytes, send.post_time, t_post)?;
                     if send.rendezvous {
                         part_done!(src, sched(src).unfreeze(completion));
                     }
@@ -252,29 +377,122 @@ pub fn run(
         }
     }
 
-    // Every rank must have finished; anything else is an unmatched message.
-    let stuck: Vec<usize> = (0..n_ranks).filter(|&r| done[r].is_none()).collect();
-    assert!(
-        stuck.is_empty(),
-        "deadlock: ranks {stuck:?} never finished (unmatched sends/recvs in lowered programs)"
-    );
+    // Every rank must have finished; a drained queue with unfinished
+    // ranks is a deadlock — diagnose it from the posted-but-unmatched
+    // operations instead of panicking.
+    let waiting_ranks: Vec<u32> =
+        (0..n_ranks as u32).filter(|&r| done[r as usize].is_none()).collect();
+    if !waiting_ranks.is_empty() {
+        let mut blocked_ops = Vec::new();
+        for (&(src, dst, tag), q) in &posted_recvs {
+            for _ in q {
+                blocked_ops.push(BlockedOp {
+                    rank: dst,
+                    kind: BlockedOpKind::Recv,
+                    peer: src,
+                    tag,
+                });
+            }
+        }
+        for (&(src, dst, tag), q) in &pending_sends {
+            for send in q {
+                if send.rendezvous {
+                    blocked_ops.push(BlockedOp {
+                        rank: src,
+                        kind: BlockedOpKind::Send,
+                        peer: dst,
+                        tag,
+                    });
+                }
+            }
+        }
+        blocked_ops.sort_by_key(|b| (b.rank, b.peer, b.tag));
+        return Err(SimError::Deadlock { waiting_ranks, blocked_ops });
+    }
 
     let rank_finish: Vec<SimTime> = done.into_iter().flatten().collect();
-    let end = rank_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+    let Some(end) = rank_finish.iter().copied().max() else {
+        return Err(SimError::invariant("rank accounting", "no rank produced a finish time"));
+    };
+
+    if config.validate {
+        audit_run(&lowered, &pending_sends, &posted_recvs, messages, bytes_total, nodes, end)?;
+    }
+
     let mut total_frozen = SimDuration::ZERO;
     let mut smi_count = 0usize;
     for node in nodes {
         total_frozen += node.schedule.frozen_between(SimTime::ZERO, end);
         smi_count += node.schedule.count_between(SimTime::ZERO, end);
     }
-    RunResult {
+    Ok(RunOutcome {
         makespan: end.since(SimTime::ZERO),
         rank_finish,
         messages,
         bytes: bytes_total,
         total_frozen,
         smi_count,
+    })
+}
+
+/// The `--validate` end-of-run audits: message conservation, byte
+/// tallies, and freeze-schedule coverage.
+fn audit_run(
+    lowered: &[Vec<LowOp>],
+    pending_sends: &BTreeMap<(u32, u32, u64), VecDeque<PendingSend>>,
+    posted_recvs: &BTreeMap<(u32, u32, u64), VecDeque<PostedRecv>>,
+    messages: u64,
+    bytes_total: u64,
+    nodes: &[NodeState],
+    end: SimTime,
+) -> Result<(), SimError> {
+    // Message conservation: with every rank finished, nothing may remain
+    // posted. (Leftover eager sends are the silent variant — the sender
+    // completed without its message ever being consumed.)
+    let leftover_sends: usize = pending_sends.values().map(VecDeque::len).sum();
+    let leftover_recvs: usize = posted_recvs.values().map(VecDeque::len).sum();
+    if leftover_sends + leftover_recvs > 0 {
+        return Err(SimError::invariant(
+            "message conservation",
+            format!(
+                "{leftover_sends} unconsumed send(s) and {leftover_recvs} unmatched recv(s) \
+                 after all ranks finished"
+            ),
+        ));
     }
+    // Byte tally: every lowered Send/SendRecv moves exactly one message.
+    let (mut expect_messages, mut expect_bytes) = (0u64, 0u64);
+    for prog in lowered {
+        for op in prog {
+            if let LowOp::Send { bytes, .. } | LowOp::SendRecv { bytes, .. } = op {
+                expect_messages += 1;
+                expect_bytes += bytes;
+            }
+        }
+    }
+    if messages != expect_messages || bytes_total != expect_bytes {
+        return Err(SimError::invariant(
+            "byte tally",
+            format!(
+                "transferred {messages} message(s)/{bytes_total} byte(s), lowered programs \
+                 call for {expect_messages}/{expect_bytes}"
+            ),
+        ));
+    }
+    // Freeze coverage: every node's wall span must decompose exactly into
+    // working time plus frozen time.
+    let span = end.since(SimTime::ZERO);
+    for (i, node) in nodes.iter().enumerate() {
+        let frozen = node.schedule.frozen_between(SimTime::ZERO, end);
+        let work = node.schedule.work_between(SimTime::ZERO, end);
+        if work + frozen != span {
+            return Err(SimError::invariant(
+                "freeze coverage",
+                format!("node {i}: work {work:?} + frozen {frozen:?} != span {span:?}"),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -313,18 +531,22 @@ mod tests {
         NetworkParams::gigabit_cluster()
     }
 
+    fn wyeast(nodes: u32, rpn: u32, htt: bool) -> ClusterSpec {
+        ClusterSpec::wyeast(nodes, rpn, htt).expect("valid shape")
+    }
+
     #[test]
     fn single_rank_compute_only() {
-        let spec = ClusterSpec::wyeast(1, 1, false);
+        let spec = wyeast(1, 1, false);
         let prog = RankProgram::new(vec![Op::Compute(SimDuration::from_secs(2))]);
-        let out = run(&spec, &quiet_nodes(1), &[prog], &net());
+        let out = run(&spec, &quiet_nodes(1), &[prog], &net()).expect("valid job");
         assert_eq!(out.makespan, SimDuration::from_secs(2));
         assert_eq!(out.messages, 0);
     }
 
     #[test]
     fn eager_ping_pong_latency() {
-        let spec = ClusterSpec::wyeast(2, 1, false);
+        let spec = wyeast(2, 1, false);
         let p0 = RankProgram::new(vec![
             Op::Send { dst: 1, bytes: 8, tag: 1 },
             Op::Recv { src: 1, tag: 2 },
@@ -333,7 +555,7 @@ mod tests {
             Op::Recv { src: 0, tag: 1 },
             Op::Send { dst: 0, bytes: 8, tag: 2 },
         ]);
-        let out = run(&spec, &quiet_nodes(2), &[p0, p1], &net());
+        let out = run(&spec, &quiet_nodes(2), &[p0, p1], &net()).expect("valid job");
         // Round trip: 2 x (send overhead + latency + wire + recv overhead).
         let expect = 2.0
             * (net().send_overhead.as_secs_f64()
@@ -351,10 +573,10 @@ mod tests {
 
     #[test]
     fn intra_node_messages_skip_the_nic() {
-        let spec = ClusterSpec::wyeast(1, 2, false);
+        let spec = wyeast(1, 2, false);
         let p0 = RankProgram::new(vec![Op::Send { dst: 1, bytes: 1 << 20, tag: 1 }]);
         let p1 = RankProgram::new(vec![Op::Recv { src: 0, tag: 1 }]);
-        let out = run(&spec, &quiet_nodes(1), &[p0, p1], &net());
+        let out = run(&spec, &quiet_nodes(1), &[p0, p1], &net()).expect("valid job");
         // 1 MiB over shared memory is sub-millisecond; over the wire it
         // would be ~9 ms.
         assert!(out.makespan < SimDuration::from_millis(2), "{:?}", out.makespan);
@@ -362,14 +584,14 @@ mod tests {
 
     #[test]
     fn rendezvous_sender_waits_for_receiver() {
-        let spec = ClusterSpec::wyeast(2, 1, false);
+        let spec = wyeast(2, 1, false);
         let big = 10 << 20; // 10 MiB >> eager threshold
         let p0 = RankProgram::new(vec![Op::Send { dst: 1, bytes: big, tag: 1 }]);
         let p1 = RankProgram::new(vec![
             Op::Compute(SimDuration::from_secs(1)),
             Op::Recv { src: 0, tag: 1 },
         ]);
-        let out = run(&spec, &quiet_nodes(2), &[p0.clone(), p1], &net());
+        let out = run(&spec, &quiet_nodes(2), &[p0.clone(), p1], &net()).expect("valid job");
         // Sender finishes only after the late receiver posts + transfer.
         assert!(out.rank_finish[0] > SimTime::from_secs(1));
 
@@ -379,13 +601,13 @@ mod tests {
             Op::Compute(SimDuration::from_secs(1)),
             Op::Recv { src: 0, tag: 1 },
         ]);
-        let out2 = run(&spec, &quiet_nodes(2), &[p0e, p1e], &net());
+        let out2 = run(&spec, &quiet_nodes(2), &[p0e, p1e], &net()).expect("valid job");
         assert!(out2.rank_finish[0] < SimTime::from_millis(1));
     }
 
     #[test]
     fn barrier_synchronizes_uneven_ranks() {
-        let spec = ClusterSpec::wyeast(4, 1, false);
+        let spec = wyeast(4, 1, false);
         let progs: Vec<RankProgram> = (0..4)
             .map(|r| {
                 RankProgram::new(vec![
@@ -394,7 +616,7 @@ mod tests {
                 ])
             })
             .collect();
-        let out = run(&spec, &quiet_nodes(4), &progs, &net());
+        let out = run(&spec, &quiet_nodes(4), &progs, &net()).expect("valid job");
         // Everyone leaves the barrier at or after the slowest arrival.
         for f in &out.rank_finish {
             assert!(*f >= SimTime::from_millis(400), "finish {f:?}");
@@ -404,10 +626,10 @@ mod tests {
 
     #[test]
     fn allreduce_completes_and_costs_log_rounds() {
-        let spec = ClusterSpec::wyeast(8, 1, false);
+        let spec = wyeast(8, 1, false);
         let progs: Vec<RankProgram> =
             (0..8).map(|_| RankProgram::new(vec![Op::Allreduce { bytes: 8 }])).collect();
-        let out = run(&spec, &quiet_nodes(8), &progs, &net());
+        let out = run(&spec, &quiet_nodes(8), &progs, &net()).expect("valid job");
         // 3 rounds x 8 ranks = 24 messages.
         assert_eq!(out.messages, 24);
         // Three latency-bound rounds: roughly 3 x (overheads + latency).
@@ -422,14 +644,14 @@ mod tests {
     #[test]
     fn alltoall_serializes_on_the_nic() {
         // 4 ranks on 1 node vs 4 ranks on 4 nodes, 1 MiB per pair.
-        let shm_spec = ClusterSpec::wyeast(1, 4, false);
+        let shm_spec = wyeast(1, 4, false);
         let progs: Vec<RankProgram> = (0..4)
             .map(|_| RankProgram::new(vec![Op::Alltoall { bytes_per_pair: 1 << 20 }]))
             .collect();
-        let shm = run(&shm_spec, &quiet_nodes(1), &progs, &net());
+        let shm = run(&shm_spec, &quiet_nodes(1), &progs, &net()).expect("valid job");
 
-        let net_spec = ClusterSpec::wyeast(4, 1, false);
-        let wire = run(&net_spec, &quiet_nodes(4), &progs, &net());
+        let net_spec = wyeast(4, 1, false);
+        let wire = run(&net_spec, &quiet_nodes(4), &progs, &net()).expect("valid job");
         assert!(
             wire.makespan > shm.makespan * 4,
             "wire {:?} should dwarf shm {:?}",
@@ -440,10 +662,11 @@ mod tests {
 
     #[test]
     fn single_node_long_smi_adds_duty_cycle() {
-        let spec = ClusterSpec::wyeast(1, 1, false);
+        let spec = wyeast(1, 1, false);
         let prog = RankProgram::new(vec![Op::Compute(SimDuration::from_secs(20))]);
-        let base = run(&spec, &quiet_nodes(1), std::slice::from_ref(&prog), &net());
-        let noisy = run(&spec, &noisy_nodes(1, 42), &[prog], &net());
+        let base =
+            run(&spec, &quiet_nodes(1), std::slice::from_ref(&prog), &net()).expect("valid job");
+        let noisy = run(&spec, &noisy_nodes(1, 42), &[prog], &net()).expect("valid job");
         let slowdown = noisy.seconds() / base.seconds();
         assert!((1.09..1.13).contains(&slowdown), "slowdown {slowdown}");
         assert!(noisy.smi_count >= 20);
@@ -468,9 +691,9 @@ mod tests {
         };
         let mut slowdowns = Vec::new();
         for n in [1u32, 4, 16] {
-            let spec = ClusterSpec::wyeast(n, 1, false);
-            let base = run(&spec, &quiet_nodes(n), &mk_progs(n), &net());
-            let noisy = run(&spec, &noisy_nodes(n, 7), &mk_progs(n), &net());
+            let spec = wyeast(n, 1, false);
+            let base = run(&spec, &quiet_nodes(n), &mk_progs(n), &net()).expect("valid job");
+            let noisy = run(&spec, &noisy_nodes(n, 7), &mk_progs(n), &net()).expect("valid job");
             slowdowns.push(noisy.seconds() / base.seconds());
         }
         assert!(
@@ -503,8 +726,9 @@ mod tests {
                 RankProgram::new(ops)
             })
             .collect();
-        let spec = ClusterSpec::wyeast(n, 1, false);
-        let base = run(&spec, &quiet_nodes(n), &progs, &NetworkParams::gigabit_cluster());
+        let spec = wyeast(n, 1, false);
+        let base = run(&spec, &quiet_nodes(n), &progs, &NetworkParams::gigabit_cluster())
+            .expect("valid job");
 
         let mut rng = SimRng::new(3);
         let phase = SimDuration::from_millis(rng.below(1000));
@@ -522,29 +746,107 @@ mod tests {
                 online_cpus: 4,
             })
             .collect();
-        let sync = run(&spec, &sync_nodes, &progs, &NetworkParams::gigabit_cluster());
+        let sync =
+            run(&spec, &sync_nodes, &progs, &NetworkParams::gigabit_cluster()).expect("valid job");
         let slowdown = sync.seconds() / base.seconds();
         assert!((1.08..1.16).contains(&slowdown), "synchronized slowdown {slowdown}");
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
-    fn unmatched_recv_deadlocks() {
-        let spec = ClusterSpec::wyeast(2, 1, false);
+    fn unmatched_recv_is_a_typed_deadlock() {
+        let spec = wyeast(2, 1, false);
         let p0 = RankProgram::new(vec![Op::Recv { src: 1, tag: 9 }]);
         let p1 = RankProgram::new(vec![Op::Compute(SimDuration::from_millis(1))]);
-        let _ = run(&spec, &quiet_nodes(2), &[p0, p1], &net());
+        match run(&spec, &quiet_nodes(2), &[p0, p1], &net()) {
+            Err(SimError::Deadlock { waiting_ranks, blocked_ops }) => {
+                assert_eq!(waiting_ranks, vec![0]);
+                assert_eq!(
+                    blocked_ops,
+                    vec![BlockedOp { rank: 0, kind: BlockedOpKind::Recv, peer: 1, tag: 9 }]
+                );
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmatched_rendezvous_send_is_a_typed_deadlock() {
+        let spec = wyeast(2, 1, false);
+        let big = 10 << 20;
+        let p0 = RankProgram::new(vec![Op::Send { dst: 1, bytes: big, tag: 3 }]);
+        let p1 = RankProgram::new(vec![Op::Compute(SimDuration::from_millis(1))]);
+        match run(&spec, &quiet_nodes(2), &[p0, p1], &net()) {
+            Err(SimError::Deadlock { waiting_ranks, blocked_ops }) => {
+                assert_eq!(waiting_ranks, vec![0]);
+                assert_eq!(
+                    blocked_ops,
+                    vec![BlockedOp { rank: 0, kind: BlockedOpKind::Send, peer: 1, tag: 3 }]
+                );
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_lengths_are_invalid_specs() {
+        let spec = wyeast(2, 1, false);
+        let prog = RankProgram::new(vec![Op::Compute(SimDuration::from_millis(1))]);
+        // Too few node states.
+        let r = run(&spec, &quiet_nodes(1), &[prog.clone(), prog.clone()], &net());
+        assert!(matches!(r, Err(SimError::InvalidSpec { .. })), "{r:?}");
+        // Too few programs.
+        let r = run(&spec, &quiet_nodes(2), std::slice::from_ref(&prog), &net());
+        assert!(matches!(r, Err(SimError::InvalidSpec { .. })), "{r:?}");
+        // Malformed spec smuggled around the constructor.
+        let mut bad = spec;
+        bad.nodes = 0;
+        let r = run(&bad, &[], &[], &net());
+        assert!(matches!(r, Err(SimError::InvalidSpec { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn validate_mode_matches_default_mode_on_clean_jobs() {
+        let spec = wyeast(4, 1, false);
+        let progs: Vec<RankProgram> = (0..4)
+            .map(|_| {
+                RankProgram::new(vec![
+                    Op::Compute(SimDuration::from_millis(20)),
+                    Op::Allreduce { bytes: 512 },
+                    Op::Alltoall { bytes_per_pair: 4096 },
+                ])
+            })
+            .collect();
+        let plain = run(&spec, &noisy_nodes(4, 9), &progs, &net()).expect("valid job");
+        let audited = run_with(&spec, &noisy_nodes(4, 9), &progs, &net(), &RunConfig::validating())
+            .expect("audits pass");
+        assert_eq!(plain.makespan, audited.makespan);
+        assert_eq!(plain.rank_finish, audited.rank_finish);
+        assert_eq!(plain.messages, audited.messages);
+        assert_eq!(plain.bytes, audited.bytes);
+    }
+
+    #[test]
+    fn validate_mode_cross_checks_node_shape() {
+        let spec = wyeast(1, 1, false);
+        let mut nodes = quiet_nodes(1);
+        nodes[0].online_cpus = 2; // disagrees with spec.online_cpus() == 4
+        let prog = RankProgram::new(vec![Op::Compute(SimDuration::from_millis(1))]);
+        // Tolerated by default (an intentional what-if knob)...
+        assert!(run(&spec, &nodes, std::slice::from_ref(&prog), &net()).is_ok());
+        // ...but flagged under --validate.
+        let r = run_with(&spec, &nodes, &[prog], &net(), &RunConfig::validating());
+        assert!(matches!(r, Err(SimError::InvalidSpec { .. })), "{r:?}");
     }
 
     #[test]
     fn message_order_is_fifo_per_channel() {
-        let spec = ClusterSpec::wyeast(2, 1, false);
+        let spec = wyeast(2, 1, false);
         let p0 = RankProgram::new(vec![
             Op::Send { dst: 1, bytes: 100, tag: 5 },
             Op::Send { dst: 1, bytes: 200, tag: 5 },
         ]);
         let p1 = RankProgram::new(vec![Op::Recv { src: 0, tag: 5 }, Op::Recv { src: 0, tag: 5 }]);
-        let out = run(&spec, &quiet_nodes(2), &[p0, p1], &net());
+        let out = run(&spec, &quiet_nodes(2), &[p0, p1], &net()).expect("valid job");
         assert_eq!(out.messages, 2);
         assert_eq!(out.bytes, 300);
     }

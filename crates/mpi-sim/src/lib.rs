@@ -14,13 +14,19 @@
 //! * [`engine`] — the event loop mapping every timestamp through the
 //!   owning node's freeze schedule.
 //!
+//! The engine never panics on bad input: [`run`] returns
+//! `Result<RunOutcome, SimError>`, rejecting malformed jobs as
+//! [`SimError::InvalidSpec`] and diagnosing unmatched messages as
+//! [`SimError::Deadlock`] with the stuck ranks named. [`run_with`] adds
+//! opt-in end-of-run audits via [`RunConfig`].
+//!
 //! ```
 //! use mpi_sim::*;
 //! use machine::SmiSideEffects;
 //! use sim_core::{FreezeSchedule, SimDuration};
 //!
 //! // Four quiet nodes run a compute+allreduce job.
-//! let spec = ClusterSpec::wyeast(4, 1, false);
+//! let spec = ClusterSpec::wyeast(4, 1, false).expect("valid shape");
 //! let programs: Vec<RankProgram> = (0..4)
 //!     .map(|_| RankProgram::new(vec![
 //!         Op::Compute(SimDuration::from_millis(250)),
@@ -34,7 +40,8 @@
 //!         online_cpus: 4,
 //!     })
 //!     .collect();
-//! let out = run(&spec, &nodes, &programs, &NetworkParams::gigabit_cluster());
+//! let out = run(&spec, &nodes, &programs, &NetworkParams::gigabit_cluster())
+//!     .expect("valid job");
 //! assert!(out.seconds() >= 0.25);
 //! assert_eq!(out.messages, 4 * 2); // recursive doubling: log2(4) rounds x 4 ranks
 //! ```
@@ -48,6 +55,7 @@ pub mod network;
 pub mod program;
 
 pub use cluster::{ClusterSpec, NodeState};
-pub use engine::{run, RunResult};
+pub use engine::{run, run_with, RunConfig, RunOutcome};
 pub use network::{NetworkParams, NicState};
 pub use program::{lower, LowOp, Op, RankProgram};
+pub use sim_core::{BlockedOp, BlockedOpKind, SimError};

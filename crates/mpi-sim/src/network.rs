@@ -12,7 +12,7 @@
 //! the number of MPI ranks increases" — all-to-all traffic from four
 //! ranks funnels through one wire.
 
-use sim_core::{SimDuration, SimTime};
+use sim_core::{SimDuration, SimError, SimTime};
 
 /// Interconnect parameters.
 #[derive(Clone, Copy, Debug, jsonio::ToJson)]
@@ -86,19 +86,34 @@ impl NicState {
     /// Reserve the sender's transmit side and the receiver's receive side
     /// for a transfer that may begin at `earliest` and occupies the wire
     /// for `wire`; returns the transfer's `(start, end)`.
+    ///
+    /// Intra-node traffic never touches the NIC (the engine routes it
+    /// through shared memory), so `src == dst` — or a node index past the
+    /// NIC table — is an engine invariant violation, reported as data.
     pub fn reserve(
         &mut self,
         src: usize,
         dst: usize,
         earliest: SimTime,
         wire: SimDuration,
-    ) -> (SimTime, SimTime) {
-        assert!(src != dst, "intra-node traffic does not use the NIC");
+    ) -> Result<(SimTime, SimTime), SimError> {
+        if src == dst {
+            return Err(SimError::invariant(
+                "NIC routing",
+                format!("intra-node traffic (node {src}) does not use the NIC"),
+            ));
+        }
+        if src >= self.tx_free.len() || dst >= self.rx_free.len() {
+            return Err(SimError::invariant(
+                "NIC routing",
+                format!("transfer {src} -> {dst} beyond the {}-node NIC table", self.tx_free.len()),
+            ));
+        }
         let start = earliest.max(self.tx_free[src]).max(self.rx_free[dst]);
         let end = start + wire;
         self.tx_free[src] = end;
         self.rx_free[dst] = end;
-        (start, end)
+        Ok((start, end))
     }
 
     /// When a node's transmit direction next becomes free.
@@ -138,15 +153,15 @@ mod tests {
     fn nic_serializes_same_direction_transfers() {
         let mut nic = NicState::new(3);
         let wire = SimDuration::from_millis(10);
-        let (s1, e1) = nic.reserve(0, 1, SimTime::ZERO, wire);
+        let (s1, e1) = nic.reserve(0, 1, SimTime::ZERO, wire).expect("valid route");
         assert_eq!(s1, SimTime::ZERO);
         assert_eq!(e1, SimTime::from_millis(10));
         // A second send from node 0 queues behind the first on its tx side.
-        let (s2, e2) = nic.reserve(0, 2, SimTime::ZERO, wire);
+        let (s2, e2) = nic.reserve(0, 2, SimTime::ZERO, wire).expect("valid route");
         assert_eq!(s2, SimTime::from_millis(10));
         assert_eq!(e2, SimTime::from_millis(20));
         // 1 -> 2: node 1's tx is free, but node 2's rx is busy until 20.
-        let (s3, _) = nic.reserve(1, 2, SimTime::ZERO, wire);
+        let (s3, _) = nic.reserve(1, 2, SimTime::ZERO, wire).expect("valid route");
         assert_eq!(s3, SimTime::from_millis(20));
     }
 
@@ -154,9 +169,9 @@ mod tests {
     fn nic_is_full_duplex() {
         let mut nic = NicState::new(2);
         let wire = SimDuration::from_millis(10);
-        let (s1, _) = nic.reserve(0, 1, SimTime::ZERO, wire);
+        let (s1, _) = nic.reserve(0, 1, SimTime::ZERO, wire).expect("valid route");
         // The reverse direction proceeds concurrently.
-        let (s2, _) = nic.reserve(1, 0, SimTime::ZERO, wire);
+        let (s2, _) = nic.reserve(1, 0, SimTime::ZERO, wire).expect("valid route");
         assert_eq!(s1, SimTime::ZERO);
         assert_eq!(s2, SimTime::ZERO);
         assert_eq!(nic.tx_free_at(0), SimTime::from_millis(10));
@@ -167,17 +182,20 @@ mod tests {
     fn disjoint_pairs_proceed_in_parallel() {
         let mut nic = NicState::new(4);
         let wire = SimDuration::from_millis(5);
-        let (s1, _) = nic.reserve(0, 1, SimTime::ZERO, wire);
-        let (s2, _) = nic.reserve(2, 3, SimTime::ZERO, wire);
+        let (s1, _) = nic.reserve(0, 1, SimTime::ZERO, wire).expect("valid route");
+        let (s2, _) = nic.reserve(2, 3, SimTime::ZERO, wire).expect("valid route");
         assert_eq!(s1, SimTime::ZERO);
         assert_eq!(s2, SimTime::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "intra-node")]
-    fn same_node_reserve_is_a_bug() {
+    fn same_node_reserve_is_an_invariant_violation() {
+        use sim_core::SimError;
         let mut nic = NicState::new(2);
-        nic.reserve(1, 1, SimTime::ZERO, SimDuration::from_millis(1));
+        let err = nic.reserve(1, 1, SimTime::ZERO, SimDuration::from_millis(1));
+        assert!(matches!(err, Err(SimError::InvariantViolation { .. })), "{err:?}");
+        let oob = nic.reserve(0, 5, SimTime::ZERO, SimDuration::from_millis(1));
+        assert!(matches!(oob, Err(SimError::InvariantViolation { .. })), "{oob:?}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! freezes interact with every round, producing the paper's
 //! amplification at scale.
 
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SimError};
 
 /// High-level MPI operation.
 #[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
@@ -94,18 +94,64 @@ impl RankProgram {
         RankProgram { ops, memory_intensity: 0.5, comm_intensity: 0.2 }
     }
 
-    /// Set the memory intensity.
+    /// Set the memory intensity. Out-of-domain values are clamped into
+    /// `[0, 1]` (NaN maps to 0); the engine's validation path reports a
+    /// typed [`SimError::InvalidSpec`] for raw out-of-domain fields.
     pub fn with_memory_intensity(mut self, mi: f64) -> Self {
-        assert!((0.0..=1.0).contains(&mi), "memory intensity {mi}");
-        self.memory_intensity = mi;
+        self.memory_intensity = if mi.is_nan() { 0.0 } else { mi.clamp(0.0, 1.0) };
         self
     }
 
-    /// Set the communication intensity.
+    /// Set the communication intensity, clamped like
+    /// [`with_memory_intensity`](Self::with_memory_intensity).
     pub fn with_comm_intensity(mut self, ci: f64) -> Self {
-        assert!((0.0..=1.0).contains(&ci), "comm intensity {ci}");
-        self.comm_intensity = ci;
+        self.comm_intensity = if ci.is_nan() { 0.0 } else { ci.clamp(0.0, 1.0) };
         self
+    }
+
+    /// Check every operation targets a real, distinct peer for a job of
+    /// `size` ranks when this program runs as `rank`.
+    pub fn validate(&self, rank: u32, size: u32) -> Result<(), SimError> {
+        let ctx = || format!("rank {rank} program");
+        if rank >= size {
+            return Err(SimError::invalid(ctx(), format!("rank out of range for size {size}")));
+        }
+        let peer = |what: &str, p: u32| -> Result<(), SimError> {
+            if p >= size {
+                Err(SimError::invalid(ctx(), format!("{what} rank {p} out of range (size {size})")))
+            } else if p == rank {
+                Err(SimError::invalid(ctx(), format!("{what} rank {p} is the rank itself")))
+            } else {
+                Ok(())
+            }
+        };
+        for op in &self.ops {
+            match *op {
+                Op::Compute(_) | Op::Barrier | Op::Allreduce { .. } | Op::Alltoall { .. } => {}
+                Op::Send { dst, .. } => peer("send to", dst)?,
+                Op::Recv { src, .. } => peer("recv from", src)?,
+                Op::Bcast { root, .. } | Op::Reduce { root, .. } => {
+                    if root >= size {
+                        return Err(SimError::invalid(
+                            ctx(),
+                            format!("collective root {root} out of range (size {size})"),
+                        ));
+                    }
+                }
+                Op::Exchange { send_to, recv_from, .. } => {
+                    peer("exchange to", send_to)?;
+                    peer("exchange from", recv_from)?;
+                }
+            }
+        }
+        for (name, v) in
+            [("memory intensity", self.memory_intensity), ("comm intensity", self.comm_intensity)]
+        {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(SimError::invalid(ctx(), format!("{name} {v} outside [0, 1]")));
+            }
+        }
+        Ok(())
     }
 
     /// Total local compute in the program.
@@ -164,27 +210,24 @@ pub const COLLECTIVE_TAG_BASE: u64 = 1 << 32;
 pub const TAGS_PER_COLLECTIVE: u64 = 4096;
 
 /// Lower a rank's program. `rank` and `size` follow MPI conventions;
-/// `reduce_cost` prices the combining work per reduction round.
+/// `reduce_cost` prices the combining work per reduction round. The
+/// program is [`validate`](RankProgram::validate)d first, so malformed
+/// peers or roots surface as [`SimError::InvalidSpec`] instead of
+/// producing a lowered program that can never match.
 pub fn lower(
     program: &RankProgram,
     rank: u32,
     size: u32,
     reduce_cost: impl Fn(u64) -> SimDuration,
-) -> Vec<LowOp> {
-    assert!(rank < size, "rank {rank} out of range for size {size}");
+) -> Result<Vec<LowOp>, SimError> {
+    program.validate(rank, size)?;
     let mut out = Vec::with_capacity(program.ops.len() * 2);
     let mut collective_idx = 0u64;
     for op in &program.ops {
         match *op {
             Op::Compute(w) => out.push(LowOp::Compute(w)),
-            Op::Send { dst, bytes, tag } => {
-                assert!(dst < size, "send to rank {dst} out of range");
-                out.push(LowOp::Send { dst, bytes, tag: tag as u64 })
-            }
-            Op::Recv { src, tag } => {
-                assert!(src < size, "recv from rank {src} out of range");
-                out.push(LowOp::Recv { src, tag: tag as u64 })
-            }
+            Op::Send { dst, bytes, tag } => out.push(LowOp::Send { dst, bytes, tag: tag as u64 }),
+            Op::Recv { src, tag } => out.push(LowOp::Recv { src, tag: tag as u64 }),
             Op::Barrier => {
                 lower_barrier(&mut out, rank, size, base_tag(&mut collective_idx));
             }
@@ -215,15 +258,11 @@ pub fn lower(
                 lower_alltoall(&mut out, rank, size, bytes_per_pair, base_tag(&mut collective_idx));
             }
             Op::Exchange { send_to, recv_from, bytes, tag } => {
-                assert!(send_to < size, "exchange with rank {send_to} out of range");
-                assert!(recv_from < size, "exchange from rank {recv_from} out of range");
-                assert_ne!(send_to, rank, "exchange with self");
-                assert_ne!(recv_from, rank, "exchange from self");
                 out.push(LowOp::SendRecv { dst: send_to, src: recv_from, bytes, tag: tag as u64 });
             }
         }
     }
-    out
+    Ok(out)
 }
 
 fn base_tag(collective_idx: &mut u64) -> u64 {
@@ -249,9 +288,8 @@ fn lower_barrier(out: &mut Vec<LowOp>, rank: u32, size: u32, tag: u64) {
     }
 }
 
-/// Binomial-tree broadcast rooted at `root`.
+/// Binomial-tree broadcast rooted at `root` (range-checked by `lower`).
 fn lower_bcast(out: &mut Vec<LowOp>, rank: u32, size: u32, root: u32, bytes: u64, tag: u64) {
-    assert!(root < size, "bcast root {root} out of range");
     if size <= 1 {
         return;
     }
@@ -291,7 +329,6 @@ fn lower_reduce(
     tag: u64,
     reduce_cost: &impl Fn(u64) -> SimDuration,
 ) {
-    assert!(root < size, "reduce root {root} out of range");
     if size <= 1 {
         return;
     }
@@ -323,7 +360,7 @@ fn lower_allreduce_rd(
     tag: u64,
     reduce_cost: &impl Fn(u64) -> SimDuration,
 ) {
-    assert!(size.is_power_of_two(), "recursive doubling needs power-of-two size");
+    // `lower` only picks recursive doubling for power-of-two sizes.
     if size <= 1 {
         return;
     }
@@ -391,7 +428,9 @@ mod tests {
     }
 
     fn lower_all(op: Op, size: u32) -> Vec<Vec<LowOp>> {
-        (0..size).map(|r| lower(&RankProgram::new(vec![op.clone()]), r, size, no_cost)).collect()
+        (0..size)
+            .map(|r| lower(&RankProgram::new(vec![op.clone()]), r, size, no_cost).expect("lowers"))
+            .collect()
     }
 
     #[test]
@@ -462,7 +501,8 @@ mod tests {
     #[test]
     fn reduce_charges_combining_cost() {
         let cost = |b: u64| SimDuration::from_nanos(b);
-        let prog = lower(&RankProgram::new(vec![Op::Reduce { root: 0, bytes: 100 }]), 0, 4, cost);
+        let prog = lower(&RankProgram::new(vec![Op::Reduce { root: 0, bytes: 100 }]), 0, 4, cost)
+            .expect("lowers");
         let computes = prog.iter().filter(|o| matches!(o, LowOp::Compute(_))).count();
         // Rank 0 receives from ranks 1 and 2 directly: two combines.
         assert_eq!(computes, 2);
@@ -516,7 +556,7 @@ mod tests {
             Op::Send { dst: 1, bytes: 100, tag: 7 },
             Op::Recv { src: 1, tag: 8 },
         ]);
-        let low = lower(&prog, 0, 2, no_cost);
+        let low = lower(&prog, 0, 2, no_cost).expect("lowers");
         assert_eq!(low.len(), 3);
         assert_eq!(low[1], LowOp::Send { dst: 1, bytes: 100, tag: 7 });
         assert_eq!(low[2], LowOp::Recv { src: 1, tag: 8 });
@@ -525,7 +565,7 @@ mod tests {
     #[test]
     fn collective_instances_get_distinct_tags() {
         let prog = RankProgram::new(vec![Op::Barrier, Op::Barrier]);
-        let low = lower(&prog, 0, 4, no_cost);
+        let low = lower(&prog, 0, 4, no_cost).expect("lowers");
         let tags: Vec<u64> = low
             .iter()
             .filter_map(|o| match o {
@@ -541,15 +581,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn rejects_bad_rank() {
-        let _ = lower(&RankProgram::new(vec![]), 5, 4, no_cost);
+    fn rejects_bad_rank_with_typed_error() {
+        let err = lower(&RankProgram::new(vec![]), 5, 4, no_cost);
+        match err {
+            Err(SimError::InvalidSpec { problem, .. }) => {
+                assert!(problem.contains("out of range"), "{problem:?}")
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_self_messaging_and_bad_peers() {
+        let cases = vec![
+            Op::Send { dst: 0, bytes: 8, tag: 1 },
+            Op::Recv { src: 0, tag: 1 },
+            Op::Send { dst: 9, bytes: 8, tag: 1 },
+            Op::Recv { src: 9, tag: 1 },
+            Op::Bcast { root: 9, bytes: 8 },
+            Op::Reduce { root: 9, bytes: 8 },
+            Op::Exchange { send_to: 0, recv_from: 1, bytes: 8, tag: 1 },
+            Op::Exchange { send_to: 1, recv_from: 9, bytes: 8, tag: 1 },
+        ];
+        for op in cases {
+            let r = lower(&RankProgram::new(vec![op.clone()]), 0, 4, no_cost);
+            assert!(matches!(r, Err(SimError::InvalidSpec { .. })), "{op:?} gave {r:?}");
+        }
     }
 
     #[test]
     fn memory_intensity_validation() {
         let p = RankProgram::new(vec![]).with_memory_intensity(0.9);
         assert_eq!(p.memory_intensity, 0.9);
+        // Degenerate builder inputs normalize instead of panicking...
+        assert_eq!(RankProgram::new(vec![]).with_memory_intensity(f64::NAN).memory_intensity, 0.0);
+        assert_eq!(RankProgram::new(vec![]).with_comm_intensity(7.0).comm_intensity, 1.0);
+        // ...while raw out-of-domain fields are caught by validate().
+        let mut p = RankProgram::new(vec![]);
+        p.comm_intensity = f64::INFINITY;
+        assert!(matches!(p.validate(0, 1), Err(SimError::InvalidSpec { .. })));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the cluster engine and collective lowering.
 
 use machine::SmiSideEffects;
-use mpi_sim::{lower, ClusterSpec, LowOp, NetworkParams, NodeState, Op, RankProgram};
+use mpi_sim::{
+    lower, ClusterSpec, LowOp, NetworkParams, NodeState, Op, RankProgram, RunConfig, SimError,
+};
 use quickprop::{check, Gen};
 use sim_core::{DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng};
 use std::collections::HashMap;
@@ -64,13 +66,20 @@ fn quiet_nodes(nodes: u32) -> Vec<NodeState> {
         .collect()
 }
 
+fn wyeast(nodes: u32, rpn: u32, htt: bool) -> ClusterSpec {
+    ClusterSpec::wyeast(nodes, rpn, htt).expect("valid shape")
+}
+
 #[test]
 fn lowering_is_always_matched() {
     check("lowering_is_always_matched", 48, |g| {
         let size = g.pick(&[2u32, 3, 4, 5, 8, 16]);
         let ops = clamped_ops(g, 1..8, size);
         let programs: Vec<Vec<LowOp>> = (0..size)
-            .map(|r| lower(&RankProgram::new(ops.clone()), r, size, |_| SimDuration::ZERO))
+            .map(|r| {
+                lower(&RankProgram::new(ops.clone()), r, size, |_| SimDuration::ZERO)
+                    .expect("SPMD collective programs lower")
+            })
             .collect();
         assert_matched(&programs);
     });
@@ -81,12 +90,18 @@ fn spmd_collective_jobs_always_terminate() {
     check("spmd_collective_jobs_always_terminate", 48, |g| {
         let nodes = g.pick(&[2u32, 4, 8]);
         let ops = clamped_ops(g, 1..6, nodes);
-        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let spec = wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> =
             (0..nodes).map(|_| RankProgram::new(ops.clone())).collect();
-        // run() panics on deadlock; completing is the property.
-        let out =
-            mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
+        // Completing without error — under the audits — is the property.
+        let out = mpi_sim::run_with(
+            &spec,
+            &quiet_nodes(nodes),
+            &programs,
+            &NetworkParams::gigabit_cluster(),
+            &RunConfig::validating(),
+        )
+        .expect("SPMD collective jobs terminate cleanly");
         assert!(out.makespan >= SimDuration::ZERO);
         // Makespan is at least the per-rank compute.
         let compute = programs[0].total_compute();
@@ -101,7 +116,7 @@ fn noise_never_speeds_a_job_up() {
         let iters = g.u32(1..10);
         let seed = g.any_u64();
         let nodes = 4u32;
-        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let spec = wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> = (0..nodes)
             .map(|_| {
                 let mut ops = Vec::new();
@@ -113,7 +128,8 @@ fn noise_never_speeds_a_job_up() {
             })
             .collect();
         let net = NetworkParams::gigabit_cluster();
-        let base = mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &net).makespan;
+        let base =
+            mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &net).expect("valid job").makespan;
 
         let mut rng = SimRng::new(seed);
         let noisy: Vec<NodeState> = (0..nodes)
@@ -127,7 +143,7 @@ fn noise_never_speeds_a_job_up() {
                 online_cpus: 4,
             })
             .collect();
-        let noised = mpi_sim::run(&spec, &noisy, &programs, &net).makespan;
+        let noised = mpi_sim::run(&spec, &noisy, &programs, &net).expect("valid job").makespan;
         assert!(noised >= base, "noise sped the job up: {noised:?} < {base:?}");
     });
 }
@@ -138,7 +154,7 @@ fn engine_is_deterministic() {
         let bytes = g.u64(1..500_000);
         let nodes = g.pick(&[2u32, 4]);
         let seed = g.any_u64();
-        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let spec = wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> = (0..nodes)
             .map(|_| {
                 RankProgram::new(vec![
@@ -163,8 +179,8 @@ fn engine_is_deterministic() {
                 })
                 .collect()
         };
-        let a = mpi_sim::run(&spec, &mk_nodes(), &programs, &net);
-        let b = mpi_sim::run(&spec, &mk_nodes(), &programs, &net);
+        let a = mpi_sim::run(&spec, &mk_nodes(), &programs, &net).expect("valid job");
+        let b = mpi_sim::run(&spec, &mk_nodes(), &programs, &net).expect("valid job");
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.bytes, b.bytes);
@@ -176,12 +192,108 @@ fn barrier_count_scales_messages_linearly() {
     check("barrier_count_scales_messages_linearly", 48, |g| {
         let barriers = g.usize(1..10);
         let nodes = 8u32;
-        let spec = ClusterSpec::wyeast(nodes, 1, false);
+        let spec = wyeast(nodes, 1, false);
         let programs: Vec<RankProgram> =
             (0..nodes).map(|_| RankProgram::new(vec![Op::Barrier; barriers])).collect();
         let out =
-            mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
+            mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster())
+                .expect("valid job");
         // Dissemination barrier: n x log2(n) sendrecvs per barrier.
         assert_eq!(out.messages, (barriers as u64) * 8 * 3);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Validity properties: mutated (broken) jobs must come back as typed
+// errors — never a hang, never a panic.
+// ---------------------------------------------------------------------------
+
+/// The mutated-job property shared by the cases below: running the
+/// programs yields a structured rejection within the engine's stall
+/// bound. `Stalled` is also accepted — it is the engine's own bounded
+/// cut-off — but silent success and panics are failures.
+fn assert_rejected(spec: &ClusterSpec, programs: &[RankProgram], what: &str) {
+    let result = mpi_sim::run_with(
+        spec,
+        &quiet_nodes(spec.nodes),
+        programs,
+        &NetworkParams::gigabit_cluster(),
+        &RunConfig::validating(),
+    );
+    match result {
+        Err(SimError::Deadlock { ref waiting_ranks, .. }) => {
+            assert!(!waiting_ranks.is_empty(), "{what}: deadlock without stuck ranks");
+        }
+        Err(SimError::InvalidSpec { .. })
+        | Err(SimError::InvariantViolation { .. })
+        | Err(SimError::Stalled { .. }) => {}
+        Ok(_) => panic!("{what}: mutated job completed successfully"),
+    }
+}
+
+#[test]
+fn dropped_sends_are_diagnosed_not_hung() {
+    check("dropped_sends_are_diagnosed_not_hung", 32, |g| {
+        let nodes = g.pick(&[2u32, 4, 8]);
+        // A ring of eager-or-rendezvous point-to-point traffic...
+        let bytes = if g.bool() { 128 } else { 10 << 20 };
+        let mut programs: Vec<RankProgram> = (0..nodes)
+            .map(|r| {
+                let dst = (r + 1) % nodes;
+                let src = (r + nodes - 1) % nodes;
+                RankProgram::new(vec![Op::Send { dst, bytes, tag: 5 }, Op::Recv { src, tag: 5 }])
+            })
+            .collect();
+        // ...with one victim rank's send deleted, so its neighbour's recv
+        // can never match.
+        let victim = g.u32(0..nodes) as usize;
+        programs[victim].ops.retain(|op| !matches!(op, Op::Send { .. }));
+        let spec = wyeast(nodes, 1, false);
+        assert_rejected(&spec, &programs, "dropped send");
+    });
+}
+
+#[test]
+fn self_messages_are_invalid_specs() {
+    check("self_messages_are_invalid_specs", 32, |g| {
+        let nodes = g.pick(&[2u32, 4]);
+        let rank = g.u32(0..nodes);
+        let op = if g.bool() {
+            Op::Send { dst: rank, bytes: g.u64(1..10_000), tag: 1 }
+        } else {
+            Op::Recv { src: rank, tag: 1 }
+        };
+        let mut programs: Vec<RankProgram> =
+            (0..nodes).map(|_| RankProgram::new(vec![Op::Barrier])).collect();
+        programs[rank as usize].ops.push(op);
+        let spec = wyeast(nodes, 1, false);
+        let r =
+            mpi_sim::run(&spec, &quiet_nodes(nodes), &programs, &NetworkParams::gigabit_cluster());
+        assert!(matches!(r, Err(SimError::InvalidSpec { .. })), "self-message gave {r:?}");
+    });
+}
+
+#[test]
+fn truncated_collectives_are_diagnosed_not_hung() {
+    check("truncated_collectives_are_diagnosed_not_hung", 32, |g| {
+        let nodes = g.pick(&[2u32, 4, 8]);
+        let ops = clamped_ops(g, 1..5, nodes);
+        // Require at least one communicating collective to truncate.
+        if !ops.iter().any(|op| !matches!(op, Op::Compute(_))) {
+            return;
+        }
+        let mut programs: Vec<RankProgram> =
+            (0..nodes).map(|_| RankProgram::new(ops.clone())).collect();
+        // One victim rank stops right before its final communicating op:
+        // its peers' matching rounds can then never complete.
+        let victim = g.u32(0..nodes) as usize;
+        let cut = programs[victim]
+            .ops
+            .iter()
+            .rposition(|op| !matches!(op, Op::Compute(_)))
+            .expect("communicating op present");
+        programs[victim].ops.truncate(cut);
+        let spec = wyeast(nodes, 1, false);
+        assert_rejected(&spec, &programs, "truncated collective");
     });
 }

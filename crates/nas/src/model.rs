@@ -18,7 +18,7 @@
 use crate::classes::Class;
 use crate::paper::{serial_seconds, Bench};
 use mpi_sim::{ClusterSpec, NetworkParams, NodeState, Op, RankProgram};
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SimError};
 
 /// Per-benchmark workload character (drives the SMI side-effect scaling).
 fn intensities(bench: Bench, total_ranks: u32) -> (f64, f64) {
@@ -239,27 +239,33 @@ pub fn quiet_nodes(spec: &ClusterSpec) -> Vec<NodeState> {
 /// simulation hit `target_secs` (the paper's SMM-0 measurement for this
 /// cell). Returns the adjustment in seconds; converges in a few
 /// fixed-point iterations because the makespan responds nearly linearly
-/// to uniform compute changes.
+/// to uniform compute changes. A non-positive target or a cell the
+/// engine rejects surfaces as a typed [`SimError`].
 pub fn calibrate_extra(
     bench: Bench,
     class: Class,
     spec: &ClusterSpec,
     network: &NetworkParams,
     target_secs: f64,
-) -> f64 {
-    assert!(target_secs > 0.0, "non-positive calibration target");
+) -> Result<f64, SimError> {
+    if target_secs.is_nan() || target_secs <= 0.0 {
+        return Err(SimError::invalid(
+            "calibration",
+            format!("non-positive target {target_secs} s"),
+        ));
+    }
     let ones = vec![1.0; spec.total_ranks() as usize];
     let mut extra = 0.0f64;
     for _ in 0..6 {
         let progs = programs(bench, class, spec, extra, &ones);
-        let t = mpi_sim::run(spec, &quiet_nodes(spec), &progs, network).seconds();
+        let t = mpi_sim::run(spec, &quiet_nodes(spec), &progs, network)?.seconds();
         let diff = target_secs - t;
         if diff.abs() < 0.005 * target_secs {
             break;
         }
         extra += diff;
     }
-    extra
+    Ok(extra)
 }
 
 #[cfg(test)]
@@ -277,27 +283,27 @@ mod tests {
 
     #[test]
     fn ep_single_rank_matches_serial_time() {
-        let spec = ClusterSpec::wyeast(1, 1, false);
+        let spec = ClusterSpec::wyeast(1, 1, false).expect("valid shape");
         let progs = programs(Bench::Ep, Class::A, &spec, 0.0, &ones(1));
-        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net());
+        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net()).expect("valid job");
         assert!((out.seconds() - 23.12).abs() < 0.01, "{}", out.seconds());
     }
 
     #[test]
     fn ep_scales_nearly_linearly() {
-        let spec = ClusterSpec::wyeast(16, 1, false);
+        let spec = ClusterSpec::wyeast(16, 1, false).expect("valid shape");
         let progs = programs(Bench::Ep, Class::B, &spec, 0.0, &ones(16));
-        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net());
+        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net()).expect("valid job");
         let ideal = 92.72 / 16.0;
         assert!((out.seconds() - ideal).abs() / ideal < 0.05, "{} vs ideal {ideal}", out.seconds());
     }
 
     #[test]
     fn bt_programs_require_square_counts() {
-        let spec = ClusterSpec::wyeast(4, 1, false);
+        let spec = ClusterSpec::wyeast(4, 1, false).expect("valid shape");
         let progs = programs(Bench::Bt, Class::A, &spec, 0.0, &ones(4));
         assert_eq!(progs.len(), 4);
-        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net());
+        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net()).expect("valid job");
         // Physical model is faster than the paper's measured 27.44 s (the
         // paper's TCP-over-GigE overheads are calibrated in separately).
         assert!(out.seconds() > 86.87 / 4.0 * 0.9, "{}", out.seconds());
@@ -306,15 +312,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "square")]
     fn bt_rejects_non_square() {
-        let spec = ClusterSpec::wyeast(2, 1, false);
+        let spec = ClusterSpec::wyeast(2, 1, false).expect("valid shape");
         let _ = programs(Bench::Bt, Class::A, &spec, 0.0, &ones(2));
     }
 
     #[test]
     fn ft_alltoall_volume_matches_dataset() {
-        let spec = ClusterSpec::wyeast(4, 1, false);
+        let spec = ClusterSpec::wyeast(4, 1, false).expect("valid shape");
         let progs = programs(Bench::Ft, Class::A, &spec, 0.0, &ones(4));
-        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net());
+        let out = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net()).expect("valid job");
         // 7 all-to-alls move (P-1)/P of the 128 MiB dataset each.
         let expected_bytes = 7 * (Class::A.ft_points() * 16 / 16) * 12;
         assert!(
@@ -336,13 +342,15 @@ mod tests {
             (Bench::Ft, Class::B, 4, 4),
         ];
         for (bench, class, nodes, rpn) in cases {
-            let spec = ClusterSpec::wyeast(nodes, rpn, false);
+            let spec = ClusterSpec::wyeast(nodes, rpn, false).expect("valid shape");
             let target = table_cell(bench, class, nodes, rpn)
                 .and_then(|c| c.baseline())
                 .expect("paper cell exists");
-            let extra = calibrate_extra(bench, class, &spec, &net(), target);
+            let extra = calibrate_extra(bench, class, &spec, &net(), target).expect("calibrates");
             let progs = programs(bench, class, &spec, extra, &ones(spec.total_ranks()));
-            let t = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net()).seconds();
+            let t = mpi_sim::run(&spec, &quiet_nodes(&spec), &progs, &net())
+                .expect("valid job")
+                .seconds();
             assert!(
                 (t - target).abs() / target < 0.02,
                 "{} {} n{nodes} r{rpn}: calibrated {t} vs target {target}",
@@ -366,7 +374,7 @@ mod tests {
 
     #[test]
     fn jitter_scales_compute() {
-        let spec = ClusterSpec::wyeast(1, 1, false);
+        let spec = ClusterSpec::wyeast(1, 1, false).expect("valid shape");
         let fast = programs(Bench::Ep, Class::A, &spec, 0.0, &[0.9]);
         let slow = programs(Bench::Ep, Class::A, &spec, 0.0, &[1.1]);
         assert!(fast[0].total_compute() < slow[0].total_compute());

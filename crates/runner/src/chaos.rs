@@ -34,6 +34,11 @@ pub enum Fault {
     /// Panic on every attempt — a permanent fault that must quarantine
     /// exactly this cell and nothing else.
     PanicAlways,
+    /// Reject the cell with a structured reason instead of running the
+    /// real work — what a simulator `SimError` looks like to the runner.
+    /// Must quarantine immediately (no retries) and degrade, not fail,
+    /// the campaign.
+    Invalid,
     /// Sleep this many milliseconds before the real work — an
     /// artificial straggler. Slows the campaign; must never change its
     /// bytes.
@@ -144,6 +149,17 @@ pub fn afflict(plan: &ChaosPlan, cells: Vec<Cell>) -> Vec<Cell> {
                         Fault::PanicAlways => {
                             // smi-lint: allow(no-panic): the injected fault *is* the panic
                             panic!("chaos: permanent fault in {cell_label}");
+                        }
+                        Fault::Invalid => {
+                            return Err(jsonio::Json::obj(vec![
+                                ("kind", jsonio::Json::Str("chaos-invalid".into())),
+                                (
+                                    "message",
+                                    jsonio::Json::Str(format!(
+                                        "chaos: injected invalid cell {cell_label}"
+                                    )),
+                                ),
+                            ]));
                         }
                         Fault::Straggle(millis) => {
                             std::thread::sleep(std::time::Duration::from_millis(millis));
@@ -272,6 +288,16 @@ mod tests {
             assert!(r.is_err(), "first two attempts panic");
         }
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work));
-        assert_eq!(r.ok(), Some(Json::U64(11)), "third attempt yields the real payload");
+        assert_eq!(r.ok(), Some(Ok(Json::U64(11))), "third attempt yields the real payload");
+    }
+
+    #[test]
+    fn invalid_fault_rejects_with_a_structured_reason() {
+        let mut plan = ChaosPlan::calm(1);
+        plan.pinned.push(("c0".into(), Fault::Invalid));
+        let cells = afflict(&plan, vec![Cell::new(spec("c0"), || Json::U64(11))]);
+        let reason = (cells[0].work)().expect_err("invalid fault must reject");
+        assert_eq!(reason.get("kind").and_then(|k| k.as_str()), Some("chaos-invalid"));
+        assert!(reason.get("message").and_then(|m| m.as_str()).is_some_and(|m| m.contains("c0")));
     }
 }

@@ -24,7 +24,11 @@
 //!   ([`CellOutcome::result`] is a success/failure sum), and downstream
 //!   renderers show an explicitly-marked hole. Cells get a bounded,
 //!   deterministic retry budget ([`Runner::max_attempts`], no wall-clock
-//!   backoff) before quarantine.
+//!   backoff) before quarantine. Work can also *reject its own inputs*
+//!   ([`Cell::fallible`] returning `Err`): such invalid cells are
+//!   quarantined immediately — no retries, the verdict is deterministic
+//!   — and carry a machine-readable `reason` into the report and
+//!   manifest.
 //! * **Completion journal** ([`journal`]) — an append-only JSONL record
 //!   of every completed cell (successes *and* quarantines), written
 //!   crash-safely so a SIGKILL'd campaign resumes exactly.
@@ -37,8 +41,9 @@
 //!   entries, torn temp files, stragglers) proving every recovery path.
 //!
 //! A finished run maps to a process exit discipline via [`RunStatus`]:
-//! `0` clean, `1` degraded (all cells produced, but cache I/O faults
-//! were observed), `2` failed (one or more cells quarantined).
+//! `0` clean, `1` degraded (invalid cells were quarantined with typed
+//! reasons, or cache I/O faults were observed), `2` failed (one or more
+//! cells panicked through their retry budget).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -76,12 +81,26 @@ pub struct Cell {
     pub spec: CellSpec,
     /// Computes the payload. Must be deterministic given `spec` — the
     /// runner may satisfy it from cache or run it on any worker thread.
-    pub work: Box<dyn Fn() -> Json + Send + Sync>,
+    /// `Err` carries a structured reason (e.g. a simulator `SimError`
+    /// rendered as JSON): the cell is *invalid* and is quarantined
+    /// immediately, with no retries — validity failures are
+    /// deterministic, so retrying them only burns budget.
+    pub work: Box<dyn Fn() -> Result<Json, Json> + Send + Sync>,
 }
 
 impl Cell {
-    /// Convenience constructor.
+    /// Convenience constructor for infallible work.
     pub fn new(spec: CellSpec, work: impl Fn() -> Json + Send + Sync + 'static) -> Self {
+        Cell { spec, work: Box::new(move || Ok(work())) }
+    }
+
+    /// Constructor for work that can reject its own inputs: `Err`
+    /// carries a machine-readable reason and quarantines the cell
+    /// without retries.
+    pub fn fallible(
+        spec: CellSpec,
+        work: impl Fn() -> Result<Json, Json> + Send + Sync + 'static,
+    ) -> Self {
         Cell { spec, work: Box::new(work) }
     }
 }
@@ -180,7 +199,8 @@ impl Runner {
         let outcomes = pool::run_jobs(jobs, self.jobs);
         progress.print_summary(label);
         let (done, cached, _) = progress.totals();
-        let (cells_failed, retries, cache_store_errors, cache_load_corruptions) = progress.faults();
+        let (cells_failed, cells_invalid, retries, cache_store_errors, cache_load_corruptions) =
+            progress.faults();
         let quarantined = outcomes
             .iter()
             .filter_map(|o| match &o.result {
@@ -189,7 +209,8 @@ impl Runner {
                     cell: o.spec.cell.clone(),
                     key: o.key,
                     attempts: e.attempts,
-                    panic: e.panic.clone(),
+                    message: e.message.clone(),
+                    reason: e.reason.clone(),
                 }),
                 Ok(_) => None,
             })
@@ -201,6 +222,7 @@ impl Runner {
             cells_total: done,
             cells_cached: cached,
             cells_failed,
+            cells_invalid,
             retries,
             cache_store_errors,
             cache_load_corruptions,
@@ -256,7 +278,7 @@ impl Runner {
             // and the payload of a later successful attempt is a pure
             // function of the cell identity.
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
-                Ok(payload) => {
+                Ok(Ok(payload)) => {
                     if self.cache_mode != CacheMode::Off
                         && cache::store(
                             &self.cache_dir,
@@ -278,19 +300,42 @@ impl Runner {
                         result: Ok(CellValue { payload, cached: false, attempts: attempt, micros }),
                     };
                 }
+                Ok(Err(reason)) => {
+                    // The work rejected its own inputs with a structured
+                    // reason. That verdict is deterministic — quarantine
+                    // immediately, no retries.
+                    let micros = started.elapsed_micros();
+                    progress.cell_invalid(&cell.spec.cell, micros);
+                    journal_completion(journal::Status::Failed, attempt);
+                    return CellOutcome {
+                        spec: cell.spec,
+                        key,
+                        result: Err(CellError {
+                            message: reason_message(&reason),
+                            reason,
+                            attempts: attempt,
+                            micros,
+                        }),
+                    };
+                }
                 Err(panic_payload) => {
                     if attempt < budget {
                         progress.note_retry();
                         continue;
                     }
-                    let panic = panic_message(panic_payload.as_ref());
+                    let message = panic_message(panic_payload.as_ref());
                     let micros = started.elapsed_micros();
                     progress.cell_failed(&cell.spec.cell, micros);
                     journal_completion(journal::Status::Failed, attempt);
                     return CellOutcome {
                         spec: cell.spec,
                         key,
-                        result: Err(CellError { panic, attempts: attempt, micros }),
+                        result: Err(CellError {
+                            message,
+                            reason: Json::Null,
+                            attempts: attempt,
+                            micros,
+                        }),
                     };
                 }
             }
@@ -310,6 +355,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Render a structured rejection reason as the one-line message carried
+/// next to it: the reason's `"message"` field when present (the shape
+/// `SimError::reason_json` produces), the compact JSON otherwise.
+fn reason_message(reason: &Json) -> String {
+    match reason.get("message").and_then(|m| m.as_str()) {
+        Some(m) => m.to_string(),
+        None => reason.to_string(),
+    }
+}
+
 /// The successful side of a cell outcome.
 #[derive(Clone, Debug)]
 pub struct CellValue {
@@ -323,16 +378,30 @@ pub struct CellValue {
     pub micros: u64,
 }
 
-/// The failure side of a cell outcome: the cell exhausted its attempt
-/// budget and was quarantined.
+/// The failure side of a cell outcome: the cell was quarantined, either
+/// because it exhausted its panic-retry budget or because its work
+/// rejected its own inputs with a structured reason.
 #[derive(Clone, Debug)]
 pub struct CellError {
-    /// The final attempt's panic message.
-    pub panic: String,
-    /// Attempts consumed (equals the runner's budget).
+    /// One-line human-readable cause: the final attempt's panic message,
+    /// or the rendered rejection reason.
+    pub message: String,
+    /// Machine-readable rejection reason (e.g. a `SimError` rendered as
+    /// JSON). `Json::Null` for panics — panics carry no structure.
+    pub reason: Json,
+    /// Attempts consumed (the full budget for panics, 1 for invalid
+    /// cells — validity verdicts are deterministic and never retried).
     pub attempts: u32,
     /// Wall time spent across all attempts, in microseconds.
     pub micros: u64,
+}
+
+impl CellError {
+    /// Whether this is a structured validity rejection (as opposed to a
+    /// panic quarantine).
+    pub fn invalid(&self) -> bool {
+        self.reason != Json::Null
+    }
 }
 
 /// One completed cell: its identity plus a success/failure sum.
@@ -360,6 +429,12 @@ impl CellOutcome {
     /// Whether the cell was quarantined.
     pub fn failed(&self) -> bool {
         self.result.is_err()
+    }
+
+    /// Whether the cell was quarantined as *invalid* (a structured
+    /// rejection rather than a panic).
+    pub fn invalid(&self) -> bool {
+        self.result.as_ref().err().map(|e| e.invalid()).unwrap_or(false)
     }
 
     /// Work-closure attempts consumed.
@@ -410,19 +485,24 @@ pub struct QuarantinedCell {
     pub key: cache::CacheKey,
     /// Attempts consumed before quarantine.
     pub attempts: u32,
-    /// The final panic message.
-    pub panic: String,
+    /// One-line cause: panic message or rendered rejection reason.
+    pub message: String,
+    /// Machine-readable rejection reason (`Json::Null` for panics).
+    pub reason: Json,
 }
 
 /// How a finished run maps to a process exit code.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RunStatus {
-    /// Every cell produced a payload and no cache faults were observed.
+    /// Every cell produced a payload and no faults were observed.
     Clean,
-    /// Every cell produced a payload, but cache I/O faults (write
+    /// The campaign completed in a diminished form: cells were
+    /// quarantined as *invalid* (structured rejections — the artifact
+    /// has explicitly-reasoned holes), or cache I/O faults (write
     /// errors, corrupt entries) were observed along the way.
     Degraded,
-    /// One or more cells were quarantined; the artifact has holes.
+    /// One or more cells were quarantined after panicking through their
+    /// whole retry budget; the artifact has unexplained holes.
     Failed,
 }
 
@@ -459,8 +539,10 @@ pub struct RunReport {
     pub cells_total: u64,
     /// Cells satisfied from cache.
     pub cells_cached: u64,
-    /// Cells quarantined after exhausting their attempt budget.
+    /// Cells quarantined after panicking through their attempt budget.
     pub cells_failed: u64,
+    /// Cells quarantined as invalid (structured rejections, no retry).
+    pub cells_invalid: u64,
     /// Caught-and-retried attempts across all cells.
     pub retries: u64,
     /// Cache/journal write failures (observed, not swallowed).
@@ -511,14 +593,18 @@ impl RunReport {
         out
     }
 
-    /// The run's exit discipline: failed if anything was quarantined,
-    /// degraded if cache faults were observed, clean otherwise.
-    /// Successful retries alone do not degrade a run — the records they
-    /// produce are byte-identical to a fault-free run's.
+    /// The run's exit discipline: failed if any cell panicked through
+    /// its budget; degraded if cells were rejected as invalid (the holes
+    /// carry structured reasons) or cache faults were observed; clean
+    /// otherwise. Successful retries alone do not degrade a run — the
+    /// records they produce are byte-identical to a fault-free run's.
     pub fn status(&self) -> RunStatus {
         if self.cells_failed > 0 {
             RunStatus::Failed
-        } else if self.cache_store_errors > 0 || self.cache_load_corruptions > 0 {
+        } else if self.cells_invalid > 0
+            || self.cache_store_errors > 0
+            || self.cache_load_corruptions > 0
+        {
             RunStatus::Degraded
         } else {
             RunStatus::Clean
@@ -528,7 +614,7 @@ impl RunReport {
     /// The machine-readable run manifest.
     pub fn manifest(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::U64(2)),
+            ("schema", Json::U64(3)),
             ("label", Json::Str(self.label.clone())),
             ("code", Json::Str(self.code_version.clone())),
             ("jobs", Json::U64(self.jobs as u64)),
@@ -536,6 +622,7 @@ impl RunReport {
             ("cells_total", Json::U64(self.cells_total)),
             ("cells_cached", Json::U64(self.cells_cached)),
             ("cells_failed", Json::U64(self.cells_failed)),
+            ("cells_invalid", Json::U64(self.cells_invalid)),
             ("retries", Json::U64(self.retries)),
             ("cache_store_errors", Json::U64(self.cache_store_errors)),
             ("cache_load_corruptions", Json::U64(self.cache_load_corruptions)),
@@ -577,7 +664,8 @@ impl RunReport {
                                 ("cell", Json::Str(q.cell.clone())),
                                 ("key", Json::Str(q.key.hex())),
                                 ("attempts", Json::U64(q.attempts as u64)),
-                                ("panic", Json::Str(q.panic.clone())),
+                                ("panic", Json::Str(q.message.clone())),
+                                ("reason", q.reason.clone()),
                             ])
                         })
                         .collect(),
@@ -595,7 +683,16 @@ impl RunReport {
                                 ("key", Json::Str(o.key.hex())),
                                 (
                                     "status",
-                                    Json::Str(if o.failed() { "failed" } else { "ok" }.to_string()),
+                                    Json::Str(
+                                        if o.invalid() {
+                                            "invalid"
+                                        } else if o.failed() {
+                                            "failed"
+                                        } else {
+                                            "ok"
+                                        }
+                                        .to_string(),
+                                    ),
                                 ),
                                 ("cached", Json::Bool(o.cached())),
                                 ("attempts", Json::U64(o.attempts() as u64)),
@@ -789,7 +886,8 @@ mod tests {
         let q = &report.quarantined[0];
         assert_eq!(q.cell, "c3");
         assert_eq!(q.attempts, 3, "budget fully consumed before quarantine");
-        assert!(q.panic.contains("chaos: permanent fault"));
+        assert!(q.message.contains("chaos: permanent fault"));
+        assert_eq!(q.reason, Json::Null, "panics carry no structured reason");
         assert_eq!(report.status(), RunStatus::Failed);
         assert_eq!(report.status().exit_code(), 2);
 
@@ -817,6 +915,72 @@ mod tests {
         let listed = m.get("quarantined").unwrap().as_array().unwrap();
         assert_eq!(listed.len(), 1);
         assert_eq!(listed[0].get("cell").unwrap().as_str(), Some("c3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_cell_quarantines_immediately_and_degrades() {
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut cells = counting_cells(5, &executions);
+        let spec = cells[1].spec.clone();
+        let attempts_seen = Arc::new(AtomicU64::new(0));
+        let tracker = Arc::clone(&attempts_seen);
+        cells[1] = Cell::fallible(spec, move || {
+            tracker.fetch_add(1, Ordering::Relaxed);
+            Err(Json::obj(vec![
+                ("kind", Json::Str("invalid_spec".into())),
+                ("message", Json::Str("cluster spec: zero nodes".into())),
+            ]))
+        });
+        let dir = tmp_dir("invalid");
+        let mut runner = Runner::new(2);
+        runner.cache_dir = dir.clone();
+        runner.verbose = false;
+        runner.max_attempts = 3;
+        let report = runner.run("invalid", cells);
+
+        assert_eq!(report.cells_total, 5, "campaign drains past the invalid cell");
+        assert_eq!(report.cells_invalid, 1);
+        assert_eq!(report.cells_failed, 0);
+        assert_eq!(report.retries, 0, "validity verdicts are never retried");
+        assert_eq!(attempts_seen.load(Ordering::Relaxed), 1, "work ran exactly once");
+        assert_eq!(report.status(), RunStatus::Degraded);
+        assert_eq!(report.status().exit_code(), 1);
+
+        // The quarantine record carries the structured reason.
+        let q = &report.quarantined[0];
+        assert_eq!(q.cell, "c1");
+        assert_eq!(q.attempts, 1);
+        assert_eq!(q.message, "cluster spec: zero nodes");
+        assert_eq!(q.reason.get("kind").and_then(|k| k.as_str()), Some("invalid_spec"));
+        assert!(report.outcomes[1].invalid());
+
+        // Holes are explicit; survivors mint records; nothing is cached.
+        assert_eq!(report.payloads()[1], Json::Null);
+        assert_eq!(report.records_jsonl().lines().count(), 4);
+        assert_eq!(
+            cache::load(
+                &dir,
+                report.outcomes[1].key,
+                &runner.code_version,
+                &report.outcomes[1].spec
+            ),
+            cache::Lookup::Miss,
+            "invalid cells never poison the cache"
+        );
+
+        // The manifest carries counter, status, and reason.
+        let m = report.manifest();
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(3));
+        assert_eq!(m.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(m.get("cells_invalid").unwrap().as_u64(), Some(1));
+        let listed = m.get("quarantined").unwrap().as_array().unwrap();
+        assert_eq!(
+            listed[0].get("reason").unwrap().get("kind").unwrap().as_str(),
+            Some("invalid_spec")
+        );
+        let cells_json = m.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells_json[1].get("status").unwrap().as_str(), Some("invalid"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

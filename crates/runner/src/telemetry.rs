@@ -17,6 +17,7 @@ pub struct Progress {
     done: AtomicU64,
     cached: AtomicU64,
     failed: AtomicU64,
+    invalid: AtomicU64,
     retries: AtomicU64,
     store_errors: AtomicU64,
     load_corruptions: AtomicU64,
@@ -34,6 +35,7 @@ impl Progress {
             done: AtomicU64::new(0),
             cached: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             store_errors: AtomicU64::new(0),
             load_corruptions: AtomicU64::new(0),
@@ -77,6 +79,18 @@ impl Progress {
         self.maybe_print(done, cell);
     }
 
+    /// Record one cell quarantined as *invalid* (its work rejected its
+    /// own inputs with a structured reason — no retries). Counts toward
+    /// `done` like any other drain-past quarantine.
+    pub fn cell_invalid(&self, cell: &str, micros: u64) {
+        let done = self.done.fetch_add(1, Ordering::AcqRel) + 1;
+        self.invalid.fetch_add(1, Ordering::AcqRel);
+        self.exec_micros.fetch_add(micros, Ordering::AcqRel);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(HISTO_BUCKETS - 1);
+        self.histo[bucket].fetch_add(1, Ordering::AcqRel);
+        self.maybe_print(done, cell);
+    }
+
     /// Count one retried attempt (a caught panic with budget remaining).
     pub fn note_retry(&self) {
         self.retries.fetch_add(1, Ordering::AcqRel);
@@ -94,10 +108,12 @@ impl Progress {
         self.load_corruptions.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// Fault counters: `(failed, retries, store_errors, load_corruptions)`.
-    pub fn faults(&self) -> (u64, u64, u64, u64) {
+    /// Fault counters:
+    /// `(failed, invalid, retries, store_errors, load_corruptions)`.
+    pub fn faults(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.failed.load(Ordering::Acquire),
+            self.invalid.load(Ordering::Acquire),
             self.retries.load(Ordering::Acquire),
             self.store_errors.load(Ordering::Acquire),
             self.load_corruptions.load(Ordering::Acquire),
@@ -195,10 +211,10 @@ impl Progress {
             fmt_micros(self.quantile_micros(0.90)),
             fmt_micros(self.quantile_micros(1.0)),
         );
-        let (failed, retries, store_errors, load_corruptions) = self.faults();
-        if failed + retries + store_errors + load_corruptions > 0 {
+        let (failed, invalid, retries, store_errors, load_corruptions) = self.faults();
+        if failed + invalid + retries + store_errors + load_corruptions > 0 {
             eprintln!(
-                "[runner] {label}: faults — {failed} quarantined | {retries} retried attempts | {store_errors} cache write errors | {load_corruptions} corrupt cache entries"
+                "[runner] {label}: faults — {failed} quarantined | {invalid} invalid | {retries} retried attempts | {store_errors} cache write errors | {load_corruptions} corrupt cache entries"
             );
         }
     }
@@ -278,16 +294,21 @@ mod tests {
 
     #[test]
     fn fault_counters_accumulate_independently() {
-        let p = Progress::new(4, false);
+        let p = Progress::new(5, false);
         p.cell_done("a", 10, false);
         p.note_retry();
         p.note_retry();
         p.cell_failed("b", 20);
+        p.cell_invalid("c", 30);
         p.note_store_error();
         p.note_load_corruption();
-        assert_eq!(p.faults(), (1, 2, 1, 1));
+        assert_eq!(p.faults(), (1, 1, 2, 1, 1));
         let (done, cached, _) = p.totals();
-        assert_eq!((done, cached), (2, 0), "failed cells count as done, never as cached");
+        assert_eq!(
+            (done, cached),
+            (3, 0),
+            "failed and invalid cells count as done, never as cached"
+        );
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn permanent_fault_quarantines_exactly_that_cell_and_exits_2() {
     assert_eq!(report.quarantined.len(), 1);
     assert_eq!(report.quarantined[0].cell, "c5");
     assert_eq!(report.quarantined[0].attempts, runner.max_attempts);
-    assert!(report.quarantined[0].panic.contains("chaos: permanent fault"));
+    assert!(report.quarantined[0].message.contains("chaos: permanent fault"));
     assert_eq!(report.status(), RunStatus::Failed);
     assert_eq!(report.status().exit_code(), 2);
 
@@ -161,6 +161,45 @@ fn stragglers_slow_the_campaign_but_never_change_its_bytes() {
     assert_eq!(report.cells_failed, 0);
     assert_eq!(report.status(), RunStatus::Clean);
     assert_eq!(report.records_jsonl(), reference.records_jsonl());
+}
+
+#[test]
+fn invalid_cell_degrades_a_50_cell_campaign_without_touching_survivors() {
+    // Satellite case: one cell rejected as invalid (the runner-side view
+    // of a simulator `SimError`) quarantines with its structured reason,
+    // the campaign exits 1 (degraded, not failed), and all 49 survivors
+    // are byte-identical to the fault-free run.
+    let executions = Arc::new(AtomicU64::new(0));
+    let reference = run_no_cache(4, campaign(50, &executions));
+
+    let mut plan = ChaosPlan::calm(11);
+    plan.pinned.push(("c17".into(), Fault::Invalid));
+    let report = run_no_cache(4, chaos::afflict(&plan, campaign(50, &executions)));
+
+    assert_eq!(report.cells_total, 50, "the campaign drains past the invalid cell");
+    assert_eq!(report.cells_invalid, 1);
+    assert_eq!(report.cells_failed, 0);
+    assert_eq!(report.retries, 0, "invalid verdicts are never retried");
+    assert_eq!(report.status(), RunStatus::Degraded);
+    assert_eq!(report.status().exit_code(), 1);
+
+    let q = &report.quarantined[0];
+    assert_eq!(q.cell, "c17");
+    assert_eq!(q.attempts, 1);
+    assert_eq!(q.reason.get("kind").and_then(|k| k.as_str()), Some("chaos-invalid"));
+
+    // Survivors: byte-identical records, explicit hole at the victim.
+    let reference_jsonl = reference.records_jsonl();
+    let reference_lines: Vec<&str> =
+        reference_jsonl.lines().filter(|l| !l.contains("\"c17\"")).collect();
+    let report_jsonl = report.records_jsonl();
+    let surviving_lines: Vec<&str> = report_jsonl.lines().collect();
+    assert_eq!(surviving_lines.len(), 49);
+    assert_eq!(
+        surviving_lines, reference_lines,
+        "survivors must be byte-identical to the fault-free run"
+    );
+    assert_eq!(report.payloads()[17], Json::Null, "the hole is explicit");
 }
 
 #[test]

@@ -1,0 +1,198 @@
+//! Typed simulation errors — the validity contract of the engine stack.
+//!
+//! Every layer of the simulation path (`sim-core` → `machine` →
+//! `mpi-sim`) reports malformed inputs and broken runtime invariants
+//! through [`SimError`] instead of panicking, so a single bad cell in a
+//! campaign degrades that cell (the runner quarantines it with a
+//! machine-readable reason) rather than aborting the process.
+//!
+//! The taxonomy, from the caller's point of view:
+//!
+//! * [`SimError::InvalidSpec`] — the inputs were never a valid job
+//!   (zero ranks, mismatched lengths, out-of-range peers, oversubscribed
+//!   nodes, non-finite intensities). Detected up front, before any
+//!   virtual time elapses.
+//! * [`SimError::Deadlock`] — the job was shaped like a valid program
+//!   but its communication never completes: the event queue drained with
+//!   ranks still blocked. The error names every stuck rank and the
+//!   operation it is parked on.
+//! * [`SimError::Stalled`] — virtual time failed to advance across a
+//!   bounded number of event rounds (a livelock guard; structurally
+//!   unreachable for well-formed programs, but bounded so no input can
+//!   hang the engine).
+//! * [`SimError::InvariantViolation`] — the engine caught *itself*
+//!   misbehaving (message conservation broken, a clock ran backwards, a
+//!   freeze mapping lost coverage). Always a bug report, never a user
+//!   error; the opt-in validate mode adds more of these checks.
+
+use jsonio::{Json, ToJson};
+
+/// What a blocked rank was waiting on when a deadlock was diagnosed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
+pub enum BlockedOpKind {
+    /// A rendezvous send waiting for the matching receive to be posted.
+    Send,
+    /// A posted receive waiting for the matching send.
+    Recv,
+}
+
+/// One pending operation of a stuck rank in a [`SimError::Deadlock`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, jsonio::ToJson)]
+pub struct BlockedOp {
+    /// The rank that is parked on this operation.
+    pub rank: u32,
+    /// Whether it is blocked sending or receiving.
+    pub kind: BlockedOpKind,
+    /// The peer rank it is waiting on.
+    pub peer: u32,
+    /// The message tag of the unmatched operation.
+    pub tag: u64,
+}
+
+/// A typed simulation failure. See the [module docs](self) for the
+/// taxonomy; `Display` renders a one-line human diagnosis and
+/// [`SimError::reason_json`] a machine-readable record for manifests.
+#[derive(Clone, Debug, PartialEq, jsonio::ToJson)]
+pub enum SimError {
+    /// The inputs do not describe a runnable job.
+    InvalidSpec {
+        /// Which input was malformed (e.g. `"cluster spec"`, `"rank 3"`).
+        context: String,
+        /// What about it was malformed.
+        problem: String,
+    },
+    /// Communication can never complete: the event queue drained with
+    /// ranks still blocked on unmatched operations.
+    Deadlock {
+        /// Every rank that had not finished its program, ascending.
+        waiting_ranks: Vec<u32>,
+        /// The unmatched operations the stuck ranks are parked on.
+        blocked_ops: Vec<BlockedOp>,
+    },
+    /// A runtime invariant of the engine itself was violated — an engine
+    /// bug surfaced as data instead of a panic.
+    InvariantViolation {
+        /// Short name of the invariant (e.g. `"message conservation"`).
+        invariant: String,
+        /// The observed violation.
+        detail: String,
+    },
+    /// Virtual time failed to advance across the bounded event budget —
+    /// the livelock guard that keeps any input from hanging the engine.
+    Stalled {
+        /// The virtual time the run was stuck at.
+        at_nanos: u64,
+        /// How many same-time event rounds were processed before giving up.
+        rounds: u64,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidSpec`].
+    pub fn invalid(context: impl Into<String>, problem: impl Into<String>) -> SimError {
+        SimError::InvalidSpec { context: context.into(), problem: problem.into() }
+    }
+
+    /// Convenience constructor for [`SimError::InvariantViolation`].
+    pub fn invariant(invariant: impl Into<String>, detail: impl Into<String>) -> SimError {
+        SimError::InvariantViolation { invariant: invariant.into(), detail: detail.into() }
+    }
+
+    /// The error's kind as a stable lowercase tag (used in manifests and
+    /// log lines; independent of the `Display` wording).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::InvalidSpec { .. } => "invalid-spec",
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::InvariantViolation { .. } => "invariant-violation",
+            SimError::Stalled { .. } => "stalled",
+        }
+    }
+
+    /// A machine-readable reason record for quarantine manifests:
+    /// `{"kind": ..., "message": ..., "error": <structured self>}`.
+    pub fn reason_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind().to_string())),
+            ("message", Json::Str(self.to_string())),
+            ("error", self.to_json()),
+        ])
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidSpec { context, problem } => {
+                write!(f, "invalid spec: {context}: {problem}")
+            }
+            SimError::Deadlock { waiting_ranks, blocked_ops } => {
+                write!(f, "deadlock: {} rank(s) stuck (", waiting_ranks.len())?;
+                for (i, r) in waiting_ranks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, ")")?;
+                for op in blocked_ops {
+                    let verb = match op.kind {
+                        BlockedOpKind::Send => "send to",
+                        BlockedOpKind::Recv => "recv from",
+                    };
+                    write!(f, "; rank {} blocked on {verb} {} tag {}", op.rank, op.peer, op.tag)?;
+                }
+                Ok(())
+            }
+            SimError::InvariantViolation { invariant, detail } => {
+                write!(f, "invariant violated: {invariant}: {detail}")
+            }
+            SimError::Stalled { at_nanos, rounds } => {
+                write!(
+                    f,
+                    "stalled: no virtual-time progress after {rounds} rounds at t={at_nanos}ns"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_blocked_ranks_and_ops() {
+        let e = SimError::Deadlock {
+            waiting_ranks: vec![0, 3],
+            blocked_ops: vec![BlockedOp { rank: 0, kind: BlockedOpKind::Recv, peer: 3, tag: 7 }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 rank(s) stuck (0, 3)"), "{s}");
+        assert!(s.contains("rank 0 blocked on recv from 3 tag 7"), "{s}");
+    }
+
+    #[test]
+    fn reason_json_carries_kind_message_and_structure() {
+        let e = SimError::invalid("cluster spec", "zero nodes");
+        let r = e.reason_json();
+        assert_eq!(r.get("kind").and_then(Json::as_str), Some("invalid-spec"));
+        assert_eq!(
+            r.get("message").and_then(Json::as_str),
+            Some("invalid spec: cluster spec: zero nodes")
+        );
+        let structured = r.get("error").expect("structured error");
+        assert!(structured.get("InvalidSpec").is_some(), "{structured:?}");
+    }
+
+    #[test]
+    fn kinds_are_stable_tags() {
+        let stalled = SimError::Stalled { at_nanos: 5, rounds: 100 };
+        assert_eq!(stalled.kind(), "stalled");
+        let dead = SimError::Deadlock { waiting_ranks: vec![], blocked_ops: vec![] };
+        assert_eq!(dead.kind(), "deadlock");
+        assert_eq!(SimError::invariant("clocks", "ran backwards").kind(), "invariant-violation");
+    }
+}

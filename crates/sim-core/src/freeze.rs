@@ -22,6 +22,7 @@
 //! * `advance(t, w) - t >= w` (wall time dominates work time),
 //! * `work_between(t, advance(t, w)) == w` (inverse).
 
+use crate::error::SimError;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -73,10 +74,23 @@ impl DurationModel {
     fn sample(&self, rng: &mut SimRng) -> SimDuration {
         match *self {
             DurationModel::Fixed(d) => d,
+            // An inverted band samples from the normalized [min, max];
+            // `validate` reports inverted bands as typed errors upstream.
             DurationModel::Uniform { lo, hi } => {
-                assert!(lo <= hi, "DurationModel::Uniform: lo > hi");
-                SimDuration(rng.range_u64(lo.0, hi.0))
+                SimDuration(rng.range_u64(lo.0.min(hi.0), lo.0.max(hi.0)))
             }
+        }
+    }
+
+    /// Check the model describes a drawable band.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match *self {
+            DurationModel::Fixed(_) => Ok(()),
+            DurationModel::Uniform { lo, hi } if lo > hi => Err(SimError::invalid(
+                "duration model",
+                format!("uniform band is inverted: lo {lo} > hi {hi}"),
+            )),
+            DurationModel::Uniform { .. } => Ok(()),
         }
     }
 }
@@ -133,8 +147,10 @@ impl PeriodicFreeze {
         durations: DurationModel,
         rng: &mut SimRng,
     ) -> Self {
-        assert!(!period.is_zero(), "PeriodicFreeze: zero period");
-        let phase = SimDuration(rng.below(period.0.max(1)));
+        // A zero period is not a meaningful trigger source; normalize to
+        // the 1 ns minimum rather than fault (`validate` reports it).
+        let period = SimDuration(period.0.max(1));
+        let phase = SimDuration(rng.below(period.0));
         PeriodicFreeze {
             first_trigger: SimTime::ZERO + phase,
             period,
@@ -142,6 +158,25 @@ impl PeriodicFreeze {
             policy: TriggerPolicy::SkipWhileFrozen,
             seed: rng.next(),
         }
+    }
+
+    /// Check the configuration describes a generable schedule: a nonzero
+    /// period, a nonzero `DeferToExit` gap (a zero gap would freeze the
+    /// node forever once residency exceeds the period), and a drawable
+    /// duration band.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.period.is_zero() {
+            return Err(SimError::invalid("freeze schedule", "zero trigger period"));
+        }
+        if let TriggerPolicy::DeferToExit { min_gap } = self.policy {
+            if min_gap.is_zero() {
+                return Err(SimError::invalid(
+                    "freeze schedule",
+                    "DeferToExit requires a nonzero min_gap",
+                ));
+            }
+        }
+        self.durations.validate()
     }
 }
 
@@ -158,64 +193,81 @@ struct GenState {
     covered: SimTime,
 }
 
+/// A periodic trigger source and its lazily generated window cache —
+/// held together so having a configuration *is* having generator state
+/// (no partially initialized schedule can exist).
+#[derive(Debug)]
+struct Periodic {
+    config: PeriodicFreeze,
+    gen: RefCell<GenState>,
+}
+
 /// The freeze windows of one node.
 ///
 /// Cheap to clone configuration-wise, but the window cache is per-instance;
 /// cloning re-derives identical windows from the same seed.
 #[derive(Debug)]
 pub struct FreezeSchedule {
-    config: Option<PeriodicFreeze>,
-    gen: RefCell<Option<GenState>>,
+    periodic: Option<Periodic>,
 }
 
 impl Clone for FreezeSchedule {
     fn clone(&self) -> Self {
-        FreezeSchedule::from_config(self.config.clone())
+        FreezeSchedule::from_config(self.periodic.as_ref().map(|p| p.config.clone()))
     }
 }
 
 impl FreezeSchedule {
     /// A schedule with no SMI activity (the paper's "SMM 0" case).
     pub fn none() -> Self {
-        FreezeSchedule { config: None, gen: RefCell::new(None) }
+        FreezeSchedule { periodic: None }
     }
 
     /// A periodic schedule (the paper's "SMM 1" / "SMM 2" cases).
-    pub fn periodic(config: PeriodicFreeze) -> Self {
-        assert!(!config.period.is_zero(), "FreezeSchedule: zero period");
-        if let TriggerPolicy::DeferToExit { min_gap } = config.policy {
-            assert!(!min_gap.is_zero(), "DeferToExit requires a nonzero min_gap");
+    ///
+    /// Degenerate inputs are normalized to the nearest generable
+    /// configuration (a zero period or `DeferToExit` gap becomes the 1 ns
+    /// minimum) so a schedule can always be driven; callers that want the
+    /// typed rejection instead run [`PeriodicFreeze::validate`] first —
+    /// the engine's validate mode does.
+    pub fn periodic(mut config: PeriodicFreeze) -> Self {
+        config.period = SimDuration(config.period.0.max(1));
+        if let TriggerPolicy::DeferToExit { min_gap } = &mut config.policy {
+            *min_gap = SimDuration(min_gap.0.max(1));
         }
         FreezeSchedule::from_config(Some(config))
     }
 
     fn from_config(config: Option<PeriodicFreeze>) -> Self {
-        let gen = config.as_ref().map(|c| GenState {
-            windows: Vec::new(),
-            next_k: 0,
-            rng: SimRng::new(c.seed),
-            covered: SimTime::ZERO,
+        let periodic = config.map(|config| {
+            let gen = GenState {
+                windows: Vec::new(),
+                next_k: 0,
+                rng: SimRng::new(config.seed),
+                covered: SimTime::ZERO,
+            };
+            Periodic { config, gen: RefCell::new(gen) }
         });
-        FreezeSchedule { config, gen: RefCell::new(gen) }
+        FreezeSchedule { periodic }
     }
 
     /// Whether this schedule ever freezes the node.
     pub fn is_noisy(&self) -> bool {
-        self.config.is_some()
+        self.periodic.is_some()
     }
 
     /// The configuration, if periodic.
     pub fn config(&self) -> Option<&PeriodicFreeze> {
-        self.config.as_ref()
+        self.periodic.as_ref().map(|p| &p.config)
     }
 
     /// Generate windows until the window cache provably covers all windows
     /// that *begin* at or before `t`.
     fn ensure_covered(&self, t: SimTime) {
-        let Some(cfg) = &self.config else { return };
-        let mut gen = self.gen.borrow_mut();
-        // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
-        let gen = gen.as_mut().expect("gen state present when config is");
+        let Some(periodic) = &self.periodic else { return };
+        let cfg = &periodic.config;
+        let mut gen = periodic.gen.borrow_mut();
+        let gen = &mut *gen;
         if t <= gen.covered {
             return;
         }
@@ -267,9 +319,11 @@ impl FreezeSchedule {
                         gen.next_k += 1;
                         last_end + min_gap
                     }
-                    TriggerPolicy::RearmAfterExit => {
-                        unreachable!("rearm candidates never precede the last window end")
-                    }
+                    // Rearm candidates are derived from `last_end + period`
+                    // and so never precede `last_end`; if the arithmetic
+                    // were ever wrong, starting at the window edge keeps
+                    // generation monotone instead of faulting.
+                    TriggerPolicy::RearmAfterExit => last_end,
                 }
             };
             if start > t && candidate > t {
@@ -289,13 +343,12 @@ impl FreezeSchedule {
 
     /// The freeze windows overlapping the half-open interval `[a, b)`.
     pub fn windows_between(&self, a: SimTime, b: SimTime) -> Vec<(SimTime, SimTime)> {
-        if self.config.is_none() || b <= a {
+        let Some(periodic) = &self.periodic else { return Vec::new() };
+        if b <= a {
             return Vec::new();
         }
         self.ensure_covered(b);
-        let gen = self.gen.borrow();
-        // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
-        let gen = gen.as_ref().expect("gen state present");
+        let gen = periodic.gen.borrow();
         gen.windows.iter().copied().filter(|&(s, e)| s < b && e > a).collect()
     }
 
@@ -307,11 +360,9 @@ impl FreezeSchedule {
 
     /// The window containing `t`, if any.
     pub fn window_containing(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
-        self.config.as_ref()?;
+        let periodic = self.periodic.as_ref()?;
         self.ensure_covered(t);
-        let gen = self.gen.borrow();
-        // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
-        let gen = gen.as_ref().expect("gen state present");
+        let gen = periodic.gen.borrow();
         // Windows are sorted; find the last window starting at or before t.
         let idx = gen.windows.partition_point(|&(s, _)| s <= t);
         if idx == 0 {
@@ -332,20 +383,15 @@ impl FreezeSchedule {
     /// The start of the first window beginning strictly after `t`, if it
     /// can be generated without overflowing simulated time.
     pub fn next_window_after(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
-        self.config.as_ref()?;
+        let periodic = self.periodic.as_ref()?;
         // Generate a little past t until we find a window starting after t.
+        let cfg = &periodic.config;
         let mut horizon = t;
-        let step = {
-            // smi-lint: allow(no-panic): the `?` on config two lines up guarantees Some here.
-            let cfg = self.config.as_ref().expect("config present");
-            SimDuration(cfg.period.0.saturating_add(cfg.durations.max().0).max(1))
-        };
+        let step = SimDuration(cfg.period.0.saturating_add(cfg.durations.max().0).max(1));
         for _ in 0..64 {
             horizon = horizon.saturating_add(step);
             self.ensure_covered(horizon);
-            let gen = self.gen.borrow();
-            // smi-lint: allow(no-panic): `gen` is Some whenever `config` is Some (checked above); the two are set together in the constructor.
-            let gen = gen.as_ref().expect("gen state present");
+            let gen = periodic.gen.borrow();
             let idx = gen.windows.partition_point(|&(s, _)| s <= t);
             if idx < gen.windows.len() {
                 return Some(gen.windows[idx]);
@@ -366,18 +412,19 @@ impl FreezeSchedule {
         if work.is_zero() {
             return start;
         }
-        if self.config.is_none() {
+        if self.periodic.is_none() {
             return start + work;
         }
         let mut t = start;
         let mut remaining = work;
         loop {
             t = self.unfreeze(t);
+            // `next_window_after(t)` only returns windows starting
+            // strictly after `t`, so the gap is never negative.
             let gap_end = match self.next_window_after(t) {
                 Some((s, _)) => s,
                 None => SimTime::MAX,
             };
-            debug_assert!(gap_end >= t);
             let avail = gap_end.since(t);
             if avail >= remaining {
                 return t + remaining;
@@ -421,7 +468,7 @@ impl FreezeSchedule {
     /// implied by the configuration. For `SkipWhileFrozen` with durations
     /// that can exceed the period this accounts for lost triggers.
     pub fn duty_cycle(&self) -> f64 {
-        let Some(cfg) = &self.config else { return 0.0 };
+        let Some(cfg) = self.config() else { return 0.0 };
         let d = cfg.durations.mean().0 as f64;
         let p = cfg.period.0 as f64;
         match cfg.policy {
@@ -667,6 +714,47 @@ mod tests {
             seed: 0,
         });
         assert!((s.duty_cycle() - 0.105).abs() < 0.001);
+    }
+
+    #[test]
+    fn degenerate_configs_normalize_and_validate_rejects_them() {
+        use crate::error::SimError;
+        // A zero period builds a usable (1 ns) schedule instead of panicking...
+        let cfg = PeriodicFreeze {
+            first_trigger: SimTime::ZERO,
+            period: SimDuration::ZERO,
+            durations: DurationModel::Fixed(SimDuration::from_millis(1)),
+            policy: TriggerPolicy::RearmAfterExit,
+            seed: 1,
+        };
+        let s = FreezeSchedule::periodic(cfg.clone());
+        assert!(s.is_noisy());
+        assert!(!s.windows_between(SimTime::ZERO, SimTime::from_millis(10)).is_empty());
+        // ...while validate reports the typed rejection.
+        assert!(matches!(cfg.validate(), Err(SimError::InvalidSpec { .. })));
+
+        let bad_gap = PeriodicFreeze {
+            policy: TriggerPolicy::DeferToExit { min_gap: SimDuration::ZERO },
+            period: SimDuration::from_millis(50),
+            ..cfg.clone()
+        };
+        assert!(matches!(bad_gap.validate(), Err(SimError::InvalidSpec { .. })));
+
+        let inverted = PeriodicFreeze {
+            period: SimDuration::from_millis(50),
+            durations: DurationModel::Uniform {
+                lo: SimDuration::from_millis(10),
+                hi: SimDuration::from_millis(2),
+            },
+            ..cfg
+        };
+        assert!(matches!(inverted.validate(), Err(SimError::InvalidSpec { .. })));
+        // Sampling from the inverted band still stays within [min, max].
+        let sched = FreezeSchedule::periodic(inverted);
+        for (s, e) in sched.windows_between(SimTime::ZERO, SimTime::from_secs(1)) {
+            let d = e.since(s);
+            assert!(d >= SimDuration::from_millis(2) && d <= SimDuration::from_millis(10));
+        }
     }
 
     #[test]

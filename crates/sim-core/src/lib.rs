@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod error;
 pub mod event;
 pub mod freeze;
 pub mod rng;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use error::{BlockedOp, BlockedOpKind, SimError};
 pub use event::EventQueue;
 pub use freeze::{DurationModel, FreezeSchedule, PeriodicFreeze, TriggerPolicy};
 pub use rng::SimRng;

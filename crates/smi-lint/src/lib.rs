@@ -46,6 +46,30 @@ pub const HERMETIC_EXEMPT: [&str; 3] = ["cli", "runner", "smi-lint"];
 /// time the host). `runner` gets a single whitelisted file instead.
 pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 1] = ["bench"];
 
+/// Files on the simulation path proper — the code a measurement run
+/// executes between `mpi_sim::run` and its `Result`. SMI004 is *strict*
+/// here: the `assert!` family, `unreachable!`, `todo!`, and
+/// `unimplemented!` are banned alongside `.unwrap()`/`.expect(`/`panic!`,
+/// and `no-panic` pragmas do not apply — a validity failure must surface
+/// as a typed `SimError`, never an abort. (`debug_assert!` remains legal:
+/// release measurement builds compile it out.)
+pub const STRICT_NO_PANIC_FILES: [&str; 5] = [
+    "crates/machine/src/executor.rs",
+    "crates/sim-core/src/error.rs",
+    "crates/sim-core/src/event.rs",
+    "crates/sim-core/src/freeze.rs",
+    "crates/sim-core/src/time.rs",
+];
+
+/// Directories whose every file is on the strict simulation path.
+pub const STRICT_NO_PANIC_DIRS: [&str; 1] = ["crates/mpi-sim/src/"];
+
+/// Is this file under the strict no-panic regime?
+pub fn strict_no_panic(rel_path: &str) -> bool {
+    STRICT_NO_PANIC_FILES.contains(&rel_path)
+        || STRICT_NO_PANIC_DIRS.iter().any(|d| rel_path.starts_with(d))
+}
+
 /// Files allowed to read the wall clock inside otherwise-checked crates:
 /// progress telemetry measures real elapsed time by design, and the
 /// fault-injection harness (test/`chaos`-feature gated, never in a
@@ -64,6 +88,7 @@ pub fn policy_for(crate_name: &str, rel_path: &str) -> FilePolicy {
         check_wall_clock: !wall_clock_exempt,
         check_hermeticity: !HERMETIC_EXEMPT.contains(&crate_name),
         check_panics: !is_tool,
+        strict_no_panic: !is_tool && strict_no_panic(rel_path),
         is_crate_root: file == "lib.rs" || file == "main.rs",
     }
 }
@@ -422,6 +447,19 @@ mod tests {
         let p = policy_for("machine", "crates/machine/src/scheduler.rs");
         assert!(p.record_producing && p.check_panics && p.check_hermeticity);
         assert!(!p.is_crate_root);
+        // Off the simulation path: pragma-suppressed panics stay legal.
+        assert!(!p.strict_no_panic);
+        // On it: the whole of mpi-sim, the machine executor, and the
+        // sim-core files the event loop runs through.
+        assert!(policy_for("mpi-sim", "crates/mpi-sim/src/engine.rs").strict_no_panic);
+        assert!(policy_for("mpi-sim", "crates/mpi-sim/src/cluster.rs").strict_no_panic);
+        assert!(policy_for("machine", "crates/machine/src/executor.rs").strict_no_panic);
+        assert!(policy_for("sim-core", "crates/sim-core/src/freeze.rs").strict_no_panic);
+        assert!(policy_for("sim-core", "crates/sim-core/src/time.rs").strict_no_panic);
+        // Utility modules (stats, rng) validate caller input with asserts
+        // and are not reachable mid-run: ordinary SMI004.
+        assert!(!policy_for("sim-core", "crates/sim-core/src/stats.rs").strict_no_panic);
+        assert!(!policy_for("sim-core", "crates/sim-core/src/rng.rs").strict_no_panic);
         let p = policy_for("runner", "crates/runner/src/telemetry.rs");
         assert!(!p.check_wall_clock && !p.check_hermeticity && p.check_panics);
         let p = policy_for("runner", "crates/runner/src/lib.rs");

@@ -6,7 +6,9 @@
 //! | SMI001 | hash-iter    | `HashMap`/`HashSet` in record-producing crates          |
 //! | SMI002 | wall-clock   | `Instant::now` / `SystemTime::now` outside whitelists   |
 //! | SMI003 | hermeticity  | `std::{env,fs,net,process}` outside cli/runner/tests    |
-//! | SMI004 | no-panic     | `.unwrap()` / `.expect(` / `panic!` in library code     |
+//! | SMI004 | no-panic     | `.unwrap()` / `.expect(` / `panic!` in library code;    |
+//! |        |              | strict on the simulation path: `assert!` family too,    |
+//! |        |              | and pragmas do not apply (see `STRICT_NO_PANIC_FILES`)  |
 //! | SMI005 | float-reduce | float `sum()`/`fold` over hash-collection iterators     |
 //! | SMI006 | unsafe       | crate root missing `#![deny(unsafe_code)]`              |
 //!
@@ -80,6 +82,11 @@ pub struct FilePolicy {
     pub check_hermeticity: bool,
     /// SMI004 applies (false for binary/tool crates).
     pub check_panics: bool,
+    /// SMI004 is strict: the file is on the simulation path, so the
+    /// `assert!` family / `unreachable!` / `todo!` / `unimplemented!`
+    /// are banned too and `no-panic` pragmas do not suppress findings.
+    /// (`debug_assert!` stays legal — compiled out of release builds.)
+    pub strict_no_panic: bool,
     /// SMI006 applies (this file is a crate root: src/lib.rs, src/main.rs).
     pub is_crate_root: bool,
 }
@@ -217,6 +224,11 @@ pub fn scan_source(crate_name: &str, path: &str, policy: &FilePolicy, src: &str)
 
     // --- SMI004 no-panic ---
     if policy.check_panics {
+        // On the strict simulation path there is no pragma escape, so the
+        // remediation hint changes: the only fix is a typed `SimError`.
+        let strict_hint = "; this file is on the strict simulation path, so \
+                           `no-panic` pragmas do not apply — return a typed \
+                           `SimError` instead";
         for i in 0..code.len() {
             if in_test[i] {
                 continue;
@@ -224,25 +236,59 @@ pub fn scan_source(crate_name: &str, path: &str, policy: &FilePolicy, src: &str)
             let t = code[i];
             let prev_dot = i > 0 && code[i - 1].is_punct('.');
             let next_paren = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let next_bang = code.get(i + 1).is_some_and(|n| n.is_punct('!'));
             if prev_dot && next_paren && (t.is_ident("unwrap") || t.is_ident("expect")) {
+                let hint = if policy.strict_no_panic {
+                    strict_hint.to_string()
+                } else {
+                    ", or justify with \
+                     `// smi-lint: allow(no-panic): <why the invariant holds>`"
+                        .to_string()
+                };
                 raw.push(mk(
                     NO_PANIC,
                     t.line,
                     format!(
                         "`.{}(` can panic in library crate `{}`: return a `Result`, \
-                         handle the `None`/`Err` arm, or justify with \
-                         `// smi-lint: allow(no-panic): <why the invariant holds>`",
+                         handle the `None`/`Err` arm{hint}",
                         t.text, crate_name
                     ),
                 ));
             }
-            if t.is_ident("panic") && code.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            if t.is_ident("panic") && next_bang {
+                let hint = if policy.strict_no_panic {
+                    strict_hint.to_string()
+                } else {
+                    ", or justify with a `no-panic` pragma".to_string()
+                };
                 raw.push(mk(
                     NO_PANIC,
                     t.line,
                     format!(
-                        "`panic!` in library crate `{crate_name}`: return an error \
-                         instead, or justify with a `no-panic` pragma"
+                        "`panic!` in library crate `{crate_name}`: return an error instead{hint}"
+                    ),
+                ));
+            }
+            // The assert family aborts just like `panic!`; on the strict
+            // simulation path every invariant must instead surface as
+            // `SimError::InvariantViolation` (or be a `debug_assert!`,
+            // which release measurement builds compile out).
+            const STRICT_BANNED: [&str; 6] =
+                ["assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
+            if policy.strict_no_panic
+                && next_bang
+                && t.kind == TokKind::Ident
+                && STRICT_BANNED.contains(&t.text.as_str())
+            {
+                raw.push(mk(
+                    NO_PANIC,
+                    t.line,
+                    format!(
+                        "`{}!` aborts on the strict simulation path (`no-panic` \
+                         pragmas do not apply): encode the invariant as a typed \
+                         `SimError`, or use `debug_assert!` if release builds may \
+                         elide the check",
+                        t.text
                     ),
                 ));
             }
@@ -271,6 +317,12 @@ pub fn scan_source(crate_name: &str, path: &str, policy: &FilePolicy, src: &str)
     let code_lines: std::collections::BTreeSet<u32> = code.iter().map(|t| t.line).collect();
     let mut out = ScanResult::default();
     for f in raw {
+        // Strict simulation-path files have no pragma escape for SMI004:
+        // the finding stands no matter what comments surround it.
+        if policy.strict_no_panic && f.rule.id == NO_PANIC.id {
+            out.findings.push(f);
+            continue;
+        }
         let allowed = |line: u32| {
             pragmas.get(&line).is_some_and(|names| names.iter().any(|n| n == f.rule.name))
         };

@@ -1,0 +1,36 @@
+//! Golden fixture for strict SMI004 (simulation path): the assert family
+//! fires, pragmas do not suppress, and `debug_assert!` stays legal.
+
+pub fn checked(x: u32) -> u32 {
+    assert!(x > 0, "zero"); // line 5: finding (assert! banned when strict)
+    x
+}
+
+pub fn eq(a: u32, b: u32) {
+    assert_eq!(a, b); // line 10: finding
+}
+
+pub fn justified(xs: &[u32]) -> u32 {
+    // smi-lint: allow(no-panic): pragmas have no effect on the strict path.
+    *xs.first().unwrap() // line 15: finding despite the pragma
+}
+
+pub fn exhaustive(k: u32) -> u32 {
+    match k {
+        0 => 1,
+        _ => unreachable!("callers pass 0"), // line 21: finding
+    }
+}
+
+pub fn cheap_invariant(x: u32) -> u32 {
+    debug_assert!(x < 100, "release builds elide this"); // no finding
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_assert() {
+        assert_eq!(super::cheap_invariant(3), 3); // no finding: test code
+    }
+}

@@ -13,8 +13,14 @@ fn record_policy() -> FilePolicy {
         check_wall_clock: true,
         check_hermeticity: true,
         check_panics: true,
+        strict_no_panic: false,
         is_crate_root: false,
     }
+}
+
+/// The simulation-path policy: strict SMI004 on top of the record policy.
+fn strict_policy() -> FilePolicy {
+    FilePolicy { strict_no_panic: true, ..record_policy() }
 }
 
 fn fixture(name: &str) -> String {
@@ -59,6 +65,26 @@ fn smi004_fires_on_unwrap_but_not_in_tests() {
         vec![("SMI004".to_string(), 5)],
         "the #[cfg(test)] unwrap must not fire: {got:?}"
     );
+}
+
+#[test]
+fn smi004_strict_bans_asserts_and_ignores_pragmas() {
+    let got = scan_fixture("smi004_strict.rs", &strict_policy());
+    let want: Vec<(String, u32)> =
+        [5u32, 10, 15, 21].iter().map(|&l| ("SMI004".to_string(), l)).collect();
+    assert_eq!(got, want, "strict scan findings: {got:?}");
+    // The pragma'd unwrap must also count as a finding, not a suppression.
+    let src = fixture("smi004_strict.rs");
+    let result = scan_source("fixture", "smi004_strict.rs", &strict_policy(), &src);
+    assert_eq!(result.suppressed, 0, "no pragma escape on the strict path");
+}
+
+#[test]
+fn smi004_strict_fixture_is_tame_under_the_ordinary_policy() {
+    // The same file under a non-strict record policy: only the unwrap
+    // would fire, and its pragma suppresses it — asserts are legal.
+    let got = scan_fixture("smi004_strict.rs", &record_policy());
+    assert!(got.is_empty(), "non-strict scan must be clean: {got:?}");
 }
 
 #[test]
@@ -153,6 +179,11 @@ fn fixtures_are_not_scanned_by_the_workspace_walk() {
 fn policy_table_spot_checks() {
     let p = policy_for("sim-core", "crates/sim-core/src/freeze.rs");
     assert!(p.record_producing && p.check_panics && p.check_wall_clock);
+    assert!(p.strict_no_panic, "the freeze mapping is on the simulation path");
+    let p = policy_for("mpi-sim", "crates/mpi-sim/src/engine.rs");
+    assert!(p.strict_no_panic, "the engine is the simulation path");
+    let p = policy_for("analysis", "crates/analysis/src/absorption.rs");
+    assert!(p.check_panics && !p.strict_no_panic, "analysis keeps the pragma escape");
     let p = policy_for("cli", "crates/cli/src/main.rs");
     assert!(!p.check_panics && !p.check_hermeticity && p.is_crate_root);
     let p = policy_for("runner", "crates/runner/src/telemetry.rs");

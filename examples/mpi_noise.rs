@@ -27,11 +27,13 @@ fn main() {
         for &nodes in bench.node_counts() {
             let Some(paper) = table_cell(bench, Class::A, nodes, 1) else { continue };
             let target = paper.baseline().expect("class A is fully measured");
-            let spec = ClusterSpec::wyeast(nodes, 1, false);
-            let extra = calibrate_extra(bench, Class::A, &spec, &network, target);
+            let spec = ClusterSpec::wyeast(nodes, 1, false).expect("valid shape");
+            let extra =
+                calibrate_extra(bench, Class::A, &spec, &network, target).expect("calibrates");
             let label = format!("example-n{nodes}");
             let [base, _short, long] = SMM_CLASSES.map(|smm| {
                 measure_cell(bench, Class::A, &spec, extra, smm, &opts, &network, &label)
+                    .expect("measures")
             });
             let impact = (long.mean - base.mean) / base.mean * 100.0;
             let paper_impact = match (paper.smm[0], paper.smm[2]) {

@@ -9,14 +9,15 @@ use smi_lab::prelude::*;
 use smi_lab::smi_driver::SmiClass;
 
 fn table_cell_fingerprint(seed: u64) -> Vec<u64> {
-    let opts = RunOptions { reps: 3, seed, jitter: 0.004 };
+    let opts = RunOptions { reps: 3, seed, ..RunOptions::default() };
     let network = NetworkParams::gigabit_cluster();
-    let spec = ClusterSpec::wyeast(4, 1, false);
-    let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &network, 5.84);
+    let spec = ClusterSpec::wyeast(4, 1, false).expect("valid shape");
+    let extra = calibrate_extra(Bench::Ep, Class::A, &spec, &network, 5.84).expect("calibrates");
     SMM_CLASSES
         .iter()
         .map(|&smm| {
             measure_cell(Bench::Ep, Class::A, &spec, extra, smm, &opts, &network, "fp")
+                .expect("measures")
                 .mean
                 .to_bits()
         })
@@ -47,7 +48,7 @@ fn different_seeds_differ_only_under_noise() {
 
 #[test]
 fn figure2_is_reproducible() {
-    let opts = RunOptions { reps: 2, seed: 777, jitter: 0.004 };
+    let opts = RunOptions { reps: 2, seed: 777, ..RunOptions::default() };
     let a = run_figure2(&opts);
     let b = run_figure2(&opts);
     for (sa, sb) in a.long_series.iter().zip(&b.long_series) {

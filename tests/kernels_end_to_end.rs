@@ -127,7 +127,7 @@ fn bt_solver_survives_a_sweep_of_line_lengths() {
 fn full_stack_smoke_noise_hurts_and_detection_sees_it() {
     // One compact pass over the entire stack: cluster job + SMIs +
     // detection + attribution consistency.
-    let spec = ClusterSpec::wyeast(4, 1, false);
+    let spec = ClusterSpec::wyeast(4, 1, false).expect("valid shape");
     let network = NetworkParams::gigabit_cluster();
     let progs: Vec<RankProgram> = (0..4)
         .map(|_| {
@@ -138,7 +138,7 @@ fn full_stack_smoke_noise_hurts_and_detection_sees_it() {
         })
         .collect();
     let quiet = smi_lab::nas::quiet_nodes(&spec);
-    let base = smi_lab::mpi_sim::run(&spec, &quiet, &progs, &network);
+    let base = smi_lab::mpi_sim::run(&spec, &quiet, &progs, &network).expect("valid job");
 
     let driver = SmiDriver::new(SmiDriverConfig::mpi_study(SmiClass::Long));
     let mut rng = SimRng::new(9);
@@ -149,7 +149,7 @@ fn full_stack_smoke_noise_hurts_and_detection_sees_it() {
             online_cpus: 4,
         })
         .collect();
-    let perturbed = smi_lab::mpi_sim::run(&spec, &noisy, &progs, &network);
+    let perturbed = smi_lab::mpi_sim::run(&spec, &noisy, &progs, &network).expect("valid job");
     assert!(perturbed.makespan > base.makespan);
     assert!(perturbed.total_frozen > SimDuration::ZERO);
 

@@ -8,19 +8,20 @@ use smi_lab::prelude::*;
 use smi_lab::smi_driver::SmiClass;
 
 fn opts() -> RunOptions {
-    RunOptions { reps: 3, seed: 11, jitter: 0.004 }
+    RunOptions { reps: 3, seed: 11, ..RunOptions::default() }
 }
 
 fn impacts(bench: Bench, class: Class, nodes: u32, rpn: u32, htt: bool) -> (f64, f64) {
     let network = NetworkParams::gigabit_cluster();
-    let spec = ClusterSpec::wyeast(nodes, rpn, htt);
+    let spec = ClusterSpec::wyeast(nodes, rpn, htt).expect("valid shape");
     let target = table_cell(bench, class, nodes, rpn)
         .and_then(|c| c.baseline())
         .expect("cell measured in the paper");
-    let extra = calibrate_extra(bench, class, &spec, &network, target);
+    let extra = calibrate_extra(bench, class, &spec, &network, target).expect("calibrates");
     let label = format!("shape-{}-{}-{}-{}-{}", bench.name(), class.letter(), nodes, rpn, htt);
-    let [base, short, long] = SMM_CLASSES
-        .map(|smm| measure_cell(bench, class, &spec, extra, smm, &opts(), &network, &label));
+    let [base, short, long] = SMM_CLASSES.map(|smm| {
+        measure_cell(bench, class, &spec, extra, smm, &opts(), &network, &label).expect("measures")
+    });
     ((short.mean - base.mean) / base.mean * 100.0, (long.mean - base.mean) / base.mean * 100.0)
 }
 
@@ -91,9 +92,10 @@ fn claim_htt_worsens_ep_under_long_smis() {
     for nodes in [1u32, 4] {
         let mut means = [0.0f64; 2];
         for (i, htt) in [false, true].into_iter().enumerate() {
-            let spec = ClusterSpec::wyeast(nodes, 4, htt);
+            let spec = ClusterSpec::wyeast(nodes, 4, htt).expect("valid shape");
             let cell = smi_lab::nas::htt_cell(Bench::Ep, Class::B, nodes).expect("cell");
-            let extra = calibrate_extra(Bench::Ep, Class::B, &spec, &network, cell.smm_ht[0][i]);
+            let extra = calibrate_extra(Bench::Ep, Class::B, &spec, &network, cell.smm_ht[0][i])
+                .expect("calibrates");
             means[i] = measure_cell(
                 Bench::Ep,
                 Class::B,
@@ -104,6 +106,7 @@ fn claim_htt_worsens_ep_under_long_smis() {
                 &network,
                 &format!("httshape-{nodes}-{htt}"),
             )
+            .expect("measures")
             .mean;
         }
         deltas.push((means[1] - means[0]) / means[0] * 100.0);
@@ -149,8 +152,9 @@ fn claim_calibration_reproduces_every_available_baseline() {
                     else {
                         continue;
                     };
-                    let spec = ClusterSpec::wyeast(nodes, rpn, false);
-                    let extra = calibrate_extra(bench, class, &spec, &network, target);
+                    let spec = ClusterSpec::wyeast(nodes, rpn, false).expect("valid shape");
+                    let extra =
+                        calibrate_extra(bench, class, &spec, &network, target).expect("calibrates");
                     let progs = smi_lab::nas::programs(
                         bench,
                         class,
@@ -164,6 +168,7 @@ fn claim_calibration_reproduces_every_available_baseline() {
                         &progs,
                         &network,
                     )
+                    .expect("valid job")
                     .seconds();
                     assert!(
                         (t - target).abs() / target < 0.03,
