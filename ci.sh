@@ -8,7 +8,11 @@ cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 # Chaos gate: the seeded fault-injection suite (runner::chaos) proving
 # panic isolation, retry/quarantine, cache-corruption recovery, orphan
-# sweeping, and crash-safe resume. See DESIGN.md "Failure semantics".
+# sweeping, and crash-safe resume — plus fault-path equivalence of the
+# optimized engine hot path (calendar queue / cursor cache / arena):
+# real simulation cells retried under injected faults must reproduce
+# the fault-free bytes (tests/chaos_engine_equivalence.rs). See
+# DESIGN.md "Failure semantics" and §10 "Performance methodology".
 cargo test -q -p runner --features chaos --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo clippy -p runner --features chaos --all-targets --offline -- -D warnings
@@ -20,3 +24,11 @@ cargo run -q --release -p smi-lint --offline -- --format json --baseline results
 # audit (--validate; DESIGN.md §9 "Simulation validity"). --no-cache so
 # every cell actually runs the simulation instead of a cache hit.
 ./target/release/smi-lab table2 --quick --validate --no-cache >/dev/null
+# Bench smoke: the perf harness end-to-end at a tiny sample count,
+# writing to a scratch path so the committed BENCH_engine.json baseline
+# (recorded at the default 40 samples) is never clobbered by CI. A zero
+# exit certifies the report re-parsed via jsonio and every suite case
+# ran at the requested sample count (cli::benchcmd::verify_report).
+BENCH_SMOKE_OUT="$(mktemp -d)/BENCH_engine.json"
+./target/release/smi-lab bench --samples 2 --out "$BENCH_SMOKE_OUT" >/dev/null
+rm -rf "$(dirname "$BENCH_SMOKE_OUT")"

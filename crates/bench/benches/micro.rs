@@ -38,6 +38,27 @@ fn freeze_advance(c: &mut Criterion) {
     });
 }
 
+fn event_queue(c: &mut Criterion) {
+    // The same fixed workloads `smi-lab bench` records in
+    // BENCH_engine.json, so a criterion-shim run and the JSON trajectory
+    // are directly comparable.
+    c.bench_function("event_queue_near_monotone", |b| {
+        b.iter(|| black_box(bench::suite::event_queue_near_monotone()))
+    });
+    c.bench_function("event_queue_same_time_bursts", |b| {
+        b.iter(|| black_box(bench::suite::event_queue_same_time_bursts()))
+    });
+}
+
+fn freeze_lookup(c: &mut Criterion) {
+    c.bench_function("freeze_unfreeze_scan_50k", |b| {
+        let s = long_schedule(5);
+        // Warm the window cache so the bench measures lookups.
+        let _ = s.unfreeze(SimTime::from_secs(700));
+        b.iter(|| black_box(bench::suite::freeze_unfreeze_scan(&s)))
+    });
+}
+
 fn detector_polling(c: &mut Criterion) {
     c.bench_function("hwlat_detect_1s_window", |b| {
         let s = long_schedule(3);
@@ -89,6 +110,7 @@ fn cache_hierarchy(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = freeze_advance, detector_polling, engine_throughput, cache_hierarchy
+    targets = freeze_advance, event_queue, freeze_lookup, detector_polling, engine_throughput,
+        cache_hierarchy
 }
 criterion_main!(micro);

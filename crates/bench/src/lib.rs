@@ -13,8 +13,17 @@
 //! (sample counts divided by ten); building with
 //! `--features criterion-bench` restores full sample counts and adds
 //! warmup, turning the same targets into real measurement runs.
+//!
+//! Every sample is kept and summarized as min/median/p95 ([`Summary`]) —
+//! dispersion, not just a point estimate, following the measurement
+//! methodology literature (see DESIGN.md §10). The [`suite`] module
+//! packages the engine hot-path microbenchmarks behind a programmatic
+//! API so `smi-lab bench` can run them with fixed sample counts and
+//! write `BENCH_engine.json`.
 
 #![deny(unsafe_code)]
+
+pub mod suite;
 
 use analysis::RunOptions;
 use std::time::{Duration, Instant};
@@ -45,6 +54,80 @@ impl Bencher {
         self.elapsed = start.elapsed();
         std::hint::black_box(&out);
     }
+}
+
+/// Per-benchmark sample statistics: every sample is kept (sorted
+/// ascending, in nanoseconds) so dispersion survives into reports.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark name (group-prefixed where applicable).
+    pub name: String,
+    /// All measured samples in nanoseconds, sorted ascending.
+    pub samples_ns: Vec<u64>,
+}
+
+impl Summary {
+    /// Nearest-rank quantile over the sorted samples; `q` in `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        let n = self.samples_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples_ns[rank - 1]
+    }
+
+    /// Fastest sample.
+    pub fn min_ns(&self) -> u64 {
+        self.samples_ns.first().copied().unwrap_or(0)
+    }
+
+    /// Median (nearest-rank p50).
+    pub fn median_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th percentile (nearest-rank).
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// Slowest sample.
+    pub fn max_ns(&self) -> u64 {
+        self.samples_ns.last().copied().unwrap_or(0)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean_ns(&self) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        let total: u128 = self.samples_ns.iter().map(|&n| n as u128).sum();
+        (total / self.samples_ns.len() as u128) as u64
+    }
+}
+
+/// Measure `routine` for exactly `samples` timed invocations (plus a
+/// warmup bounded by the sample count) and return every sample. This is
+/// the primitive both [`Criterion::bench_function`] and the
+/// [`suite`] runner sit on.
+pub fn measure(name: &str, samples: usize, mut routine: impl FnMut(&mut Bencher)) -> Summary {
+    let samples = samples.max(1);
+    // Warmup: quick mode takes one untimed pass, full mode three — but
+    // never more passes than the requested sample count, so tiny smoke
+    // runs stay tiny.
+    let warmup = if cfg!(feature = "criterion-bench") { 3 } else { 1 }.min(samples);
+    for _ in 0..warmup {
+        routine(&mut Bencher { elapsed: Duration::ZERO });
+    }
+    let mut samples_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        routine(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as u64);
+    }
+    samples_ns.sort_unstable();
+    Summary { name: name.to_string(), samples_ns }
 }
 
 /// Top-level harness handle, mirroring `criterion::Criterion`.
@@ -128,42 +211,29 @@ fn run_bench(
     name: &str,
     requested: usize,
     throughput: Option<Throughput>,
-    mut routine: impl FnMut(&mut Bencher),
-) {
-    let samples = effective_samples(requested);
-    // Warmup: quick mode takes one untimed pass, full mode three.
-    let warmup = if cfg!(feature = "criterion-bench") { 3 } else { 1 };
-    for _ in 0..warmup {
-        routine(&mut Bencher { elapsed: Duration::ZERO });
-    }
-    let mut times = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let mut b = Bencher { elapsed: Duration::ZERO };
-        routine(&mut b);
-        times.push(b.elapsed);
-    }
-    times.sort();
-    let min = times[0];
-    let max = times.last().copied().unwrap_or(min);
-    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    routine: impl FnMut(&mut Bencher),
+) -> Summary {
+    let summary = measure(name, effective_samples(requested), routine);
     let rate = throughput.map(|t| {
-        let secs = mean.as_secs_f64().max(1e-12);
+        let secs = (summary.mean_ns() as f64 / 1e9).max(1e-12);
         match t {
             Throughput::Elements(n) => format!("  {} elem/s", fmt_count(n as f64 / secs)),
             Throughput::Bytes(n) => format!("  {}B/s", fmt_count(n as f64 / secs)),
         }
     });
     eprintln!(
-        "bench {name:<48} [{} {} {}]  ({samples} samples){}",
-        fmt_duration(min),
-        fmt_duration(mean),
-        fmt_duration(max),
+        "bench {name:<48} [min {} p50 {} p95 {}]  ({} samples){}",
+        fmt_ns(summary.min_ns()),
+        fmt_ns(summary.median_ns()),
+        fmt_ns(summary.p95_ns()),
+        summary.samples_ns.len(),
         rate.unwrap_or_default(),
     );
+    summary
 }
 
-fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
+/// Format a nanosecond count with a readable unit.
+pub fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
         format!("{ns} ns")
     } else if ns < 1_000_000 {
@@ -255,5 +325,65 @@ mod tests {
             assert_eq!(effective_samples(100), 10);
             assert_eq!(effective_samples(10), 2);
         }
+    }
+
+    #[test]
+    fn measure_keeps_every_sample_and_bounds_warmup() {
+        let mut calls = 0u32;
+        let s = measure("count", 5, |b| {
+            calls += 1;
+            b.iter(|| std::hint::black_box(3u64 + 4));
+        });
+        assert_eq!(s.samples_ns.len(), 5, "one recorded sample per timed pass");
+        // Warmup is bounded by the sample count: at most 3 extra passes.
+        assert!((6..=8).contains(&calls), "calls = {calls}");
+        // Sorted ascending, so the quantile walk is well-defined.
+        assert!(s.samples_ns.windows(2).all(|w| w[0] <= w[1]));
+
+        // A 2-sample smoke run must not pay a bigger warmup than itself.
+        let mut tiny_calls = 0u32;
+        let _ = measure("tiny", 2, |b| {
+            tiny_calls += 1;
+            b.iter(|| std::hint::black_box(1u64));
+        });
+        assert!(tiny_calls <= 5, "tiny run took {tiny_calls} passes");
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let s = Summary { name: "q".into(), samples_ns: vec![10, 20, 30, 40, 100] };
+        assert_eq!(s.min_ns(), 10);
+        assert_eq!(s.median_ns(), 30);
+        assert_eq!(s.p95_ns(), 100);
+        assert_eq!(s.max_ns(), 100);
+        assert_eq!(s.mean_ns(), 40);
+        let empty = Summary { name: "e".into(), samples_ns: vec![] };
+        assert_eq!(empty.median_ns(), 0);
+        assert_eq!(empty.mean_ns(), 0);
+    }
+
+    #[test]
+    fn constant_work_yields_p95_near_median() {
+        // A fixed busy-work closure: every sample does identical work, so
+        // the spread between p95 and median is scheduler noise only. The
+        // bound is deliberately loose (2x) to stay robust on loaded CI
+        // machines while still catching a harness that fabricates
+        // dispersion (the old `iter` discarded it entirely).
+        let s = measure("constant_work", 15, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..2_000_000u64 {
+                    acc = acc.wrapping_add(i ^ (acc >> 3));
+                }
+                std::hint::black_box(acc)
+            })
+        });
+        let median = s.median_ns().max(1);
+        let p95 = s.p95_ns();
+        assert!(p95 >= median, "p95 {p95} below median {median}");
+        assert!(
+            p95 < median.saturating_mul(2),
+            "constant work spread too wide: median {median} p95 {p95}"
+        );
     }
 }

@@ -1,0 +1,277 @@
+//! The engine hot-path benchmark suite behind `smi-lab bench`.
+//!
+//! The cases here cover exactly the paths the campaign's wall-clock is
+//! dominated by: the discrete-event queue (push/pop churn and
+//! same-timestamp bursts), the freeze-schedule algebra (`unfreeze`
+//! lookups per message part, `advance` over compute segments, interval
+//! aggregation), the node executor's fixed-point iteration, and one
+//! end-to-end engine job. `benches/micro.rs` wraps the same workloads in
+//! the criterion-shim targets; `smi-lab bench --json` runs them with a
+//! fixed sample count and writes `BENCH_engine.json` (min/median/p95 per
+//! case) — the repo's perf trajectory. Workload shapes are fixed: a
+//! number recorded today must mean the same thing next year.
+
+use crate::{measure, Summary};
+use jsonio::Json;
+use machine::{NodeExecutor, SmiSideEffects};
+use mpi_sim::{ClusterSpec, NetworkParams, Op, RankProgram};
+use sim_core::{
+    DurationModel, EventQueue, FreezeSchedule, PeriodicFreeze, SimDuration, SimRng, SimTime,
+    TriggerPolicy,
+};
+use std::hint::black_box;
+
+/// Schema version of `BENCH_engine.json`.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// One named benchmark case: a self-contained routine returning a
+/// checksum (black-boxed by the harness so the work cannot be elided).
+pub struct SuiteCase {
+    /// Stable case name (keys the perf trajectory across commits).
+    pub name: &'static str,
+    /// The workload; called once per sample.
+    pub routine: Box<dyn FnMut() -> u64>,
+}
+
+/// The paper-configuration long-SMI schedule used by the freeze cases:
+/// one trigger per second, 100–110 ms residency.
+fn long_schedule(seed: u64) -> FreezeSchedule {
+    FreezeSchedule::periodic(PeriodicFreeze {
+        first_trigger: SimTime::from_millis(137),
+        period: SimDuration::from_secs(1),
+        durations: DurationModel::long_smi(),
+        policy: TriggerPolicy::SkipWhileFrozen,
+        seed,
+    })
+}
+
+/// Event-queue churn in the engine's shape: a fixed population of
+/// in-flight events, each pop re-arming a slightly later event — the
+/// near-monotone pattern a calendar queue is tuned for.
+pub fn event_queue_near_monotone() -> u64 {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = SimRng::new(7);
+    let mut t = SimTime::ZERO;
+    for r in 0..256u32 {
+        q.push(t + SimDuration::from_nanos(rng.below(1_000_000)), r);
+    }
+    let mut checksum = 0u64;
+    for _ in 0..20_000u32 {
+        if let Some((when, r)) = q.pop() {
+            t = when;
+            checksum = checksum.wrapping_add(when.since(SimTime::ZERO).as_nanos() ^ r as u64);
+            q.push(t + SimDuration::from_nanos(1_000 + rng.below(2_000_000)), r);
+        }
+    }
+    while let Some((when, _)) = q.pop() {
+        checksum = checksum.wrapping_add(when.since(SimTime::ZERO).as_nanos());
+    }
+    checksum
+}
+
+/// Same-timestamp bursts in the barrier shape: rounds of many events at
+/// one instant, drained in FIFO order — the tie-break path.
+pub fn event_queue_same_time_bursts() -> u64 {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut checksum = 0u64;
+    for round in 0..64u64 {
+        let t = SimTime::from_micros(round * 500);
+        for r in 0..256u32 {
+            q.push(t, r);
+        }
+        while let Some((_, r)) = q.pop() {
+            checksum = checksum.wrapping_add(r as u64 + round);
+        }
+    }
+    checksum
+}
+
+/// The engine's per-message-part pattern: tens of thousands of
+/// near-monotone `unfreeze` lookups against a warm window cache.
+pub fn freeze_unfreeze_scan(schedule: &FreezeSchedule) -> u64 {
+    let mut checksum = 0u64;
+    let mut t = SimTime::ZERO;
+    for _ in 0..50_000u64 {
+        t += SimDuration::from_micros(12_000);
+        checksum = checksum.wrapping_add(schedule.unfreeze(t).since(SimTime::ZERO).as_nanos());
+    }
+    checksum
+}
+
+/// Compute-segment mapping: 1000 advances of 37 ms each.
+pub fn freeze_advance_segments(schedule: &FreezeSchedule) -> u64 {
+    let mut t = SimTime::ZERO;
+    for _ in 0..1000 {
+        t = schedule.advance(t, SimDuration::from_millis(37));
+    }
+    t.since(SimTime::ZERO).as_nanos()
+}
+
+/// Interval aggregation over one simulated hour (~3600 windows).
+pub fn freeze_frozen_between_1h(schedule: &FreezeSchedule) -> u64 {
+    schedule.frozen_between(SimTime::ZERO, SimTime::from_secs(3600)).as_nanos()
+}
+
+/// The node executor's fixed-point iteration over a long compute
+/// segment with the full side-effect model enabled.
+pub fn executor_fixed_point_100s(schedule: &FreezeSchedule) -> u64 {
+    let ex = NodeExecutor::new(schedule, SmiSideEffects::default(), 8, 1.0, 0.3);
+    let out = ex.execute(SimTime::ZERO, SimDuration::from_secs(100));
+    out.wall.as_nanos().wrapping_add(out.windows as u64)
+}
+
+/// One end-to-end engine job: 16 ranks alternating compute and alltoall.
+pub fn engine_alltoall_16rank() -> u64 {
+    let spec = match ClusterSpec::wyeast(16, 1, false) {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    let progs: Vec<RankProgram> = (0..16)
+        .map(|_| {
+            RankProgram::new(
+                (0..20)
+                    .flat_map(|_| {
+                        [
+                            Op::Compute(SimDuration::from_millis(10)),
+                            Op::Alltoall { bytes_per_pair: 4096 },
+                        ]
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let nodes = nas::quiet_nodes(&spec);
+    let net = NetworkParams::gigabit_cluster();
+    match mpi_sim::run(&spec, &nodes, &progs, &net) {
+        Ok(out) => out.makespan.as_nanos(),
+        Err(_) => 0,
+    }
+}
+
+/// All engine suite cases, in reporting order. Schedules are built once
+/// per case and reused across samples, so the freeze cases measure warm
+/// lookups (the campaign's steady state), not first-touch generation.
+pub fn engine_suite() -> Vec<SuiteCase> {
+    let unfreeze_sched = long_schedule(1);
+    let advance_sched = long_schedule(2);
+    let between_sched = long_schedule(3);
+    // Pre-generate so the first sample is not a generation benchmark.
+    let _ = between_sched.frozen_between(SimTime::ZERO, SimTime::from_secs(3600));
+    let exec_sched = long_schedule(4);
+    vec![
+        SuiteCase {
+            name: "event_queue_near_monotone",
+            routine: Box::new(|| black_box(event_queue_near_monotone())),
+        },
+        SuiteCase {
+            name: "event_queue_same_time_bursts",
+            routine: Box::new(|| black_box(event_queue_same_time_bursts())),
+        },
+        SuiteCase {
+            name: "freeze_unfreeze_scan",
+            routine: Box::new(move || black_box(freeze_unfreeze_scan(&unfreeze_sched))),
+        },
+        SuiteCase {
+            name: "freeze_advance_segments",
+            routine: Box::new(move || black_box(freeze_advance_segments(&advance_sched))),
+        },
+        SuiteCase {
+            name: "freeze_frozen_between_1h",
+            routine: Box::new(move || black_box(freeze_frozen_between_1h(&between_sched))),
+        },
+        SuiteCase {
+            name: "executor_fixed_point_100s",
+            routine: Box::new(move || black_box(executor_fixed_point_100s(&exec_sched))),
+        },
+        SuiteCase {
+            name: "engine_alltoall_16rank",
+            routine: Box::new(|| black_box(engine_alltoall_16rank())),
+        },
+    ]
+}
+
+/// The stable case names, for callers that verify a report is complete.
+pub fn engine_suite_names() -> Vec<&'static str> {
+    engine_suite().into_iter().map(|c| c.name).collect()
+}
+
+/// Run the whole engine suite at exactly `samples` timed passes per case
+/// (no quick-mode scaling — `smi-lab bench` owns the sample count).
+pub fn run_engine_suite(samples: usize) -> Vec<Summary> {
+    engine_suite()
+        .into_iter()
+        .map(|mut case| measure(case.name, samples, |b| b.iter(&mut case.routine)))
+        .collect()
+}
+
+/// Render suite results as the `BENCH_engine.json` document.
+pub fn suite_json(samples: usize, results: &[Summary]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::U64(BENCH_SCHEMA)),
+        ("suite", Json::Str("engine".to_string())),
+        ("samples", Json::U64(samples as u64)),
+        (
+            "benchmarks",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::Str(s.name.clone())),
+                            ("samples", Json::U64(s.samples_ns.len() as u64)),
+                            ("min_ns", Json::U64(s.min_ns())),
+                            ("median_ns", Json::U64(s.median_ns())),
+                            ("p95_ns", Json::U64(s.p95_ns())),
+                            ("mean_ns", Json::U64(s.mean_ns())),
+                            ("max_ns", Json::U64(s.max_ns())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_cases_are_deterministic_workloads() {
+        // Each routine is a pure function of its fixed inputs: two
+        // invocations must produce identical checksums (the workload, not
+        // the wall time, is what the trajectory compares across commits).
+        assert_eq!(event_queue_near_monotone(), event_queue_near_monotone());
+        assert_eq!(event_queue_same_time_bursts(), event_queue_same_time_bursts());
+        let s = long_schedule(1);
+        assert_eq!(freeze_unfreeze_scan(&s), freeze_unfreeze_scan(&s));
+        assert_eq!(freeze_advance_segments(&s), freeze_advance_segments(&s));
+    }
+
+    #[test]
+    fn suite_runs_and_renders_json() {
+        let results = run_engine_suite(2);
+        assert_eq!(results.len(), engine_suite_names().len());
+        let doc = suite_json(2, &results);
+        assert_eq!(doc.get("schema").and_then(|s| s.as_u64()), Some(BENCH_SCHEMA));
+        let benches = doc.get("benchmarks").and_then(|b| b.as_array()).expect("array");
+        assert_eq!(benches.len(), results.len());
+        for b in benches {
+            assert_eq!(b.get("samples").and_then(|s| s.as_u64()), Some(2));
+            let min = b.get("min_ns").and_then(|v| v.as_u64()).expect("min");
+            let med = b.get("median_ns").and_then(|v| v.as_u64()).expect("median");
+            let p95 = b.get("p95_ns").and_then(|v| v.as_u64()).expect("p95");
+            assert!(min <= med && med <= p95, "ordered quantiles");
+        }
+    }
+
+    #[test]
+    fn suite_has_at_least_six_cases_with_unique_names() {
+        let names = engine_suite_names();
+        assert!(names.len() >= 6, "perf trajectory needs >= 6 benchmarks");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate case name");
+    }
+}

@@ -1,0 +1,171 @@
+//! `smi-lab bench` — run the engine hot-path benchmark suite and write
+//! the `BENCH_engine.json` perf-trajectory point.
+//!
+//! Own flag grammar (like `smi-lab lint`), routed before the experiment
+//! arg parser:
+//!
+//! ```text
+//! smi-lab bench [--json] [--samples N] [--out PATH]
+//! ```
+//!
+//! The suite (see `bench::suite`) is run at exactly `--samples` timed
+//! passes per case; the report records min/median/p95/mean over every
+//! sample. After writing, the file is read back and re-verified through
+//! `jsonio` — it must parse and contain every suite case at the
+//! requested sample count — so CI's `bench-smoke` stage can trust a
+//! zero exit. Exit codes: 0 report written and verified, 1 verification
+//! failed, 2 usage error.
+
+use bench::fmt_ns;
+use bench::suite::{engine_suite_names, run_engine_suite, suite_json, BENCH_SCHEMA};
+use jsonio::Json;
+
+/// Default timed passes per case: enough for a stable median on the
+/// sub-millisecond cases without making the end-to-end engine case slow.
+const DEFAULT_SAMPLES: usize = 40;
+const DEFAULT_OUT: &str = "results/BENCH_engine.json";
+
+struct BenchArgs {
+    json: bool,
+    samples: usize,
+    out: String,
+}
+
+fn parse(argv: &[String]) -> Result<BenchArgs, String> {
+    let mut args =
+        BenchArgs { json: false, samples: DEFAULT_SAMPLES, out: DEFAULT_OUT.to_string() };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--samples" => {
+                let v = it.next().ok_or("--samples needs a value")?;
+                args.samples = v.parse().map_err(|_| format!("bad --samples {v}"))?;
+                if args.samples == 0 {
+                    return Err("--samples must be at least 1".to_string());
+                }
+            }
+            "--out" => {
+                args.out = it.next().ok_or("--out needs a value")?.clone();
+            }
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Verify a written report: parses via jsonio, right schema/suite, and
+/// every expected case present with exactly `samples` samples.
+fn verify_report(text: &str, samples: usize) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("report does not parse: {e:?}"))?;
+    if doc.get("schema").and_then(|s| s.as_u64()) != Some(BENCH_SCHEMA) {
+        return Err(format!("schema is not {BENCH_SCHEMA}"));
+    }
+    if doc.get("suite").and_then(|s| s.as_str()) != Some("engine") {
+        return Err("suite is not \"engine\"".to_string());
+    }
+    let benches =
+        doc.get("benchmarks").and_then(|b| b.as_array()).ok_or("missing benchmarks array")?;
+    for name in engine_suite_names() {
+        let entry = benches
+            .iter()
+            .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(name))
+            .ok_or_else(|| format!("benchmark {name:?} missing from report"))?;
+        if entry.get("samples").and_then(|s| s.as_u64()) != Some(samples as u64) {
+            return Err(format!("benchmark {name:?} did not run {samples} samples"));
+        }
+        for field in ["min_ns", "median_ns", "p95_ns", "mean_ns"] {
+            if entry.get(field).and_then(|v| v.as_u64()).is_none() {
+                return Err(format!("benchmark {name:?} missing {field}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Entry point for `smi-lab bench <flags>`; returns the process exit code.
+pub fn run_cli(argv: &[String]) -> i32 {
+    let args = match parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: smi-lab bench [--json] [--samples N] [--out PATH]");
+            return 2;
+        }
+    };
+    eprintln!("running engine suite ({} samples per case)...", args.samples);
+    let results = run_engine_suite(args.samples);
+    for s in &results {
+        eprintln!(
+            "bench {:<32} [min {} p50 {} p95 {}]",
+            s.name,
+            fmt_ns(s.min_ns()),
+            fmt_ns(s.median_ns()),
+            fmt_ns(s.p95_ns()),
+        );
+    }
+    let doc = suite_json(args.samples, &results);
+    let text = doc.to_string_pretty();
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: create {}: {e}", parent.display());
+                return 1;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, &text) {
+        eprintln!("error: write {}: {e}", args.out);
+        return 1;
+    }
+    // Trust nothing: re-read what landed on disk and verify it.
+    let on_disk = match std::fs::read_to_string(&args.out) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: re-read {}: {e}", args.out);
+            return 1;
+        }
+    };
+    if let Err(e) = verify_report(&on_disk, args.samples) {
+        eprintln!("error: report verification failed: {e}");
+        return 1;
+    }
+    if args.json {
+        println!("{text}");
+    }
+    eprintln!("wrote {} ({} benchmarks, verified)", args.out, results.len());
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let a = parse(&[]).expect("defaults");
+        assert!(!a.json);
+        assert_eq!(a.samples, DEFAULT_SAMPLES);
+        assert_eq!(a.out, DEFAULT_OUT);
+        let argv: Vec<String> =
+            ["--json", "--samples", "3", "--out", "x.json"].iter().map(|s| s.to_string()).collect();
+        let a = parse(&argv).expect("flags");
+        assert!(a.json);
+        assert_eq!(a.samples, 3);
+        assert_eq!(a.out, "x.json");
+        assert!(parse(&["--samples".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--wat".to_string()]).is_err());
+    }
+
+    #[test]
+    fn verify_report_catches_missing_cases() {
+        let results = run_engine_suite(2);
+        let good = suite_json(2, &results).to_string_pretty();
+        verify_report(&good, 2).expect("full report verifies");
+        assert!(verify_report(&good, 3).is_err(), "wrong sample count");
+        let partial = suite_json(2, &results[..1]).to_string_pretty();
+        assert!(verify_report(&partial, 2).is_err(), "missing cases");
+        assert!(verify_report("{not json", 2).is_err());
+        assert!(verify_report("{\"schema\": 1}", 2).is_err());
+    }
+}

@@ -61,6 +61,7 @@
 
 #![deny(unsafe_code)]
 
+mod benchcmd;
 mod xcmds;
 
 use analysis::cells::{
@@ -181,6 +182,17 @@ fn runner_for(args: &Args) -> Runner {
     r.cache_mode = args.cache_mode;
     r.cache_dir = args.cache_dir.clone().into();
     r.code_version = CODE_VERSION.to_string();
+    // Bridge the engine's thread-local hot-path counters into the
+    // runner's manifest telemetry (the runner crate cannot see sim-core
+    // itself). Pure observability: payload bytes are probe-independent.
+    r.perf_probe = Some(std::sync::Arc::new(|| {
+        let p = sim_core::perf::take();
+        runner::EnginePerf {
+            events_popped: p.events_popped,
+            queue_peak: p.queue_peak,
+            runs: p.runs,
+        }
+    }));
     r
 }
 
@@ -545,11 +557,15 @@ fn main() {
     if argv.first().map(String::as_str) == Some("lint") {
         std::process::exit(smi_lint::run_cli(&argv[1..]));
     }
+    // `smi-lab bench` likewise owns its grammar (see benchcmd).
+    if argv.first().map(String::as_str) == Some("bench") {
+        std::process::exit(benchcmd::run_cli(&argv[1..]));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all|lint> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all|lint|bench> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
             std::process::exit(2);
         }
     };

@@ -228,8 +228,7 @@ impl<'a> NodeExecutor<'a> {
         let mut total_work = work;
         let mut end = self.schedule.advance(start, total_work);
         for _ in 0..16 {
-            let windows = self.schedule.count_between(start, end);
-            let frozen = self.schedule.frozen_between(start, end);
+            let (windows, frozen) = self.schedule.span_stats(start, end);
             // Residency-proportional losses cannot exceed the host time
             // actually available: post-SMI recovery is bounded by
             // RESIDENCY_LOSS_CAP of the unfrozen time (which also keeps
@@ -245,11 +244,11 @@ impl<'a> NodeExecutor<'a> {
             total_work = with_overhead;
             end = new_end;
         }
-        let windows = self.schedule.count_between(start, end);
+        let (windows, frozen) = self.schedule.span_stats(start, end);
         ExecOutcome {
             wall_end: end,
             wall: end.since(start),
-            frozen: self.schedule.frozen_between(start, end),
+            frozen,
             windows,
             overhead_work: total_work - work,
         }

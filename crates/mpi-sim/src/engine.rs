@@ -150,6 +150,48 @@ fn validate_inputs(
     Ok(())
 }
 
+/// Reusable per-thread scratch state for the event loop: the rank-indexed
+/// buffers and the event queue survive across runs (a campaign executes
+/// thousands of cells per worker thread, and these were the allocation
+/// churn), while anything borrowing run inputs is rebuilt per run.
+#[derive(Debug, Default)]
+struct SimArena {
+    pc: Vec<usize>,
+    parts: Vec<u32>,
+    avail: Vec<SimTime>,
+    done: Vec<Option<SimTime>>,
+    queue: EventQueue<u32>,
+}
+
+impl SimArena {
+    /// Make every buffer hold exactly `n_ranks` zeroed entries and empty
+    /// the queue (also resetting its counters), keeping capacity.
+    fn reset(&mut self, n_ranks: usize) {
+        self.pc.clear();
+        self.pc.resize(n_ranks, 0);
+        self.parts.clear();
+        self.parts.resize(n_ranks, 0);
+        self.avail.clear();
+        self.avail.resize(n_ranks, SimTime::ZERO);
+        self.done.clear();
+        self.done.resize(n_ranks, None);
+        self.queue.clear();
+    }
+}
+
+thread_local! {
+    static ARENA: std::cell::Cell<Option<Box<SimArena>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn take_arena() -> Box<SimArena> {
+    ARENA.with(|a| a.take()).unwrap_or_default()
+}
+
+fn put_arena(arena: Box<SimArena>) {
+    ARENA.with(|a| a.set(Some(arena)));
+}
+
 /// Run an MPI job with explicit engine configuration.
 pub fn run_with(
     spec: &ClusterSpec,
@@ -159,6 +201,25 @@ pub fn run_with(
     config: &RunConfig,
 ) -> Result<RunOutcome, SimError> {
     validate_inputs(spec, nodes, programs, config)?;
+    // The arena is taken (not borrowed) so an early `?` cannot leave a
+    // thread-local in a half-used state; it is returned on every path.
+    let mut arena = take_arena();
+    let result = run_core(&mut arena, spec, nodes, programs, network, config);
+    if result.is_ok() {
+        sim_core::perf::record_run(arena.queue.stats());
+    }
+    put_arena(arena);
+    result
+}
+
+fn run_core(
+    arena: &mut SimArena,
+    spec: &ClusterSpec,
+    nodes: &[NodeState],
+    programs: &[RankProgram],
+    network: &NetworkParams,
+    config: &RunConfig,
+) -> Result<RunOutcome, SimError> {
     let n_ranks = spec.total_ranks() as usize;
 
     // Lower every rank's program.
@@ -182,14 +243,11 @@ pub fn run_with(
         })
         .collect::<Result<_, _>>()?;
 
-    let mut pc = vec![0usize; n_ranks];
-    let mut parts = vec![0u32; n_ranks];
-    let mut avail = vec![SimTime::ZERO; n_ranks];
-    let mut done: Vec<Option<SimTime>> = vec![None; n_ranks];
+    arena.reset(n_ranks);
+    let SimArena { pc, parts, avail, done, queue } = arena;
     let mut pending_sends: BTreeMap<(u32, u32, u64), VecDeque<PendingSend>> = BTreeMap::new();
     let mut posted_recvs: BTreeMap<(u32, u32, u64), VecDeque<PostedRecv>> = BTreeMap::new();
     let mut nic = NicState::new(spec.nodes as usize);
-    let mut queue: EventQueue<u32> = EventQueue::new();
     let mut messages = 0u64;
     let mut bytes_total = 0u64;
 
@@ -410,7 +468,7 @@ pub fn run_with(
         return Err(SimError::Deadlock { waiting_ranks, blocked_ops });
     }
 
-    let rank_finish: Vec<SimTime> = done.into_iter().flatten().collect();
+    let rank_finish: Vec<SimTime> = done.iter().copied().flatten().collect();
     let Some(end) = rank_finish.iter().copied().max() else {
         return Err(SimError::invariant("rank accounting", "no rank produced a finish time"));
     };

@@ -1,0 +1,209 @@
+//! Shape tests for the NAS workload models: per-class operation counts
+//! must grow A → B → C, and the generated per-rank programs must show
+//! the benchmark's real structure (collectives, halos, transposes) and
+//! strong-scale their compute as ranks are added.
+
+use mpi_sim::{ClusterSpec, Op, RankProgram};
+use nas::paper::{serial_seconds, Bench};
+use nas::{programs, total_ops, Class};
+
+const BENCHES: [Bench; 3] = [Bench::Ep, Bench::Bt, Bench::Ft];
+
+fn spec(ranks: u32) -> ClusterSpec {
+    ClusterSpec::wyeast(ranks, 1, false).expect("one rank per node is always hostable")
+}
+
+fn cell(bench: Bench, class: Class, ranks: u32) -> Vec<RankProgram> {
+    let ones = vec![1.0; ranks as usize];
+    programs(bench, class, &spec(ranks), 0.0, &ones)
+}
+
+fn op_count(p: &RankProgram, f: impl Fn(&Op) -> bool) -> usize {
+    p.ops.iter().filter(|op| f(op)).count()
+}
+
+#[test]
+fn total_ops_strictly_monotone_across_paper_classes() {
+    for bench in BENCHES {
+        let [a, b, c] = Class::PAPER.map(|class| total_ops(bench, class));
+        assert!(a < b && b < c, "{bench:?}: op counts must grow A<B<C, got {a} {b} {c}");
+        assert!(a > 0.0, "{bench:?} class A op count must be positive");
+    }
+}
+
+#[test]
+fn modeled_compute_tracks_serial_seconds_per_class() {
+    // With no calibration offset and unit jitters, the compute embedded
+    // in a cell sums (across ranks) to the class's serial runtime, so
+    // total modeled work is class-monotone exactly like the op counts.
+    for bench in BENCHES {
+        let mut prev = 0.0;
+        for class in Class::PAPER {
+            let ranks = 4;
+            let total: f64 =
+                cell(bench, class, ranks).iter().map(|p| p.total_compute().as_secs_f64()).sum();
+            let serial = serial_seconds(bench, class);
+            let rel = (total - serial).abs() / serial;
+            assert!(rel < 1e-6, "{bench:?}/{class:?}: ranks sum to {total}, serial is {serial}");
+            assert!(total > prev, "{bench:?}: compute must grow with class");
+            prev = total;
+        }
+    }
+}
+
+#[test]
+fn compute_strong_scales_with_rank_count() {
+    // Doubling ranks halves per-rank compute (extra=0 keeps us far from
+    // the 10 % calibration floor), while the per-rank op *structure*
+    // stays fixed for EP and FT.
+    for bench in [Bench::Ep, Bench::Ft] {
+        let mut prev_per_rank = f64::INFINITY;
+        for ranks in [2u32, 4, 8, 16] {
+            let cellp = cell(bench, Class::A, ranks);
+            assert_eq!(cellp.len(), ranks as usize);
+            let per_rank = cellp[0].total_compute().as_secs_f64();
+            let expected = serial_seconds(bench, Class::A) / ranks as f64;
+            assert!(
+                (per_rank - expected).abs() / expected < 1e-6,
+                "{bench:?} p={ranks}: per-rank compute {per_rank} vs serial/p {expected}"
+            );
+            assert!(per_rank < prev_per_rank);
+            prev_per_rank = per_rank;
+        }
+    }
+}
+
+#[test]
+fn ep_structure_is_one_chunk_plus_reductions() {
+    // Serial EP is a single compute block; parallel EP adds only the
+    // start-up broadcast and the two result reductions (sx/sy and the
+    // annulus counts).
+    let serial = cell(Bench::Ep, Class::B, 1);
+    assert_eq!(serial[0].ops.len(), 1);
+    assert!(matches!(serial[0].ops[0], Op::Compute(_)));
+
+    for ranks in [4u32, 16] {
+        for prog in cell(Bench::Ep, Class::B, ranks) {
+            assert_eq!(op_count(&prog, |op| matches!(op, Op::Bcast { .. })), 1);
+            assert_eq!(op_count(&prog, |op| matches!(op, Op::Compute(_))), 1);
+            assert_eq!(op_count(&prog, |op| matches!(op, Op::Allreduce { .. })), 2);
+        }
+    }
+}
+
+#[test]
+fn bt_requires_square_ranks_and_exchanges_class_sized_faces() {
+    for class in Class::PAPER {
+        let (n, iters) = class.bt_grid();
+        for ranks in [1u32, 4, 16] {
+            let q = (ranks as f64).sqrt() as u32;
+            let progs = cell(Bench::Bt, class, ranks);
+            for prog in &progs {
+                // Three ADI sweeps per iteration on every rank.
+                assert_eq!(op_count(prog, |op| matches!(op, Op::Compute(_))), (iters * 3) as usize);
+                let halos = op_count(prog, |op| matches!(op, Op::Exchange { .. }));
+                if q > 1 {
+                    // Four copy_faces shifts plus two sweep-boundary
+                    // shifts per iteration.
+                    assert_eq!(halos, (iters * 6) as usize);
+                } else {
+                    assert_eq!(halos, 0);
+                }
+            }
+            // Halo payloads carry 5 doubles per face point of the
+            // n x n/q pencil face.
+            if q > 1 {
+                let expected = (n as u64) * (n as u64 / q as u64) * 5 * 8;
+                let seen = progs[0]
+                    .ops
+                    .iter()
+                    .filter_map(|op| match op {
+                        Op::Exchange { bytes, .. } => Some(*bytes),
+                        _ => None,
+                    })
+                    .max()
+                    .expect("q>1 BT has exchanges");
+                assert_eq!(seen, expected, "class {class:?} q={q}");
+            }
+        }
+    }
+    // Larger classes move strictly more halo data at the same shape.
+    let face = |class: Class| {
+        cell(Bench::Bt, class, 4)[0]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Exchange { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    assert!(face(Class::A) < face(Class::B) && face(Class::B) < face(Class::C));
+}
+
+#[test]
+#[should_panic(expected = "square rank count")]
+fn bt_rejects_non_square_rank_counts() {
+    let _ = cell(Bench::Bt, Class::A, 8);
+}
+
+#[test]
+fn ft_transposes_all_points_every_iteration() {
+    for class in Class::PAPER {
+        let (_, iters) = class.ft_grid();
+        for ranks in [2u32, 4, 16] {
+            let progs = cell(Bench::Ft, class, ranks);
+            for prog in &progs {
+                // Initial forward transform plus one transpose per
+                // evolve step, and a checksum reduction per iteration.
+                assert_eq!(
+                    op_count(prog, |op| matches!(op, Op::Alltoall { .. })),
+                    (iters + 1) as usize
+                );
+                assert_eq!(op_count(prog, |op| matches!(op, Op::Allreduce { .. })), iters as usize);
+                // Pairwise payload covers the full complex grid.
+                for op in &prog.ops {
+                    if let Op::Alltoall { bytes_per_pair } = op {
+                        assert_eq!(
+                            *bytes_per_pair,
+                            class.ft_points() * 16 / (ranks as u64 * ranks as u64)
+                        );
+                    }
+                }
+            }
+        }
+        // Serial FT needs no transpose.
+        let serial = cell(Bench::Ft, class, 1);
+        assert_eq!(op_count(&serial[0], |op| matches!(op, Op::Alltoall { .. })), 0);
+    }
+}
+
+#[test]
+fn jitters_scale_single_rank_compute() {
+    let ranks = 4u32;
+    let mut jit = vec![1.0; ranks as usize];
+    jit[2] = 1.25;
+    let progs = programs(Bench::Ep, Class::A, &spec(ranks), 0.0, &jit);
+    let base = progs[0].total_compute().as_secs_f64();
+    let bumped = progs[2].total_compute().as_secs_f64();
+    assert!(
+        (bumped / base - 1.25).abs() < 1e-9,
+        "jitter must multiply compute: {bumped} vs {base}"
+    );
+}
+
+#[test]
+fn calibration_floor_never_erases_compute() {
+    // A hugely negative calibration offset clamps at 10 % of the
+    // physical estimate instead of going to zero (or negative).
+    let ranks = 4u32;
+    let ones = vec![1.0; ranks as usize];
+    let progs = programs(Bench::Ep, Class::A, &spec(ranks), -1.0e9, &ones);
+    let per_rank = progs[0].total_compute().as_secs_f64();
+    let floor = serial_seconds(Bench::Ep, Class::A) / ranks as f64 * 0.1;
+    assert!(
+        (per_rank - floor).abs() / floor < 1e-9,
+        "floored compute {per_rank} vs expected {floor}"
+    );
+}

@@ -57,7 +57,30 @@ pub mod telemetry;
 
 use jsonio::Json;
 use std::path::PathBuf;
+use std::sync::Arc;
 use telemetry::Stopwatch;
+
+/// Engine-side hot-path counters harvested around one interval of work.
+///
+/// The runner does not depend on any simulator crate, so it cannot read
+/// the engine's thread-local counters itself; the binary that owns both
+/// sides installs a [`Runner::perf_probe`] translating the engine's
+/// counters into this mirror struct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnginePerf {
+    /// Events popped from the engine's event queue.
+    pub events_popped: u64,
+    /// Highest event-queue length observed in any single engine run.
+    pub queue_peak: u64,
+    /// Engine runs completed.
+    pub runs: u64,
+}
+
+/// A thread-local counter probe: returns the calling thread's
+/// accumulated [`EnginePerf`] **and resets it**, so the worker can
+/// bracket each cell (discard before, harvest after) and attribute
+/// counts to exactly the work it just executed.
+pub type PerfProbe = Arc<dyn Fn() -> EnginePerf + Send + Sync>;
 
 /// The stable identity of one experiment cell — everything that
 /// determines its output, and therefore its cache key.
@@ -117,7 +140,7 @@ pub enum CacheMode {
 }
 
 /// Runner configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Runner {
     /// Worker threads (clamped to at least 1).
     pub jobs: usize,
@@ -136,6 +159,26 @@ pub struct Runner {
     /// quarantined. Cell work is a pure function of the cell identity,
     /// so the retry schedule is too.
     pub max_attempts: u32,
+    /// Optional engine-counter probe (see [`PerfProbe`]). When set, each
+    /// executed (non-cached) cell is bracketed with it and the harvested
+    /// counters are summed into the run manifest's `engine` section.
+    /// Counters never touch cell payloads, so records stay byte-stable
+    /// whether or not a probe is installed.
+    pub perf_probe: Option<PerfProbe>,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("jobs", &self.jobs)
+            .field("cache_mode", &self.cache_mode)
+            .field("cache_dir", &self.cache_dir)
+            .field("code_version", &self.code_version)
+            .field("verbose", &self.verbose)
+            .field("max_attempts", &self.max_attempts)
+            .field("perf_probe", &self.perf_probe.is_some())
+            .finish()
+    }
 }
 
 impl Runner {
@@ -150,6 +193,7 @@ impl Runner {
             code_version: concat!("runner-", env!("CARGO_PKG_VERSION")).to_string(),
             verbose: true,
             max_attempts: 3,
+            perf_probe: None,
         }
     }
 
@@ -229,6 +273,8 @@ impl Runner {
             orphans_swept,
             journal_prior_ok,
             wall_seconds: started.elapsed_seconds(),
+            engine: progress.engine(),
+            exec_micros: progress.exec_micros_total(),
             latency_histogram: progress.histogram(),
             p50_micros: progress.quantile_micros(0.50),
             p90_micros: progress.quantile_micros(0.90),
@@ -268,6 +314,13 @@ impl Runner {
                 cache::Lookup::Miss => {}
             }
         }
+        // Reset this worker thread's engine counters so whatever the
+        // cell is about to execute is attributed to it alone; the
+        // discarded remainder is work whose cell already harvested (or
+        // panicked, in which case its counts are noise anyway).
+        if let Some(probe) = &self.perf_probe {
+            let _ = probe();
+        }
         let budget = self.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
@@ -292,6 +345,9 @@ impl Runner {
                         progress.note_store_error();
                     }
                     let micros = started.elapsed_micros();
+                    if let Some(probe) = &self.perf_probe {
+                        progress.note_engine(probe());
+                    }
                     progress.cell_done(&cell.spec.cell, micros, false);
                     journal_completion(journal::Status::Ok, attempt);
                     return CellOutcome {
@@ -557,6 +613,12 @@ pub struct RunReport {
     pub journal_prior_ok: u64,
     /// Wall time of the whole run.
     pub wall_seconds: f64,
+    /// Engine hot-path counters summed over executed cells — all zero
+    /// unless a [`PerfProbe`] was installed on the runner.
+    pub engine: EnginePerf,
+    /// Total executed (non-cached) cell wall time, in microseconds —
+    /// the denominator used for the manifest's ns/event figure.
+    pub exec_micros: u64,
     /// `(bucket_floor_micros, count)` latency histogram.
     pub latency_histogram: Vec<(u64, u64)>,
     /// Approximate median cell latency.
@@ -637,6 +699,22 @@ impl RunReport {
                 }),
             ),
             ("wall_seconds", Json::F64(self.wall_seconds)),
+            (
+                "engine",
+                Json::obj(vec![
+                    ("events_popped", Json::U64(self.engine.events_popped)),
+                    ("queue_peak", Json::U64(self.engine.queue_peak)),
+                    ("runs", Json::U64(self.engine.runs)),
+                    (
+                        "ns_per_event",
+                        Json::F64(if self.engine.events_popped > 0 {
+                            self.exec_micros as f64 * 1000.0 / self.engine.events_popped as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]),
+            ),
             ("p50_micros", Json::U64(self.p50_micros)),
             ("p90_micros", Json::U64(self.p90_micros)),
             (

@@ -22,6 +22,9 @@ pub struct Progress {
     store_errors: AtomicU64,
     load_corruptions: AtomicU64,
     exec_micros: AtomicU64,
+    engine_events: AtomicU64,
+    engine_queue_peak: AtomicU64,
+    engine_runs: AtomicU64,
     histo: [AtomicU64; HISTO_BUCKETS],
     started: Instant,
     print: Option<Mutex<Instant>>,
@@ -40,6 +43,9 @@ impl Progress {
             store_errors: AtomicU64::new(0),
             load_corruptions: AtomicU64::new(0),
             exec_micros: AtomicU64::new(0),
+            engine_events: AtomicU64::new(0),
+            engine_queue_peak: AtomicU64::new(0),
+            engine_runs: AtomicU64::new(0),
             histo: std::array::from_fn(|_| AtomicU64::new(0)),
             started: Instant::now(),
             // Backdate the throttle so the first completion prints.
@@ -106,6 +112,29 @@ impl Progress {
     /// never fatal — but worth knowing the disk is rotting).
     pub fn note_load_corruption(&self) {
         self.load_corruptions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Fold one executed cell's harvested engine counters into the run
+    /// totals: event and run counts sum, the queue peak is a max.
+    pub fn note_engine(&self, perf: crate::EnginePerf) {
+        self.engine_events.fetch_add(perf.events_popped, Ordering::AcqRel);
+        self.engine_queue_peak.fetch_max(perf.queue_peak, Ordering::AcqRel);
+        self.engine_runs.fetch_add(perf.runs, Ordering::AcqRel);
+    }
+
+    /// Accumulated engine counters across every executed cell.
+    pub fn engine(&self) -> crate::EnginePerf {
+        crate::EnginePerf {
+            events_popped: self.engine_events.load(Ordering::Acquire),
+            queue_peak: self.engine_queue_peak.load(Ordering::Acquire),
+            runs: self.engine_runs.load(Ordering::Acquire),
+        }
+    }
+
+    /// Total executed (non-cached, non-quarantined-attempt) wall time in
+    /// microseconds — the denominator for ns/event.
+    pub fn exec_micros_total(&self) -> u64 {
+        self.exec_micros.load(Ordering::Acquire)
     }
 
     /// Fault counters:

@@ -5,18 +5,59 @@
 //! pending event. Ties are broken by insertion order (FIFO), which keeps
 //! simulations deterministic under equal timestamps.
 //!
+//! Internally this is a bucketed calendar queue tuned for the engine's
+//! near-monotone event pattern: one *page* of [`NUM_BUCKETS`] buckets
+//! spans a window of simulated time, events land in the bucket covering
+//! their timestamp, and only the bucket currently being drained is kept
+//! sorted (descending, so the earliest entry pops off the back in O(1)).
+//! Events beyond the page accumulate in an overflow list; when the page
+//! drains, the overflow is redistributed into a fresh page sized to its
+//! actual time span. Every path orders by the unique `(time, seq)` pair,
+//! so the pop stream is identical to the original binary-heap
+//! implementation — `tests/queue_equivalence.rs` locks that equivalence
+//! against a frozen copy of the old queue.
+//!
 //! [`mpi-sim`]: ../../mpi_sim/index.html
 //! [`machine`]: ../../machine/index.html
 
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+/// Buckets per calendar page. A power of two keeps the page small enough
+/// to scan cheaply while giving near-monotone workloads ~one bucket per
+/// few events.
+const NUM_BUCKETS: usize = 256;
+
+/// Lifetime counters for one queue, reported into the run manifest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events popped since construction (or the last [`EventQueue::clear`]).
+    pub pops: u64,
+    /// Highest number of simultaneously pending events observed.
+    pub peak_len: usize,
+}
 
 /// A time-ordered queue of payloads with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// The current page. Buckets before `cur` are empty; bucket `cur` is
+    /// sorted descending by `(time, seq)`; buckets after `cur` are
+    /// unsorted until the drain reaches them.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Events at or beyond the page end, unsorted.
+    overflow: Vec<Entry<T>>,
+    /// Index of the bucket currently being drained.
+    cur: usize,
+    /// Simulated time at the start of the page, in nanoseconds.
+    page_start: u64,
+    /// Width of one bucket in nanoseconds; `0` means no page is seeded
+    /// yet (every push goes to `overflow` until the first pop).
+    bucket_ns: u64,
+    /// Events currently stored in `buckets`.
+    in_page: usize,
+    /// Next insertion sequence number (the FIFO tie-break).
     seq: u64,
+    pops: u64,
+    peak_len: usize,
 }
 
 #[derive(Debug)]
@@ -26,21 +67,17 @@ struct Entry<T> {
     payload: T,
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<T> Entry<T> {
+    /// The unique total-order key: time first, insertion order second.
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
+
+/// Sort a bucket descending by `(time, seq)` so the earliest entry is at
+/// the back. Keys are unique, so unstable sorting is deterministic.
+fn sort_descending<T>(bucket: &mut [Entry<T>]) {
+    bucket.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
 }
 
 impl<T> Default for EventQueue<T> {
@@ -52,39 +89,165 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            cur: 0,
+            page_start: 0,
+            bucket_ns: 0,
+            in_page: 0,
+            seq: 0,
+            pops: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// First nanosecond no longer covered by the current page.
+    fn page_end(&self) -> u64 {
+        self.page_start.saturating_add(self.bucket_ns.saturating_mul(NUM_BUCKETS as u64))
     }
 
     /// Schedule `payload` at `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, payload }));
+        let entry = Entry { time, seq, payload };
+        let t = time.as_nanos();
+        if self.bucket_ns == 0 || t >= self.page_end() {
+            self.overflow.push(entry);
+        } else {
+            // Bucket covering `t`; times before the page clamp to 0. A
+            // landing spot at or behind the drain point goes into the
+            // sorted current bucket so it still pops in key order.
+            let idx = ((t.saturating_sub(self.page_start)) / self.bucket_ns) as usize;
+            let idx = idx.min(NUM_BUCKETS - 1);
+            if idx <= self.cur {
+                if let Some(bucket) = self.buckets.get_mut(self.cur) {
+                    let pos = bucket.partition_point(|e| e.key() > entry.key());
+                    bucket.insert(pos, entry);
+                }
+            } else if let Some(bucket) = self.buckets.get_mut(idx) {
+                bucket.push(entry);
+            }
+            self.in_page += 1;
+        }
+        self.peak_len = self.peak_len.max(self.len());
+    }
+
+    /// Rebuild the page from the overflow list: the new page starts at
+    /// the earliest overflow time and its bucket width is sized so the
+    /// whole overflow span fits in one page.
+    fn reseed(&mut self) {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for e in &self.overflow {
+            let t = e.time.as_nanos();
+            min = min.min(t);
+            max = max.max(t);
+        }
+        self.page_start = min;
+        self.bucket_ns = ((max - min) / NUM_BUCKETS as u64) + 1;
+        self.cur = 0;
+        for e in self.overflow.drain(..) {
+            let idx = ((e.time.as_nanos() - min) / self.bucket_ns) as usize;
+            let idx = idx.min(NUM_BUCKETS - 1);
+            if let Some(bucket) = self.buckets.get_mut(idx) {
+                bucket.push(e);
+                self.in_page += 1;
+            }
+        }
+        if let Some(bucket) = self.buckets.get_mut(0) {
+            sort_descending(bucket);
+        }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+        loop {
+            if let Some(e) = self.buckets.get_mut(self.cur).and_then(Vec::pop) {
+                self.in_page -= 1;
+                self.pops += 1;
+                return Some((e.time, e.payload));
+            }
+            if self.in_page == 0 {
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                self.reseed();
+                continue;
+            }
+            // Advance the drain point to the next occupied bucket and
+            // sort it; `in_page > 0` guarantees one exists.
+            let mut next = self.cur + 1;
+            while next < NUM_BUCKETS {
+                match self.buckets.get_mut(next) {
+                    Some(bucket) if !bucket.is_empty() => {
+                        sort_descending(bucket);
+                        self.cur = next;
+                        break;
+                    }
+                    _ => next += 1,
+                }
+            }
+            if next >= NUM_BUCKETS {
+                // Bookkeeping can only reach here if `in_page` drifted
+                // from the buckets' true contents; resynchronize rather
+                // than loop (total: no panic on the strict path).
+                self.in_page = 0;
+            }
+        }
     }
 
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        // The sorted current bucket ends with the page's earliest entry;
+        // every other occupied bucket (and the overflow) is later.
+        if let Some(e) = self.buckets.get(self.cur).and_then(|b| b.last()) {
+            return Some(e.time);
+        }
+        if self.in_page > 0 {
+            return self
+                .buckets
+                .iter()
+                .skip(self.cur)
+                .flatten()
+                .min_by_key(|e| e.key())
+                .map(|e| e.time);
+        }
+        self.overflow.iter().min_by_key(|e| e.key()).map(|e| e.time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.in_page + self.overflow.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Drop all pending events.
+    /// Drop all pending events and reset the lifetime counters, keeping
+    /// allocated bucket capacity (arenas reuse queues across runs).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.cur = 0;
+        self.page_start = 0;
+        self.bucket_ns = 0;
+        self.in_page = 0;
+        self.seq = 0;
+        self.pops = 0;
+        self.peak_len = 0;
+    }
+
+    /// Lifetime counters since construction or the last [`clear`].
+    ///
+    /// [`clear`]: EventQueue::clear
+    pub fn stats(&self) -> QueueStats {
+        QueueStats { pops: self.pops, peak_len: self.peak_len }
     }
 }
 
@@ -145,5 +308,51 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_behind_the_drain_point_pops_first() {
+        let mut q = EventQueue::new();
+        for ms in [10u64, 500, 900] {
+            q.push(SimTime::from_millis(ms), ms);
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 10)));
+        // Earlier than everything still pending, later than the last pop.
+        q.push(SimTime::from_millis(20), 20);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), 20)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(500), 500)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(900), 900)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn extreme_times_keep_order_and_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(u64::MAX), 1);
+        q.push(SimTime::ZERO, 0);
+        q.push(SimTime::from_nanos(u64::MAX), 2);
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 0)));
+        // Same u64::MAX timestamp across page and overflow: FIFO holds.
+        q.push(SimTime::from_nanos(u64::MAX), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(u64::MAX), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(u64::MAX), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(u64::MAX), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stats_count_pops_and_peak() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        for i in 0..10u64 {
+            q.push(SimTime::from_micros(i), i);
+        }
+        assert_eq!(q.stats().peak_len, 10);
+        let _ = q.pop();
+        let _ = q.pop();
+        assert_eq!(q.stats().pops, 2);
+        assert_eq!(q.stats().peak_len, 10, "peak is a high-water mark");
+        q.clear();
+        assert_eq!(q.stats(), QueueStats::default(), "clear resets counters");
     }
 }

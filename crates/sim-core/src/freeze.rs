@@ -185,12 +185,81 @@ impl PeriodicFreeze {
 struct GenState {
     /// Windows generated so far, in increasing, non-overlapping order.
     windows: Vec<(SimTime, SimTime)>,
+    /// Prefix sums of window lengths: `cum_frozen[i]` is the total frozen
+    /// nanoseconds in `windows[..i]`; always `windows.len() + 1` entries.
+    /// Lets interval queries answer in O(log n) instead of a scan.
+    cum_frozen: Vec<u64>,
     /// Index of the next candidate trigger (`first_trigger + k * period`).
     next_k: u64,
     /// RNG for occurrence durations, advanced once per *accepted* window.
     rng: SimRng,
     /// Every window starting at or before this instant has been generated.
     covered: SimTime,
+    /// Hint for [`locate`]: the engine queries each schedule at
+    /// near-monotone instants (once per message part), so the answer is
+    /// almost always within a step or two of the previous one.
+    cursor: usize,
+}
+
+impl GenState {
+    /// Record an accepted window, keeping the prefix sums in lockstep.
+    fn push_window(&mut self, start: SimTime, end: SimTime) {
+        let last = self.cum_frozen.last().copied().unwrap_or(0);
+        self.cum_frozen.push(last + end.0.saturating_sub(start.0));
+        self.windows.push((start, end));
+    }
+
+    /// Indices `[i, j)` of the windows overlapping the half-open interval
+    /// `[a, b)`; callers guarantee `b > a` and coverage through `b`.
+    /// Windows are sorted and non-overlapping, so their ends are sorted
+    /// too and the overlapping set is one contiguous index range.
+    fn overlap_range(&mut self, a: SimTime, b: SimTime) -> (usize, usize) {
+        // `partition_point(s < b)` == `partition_point(s <= b-1)`;
+        // `b > a >= 0` guarantees `b.0 >= 1`.
+        let j = locate(&self.windows, self.cursor, SimTime(b.0 - 1));
+        self.cursor = j;
+        let i = self.windows[..j].partition_point(|&(_, e)| e <= a);
+        (i, j)
+    }
+}
+
+/// `windows.partition_point(|&(s, _)| s <= t)`, accelerated by a hint.
+///
+/// Starts at `hint` (the previous answer) and walks up to a few steps in
+/// the right direction before falling back to binary search on the
+/// remaining range, so near-monotone query streams cost O(1) amortized.
+/// The return value is exactly the plain `partition_point` result.
+fn locate(windows: &[(SimTime, SimTime)], hint: usize, t: SimTime) -> usize {
+    const WALK: usize = 4;
+    let n = windows.len();
+    let h = hint.min(n);
+    if h == 0 || windows[h - 1].0 <= t {
+        // Answer is at or after the hint.
+        let mut i = h;
+        for _ in 0..WALK {
+            if i < n && windows[i].0 <= t {
+                i += 1;
+            } else {
+                return i;
+            }
+        }
+        i + windows[i..].partition_point(|&(s, _)| s <= t)
+    } else {
+        // `windows[h - 1].0 > t`: answer is before the hint.
+        let mut i = h - 1;
+        for _ in 0..WALK {
+            if i > 0 && windows[i - 1].0 > t {
+                i -= 1;
+            } else {
+                return i;
+            }
+        }
+        if i > 0 && windows[i - 1].0 > t {
+            windows[..i].partition_point(|&(s, _)| s <= t)
+        } else {
+            i
+        }
+    }
 }
 
 /// A periodic trigger source and its lazily generated window cache —
@@ -242,9 +311,11 @@ impl FreezeSchedule {
         let periodic = config.map(|config| {
             let gen = GenState {
                 windows: Vec::new(),
+                cum_frozen: vec![0],
                 next_k: 0,
                 rng: SimRng::new(config.seed),
                 covered: SimTime::ZERO,
+                cursor: 0,
             };
             Periodic { config, gen: RefCell::new(gen) }
         });
@@ -332,12 +403,12 @@ impl FreezeSchedule {
                 // generated is kept — it is valid — and coverage extends to
                 // just before its start).
                 let d = cfg.durations.sample(&mut gen.rng);
-                gen.windows.push((start, start + d));
+                gen.push_window(start, start + d);
                 gen.covered = gen.covered.max(t).max(SimTime(start.0 - 1));
                 return;
             }
             let d = cfg.durations.sample(&mut gen.rng);
-            gen.windows.push((start, start + d));
+            gen.push_window(start, start + d);
         }
     }
 
@@ -348,8 +419,10 @@ impl FreezeSchedule {
             return Vec::new();
         }
         self.ensure_covered(b);
-        let gen = periodic.gen.borrow();
-        gen.windows.iter().copied().filter(|&(s, e)| s < b && e > a).collect()
+        let mut gen = periodic.gen.borrow_mut();
+        let gen = &mut *gen;
+        let (i, j) = gen.overlap_range(a, b);
+        gen.windows[i..j].to_vec()
     }
 
     /// Whether the node is frozen at instant `t` (windows are half-open:
@@ -362,9 +435,12 @@ impl FreezeSchedule {
     pub fn window_containing(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
         let periodic = self.periodic.as_ref()?;
         self.ensure_covered(t);
-        let gen = periodic.gen.borrow();
-        // Windows are sorted; find the last window starting at or before t.
-        let idx = gen.windows.partition_point(|&(s, _)| s <= t);
+        let mut gen = periodic.gen.borrow_mut();
+        let gen = &mut *gen;
+        // Windows are sorted; find the last window starting at or before t
+        // (cursor-accelerated: engine queries are near-monotone).
+        let idx = locate(&gen.windows, gen.cursor, t);
+        gen.cursor = idx;
         if idx == 0 {
             return None;
         }
@@ -391,8 +467,10 @@ impl FreezeSchedule {
         for _ in 0..64 {
             horizon = horizon.saturating_add(step);
             self.ensure_covered(horizon);
-            let gen = periodic.gen.borrow();
-            let idx = gen.windows.partition_point(|&(s, _)| s <= t);
+            let mut gen = periodic.gen.borrow_mut();
+            let gen = &mut *gen;
+            let idx = locate(&gen.windows, gen.cursor, t);
+            gen.cursor = idx;
             if idx < gen.windows.len() {
                 return Some(gen.windows[idx]);
             }
@@ -436,16 +514,47 @@ impl FreezeSchedule {
 
     /// Total frozen time within the half-open wall interval `[a, b)`.
     pub fn frozen_between(&self, a: SimTime, b: SimTime) -> SimDuration {
+        self.span_stats(a, b).1
+    }
+
+    /// Freeze-window starts and frozen time over `[a, b)` in one lookup:
+    /// `(count_between(a, b), frozen_between(a, b))`. The executor's
+    /// fixed-point loop needs both at every iteration, and answering
+    /// them together from the prefix sums costs one O(log n) range
+    /// lookup instead of two window scans.
+    pub fn span_stats(&self, a: SimTime, b: SimTime) -> (usize, SimDuration) {
         if b <= a {
-            return SimDuration::ZERO;
+            return (0, SimDuration::ZERO);
         }
-        let mut total = SimDuration::ZERO;
-        for (s, e) in self.windows_between(a, b) {
-            let lo = s.max(a);
-            let hi = e.min(b);
-            total += hi.since(lo);
+        let Some(periodic) = &self.periodic else { return (0, SimDuration::ZERO) };
+        self.ensure_covered(b);
+        let mut gen = periodic.gen.borrow_mut();
+        let gen = &mut *gen;
+        let (i, j) = gen.overlap_range(a, b);
+        if i >= j {
+            return (0, SimDuration::ZERO);
         }
-        total
+        // Frozen time: the prefix-sum total of windows [i, j), clipped at
+        // the interval edges. Windows are non-overlapping, so only the
+        // first can start before `a` and only the last can end after `b`.
+        let mut frozen = gen
+            .cum_frozen
+            .get(j)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(gen.cum_frozen.get(i).copied().unwrap_or(0));
+        let (s_first, _) = gen.windows[i];
+        if s_first < a {
+            frozen = frozen.saturating_sub(a.0 - s_first.0);
+        }
+        let (_, e_last) = gen.windows[j - 1];
+        if e_last > b {
+            frozen = frozen.saturating_sub(e_last.0 - b.0);
+        }
+        // Start count: every overlapping window except a leading one that
+        // began before `a` starts within `[a, b)`.
+        let first_inside = if s_first < a { i + 1 } else { i };
+        (j - first_inside, SimDuration(frozen))
     }
 
     /// Useful work accomplished within the wall interval `[a, b)`: the
@@ -461,7 +570,7 @@ impl FreezeSchedule {
 
     /// Number of freeze windows that *begin* within `[a, b)`.
     pub fn count_between(&self, a: SimTime, b: SimTime) -> usize {
-        self.windows_between(a, b).iter().filter(|&&(s, _)| s >= a && s < b).count()
+        self.span_stats(a, b).0
     }
 
     /// The long-run fraction of wall time spent frozen (duty cycle), as
@@ -754,6 +863,62 @@ mod tests {
         for (s, e) in sched.windows_between(SimTime::ZERO, SimTime::from_secs(1)) {
             let d = e.since(s);
             assert!(d >= SimDuration::from_millis(2) && d <= SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn span_stats_matches_a_brute_force_scan() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(333),
+            period: SimDuration::from_millis(700),
+            durations: DurationModel::short_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 99,
+        });
+        // One independent full-window list; every interval query below is
+        // checked against a plain scan of it.
+        let all = s.windows_between(SimTime::ZERO, SimTime::from_secs(120));
+        let mut rng = SimRng::new(5);
+        for _ in 0..300 {
+            let a = SimTime::from_nanos(rng.below(100_000_000_000));
+            let b = SimTime::from_nanos(rng.below(100_000_000_000));
+            let (count, frozen) = s.span_stats(a, b);
+            let mut want_count = 0usize;
+            let mut want_frozen = SimDuration::ZERO;
+            if b > a {
+                for &(ws, we) in &all {
+                    if ws < b && we > a {
+                        want_frozen += we.min(b).since(ws.max(a));
+                        if ws >= a {
+                            want_count += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(count, want_count, "count over [{a:?}, {b:?})");
+            assert_eq!(frozen, want_frozen, "frozen over [{a:?}, {b:?})");
+            assert_eq!(s.count_between(a, b), want_count);
+            assert_eq!(s.frozen_between(a, b), want_frozen);
+        }
+    }
+
+    #[test]
+    fn cursor_cache_survives_out_of_order_queries() {
+        let s = fixed(1000, 100, 500);
+        // Warm the cursor far ahead, then query far behind, at the very
+        // start, and ahead again — every answer must match a fresh clone.
+        let probes = [
+            SimTime::from_secs(500),
+            SimTime::from_millis(501),
+            SimTime::ZERO,
+            SimTime::from_secs(250),
+            SimTime::from_millis(499),
+            SimTime::from_secs(700),
+        ];
+        let fresh = s.clone();
+        for t in probes {
+            assert_eq!(s.window_containing(t), fresh.clone().window_containing(t), "{t:?}");
+            assert_eq!(s.unfreeze(t), fresh.clone().unfreeze(t), "{t:?}");
         }
     }
 

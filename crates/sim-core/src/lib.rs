@@ -48,13 +48,14 @@
 pub mod error;
 pub mod event;
 pub mod freeze;
+pub mod perf;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use error::{BlockedOp, BlockedOpKind, SimError};
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueStats};
 pub use freeze::{DurationModel, FreezeSchedule, PeriodicFreeze, TriggerPolicy};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

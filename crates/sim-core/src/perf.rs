@@ -1,0 +1,72 @@
+//! Per-thread engine performance counters.
+//!
+//! The simulation engine is pure with respect to its *results*, but the
+//! experiment runner wants to know how hard the hot path worked (events
+//! popped, queue pressure) to report ns/event in the run manifest. These
+//! counters are deliberately kept out of every result type: they live in
+//! plain thread-locals, cost two `Cell` bumps per run to maintain, and
+//! are harvested by the runner worker between cells — so they can never
+//! perturb a record byte. Telemetry, not simulation state.
+
+use crate::event::QueueStats;
+use std::cell::Cell;
+
+thread_local! {
+    static EVENTS_POPPED: Cell<u64> = const { Cell::new(0) };
+    static QUEUE_PEAK: Cell<u64> = const { Cell::new(0) };
+    static RUNS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Accumulated engine-side counters for the current thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnginePerf {
+    /// Events popped from the engine's event queue.
+    pub events_popped: u64,
+    /// Highest queue length observed in any single run.
+    pub queue_peak: u64,
+    /// Engine runs completed.
+    pub runs: u64,
+}
+
+/// Fold one finished engine run's queue counters into this thread's
+/// totals. Called by the engine at the end of every run.
+pub fn record_run(stats: QueueStats) {
+    EVENTS_POPPED.with(|c| c.set(c.get().wrapping_add(stats.pops)));
+    QUEUE_PEAK.with(|c| c.set(c.get().max(stats.peak_len as u64)));
+    RUNS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// This thread's accumulated counters, without resetting them.
+pub fn snapshot() -> EnginePerf {
+    EnginePerf {
+        events_popped: EVENTS_POPPED.with(Cell::get),
+        queue_peak: QUEUE_PEAK.with(Cell::get),
+        runs: RUNS.with(Cell::get),
+    }
+}
+
+/// This thread's accumulated counters, resetting them to zero — the
+/// runner worker brackets each cell with `take` to attribute counts.
+pub fn take() -> EnginePerf {
+    let out = snapshot();
+    EVENTS_POPPED.with(|c| c.set(0));
+    QUEUE_PEAK.with(|c| c.set(0));
+    RUNS.with(|c| c.set(0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_take_cycle() {
+        let _ = take();
+        assert_eq!(snapshot(), EnginePerf::default());
+        record_run(QueueStats { pops: 10, peak_len: 4 });
+        record_run(QueueStats { pops: 5, peak_len: 9 });
+        let got = take();
+        assert_eq!(got, EnginePerf { events_popped: 15, queue_peak: 9, runs: 2 });
+        assert_eq!(snapshot(), EnginePerf::default(), "take resets");
+    }
+}

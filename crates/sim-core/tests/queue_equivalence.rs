@@ -1,0 +1,196 @@
+//! Byte-equivalence oracle for the event queue.
+//!
+//! The production `EventQueue` (a bucketed calendar queue since the
+//! hot-path optimization) must be observationally identical to the
+//! original `BinaryHeap<Reverse<Entry>>` implementation, which is kept
+//! here — frozen — as the reference. Identical random push/pop schedules
+//! must yield identical `(time, seq, payload)` streams, including FIFO
+//! order among same-timestamp events and arbitrary interleavings of
+//! pushes and pops. This is what makes any queue swap mergeable at all:
+//! the engine's outputs are a function of this stream.
+
+use quickprop::check;
+use sim_core::{EventQueue, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The original heap-based queue, copied at the point the calendar queue
+/// replaced it. Do not "fix" or modernize this type: its behavior *is*
+/// the spec.
+struct ReferenceQueue<T> {
+    heap: BinaryHeap<Reverse<RefEntry<T>>>,
+    seq: u64,
+}
+
+struct RefEntry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for RefEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for RefEntry<T> {}
+impl<T> PartialOrd for RefEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for RefEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> ReferenceQueue<T> {
+    fn new() -> Self {
+        ReferenceQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+    fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(RefEntry { time, seq, payload }));
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.seq, e.payload))
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Drive both queues through one interleaved schedule, comparing every
+/// observable after every operation. Pop results carry the payload,
+/// which equals the push index — so matching payload streams prove the
+/// seq ordering matches too (each payload is pushed exactly once).
+fn drive_schedule(ops: &[(bool, u64)], // (is_push, time_ns) — pops ignore the number
+) {
+    let mut new_q: EventQueue<u64> = EventQueue::new();
+    let mut ref_q: ReferenceQueue<u64> = ReferenceQueue::new();
+    let mut next_payload = 0u64;
+    for &(is_push, t_ns) in ops {
+        if is_push {
+            let t = SimTime::from_nanos(t_ns);
+            new_q.push(t, next_payload);
+            ref_q.push(t, next_payload);
+            next_payload += 1;
+        } else {
+            let got = new_q.pop();
+            let want = ref_q.pop().map(|(t, _seq, p)| (t, p));
+            assert_eq!(got, want, "pop diverged after {next_payload} pushes");
+        }
+        assert_eq!(new_q.len(), ref_q.len(), "len diverged");
+        assert_eq!(new_q.peek_time(), ref_q.peek_time(), "peek diverged");
+        assert_eq!(new_q.is_empty(), ref_q.len() == 0);
+    }
+    // Drain: the full remaining streams must match element-for-element.
+    loop {
+        let got = new_q.pop();
+        let want = ref_q.pop().map(|(t, _seq, p)| (t, p));
+        assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn random_interleaved_schedules_match_reference() {
+    check("queue_equivalence_random", 200, |g| {
+        let n_ops = g.usize(1..400);
+        let ops: Vec<(bool, u64)> = (0..n_ops)
+            .map(|_| {
+                // Pop-biased ~1/3 of the time so queues drain and refill;
+                // times span a small range to force same-time collisions.
+                let is_push = g.below(3) != 0;
+                (is_push, g.below(50_000))
+            })
+            .collect();
+        drive_schedule(&ops);
+    });
+}
+
+#[test]
+fn near_monotone_engine_shape_matches_reference() {
+    check("queue_equivalence_monotone", 60, |g| {
+        // The engine's pattern: each pop re-arms a push slightly in the
+        // future, so event times are nearly sorted — the case the
+        // calendar queue is tuned for (and where bucket-rotation bugs
+        // would hide).
+        let mut ops = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..g.usize(10..120) {
+            t += g.below(2_000_000);
+            ops.push((true, t));
+            if g.bool() {
+                ops.push((false, 0));
+            }
+        }
+        for _ in 0..200 {
+            ops.push((false, 0));
+        }
+        drive_schedule(&ops);
+    });
+}
+
+#[test]
+fn same_timestamp_bursts_are_fifo_like_reference() {
+    check("queue_equivalence_bursts", 60, |g| {
+        // Many events at exactly the same instant: order must be pure
+        // push order (seq tie-break), as the heap reference defines.
+        let mut ops = Vec::new();
+        for round in 0..g.usize(1..8) {
+            let t = (round as u64) * 1_000;
+            for _ in 0..g.usize(1..64) {
+                ops.push((true, t));
+            }
+            for _ in 0..g.usize(0..80) {
+                ops.push((false, 0));
+            }
+        }
+        drive_schedule(&ops);
+    });
+}
+
+#[test]
+fn far_future_and_past_reinsertions_match_reference() {
+    check("queue_equivalence_span", 60, |g| {
+        // Wide time spans (nanoseconds to minutes) plus re-insertions
+        // earlier than already-popped times exercise overflow pages and
+        // the "push before current bucket" path of a calendar queue.
+        let n = g.usize(2..100);
+        let ops: Vec<(bool, u64)> = (0..n)
+            .map(|_| {
+                let is_push = g.below(3) != 0;
+                let magnitude = [1u64, 1_000, 1_000_000, 60_000_000_000][g.usize(0..4)];
+                (is_push, g.below(100) * magnitude)
+            })
+            .collect();
+        drive_schedule(&ops);
+    });
+}
+
+#[test]
+fn clear_resets_like_a_fresh_queue() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..100u32 {
+        q.push(SimTime::from_nanos((i as u64 * 7919) % 1000), i);
+    }
+    q.clear();
+    assert!(q.is_empty());
+    assert_eq!(q.len(), 0);
+    assert_eq!(q.peek_time(), None);
+    // Seq restarts relative ordering exactly like a fresh queue: two
+    // same-time pushes after clear still pop in push order.
+    q.push(SimTime::from_nanos(5), 1);
+    q.push(SimTime::from_nanos(5), 2);
+    assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 1)));
+    assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 2)));
+    assert_eq!(q.pop(), None);
+}

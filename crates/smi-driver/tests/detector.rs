@@ -1,0 +1,134 @@
+//! Integration tests of the two user-space SMI detection techniques
+//! against driver-built schedules: the `MSR_SMI_COUNT` register (exact
+//! in count, blind to residency) and hwlat-style TSC-gap polling (sees
+//! both), plus the duty-cycle classification that separates the paper's
+//! long and short SMM classes.
+
+use sim_core::{SimDuration, SimRng, SimTime};
+use smi_driver::{
+    DetectionReport, HwlatDetector, SmiClass, SmiCountMsr, SmiDriver, SmiDriverConfig, Tsc,
+};
+
+fn driver_schedule(class: SmiClass, seed: u64) -> sim_core::FreezeSchedule {
+    let driver = SmiDriver::new(SmiDriverConfig::mpi_study(class));
+    let mut rng = SimRng::new(seed);
+    driver.schedule_for_node(&mut rng)
+}
+
+/// Duty cycle observed by the TSC-gap detector over a wall window.
+fn observed_duty(report: &DetectionReport, window: SimDuration) -> f64 {
+    report.total_latency.as_secs_f64() / window.as_secs_f64()
+}
+
+/// Classify a detection report the way a latency-sensitive operator
+/// would: mean per-event residency separates the paper's bands.
+fn classify(report: &DetectionReport) -> SmiClass {
+    if report.count() == 0 {
+        return SmiClass::None;
+    }
+    let mean = report.total_latency.as_nanos() / report.count() as u64;
+    if mean >= 50_000_000 {
+        SmiClass::Long
+    } else {
+        SmiClass::Short
+    }
+}
+
+#[test]
+fn msr_count_and_tsc_gap_agree_across_classes_and_seeds() {
+    for class in [SmiClass::Short, SmiClass::Long] {
+        for seed in [1u64, 17, 901] {
+            let s = driver_schedule(class, seed);
+            let end = SimTime::from_secs(20);
+            let msr = SmiCountMsr::new(&s);
+            let hwlat = HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5620());
+            // The techniques may disagree by one on a window straddling
+            // the measurement edge, never by more.
+            assert!(
+                (msr.delta(SimTime::ZERO, end) as usize).abs_diff(hwlat.count()) <= 1,
+                "class {class:?} seed {seed}: msr {} vs hwlat {}",
+                msr.delta(SimTime::ZERO, end),
+                hwlat.count()
+            );
+        }
+    }
+}
+
+#[test]
+fn msr_is_blind_to_residency_but_tsc_gap_recovers_it() {
+    // Same trigger cadence, two residency bands: the MSR deltas match
+    // while the TSC-gap totals differ by the residency ratio.
+    let short = driver_schedule(SmiClass::Short, 5);
+    let long = driver_schedule(SmiClass::Long, 5);
+    let end = SimTime::from_secs(30);
+    let msr_short = SmiCountMsr::new(&short).delta(SimTime::ZERO, end);
+    let msr_long = SmiCountMsr::new(&long).delta(SimTime::ZERO, end);
+    assert!(
+        msr_short.abs_diff(msr_long) <= 1,
+        "equal cadence should count alike: {msr_short} vs {msr_long}"
+    );
+    let det = HwlatDetector::default();
+    let gap_short = det.detect(&short, SimTime::ZERO, end, &Tsc::e5620());
+    let gap_long = det.detect(&long, SimTime::ZERO, end, &Tsc::e5620());
+    let ratio = gap_long.total_latency.as_secs_f64() / gap_short.total_latency.as_secs_f64();
+    // 100-110 ms vs 1-3 ms residency: the totals are ~50x apart.
+    assert!(ratio > 30.0, "residency ratio {ratio} too small");
+}
+
+#[test]
+fn tsc_gap_total_attributes_frozen_time_to_within_two_percent() {
+    for (class, seed) in [(SmiClass::Long, 3u64), (SmiClass::Short, 11)] {
+        let s = driver_schedule(class, seed);
+        let end = SimTime::from_secs(25);
+        let report = HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5520());
+        let truth = s.frozen_between(SimTime::ZERO, end).as_secs_f64();
+        let measured = report.total_latency.as_secs_f64();
+        assert!(
+            (measured - truth).abs() / truth < 0.02,
+            "class {class:?}: measured {measured} vs frozen {truth}"
+        );
+    }
+}
+
+#[test]
+fn duty_classification_separates_long_and_short() {
+    let end = SimTime::from_secs(20);
+    let window = end.since(SimTime::ZERO);
+    let det = HwlatDetector::default();
+    for seed in [2u64, 29, 444] {
+        let long =
+            det.detect(&driver_schedule(SmiClass::Long, seed), SimTime::ZERO, end, &Tsc::e5620());
+        let short =
+            det.detect(&driver_schedule(SmiClass::Short, seed), SimTime::ZERO, end, &Tsc::e5620());
+        assert_eq!(classify(&long), SmiClass::Long, "seed {seed}");
+        assert_eq!(classify(&short), SmiClass::Short, "seed {seed}");
+        // Duty cycles observed from the gaps straddle an order of
+        // magnitude: ~10.5% for the long band, ~0.2% for the short.
+        let duty_long = observed_duty(&long, window);
+        let duty_short = observed_duty(&short, window);
+        assert!(
+            (0.08..0.13).contains(&duty_long),
+            "seed {seed}: long duty {duty_long} outside band"
+        );
+        assert!(
+            (0.0005..0.005).contains(&duty_short),
+            "seed {seed}: short duty {duty_short} outside band"
+        );
+        // And each matches the configuration-implied duty cycle.
+        let implied = driver_schedule(SmiClass::Long, seed).duty_cycle();
+        assert!(
+            (duty_long - implied).abs() < 0.02,
+            "seed {seed}: observed {duty_long} vs implied {implied}"
+        );
+    }
+}
+
+#[test]
+fn quiet_class_detects_nothing_by_either_technique() {
+    let s = driver_schedule(SmiClass::None, 7);
+    let end = SimTime::from_secs(10);
+    assert_eq!(SmiCountMsr::new(&s).delta(SimTime::ZERO, end), 0);
+    let report = HwlatDetector::default().detect(&s, SimTime::ZERO, end, &Tsc::e5620());
+    assert_eq!(report.count(), 0);
+    assert_eq!(classify(&report), SmiClass::None);
+}

@@ -58,6 +58,63 @@ fn figure2_is_reproducible() {
     }
 }
 
+/// FNV-1a 64-bit, re-derived here so the digest does not depend on any
+/// crate's hash internals staying put.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Every Table 1–5 / Figure 1–2 cell record of a `--quick` campaign,
+/// produced through the real runner at the given worker count with the
+/// cache disabled (so the engine actually executes every cell).
+fn campaign_records(jobs: usize) -> String {
+    use smi_lab::analysis::cells::{figure1_cells, figure2_cells, htt_cells, table_cells};
+    let opts = RunOptions::quick();
+    let mut cells = Vec::new();
+    for bench in [Bench::Bt, Bench::Ep, Bench::Ft] {
+        cells.extend(table_cells(bench, &opts));
+    }
+    for bench in [Bench::Ep, Bench::Ft] {
+        cells.extend(htt_cells(bench, &opts));
+    }
+    cells.extend(figure1_cells(&opts));
+    cells.extend(figure2_cells(&opts));
+    let mut r = runner::Runner::new(jobs);
+    r.cache_mode = runner::CacheMode::Off;
+    r.code_version = "golden-digest".to_string();
+    let report = r.run("golden-digest", cells);
+    assert_eq!(report.cells_failed, 0, "campaign cells must not panic");
+    assert_eq!(report.cells_invalid, 0, "campaign cells must not be rejected");
+    report.records_jsonl()
+}
+
+/// Golden digest of the full quick campaign's cell records, locked at
+/// the last point the hot path was audited for byte-equivalence. Any
+/// future optimization (event queue, freeze memoization, arenas, ...)
+/// that perturbs a single record byte fails this test loudly — update
+/// the constant only after deliberately changing simulation semantics,
+/// never as part of a "performance" change.
+const GOLDEN_CAMPAIGN_DIGEST: u64 = 0x3973ac67ffcc0734;
+
+#[test]
+fn campaign_records_match_golden_digest_across_job_counts() {
+    let serial = campaign_records(1);
+    let parallel = campaign_records(4);
+    assert_eq!(serial, parallel, "records must not depend on --jobs");
+    let digest = fnv1a64(serial.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_CAMPAIGN_DIGEST,
+        "campaign records changed: digest {digest:#018x} (expected {GOLDEN_CAMPAIGN_DIGEST:#018x}). \
+         If a simulation-semantics change is intended, update the golden constant; \
+         a hot-path optimization must instead preserve the bytes."
+    );
+}
+
 #[test]
 fn detector_and_msr_agree_across_many_configs() {
     use smi_lab::smi_driver::SmiCountMsr;
