@@ -24,6 +24,14 @@ cargo run -q --release -p smi-lint --offline -- --format json --baseline results
 # audit (--validate; DESIGN.md §9 "Simulation validity"). --no-cache so
 # every cell actually runs the simulation instead of a cache hit.
 ./target/release/smi-lab table2 --quick --validate --no-cache >/dev/null
+# Noise smoke: the noise-model subsystem end-to-end (crates/noise) —
+# one campaign cell per fixed-budget scenario family through the real
+# runner into a scratch cache. The binary itself re-reads the run
+# manifest and re-parses it via jsonio (cli::verify_manifest); a
+# non-zero exit means a cell quarantined or the manifest was malformed.
+NOISE_SMOKE_DIR="$(mktemp -d)"
+./target/release/smi-lab noise --quick --no-cache --cache-dir "$NOISE_SMOKE_DIR" >/dev/null
+rm -rf "$NOISE_SMOKE_DIR"
 # Bench smoke: the perf harness end-to-end at a tiny sample count,
 # writing to a scratch path so the committed BENCH_engine.json baseline
 # (recorded at the default 40 samples) is never clobbered by CI. A zero

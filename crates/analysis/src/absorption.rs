@@ -77,6 +77,7 @@ pub fn probe(
             schedule: FreezeSchedule::none(),
             effects: SmiSideEffects::none(),
             online_cpus: 4,
+            per_core: Vec::new(),
         })
         .collect();
     // smi-lint: allow(no-panic): the BSP job is matched by construction.
@@ -91,12 +92,13 @@ pub fn probe(
         seed: 0,
     });
     let mut noisy = Vec::with_capacity(ranks as usize);
-    noisy.push(NodeState { schedule: one_shot, effects: SmiSideEffects::none(), online_cpus: 4 });
+    noisy.push(NodeState::uniform(one_shot, SmiSideEffects::none(), 4));
     for _ in 1..ranks {
         noisy.push(NodeState {
             schedule: FreezeSchedule::none(),
             effects: SmiSideEffects::none(),
             online_cpus: 4,
+            per_core: Vec::new(),
         });
     }
     // smi-lint: allow(no-panic): the BSP job is matched by construction.

@@ -27,11 +27,16 @@ use nas::{calibrate_extra, htt_cell, table_cell, Bench, Class};
 use runner::{Cell, CellSpec};
 use smi_driver::SmiClass;
 
-fn opts_params(opts: &RunOptions) -> Json {
+pub(crate) fn opts_params(opts: &RunOptions) -> Json {
     Json::obj(vec![("jitter", Json::F64(opts.jitter))])
 }
 
-fn spec_for(experiment: &str, cell: &str, mut params: Json, opts: &RunOptions) -> CellSpec {
+pub(crate) fn spec_for(
+    experiment: &str,
+    cell: &str,
+    mut params: Json,
+    opts: &RunOptions,
+) -> CellSpec {
     if let Json::Obj(fields) = &mut params {
         if let Json::Obj(extra) = opts_params(opts) {
             fields.extend(extra);

@@ -72,6 +72,7 @@ pub fn scale_projection(node_counts: &[u32], opts: &RunOptions) -> Vec<ScalePoin
                     schedule: sim_core::FreezeSchedule::none(),
                     effects: SmiSideEffects::none(),
                     online_cpus: 4,
+                    per_core: Vec::new(),
                 })
                 .collect();
             // smi-lint: allow(no-panic): the BSP job is matched by construction.
@@ -86,6 +87,7 @@ pub fn scale_projection(node_counts: &[u32], opts: &RunOptions) -> Vec<ScalePoin
                         schedule: driver.schedule_for_node(&mut rng),
                         effects: driver.side_effects(false),
                         online_cpus: 4,
+                        per_core: Vec::new(),
                     })
                     .collect();
                 // smi-lint: allow(no-panic): the BSP job is matched by construction.

@@ -24,6 +24,7 @@ pub mod compare;
 pub mod extensions;
 pub mod figures;
 pub mod mpi_tables;
+pub mod noise_study;
 pub mod opts;
 pub mod render;
 pub mod svg;
@@ -38,6 +39,7 @@ pub use mpi_tables::{
     measure_cell, run_htt_table, run_table, HttTableCell, HttTableResult, Measured, TableCell,
     TableResult, SMM_CLASSES,
 };
+pub use noise_study::{assemble_noise, noise_cell, noise_cells, render_noise, NoiseRow};
 pub use opts::RunOptions;
 pub use render::{
     render_figure1, render_figure2, render_htt_table, render_table, series_csv, table_csv,

@@ -80,6 +80,7 @@ fn nodes_for(spec: &ClusterSpec, smm: SmiClass, rng: &mut SimRng) -> Vec<NodeSta
             schedule: driver.schedule_for_node(rng),
             effects: driver.side_effects(spec.htt),
             online_cpus: spec.online_cpus(),
+            per_core: Vec::new(),
         })
         .collect()
 }

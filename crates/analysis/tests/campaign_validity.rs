@@ -32,6 +32,7 @@ fn quiet_nodes(n: u32) -> Vec<NodeState> {
             schedule: sim_core::FreezeSchedule::none(),
             effects: machine::SmiSideEffects::none(),
             online_cpus: 4,
+            per_core: Vec::new(),
         })
         .collect()
 }

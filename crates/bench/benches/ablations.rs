@@ -39,7 +39,7 @@ fn run_phases(synchronized: bool) -> f64 {
         driver
             .synchronized_schedules(n as usize, &mut rng)
             .into_iter()
-            .map(|schedule| NodeState { schedule, effects: SmiSideEffects::none(), online_cpus: 4 })
+            .map(|schedule| NodeState::uniform(schedule, SmiSideEffects::none(), 4))
             .collect()
     } else {
         (0..n)
@@ -47,6 +47,7 @@ fn run_phases(synchronized: bool) -> f64 {
                 schedule: driver.schedule_for_node(&mut rng),
                 effects: SmiSideEffects::none(),
                 online_cpus: 4,
+                per_core: Vec::new(),
             })
             .collect()
     };

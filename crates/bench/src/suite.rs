@@ -148,6 +148,48 @@ pub fn engine_alltoall_16rank() -> u64 {
     }
 }
 
+/// The noise-subsystem hot path end-to-end: generate dense per-core
+/// jitter schedules through the noise-model plugin (thousands of
+/// explicit windows per core over a 60 s horizon), sweep the freeze
+/// algebra across them, then scan compute segments through an
+/// SMT-slowdown schedule (the degraded-throughput arithmetic). Unlike
+/// the warm freeze cases, generation is deliberately inside the timed
+/// routine: campaigns pay it once per (node, core, rep).
+pub fn noise_model_schedule_sweep() -> u64 {
+    let horizon = SimDuration::from_secs(60);
+    let jitter = match noise::NoiseSpec::parse("core-jitter") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    let mut checksum = 0u64;
+    for core in 0..4u32 {
+        let sched = match jitter.as_model().schedule(0, core, horizon, 42) {
+            Ok(s) => s,
+            Err(_) => return 0,
+        };
+        let mut t = SimTime::ZERO;
+        for _ in 0..2000u32 {
+            t = sched.advance(t, SimDuration::from_micros(25_000));
+            checksum = checksum.wrapping_add(sched.unfreeze(t).since(SimTime::ZERO).as_nanos());
+        }
+        checksum = checksum
+            .wrapping_add(sched.frozen_between(SimTime::ZERO, SimTime::ZERO + horizon).as_nanos());
+    }
+    let smt = match noise::NoiseSpec::parse("smt-slowdown") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    let sched = match smt.as_model().schedule(0, 0, horizon, 7) {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    let mut t = SimTime::ZERO;
+    for _ in 0..3000u32 {
+        t = sched.advance(t, SimDuration::from_micros(900));
+    }
+    checksum.wrapping_add(t.since(SimTime::ZERO).as_nanos())
+}
+
 /// All engine suite cases, in reporting order. Schedules are built once
 /// per case and reused across samples, so the freeze cases measure warm
 /// lookups (the campaign's steady state), not first-touch generation.
@@ -186,6 +228,10 @@ pub fn engine_suite() -> Vec<SuiteCase> {
         SuiteCase {
             name: "engine_alltoall_16rank",
             routine: Box::new(|| black_box(engine_alltoall_16rank())),
+        },
+        SuiteCase {
+            name: "noise_model_schedule_sweep",
+            routine: Box::new(|| black_box(noise_model_schedule_sweep())),
         },
     ]
 }
@@ -246,6 +292,9 @@ mod tests {
         let s = long_schedule(1);
         assert_eq!(freeze_unfreeze_scan(&s), freeze_unfreeze_scan(&s));
         assert_eq!(freeze_advance_segments(&s), freeze_advance_segments(&s));
+        let sweep = noise_model_schedule_sweep();
+        assert_ne!(sweep, 0, "noise sweep must do real work");
+        assert_eq!(sweep, noise_model_schedule_sweep());
     }
 
     #[test]

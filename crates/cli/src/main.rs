@@ -5,6 +5,7 @@
 //! smi-lab <command> [--reps N] [--seed N] [--quick] [--validate]
 //!                   [--jobs N] [--resume] [--no-cache] [--cache-dir DIR]
 //!                   [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]
+//!                   [--noise SPEC]
 //!
 //! commands:
 //!   table1      BT under SMM 0/1/2            (Table 1)
@@ -23,6 +24,8 @@
 //!   energy      energy impact of SMM residency
 //!   mops        work completed and MOPs at the baselines
 //!   unixbench   per-test UnixBench score detail
+//!   noise       noise-shape study at fixed budget (crates/noise);
+//!               `--noise name[:k=v,...]` runs one spec instead
 //!   report      EXPERIMENTS.md body (paper vs measured)
 //!   all         everything above
 //!   lint        determinism & hermeticity linter (see crates/smi-lint)
@@ -69,8 +72,9 @@ use analysis::cells::{
     figure2_cells, htt_cells, table_cells, text_cell, text_payload,
 };
 use analysis::{
-    htt_report, render_chart, render_figure1, render_figure2, render_htt_table, render_table,
-    series_csv, table_csv, table_report, ChartSpec, RunOptions,
+    assemble_noise, htt_report, noise_cell, render_chart, render_figure1, render_figure2,
+    render_htt_table, render_noise, render_table, series_csv, table_csv, table_report, ChartSpec,
+    RunOptions,
 };
 use jsonio::ToJson;
 use nas::Bench;
@@ -95,6 +99,7 @@ struct Args {
     csv_dir: Option<String>,
     svg_dir: Option<String>,
     json_dir: Option<String>,
+    noise: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -109,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut svg_dir = None;
     let mut json_dir = None;
+    let mut noise = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -148,6 +154,9 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 json_dir = Some(it.next().ok_or("--json needs a directory")?.clone());
             }
+            "--noise" => {
+                noise = Some(it.next().ok_or("--noise needs a spec (name[:k=v,...])")?.clone());
+            }
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
             }
@@ -170,6 +179,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         svg_dir,
         json_dir,
+        noise,
     })
 }
 
@@ -414,6 +424,54 @@ fn cmd_study(experiment: &str, render: fn(&RunOptions) -> String, args: &Args) {
     print!("{}", text_payload(&report.payloads()[0]));
 }
 
+/// The noise-shape study (crates/noise): without `--noise`, print the
+/// model catalog and run every fixed-budget spec; with `--noise SPEC`,
+/// run that one spec. Invalid specs quarantine with the typed reason in
+/// the manifest (exit 1), they do not abort. After the batch the run
+/// manifest is re-read and parsed with `jsonio` — a malformed or
+/// missing account of the run is itself a degradation.
+fn cmd_noise(args: &Args) {
+    let specs: Vec<String> = match &args.noise {
+        Some(spec) => vec![spec.clone()],
+        None => {
+            eprintln!("noise model catalog:");
+            for spec in noise::catalog() {
+                eprintln!("  {}", spec.as_model().describe());
+            }
+            noise::FIXED_BUDGET_SPECS.iter().map(|s| s.to_string()).collect()
+        }
+    };
+    eprintln!(
+        "running noise study ({} spec(s), {} reps, {} jobs)...",
+        specs.len(),
+        args.opts.reps,
+        args.jobs
+    );
+    let cells = specs.iter().map(|s| noise_cell(&args.opts, s)).collect();
+    let report = execute(args, "noise", cells);
+    let texts: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let rows = assemble_noise(&texts, &report.payloads());
+    print!("{}", render_noise(&rows));
+    verify_manifest(args, "noise", specs.len());
+}
+
+/// Re-read a batch's manifest from disk and check it parses and accounts
+/// for every cell. Degrades (exit 1) rather than aborting on mismatch.
+fn verify_manifest(args: &Args, label: &str, cells_expected: usize) {
+    let path = std::path::Path::new(&args.cache_dir).join(format!("manifests/{label}.json"));
+    let verified = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|body| jsonio::Json::parse(&body).ok())
+        .and_then(|m| m.get("cells_total").and_then(|c| c.as_u64()))
+        .is_some_and(|total| total == cells_expected as u64);
+    if verified {
+        eprintln!("[runner] manifest verified: {} ({cells_expected} cells)", path.display());
+    } else {
+        eprintln!("[runner] manifest verification FAILED: {}", path.display());
+        note_status(RunStatus::Degraded);
+    }
+}
+
 /// Generate the EXPERIMENTS.md body: every table and figure, paper vs
 /// measured, with agreement summaries.
 fn cmd_report(args: &Args) {
@@ -517,6 +575,9 @@ fn cmd_all(args: &Args) {
         .collect();
     let f1 = seg(&mut cells, figure1_cells(&fig1_opts(&args.opts)));
     let f2 = seg(&mut cells, figure2_cells(&args.opts));
+    let noise_specs: Vec<String> =
+        noise::FIXED_BUDGET_SPECS.iter().map(|s| s.to_string()).collect();
+    let nz = seg(&mut cells, noise_specs.iter().map(|s| noise_cell(&args.opts, s)).collect());
     let studies: Vec<(&str, Segment)> = xcmds::ALL_STUDIES
         .into_iter()
         .map(|(name, render)| {
@@ -544,6 +605,8 @@ fn cmd_all(args: &Args) {
     }
     print_figure1(&assemble_figure1(slice(&f1)), args);
     print_figure2(&assemble_figure2(slice(&f2)), args);
+    let noise_texts: Vec<&str> = noise_specs.iter().map(String::as_str).collect();
+    print!("{}", render_noise(&assemble_noise(&noise_texts, slice(&nz))));
     for (_, s) in &studies {
         print!("{}", text_payload(&slice(s)[0]));
         println!();
@@ -565,7 +628,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|report|all|lint|bench> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|noise|report|all|lint|bench> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR] [--noise SPEC]");
             std::process::exit(2);
         }
     };
@@ -595,6 +658,7 @@ fn main() {
         "variance" => cmd_study("x-variance", xcmds::variance, &args),
         "energy" => cmd_study("x-energy", xcmds::energy, &args),
         "mops" => cmd_study("x-mops", xcmds::mops, &args),
+        "noise" => cmd_noise(&args),
         "report" => cmd_report(&args),
         "all" => cmd_all(&args),
         other => {

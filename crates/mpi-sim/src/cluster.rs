@@ -89,17 +89,34 @@ impl ClusterSpec {
 /// Per-node dynamic state: the freeze schedule and SMI side effects.
 #[derive(Debug)]
 pub struct NodeState {
-    /// This node's SMM windows.
+    /// This node's SMM windows, applied to every core unless a per-core
+    /// override exists in `per_core`.
     pub schedule: FreezeSchedule,
     /// Second-order SMI costs.
     pub effects: SmiSideEffects,
     /// Online logical CPUs (decides rendezvous/refill scale).
     pub online_cpus: u32,
+    /// Per-core schedule overrides, indexed by local core. Empty means
+    /// the node-global `schedule` applies everywhere (every SMI model);
+    /// per-core noise models (OS jitter, SMT contention) fill this.
+    pub per_core: Vec<FreezeSchedule>,
 }
 
 impl NodeState {
+    /// A node whose every core shares one schedule — the SMI case, and
+    /// the constructor every pre-noise-model call site uses.
+    pub fn uniform(schedule: FreezeSchedule, effects: SmiSideEffects, online_cpus: u32) -> Self {
+        NodeState { schedule, effects, online_cpus, per_core: Vec::new() }
+    }
+
+    /// The schedule governing a local core: its override if one exists,
+    /// the node-global schedule otherwise.
+    pub fn schedule_for_core(&self, core: u32) -> &FreezeSchedule {
+        self.per_core.get(core as usize).unwrap_or(&self.schedule)
+    }
+
     /// Check the node can execute work: at least one online CPU, sane
-    /// side-effect fractions, and a generable freeze configuration.
+    /// side-effect fractions, and generable freeze configurations.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.online_cpus == 0 {
             return Err(SimError::invalid("node state", "zero online CPUs"));
@@ -107,6 +124,11 @@ impl NodeState {
         self.effects.validate()?;
         if let Some(cfg) = self.schedule.config() {
             cfg.validate()?;
+        }
+        for s in &self.per_core {
+            if let Some(cfg) = s.config() {
+                cfg.validate()?;
+            }
         }
         Ok(())
     }
@@ -155,19 +177,15 @@ mod tests {
 
     #[test]
     fn node_state_validation_catches_zero_cpus_and_bad_effects() {
-        let good = NodeState {
-            schedule: FreezeSchedule::none(),
-            effects: SmiSideEffects::none(),
-            online_cpus: 4,
-        };
+        let good = NodeState::uniform(FreezeSchedule::none(), SmiSideEffects::none(), 4);
         assert!(good.validate().is_ok());
         let no_cpus = NodeState { online_cpus: 0, ..good };
         assert!(matches!(no_cpus.validate(), Err(SimError::InvalidSpec { .. })));
-        let bad_effects = NodeState {
-            schedule: FreezeSchedule::none(),
-            effects: SmiSideEffects { herd_frac: f64::NAN, ..SmiSideEffects::none() },
-            online_cpus: 4,
-        };
+        let bad_effects = NodeState::uniform(
+            FreezeSchedule::none(),
+            SmiSideEffects { herd_frac: f64::NAN, ..SmiSideEffects::none() },
+            4,
+        );
         assert!(matches!(bad_effects.validate(), Err(SimError::InvalidSpec { .. })));
     }
 }

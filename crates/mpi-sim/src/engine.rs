@@ -229,12 +229,15 @@ fn run_core(
         .map(|(r, p)| lower(p, r as u32, n_ranks as u32, |b| network.reduce_cost(b)))
         .collect::<Result<_, _>>()?;
 
-    // Per-rank executors (borrow the node schedules).
+    // Per-rank executors (borrow the schedule of the core hosting the
+    // rank: a per-core override when the noise model is core-local, the
+    // node-global schedule otherwise).
+    let rpn = spec.ranks_per_node.max(1);
     let executors: Vec<NodeExecutor<'_>> = (0..n_ranks)
         .map(|r| {
             let node = &nodes[spec.node_of(r as u32) as usize];
             NodeExecutor::try_new(
-                &node.schedule,
+                node.schedule_for_core(r as u32 % rpn),
                 node.effects,
                 node.online_cpus,
                 programs[r].memory_intensity,
@@ -255,7 +258,7 @@ fn run_core(
         queue.push(SimTime::ZERO, r as u32);
     }
 
-    let sched = |r: usize| &nodes[spec.node_of(r as u32) as usize].schedule;
+    let sched = |r: usize| nodes[spec.node_of(r as u32) as usize].schedule_for_core(r as u32 % rpn);
 
     // Price one transfer and reserve the NICs. Returns the completion
     // instant of the payload at the receiving node.
@@ -480,8 +483,20 @@ fn run_core(
     let mut total_frozen = SimDuration::ZERO;
     let mut smi_count = 0usize;
     for node in nodes {
-        total_frozen += node.schedule.frozen_between(SimTime::ZERO, end);
-        smi_count += node.schedule.count_between(SimTime::ZERO, end);
+        if node.per_core.is_empty() {
+            total_frozen += node.schedule.frozen_between(SimTime::ZERO, end);
+            smi_count += node.schedule.count_between(SimTime::ZERO, end);
+        } else {
+            // Per-core noise: report the worst core's stolen time (the
+            // node-level analogue of a node-global freeze) and the total
+            // event count across cores.
+            let mut worst = SimDuration::ZERO;
+            for s in &node.per_core {
+                worst = worst.max(s.frozen_between(SimTime::ZERO, end));
+                smi_count += s.count_between(SimTime::ZERO, end);
+            }
+            total_frozen += worst;
+        }
     }
     Ok(RunOutcome {
         makespan: end.since(SimTime::ZERO),
@@ -537,17 +552,27 @@ fn audit_run(
             ),
         ));
     }
-    // Freeze coverage: every node's wall span must decompose exactly into
-    // working time plus frozen time.
+    // Freeze coverage: every schedule's wall span must decompose exactly
+    // into working time plus stolen time — per core where overrides
+    // exist, node-globally otherwise.
     let span = end.since(SimTime::ZERO);
     for (i, node) in nodes.iter().enumerate() {
-        let frozen = node.schedule.frozen_between(SimTime::ZERO, end);
-        let work = node.schedule.work_between(SimTime::ZERO, end);
-        if work + frozen != span {
-            return Err(SimError::invariant(
-                "freeze coverage",
-                format!("node {i}: work {work:?} + frozen {frozen:?} != span {span:?}"),
-            ));
+        let schedules: Vec<&sim_core::FreezeSchedule> = if node.per_core.is_empty() {
+            vec![&node.schedule]
+        } else {
+            node.per_core.iter().collect()
+        };
+        for (c, s) in schedules.iter().enumerate() {
+            let frozen = s.frozen_between(SimTime::ZERO, end);
+            let work = s.work_between(SimTime::ZERO, end);
+            if work + frozen != span {
+                return Err(SimError::invariant(
+                    "freeze coverage",
+                    format!(
+                        "node {i} core {c}: work {work:?} + frozen {frozen:?} != span {span:?}"
+                    ),
+                ));
+            }
         }
     }
     Ok(())
@@ -566,6 +591,7 @@ mod tests {
                 schedule: FreezeSchedule::none(),
                 effects: SmiSideEffects::none(),
                 online_cpus: 4,
+                per_core: Vec::new(),
             })
             .collect()
     }
@@ -581,6 +607,7 @@ mod tests {
                 )),
                 effects: SmiSideEffects::none(),
                 online_cpus: 4,
+                per_core: Vec::new(),
             })
             .collect()
     }
@@ -802,6 +829,7 @@ mod tests {
                 }),
                 effects: SmiSideEffects::none(),
                 online_cpus: 4,
+                per_core: Vec::new(),
             })
             .collect();
         let sync =

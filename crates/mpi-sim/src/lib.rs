@@ -34,11 +34,7 @@
 //!     ]))
 //!     .collect();
 //! let nodes: Vec<NodeState> = (0..4)
-//!     .map(|_| NodeState {
-//!         schedule: FreezeSchedule::none(),
-//!         effects: SmiSideEffects::none(),
-//!         online_cpus: 4,
-//!     })
+//!     .map(|_| NodeState::uniform(FreezeSchedule::none(), SmiSideEffects::none(), 4))
 //!     .collect();
 //! let out = run(&spec, &nodes, &programs, &NetworkParams::gigabit_cluster())
 //!     .expect("valid job");

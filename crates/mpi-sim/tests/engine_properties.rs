@@ -62,6 +62,7 @@ fn quiet_nodes(nodes: u32) -> Vec<NodeState> {
             schedule: FreezeSchedule::none(),
             effects: SmiSideEffects::none(),
             online_cpus: 4,
+            per_core: Vec::new(),
         })
         .collect()
 }
@@ -141,6 +142,7 @@ fn noise_never_speeds_a_job_up() {
                 )),
                 effects: SmiSideEffects::none(),
                 online_cpus: 4,
+                per_core: Vec::new(),
             })
             .collect();
         let noised = mpi_sim::run(&spec, &noisy, &programs, &net).expect("valid job").makespan;
@@ -176,6 +178,7 @@ fn engine_is_deterministic() {
                     )),
                     effects: SmiSideEffects::none(),
                     online_cpus: 4,
+                    per_core: Vec::new(),
                 })
                 .collect()
         };

@@ -231,6 +231,7 @@ pub fn quiet_nodes(spec: &ClusterSpec) -> Vec<NodeState> {
             schedule: sim_core::FreezeSchedule::none(),
             effects: machine::SmiSideEffects::none(),
             online_cpus: spec.online_cpus(),
+            per_core: Vec::new(),
         })
         .collect()
 }

@@ -1,0 +1,650 @@
+//! The scenario families: five [`NoiseModel`] implementations.
+//!
+//! Every model draws only from path-derived [`SimRng`] streams (see the
+//! crate docs for the determinism contract) and keeps all time
+//! arithmetic in integer nanoseconds through `sim-core::time`.
+
+use crate::{parse_u64, stream, NoiseModel};
+use sim_core::{
+    DurationModel, FreezeSchedule, PeriodicFreeze, SimDuration, SimError, SimRng, SimTime,
+    TriggerPolicy,
+};
+use smi_driver::{SmiClass, SmiDriver, SmiDriverConfig};
+
+const NS_PER_MS: u64 = 1_000_000;
+const NS_PER_US: u64 = 1_000;
+
+fn class_label(class: SmiClass) -> &'static str {
+    match class {
+        SmiClass::None => "none",
+        SmiClass::Short => "short",
+        SmiClass::Long => "long",
+    }
+}
+
+fn parse_class(value: &str) -> Result<SmiClass, SimError> {
+    match value {
+        "none" => Ok(SmiClass::None),
+        "short" => Ok(SmiClass::Short),
+        "long" => Ok(SmiClass::Long),
+        other => Err(SimError::invalid(
+            "noise spec",
+            format!("unknown SMI class {other:?}: expected none, short, or long"),
+        )),
+    }
+}
+
+/// One exponential interarrival draw with the given mean, floored at
+/// 1 ns so arrival streams always make progress.
+fn exp_interval(rng: &mut SimRng, mean_ns: u64) -> u64 {
+    let u = rng.uniform();
+    ((mean_ns as f64 * -(1.0 - u).ln()) as u64).max(1)
+}
+
+// ---------------------------------------------------------------------
+// periodic-smi
+// ---------------------------------------------------------------------
+
+/// The paper's noise source: periodic whole-node SMM freezes, generated
+/// by the same [`SmiDriver`] (and the same draw order) as every
+/// historical campaign — the golden-digest regression locks this in.
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
+pub struct PeriodicSmi {
+    /// Residency band ("SMM 1" short / "SMM 2" long).
+    pub class: SmiClass,
+    /// Trigger period in milliseconds (jiffies on the study systems).
+    pub period_ms: u64,
+}
+
+impl Default for PeriodicSmi {
+    /// Long SMIs every 5 s: the ≈ 2.1 % fixed-budget configuration.
+    fn default() -> Self {
+        PeriodicSmi { class: SmiClass::Long, period_ms: 5000 }
+    }
+}
+
+impl PeriodicSmi {
+    pub(crate) fn set(&mut self, key: &str, value: &str) -> Result<bool, SimError> {
+        match key {
+            "class" => self.class = parse_class(value)?,
+            "period_ms" => self.period_ms = parse_u64(key, value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    pub(crate) fn spec_string(&self) -> String {
+        format!("periodic-smi:class={},period_ms={}", class_label(self.class), self.period_ms)
+    }
+
+    /// The driver configuration this model wraps.
+    pub fn driver_config(&self) -> SmiDriverConfig {
+        SmiDriverConfig {
+            class: self.class,
+            period_jiffies: self.period_ms,
+            policy: TriggerPolicy::SkipWhileFrozen,
+        }
+    }
+
+    /// Build one node's schedule from an externally managed RNG stream —
+    /// the exact pre-subsystem call shape (`SmiDriver::schedule_for_node`
+    /// on a shared campaign stream), kept public so regression tests can
+    /// prove byte-identity against the historical generator.
+    pub fn schedule_from_rng(&self, rng: &mut SimRng) -> Result<FreezeSchedule, SimError> {
+        self.validate()?;
+        Ok(SmiDriver::new(self.driver_config()).schedule_for_node(rng))
+    }
+}
+
+impl NoiseModel for PeriodicSmi {
+    fn name(&self) -> &'static str {
+        "periodic-smi"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "whole-node periodic SMM freezes: {} residency every {} ms (the paper's driver)",
+            class_label(self.class),
+            self.period_ms
+        )
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.period_ms == 0 {
+            return Err(SimError::invalid("periodic-smi", "zero trigger period"));
+        }
+        Ok(())
+    }
+
+    fn schedule(
+        &self,
+        node: u32,
+        _core: u32,
+        _horizon: SimDuration,
+        seed: u64,
+    ) -> Result<FreezeSchedule, SimError> {
+        let mut rng = stream(seed, "periodic-smi", node, 0);
+        self.schedule_from_rng(&mut rng)
+    }
+
+    fn per_core(&self) -> bool {
+        false
+    }
+
+    fn duty(&self) -> f64 {
+        match self.class.durations() {
+            None => 0.0,
+            Some(d) => (d.mean().0 as f64 / (self.period_ms.max(1) * NS_PER_MS) as f64).min(1.0),
+        }
+    }
+
+    fn duty_tolerance(&self) -> f64 {
+        0.25
+    }
+}
+
+// ---------------------------------------------------------------------
+// core-jitter
+// ---------------------------------------------------------------------
+
+/// Per-core OS-jitter: short daemon/runtime preemptions arriving
+/// Poisson-like on each core independently, never freezing the whole
+/// node — the variability shape Cui et al. characterize for OpenMP
+/// runtimes (PAPERS.md).
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
+pub struct CoreJitter {
+    /// Mean interarrival per core, microseconds (exponential gaps).
+    pub mean_period_us: u64,
+    /// Shortest preemption, microseconds.
+    pub min_us: u64,
+    /// Longest preemption, microseconds.
+    pub max_us: u64,
+}
+
+impl Default for CoreJitter {
+    /// 180–250 µs preemptions every ~10 ms: ≈ 2.1 % per core.
+    fn default() -> Self {
+        CoreJitter { mean_period_us: 10_000, min_us: 180, max_us: 250 }
+    }
+}
+
+impl CoreJitter {
+    pub(crate) fn set(&mut self, key: &str, value: &str) -> Result<bool, SimError> {
+        match key {
+            "mean_period_us" => self.mean_period_us = parse_u64(key, value)?,
+            "min_us" => self.min_us = parse_u64(key, value)?,
+            "max_us" => self.max_us = parse_u64(key, value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    pub(crate) fn spec_string(&self) -> String {
+        format!(
+            "core-jitter:mean_period_us={},min_us={},max_us={}",
+            self.mean_period_us, self.min_us, self.max_us
+        )
+    }
+}
+
+impl NoiseModel for CoreJitter {
+    fn name(&self) -> &'static str {
+        "core-jitter"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "per-core OS-jitter preemptions: {}-{} µs, Poisson-like every ~{} µs per core",
+            self.min_us, self.max_us, self.mean_period_us
+        )
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.mean_period_us == 0 {
+            return Err(SimError::invalid("core-jitter", "zero mean interarrival"));
+        }
+        if self.min_us == 0 {
+            return Err(SimError::invalid(
+                "core-jitter",
+                "zero-length preemption window (min_us = 0)",
+            ));
+        }
+        if self.min_us > self.max_us {
+            return Err(SimError::invalid(
+                "core-jitter",
+                format!("inverted duration band: min {} µs > max {} µs", self.min_us, self.max_us),
+            ));
+        }
+        Ok(())
+    }
+
+    fn schedule(
+        &self,
+        node: u32,
+        core: u32,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<FreezeSchedule, SimError> {
+        self.validate()?;
+        let mut rng = stream(seed, "core-jitter", node, core);
+        let mean_ns = self.mean_period_us.saturating_mul(NS_PER_US);
+        let (min_ns, max_ns) =
+            (self.min_us.saturating_mul(NS_PER_US), self.max_us.saturating_mul(NS_PER_US));
+        let mut windows = Vec::new();
+        // Gaps are drawn after the previous window ends (like a daemon
+        // that sleeps between runs), so windows never overlap.
+        let mut t = 0u64;
+        loop {
+            t = t.saturating_add(exp_interval(&mut rng, mean_ns));
+            if t >= horizon.0 {
+                break;
+            }
+            let d = rng.range_u64(min_ns, max_ns);
+            let end = t.saturating_add(d);
+            if end <= t {
+                break;
+            }
+            windows.push((SimTime(t), SimTime(end)));
+            t = end;
+        }
+        FreezeSchedule::from_windows(windows)
+    }
+
+    fn per_core(&self) -> bool {
+        true
+    }
+
+    fn duty(&self) -> f64 {
+        let md = (self.min_us + self.max_us) as f64 / 2.0;
+        md / (self.mean_period_us.max(1) as f64 + md)
+    }
+
+    fn duty_tolerance(&self) -> f64 {
+        0.4
+    }
+}
+
+// ---------------------------------------------------------------------
+// smt-slowdown
+// ---------------------------------------------------------------------
+
+/// SMT sibling contention: periodic per-core windows during which the
+/// hardware thread keeps running but at a degraded throughput (the
+/// effect SYNPA measures and allocates around, PAPERS.md) — never a
+/// freeze, so MPI progress continues throughout.
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
+pub struct SmtSlowdown {
+    /// Contention period per core, milliseconds.
+    pub period_ms: u64,
+    /// Contended window length, milliseconds.
+    pub window_ms: u64,
+    /// Throughput retained inside windows, milli-units (1..=999).
+    pub factor_milli: u32,
+}
+
+impl Default for SmtSlowdown {
+    /// 30 ms at 93 % throughput every 100 ms: ≈ 2.1 % per core.
+    fn default() -> Self {
+        SmtSlowdown { period_ms: 100, window_ms: 30, factor_milli: 930 }
+    }
+}
+
+impl SmtSlowdown {
+    pub(crate) fn set(&mut self, key: &str, value: &str) -> Result<bool, SimError> {
+        match key {
+            "period_ms" => self.period_ms = parse_u64(key, value)?,
+            "window_ms" => self.window_ms = parse_u64(key, value)?,
+            "factor_milli" => {
+                let v = parse_u64(key, value)?;
+                self.factor_milli = u32::try_from(v).unwrap_or(u32::MAX);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    pub(crate) fn spec_string(&self) -> String {
+        format!(
+            "smt-slowdown:period_ms={},window_ms={},factor_milli={}",
+            self.period_ms, self.window_ms, self.factor_milli
+        )
+    }
+}
+
+impl NoiseModel for SmtSlowdown {
+    fn name(&self) -> &'static str {
+        "smt-slowdown"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "per-core SMT contention: {} ms windows every {} ms at {}.{:01} % throughput",
+            self.window_ms,
+            self.period_ms,
+            self.factor_milli / 10,
+            self.factor_milli % 10
+        )
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.period_ms == 0 {
+            return Err(SimError::invalid("smt-slowdown", "zero contention period"));
+        }
+        if self.window_ms == 0 {
+            return Err(SimError::invalid("smt-slowdown", "zero-length contention window"));
+        }
+        if self.window_ms > self.period_ms {
+            return Err(SimError::invalid(
+                "smt-slowdown",
+                format!("window {} ms exceeds period {} ms", self.window_ms, self.period_ms),
+            ));
+        }
+        if self.factor_milli == 0 || self.factor_milli >= 1000 {
+            return Err(SimError::invalid(
+                "smt-slowdown",
+                format!(
+                    "slowdown factor must be within 1..=999 milli-units, got {}",
+                    self.factor_milli
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn schedule(
+        &self,
+        node: u32,
+        core: u32,
+        _horizon: SimDuration,
+        seed: u64,
+    ) -> Result<FreezeSchedule, SimError> {
+        self.validate()?;
+        let mut rng = stream(seed, "smt-slowdown", node, core);
+        let cfg = PeriodicFreeze::drawn(
+            SimDuration::from_millis(self.period_ms),
+            DurationModel::Fixed(SimDuration::from_millis(self.window_ms)),
+            TriggerPolicy::SkipWhileFrozen,
+            &mut rng,
+        );
+        FreezeSchedule::periodic(cfg).with_slowdown(self.factor_milli)
+    }
+
+    fn per_core(&self) -> bool {
+        true
+    }
+
+    fn duty(&self) -> f64 {
+        let occupancy = self.window_ms as f64 / self.period_ms.max(1) as f64;
+        occupancy.min(1.0) * (1000 - self.factor_milli.min(1000)) as f64 / 1000.0
+    }
+
+    fn duty_tolerance(&self) -> f64 {
+        0.15
+    }
+}
+
+// ---------------------------------------------------------------------
+// phase-offset
+// ---------------------------------------------------------------------
+
+/// Multi-node periodic SMIs with a controlled phase relationship: node
+/// `i` triggers `i * offset_ms` after node 0, and every node shares one
+/// duration stream. `offset_ms = 0` reproduces the synchronized-SMI
+/// ablation; a nonzero offset staggers the cluster deliberately — the
+/// axis between the paper's synchronized and fully unsynchronized
+/// regimes.
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
+pub struct PhaseOffset {
+    /// Residency band.
+    pub class: SmiClass,
+    /// Trigger period in milliseconds.
+    pub period_ms: u64,
+    /// Per-node phase stagger in milliseconds (taken modulo the period).
+    pub offset_ms: u64,
+}
+
+impl Default for PhaseOffset {
+    /// Long SMIs every 5 s, synchronized: the ≈ 2.1 % budget.
+    fn default() -> Self {
+        PhaseOffset { class: SmiClass::Long, period_ms: 5000, offset_ms: 0 }
+    }
+}
+
+impl PhaseOffset {
+    pub(crate) fn set(&mut self, key: &str, value: &str) -> Result<bool, SimError> {
+        match key {
+            "class" => self.class = parse_class(value)?,
+            "period_ms" => self.period_ms = parse_u64(key, value)?,
+            "offset_ms" => self.offset_ms = parse_u64(key, value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    pub(crate) fn spec_string(&self) -> String {
+        format!(
+            "phase-offset:class={},period_ms={},offset_ms={}",
+            class_label(self.class),
+            self.period_ms,
+            self.offset_ms
+        )
+    }
+}
+
+impl NoiseModel for PhaseOffset {
+    fn name(&self) -> &'static str {
+        "phase-offset"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "multi-node SMIs: {} residency every {} ms, node i offset by i*{} ms",
+            class_label(self.class),
+            self.period_ms,
+            self.offset_ms
+        )
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.period_ms == 0 {
+            return Err(SimError::invalid("phase-offset", "zero trigger period"));
+        }
+        Ok(())
+    }
+
+    fn schedule(
+        &self,
+        node: u32,
+        _core: u32,
+        _horizon: SimDuration,
+        seed: u64,
+    ) -> Result<FreezeSchedule, SimError> {
+        self.validate()?;
+        let Some(durations) = self.class.durations() else {
+            return Ok(FreezeSchedule::none());
+        };
+        // One master draw shared by every node: the base phase and the
+        // common duration-stream seed (same order as `drawn`).
+        let mut master = SimRng::from_path(seed, &["phase-offset", "master"]);
+        let period = SimDuration(self.period_ms.saturating_mul(NS_PER_MS).max(1));
+        let base = master.below(period.0);
+        let dur_seed = master.next();
+        let offset_ns = self.offset_ms.saturating_mul(NS_PER_MS);
+        let phase = ((base as u128 + node as u128 * offset_ns as u128) % period.0 as u128) as u64;
+        Ok(FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::ZERO + SimDuration(phase),
+            period,
+            durations,
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: dur_seed,
+        }))
+    }
+
+    fn per_core(&self) -> bool {
+        false
+    }
+
+    fn duty(&self) -> f64 {
+        match self.class.durations() {
+            None => 0.0,
+            Some(d) => (d.mean().0 as f64 / (self.period_ms.max(1) * NS_PER_MS) as f64).min(1.0),
+        }
+    }
+
+    fn duty_tolerance(&self) -> f64 {
+        0.25
+    }
+}
+
+// ---------------------------------------------------------------------
+// correlated-bursts
+// ---------------------------------------------------------------------
+
+/// Correlated cross-node bursts: a shared master stream places burst
+/// epochs (exponential gaps); at each epoch every node takes a train of
+/// `burst_count` freeze windows, jittered per node by at most
+/// `spread_ms` — the "every node hiccups together" failure mode of
+/// shared infrastructure (management controllers, fabric events).
+#[derive(Clone, Copy, Debug, jsonio::ToJson)]
+pub struct CorrelatedBursts {
+    /// Mean gap between burst epochs, milliseconds (exponential).
+    pub epoch_ms: u64,
+    /// Freeze windows per burst train.
+    pub burst_count: u64,
+    /// Gap between windows within a train, milliseconds.
+    pub gap_ms: u64,
+    /// Length of each window, milliseconds.
+    pub duration_ms: u64,
+    /// Per-node start jitter within a train, milliseconds (must not
+    /// exceed `gap_ms`, which keeps windows disjoint).
+    pub spread_ms: u64,
+}
+
+impl Default for CorrelatedBursts {
+    /// Four 12 ms windows per ~2 s epoch: ≈ 2.1 % per node.
+    fn default() -> Self {
+        CorrelatedBursts {
+            epoch_ms: 2000,
+            burst_count: 4,
+            gap_ms: 50,
+            duration_ms: 12,
+            spread_ms: 40,
+        }
+    }
+}
+
+impl CorrelatedBursts {
+    pub(crate) fn set(&mut self, key: &str, value: &str) -> Result<bool, SimError> {
+        match key {
+            "epoch_ms" => self.epoch_ms = parse_u64(key, value)?,
+            "burst_count" => self.burst_count = parse_u64(key, value)?,
+            "gap_ms" => self.gap_ms = parse_u64(key, value)?,
+            "duration_ms" => self.duration_ms = parse_u64(key, value)?,
+            "spread_ms" => self.spread_ms = parse_u64(key, value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    pub(crate) fn spec_string(&self) -> String {
+        format!(
+            "correlated-bursts:epoch_ms={},burst_count={},gap_ms={},duration_ms={},spread_ms={}",
+            self.epoch_ms, self.burst_count, self.gap_ms, self.duration_ms, self.spread_ms
+        )
+    }
+
+    /// Wall time one burst train occupies, nanoseconds.
+    fn span_ns(&self) -> u64 {
+        let stride = (self.gap_ms + self.duration_ms).saturating_mul(NS_PER_MS);
+        self.burst_count
+            .saturating_mul(stride)
+            .saturating_add(self.spread_ms.saturating_mul(NS_PER_MS))
+    }
+}
+
+impl NoiseModel for CorrelatedBursts {
+    fn name(&self) -> &'static str {
+        "correlated-bursts"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "correlated cross-node bursts: {}x{} ms trains every ~{} ms, per-node jitter <= {} ms",
+            self.burst_count, self.duration_ms, self.epoch_ms, self.spread_ms
+        )
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.epoch_ms == 0 {
+            return Err(SimError::invalid("correlated-bursts", "zero epoch gap"));
+        }
+        if self.burst_count == 0 {
+            return Err(SimError::invalid("correlated-bursts", "zero windows per burst"));
+        }
+        if self.duration_ms == 0 {
+            return Err(SimError::invalid("correlated-bursts", "zero-length burst window"));
+        }
+        if self.spread_ms > self.gap_ms {
+            return Err(SimError::invalid(
+                "correlated-bursts",
+                format!(
+                    "spread {} ms exceeds the intra-train gap {} ms (windows would overlap)",
+                    self.spread_ms, self.gap_ms
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn schedule(
+        &self,
+        node: u32,
+        _core: u32,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<FreezeSchedule, SimError> {
+        self.validate()?;
+        // The master stream is identical for every node — that is the
+        // correlation; only the small per-node jitter stream differs.
+        let mut master = SimRng::from_path(seed, &["correlated-bursts", "master"]);
+        let mut local = stream(seed, "correlated-bursts", node, 0);
+        let epoch_ns = self.epoch_ms.saturating_mul(NS_PER_MS);
+        let stride = (self.gap_ms + self.duration_ms).saturating_mul(NS_PER_MS);
+        let dur_ns = self.duration_ms.saturating_mul(NS_PER_MS);
+        let spread_ns = self.spread_ms.saturating_mul(NS_PER_MS);
+        let span = self.span_ns();
+        let mut windows = Vec::new();
+        let mut epoch = 0u64;
+        loop {
+            epoch = epoch.saturating_add(exp_interval(&mut master, epoch_ns));
+            if epoch >= horizon.0 {
+                break;
+            }
+            for j in 0..self.burst_count {
+                let jitter = if spread_ns == 0 { 0 } else { local.below(spread_ns + 1) };
+                let start = epoch.saturating_add(j.saturating_mul(stride)).saturating_add(jitter);
+                let end = start.saturating_add(dur_ns);
+                if end <= start {
+                    break;
+                }
+                windows.push((SimTime(start), SimTime(end)));
+            }
+            epoch = epoch.saturating_add(span);
+        }
+        FreezeSchedule::from_windows(windows)
+    }
+
+    fn per_core(&self) -> bool {
+        false
+    }
+
+    fn duty(&self) -> f64 {
+        let stolen = self.burst_count.saturating_mul(self.duration_ms.saturating_mul(NS_PER_MS));
+        stolen as f64
+            / (self.span_ns().saturating_add(self.epoch_ms.saturating_mul(NS_PER_MS)).max(1)) as f64
+    }
+
+    fn duty_tolerance(&self) -> f64 {
+        0.5
+    }
+}

@@ -1,0 +1,215 @@
+//! Property suite for every noise model: seed stability, window-list
+//! well-formedness, noise-budget conformance, and the golden regression
+//! proving the periodic-SMI model is byte-identical to the pre-subsystem
+//! generator.
+
+use noise::{catalog, NoiseSpec, FIXED_BUDGET_SPECS};
+use sim_core::{FreezeSchedule, PeriodicFreeze, SimDuration, SimRng, SimTime, TriggerPolicy};
+use smi_driver::{SmiDriver, SmiDriverConfig};
+
+/// The horizon the budget property integrates over: long enough that
+/// every model's arrival process averages out within its typed
+/// tolerance.
+const HORIZON: SimDuration = SimDuration(60_000_000_000);
+
+fn schedule(spec: &NoiseSpec, node: u32, core: u32, seed: u64) -> FreezeSchedule {
+    spec.as_model().schedule(node, core, HORIZON, seed).expect("catalog specs generate")
+}
+
+#[test]
+fn same_seed_yields_identical_schedule_bytes() {
+    for spec in catalog() {
+        quickprop::check(&format!("seed_stable_{}", spec.as_model().name()), 16, |g| {
+            let seed = g.any_u64();
+            let node = g.u32(0..6);
+            let core = g.u32(0..4);
+            let a = schedule(&spec, node, core, seed);
+            let b = schedule(&spec, node, core, seed);
+            assert_eq!(
+                a.windows_between(SimTime::ZERO, SimTime::ZERO + HORIZON),
+                b.windows_between(SimTime::ZERO, SimTime::ZERO + HORIZON),
+                "{}: same (spec, node, core, seed) must reproduce identical windows",
+                spec.as_model().name()
+            );
+            assert_eq!(a.slowdown_milli(), b.slowdown_milli());
+        });
+    }
+}
+
+#[test]
+fn windows_are_sorted_nonoverlapping_and_nonempty() {
+    for spec in catalog() {
+        quickprop::check(&format!("well_formed_{}", spec.as_model().name()), 12, |g| {
+            let seed = g.any_u64();
+            let node = g.u32(0..4);
+            let core = g.u32(0..4);
+            let s = schedule(&spec, node, core, seed);
+            let windows = s.windows_between(SimTime::ZERO, SimTime::ZERO + HORIZON);
+            let mut prev_end = SimTime::ZERO;
+            for (i, &(ws, we)) in windows.iter().enumerate() {
+                assert!(we > ws, "{}: window {i} has zero length", spec.as_model().name());
+                assert!(
+                    ws >= prev_end,
+                    "{}: window {i} overlaps its predecessor",
+                    spec.as_model().name()
+                );
+                prev_end = we;
+            }
+        });
+    }
+}
+
+#[test]
+fn realized_stolen_time_matches_the_noise_budget() {
+    for text in FIXED_BUDGET_SPECS {
+        let spec = NoiseSpec::parse(text).expect("fixed-budget specs parse");
+        let model = spec.as_model();
+        let budget = model.duty();
+        let tol = model.duty_tolerance();
+        quickprop::check(&format!("budget_{text}"), 6, |g| {
+            let seed = g.any_u64();
+            let node = g.u32(0..4);
+            let core = g.u32(0..4);
+            let s = schedule(&spec, node, core, seed);
+            let stolen = s.frozen_between(SimTime::ZERO, SimTime::ZERO + HORIZON);
+            let realized = stolen.0 as f64 / HORIZON.0 as f64;
+            assert!(
+                (realized - budget).abs() <= budget * tol,
+                "{text}: realized stolen fraction {realized:.5} strays from \
+                 budget {budget:.5} beyond tolerance {tol}"
+            );
+        });
+    }
+}
+
+#[test]
+fn schedules_decorrelate_across_seeds_nodes_and_cores() {
+    for spec in catalog() {
+        let name = spec.as_model().name();
+        let a = schedule(&spec, 0, 0, 11);
+        let b = schedule(&spec, 0, 0, 12);
+        let horizon_end = SimTime::ZERO + HORIZON;
+        assert_ne!(
+            a.windows_between(SimTime::ZERO, horizon_end),
+            b.windows_between(SimTime::ZERO, horizon_end),
+            "{name}: different seeds must decorrelate"
+        );
+        if spec.as_model().per_core() {
+            let c0 = schedule(&spec, 0, 0, 11);
+            let c1 = schedule(&spec, 0, 1, 11);
+            assert_ne!(
+                c0.windows_between(SimTime::ZERO, horizon_end),
+                c1.windows_between(SimTime::ZERO, horizon_end),
+                "{name}: per-core models must vary across cores"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_offset_zero_synchronizes_and_nonzero_staggers() {
+    let sync = NoiseSpec::parse("phase-offset:offset_ms=0").expect("parses");
+    let horizon_end = SimTime::ZERO + HORIZON;
+    let n0 = schedule(&sync, 0, 0, 5).windows_between(SimTime::ZERO, horizon_end);
+    let n1 = schedule(&sync, 1, 0, 5).windows_between(SimTime::ZERO, horizon_end);
+    assert_eq!(n0, n1, "offset 0 must synchronize every node");
+
+    let stag = NoiseSpec::parse("phase-offset:offset_ms=1250").expect("parses");
+    let s0 = schedule(&stag, 0, 0, 5).windows_between(SimTime::ZERO, horizon_end);
+    let s1 = schedule(&stag, 1, 0, 5).windows_between(SimTime::ZERO, horizon_end);
+    assert_ne!(s0, s1, "a nonzero offset must stagger nodes");
+    // Same duration stream, shifted phase: window lengths line up.
+    for (a, b) in s0.iter().zip(&s1) {
+        assert_eq!(a.1.since(a.0), b.1.since(b.0), "durations must be shared");
+    }
+}
+
+#[test]
+fn correlated_bursts_share_epochs_across_nodes() {
+    let spec = NoiseSpec::parse("correlated-bursts:spread_ms=0").expect("parses");
+    let horizon_end = SimTime::ZERO + HORIZON;
+    // With zero per-node spread the correlation is exact.
+    let n0 = schedule(&spec, 0, 0, 21).windows_between(SimTime::ZERO, horizon_end);
+    let n1 = schedule(&spec, 3, 0, 21).windows_between(SimTime::ZERO, horizon_end);
+    assert_eq!(n0, n1, "zero spread must align every node's bursts exactly");
+}
+
+/// The golden regression for the refactor: the periodic-SMI noise model
+/// must draw byte-identical schedules to the pre-subsystem generator
+/// (`PeriodicFreeze::with_random_phase` with a policy override, the
+/// literal code `SmiDriver::schedule_for_node` shipped before the
+/// `drawn` consolidation).
+#[test]
+fn periodic_smi_is_byte_identical_to_the_pre_refactor_generator() {
+    quickprop::check("periodic_smi_golden", 32, |g| {
+        let seed = g.any_u64();
+        let period_ms = g.u64(1..2000);
+        let class = g.pick(&[smi_driver::SmiClass::Short, smi_driver::SmiClass::Long]);
+        let policies = [
+            TriggerPolicy::SkipWhileFrozen,
+            TriggerPolicy::RearmAfterExit,
+            TriggerPolicy::DeferToExit { min_gap: SimDuration::from_micros(50) },
+        ];
+        let policy = g.pick(&policies);
+
+        // Pre-refactor construction, reproduced verbatim.
+        let mut old_rng = SimRng::new(seed);
+        let durations = class.durations().expect("short/long have bands");
+        let mut cfg = PeriodicFreeze::with_random_phase(
+            SimDuration::from_millis(period_ms),
+            durations,
+            &mut old_rng,
+        );
+        cfg.policy = policy;
+        let old = FreezeSchedule::periodic(cfg);
+
+        // Today's single constructor surface, as the driver uses it.
+        let mut new_rng = SimRng::new(seed);
+        let driver = SmiDriver::new(SmiDriverConfig { class, period_jiffies: period_ms, policy });
+        let new = driver.schedule_for_node(&mut new_rng);
+
+        let end = SimTime::from_secs(30);
+        assert_eq!(
+            old.windows_between(SimTime::ZERO, end),
+            new.windows_between(SimTime::ZERO, end),
+            "schedule_for_node must reproduce the pre-refactor windows"
+        );
+        assert_eq!(old_rng.next(), new_rng.next(), "RNG streams must stay in lockstep");
+
+        // And the noise model's externally-seeded entry point matches too
+        // (SkipWhileFrozen is the model's fixed policy).
+        if policy == TriggerPolicy::SkipWhileFrozen {
+            let spec = NoiseSpec::parse(&format!(
+                "periodic-smi:class={},period_ms={period_ms}",
+                if class == smi_driver::SmiClass::Short { "short" } else { "long" }
+            ))
+            .expect("parses");
+            let NoiseSpec::PeriodicSmi(model) = &spec else {
+                panic!("parse returned the wrong variant")
+            };
+            let mut rng = SimRng::new(seed);
+            let via_model = model.schedule_from_rng(&mut rng).expect("valid model");
+            assert_eq!(
+                old.windows_between(SimTime::ZERO, end),
+                via_model.windows_between(SimTime::ZERO, end),
+                "the noise model must wrap the same generator"
+            );
+        }
+    });
+}
+
+#[test]
+fn duration_band_of_core_jitter_is_respected() {
+    let spec =
+        NoiseSpec::parse("core-jitter:mean_period_us=2000,min_us=100,max_us=300").expect("parses");
+    let s = schedule(&spec, 0, 0, 9);
+    let windows = s.windows_between(SimTime::ZERO, SimTime::ZERO + HORIZON);
+    assert!(!windows.is_empty());
+    for (ws, we) in windows {
+        let d = we.since(ws);
+        assert!(
+            d >= SimDuration::from_micros(100) && d <= SimDuration::from_micros(300),
+            "duration {d:?} outside the configured band"
+        );
+    }
+}

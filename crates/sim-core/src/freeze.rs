@@ -147,6 +147,20 @@ impl PeriodicFreeze {
         durations: DurationModel,
         rng: &mut SimRng,
     ) -> Self {
+        PeriodicFreeze::drawn(period, durations, TriggerPolicy::SkipWhileFrozen, rng)
+    }
+
+    /// The single constructor surface for drawing a periodic configuration
+    /// from an RNG stream: one phase draw within the first period, then one
+    /// duration-stream seed draw. Every schedule generator (the SMI driver,
+    /// every noise model) goes through here so the draw order — and with it
+    /// every golden digest — has exactly one definition.
+    pub fn drawn(
+        period: SimDuration,
+        durations: DurationModel,
+        policy: TriggerPolicy,
+        rng: &mut SimRng,
+    ) -> Self {
         // A zero period is not a meaningful trigger source; normalize to
         // the 1 ns minimum rather than fault (`validate` reports it).
         let period = SimDuration(period.0.max(1));
@@ -155,7 +169,7 @@ impl PeriodicFreeze {
             first_trigger: SimTime::ZERO + phase,
             period,
             durations,
-            policy: TriggerPolicy::SkipWhileFrozen,
+            policy,
             seed: rng.next(),
         }
     }
@@ -181,7 +195,7 @@ impl PeriodicFreeze {
 }
 
 /// Lazily generated, cached window list.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct GenState {
     /// Windows generated so far, in increasing, non-overlapping order.
     windows: Vec<(SimTime, SimTime)>,
@@ -262,34 +276,111 @@ fn locate(windows: &[(SimTime, SimTime)], hint: usize, t: SimTime) -> usize {
     }
 }
 
-/// A periodic trigger source and its lazily generated window cache —
-/// held together so having a configuration *is* having generator state
-/// (no partially initialized schedule can exist).
-#[derive(Debug)]
-struct Periodic {
-    config: PeriodicFreeze,
-    gen: RefCell<GenState>,
-}
-
-/// The freeze windows of one node.
+/// The freeze windows of one node (or, for per-core noise models, one
+/// logical CPU).
 ///
-/// Cheap to clone configuration-wise, but the window cache is per-instance;
-/// cloning re-derives identical windows from the same seed.
+/// Windows come from one of two sources: a periodic trigger configuration
+/// whose window cache is generated lazily (`config` + `gen`), or an
+/// explicit pre-validated window list ([`FreezeSchedule::from_windows`],
+/// `gen` only, fully covered up front). A schedule may additionally carry
+/// a *slowdown factor*: instead of freezing, its windows let work proceed
+/// at a reduced throughput (the SMT-contention model), with all time
+/// arithmetic staying in exact integer nanoseconds.
+///
+/// Cheap to clone configuration-wise; a periodic clone re-derives
+/// identical windows from the same seed.
 #[derive(Debug)]
 pub struct FreezeSchedule {
-    periodic: Option<Periodic>,
+    /// Periodic trigger source, if the windows are generated.
+    config: Option<PeriodicFreeze>,
+    /// Window cache; `None` only for the silent schedule.
+    gen: Option<RefCell<GenState>>,
+    /// Throughput retained *inside* windows, in 1/1000ths. `0` means a
+    /// full freeze (every SMI model); `1..=999` means windows degrade
+    /// instead of stopping progress (the SMT-contention model).
+    slowdown_milli: u32,
 }
 
 impl Clone for FreezeSchedule {
     fn clone(&self) -> Self {
-        FreezeSchedule::from_config(self.periodic.as_ref().map(|p| p.config.clone()))
+        let mut s = match (&self.config, &self.gen) {
+            // Periodic: re-derive the cache from the seed.
+            (Some(_), _) => FreezeSchedule::from_config(self.config.clone()),
+            // Explicit list: the windows are the state; copy them.
+            (None, Some(gen)) => FreezeSchedule {
+                config: None,
+                gen: Some(RefCell::new(gen.borrow().clone())),
+                slowdown_milli: 0,
+            },
+            (None, None) => FreezeSchedule::none(),
+        };
+        s.slowdown_milli = self.slowdown_milli;
+        s
     }
 }
 
 impl FreezeSchedule {
     /// A schedule with no SMI activity (the paper's "SMM 0" case).
     pub fn none() -> Self {
-        FreezeSchedule { periodic: None }
+        FreezeSchedule { config: None, gen: None, slowdown_milli: 0 }
+    }
+
+    /// A schedule over an explicit window list, which must be sorted,
+    /// non-overlapping, and free of zero-length windows — the typed
+    /// rejection noise models surface for malformed specs.
+    pub fn from_windows(windows: Vec<(SimTime, SimTime)>) -> Result<Self, SimError> {
+        let mut cum_frozen = Vec::with_capacity(windows.len() + 1);
+        cum_frozen.push(0u64);
+        let mut prev_end = SimTime::ZERO;
+        for (i, &(s, e)) in windows.iter().enumerate() {
+            if e <= s {
+                return Err(SimError::invalid(
+                    "freeze schedule",
+                    format!("window {i} has zero or negative length: [{s:?}, {e:?})"),
+                ));
+            }
+            if s < prev_end {
+                return Err(SimError::invalid(
+                    "freeze schedule",
+                    format!("window {i} starting at {s:?} overlaps its predecessor"),
+                ));
+            }
+            prev_end = e;
+            let last = cum_frozen.last().copied().unwrap_or(0);
+            cum_frozen.push(last + (e.0 - s.0));
+        }
+        let gen = GenState {
+            windows,
+            cum_frozen,
+            next_k: 0,
+            rng: SimRng::new(0),
+            covered: SimTime::MAX,
+            cursor: 0,
+        };
+        Ok(FreezeSchedule { config: None, gen: Some(RefCell::new(gen)), slowdown_milli: 0 })
+    }
+
+    /// Turn this schedule's windows into slowdown windows: work inside
+    /// them proceeds at `throughput_milli`/1000 of full speed instead of
+    /// stopping. The factor must be strictly between 0 (that is a freeze)
+    /// and 1000 (that is no noise at all).
+    pub fn with_slowdown(mut self, throughput_milli: u32) -> Result<Self, SimError> {
+        if throughput_milli == 0 || throughput_milli >= 1000 {
+            return Err(SimError::invalid(
+                "freeze schedule",
+                format!(
+                    "slowdown throughput must be within 1..=999 milli-units, \
+                     got {throughput_milli}"
+                ),
+            ));
+        }
+        self.slowdown_milli = throughput_milli;
+        Ok(self)
+    }
+
+    /// Throughput retained inside windows, in 1/1000ths (0 = full freeze).
+    pub fn slowdown_milli(&self) -> u32 {
+        self.slowdown_milli
     }
 
     /// A periodic schedule (the paper's "SMM 1" / "SMM 2" cases).
@@ -308,40 +399,41 @@ impl FreezeSchedule {
     }
 
     fn from_config(config: Option<PeriodicFreeze>) -> Self {
-        let periodic = config.map(|config| {
-            let gen = GenState {
+        let gen = config.as_ref().map(|config| {
+            RefCell::new(GenState {
                 windows: Vec::new(),
                 cum_frozen: vec![0],
                 next_k: 0,
                 rng: SimRng::new(config.seed),
                 covered: SimTime::ZERO,
                 cursor: 0,
-            };
-            Periodic { config, gen: RefCell::new(gen) }
+            })
         });
-        FreezeSchedule { periodic }
+        FreezeSchedule { config, gen, slowdown_milli: 0 }
     }
 
-    /// Whether this schedule ever freezes the node.
+    /// Whether this schedule ever perturbs the node.
     pub fn is_noisy(&self) -> bool {
-        self.periodic.is_some()
+        self.gen.is_some()
     }
 
     /// The configuration, if periodic.
     pub fn config(&self) -> Option<&PeriodicFreeze> {
-        self.periodic.as_ref().map(|p| &p.config)
+        self.config.as_ref()
     }
 
     /// Generate windows until the window cache provably covers all windows
     /// that *begin* at or before `t`.
     fn ensure_covered(&self, t: SimTime) {
-        let Some(periodic) = &self.periodic else { return };
-        let cfg = &periodic.config;
-        let mut gen = periodic.gen.borrow_mut();
+        let Some(gen_cell) = &self.gen else { return };
+        let mut gen = gen_cell.borrow_mut();
         let gen = &mut *gen;
         if t <= gen.covered {
             return;
         }
+        // Explicit window lists are fully covered at construction, so
+        // reaching here means a periodic configuration exists.
+        let Some(cfg) = &self.config else { return };
         loop {
             let last_end = gen.windows.last().map(|&(_, e)| e).unwrap_or(SimTime::ZERO);
             // Next candidate trigger instant.
@@ -414,28 +506,29 @@ impl FreezeSchedule {
 
     /// The freeze windows overlapping the half-open interval `[a, b)`.
     pub fn windows_between(&self, a: SimTime, b: SimTime) -> Vec<(SimTime, SimTime)> {
-        let Some(periodic) = &self.periodic else { return Vec::new() };
+        let Some(gen_cell) = &self.gen else { return Vec::new() };
         if b <= a {
             return Vec::new();
         }
         self.ensure_covered(b);
-        let mut gen = periodic.gen.borrow_mut();
+        let mut gen = gen_cell.borrow_mut();
         let gen = &mut *gen;
         let (i, j) = gen.overlap_range(a, b);
         gen.windows[i..j].to_vec()
     }
 
     /// Whether the node is frozen at instant `t` (windows are half-open:
-    /// frozen on `[start, end)`).
+    /// frozen on `[start, end)`). Slowdown windows degrade rather than
+    /// stop progress, so they never report frozen.
     pub fn is_frozen(&self, t: SimTime) -> bool {
-        self.window_containing(t).is_some()
+        self.slowdown_milli == 0 && self.window_containing(t).is_some()
     }
 
     /// The window containing `t`, if any.
     pub fn window_containing(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
-        let periodic = self.periodic.as_ref()?;
+        let gen_cell = self.gen.as_ref()?;
         self.ensure_covered(t);
-        let mut gen = periodic.gen.borrow_mut();
+        let mut gen = gen_cell.borrow_mut();
         let gen = &mut *gen;
         // Windows are sorted; find the last window starting at or before t
         // (cursor-accelerated: engine queries are near-monotone).
@@ -449,7 +542,11 @@ impl FreezeSchedule {
     }
 
     /// The earliest instant `>= t` at which the node is not frozen.
+    /// Slowdown windows make progress, so they are transparent here.
     pub fn unfreeze(&self, t: SimTime) -> SimTime {
+        if self.slowdown_milli != 0 {
+            return t;
+        }
         match self.window_containing(t) {
             Some((_, end)) => end,
             None => t,
@@ -459,15 +556,22 @@ impl FreezeSchedule {
     /// The start of the first window beginning strictly after `t`, if it
     /// can be generated without overflowing simulated time.
     pub fn next_window_after(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
-        let periodic = self.periodic.as_ref()?;
+        let gen_cell = self.gen.as_ref()?;
+        let Some(cfg) = &self.config else {
+            // Explicit lists are fully generated; look up directly.
+            let mut gen = gen_cell.borrow_mut();
+            let gen = &mut *gen;
+            let idx = locate(&gen.windows, gen.cursor, t);
+            gen.cursor = idx;
+            return gen.windows.get(idx).copied();
+        };
         // Generate a little past t until we find a window starting after t.
-        let cfg = &periodic.config;
         let mut horizon = t;
         let step = SimDuration(cfg.period.0.saturating_add(cfg.durations.max().0).max(1));
         for _ in 0..64 {
             horizon = horizon.saturating_add(step);
             self.ensure_covered(horizon);
-            let mut gen = periodic.gen.borrow_mut();
+            let mut gen = gen_cell.borrow_mut();
             let gen = &mut *gen;
             let idx = locate(&gen.windows, gen.cursor, t);
             gen.cursor = idx;
@@ -490,8 +594,11 @@ impl FreezeSchedule {
         if work.is_zero() {
             return start;
         }
-        if self.periodic.is_none() {
+        if self.gen.is_none() {
             return start + work;
+        }
+        if self.slowdown_milli != 0 {
+            return self.advance_slowed(start, work);
         }
         let mut t = start;
         let mut remaining = work;
@@ -512,7 +619,48 @@ impl FreezeSchedule {
         }
     }
 
-    /// Total frozen time within the half-open wall interval `[a, b)`.
+    /// [`advance`](Self::advance) when windows slow work down instead of
+    /// freezing it. Work inside a window anchored at `ws` progresses as
+    /// `done(x) = floor((x - ws) * s / 1000)` with `s = slowdown_milli`;
+    /// the anchoring keeps the map a function of wall time alone, so
+    /// additivity and the [`work_between`](Self::work_between) inverse
+    /// hold exactly in integer nanoseconds.
+    fn advance_slowed(&self, start: SimTime, work: SimDuration) -> SimTime {
+        let s = self.slowdown_milli as u128;
+        let done = |x: u64| ((x as u128 * s) / 1000) as u64;
+        let mut t = start;
+        let mut remaining = work.0;
+        loop {
+            if let Some((ws, we)) = self.window_containing(t) {
+                let done_t = done(t.0 - ws.0);
+                let avail = done(we.0 - ws.0) - done_t;
+                if avail >= remaining {
+                    let target = done_t + remaining;
+                    // Minimal x with done(x) == target: ceil(target*1000/s).
+                    // s <= 1000 guarantees done() lands exactly on target.
+                    let dx = ((target as u128 * 1000).div_ceil(s)) as u64;
+                    return SimTime(ws.0 + dx);
+                }
+                remaining -= avail;
+                t = we;
+            } else {
+                let gap_end = match self.next_window_after(t) {
+                    Some((ws, _)) => ws,
+                    None => SimTime::MAX,
+                };
+                let avail = gap_end.since(t).0;
+                if avail >= remaining {
+                    return t + SimDuration(remaining);
+                }
+                remaining -= avail;
+                t = gap_end;
+            }
+        }
+    }
+
+    /// Total stolen time within the half-open wall interval `[a, b)`:
+    /// frozen time for freeze windows, the unrealized fraction of window
+    /// time for slowdown windows. Always `(b - a) - work_between(a, b)`.
     pub fn frozen_between(&self, a: SimTime, b: SimTime) -> SimDuration {
         self.span_stats(a, b).1
     }
@@ -526,13 +674,34 @@ impl FreezeSchedule {
         if b <= a {
             return (0, SimDuration::ZERO);
         }
-        let Some(periodic) = &self.periodic else { return (0, SimDuration::ZERO) };
+        let Some(gen_cell) = &self.gen else { return (0, SimDuration::ZERO) };
         self.ensure_covered(b);
-        let mut gen = periodic.gen.borrow_mut();
+        let mut gen = gen_cell.borrow_mut();
         let gen = &mut *gen;
         let (i, j) = gen.overlap_range(a, b);
         if i >= j {
             return (0, SimDuration::ZERO);
+        }
+        let (s_first, _) = gen.windows[i];
+        // Start count: every overlapping window except a leading one that
+        // began before `a` starts within `[a, b)`.
+        let first_inside = if s_first < a { i + 1 } else { i };
+        let count = j - first_inside;
+        if self.slowdown_milli != 0 {
+            // Slowdown windows steal only the complement of the retained
+            // throughput; compute per clipped window with the same
+            // anchored-floor arithmetic `advance_slowed` uses so
+            // `work_between` stays its exact inverse.
+            let s = self.slowdown_milli as u128;
+            let done = |x: u64| ((x as u128 * s) / 1000) as u64;
+            let mut stolen = 0u64;
+            for &(ws, we) in &gen.windows[i..j] {
+                let lo = ws.max(a);
+                let hi = we.min(b);
+                let progressed = done(hi.0 - ws.0) - done(lo.0 - ws.0);
+                stolen += (hi.0 - lo.0) - progressed;
+            }
+            return (count, SimDuration(stolen));
         }
         // Frozen time: the prefix-sum total of windows [i, j), clipped at
         // the interval edges. Windows are non-overlapping, so only the
@@ -543,7 +712,6 @@ impl FreezeSchedule {
             .copied()
             .unwrap_or(0)
             .saturating_sub(gen.cum_frozen.get(i).copied().unwrap_or(0));
-        let (s_first, _) = gen.windows[i];
         if s_first < a {
             frozen = frozen.saturating_sub(a.0 - s_first.0);
         }
@@ -551,10 +719,7 @@ impl FreezeSchedule {
         if e_last > b {
             frozen = frozen.saturating_sub(e_last.0 - b.0);
         }
-        // Start count: every overlapping window except a leading one that
-        // began before `a` starts within `[a, b)`.
-        let first_inside = if s_first < a { i + 1 } else { i };
-        (j - first_inside, SimDuration(frozen))
+        (count, SimDuration(frozen))
     }
 
     /// Useful work accomplished within the wall interval `[a, b)`: the
@@ -578,25 +743,29 @@ impl FreezeSchedule {
     /// that can exceed the period this accounts for lost triggers.
     pub fn duty_cycle(&self) -> f64 {
         let Some(cfg) = self.config() else { return 0.0 };
+        // Slowdown windows steal only the complement of the retained
+        // throughput.
+        let steal = (1000 - self.slowdown_milli.min(1000)) as f64 / 1000.0;
         let d = cfg.durations.mean().0 as f64;
         let p = cfg.period.0 as f64;
-        match cfg.policy {
-            TriggerPolicy::SkipWhileFrozen => {
-                // Windows occupy d out of every ceil(d/p)*p of wall time
-                // (to first order, treating d as its mean).
-                let slots = (d / p).ceil().max(1.0);
-                (d / (slots * p)).min(1.0)
-            }
-            TriggerPolicy::DeferToExit { min_gap } => {
-                let g = min_gap.0 as f64;
-                if d >= p {
-                    d / (d + g)
-                } else {
-                    (d / p).min(1.0)
+        steal
+            * match cfg.policy {
+                TriggerPolicy::SkipWhileFrozen => {
+                    // Windows occupy d out of every ceil(d/p)*p of wall time
+                    // (to first order, treating d as its mean).
+                    let slots = (d / p).ceil().max(1.0);
+                    (d / (slots * p)).min(1.0)
                 }
+                TriggerPolicy::DeferToExit { min_gap } => {
+                    let g = min_gap.0 as f64;
+                    if d >= p {
+                        d / (d + g)
+                    } else {
+                        (d / p).min(1.0)
+                    }
+                }
+                TriggerPolicy::RearmAfterExit => d / (d + p),
             }
-            TriggerPolicy::RearmAfterExit => d / (d + p),
-        }
     }
 }
 
@@ -928,5 +1097,161 @@ mod tests {
         // One hour of simulated time: 36_000 windows.
         let total = s.frozen_between(SimTime::ZERO, SimTime::from_secs(3600));
         assert_eq!(total, SimDuration::from_secs(1080));
+    }
+
+    fn ms_windows(pairs: &[(u64, u64)]) -> Vec<(SimTime, SimTime)> {
+        pairs.iter().map(|&(s, e)| (SimTime::from_millis(s), SimTime::from_millis(e))).collect()
+    }
+
+    #[test]
+    fn explicit_windows_answer_the_same_queries_as_periodic() {
+        let s = FreezeSchedule::from_windows(ms_windows(&[(500, 600), (1500, 1600)]))
+            .expect("valid windows");
+        assert!(s.is_noisy());
+        assert!(s.config().is_none());
+        assert!(s.is_frozen(SimTime::from_millis(500)));
+        assert!(!s.is_frozen(SimTime::from_millis(600)));
+        assert_eq!(s.unfreeze(SimTime::from_millis(550)), SimTime::from_millis(600));
+        assert_eq!(
+            s.next_window_after(SimTime::from_millis(700)),
+            Some((SimTime::from_millis(1500), SimTime::from_millis(1600)))
+        );
+        assert_eq!(s.next_window_after(SimTime::from_millis(1500)), None);
+        assert_eq!(
+            s.advance(SimTime::from_millis(100), SimDuration::from_millis(450)),
+            SimTime::from_millis(650)
+        );
+        assert_eq!(
+            s.frozen_between(SimTime::from_millis(550), SimTime::from_millis(1600)),
+            SimDuration::from_millis(150)
+        );
+        assert_eq!(s.count_between(SimTime::ZERO, SimTime::from_secs(4)), 2);
+        // A clone answers identically.
+        let c = s.clone();
+        assert_eq!(c.windows_between(SimTime::ZERO, SimTime::from_secs(4)).len(), 2);
+    }
+
+    #[test]
+    fn explicit_windows_reject_malformed_lists() {
+        use crate::error::SimError;
+        // Zero-length window.
+        let zero = FreezeSchedule::from_windows(ms_windows(&[(100, 100)]));
+        assert!(matches!(zero, Err(SimError::InvalidSpec { .. })));
+        // Overlapping windows.
+        let overlap = FreezeSchedule::from_windows(ms_windows(&[(100, 300), (200, 400)]));
+        assert!(matches!(overlap, Err(SimError::InvalidSpec { .. })));
+        // Out-of-order windows.
+        let unsorted = FreezeSchedule::from_windows(ms_windows(&[(500, 600), (100, 200)]));
+        assert!(matches!(unsorted, Err(SimError::InvalidSpec { .. })));
+        // The empty list is a valid (transparent) schedule.
+        let empty = FreezeSchedule::from_windows(Vec::new()).expect("empty is valid");
+        assert_eq!(empty.advance(SimTime::ZERO, SimDuration::from_secs(1)), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn slowdown_factor_is_range_checked() {
+        use crate::error::SimError;
+        let make = || fixed(1000, 100, 500);
+        assert!(matches!(make().with_slowdown(0), Err(SimError::InvalidSpec { .. })));
+        assert!(matches!(make().with_slowdown(1000), Err(SimError::InvalidSpec { .. })));
+        assert!(make().with_slowdown(1).is_ok());
+        assert!(make().with_slowdown(999).is_ok());
+    }
+
+    #[test]
+    fn slowdown_windows_degrade_instead_of_freezing() {
+        // Window [500, 600) ms at half throughput: the node is never
+        // "frozen", and 450ms of work from t=100 spends 400ms reaching
+        // the window, then needs 100ms of wall to do 50ms of work.
+        let s = fixed(1000, 100, 500).with_slowdown(500).expect("valid factor");
+        assert!(!s.is_frozen(SimTime::from_millis(550)));
+        assert_eq!(s.unfreeze(SimTime::from_millis(550)), SimTime::from_millis(550));
+        let end = s.advance(SimTime::from_millis(100), SimDuration::from_millis(450));
+        assert_eq!(end, SimTime::from_millis(600));
+        // Stolen time over the window is half its length.
+        assert_eq!(
+            s.frozen_between(SimTime::from_millis(400), SimTime::from_millis(700)),
+            SimDuration::from_millis(50)
+        );
+        // The clone keeps the factor.
+        assert_eq!(s.clone().slowdown_milli(), 500);
+    }
+
+    #[test]
+    fn slowdown_advance_keeps_the_freeze_algebra() {
+        let s = fixed(700, 120, 333).with_slowdown(930).expect("valid factor");
+        let start = SimTime::from_millis(10);
+        for work_ms in [0u64, 1, 100, 333, 700, 3000, 12345] {
+            let work = SimDuration::from_millis(work_ms);
+            let end = s.advance(start, work);
+            // Inverse and dominance.
+            assert_eq!(s.work_between(start, end), work, "work={work_ms}ms");
+            assert!(end.since(start) >= work);
+        }
+        // Additivity, including odd nanosecond splits.
+        let t = SimTime::from_millis(7);
+        for (a_ns, b_ns) in [(0u64, 5u64), (5, 0), (999_999, 1), (123_456_789, 7), (1, 999)] {
+            let a = SimDuration(a_ns);
+            let b = SimDuration(b_ns);
+            assert_eq!(s.advance(s.advance(t, a), b), s.advance(t, a + b), "a={a_ns} b={b_ns}");
+        }
+    }
+
+    #[test]
+    fn slowdown_span_stats_matches_a_brute_force_scan() {
+        let s = FreezeSchedule::periodic(PeriodicFreeze {
+            first_trigger: SimTime::from_millis(333),
+            period: SimDuration::from_millis(700),
+            durations: DurationModel::short_smi(),
+            policy: TriggerPolicy::SkipWhileFrozen,
+            seed: 99,
+        })
+        .with_slowdown(250)
+        .expect("valid factor");
+        let all = s.windows_between(SimTime::ZERO, SimTime::from_secs(120));
+        let done = |x: u64| (x as u128 * 250 / 1000) as u64;
+        let mut rng = SimRng::new(5);
+        for _ in 0..200 {
+            let a = SimTime::from_nanos(rng.below(100_000_000_000));
+            let b = SimTime::from_nanos(rng.below(100_000_000_000));
+            let (count, stolen) = s.span_stats(a, b);
+            let mut want_count = 0usize;
+            let mut want_stolen = 0u64;
+            if b > a {
+                for &(ws, we) in &all {
+                    if ws < b && we > a {
+                        let lo = ws.max(a);
+                        let hi = we.min(b);
+                        want_stolen += (hi.0 - lo.0) - (done(hi.0 - ws.0) - done(lo.0 - ws.0));
+                        if ws >= a {
+                            want_count += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(count, want_count, "count over [{a:?}, {b:?})");
+            assert_eq!(stolen, SimDuration(want_stolen), "stolen over [{a:?}, {b:?})");
+        }
+    }
+
+    #[test]
+    fn drawn_matches_the_historical_draw_order() {
+        // `drawn` is the single constructor surface; the draw order (one
+        // phase draw, one seed draw) is golden-digest-load-bearing.
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let period = SimDuration::from_secs(1);
+        let phase = SimDuration(a.below(period.0));
+        let seed = a.next();
+        let cfg = PeriodicFreeze::drawn(
+            period,
+            DurationModel::long_smi(),
+            TriggerPolicy::RearmAfterExit,
+            &mut b,
+        );
+        assert_eq!(cfg.first_trigger, SimTime::ZERO + phase);
+        assert_eq!(cfg.seed, seed);
+        assert_eq!(cfg.policy, TriggerPolicy::RearmAfterExit);
+        assert_eq!(a.next(), b.next(), "streams must stay in lockstep");
     }
 }

@@ -127,12 +127,12 @@ impl SmiDriver {
     pub fn schedule_for_node(&self, rng: &mut SimRng) -> FreezeSchedule {
         match self.config.class.durations() {
             None => FreezeSchedule::none(),
-            Some(durations) => {
-                let mut cfg =
-                    PeriodicFreeze::with_random_phase(self.config.period(), durations, rng);
-                cfg.policy = self.config.policy;
-                FreezeSchedule::periodic(cfg)
-            }
+            Some(durations) => FreezeSchedule::periodic(PeriodicFreeze::drawn(
+                self.config.period(),
+                durations,
+                self.config.policy,
+                rng,
+            )),
         }
     }
 
@@ -142,19 +142,11 @@ impl SmiDriver {
         match self.config.class.durations() {
             None => (0..nodes).map(|_| FreezeSchedule::none()).collect(),
             Some(durations) => {
-                let phase = SimDuration(rng.below(self.config.period().0.max(1)));
-                let seed = rng.next();
-                (0..nodes)
-                    .map(|_| {
-                        FreezeSchedule::periodic(PeriodicFreeze {
-                            first_trigger: SimTime::ZERO + phase,
-                            period: self.config.period(),
-                            durations: durations.clone(),
-                            policy: self.config.policy,
-                            seed,
-                        })
-                    })
-                    .collect()
+                // One draw shared by every node: same phase, same
+                // duration stream.
+                let cfg =
+                    PeriodicFreeze::drawn(self.config.period(), durations, self.config.policy, rng);
+                (0..nodes).map(|_| FreezeSchedule::periodic(cfg.clone())).collect()
             }
         }
     }

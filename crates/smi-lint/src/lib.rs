@@ -29,8 +29,17 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose output feeds canonical records (tables, figures,
 /// studies): SMI001/SMI005 apply — hash collections are banned outright.
-pub const RECORD_CRATES: [&str; 8] =
-    ["sim-core", "machine", "cache-sim", "smi-driver", "mpi-sim", "nas", "apps", "analysis"];
+pub const RECORD_CRATES: [&str; 9] = [
+    "sim-core",
+    "machine",
+    "cache-sim",
+    "smi-driver",
+    "mpi-sim",
+    "nas",
+    "apps",
+    "analysis",
+    "noise",
+];
 
 /// Binary/tool crates: exempt from SMI004 (a CLI may panic on bad usage)
 /// and SMI003 (they exist to touch the outside world). `jsonio-derive`
@@ -62,7 +71,10 @@ pub const STRICT_NO_PANIC_FILES: [&str; 5] = [
 ];
 
 /// Directories whose every file is on the strict simulation path.
-pub const STRICT_NO_PANIC_DIRS: [&str; 1] = ["crates/mpi-sim/src/"];
+/// `crates/noise/src/` qualifies because every model's `schedule` runs
+/// inside campaign cells: a bad parameterization must quarantine as a
+/// typed `SimError::InvalidSpec`, never abort the campaign.
+pub const STRICT_NO_PANIC_DIRS: [&str; 2] = ["crates/mpi-sim/src/", "crates/noise/src/"];
 
 /// Is this file under the strict no-panic regime?
 pub fn strict_no_panic(rel_path: &str) -> bool {
@@ -453,6 +465,10 @@ mod tests {
         // sim-core files the event loop runs through.
         assert!(policy_for("mpi-sim", "crates/mpi-sim/src/engine.rs").strict_no_panic);
         assert!(policy_for("mpi-sim", "crates/mpi-sim/src/cluster.rs").strict_no_panic);
+        // The noise-model plugins generate schedules inside campaign
+        // cells: strict, and record-producing (SMI001/SMI005 apply).
+        assert!(policy_for("noise", "crates/noise/src/models.rs").strict_no_panic);
+        assert!(policy_for("noise", "crates/noise/src/lib.rs").record_producing);
         assert!(policy_for("machine", "crates/machine/src/executor.rs").strict_no_panic);
         assert!(policy_for("sim-core", "crates/sim-core/src/freeze.rs").strict_no_panic);
         assert!(policy_for("sim-core", "crates/sim-core/src/time.rs").strict_no_panic);

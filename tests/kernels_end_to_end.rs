@@ -147,6 +147,7 @@ fn full_stack_smoke_noise_hurts_and_detection_sees_it() {
             schedule: driver.schedule_for_node(&mut rng),
             effects: driver.side_effects(false),
             online_cpus: 4,
+            per_core: Vec::new(),
         })
         .collect();
     let perturbed = smi_lab::mpi_sim::run(&spec, &noisy, &progs, &network).expect("valid job");
