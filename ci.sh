@@ -18,8 +18,25 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo clippy -p runner --features chaos --all-targets --offline -- -D warnings
 cargo fmt --check
 # Determinism & hermeticity lint (crates/smi-lint): fails on any finding
-# not ratcheted into the baseline. See DESIGN.md "Static analysis".
-cargo run -q --release -p smi-lint --offline -- --format json --baseline results/lint-baseline.json
+# not ratcheted into the baseline, now including the whole-workspace
+# passes (SMI007 taint reachability, SMI008 lock-order cycles, SMI009
+# panic paths). See DESIGN.md "Static analysis" and §12.
+# The lint must itself be deterministic: two runs — one serial, one with
+# a parallel file scan — must produce byte-identical reports, and the
+# JSON report (call chains included) must survive a jsonio round-trip.
+LINT_SCRATCH="$(mktemp -d)"
+cargo run -q --release -p smi-lint --offline -- --format json --jobs 1 \
+    --baseline results/lint-baseline.json > "$LINT_SCRATCH/lint-1.json"
+cargo run -q --release -p smi-lint --offline -- --format json --jobs 4 \
+    --baseline results/lint-baseline.json > "$LINT_SCRATCH/lint-4.json"
+cmp "$LINT_SCRATCH/lint-1.json" "$LINT_SCRATCH/lint-4.json"
+cargo run -q --release -p smi-lint --offline -- --verify-report "$LINT_SCRATCH/lint-1.json"
+# Graph export smoke: both DOT renderings must produce parseable output.
+cargo run -q --release -p smi-lint --offline -- --graph call > "$LINT_SCRATCH/calls.dot"
+cargo run -q --release -p smi-lint --offline -- --graph lock > "$LINT_SCRATCH/locks.dot"
+grep -q '^digraph calls' "$LINT_SCRATCH/calls.dot"
+grep -q '^digraph locks' "$LINT_SCRATCH/locks.dot"
+rm -rf "$LINT_SCRATCH"
 # Validity gate: one table regeneration under the engine's full opt-in
 # audit (--validate; DESIGN.md §9 "Simulation validity"). --no-cache so
 # every cell actually runs the simulation instead of a cache hit.

@@ -101,6 +101,8 @@ impl SimRng {
 
     /// Uniform integer in `[0, n)` via Lemire's method. `n` must be nonzero.
     pub fn below(&mut self, n: u64) -> u64 {
+        // smi-lint: allow(panic-path): schedule-path callers clamp the bound
+        // (`.max(1)` / validated specs); the assert guards direct API misuse.
         assert!(n > 0, "below(0) is meaningless");
         // Unbiased multiply-shift rejection.
         loop {
@@ -115,6 +117,9 @@ impl SimRng {
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        // smi-lint: allow(panic-path): schedule-path callers validate the
+        // band first (`NoiseModel::validate` rejects min > max; saturating
+        // scaling preserves the order); the assert guards API misuse.
         assert!(lo <= hi, "range_u64: lo {lo} > hi {hi}");
         if lo == hi {
             return lo;

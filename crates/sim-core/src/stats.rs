@@ -24,6 +24,9 @@ impl Accumulator {
 
     /// Add one observation.
     pub fn push(&mut self, x: f64) {
+        // smi-lint: allow(panic-path): reached only through name-conservative
+        // `.push(` resolution (simulation paths push to Vecs, not
+        // Accumulators); real callers are analysis-side with finite inputs.
         assert!(x.is_finite(), "Accumulator::push: non-finite observation {x}");
         self.n += 1;
         let delta = x - self.mean;

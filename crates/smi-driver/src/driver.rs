@@ -111,6 +111,9 @@ pub struct LatencyStats {
 impl SmiDriver {
     /// A driver with the given configuration.
     pub fn new(config: SmiDriverConfig) -> Self {
+        // smi-lint: allow(panic-path): schedule paths run
+        // `NoiseModel::validate` first (period_ms != 0 implies nonzero
+        // jiffies); the assert rejects hand-built zero-period configs.
         assert!(config.period_jiffies > 0, "zero trigger period");
         SmiDriver { config }
     }

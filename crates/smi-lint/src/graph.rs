@@ -1,0 +1,381 @@
+//! Workspace symbol table and conservative call graph.
+//!
+//! Built from [`crate::parser::ParsedFile`]s, with resolution scoped by
+//! the workspace crate dependency graph (a crate's calls can only land
+//! in crates it declares a path dependency on — read straight from the
+//! `Cargo.toml` manifests, so a `mpi-sim` call can never "reach"
+//! `runner` code the linker would refuse to link).
+//!
+//! Resolution is *conservative by name*: a `.method(...)` call resolves
+//! to every in-scope method of that name, a `Type::assoc(...)` call to
+//! every `assoc` owned by an impl of `Type`, a bare `free(...)` call to
+//! every in-scope free function of that name. Over-approximation adds
+//! edges (false reachability a pragma can justify); it never removes
+//! real ones for the code shapes the parser understands — the soundness
+//! caveats are catalogued in DESIGN.md §12.
+
+use crate::parser::ParsedFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// One node of the call graph: a function, flattened across files.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index of the owning file in the workspace file list.
+    pub file: usize,
+    /// Index of the `FnDef` within that file.
+    pub def: usize,
+    /// Crate the function belongs to.
+    pub crate_name: String,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Display name: `crate::[Type::]name`.
+    pub display: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Test-only code: excluded from analysis edges.
+    pub in_test: bool,
+}
+
+/// The conservative call graph over one set of parsed files.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Flat function list, in (file, definition) order.
+    pub fns: Vec<FnNode>,
+    /// `edges[i]` — sorted, deduplicated callee indices of `fns[i]`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Transitive workspace dependency closure: crate → set of crates it may
+/// call into (always includes itself).
+pub type DepClosure = BTreeMap<String, BTreeSet<String>>;
+
+/// Read each workspace member's `Cargo.toml` `[dependencies]` section and
+/// return the transitive closure. The facade crate (`smi-lab`, the root
+/// manifest) is included. Only workspace-internal names are kept.
+pub fn workspace_deps(root: &Path) -> Result<DepClosure, String> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<(String, std::path::PathBuf)> =
+        vec![("smi-lab".to_string(), root.join("Cargo.toml"))];
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries.flatten() {
+        let manifest = entry.path().join("Cargo.toml");
+        if manifest.is_file() {
+            if let Some(name) = entry.path().file_name().and_then(|n| n.to_str()) {
+                members.push((name.to_string(), manifest));
+            }
+        }
+    }
+    members.sort();
+    let names: BTreeSet<String> = members.iter().map(|(n, _)| n.clone()).collect();
+    for (name, manifest) in &members {
+        let text = std::fs::read_to_string(manifest)
+            .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+        direct.insert(name.clone(), manifest_deps(&text, &names));
+    }
+    // Transitive closure (the graph is tiny; fixpoint iteration is fine).
+    let mut closure: DepClosure = BTreeMap::new();
+    for name in direct.keys() {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack = vec![name.clone()];
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if let Some(deps) = direct.get(&cur) {
+                for d in deps {
+                    if !seen.contains(d) {
+                        stack.push(d.clone());
+                    }
+                }
+            }
+        }
+        closure.insert(name.clone(), seen);
+    }
+    Ok(closure)
+}
+
+/// Dependencies named in one manifest's `[dependencies]` section,
+/// filtered to workspace members. Dev-dependencies are excluded
+/// deliberately: only `#[cfg(test)]` code can call into them, and test
+/// regions are already outside the graph — including them would
+/// fabricate edges from shipping code into test harness crates.
+fn manifest_deps(text: &str, members: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name = line.split(['.', '=', ' ']).next().unwrap_or("").trim();
+        if members.contains(name) {
+            out.insert(name.to_string());
+        }
+    }
+    out
+}
+
+/// A dependency closure where every crate sees every other — what the
+/// single-file fixture tests use.
+pub fn flat_closure(crates: &[&str]) -> DepClosure {
+    let all: BTreeSet<String> = crates.iter().map(|c| c.to_string()).collect();
+    crates.iter().map(|c| (c.to_string(), all.clone())).collect()
+}
+
+impl CallGraph {
+    /// Build the graph from parsed files plus the dependency closure.
+    /// Files must already be in a deterministic order.
+    pub fn build(files: &[ParsedFile], deps: &DepClosure) -> CallGraph {
+        let mut fns: Vec<FnNode> = Vec::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for (di, def) in pf.fns.iter().enumerate() {
+                let display = match &def.owner {
+                    Some(owner) => {
+                        format!("{}::{}::{}", crate_mod(&pf.crate_name), owner, def.name)
+                    }
+                    None => format!("{}::{}", crate_mod(&pf.crate_name), def.name),
+                };
+                fns.push(FnNode {
+                    file: fi,
+                    def: di,
+                    crate_name: pf.crate_name.clone(),
+                    path: pf.path.clone(),
+                    display,
+                    line: def.line,
+                    in_test: def.in_test,
+                });
+            }
+        }
+
+        // Symbol tables. Test fns are excluded as resolution targets.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut assoc: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, node) in fns.iter().enumerate() {
+            if node.in_test {
+                continue;
+            }
+            let def = &files[node.file].fns[node.def];
+            match &def.owner {
+                Some(owner) => {
+                    methods.entry(&def.name).or_default().push(id);
+                    assoc.entry((owner.as_str(), &def.name)).or_default().push(id);
+                }
+                None => free.entry(&def.name).or_default().push(id),
+            }
+        }
+
+        let empty = BTreeSet::new();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (id, node) in fns.iter().enumerate() {
+            if node.in_test {
+                continue;
+            }
+            let visible = deps.get(&node.crate_name).unwrap_or(&empty);
+            let def = &files[node.file].fns[node.def];
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for call in &def.calls {
+                let candidates: Vec<usize> = match (&call.qualifier, call.method) {
+                    // `.name(...)`: any in-scope method of that name.
+                    (_, true) => methods.get(call.name.as_str()).cloned().unwrap_or_default(),
+                    // `Qual::name(...)`: methods of impls of `Qual`, or
+                    // free fns of a crate/module spelled `Qual`.
+                    (Some(q), false) => {
+                        let mut c: Vec<usize> = assoc
+                            .get(&(q.as_str(), call.name.as_str()))
+                            .cloned()
+                            .unwrap_or_default();
+                        for &fid in free.get(call.name.as_str()).unwrap_or(&Vec::new()) {
+                            let target = &fns[fid];
+                            let module = &files[target.file].module;
+                            if crate_mod(&target.crate_name) == *q || module == q {
+                                c.push(fid);
+                            }
+                        }
+                        c
+                    }
+                    // `name(...)`: any in-scope free fn of that name.
+                    (None, false) => free.get(call.name.as_str()).cloned().unwrap_or_default(),
+                };
+                for fid in candidates {
+                    if visible.contains(&fns[fid].crate_name) {
+                        out.insert(fid);
+                    }
+                }
+            }
+            edges[id] = out.into_iter().collect();
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// BFS from `entries` (deterministic: entries and adjacency are
+    /// sorted). Returns, for every fn, `Some(parent)` when reachable —
+    /// entries are their own parent.
+    pub fn reach(&self, entries: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        let mut entries: Vec<usize> = entries.to_vec();
+        entries.sort_unstable();
+        for &e in &entries {
+            if parent[e].is_none() {
+                parent[e] = Some(e);
+                queue.push_back(e);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.edges[cur] {
+                if parent[next].is_none() && !self.fns[next].in_test {
+                    parent[next] = Some(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The entry-to-`target` chain a [`CallGraph::reach`] parent map
+    /// encodes (entry first, `target` last).
+    pub fn chain(&self, parent: &[Option<usize>], target: usize) -> Vec<usize> {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// DOT rendering of the subgraph reachable from `entries` (the full
+    /// graph is unreadably dense; the reachable slice is the part the
+    /// determinism analyses reason about). Deterministic output.
+    pub fn to_dot(&self, entries: &[usize]) -> String {
+        let parent = self.reach(entries);
+        let mut out =
+            String::from("digraph calls {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        let entry_set: BTreeSet<usize> = entries.iter().copied().collect();
+        for (id, node) in self.fns.iter().enumerate() {
+            if parent[id].is_none() {
+                continue;
+            }
+            let shape = if entry_set.contains(&id) { ", style=bold, color=blue" } else { "" };
+            out.push_str(&format!(
+                "  \"{}\" [label=\"{}\\n{}:{}\"{}];\n",
+                node.display, node.display, node.path, node.line, shape
+            ));
+        }
+        for (id, outs) in self.edges.iter().enumerate() {
+            if parent[id].is_none() {
+                continue;
+            }
+            for &next in outs {
+                if parent[next].is_some() {
+                    out.push_str(&format!(
+                        "  \"{}\" -> \"{}\";\n",
+                        self.fns[id].display, self.fns[next].display
+                    ));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Crate name as it appears in source paths (`mpi-sim` → `mpi_sim`).
+pub fn crate_mod(crate_name: &str) -> String {
+    crate_name.replace('-', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    fn graph(src: &str) -> CallGraph {
+        let pf = parse_source("fixture", "crates/fixture/src/lib.rs", src);
+        CallGraph::build(&[pf], &flat_closure(&["fixture"]))
+    }
+
+    fn id(g: &CallGraph, display: &str) -> usize {
+        g.fns.iter().position(|f| f.display == display).unwrap_or_else(|| {
+            panic!(
+                "no fn {display}; have {:?}",
+                g.fns.iter().map(|f| &f.display).collect::<Vec<_>>()
+            )
+        })
+    }
+
+    #[test]
+    fn free_and_method_calls_resolve() {
+        let g = graph(
+            "pub fn entry() { helper(); }\n\
+             fn helper() { S::make().step(); }\n\
+             struct S;\n\
+             impl S { fn make() -> S { S } fn step(&self) {} }\n",
+        );
+        let entry = id(&g, "fixture::entry");
+        let helper = id(&g, "fixture::helper");
+        let make = id(&g, "fixture::S::make");
+        let step = id(&g, "fixture::S::step");
+        assert_eq!(g.edges[entry], vec![helper]);
+        assert!(g.edges[helper].contains(&make));
+        assert!(g.edges[helper].contains(&step));
+    }
+
+    #[test]
+    fn reach_and_chain_are_shortest_and_deterministic() {
+        let g = graph(
+            "pub fn entry() { a(); b(); }\n\
+             fn a() { c(); }\n\
+             fn b() { c(); }\n\
+             fn c() {}\n\
+             fn orphan() { c(); }\n",
+        );
+        let entry = id(&g, "fixture::entry");
+        let parent = g.reach(&[entry]);
+        let c = id(&g, "fixture::c");
+        let chain: Vec<&str> =
+            g.chain(&parent, c).into_iter().map(|i| g.fns[i].display.as_str()).collect();
+        assert_eq!(chain, ["fixture::entry", "fixture::a", "fixture::c"]);
+        let orphan = id(&g, "fixture::orphan");
+        assert!(parent[orphan].is_none(), "orphan is not reachable from entry");
+    }
+
+    #[test]
+    fn dep_closure_scopes_resolution() {
+        let a = parse_source("crate-a", "crates/crate-a/src/lib.rs", "pub fn go() { shared(); }");
+        let b = parse_source("crate-b", "crates/crate-b/src/lib.rs", "pub fn shared() {}");
+        // a does not depend on b: the call must not resolve.
+        let mut deps = DepClosure::new();
+        deps.insert("crate-a".into(), [String::from("crate-a")].into_iter().collect());
+        deps.insert("crate-b".into(), [String::from("crate-b")].into_iter().collect());
+        let g = CallGraph::build(&[a.clone(), b.clone()], &deps);
+        assert!(g.edges[0].is_empty(), "cross-crate call without a dependency edge");
+        // With the dependency declared, it resolves.
+        let g = CallGraph::build(&[a, b], &flat_closure(&["crate-a", "crate-b"]));
+        assert_eq!(g.edges[0].len(), 1);
+    }
+
+    #[test]
+    fn manifest_parsing_reads_workspace_deps() {
+        let members: BTreeSet<String> =
+            ["sim-core", "machine"].iter().map(|s| s.to_string()).collect();
+        let text = "[package]\nname = \"x\"\n[dependencies]\n\
+                    sim-core.workspace = true\nmachine = { path = \"../machine\" }\n\
+                    serde = \"1\"\n[dev-dependencies]\n";
+        let deps = manifest_deps(text, &members);
+        assert_eq!(deps.len(), 2);
+        assert!(deps.contains("sim-core") && deps.contains("machine"));
+    }
+}

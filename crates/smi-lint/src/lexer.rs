@@ -33,6 +33,11 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Half-open `[start, end)` span in *char* offsets into the source.
+    /// Token spans are strictly increasing, never overlap, and every
+    /// char outside all spans is whitespace — the partition invariant
+    /// the `lexer_properties` suite checks.
+    pub span: (usize, usize),
 }
 
 impl Tok {
@@ -81,12 +86,14 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.out.push(Tok { kind, text, line });
+        self.out.push(Tok { kind, text, line, span: (0, 0) });
     }
 
     fn run(mut self) -> Vec<Tok> {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            let start = self.pos;
+            let before = self.out.len();
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
@@ -101,6 +108,14 @@ impl Lexer {
                 _ => {
                     self.bump();
                     self.push(TokKind::Punct(c), c.to_string(), line);
+                }
+            }
+            // Every handler consumes at least one char and pushes at most
+            // one token; stamp its span from the consumed range.
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            if self.out.len() > before {
+                if let Some(t) = self.out.last_mut() {
+                    t.span = (start, self.pos);
                 }
             }
         }

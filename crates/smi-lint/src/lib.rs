@@ -9,19 +9,27 @@
 //! vigilance. See `DESIGN.md` §"Static analysis & determinism policy".
 //!
 //! The scanner is a small hand-rolled Rust lexer plus line-walking rules
-//! ([`rules`]) — no syn, no rustc internals, no external crates. Six
-//! rules with stable IDs (`SMI001`..`SMI006`), per-line suppression
-//! pragmas (`// smi-lint: allow(<rule>): reason`), and a JSON baseline
-//! for ratcheting legacy findings down to zero.
+//! ([`rules`]) — no syn, no rustc internals, no external crates. Nine
+//! rules with stable IDs: `SMI001`..`SMI006` are per-line checks, and
+//! `SMI007`..`SMI009` are whole-workspace passes over a lightweight item
+//! parser ([`parser`]), a symbol table + conservative call graph
+//! ([`graph`]), and three reachability analyses ([`taint`]) — taint
+//! flow, lock-order cycles, and panic paths — each reporting the full
+//! call chain from a record-producing entry point to the flagged site.
+//! Per-line suppression pragmas (`// smi-lint: allow(<rule>): reason`)
+//! and a JSON baseline ratchet legacy findings down to zero.
 //!
 //! Run it as `cargo run -p smi-lint`, or `smi-lab lint` from the CLI.
 
 #![deny(unsafe_code)]
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 
-pub use rules::{FilePolicy, Finding, Rule, ScanResult, Severity, ALL_RULES};
+pub use rules::{ChainStep, FilePolicy, Finding, Rule, ScanResult, Severity, ALL_RULES};
 
 use jsonio::Json;
 use std::collections::BTreeMap;
@@ -126,7 +134,14 @@ pub struct WorkspaceScan {
 /// plus the facade crate's `src/`). Test directories (`tests/`,
 /// `benches/`, `examples/`) are dev code and out of scope by
 /// construction; `#[cfg(test)]` regions are excluded by the walker.
+/// Single-threaded; see [`scan_workspace_jobs`] for the parallel form.
 pub fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
+    scan_workspace_jobs(root, 1)
+}
+
+/// The deterministic workspace file list: `(crate name, relative path,
+/// absolute path)` in scan order.
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, String, PathBuf)>, String> {
     let mut units: Vec<(String, PathBuf)> = vec![("smi-lab".to_string(), root.join("src"))];
     let crates_dir = root.join("crates");
     let entries = std::fs::read_dir(&crates_dir)
@@ -146,7 +161,7 @@ pub fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
         units.push((name, src));
     }
 
-    let mut scan = WorkspaceScan::default();
+    let mut out = Vec::new();
     for (crate_name, src_dir) in units {
         let mut files = Vec::new();
         collect_rs_files(&src_dir, &mut files)?;
@@ -156,16 +171,112 @@ pub fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
                 .strip_prefix(root)
                 .map(|p| p.to_string_lossy().replace('\\', "/"))
                 .unwrap_or_else(|_| file.to_string_lossy().into_owned());
-            let src = std::fs::read_to_string(&file)
-                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-            let result = scan_with_policy(&crate_name, &rel, &src);
-            scan.findings.extend(result.findings);
-            scan.suppressed += result.suppressed;
-            scan.files_scanned += 1;
+            out.push((crate_name.clone(), rel, file));
         }
     }
+    Ok(out)
+}
+
+/// Scan and parse the workspace with `jobs` worker threads. The output
+/// is byte-identical for every `jobs` value: files are claimed from a
+/// shared counter but results land in per-file slots, so merge order is
+/// the (sorted) file order, and the graph passes that follow are
+/// single-threaded over already-deterministic inputs.
+pub fn scan_workspace_jobs(root: &Path, jobs: usize) -> Result<WorkspaceScan, String> {
+    let units = workspace_files(root)?;
+    let per_file = scan_files(&units, jobs.max(1))?;
+
+    let mut scan = WorkspaceScan::default();
+    let mut parsed: Vec<parser::ParsedFile> = Vec::with_capacity(per_file.len());
+    for (result, pf) in per_file {
+        scan.findings.extend(result.findings);
+        scan.suppressed += result.suppressed;
+        scan.files_scanned += 1;
+        parsed.push(pf);
+    }
+
+    let deps = graph::workspace_deps(root)?;
+    let g = graph::CallGraph::build(&parsed, &deps);
+    let record_entries = taint::workspace_entries(&g, &parsed);
+    let strict_entries = taint::strict_entries(&g, &parsed);
+    for pass in [
+        taint::smi007(&parsed, &g, &record_entries),
+        taint::smi008(&parsed, &g),
+        taint::smi009(&parsed, &g, &strict_entries),
+    ] {
+        scan.findings.extend(pass.findings);
+        scan.suppressed += pass.suppressed;
+    }
+
     scan.findings.sort_by(|a, b| (&a.path, a.line, a.rule.id).cmp(&(&b.path, b.line, b.rule.id)));
     Ok(scan)
+}
+
+type FileOutput = (ScanResult, parser::ParsedFile);
+
+/// Per-file scan + parse, fanned out over `jobs` threads with
+/// order-preserving result slots.
+fn scan_files(units: &[(String, String, PathBuf)], jobs: usize) -> Result<Vec<FileOutput>, String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let slots: Mutex<Vec<Option<Result<FileOutput, String>>>> =
+        Mutex::new((0..units.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(units.len()).max(1);
+
+    let scan_one = |i: usize| -> Result<FileOutput, String> {
+        let (crate_name, rel, abs) = &units[i];
+        let src = std::fs::read_to_string(abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let result = scan_with_policy(crate_name, rel, &src);
+        let pf = parser::parse_source(crate_name, rel, &src);
+        Ok((result, pf))
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                let out = scan_one(i);
+                if let Ok(mut slots) = slots.lock() {
+                    slots[i] = Some(out);
+                }
+            });
+        }
+    });
+
+    let slots = slots.into_inner().map_err(|_| "scan worker panicked".to_string())?;
+    slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| Err("file scan did not complete".to_string())))
+        .collect()
+}
+
+/// Render the workspace call graph (`kind == "call"`, reachable slice
+/// from the record entry points) or the lock-order graph
+/// (`kind == "lock"`) as DOT.
+pub fn export_graph(root: &Path, kind: &str) -> Result<String, String> {
+    let units = workspace_files(root)?;
+    let mut parsed = Vec::with_capacity(units.len());
+    for (crate_name, rel, abs) in &units {
+        let src = std::fs::read_to_string(abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        parsed.push(parser::parse_source(crate_name, rel, &src));
+    }
+    let deps = graph::workspace_deps(root)?;
+    let g = graph::CallGraph::build(&parsed, &deps);
+    match kind {
+        "call" => {
+            let entries = taint::workspace_entries(&g, &parsed);
+            Ok(g.to_dot(&entries))
+        }
+        "lock" => Ok(taint::lock_graph_dot(&parsed, &g)),
+        other => Err(format!("--graph must be call|lock, got `{other}`")),
+    }
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -305,6 +416,9 @@ pub fn render_report(scan: &WorkspaceScan, new_count: u32, format: Format) -> St
                     tag,
                     f.message
                 ));
+                for step in &f.chain {
+                    out.push_str(&format!("    via {} ({}:{})\n", step.what, step.path, step.line));
+                }
             }
             out.push_str(&format!(
                 "smi-lint: {} finding(s) ({} new, {} baselined, {} suppressed) in {} files\n",
@@ -321,6 +435,17 @@ pub fn render_report(scan: &WorkspaceScan, new_count: u32, format: Format) -> St
                 .findings
                 .iter()
                 .map(|f| {
+                    let chain: Vec<Json> = f
+                        .chain
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("fn", Json::Str(s.what.clone())),
+                                ("path", Json::Str(s.path.clone())),
+                                ("line", Json::U64(s.line as u64)),
+                            ])
+                        })
+                        .collect();
                     Json::obj(vec![
                         ("rule", Json::Str(f.rule.id.to_string())),
                         ("name", Json::Str(f.rule.name.to_string())),
@@ -330,6 +455,7 @@ pub fn render_report(scan: &WorkspaceScan, new_count: u32, format: Format) -> St
                         ("line", Json::U64(f.line as u64)),
                         ("new", Json::Bool(f.new)),
                         ("message", Json::Str(f.message.clone())),
+                        ("chain", Json::Arr(chain)),
                     ])
                 })
                 .collect();
@@ -349,6 +475,73 @@ pub fn render_report(scan: &WorkspaceScan, new_count: u32, format: Format) -> St
     }
 }
 
+/// Validate a `--format json` report: schema fields, per-finding shape
+/// (including call-chain steps), and a jsonio round-trip
+/// (`parse(render(parse(text))) == parse(text)`). Returns the number of
+/// findings the report carries.
+pub fn verify_report(text: &str) -> Result<u32, String> {
+    let doc = Json::parse(text).map_err(|e| format!("report does not parse: {e}"))?;
+    if doc.get("schema").and_then(|s| s.as_u64()) != Some(1) {
+        return Err("report `schema` must be 1".into());
+    }
+    if doc.get("tool").and_then(|t| t.as_str()) != Some("smi-lint") {
+        return Err("report `tool` must be \"smi-lint\"".into());
+    }
+    for key in ["files_scanned", "total", "new", "suppressed"] {
+        if doc.get(key).and_then(|v| v.as_u64()).is_none() {
+            return Err(format!("report `{key}` must be a number"));
+        }
+    }
+    let findings = doc
+        .get("findings")
+        .and_then(|f| f.as_array())
+        .ok_or("report `findings` must be an array")?;
+    for (i, f) in findings.iter().enumerate() {
+        for key in ["rule", "name", "severity", "crate", "path", "message"] {
+            if f.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("finding {i}: `{key}` must be a string"));
+            }
+        }
+        if f.get("line").and_then(|v| v.as_u64()).is_none() {
+            return Err(format!("finding {i}: `line` must be a number"));
+        }
+        if f.get("new").and_then(|v| v.as_bool()).is_none() {
+            return Err(format!("finding {i}: `new` must be a bool"));
+        }
+        let chain = f
+            .get("chain")
+            .and_then(|c| c.as_array())
+            .ok_or(format!("finding {i}: `chain` must be an array"))?;
+        for (j, step) in chain.iter().enumerate() {
+            if step.get("fn").and_then(|v| v.as_str()).is_none()
+                || step.get("path").and_then(|v| v.as_str()).is_none()
+                || step.get("line").and_then(|v| v.as_u64()).is_none()
+            {
+                return Err(format!(
+                    "finding {i} chain step {j}: needs string `fn`/`path` and numeric `line`"
+                ));
+            }
+        }
+        let is_chain_rule =
+            matches!(f.get("rule").and_then(|v| v.as_str()), Some("SMI007" | "SMI008" | "SMI009"));
+        if is_chain_rule && chain.is_empty() {
+            return Err(format!("finding {i}: call-chain rule with an empty chain"));
+        }
+    }
+    // Round-trip: re-rendering the parsed document and parsing it back
+    // must reproduce the same value (serializer/parser agree).
+    let rendered = doc.to_string_pretty();
+    let reparsed = Json::parse(&rendered).map_err(|e| format!("round-trip reparse failed: {e}"))?;
+    if reparsed != doc {
+        return Err("round-trip changed the document".into());
+    }
+    let total = doc.get("total").and_then(|v| v.as_u64()).unwrap_or(0);
+    if total != findings.len() as u64 {
+        return Err(format!("`total` is {total} but `findings` has {}", findings.len()));
+    }
+    Ok(findings.len() as u32)
+}
+
 // ---------------------------------------------------------------------
 // CLI driver (shared by the smi-lint binary and `smi-lab lint`).
 // ---------------------------------------------------------------------
@@ -357,13 +550,19 @@ pub fn render_report(scan: &WorkspaceScan, new_count: u32, format: Format) -> St
 pub const USAGE: &str = "\
 smi-lint — determinism & hermeticity linter for the smi-lab workspace
 
-usage: smi-lint [--root DIR] [--format text|json]
+usage: smi-lint [--root DIR] [--format text|json] [--jobs N]
                 [--baseline FILE] [--write-baseline]
+                [--graph call|lock] [--verify-report FILE]
 
-  --root DIR        workspace root to scan (default: .)
-  --format FMT      `text` (default) or `json`
-  --baseline FILE   ratchet file; findings covered by it do not fail
-  --write-baseline  rewrite FILE from the current findings and exit 0
+  --root DIR           workspace root to scan (default: .)
+  --format FMT         `text` (default) or `json`
+  --jobs N             scan with N threads (output identical for any N)
+  --baseline FILE      ratchet file; findings covered by it do not fail
+  --write-baseline     rewrite FILE from the current findings and exit 0
+  --graph KIND         print the record-entry call graph (`call`) or the
+                       lock-order graph (`lock`) as DOT and exit
+  --verify-report FILE validate a --format json report (schema, chain
+                       shape, jsonio round-trip) and exit
 
 exit status: 0 clean (no new findings), 1 new findings, 2 usage/IO error
 ";
@@ -375,6 +574,9 @@ pub fn run_cli(args: &[String]) -> i32 {
     let mut format = Format::Text;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut jobs: usize = 1;
+    let mut graph_kind: Option<String> = None;
+    let mut verify_path: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -388,11 +590,23 @@ pub fn run_cli(args: &[String]) -> i32 {
                 Some("json") => format = Format::Json,
                 other => return usage_error(&format!("--format must be text|json, got {other:?}")),
             },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return usage_error("--jobs needs a positive integer"),
+            },
             "--baseline" => match it.next() {
                 Some(v) => baseline_path = Some(PathBuf::from(v)),
                 None => return usage_error("--baseline needs a value"),
             },
             "--write-baseline" => write_baseline = true,
+            "--graph" => match it.next() {
+                Some(v) => graph_kind = Some(v.clone()),
+                None => return usage_error("--graph needs call|lock"),
+            },
+            "--verify-report" => match it.next() {
+                Some(v) => verify_path = Some(PathBuf::from(v)),
+                None => return usage_error("--verify-report needs a value"),
+            },
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return 0;
@@ -401,7 +615,40 @@ pub fn run_cli(args: &[String]) -> i32 {
         }
     }
 
-    let mut scan = match scan_workspace(&root) {
+    if let Some(path) = verify_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smi-lint: cannot read {}: {e}", path.display());
+                return 2;
+            }
+        };
+        return match verify_report(&text) {
+            Ok(n) => {
+                println!("smi-lint: report {} is valid ({n} finding(s))", path.display());
+                0
+            }
+            Err(e) => {
+                eprintln!("smi-lint: report {} is invalid: {e}", path.display());
+                2
+            }
+        };
+    }
+
+    if let Some(kind) = graph_kind {
+        return match export_graph(&root, &kind) {
+            Ok(dot) => {
+                print!("{dot}");
+                0
+            }
+            Err(e) => {
+                eprintln!("smi-lint: {e}");
+                2
+            }
+        };
+    }
+
+    let mut scan = match scan_workspace_jobs(&root, jobs) {
         Ok(scan) => scan,
         Err(e) => {
             eprintln!("smi-lint: {e}");
@@ -500,6 +747,7 @@ mod tests {
             path: "crates/machine/src/x.rs".into(),
             line,
             message: "m".into(),
+            chain: Vec::new(),
             new: true,
         };
         let findings = vec![mk(3), mk(9)];
@@ -525,6 +773,7 @@ mod tests {
             path: "crates/nas/src/x.rs".into(),
             line: 1,
             message: "m".into(),
+            chain: Vec::new(),
             new: false,
         }];
         assert_eq!(b.apply(&mut f), 1);

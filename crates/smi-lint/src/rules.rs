@@ -65,10 +65,31 @@ pub const FLOAT_REDUCE: Rule =
     Rule { id: "SMI005", name: "float-reduce", severity: Severity::Deny };
 /// SMI006 unsafe (crate root must deny unsafe_code or justify it).
 pub const UNSAFE_ROOT: Rule = Rule { id: "SMI006", name: "unsafe", severity: Severity::Deny };
+/// SMI007 nd-taint: a nondeterminism source (wall clock, ambient
+/// authority, hash-order iteration, thread identity) is reachable over
+/// the conservative call graph from a record-producing entry point.
+pub const ND_TAINT: Rule = Rule { id: "SMI007", name: "nd-taint", severity: Severity::Deny };
+/// SMI008 lock-order: a cycle in the interprocedural lock-acquisition
+/// order graph — a potential deadlock under parallel execution.
+pub const LOCK_ORDER: Rule = Rule { id: "SMI008", name: "lock-order", severity: Severity::Deny };
+/// SMI009 panic-path: a panic site (`unwrap`/`expect`/`panic!`/the
+/// `assert!` family) is reachable over the call graph from a
+/// record-producing entry point — the derived form of the strict
+/// no-panic regime.
+pub const PANIC_PATH: Rule = Rule { id: "SMI009", name: "panic-path", severity: Severity::Deny };
 
 /// All rules, in ID order.
-pub const ALL_RULES: [Rule; 6] =
-    [HASH_ITER, WALL_CLOCK, HERMETICITY, NO_PANIC, FLOAT_REDUCE, UNSAFE_ROOT];
+pub const ALL_RULES: [Rule; 9] = [
+    HASH_ITER,
+    WALL_CLOCK,
+    HERMETICITY,
+    NO_PANIC,
+    FLOAT_REDUCE,
+    UNSAFE_ROOT,
+    ND_TAINT,
+    LOCK_ORDER,
+    PANIC_PATH,
+];
 
 /// Which rules apply to one file, derived from the crate policy table in
 /// [`crate::policy_for`] plus the file's own path.
@@ -91,6 +112,20 @@ pub struct FilePolicy {
     pub is_crate_root: bool,
 }
 
+/// One step of a call chain attached to an interprocedural finding
+/// (SMI007/SMI008/SMI009): a function (or lock-graph edge) with its
+/// definition site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainStep {
+    /// What this step is: a qualified function name (`mpi_sim::run`) or
+    /// a lock-edge description (`lock `a` then `b``).
+    pub what: String,
+    /// Workspace-relative path of the step's definition / witness site.
+    pub path: String,
+    /// 1-based line of the step.
+    pub line: u32,
+}
+
 /// One finding.
 #[derive(Clone, Debug)]
 pub struct Finding {
@@ -104,6 +139,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description with a remediation hint.
     pub message: String,
+    /// For interprocedural rules (SMI007–SMI009): the full call chain
+    /// from the entry point to the flagged site. Empty for line rules.
+    pub chain: Vec<ChainStep>,
     /// Set by the baseline layer: finding is not covered by the baseline.
     pub new: bool,
 }
@@ -131,6 +169,7 @@ pub fn scan_source(crate_name: &str, path: &str, policy: &FilePolicy, src: &str)
         path: path.to_string(),
         line,
         message,
+        chain: Vec::new(),
         new: true,
     };
 
@@ -323,19 +362,7 @@ pub fn scan_source(crate_name: &str, path: &str, policy: &FilePolicy, src: &str)
             out.findings.push(f);
             continue;
         }
-        let allowed = |line: u32| {
-            pragmas.get(&line).is_some_and(|names| names.iter().any(|n| n == f.rule.name))
-        };
-        let mut suppressed = allowed(f.line);
-        let mut line = f.line;
-        while !suppressed && line > 1 && !code_lines.contains(&(line - 1)) {
-            line -= 1;
-            suppressed = allowed(line);
-            if !pragmas.contains_key(&line) && !suppressed && f.line - line > 16 {
-                break;
-            }
-        }
-        if suppressed {
+        if pragma_allows(&pragmas, &code_lines, f.line, &[f.rule.name]) {
             out.suppressed += 1;
         } else {
             out.findings.push(f);
@@ -345,8 +372,36 @@ pub fn scan_source(crate_name: &str, path: &str, policy: &FilePolicy, src: &str)
     out
 }
 
+/// Is a finding at `line` suppressed by an `allow` pragma naming any of
+/// `names` — on the same line, or anywhere in the contiguous block of
+/// comment-only lines directly above it (multi-line justifications)?
+pub(crate) fn pragma_allows(
+    pragmas: &BTreeMap<u32, Vec<String>>,
+    code_lines: &std::collections::BTreeSet<u32>,
+    at: u32,
+    names: &[&str],
+) -> bool {
+    let allowed = |line: u32| {
+        pragmas.get(&line).is_some_and(|have| have.iter().any(|n| names.contains(&n.as_str())))
+    };
+    if allowed(at) {
+        return true;
+    }
+    let mut line = at;
+    while line > 1 && !code_lines.contains(&(line - 1)) {
+        line -= 1;
+        if allowed(line) {
+            return true;
+        }
+        if !pragmas.contains_key(&line) && at - line > 16 {
+            break;
+        }
+    }
+    false
+}
+
 /// `// smi-lint: allow(a, b): reason` comments, keyed by line.
-fn collect_pragmas(toks: &[Tok]) -> BTreeMap<u32, Vec<String>> {
+pub(crate) fn collect_pragmas(toks: &[Tok]) -> BTreeMap<u32, Vec<String>> {
     let mut out: BTreeMap<u32, Vec<String>> = BTreeMap::new();
     for t in toks {
         if t.kind != TokKind::LineComment {
@@ -368,7 +423,7 @@ fn collect_pragmas(toks: &[Tok]) -> BTreeMap<u32, Vec<String>> {
 
 /// Per-token "is test code" flags: true inside `#[cfg(test)]` / `#[test]`
 /// items (attribute token runs themselves keep the enclosing flag).
-fn mark_test_regions(code: &[&Tok]) -> Vec<bool> {
+pub(crate) fn mark_test_regions(code: &[&Tok]) -> Vec<bool> {
     let mut flags = vec![false; code.len()];
     let mut depth: i32 = 0;
     // Depth at which a test attribute is waiting for its item body.

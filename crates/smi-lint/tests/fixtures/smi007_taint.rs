@@ -1,0 +1,20 @@
+//! SMI007 fixture: a wall-clock read laundered through two calls from
+//! the record entry point, plus an unreachable clock that must not fire.
+
+pub fn run() -> u64 {
+    let cfg = prepare();
+    stamp(cfg)
+}
+
+fn prepare() -> u64 {
+    7
+}
+
+fn stamp(x: u64) -> u64 {
+    let t = Instant::now();
+    x.wrapping_add(t.elapsed().as_nanos() as u64)
+}
+
+fn dead_code_clock() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,25 @@
+//! SMI008 fixture: `journal` and `cache` acquired in opposite orders,
+//! one side through a helper call — the cycle the pass must report.
+
+pub struct Store;
+
+impl Store {
+    pub fn publish(&self) {
+        let _j = self.journal.lock();
+        self.flush_cache();
+    }
+
+    fn flush_cache(&self) {
+        let _c = self.cache.lock();
+    }
+
+    pub fn evict(&self) {
+        let _c = self.cache.lock();
+        let _j = self.journal.lock();
+    }
+
+    pub fn consistent(&self) {
+        let _j = self.journal.lock();
+        let _c = self.cache.lock();
+    }
+}

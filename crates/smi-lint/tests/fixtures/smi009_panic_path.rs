@@ -1,0 +1,25 @@
+//! SMI009 fixture: an unwrap three calls below the record entry point,
+//! a justified (pragma'd) unwrap that must count as suppressed, and an
+//! unreachable panic that must not fire.
+
+pub fn run(spec: Option<u32>) -> u32 {
+    dispatch(spec)
+}
+
+fn dispatch(spec: Option<u32>) -> u32 {
+    decode(spec).wrapping_add(justified(spec))
+}
+
+fn decode(spec: Option<u32>) -> u32 {
+    spec.unwrap()
+}
+
+fn justified(spec: Option<u32>) -> u32 {
+    // smi-lint: allow(panic-path): spec is Some for every caller by
+    // construction of the campaign table.
+    spec.unwrap()
+}
+
+fn dead_code_panic() {
+    panic!("never reached from an entry point");
+}

@@ -2,7 +2,10 @@
 //! line, pragmas suppress, the baseline ratchets, and — the keystone —
 //! the real workspace is lint-clean.
 
+use smi_lint::graph::{flat_closure, CallGraph};
+use smi_lint::parser::{parse_source, ParsedFile};
 use smi_lint::rules::{scan_source, FilePolicy};
+use smi_lint::taint;
 use smi_lint::{policy_for, scan_workspace, Baseline};
 use std::path::Path;
 
@@ -171,6 +174,155 @@ fn fixtures_are_not_scanned_by_the_workspace_walk() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let scan = scan_workspace(&root).expect("scan workspace");
     assert!(scan.findings.iter().all(|f| !f.path.contains("fixtures")));
+}
+
+// ---------------------------------------------------------------------
+// SMI007..SMI009: the whole-workspace passes over fixture graphs.
+// ---------------------------------------------------------------------
+
+/// Parse a fixture as the `mpi-sim` crate so the shipped entry-point
+/// selection (`mpi_sim::run`) applies, and build its call graph.
+fn fixture_graph(name: &str) -> (Vec<ParsedFile>, CallGraph) {
+    let pf = parse_source("mpi-sim", name, &fixture(name));
+    let g = CallGraph::build(std::slice::from_ref(&pf), &flat_closure(&["mpi-sim"]));
+    (vec![pf], g)
+}
+
+#[test]
+fn smi007_chain_renders_entry_to_site() {
+    let (files, g) = fixture_graph("smi007_taint.rs");
+    let entries = taint::workspace_entries(&g, &files);
+    assert_eq!(entries.len(), 1, "exactly the `run` entry");
+    let r = taint::smi007(&files, &g, &entries);
+    assert_eq!(r.findings.len(), 1, "the dead-code clock must not fire: {:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!((f.rule.id, f.line), ("SMI007", 14));
+    let chain: Vec<(&str, u32)> = f.chain.iter().map(|s| (s.what.as_str(), s.line)).collect();
+    assert_eq!(chain, [("mpi_sim::run", 4), ("mpi_sim::stamp", 13)]);
+
+    // Golden text rendering: one indented `via` line per chain step.
+    let scan = smi_lint::WorkspaceScan {
+        findings: r.findings.clone(),
+        suppressed: r.suppressed,
+        files_scanned: 1,
+    };
+    let text = smi_lint::render_report(&scan, 1, smi_lint::Format::Text);
+    let want = "smi007_taint.rs:14: SMI007 nd-taint [deny]: \
+                `Instant::now` (wall clock) in `mpi_sim::stamp` is reachable from \
+                record entry point `mpi_sim::run`";
+    assert!(text.contains(want), "text rendering drifted:\n{text}");
+    assert!(text.contains("    via mpi_sim::run (smi007_taint.rs:4)\n"), "{text}");
+    assert!(text.contains("    via mpi_sim::stamp (smi007_taint.rs:13)\n"), "{text}");
+}
+
+#[test]
+fn smi008_reports_the_lock_cycle_with_witnesses() {
+    let (files, g) = fixture_graph("smi008_lock_order.rs");
+    let r = taint::smi008(&files, &g);
+    assert_eq!(r.findings.len(), 1, "one canonical cycle: {:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule.id, "SMI008");
+    assert!(f.message.contains("cache -> journal -> cache"), "{}", f.message);
+    assert_eq!(f.chain.len(), 2, "one witness per edge: {:?}", f.chain);
+    assert!(
+        f.chain.iter().any(|s| s.what.contains("evict")),
+        "the opposite-order acquisition is a witness: {:?}",
+        f.chain
+    );
+}
+
+#[test]
+fn smi009_chain_and_pragma_accounting() {
+    let (files, g) = fixture_graph("smi009_panic_path.rs");
+    let entries = taint::strict_entries(&g, &files);
+    let r = taint::smi009(&files, &g, &entries);
+    assert_eq!(r.findings.len(), 1, "dead panic must not fire: {:?}", r.findings);
+    assert_eq!(r.suppressed, 1, "the justified unwrap counts as suppressed");
+    let f = &r.findings[0];
+    assert_eq!((f.rule.id, f.line), ("SMI009", 14));
+    let chain: Vec<&str> = f.chain.iter().map(|s| s.what.as_str()).collect();
+    assert_eq!(chain, ["mpi_sim::run", "mpi_sim::dispatch", "mpi_sim::decode"]);
+}
+
+#[test]
+fn json_report_with_chains_round_trips() {
+    let (files, g) = fixture_graph("smi009_panic_path.rs");
+    let entries = taint::strict_entries(&g, &files);
+    let r = taint::smi009(&files, &g, &entries);
+    let scan = smi_lint::WorkspaceScan {
+        findings: r.findings,
+        suppressed: r.suppressed,
+        files_scanned: 1,
+    };
+    let json = smi_lint::render_report(&scan, 1, smi_lint::Format::Json);
+    let n = smi_lint::verify_report(&json).expect("report must validate");
+    assert_eq!(n, 1);
+}
+
+/// Determinism of the graph passes themselves: building and analyzing
+/// the real workspace twice yields byte-identical findings and DOT.
+#[test]
+fn graph_passes_are_deterministic_and_self_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run_once = || {
+        let units = smi_lint::workspace_files(&root).expect("walk");
+        let parsed: Vec<ParsedFile> = units
+            .iter()
+            .map(|(c, rel, abs)| parse_source(c, rel, &std::fs::read_to_string(abs).expect("read")))
+            .collect();
+        let deps = smi_lint::graph::workspace_deps(&root).expect("deps");
+        let g = CallGraph::build(&parsed, &deps);
+        let record = taint::workspace_entries(&g, &parsed);
+        let strict = taint::strict_entries(&g, &parsed);
+        let mut findings = taint::smi007(&parsed, &g, &record).findings;
+        findings.extend(taint::smi008(&parsed, &g).findings);
+        findings.extend(taint::smi009(&parsed, &g, &strict).findings);
+        let rendered: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}:{}: {} {}", f.path, f.line, f.rule.id, f.message))
+            .collect();
+        (rendered, g.to_dot(&record))
+    };
+    let (a, dot_a) = run_once();
+    let (b, dot_b) = run_once();
+    assert_eq!(a, b, "pass output must be run-to-run identical");
+    assert_eq!(dot_a, dot_b, "DOT export must be run-to-run identical");
+    assert!(a.is_empty(), "graph passes must be clean on the workspace:\n{}", a.join("\n"));
+}
+
+/// The hand-maintained strict lists are a *subset* of what SMI009
+/// derives: every listed file (with at least one non-test function) is
+/// reachable from the strict entry points, so retiring the lists for
+/// the derived property loses no coverage.
+#[test]
+fn hand_strict_lists_are_within_the_derived_reachable_set() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let units = smi_lint::workspace_files(&root).expect("walk");
+    let parsed: Vec<ParsedFile> = units
+        .iter()
+        .map(|(c, rel, abs)| parse_source(c, rel, &std::fs::read_to_string(abs).expect("read")))
+        .collect();
+    let deps = smi_lint::graph::workspace_deps(&root).expect("deps");
+    let g = CallGraph::build(&parsed, &deps);
+    let entries = taint::strict_entries(&g, &parsed);
+    assert!(!entries.is_empty(), "run/run_with and schedule impls must be found");
+    let reachable = taint::panic_reachable_files(&g, &entries);
+
+    let mut covered: Vec<&str> = Vec::new();
+    for pf in &parsed {
+        let in_hand_lists = smi_lint::strict_no_panic(&pf.path);
+        let has_shipping_fns = pf.fns.iter().any(|f| !f.in_test);
+        if in_hand_lists && has_shipping_fns {
+            covered.push(&pf.path);
+            assert!(
+                reachable.contains(&pf.path),
+                "{} is in the hand-maintained strict lists but not in the \
+                 SMI009-derived reachable set",
+                pf.path
+            );
+        }
+    }
+    assert!(covered.len() >= 8, "the cross-check must bite: {covered:?}");
 }
 
 /// The policy table wiring: spot-check a few files against the shipped

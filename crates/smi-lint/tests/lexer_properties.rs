@@ -1,0 +1,111 @@
+//! Property suite for the lexer (and, riding along, the item parser):
+//! on arbitrary input — random char soup and adversarial Rust-ish
+//! fragments alike — lexing must never panic, and the token spans must
+//! partition the input: strictly increasing, non-overlapping, every
+//! char outside all spans whitespace, and each span's text equal to the
+//! token's recorded text.
+
+use smi_lint::lexer::{lex, Tok};
+use smi_lint::parser::parse_source;
+
+/// Fragments chosen to sit on the lexer's edge cases: raw strings with
+/// varying hash counts, nested/unterminated comments, char-vs-lifetime
+/// ambiguity, escapes, and multibyte text.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "r#\"raw \"inner\" text\"#",
+    "br##\"double hash\"##",
+    "r\"plain raw\"",
+    "b\"bytes \\\" esc\"",
+    "/* outer /* nested */ tail */",
+    "/* unterminated",
+    "// line comment",
+    "'a'",
+    "'\\n'",
+    "'\\''",
+    "'lifetime",
+    "&'static str",
+    "\"unterminated string",
+    "\"esc \\\" quote\"",
+    "1_000.5f64",
+    "0..4",
+    "x.0.iter()",
+    "日本語のテキスト",
+    "émoji 🦀 soup",
+    "r",
+    "b",
+    "#",
+    "\\",
+    "'",
+    "\"",
+    "\n",
+    "\t  ",
+];
+
+/// A generated input: either random char soup or glued fragments.
+fn gen_input(g: &mut quickprop::Gen) -> String {
+    if g.bool() {
+        // Char soup over a range that includes multibyte planes.
+        let chars = g.vec(0..200, |g| {
+            let c = g.u32(0..0xD7FF);
+            char::from_u32(c).unwrap_or('x')
+        });
+        chars.into_iter().collect()
+    } else {
+        let parts = g.vec(0..24, |g| g.pick(FRAGMENTS));
+        parts.join(if g.bool() { " " } else { "" })
+    }
+}
+
+fn check_partition(src: &str, toks: &[Tok]) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut prev_end = 0usize;
+    for t in toks {
+        let (start, end) = t.span;
+        assert!(start >= prev_end, "overlapping/unordered span {:?} after {prev_end}", t.span);
+        assert!(start < end, "empty span {:?} for {:?}", t.span, t.kind);
+        assert!(end <= chars.len(), "span {:?} beyond input len {}", t.span, chars.len());
+        for &c in &chars[prev_end..start] {
+            assert!(c.is_whitespace(), "non-whitespace char {c:?} outside every token span");
+        }
+        let spanned: String = chars[start..end].iter().collect();
+        assert_eq!(spanned, t.text, "span text and token text disagree for {:?}", t.kind);
+        prev_end = end;
+    }
+    for &c in &chars[prev_end..] {
+        assert!(c.is_whitespace(), "non-whitespace trailing char {c:?} outside every span");
+    }
+}
+
+#[test]
+fn lexing_never_panics_and_spans_partition_the_input() {
+    quickprop::check("lexer_span_partition", 512, |g| {
+        let src = gen_input(g);
+        let toks = lex(&src);
+        check_partition(&src, &toks);
+    });
+}
+
+#[test]
+fn line_numbers_match_span_positions() {
+    quickprop::check("lexer_line_numbers", 256, |g| {
+        let src = gen_input(g);
+        let chars: Vec<char> = src.chars().collect();
+        for t in lex(&src) {
+            let line = 1 + chars[..t.span.0].iter().filter(|&&c| c == '\n').count() as u32;
+            assert_eq!(t.line, line, "token {:?} carries the wrong line", t.kind);
+        }
+    });
+}
+
+#[test]
+fn item_parsing_never_panics_on_arbitrary_input() {
+    quickprop::check("parser_total", 256, |g| {
+        let src = gen_input(g);
+        let pf = parse_source("fuzz", "fuzz.rs", &src);
+        // Sanity on what comes back, whatever the input was.
+        for f in &pf.fns {
+            assert!(f.line >= 1);
+        }
+    });
+}
