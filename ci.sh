@@ -11,8 +11,11 @@ cargo test -q --workspace --offline
 # sweeping, and crash-safe resume — plus fault-path equivalence of the
 # optimized engine hot path (calendar queue / cursor cache / arena):
 # real simulation cells retried under injected faults must reproduce
-# the fault-free bytes (tests/chaos_engine_equivalence.rs). See
-# DESIGN.md "Failure semantics" and §10 "Performance methodology".
+# the fault-free bytes (tests/chaos_engine_equivalence.rs), and the
+# process-isolation gate (tests/isolate.rs): campaigns against a real
+# worker subprocess surviving SIGKILL, abort(), hangs, and deadline
+# kills with byte-identical surviving records. See DESIGN.md "Failure
+# semantics", §10 "Performance methodology", and §13.
 cargo test -q -p runner --features chaos --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo clippy -p runner --features chaos --all-targets --offline -- -D warnings
@@ -49,6 +52,28 @@ rm -rf "$LINT_SCRATCH"
 NOISE_SMOKE_DIR="$(mktemp -d)"
 ./target/release/smi-lab noise --quick --no-cache --cache-dir "$NOISE_SMOKE_DIR" >/dev/null
 rm -rf "$NOISE_SMOKE_DIR"
+# Isolation smoke: process-isolated campaign execution end-to-end
+# (DESIGN.md §13). One campaign under --isolate with a worker SIGKILLed
+# on a named cell must exit degraded (1) with the cell quarantined as
+# worker-crash; a --resume without the kill must heal to exit 0
+# recomputing only that cell; and the final records must be
+# byte-identical to a plain in-process run — subprocess transport,
+# crash recovery, and cache replay all invisible in the record bytes.
+ISO_SMOKE_DIR="$(mktemp -d)"
+./target/release/smi-lab table2 --quick --no-cache \
+    --cache-dir "$ISO_SMOKE_DIR/cache" \
+    --records "$ISO_SMOKE_DIR/inproc.jsonl" >/dev/null
+rc=0
+./target/release/smi-lab table2 --quick --jobs 2 --isolate \
+    --isolate-kill A-n1-r1 \
+    --cache-dir "$ISO_SMOKE_DIR/cache" >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 1
+grep -q '"worker-crash"' "$ISO_SMOKE_DIR/cache/manifests/table2.json"
+./target/release/smi-lab table2 --quick --jobs 2 --isolate --resume \
+    --cache-dir "$ISO_SMOKE_DIR/cache" \
+    --records "$ISO_SMOKE_DIR/isolated.jsonl" >/dev/null
+cmp "$ISO_SMOKE_DIR/inproc.jsonl" "$ISO_SMOKE_DIR/isolated.jsonl"
+rm -rf "$ISO_SMOKE_DIR"
 # Bench smoke: the perf harness end-to-end at a tiny sample count,
 # writing to a scratch path so the committed BENCH_engine.json baseline
 # (recorded at the default 40 samples) is never clobbered by CI. A zero

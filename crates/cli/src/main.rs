@@ -5,7 +5,8 @@
 //! smi-lab <command> [--reps N] [--seed N] [--quick] [--validate]
 //!                   [--jobs N] [--resume] [--no-cache] [--cache-dir DIR]
 //!                   [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]
-//!                   [--noise SPEC]
+//!                   [--noise SPEC] [--isolate] [--deadline-units N]
+//!                   [--isolate-watchdog-ms N]
 //!
 //! commands:
 //!   table1      BT under SMM 0/1/2            (Table 1)
@@ -36,6 +37,25 @@
 //! completed cells persist in a content-hash cache under `--cache-dir`
 //! (default `results/cache`) so re-runs and `--resume` skip them, and
 //! `--records FILE` writes one canonical JSONL record per cell.
+//!
+//! `--isolate` moves execution into supervised worker *subprocesses*
+//! (`--jobs N` becomes the worker count): a cell that segfaults, aborts,
+//! is OOM-killed, or wedges takes down only its worker — the supervisor
+//! re-spawns the worker (bounded backoff), re-runs the cell up to the
+//! ordinary attempt budget, then quarantines it with a machine-readable
+//! `worker-crash` reason. Records are byte-identical to an in-process
+//! run. `--deadline-units N` adds a deterministic per-cell budget in
+//! engine work units (quarantine reason `deadline`, reproducible on
+//! every rerun — no wall clock involved); `--isolate-watchdog-ms N`
+//! tunes the supervisor's wall-clock liveness watchdog (default 30000),
+//! which decides only when a silent worker is presumed wedged, never
+//! what any record contains. The hidden `worker` subcommand is the
+//! subprocess half of this mode; it is not meant to be run by hand.
+//!
+//! One campaign per (cache dir, experiment label) at a time: a lock file
+//! next to the journal makes a concurrent duplicate campaign fail fast
+//! (exit 2) instead of silently corrupting the resume journal. A lock
+//! left by a SIGKILLed run is detected as stale and broken automatically.
 //!
 //! `--validate` runs the engine's opt-in end-of-run audits (message
 //! conservation, byte tallies, freeze-schedule coverage) on every
@@ -100,6 +120,10 @@ struct Args {
     svg_dir: Option<String>,
     json_dir: Option<String>,
     noise: Option<String>,
+    isolate: bool,
+    deadline_units: u64,
+    isolate_watchdog_ms: Option<u64>,
+    isolate_kill: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -115,6 +139,10 @@ fn parse_args() -> Result<Args, String> {
     let mut svg_dir = None;
     let mut json_dir = None;
     let mut noise = None;
+    let mut isolate = false;
+    let mut deadline_units = 0u64;
+    let mut isolate_watchdog_ms = None;
+    let mut isolate_kill = Vec::new();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -157,6 +185,24 @@ fn parse_args() -> Result<Args, String> {
             "--noise" => {
                 noise = Some(it.next().ok_or("--noise needs a spec (name[:k=v,...])")?.clone());
             }
+            "--isolate" => isolate = true,
+            "--deadline-units" => {
+                let v = it.next().ok_or("--deadline-units needs a value")?;
+                deadline_units = v.parse().map_err(|_| format!("bad --deadline-units {v}"))?;
+            }
+            "--isolate-watchdog-ms" => {
+                let v = it.next().ok_or("--isolate-watchdog-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --isolate-watchdog-ms {v}"))?;
+                if ms == 0 {
+                    return Err("--isolate-watchdog-ms must be at least 1".into());
+                }
+                isolate_watchdog_ms = Some(ms);
+            }
+            // Fault injection for the CI kill-resume gate: SIGKILL the
+            // worker whenever this cell is dispatched. Repeatable.
+            "--isolate-kill" => {
+                isolate_kill.push(it.next().ok_or("--isolate-kill needs a cell label")?.clone());
+            }
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
             }
@@ -165,6 +211,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if resume && no_cache {
         return Err("--resume and --no-cache are mutually exclusive".into());
+    }
+    if (deadline_units > 0 || isolate_watchdog_ms.is_some() || !isolate_kill.is_empty())
+        && !isolate
+        && command.as_deref() != Some("worker")
+    {
+        return Err("--deadline-units/--isolate-watchdog-ms/--isolate-kill need --isolate".into());
     }
     Ok(Args {
         command: command.ok_or("no command given (try `smi-lab all --quick`)")?,
@@ -180,6 +232,10 @@ fn parse_args() -> Result<Args, String> {
         svg_dir,
         json_dir,
         noise,
+        isolate,
+        deadline_units,
+        isolate_watchdog_ms,
+        isolate_kill,
     })
 }
 
@@ -203,13 +259,84 @@ fn runner_for(args: &Args) -> Runner {
             runs: p.runs,
         }
     }));
+    if args.isolate {
+        r.isolate = Some(isolate_config(args));
+    }
     r
+}
+
+/// Supervision config for `--isolate`: the worker command re-executes
+/// this binary as `smi-lab worker` with exactly the options that shape
+/// cell identity (reps, seed, validate, the custom noise spec), so the
+/// worker rebuilds the same catalog the supervisor queues from.
+fn isolate_config(args: &Args) -> runner::supervisor::IsolateConfig {
+    let exe = std::env::current_exe()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|_| "smi-lab".to_string());
+    let mut cmd = vec![
+        exe,
+        "worker".to_string(),
+        "--reps".to_string(),
+        args.opts.reps.to_string(),
+        "--seed".to_string(),
+        args.opts.seed.to_string(),
+    ];
+    if args.opts.validate {
+        cmd.push("--validate".to_string());
+    }
+    if let Some(spec) = &args.noise {
+        cmd.push("--noise".to_string());
+        cmd.push(spec.clone());
+    }
+    let mut cfg = runner::supervisor::IsolateConfig::new(cmd);
+    cfg.workers = args.jobs;
+    cfg.deadline_units = args.deadline_units;
+    if let Some(ms) = args.isolate_watchdog_ms {
+        cfg.watchdog_ms = ms;
+    }
+    cfg.kill_cells = args.isolate_kill.clone();
+    cfg
+}
+
+/// The complete cell catalog this build can produce — every table,
+/// figure, noise, and study cell. The `worker` subcommand serves from it
+/// so any experiment command (including `all`) can dispatch to the same
+/// worker; lookups are by cell identity, so the unused entries cost one
+/// closure each and no simulation work.
+fn full_catalog(args: &Args) -> Vec<Cell> {
+    let mut cells: Vec<Cell> = Vec::new();
+    for bench in [Bench::Bt, Bench::Ep, Bench::Ft] {
+        cells.extend(table_cells(bench, &args.opts));
+    }
+    for bench in [Bench::Ep, Bench::Ft] {
+        cells.extend(htt_cells(bench, &args.opts));
+    }
+    cells.extend(figure1_cells(&fig1_opts(&args.opts)));
+    cells.extend(figure2_cells(&args.opts));
+    let mut noise_specs: Vec<String> =
+        noise::FIXED_BUDGET_SPECS.iter().map(|s| s.to_string()).collect();
+    if let Some(spec) = &args.noise {
+        noise_specs.push(spec.clone());
+    }
+    cells.extend(noise_specs.iter().map(|s| noise_cell(&args.opts, s)));
+    for (name, render) in xcmds::ALL_STUDIES {
+        cells.push(text_cell(name, &args.opts, render));
+    }
+    cells
 }
 
 /// Run one labelled batch of cells through the runner; append its JSONL
 /// records (if `--records`) and write the run manifest.
 fn execute(args: &Args, label: &str, cells: Vec<Cell>) -> runner::RunReport {
-    let report = runner_for(args).run(label, cells);
+    let report = match runner_for(args).try_run(label, cells) {
+        Ok(report) => report,
+        // Another live campaign holds this label's journal lock: fail
+        // fast and loud before touching any shared state.
+        Err(runner::RunnerError::Locked(held)) => {
+            eprintln!("error: {held}");
+            std::process::exit(2);
+        }
+    };
     note_status(report.status());
     if let Some(path) = &args.records {
         use std::io::Write as _;
@@ -628,10 +755,18 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|noise|report|all|lint|bench> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR] [--noise SPEC]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|noise|report|all|lint|bench> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR] [--noise SPEC] [--isolate] [--deadline-units N] [--isolate-watchdog-ms N]");
             std::process::exit(2);
         }
     };
+    // The hidden subprocess half of `--isolate`: serve cells from the
+    // full catalog over the framed stdin/stdout protocol until EOF or
+    // Shutdown. Handled before any records/cache side effects — the
+    // supervisor owns those.
+    if args.command == "worker" {
+        let perf_probe = runner_for(&args).perf_probe;
+        std::process::exit(runner::worker::serve(full_catalog(&args), perf_probe));
+    }
     // Records accumulate per batch within one invocation; start fresh.
     if let Some(path) = &args.records {
         if let Some(parent) = std::path::Path::new(path).parent() {

@@ -43,6 +43,14 @@ pub enum Fault {
     /// artificial straggler. Slows the campaign; must never change its
     /// bytes.
     Straggle(u64),
+    /// `std::process::abort()` on every attempt — kills the *whole
+    /// process*, no unwinding, no journal line from the victim. Only
+    /// meaningful under process isolation, where the supervisor must
+    /// survive it; in-process it would (correctly) take the test down.
+    Abort,
+    /// Never return: sleep in a loop forever. Under process isolation
+    /// the supervisor's wall-clock watchdog must shoot the worker.
+    Hang,
 }
 
 /// A deterministic fault schedule over a campaign.
@@ -61,6 +69,12 @@ pub struct ChaosPlan {
     pub permanent_per_mille: u32,
     /// Per-mille chance a cell gets [`Fault::Straggle`].
     pub straggler_per_mille: u32,
+    /// Per-mille chance a cell gets [`Fault::Abort`] (process death —
+    /// draw only makes sense for isolated-mode campaigns).
+    pub abort_per_mille: u32,
+    /// Per-mille chance a cell gets [`Fault::Hang`] (wedged forever —
+    /// draw only makes sense for isolated-mode campaigns).
+    pub hang_per_mille: u32,
     /// Attempts a transient fault consumes before the work succeeds.
     pub transient_attempts: u32,
     /// Straggler sleep, in milliseconds.
@@ -78,6 +92,8 @@ impl ChaosPlan {
             transient_per_mille: 0,
             permanent_per_mille: 0,
             straggler_per_mille: 0,
+            abort_per_mille: 0,
+            hang_per_mille: 0,
             transient_attempts: 1,
             straggle_millis: 1,
             pinned: Vec::new(),
@@ -101,6 +117,12 @@ impl ChaosPlan {
         }
         if (((h >> 20) % 1000) as u32) < self.straggler_per_mille {
             return Fault::Straggle(self.straggle_millis);
+        }
+        if (((h >> 30) % 1000) as u32) < self.abort_per_mille {
+            return Fault::Abort;
+        }
+        if (((h >> 40) % 1000) as u32) < self.hang_per_mille {
+            return Fault::Hang;
         }
         Fault::None
     }
@@ -164,6 +186,13 @@ pub fn afflict(plan: &ChaosPlan, cells: Vec<Cell>) -> Vec<Cell> {
                         Fault::Straggle(millis) => {
                             std::thread::sleep(std::time::Duration::from_millis(millis));
                         }
+                        Fault::Abort => {
+                            eprintln!("chaos: aborting process in {cell_label}");
+                            std::process::abort();
+                        }
+                        Fault::Hang => loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        },
                     }
                     inner()
                 }),

@@ -35,6 +35,11 @@ pub enum Status {
     Ok,
     /// The cell exhausted its attempt budget and was quarantined.
     Failed,
+    /// The cell's worker process died with the cell in flight (isolated
+    /// mode). Journaled at every death so a resumed campaign knows the
+    /// cell was dispatched but never finished; a later `ok` or `failed`
+    /// line for the same key wins.
+    Crashed,
 }
 
 impl Status {
@@ -43,6 +48,7 @@ impl Status {
         match self {
             Status::Ok => "ok",
             Status::Failed => "failed",
+            Status::Crashed => "crashed",
         }
     }
 
@@ -51,6 +57,7 @@ impl Status {
         match label {
             "ok" => Some(Status::Ok),
             "failed" => Some(Status::Failed),
+            "crashed" => Some(Status::Crashed),
             _ => None,
         }
     }

@@ -36,9 +36,22 @@
 //!   fault counters (quarantines, retries, cache I/O errors), a log₂
 //!   cell-latency histogram, and an ETA on stderr, plus a
 //!   machine-readable run manifest.
+//! * **Process isolation** ([`supervisor`] / [`worker`] / [`proto`]) —
+//!   an opt-in execution mode where cells run in supervised worker
+//!   *subprocesses* over a length-prefixed JSON pipe protocol. A
+//!   SIGKILLed, aborted, or hung worker never takes down the campaign:
+//!   its in-flight cell is journaled, deterministically reassigned up to
+//!   the same attempt budget, and finally quarantined with a
+//!   machine-readable `worker-crash` reason. Deterministic work-unit
+//!   deadlines (`deadline` quarantines) bound runaway cells without
+//!   consulting wall clock on the verdict path.
+//! * **Campaign lock** ([`lockfile`]) — one live campaign per
+//!   (cache dir, label); a second concurrent campaign fails fast with a
+//!   typed error instead of silently interleaving journal writes.
 //! * **Chaos harness** ([`chaos`], test/`chaos`-feature gated) — seeded,
-//!   deterministic fault injection (panics, corrupt/truncated cache
-//!   entries, torn temp files, stragglers) proving every recovery path.
+//!   deterministic fault injection (panics, aborts, hangs,
+//!   corrupt/truncated cache entries, torn temp files, stragglers)
+//!   proving every recovery path.
 //!
 //! A finished run maps to a process exit discipline via [`RunStatus`]:
 //! `0` clean, `1` degraded (invalid cells were quarantined with typed
@@ -52,8 +65,14 @@ pub mod cache;
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
 pub mod journal;
+pub mod lockfile;
 pub mod pool;
+pub mod proto;
+pub mod supervisor;
 pub mod telemetry;
+#[cfg(any(test, feature = "chaos"))]
+pub mod testcells;
+pub mod worker;
 
 use jsonio::Json;
 use std::path::PathBuf;
@@ -84,7 +103,7 @@ pub type PerfProbe = Arc<dyn Fn() -> EnginePerf + Send + Sync>;
 
 /// The stable identity of one experiment cell — everything that
 /// determines its output, and therefore its cache key.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellSpec {
     /// Experiment id (`"table2"`, `"figure1"`, `"x-detect"`, ...).
     pub experiment: String,
@@ -165,6 +184,10 @@ pub struct Runner {
     /// Counters never touch cell payloads, so records stay byte-stable
     /// whether or not a probe is installed.
     pub perf_probe: Option<PerfProbe>,
+    /// Process-isolated execution (`--isolate`): when set, cells run in
+    /// supervised worker *subprocesses* instead of in-process threads —
+    /// see [`supervisor`]. `None` keeps the classic in-process pool.
+    pub isolate: Option<supervisor::IsolateConfig>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -177,6 +200,7 @@ impl std::fmt::Debug for Runner {
             .field("verbose", &self.verbose)
             .field("max_attempts", &self.max_attempts)
             .field("perf_probe", &self.perf_probe.is_some())
+            .field("isolate", &self.isolate)
             .finish()
     }
 }
@@ -194,6 +218,7 @@ impl Runner {
             verbose: true,
             max_attempts: 3,
             perf_probe: None,
+            isolate: None,
         }
     }
 
@@ -201,7 +226,46 @@ impl Runner {
     /// outcomes in submission order. A panicking cell never aborts the
     /// campaign: it is retried up to [`Runner::max_attempts`] times and
     /// then quarantined into the report.
+    ///
+    /// Infallible wrapper over [`Runner::try_run`]: a campaign that
+    /// cannot even start (another live campaign holds the lock) is
+    /// rendered as an aborted, degraded report with a typed quarantine
+    /// entry instead of an `Err` — callers that want to branch on the
+    /// typed error use `try_run` directly.
     pub fn run(&self, label: &str, cells: Vec<Cell>) -> RunReport {
+        match self.try_run(label, cells) {
+            Ok(report) => report,
+            Err(RunnerError::Locked(held)) => {
+                eprintln!("[runner] {label}: {held}");
+                aborted_report(self, label, &held)
+            }
+        }
+    }
+
+    /// [`Runner::run`], except a campaign that cannot start returns the
+    /// typed [`RunnerError`] instead of a synthesized degraded report.
+    ///
+    /// Holds the exclusive campaign lock (`<cache>/journal/<label>.lock`)
+    /// for the whole run whenever the cache is active: two concurrent
+    /// campaigns over the same journal would interleave appends and
+    /// silently corrupt the resume account, so the second one fails fast
+    /// here. `CacheMode::Off` runs share no state and take no lock.
+    pub fn try_run(&self, label: &str, cells: Vec<Cell>) -> Result<RunReport, RunnerError> {
+        let _lock = if self.cache_mode != CacheMode::Off {
+            match lockfile::CampaignLock::acquire(&self.cache_dir, label) {
+                Ok(guard) => guard,
+                Err(held) => return Err(RunnerError::Locked(held)),
+            }
+        } else {
+            None
+        };
+        Ok(match &self.isolate {
+            Some(cfg) => supervisor::run_isolated(self, cfg, label, cells),
+            None => self.run_inner(label, cells),
+        })
+    }
+
+    fn run_inner(&self, label: &str, cells: Vec<Cell>) -> RunReport {
         let progress = telemetry::Progress::new(cells.len() as u64, self.verbose);
         let started = Stopwatch::start();
         let cache_active = self.cache_mode != CacheMode::Off;
@@ -241,46 +305,16 @@ impl Runner {
             })
             .collect();
         let outcomes = pool::run_jobs(jobs, self.jobs);
-        progress.print_summary(label);
-        let (done, cached, _) = progress.totals();
-        let (cells_failed, cells_invalid, retries, cache_store_errors, cache_load_corruptions) =
-            progress.faults();
-        let quarantined = outcomes
-            .iter()
-            .filter_map(|o| match &o.result {
-                Err(e) => Some(QuarantinedCell {
-                    experiment: o.spec.experiment.clone(),
-                    cell: o.spec.cell.clone(),
-                    key: o.key,
-                    attempts: e.attempts,
-                    message: e.message.clone(),
-                    reason: e.reason.clone(),
-                }),
-                Ok(_) => None,
-            })
-            .collect();
-        RunReport {
-            label: label.to_string(),
-            jobs: self.jobs,
-            code_version: self.code_version.clone(),
-            cells_total: done,
-            cells_cached: cached,
-            cells_failed,
-            cells_invalid,
-            retries,
-            cache_store_errors,
-            cache_load_corruptions,
+        assemble_report(
+            self,
+            label,
+            &progress,
+            &started,
             orphans_swept,
             journal_prior_ok,
-            wall_seconds: started.elapsed_seconds(),
-            engine: progress.engine(),
-            exec_micros: progress.exec_micros_total(),
-            latency_histogram: progress.histogram(),
-            p50_micros: progress.quantile_micros(0.50),
-            p90_micros: progress.quantile_micros(0.90),
-            quarantined,
             outcomes,
-        }
+            None,
+        )
     }
 
     fn run_cell(
@@ -369,6 +403,7 @@ impl Runner {
                         result: Err(CellError {
                             message: reason_message(&reason),
                             reason,
+                            kind: QuarantineKind::Invalid,
                             attempts: attempt,
                             micros,
                         }),
@@ -389,6 +424,7 @@ impl Runner {
                         result: Err(CellError {
                             message,
                             reason: Json::Null,
+                            kind: QuarantineKind::Panic,
                             attempts: attempt,
                             micros,
                         }),
@@ -399,9 +435,131 @@ impl Runner {
     }
 }
 
+/// Assemble the final [`RunReport`] from a drained campaign — shared by
+/// the in-process pool and the process-isolated supervisor so the two
+/// execution modes can never drift in how they account for a run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    runner: &Runner,
+    label: &str,
+    progress: &telemetry::Progress,
+    started: &Stopwatch,
+    orphans_swept: u64,
+    journal_prior_ok: u64,
+    outcomes: Vec<CellOutcome>,
+    isolate: Option<supervisor::IsolateReport>,
+) -> RunReport {
+    progress.print_summary(label);
+    let (done, cached, _) = progress.totals();
+    let faults = progress.faults();
+    let quarantined = outcomes
+        .iter()
+        .filter_map(|o| match &o.result {
+            Err(e) => Some(QuarantinedCell {
+                experiment: o.spec.experiment.clone(),
+                cell: o.spec.cell.clone(),
+                key: o.key,
+                attempts: e.attempts,
+                message: e.message.clone(),
+                reason: e.reason.clone(),
+            }),
+            Ok(_) => None,
+        })
+        .collect();
+    RunReport {
+        label: label.to_string(),
+        jobs: runner.jobs,
+        code_version: runner.code_version.clone(),
+        cells_total: done,
+        cells_cached: cached,
+        cells_failed: faults.failed,
+        cells_invalid: faults.invalid,
+        cells_crashed: faults.crashed,
+        cells_deadline: faults.deadline,
+        retries: faults.retries,
+        cache_store_errors: faults.store_errors,
+        cache_load_corruptions: faults.load_corruptions,
+        orphans_swept,
+        journal_prior_ok,
+        wall_seconds: started.elapsed_seconds(),
+        engine: progress.engine(),
+        exec_micros: progress.exec_micros_total(),
+        latency_histogram: progress.histogram(),
+        p50_micros: progress.quantile_micros(0.50),
+        p90_micros: progress.quantile_micros(0.90),
+        quarantined,
+        outcomes,
+        isolate,
+    }
+}
+
+/// The report for a campaign that never started (the lock was held):
+/// zero cells, one typed quarantine entry carrying the contention, and
+/// a degraded status — the caller's artifact pipeline sees the same
+/// shape as any other degraded run.
+fn aborted_report(runner: &Runner, label: &str, held: &lockfile::LockHeld) -> RunReport {
+    let reason = Json::obj(vec![
+        ("kind", Json::Str("campaign-locked".into())),
+        ("lock", Json::Str(held.path.display().to_string())),
+        ("holder_pid", held.holder_pid.map(Json::U64).unwrap_or(Json::Null)),
+    ]);
+    RunReport {
+        label: label.to_string(),
+        jobs: runner.jobs,
+        code_version: runner.code_version.clone(),
+        cells_total: 0,
+        cells_cached: 0,
+        cells_failed: 0,
+        cells_invalid: 1,
+        cells_crashed: 0,
+        cells_deadline: 0,
+        retries: 0,
+        cache_store_errors: 0,
+        cache_load_corruptions: 0,
+        orphans_swept: 0,
+        journal_prior_ok: 0,
+        wall_seconds: 0.0,
+        engine: EnginePerf::default(),
+        exec_micros: 0,
+        latency_histogram: Vec::new(),
+        p50_micros: 0,
+        p90_micros: 0,
+        quarantined: vec![QuarantinedCell {
+            experiment: label.to_string(),
+            cell: "campaign".to_string(),
+            key: cache::CacheKey(0, 0),
+            attempts: 0,
+            message: held.to_string(),
+            reason,
+        }],
+        outcomes: Vec::new(),
+        isolate: None,
+    }
+}
+
+/// Why a campaign could not start at all. Distinct from per-cell
+/// failures — those drain into the [`RunReport`]; this error means no
+/// cell ran and no journal line was written.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// Another live campaign holds the exclusive (cache dir, label)
+    /// lock. Running anyway would interleave journal appends.
+    Locked(lockfile::LockHeld),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::Locked(held) => held.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
 /// Render a caught panic payload (the `Box<dyn Any>` from
 /// `catch_unwind`) as the human-readable string carried by [`CellError`].
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -414,7 +572,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Render a structured rejection reason as the one-line message carried
 /// next to it: the reason's `"message"` field when present (the shape
 /// `SimError::reason_json` produces), the compact JSON otherwise.
-fn reason_message(reason: &Json) -> String {
+pub(crate) fn reason_message(reason: &Json) -> String {
     match reason.get("message").and_then(|m| m.as_str()) {
         Some(m) => m.to_string(),
         None => reason.to_string(),
@@ -434,17 +592,49 @@ pub struct CellValue {
     pub micros: u64,
 }
 
+/// How a cell came to be quarantined — the machine-readable class the
+/// manifest's `cells[].status` column and the exit discipline key off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineKind {
+    /// Panicked through the whole retry budget (exit-code *failed*).
+    Panic,
+    /// Structured self-rejection, no retries (exit-code *degraded*).
+    Invalid,
+    /// Every attempt died with its worker process — killed, aborted, or
+    /// watchdog-shot (isolated mode only; exit-code *degraded*).
+    Crashed,
+    /// Exceeded the deterministic work-unit budget (isolated mode only;
+    /// exit-code *degraded*).
+    Deadline,
+}
+
+impl QuarantineKind {
+    /// The manifest `cells[].status` label for this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuarantineKind::Panic => "failed",
+            QuarantineKind::Invalid => "invalid",
+            QuarantineKind::Crashed => "crashed",
+            QuarantineKind::Deadline => "deadline",
+        }
+    }
+}
+
 /// The failure side of a cell outcome: the cell was quarantined, either
-/// because it exhausted its panic-retry budget or because its work
-/// rejected its own inputs with a structured reason.
+/// because it exhausted its panic-retry budget, because its work
+/// rejected its own inputs with a structured reason, or (isolated mode)
+/// because its worker process died or its work-unit deadline fired.
 #[derive(Clone, Debug)]
 pub struct CellError {
     /// One-line human-readable cause: the final attempt's panic message,
     /// or the rendered rejection reason.
     pub message: String,
     /// Machine-readable rejection reason (e.g. a `SimError` rendered as
-    /// JSON). `Json::Null` for panics — panics carry no structure.
+    /// JSON, or the supervisor's `worker-crash`/`deadline` objects).
+    /// `Json::Null` for panics — panics carry no structure.
     pub reason: Json,
+    /// Which quarantine class this is.
+    pub kind: QuarantineKind,
     /// Attempts consumed (the full budget for panics, 1 for invalid
     /// cells — validity verdicts are deterministic and never retried).
     pub attempts: u32,
@@ -454,9 +644,9 @@ pub struct CellError {
 
 impl CellError {
     /// Whether this is a structured validity rejection (as opposed to a
-    /// panic quarantine).
+    /// panic, crash, or deadline quarantine).
     pub fn invalid(&self) -> bool {
-        self.reason != Json::Null
+        self.kind == QuarantineKind::Invalid
     }
 }
 
@@ -599,6 +789,12 @@ pub struct RunReport {
     pub cells_failed: u64,
     /// Cells quarantined as invalid (structured rejections, no retry).
     pub cells_invalid: u64,
+    /// Cells quarantined because every attempt died with its worker
+    /// process (isolated mode only; always 0 in-process).
+    pub cells_crashed: u64,
+    /// Cells quarantined by the deterministic work-unit deadline
+    /// (isolated mode only; always 0 in-process).
+    pub cells_deadline: u64,
     /// Caught-and-retried attempts across all cells.
     pub retries: u64,
     /// Cache/journal write failures (observed, not swallowed).
@@ -629,6 +825,9 @@ pub struct RunReport {
     pub quarantined: Vec<QuarantinedCell>,
     /// Per-cell outcomes, in submission order.
     pub outcomes: Vec<CellOutcome>,
+    /// Supervision accounting when the run executed process-isolated
+    /// (`None` for the in-process pool).
+    pub isolate: Option<supervisor::IsolateReport>,
 }
 
 impl RunReport {
@@ -656,14 +855,17 @@ impl RunReport {
     }
 
     /// The run's exit discipline: failed if any cell panicked through
-    /// its budget; degraded if cells were rejected as invalid (the holes
-    /// carry structured reasons) or cache faults were observed; clean
-    /// otherwise. Successful retries alone do not degrade a run — the
-    /// records they produce are byte-identical to a fault-free run's.
+    /// its budget; degraded if cells were rejected as invalid, lost to
+    /// worker crashes, or deadline-killed (the holes carry structured
+    /// reasons) or cache faults were observed; clean otherwise.
+    /// Successful retries alone do not degrade a run — the records they
+    /// produce are byte-identical to a fault-free run's.
     pub fn status(&self) -> RunStatus {
         if self.cells_failed > 0 {
             RunStatus::Failed
         } else if self.cells_invalid > 0
+            || self.cells_crashed > 0
+            || self.cells_deadline > 0
             || self.cache_store_errors > 0
             || self.cache_load_corruptions > 0
         {
@@ -676,7 +878,7 @@ impl RunReport {
     /// The machine-readable run manifest.
     pub fn manifest(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::U64(3)),
+            ("schema", Json::U64(4)),
             ("label", Json::Str(self.label.clone())),
             ("code", Json::Str(self.code_version.clone())),
             ("jobs", Json::U64(self.jobs as u64)),
@@ -685,6 +887,8 @@ impl RunReport {
             ("cells_cached", Json::U64(self.cells_cached)),
             ("cells_failed", Json::U64(self.cells_failed)),
             ("cells_invalid", Json::U64(self.cells_invalid)),
+            ("cells_crashed", Json::U64(self.cells_crashed)),
+            ("cells_deadline", Json::U64(self.cells_deadline)),
             ("retries", Json::U64(self.retries)),
             ("cache_store_errors", Json::U64(self.cache_store_errors)),
             ("cache_load_corruptions", Json::U64(self.cache_load_corruptions)),
@@ -762,12 +966,9 @@ impl RunReport {
                                 (
                                     "status",
                                     Json::Str(
-                                        if o.invalid() {
-                                            "invalid"
-                                        } else if o.failed() {
-                                            "failed"
-                                        } else {
-                                            "ok"
+                                        match &o.result {
+                                            Ok(_) => "ok",
+                                            Err(e) => e.kind.label(),
                                         }
                                         .to_string(),
                                     ),
@@ -779,6 +980,36 @@ impl RunReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "isolate",
+                match &self.isolate {
+                    None => Json::Null,
+                    Some(iso) => Json::obj(vec![
+                        ("workers", Json::U64(iso.workers.len() as u64)),
+                        ("worker_spawns", Json::U64(iso.workers.iter().map(|w| w.spawns).sum())),
+                        ("worker_crashes", Json::U64(iso.workers.iter().map(|w| w.crashes).sum())),
+                        ("pool_exhausted_cells", Json::U64(iso.pool_exhausted_cells)),
+                        (
+                            "per_worker",
+                            Json::Arr(
+                                iso.workers
+                                    .iter()
+                                    .map(|w| {
+                                        Json::obj(vec![
+                                            ("spawns", Json::U64(w.spawns)),
+                                            ("crashes", Json::U64(w.crashes)),
+                                            ("cells_ok", Json::U64(w.cells_ok)),
+                                            ("cells_crashed", Json::U64(w.cells_crashed)),
+                                            ("cells_deadline", Json::U64(w.cells_deadline)),
+                                            ("gave_up", Json::Bool(w.gave_up)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                },
             ),
         ])
     }
@@ -1049,7 +1280,7 @@ mod tests {
 
         // The manifest carries counter, status, and reason.
         let m = report.manifest();
-        assert_eq!(m.get("schema").unwrap().as_u64(), Some(3));
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(4));
         assert_eq!(m.get("status").unwrap().as_str(), Some("degraded"));
         assert_eq!(m.get("cells_invalid").unwrap().as_u64(), Some(1));
         let listed = m.get("quarantined").unwrap().as_array().unwrap();
@@ -1082,6 +1313,54 @@ mod tests {
         assert_eq!(report.status().exit_code(), 1);
         let m = report.manifest();
         assert_eq!(m.get("status").unwrap().as_str(), Some("degraded"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_campaign_is_refused_with_a_typed_error() {
+        let dir = tmp_dir("locked");
+        // Plant a lock held by a *different live* process: pid 1 (init)
+        // is always alive where /proc exists, and a foreign pid is
+        // conservatively treated as live elsewhere. (An own-pid lock
+        // would be broken as a stale leak, which is its own test in
+        // `lockfile`.)
+        let lock_path = lockfile::CampaignLock::lock_path(&dir, "locked");
+        std::fs::create_dir_all(lock_path.parent().unwrap()).unwrap();
+        std::fs::write(&lock_path, "1\n").unwrap();
+
+        // The typed path: a second campaign against the same journal
+        // fails fast with the holder's identity, touching nothing.
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut runner = Runner::new(2);
+        runner.cache_dir = dir.clone();
+        runner.verbose = false;
+        match runner.try_run("locked", counting_cells(3, &executions)) {
+            Err(RunnerError::Locked(contended)) => {
+                assert_eq!(contended.holder_pid, Some(1));
+                assert!(contended.path.ends_with("locked.lock"));
+            }
+            Ok(_) => panic!("second campaign must not run under a held lock"),
+        }
+        assert_eq!(executions.load(Ordering::Relaxed), 0, "no cell may execute");
+
+        // The infallible path: `run` degrades into an aborted report
+        // with a machine-readable reason instead of panicking.
+        let report = runner.run("locked", counting_cells(3, &executions));
+        assert_eq!(executions.load(Ordering::Relaxed), 0);
+        assert_eq!(report.cells_total, 0);
+        assert_eq!(report.status(), RunStatus::Degraded);
+        assert_eq!(
+            report.quarantined[0].reason.get("kind").and_then(Json::as_str),
+            Some("campaign-locked")
+        );
+
+        // Releasing the holder lets the campaign run (and take the lock
+        // itself — released again on return).
+        std::fs::remove_file(&lock_path).unwrap();
+        let report = runner.run("locked", counting_cells(3, &executions));
+        assert_eq!(executions.load(Ordering::Relaxed), 3);
+        assert_eq!(report.status(), RunStatus::Clean);
+        assert!(!lock_path.exists(), "the campaign releases its own lock on return");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -86,7 +86,8 @@ where
 /// Lock a mutex, recovering the data from a poisoned lock. The pool's
 /// drain counter is panic-safe (see `Dec`), so a panicking job must not
 /// take the whole pool down with a poisoned-lock panic of its own.
-fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+/// (`pub(crate)`: the isolated-mode supervisor shares the discipline.)
+pub(crate) fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 

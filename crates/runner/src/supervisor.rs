@@ -1,0 +1,786 @@
+//! The supervisor half of process-isolated execution: shard cells
+//! across re-spawned worker subprocesses, survive every way a worker
+//! can die, and keep the campaign's records byte-identical to an
+//! in-process run.
+//!
+//! ## Supervision tree
+//!
+//! `run_isolated` owns the campaign. It satisfies cache hits itself
+//! (cached payloads never cross a pipe), queues every remaining cell
+//! into one shared work queue, and runs one *manager thread per worker
+//! slot*. Each manager spawns its worker subprocess (the hidden
+//! `smi-lab worker` subcommand), feeds it cells over the
+//! length-prefixed frame protocol ([`crate::proto`] over
+//! [`jsonio::framed`]), and reaps outcomes. Managers pull from the
+//! shared queue, so a slow or dying worker slot never strands cells
+//! that a healthy sibling could run.
+//!
+//! ## Crash discipline
+//!
+//! A worker death — clean exit, SIGKILL, `abort()`, torn frame, or
+//! watchdog shot — costs exactly the attempts in flight on that worker.
+//! Each is journaled [`journal::Status::Crashed`] (so a killed campaign
+//! resumes knowing the cell was dispatched) and re-queued until the
+//! cell's ordinary [`crate::Runner::max_attempts`] budget is spent,
+//! then quarantined with a machine-readable `worker-crash` reason. The
+//! manager re-spawns its worker with bounded exponential backoff; a
+//! slot whose respawn budget is exhausted *gives up* — graceful
+//! degradation, not collapse. If every slot gives up, whatever is left
+//! in the queue is quarantined `worker-pool-exhausted` and the run
+//! reports Degraded instead of hanging.
+//!
+//! ## Deadlines
+//!
+//! Two layers, deliberately different: the *deterministic* deadline is
+//! the work-unit budget the worker itself enforces from harvested
+//! engine counters (`deadline` quarantines reproduce exactly on every
+//! rerun — no wall clock in the verdict). The *wall-clock* watchdog
+//! lives only up here: a worker that stops answering for
+//! [`IsolateConfig::watchdog_ms`] is presumed wedged and shot, which
+//! funnels into the same crash discipline. Wall time decides only
+//! *liveness*, never a record byte.
+
+use crate::telemetry::{Progress, Stopwatch};
+use crate::{
+    assemble_report, cache, journal, pool::lock_clean, proto, CacheMode, Cell, CellError,
+    CellOutcome, CellSpec, CellValue, QuarantineKind, RunReport, Runner,
+};
+use jsonio::framed::{FrameReader, FrameWriter};
+use jsonio::Json;
+use std::collections::VecDeque;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Configuration of one process-isolated campaign.
+#[derive(Clone, Debug)]
+pub struct IsolateConfig {
+    /// Worker subprocess command line: program plus arguments. The
+    /// command must speak the [`crate::proto`] protocol on its
+    /// stdin/stdout (the CLI re-executes itself as `smi-lab worker ...`)
+    /// and must rebuild the *same* cell catalog the supervisor holds.
+    pub worker_cmd: Vec<String>,
+    /// Worker subprocess slots (clamped to at least 1, and to the
+    /// number of pending cells).
+    pub workers: usize,
+    /// Respawns a slot may consume after crashes before it gives up.
+    pub respawn_budget: u32,
+    /// Base respawn backoff in milliseconds; doubles per consecutive
+    /// crash of the slot (capped at 32x).
+    pub backoff_ms: u64,
+    /// Deterministic per-cell work-unit budget (engine events popped);
+    /// `0` disables deadlines. Enforced *in the worker* from harvested
+    /// counters, so the verdict is wall-clock free and reproducible.
+    pub deadline_units: u64,
+    /// Wall-clock watchdog: a worker silent for this long with work in
+    /// flight is presumed wedged and killed. Liveness only — it can
+    /// cost attempts, never change a record byte.
+    pub watchdog_ms: u64,
+    /// Admission bound: cells a manager keeps in flight on its worker
+    /// at once (clamped to at least 1). Backpressure, and the bound on
+    /// how many attempts one worker death can cost.
+    pub inflight: usize,
+    /// Fault injection for tests and the CI gate: cells whose label is
+    /// listed here get their worker SIGKILLed right after dispatch.
+    pub kill_cells: Vec<String>,
+}
+
+impl IsolateConfig {
+    /// A config with conservative defaults around a worker command.
+    pub fn new(worker_cmd: Vec<String>) -> IsolateConfig {
+        IsolateConfig {
+            worker_cmd,
+            workers: 1,
+            respawn_budget: 3,
+            backoff_ms: 25,
+            deadline_units: 0,
+            watchdog_ms: 30_000,
+            inflight: 1,
+            kill_cells: Vec::new(),
+        }
+    }
+}
+
+/// Per-slot supervision accounting, reported into the manifest.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Subprocesses spawned for this slot (1 + respawns).
+    pub spawns: u64,
+    /// Worker deaths observed (exit, kill, protocol break, watchdog).
+    pub crashes: u64,
+    /// Cells this slot completed with a payload.
+    pub cells_ok: u64,
+    /// Cells quarantined `worker-crash` at this slot.
+    pub cells_crashed: u64,
+    /// Cells quarantined `deadline` at this slot.
+    pub cells_deadline: u64,
+    /// Whether the slot exhausted its respawn budget and gave up.
+    pub gave_up: bool,
+}
+
+/// Whole-pool supervision accounting for one isolated run.
+#[derive(Clone, Debug, Default)]
+pub struct IsolateReport {
+    /// Per-slot accounting, one entry per worker slot.
+    pub workers: Vec<WorkerStats>,
+    /// Cells quarantined because every slot gave up before they ran.
+    pub pool_exhausted_cells: u64,
+}
+
+/// One queued unit of work. The cell's closure stays behind in the
+/// supervisor (workers rebuild work from the spec); only identity and
+/// attempt accounting travel.
+struct WorkItem {
+    idx: usize,
+    spec: CellSpec,
+    key: cache::CacheKey,
+    attempts: u32,
+    watch: Option<Stopwatch>,
+}
+
+impl WorkItem {
+    fn elapsed(&self) -> u64 {
+        self.watch.as_ref().map(|w| w.elapsed_micros()).unwrap_or(0)
+    }
+}
+
+/// Shared campaign state every manager thread works against.
+struct Ctx<'a> {
+    runner: &'a Runner,
+    cfg: &'a IsolateConfig,
+    progress: &'a Progress,
+    writer: Option<&'a journal::Writer>,
+    queue: Mutex<VecDeque<WorkItem>>,
+    slots: Vec<Mutex<Option<CellOutcome>>>,
+    completed: AtomicUsize,
+    pending_total: usize,
+}
+
+impl Ctx<'_> {
+    fn journal(&self, key: cache::CacheKey, cell: &str, status: journal::Status, attempts: u32) {
+        if let Some(w) = self.writer {
+            if w.append(key, cell, status, attempts).is_err() {
+                self.progress.note_store_error();
+            }
+        }
+    }
+
+    /// Deposit a finished outcome into its submission-order slot and
+    /// count it toward campaign completion.
+    fn finish(&self, item: WorkItem, result: Result<CellValue, CellError>) {
+        let WorkItem { idx, spec, key, .. } = item;
+        if let Some(slot) = self.slots.get(idx) {
+            *lock_clean(slot) = Some(CellOutcome { spec, key, result });
+        }
+        self.completed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn done(&self) -> bool {
+        self.completed.load(Ordering::Acquire) >= self.pending_total
+    }
+}
+
+/// Run a campaign process-isolated. Same contract as the in-process
+/// `Runner::run` — outcomes in submission order, byte-identical records
+/// — plus the supervision accounting in [`RunReport::isolate`].
+pub fn run_isolated(
+    runner: &Runner,
+    cfg: &IsolateConfig,
+    label: &str,
+    cells: Vec<Cell>,
+) -> RunReport {
+    let progress = Progress::new(cells.len() as u64, runner.verbose);
+    let started = Stopwatch::start();
+    let cache_active = runner.cache_mode != CacheMode::Off;
+    let orphans_swept = if cache_active { cache::sweep_orphans(&runner.cache_dir) } else { 0 };
+    let journal_path = journal::journal_path(&runner.cache_dir, label);
+    let prior = if cache_active {
+        journal::Journal::load(&journal_path)
+    } else {
+        journal::Journal::default()
+    };
+    let journal_prior_ok = cells
+        .iter()
+        .filter(|c| {
+            prior.status(cache::cell_key(&runner.code_version, &c.spec))
+                == Some(journal::Status::Ok)
+        })
+        .count() as u64;
+    let writer = if cache_active {
+        match journal::Writer::open(&journal_path) {
+            Ok(w) => Some(w),
+            Err(_) => {
+                progress.note_store_error();
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    // Intake: satisfy cache hits here (cached payloads never cross a
+    // pipe, so caching cannot perturb record bytes), queue the rest.
+    let total = cells.len();
+    let slots: Vec<Mutex<Option<CellOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let mut identities: Vec<(CellSpec, cache::CacheKey)> = Vec::with_capacity(total);
+    let mut queue = VecDeque::new();
+    for (idx, cell) in cells.into_iter().enumerate() {
+        let key = cache::cell_key(&runner.code_version, &cell.spec);
+        identities.push((cell.spec.clone(), key));
+        if runner.cache_mode == CacheMode::ReadWrite {
+            match cache::load(&runner.cache_dir, key, &runner.code_version, &cell.spec) {
+                cache::Lookup::Hit(payload) => {
+                    progress.cell_done(&cell.spec.cell, 0, true);
+                    if let Some(w) = &writer {
+                        if w.append(key, &cell.spec.cell, journal::Status::Ok, 0).is_err() {
+                            progress.note_store_error();
+                        }
+                    }
+                    *lock_clean(&slots[idx]) = Some(CellOutcome {
+                        spec: cell.spec,
+                        key,
+                        result: Ok(CellValue { payload, cached: true, attempts: 0, micros: 0 }),
+                    });
+                    continue;
+                }
+                cache::Lookup::Corrupt => progress.note_load_corruption(),
+                cache::Lookup::Miss => {}
+            }
+        }
+        queue.push_back(WorkItem { idx, spec: cell.spec, key, attempts: 0, watch: None });
+    }
+
+    let pending_total = queue.len();
+    let ctx = Ctx {
+        runner,
+        cfg,
+        progress: &progress,
+        writer: writer.as_ref(),
+        queue: Mutex::new(queue),
+        slots,
+        completed: AtomicUsize::new(0),
+        pending_total,
+    };
+    let worker_slots = cfg.workers.max(1).min(pending_total.max(1));
+    let mut stats: Vec<WorkerStats> = vec![WorkerStats::default(); worker_slots];
+    if pending_total > 0 {
+        std::thread::scope(|scope| {
+            for stat in stats.iter_mut() {
+                let ctx = &ctx;
+                scope.spawn(move || manage_worker(ctx, stat));
+            }
+        });
+    }
+
+    // Every manager has returned. Anything still queued outlived every
+    // slot's respawn budget: quarantine it with a typed reason rather
+    // than hang or abort the campaign.
+    let mut pool_exhausted = 0u64;
+    loop {
+        let item = lock_clean(&ctx.queue).pop_front();
+        let Some(item) = item else { break };
+        pool_exhausted += 1;
+        let micros = item.elapsed();
+        let attempts = item.attempts;
+        ctx.progress.cell_crashed(&item.spec.cell, micros);
+        ctx.journal(item.key, &item.spec.cell, journal::Status::Crashed, attempts);
+        let reason = Json::obj(vec![
+            ("kind", Json::Str("worker-pool-exhausted".into())),
+            ("attempts", Json::U64(attempts as u64)),
+        ]);
+        ctx.finish(
+            item,
+            Err(CellError {
+                message: "worker pool exhausted: every worker slot spent its respawn budget"
+                    .to_string(),
+                reason,
+                kind: QuarantineKind::Crashed,
+                attempts,
+                micros,
+            }),
+        );
+    }
+
+    let Ctx { slots, .. } = ctx;
+    let outcomes: Vec<CellOutcome> = slots
+        .into_iter()
+        .zip(identities)
+        .map(|(slot, (spec, key))| {
+            let filled = slot.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+            filled.unwrap_or_else(|| {
+                // Unreachable by construction (every index is either a
+                // cache hit, finished by a manager, or drained above);
+                // kept total for the no-panic discipline.
+                progress.cell_crashed(&spec.cell, 0);
+                CellOutcome {
+                    spec,
+                    key,
+                    result: Err(CellError {
+                        message: "cell never completed: supervisor accounting hole".to_string(),
+                        reason: Json::obj(vec![(
+                            "kind",
+                            Json::Str("worker-pool-exhausted".into()),
+                        )]),
+                        kind: QuarantineKind::Crashed,
+                        attempts: 0,
+                        micros: 0,
+                    }),
+                }
+            })
+        })
+        .collect();
+
+    let isolate = IsolateReport { workers: stats, pool_exhausted_cells: pool_exhausted };
+    assemble_report(
+        runner,
+        label,
+        &progress,
+        &started,
+        orphans_swept,
+        journal_prior_ok,
+        outcomes,
+        Some(isolate),
+    )
+}
+
+/// One manager thread: own one worker slot until the campaign drains
+/// or the slot's respawn budget is spent.
+fn manage_worker(ctx: &Ctx<'_>, stats: &mut WorkerStats) {
+    let mut conn: Option<Conn> = None;
+    let mut inflight: VecDeque<(u64, WorkItem)> = VecDeque::new();
+    let mut next_id: u64 = 1;
+    let max_inflight = ctx.cfg.inflight.max(1);
+    loop {
+        if ctx.done() && inflight.is_empty() {
+            break;
+        }
+        if conn.is_none() {
+            if stats.crashes > ctx.cfg.respawn_budget as u64 {
+                // Give up the slot. Crash handling already requeued or
+                // quarantined everything we had in flight; siblings (or
+                // the pool-exhausted drain) own the rest.
+                stats.gave_up = true;
+                return;
+            }
+            if stats.crashes > 0 {
+                let shift = (stats.crashes - 1).min(5) as u32;
+                std::thread::sleep(Duration::from_millis(ctx.cfg.backoff_ms << shift));
+            }
+            match Conn::spawn(&ctx.cfg.worker_cmd) {
+                Ok(c) => {
+                    stats.spawns += 1;
+                    conn = Some(c);
+                }
+                Err(()) => {
+                    stats.crashes += 1;
+                    continue;
+                }
+            }
+        }
+        // Admission: dispatch from the shared queue up to the in-flight
+        // bound. The bound is also backpressure — it caps the attempts
+        // one worker death can cost.
+        let mut pipe_broke = false;
+        while inflight.len() < max_inflight {
+            let popped = lock_clean(&ctx.queue).pop_front();
+            let Some(mut item) = popped else { break };
+            if item.watch.is_none() {
+                item.watch = Some(Stopwatch::start());
+            }
+            let id = next_id;
+            next_id += 1;
+            let msg = proto::ToWorker::Run {
+                id,
+                attempt: item.attempts + 1,
+                budget_units: ctx.cfg.deadline_units,
+                spec: item.spec.clone(),
+            };
+            let kill_after = ctx.cfg.kill_cells.contains(&item.spec.cell);
+            let Some(c) = conn.as_mut() else { break };
+            match c.tx.write(&msg.to_json()) {
+                Ok(()) => {
+                    inflight.push_back((id, item));
+                    if kill_after {
+                        // Injected fault: SIGKILL our own worker with
+                        // this cell in flight (the kill-resume gate).
+                        let _ = c.child.kill();
+                    }
+                }
+                Err(_) => {
+                    lock_clean(&ctx.queue).push_front(item);
+                    pipe_broke = true;
+                    break;
+                }
+            }
+        }
+        if pipe_broke {
+            if let Some(c) = conn.take() {
+                crash(ctx, stats, c, &mut inflight, "pipe-closed");
+            }
+            continue;
+        }
+        if inflight.is_empty() {
+            // Nothing to wait on, but the campaign is not done — a
+            // sibling's crash may yet requeue work. Poll gently.
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        let Some(c) = conn.as_mut() else { continue };
+        match c.rx.recv_timeout(Duration::from_millis(ctx.cfg.watchdog_ms.max(1))) {
+            Ok(Ok(proto::FromWorker::Hello { .. })) => {}
+            Ok(Ok(proto::FromWorker::Done { id, outcome })) => {
+                if let Some(pos) = inflight.iter().position(|(i, _)| *i == id) {
+                    if let Some((_, item)) = inflight.remove(pos) {
+                        handle_outcome(ctx, stats, item, outcome);
+                    }
+                }
+            }
+            Ok(Err(_)) | Err(RecvTimeoutError::Disconnected) => {
+                // Torn/garbage frame or worker exit: either way the
+                // channel is unusable — treat as a death.
+                if let Some(c) = conn.take() {
+                    crash(ctx, stats, c, &mut inflight, "worker-exit");
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(c) = conn.take() {
+                    crash(ctx, stats, c, &mut inflight, "watchdog-timeout");
+                }
+            }
+        }
+    }
+    if let Some(c) = conn.take() {
+        c.stop();
+    }
+}
+
+/// Account one worker death: every in-flight attempt is journaled
+/// `crashed`, then requeued (budget remaining) or quarantined
+/// `worker-crash` (budget spent).
+fn crash(
+    ctx: &Ctx<'_>,
+    stats: &mut WorkerStats,
+    conn: Conn,
+    inflight: &mut VecDeque<(u64, WorkItem)>,
+    cause: &str,
+) {
+    stats.crashes += 1;
+    conn.stop();
+    let budget = ctx.runner.max_attempts.max(1);
+    for (_, mut item) in inflight.drain(..) {
+        item.attempts += 1;
+        ctx.journal(item.key, &item.spec.cell, journal::Status::Crashed, item.attempts);
+        if item.attempts < budget {
+            ctx.progress.note_retry();
+            lock_clean(&ctx.queue).push_front(item);
+        } else {
+            let micros = item.elapsed();
+            let attempts = item.attempts;
+            ctx.progress.cell_crashed(&item.spec.cell, micros);
+            stats.cells_crashed += 1;
+            let reason = Json::obj(vec![
+                ("kind", Json::Str("worker-crash".into())),
+                ("cause", Json::Str(cause.to_string())),
+                ("attempts", Json::U64(attempts as u64)),
+            ]);
+            let message = format!("worker crashed ({cause}) on attempt {attempts} of {budget}");
+            ctx.finish(
+                item,
+                Err(CellError { message, reason, kind: QuarantineKind::Crashed, attempts, micros }),
+            );
+        }
+    }
+}
+
+/// Account one reported outcome, mirroring the in-process `run_cell`
+/// semantics so the two execution modes agree on every record byte and
+/// every exit code.
+fn handle_outcome(
+    ctx: &Ctx<'_>,
+    stats: &mut WorkerStats,
+    mut item: WorkItem,
+    outcome: proto::WorkOutcome,
+) {
+    let budget = ctx.runner.max_attempts.max(1);
+    match outcome {
+        proto::WorkOutcome::Ok { payload, perf } => {
+            if ctx.runner.cache_mode != CacheMode::Off
+                && cache::store(
+                    &ctx.runner.cache_dir,
+                    item.key,
+                    &ctx.runner.code_version,
+                    &item.spec,
+                    &payload,
+                )
+                .is_err()
+            {
+                ctx.progress.note_store_error();
+            }
+            ctx.progress.note_engine(perf);
+            let micros = item.elapsed();
+            let attempts = item.attempts + 1;
+            ctx.progress.cell_done(&item.spec.cell, micros, false);
+            ctx.journal(item.key, &item.spec.cell, journal::Status::Ok, attempts);
+            stats.cells_ok += 1;
+            ctx.finish(item, Ok(CellValue { payload, cached: false, attempts, micros }));
+        }
+        proto::WorkOutcome::Invalid { reason } => {
+            let micros = item.elapsed();
+            let attempts = item.attempts + 1;
+            ctx.progress.cell_invalid(&item.spec.cell, micros);
+            ctx.journal(item.key, &item.spec.cell, journal::Status::Failed, attempts);
+            ctx.finish(
+                item,
+                Err(CellError {
+                    message: crate::reason_message(&reason),
+                    reason,
+                    kind: QuarantineKind::Invalid,
+                    attempts,
+                    micros,
+                }),
+            );
+        }
+        proto::WorkOutcome::Panic { message } => {
+            item.attempts += 1;
+            if item.attempts < budget {
+                ctx.progress.note_retry();
+                lock_clean(&ctx.queue).push_front(item);
+            } else {
+                let micros = item.elapsed();
+                let attempts = item.attempts;
+                ctx.progress.cell_failed(&item.spec.cell, micros);
+                ctx.journal(item.key, &item.spec.cell, journal::Status::Failed, attempts);
+                ctx.finish(
+                    item,
+                    Err(CellError {
+                        message,
+                        reason: Json::Null,
+                        kind: QuarantineKind::Panic,
+                        attempts,
+                        micros,
+                    }),
+                );
+            }
+        }
+        proto::WorkOutcome::Deadline { budget_units, spent_units } => {
+            // Deterministic verdict — a pure function of cell identity
+            // and budget — so retrying would only reproduce it.
+            let micros = item.elapsed();
+            let attempts = item.attempts + 1;
+            ctx.progress.cell_deadline(&item.spec.cell, micros);
+            stats.cells_deadline += 1;
+            ctx.journal(item.key, &item.spec.cell, journal::Status::Failed, attempts);
+            let reason = Json::obj(vec![
+                ("kind", Json::Str("deadline".into())),
+                ("budget_units", Json::U64(budget_units)),
+                ("spent_units", Json::U64(spent_units)),
+            ]);
+            let message = format!(
+                "deadline: spent {spent_units} work units over the {budget_units}-unit budget"
+            );
+            ctx.finish(
+                item,
+                Err(CellError {
+                    message,
+                    reason,
+                    kind: QuarantineKind::Deadline,
+                    attempts,
+                    micros,
+                }),
+            );
+        }
+        proto::WorkOutcome::Unresolvable { message } => {
+            // The worker's catalog cannot produce this cell — a config
+            // mismatch, deterministic on every retry. Quarantine as a
+            // structured rejection.
+            let micros = item.elapsed();
+            let attempts = item.attempts + 1;
+            ctx.progress.cell_invalid(&item.spec.cell, micros);
+            ctx.journal(item.key, &item.spec.cell, journal::Status::Failed, attempts);
+            let reason = Json::obj(vec![
+                ("kind", Json::Str("unresolvable-cell".into())),
+                ("message", Json::Str(message.clone())),
+            ]);
+            ctx.finish(
+                item,
+                Err(CellError { message, reason, kind: QuarantineKind::Invalid, attempts, micros }),
+            );
+        }
+    }
+}
+
+/// One live worker connection: the child, a frame writer over its
+/// stdin, and a reader thread pumping decoded frames off its stdout
+/// into a channel (so the manager can `recv_timeout` as a watchdog).
+struct Conn {
+    child: Child,
+    tx: FrameWriter<ChildStdin>,
+    rx: Receiver<Result<proto::FromWorker, String>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Conn {
+    fn spawn(cmd: &[String]) -> Result<Conn, ()> {
+        let (program, args) = cmd.split_first().ok_or(())?;
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|_| ())?;
+        let (stdin, stdout) = match (child.stdin.take(), child.stdout.take()) {
+            (Some(i), Some(o)) => (i, o),
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(());
+            }
+        };
+        let (sender, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut frames = FrameReader::new(stdout);
+            loop {
+                let msg = match frames.read() {
+                    Ok(Some(frame)) => {
+                        proto::FromWorker::from_json(&frame).map_err(|e| e.to_string())
+                    }
+                    Ok(None) => return,
+                    Err(e) => Err(e.to_string()),
+                };
+                let fatal = msg.is_err();
+                if sender.send(msg).is_err() || fatal {
+                    return;
+                }
+            }
+        });
+        Ok(Conn { child, tx: FrameWriter::new(stdin), rx, reader: Some(reader) })
+    }
+
+    /// Tear the connection down without ever blocking unboundedly:
+    /// best-effort graceful `Shutdown`, then kill (idempotent on an
+    /// already-dead child), reap the zombie, and join the reader (its
+    /// pipe EOFs once the child is gone).
+    fn stop(mut self) {
+        let _ = self.tx.write(&proto::ToWorker::Shutdown.to_json());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunStatus;
+    use std::path::PathBuf;
+
+    fn spec(cell: &str) -> CellSpec {
+        CellSpec {
+            experiment: "iso-unit".into(),
+            cell: cell.into(),
+            params: Json::Null,
+            seed: 3,
+            reps: 1,
+        }
+    }
+
+    fn cells(n: usize) -> Vec<Cell> {
+        (0..n).map(|i| Cell::new(spec(&format!("c{i}")), || Json::U64(1))).collect()
+    }
+
+    fn no_cache_runner(cfg: IsolateConfig) -> Runner {
+        let mut r = Runner::new(2);
+        r.cache_mode = CacheMode::Off;
+        r.verbose = false;
+        r.isolate = Some(cfg);
+        r
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smi-lab-supervisor-test-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    #[test]
+    fn unspawnable_worker_exhausts_pool_and_degrades() {
+        let mut cfg = IsolateConfig::new(vec!["/nonexistent/smi-lab-worker-binary".into()]);
+        cfg.workers = 2;
+        cfg.respawn_budget = 1;
+        cfg.backoff_ms = 1;
+        let runner = no_cache_runner(cfg);
+        let report = runner.run("iso-unspawnable", cells(3));
+        assert_eq!(report.cells_total, 3, "the campaign still drains");
+        assert_eq!(report.cells_crashed, 3, "every cell quarantines, none hangs");
+        assert_eq!(report.status(), RunStatus::Degraded, "graceful degradation, not collapse");
+        let iso = report.isolate.as_ref().expect("isolate accounting present");
+        assert!(iso.workers.iter().all(|w| w.gave_up), "both slots spent their budget");
+        assert!(iso.workers.iter().all(|w| w.spawns == 0), "nothing ever spawned");
+        assert_eq!(iso.pool_exhausted_cells, 3);
+        for q in &report.quarantined {
+            assert_eq!(
+                q.reason.get("kind").and_then(Json::as_str),
+                Some("worker-pool-exhausted"),
+                "machine-readable reason on every hole"
+            );
+        }
+        let m = report.manifest();
+        let iso_m = m.get("isolate").expect("manifest isolate block");
+        assert_eq!(iso_m.get("workers").and_then(Json::as_u64), Some(2));
+        assert_eq!(iso_m.get("pool_exhausted_cells").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn protocol_garbage_counts_as_crash_and_consumes_attempts() {
+        // A "worker" that emits garbage instead of frames: every
+        // dispatch dies with a protocol error, burning one attempt per
+        // death, until the cell quarantines as worker-crash.
+        let mut cfg = IsolateConfig::new(vec![
+            "/bin/sh".into(),
+            "-c".into(),
+            "echo not-a-frame; sleep 5".into(),
+        ]);
+        cfg.respawn_budget = 5;
+        cfg.backoff_ms = 1;
+        let mut runner = no_cache_runner(cfg);
+        runner.max_attempts = 2;
+        let report = runner.run("iso-garbage", cells(1));
+        assert_eq!(report.cells_crashed, 1);
+        assert_eq!(report.status(), RunStatus::Degraded);
+        let q = &report.quarantined[0];
+        assert_eq!(q.reason.get("kind").and_then(Json::as_str), Some("worker-crash"));
+        assert_eq!(q.attempts, 2, "the ordinary attempt budget bounds crash retries");
+        assert_eq!(report.retries, 1, "the non-final deaths were retries");
+    }
+
+    #[test]
+    fn crashed_cells_are_journaled_for_resume() {
+        let dir = tmp_dir("journal");
+        let mut cfg = IsolateConfig::new(vec!["/bin/false".into()]);
+        cfg.respawn_budget = 5;
+        cfg.backoff_ms = 1;
+        let mut runner = Runner::new(1);
+        runner.cache_dir = dir.clone();
+        runner.verbose = false;
+        runner.max_attempts = 2;
+        runner.isolate = Some(cfg);
+        let report = runner.run("iso-journal", cells(1));
+        assert_eq!(report.cells_crashed, 1);
+        let j = journal::Journal::load(&journal::journal_path(&dir, "iso-journal"));
+        assert_eq!(
+            j.status(report.outcomes[0].key),
+            Some(journal::Status::Crashed),
+            "a worker death mid-cell must be journaled, not silently lost"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

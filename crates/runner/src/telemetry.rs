@@ -18,6 +18,8 @@ pub struct Progress {
     cached: AtomicU64,
     failed: AtomicU64,
     invalid: AtomicU64,
+    crashed: AtomicU64,
+    deadline: AtomicU64,
     retries: AtomicU64,
     store_errors: AtomicU64,
     load_corruptions: AtomicU64,
@@ -39,6 +41,8 @@ impl Progress {
             cached: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             invalid: AtomicU64::new(0),
+            crashed: AtomicU64::new(0),
+            deadline: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             store_errors: AtomicU64::new(0),
             load_corruptions: AtomicU64::new(0),
@@ -97,7 +101,32 @@ impl Progress {
         self.maybe_print(done, cell);
     }
 
-    /// Count one retried attempt (a caught panic with budget remaining).
+    /// Record one cell quarantined because every attempt died with its
+    /// worker process (isolated mode). Counts toward `done` like any
+    /// other drain-past quarantine.
+    pub fn cell_crashed(&self, cell: &str, micros: u64) {
+        let done = self.done.fetch_add(1, Ordering::AcqRel) + 1;
+        self.crashed.fetch_add(1, Ordering::AcqRel);
+        self.exec_micros.fetch_add(micros, Ordering::AcqRel);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(HISTO_BUCKETS - 1);
+        self.histo[bucket].fetch_add(1, Ordering::AcqRel);
+        self.maybe_print(done, cell);
+    }
+
+    /// Record one cell quarantined by the deterministic work-unit
+    /// deadline (isolated mode). No retries — the verdict is a pure
+    /// function of the cell identity and the budget.
+    pub fn cell_deadline(&self, cell: &str, micros: u64) {
+        let done = self.done.fetch_add(1, Ordering::AcqRel) + 1;
+        self.deadline.fetch_add(1, Ordering::AcqRel);
+        self.exec_micros.fetch_add(micros, Ordering::AcqRel);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(HISTO_BUCKETS - 1);
+        self.histo[bucket].fetch_add(1, Ordering::AcqRel);
+        self.maybe_print(done, cell);
+    }
+
+    /// Count one retried attempt (a caught panic with budget remaining,
+    /// or — isolated mode — a worker death with budget remaining).
     pub fn note_retry(&self) {
         self.retries.fetch_add(1, Ordering::AcqRel);
     }
@@ -137,16 +166,17 @@ impl Progress {
         self.exec_micros.load(Ordering::Acquire)
     }
 
-    /// Fault counters:
-    /// `(failed, invalid, retries, store_errors, load_corruptions)`.
-    pub fn faults(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.failed.load(Ordering::Acquire),
-            self.invalid.load(Ordering::Acquire),
-            self.retries.load(Ordering::Acquire),
-            self.store_errors.load(Ordering::Acquire),
-            self.load_corruptions.load(Ordering::Acquire),
-        )
+    /// A snapshot of every fault counter.
+    pub fn faults(&self) -> Faults {
+        Faults {
+            failed: self.failed.load(Ordering::Acquire),
+            invalid: self.invalid.load(Ordering::Acquire),
+            crashed: self.crashed.load(Ordering::Acquire),
+            deadline: self.deadline.load(Ordering::Acquire),
+            retries: self.retries.load(Ordering::Acquire),
+            store_errors: self.store_errors.load(Ordering::Acquire),
+            load_corruptions: self.load_corruptions.load(Ordering::Acquire),
+        }
     }
 
     fn maybe_print(&self, done: u64, cell: &str) {
@@ -240,12 +270,47 @@ impl Progress {
             fmt_micros(self.quantile_micros(0.90)),
             fmt_micros(self.quantile_micros(1.0)),
         );
-        let (failed, invalid, retries, store_errors, load_corruptions) = self.faults();
-        if failed + invalid + retries + store_errors + load_corruptions > 0 {
+        let f = self.faults();
+        if f.total() > 0 {
             eprintln!(
-                "[runner] {label}: faults — {failed} quarantined | {invalid} invalid | {retries} retried attempts | {store_errors} cache write errors | {load_corruptions} corrupt cache entries"
+                "[runner] {label}: faults — {} quarantined | {} invalid | {} worker-crashed | {} deadline | {} retried attempts | {} cache write errors | {} corrupt cache entries",
+                f.failed, f.invalid, f.crashed, f.deadline, f.retries, f.store_errors, f.load_corruptions
             );
         }
+    }
+}
+
+/// A snapshot of the run's fault counters (see [`Progress::faults`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Faults {
+    /// Cells quarantined after panicking through the attempt budget.
+    pub failed: u64,
+    /// Cells quarantined as invalid (structured self-rejections).
+    pub invalid: u64,
+    /// Cells quarantined after every attempt died with its worker
+    /// process (isolated mode only).
+    pub crashed: u64,
+    /// Cells quarantined by the deterministic work-unit deadline
+    /// (isolated mode only).
+    pub deadline: u64,
+    /// Caught-and-retried attempts across all cells.
+    pub retries: u64,
+    /// Failed cache/journal writes.
+    pub store_errors: u64,
+    /// Corrupt cache entries encountered on load.
+    pub load_corruptions: u64,
+}
+
+impl Faults {
+    /// Sum of every counter — nonzero means the summary line prints.
+    pub fn total(&self) -> u64 {
+        self.failed
+            + self.invalid
+            + self.crashed
+            + self.deadline
+            + self.retries
+            + self.store_errors
+            + self.load_corruptions
     }
 }
 
@@ -329,15 +394,24 @@ mod tests {
         p.note_retry();
         p.cell_failed("b", 20);
         p.cell_invalid("c", 30);
+        p.cell_crashed("d", 40);
+        p.cell_deadline("e", 50);
         p.note_store_error();
         p.note_load_corruption();
-        assert_eq!(p.faults(), (1, 1, 2, 1, 1));
-        let (done, cached, _) = p.totals();
         assert_eq!(
-            (done, cached),
-            (3, 0),
-            "failed and invalid cells count as done, never as cached"
+            p.faults(),
+            Faults {
+                failed: 1,
+                invalid: 1,
+                crashed: 1,
+                deadline: 1,
+                retries: 2,
+                store_errors: 1,
+                load_corruptions: 1,
+            }
         );
+        let (done, cached, _) = p.totals();
+        assert_eq!((done, cached), (5, 0), "quarantined cells count as done, never as cached");
     }
 
     #[test]

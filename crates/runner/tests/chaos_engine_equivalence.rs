@@ -129,6 +129,8 @@ fn seeded_fault_schedules_never_perturb_surviving_engine_records() {
             transient_per_mille: g.u32(0..300),
             permanent_per_mille: g.u32(0..100),
             straggler_per_mille: g.u32(0..100),
+            abort_per_mille: 0, // process faults need isolated mode
+            hang_per_mille: 0,
             transient_attempts: g.u32(1..3),
             straggle_millis: 1,
             pinned: Vec::new(),
