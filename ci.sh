@@ -74,6 +74,32 @@ grep -q '"worker-crash"' "$ISO_SMOKE_DIR/cache/manifests/table2.json"
     --records "$ISO_SMOKE_DIR/isolated.jsonl" >/dev/null
 cmp "$ISO_SMOKE_DIR/inproc.jsonl" "$ISO_SMOKE_DIR/isolated.jsonl"
 rm -rf "$ISO_SMOKE_DIR"
+# Durability gate: the content-addressed store and vfs fault injection
+# end-to-end (DESIGN.md §14). A campaign under a seed-driven storm of
+# torn writes, short reads, ENOSPC, EIO, rename failures, and dropped
+# fsyncs must drain (exit 0 or degraded 1, never wedge); `smi-lab fsck
+# --repair` must restore the store to Clean and a plain re-audit must
+# agree; a clean --resume must recompute exactly the lost cells and
+# produce records byte-identical to a fault-free run; and the final
+# manifest must carry the typed storage account.
+DUR_DIR="$(mktemp -d)"
+./target/release/smi-lab table2 --quick --no-cache \
+    --cache-dir "$DUR_DIR/ref-cache" \
+    --records "$DUR_DIR/reference.jsonl" >/dev/null
+rc=0
+./target/release/smi-lab table2 --quick --jobs 1 \
+    --cache-dir "$DUR_DIR/cache" \
+    --vfs-faults "seed=7,torn=60,shortread=40,enospc=60,eio=40,renamefail=60,dropfsync=80" \
+    >/dev/null 2>&1 || rc=$?
+test "$rc" -le 1
+./target/release/smi-lab fsck --cache-dir "$DUR_DIR/cache" --repair >/dev/null
+./target/release/smi-lab fsck --cache-dir "$DUR_DIR/cache"
+./target/release/smi-lab table2 --quick --jobs 1 --resume \
+    --cache-dir "$DUR_DIR/cache" \
+    --records "$DUR_DIR/survivors.jsonl" >/dev/null
+cmp "$DUR_DIR/reference.jsonl" "$DUR_DIR/survivors.jsonl"
+grep -q '"storage"' "$DUR_DIR/cache/manifests/table2.json"
+rm -rf "$DUR_DIR"
 # Bench smoke: the perf harness end-to-end at a tiny sample count,
 # writing to a scratch path so the committed BENCH_engine.json baseline
 # (recorded at the default 40 samples) is never clobbered by CI. A zero

@@ -6,7 +6,7 @@
 //!                   [--jobs N] [--resume] [--no-cache] [--cache-dir DIR]
 //!                   [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]
 //!                   [--noise SPEC] [--isolate] [--deadline-units N]
-//!                   [--isolate-watchdog-ms N]
+//!                   [--isolate-watchdog-ms N] [--vfs-faults SPEC]
 //!
 //! commands:
 //!   table1      BT under SMM 0/1/2            (Table 1)
@@ -30,13 +30,25 @@
 //!   report      EXPERIMENTS.md body (paper vs measured)
 //!   all         everything above
 //!   lint        determinism & hermeticity linter (see crates/smi-lint)
+//!   fsck        audit/repair the shared result store (see fsckcmd)
 //! ```
 //!
 //! Every experiment runs through the parallel runner: `--jobs N` fans
 //! cells out over N worker threads (results are bit-identical to serial),
-//! completed cells persist in a content-hash cache under `--cache-dir`
-//! (default `results/cache`) so re-runs and `--resume` skip them, and
+//! completed cells persist in a shared content-addressed store under
+//! `--cache-dir` (default `results/cache`) so re-runs, `--resume`, and
+//! *other campaigns computing the same cells* skip them, and
 //! `--records FILE` writes one canonical JSONL record per cell.
+//!
+//! `--vfs-faults SPEC` turns on filesystem fault injection for every
+//! byte the runner persists (store entries, indexes, intent logs,
+//! journals, manifests): a seeded plan of torn writes, ENOSPC, EIO,
+//! rename failures, dropped fsyncs, and short reads (see
+//! `runner::vfs::FaultPlan::parse` for the spec grammar). Records stay
+//! byte-identical to a fault-free run; past `disk_fault_limit` counted
+//! disk faults the campaign drops to storage-bypass mode and finishes
+//! Degraded rather than wedging. `smi-lab fsck [--repair] [--compact]`
+//! audits the store afterwards and restores it to Clean.
 //!
 //! `--isolate` moves execution into supervised worker *subprocesses*
 //! (`--jobs N` becomes the worker count): a cell that segfaults, aborts,
@@ -85,6 +97,7 @@
 #![deny(unsafe_code)]
 
 mod benchcmd;
+mod fsckcmd;
 mod xcmds;
 
 use analysis::cells::{
@@ -124,6 +137,7 @@ struct Args {
     deadline_units: u64,
     isolate_watchdog_ms: Option<u64>,
     isolate_kill: Vec<String>,
+    vfs_faults: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -143,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
     let mut deadline_units = 0u64;
     let mut isolate_watchdog_ms = None;
     let mut isolate_kill = Vec::new();
+    let mut vfs_faults = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -203,6 +218,18 @@ fn parse_args() -> Result<Args, String> {
             "--isolate-kill" => {
                 isolate_kill.push(it.next().ok_or("--isolate-kill needs a cell label")?.clone());
             }
+            // Filesystem fault injection for the durability CI gate:
+            // every byte the runner persists goes through a seeded fault
+            // plan (torn writes, ENOSPC, EIO, rename failures, dropped
+            // fsyncs, short reads). Records stay byte-identical; only
+            // durability is under attack.
+            "--vfs-faults" => {
+                let spec = it.next().ok_or("--vfs-faults needs a fault spec")?.clone();
+                // Validate eagerly: a mistyped plan must fail the
+                // invocation, never silently run fault-free.
+                runner::vfs::FaultPlan::parse(&spec).map_err(|e| format!("--vfs-faults: {e}"))?;
+                vfs_faults = Some(spec);
+            }
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
             }
@@ -236,6 +263,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_units,
         isolate_watchdog_ms,
         isolate_kill,
+        vfs_faults,
     })
 }
 
@@ -261,6 +289,13 @@ fn runner_for(args: &Args) -> Runner {
     }));
     if args.isolate {
         r.isolate = Some(isolate_config(args));
+    }
+    if let Some(spec) = &args.vfs_faults {
+        // Parse re-validated at parse_args time; a failure here would be
+        // a programming error, so fall back to the fault-free fs.
+        if let Ok(plan) = runner::vfs::FaultPlan::parse(spec) {
+            r.vfs = runner::vfs::Vfs::faulty(plan);
+        }
     }
     r
 }
@@ -328,7 +363,8 @@ fn full_catalog(args: &Args) -> Vec<Cell> {
 /// Run one labelled batch of cells through the runner; append its JSONL
 /// records (if `--records`) and write the run manifest.
 fn execute(args: &Args, label: &str, cells: Vec<Cell>) -> runner::RunReport {
-    let report = match runner_for(args).try_run(label, cells) {
+    let runner = runner_for(args);
+    let report = match runner.try_run(label, cells) {
         Ok(report) => report,
         // Another live campaign holds this label's journal lock: fail
         // fast and loud before touching any shared state.
@@ -347,7 +383,9 @@ fn execute(args: &Args, label: &str, cells: Vec<Cell>) -> runner::RunReport {
             .expect("open records file");
         f.write_all(report.records_jsonl().as_bytes()).expect("write records");
     }
-    match report.write_manifest(std::path::Path::new(&args.cache_dir)) {
+    // The manifest goes through the runner's (possibly fault-injected)
+    // filesystem too: its write is part of the durability surface.
+    match report.write_manifest_with(&runner.vfs, std::path::Path::new(&args.cache_dir)) {
         Ok(path) => eprintln!("[runner] manifest {}", path.display()),
         Err(e) => {
             // A missing manifest is silent degradation: the run account
@@ -751,11 +789,15 @@ fn main() {
     if argv.first().map(String::as_str) == Some("bench") {
         std::process::exit(benchcmd::run_cli(&argv[1..]));
     }
+    // `smi-lab fsck` audits/repairs the shared store (see fsckcmd).
+    if argv.first().map(String::as_str) == Some("fsck") {
+        std::process::exit(fsckcmd::run_cli(&argv[1..]));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|noise|report|all|lint|bench> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR] [--noise SPEC] [--isolate] [--deadline-units N] [--isolate-watchdog-ms N]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|noise|report|all|lint|bench|fsck> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR] [--noise SPEC] [--isolate] [--deadline-units N] [--isolate-watchdog-ms N] [--vfs-faults SPEC]");
             std::process::exit(2);
         }
     };

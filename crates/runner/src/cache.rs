@@ -1,33 +1,39 @@
-//! Content-hash result cache.
+//! Content-hash result cache: the object layer of the shared store.
 //!
-//! Every completed cell is persisted as a single JSON line under
+//! Every completed cell is persisted as a single *sealed* line under
 //! `results/cache/<xx>/<key>.json`, where `key` is a 128-bit hash of the
 //! cell's full identity: code-version tag, experiment id, cell label,
 //! canonical (compact) cell parameters, seed, and rep count. Any change
 //! to any of those produces a different key, so stale entries are never
 //! *returned* — they are simply never looked up again.
 //!
-//! Robustness contract: a cache entry is advisory. Loads re-verify the
-//! stored identity fields against the request and re-parse the payload;
-//! any mismatch, truncation, or parse failure is treated as a
-//! recomputable [`Lookup::Corrupt`] (the cell is recomputed and the
-//! entry rewritten). Corruption must never panic and never poison
-//! results — but it is *counted* (see `telemetry::Progress`) so silent
-//! disk rot becomes observed degradation in the run manifest.
+//! Robustness contract: a cache entry is advisory. Entries are framed
+//! with [`jsonio::checked`] checksums, and loads verify the checksum,
+//! then re-verify the stored identity fields against the request; any
+//! mismatch, truncation, torn write, or bit rot is a recomputable
+//! [`Lookup::Corrupt`] (the cell is recomputed and the entry rewritten).
+//! Corruption must never panic and never poison results — but it is
+//! *counted* (see `telemetry::Progress`) so silent disk rot becomes
+//! observed degradation in the run manifest.
 //!
-//! Writes go to a per-store-unique temporary sibling
-//! (`<entry>.tmp.<pid>.<seq>`) and are renamed into place, so concurrent
-//! stores of the same key never clobber each other's temp file and a
-//! reader never observes a half-written entry. Temp files stranded by a
-//! killed process are removed by [`sweep_orphans`] at runner startup.
+//! All disk traffic goes through a [`crate::vfs::Vfs`] handle, so the
+//! durability suite can inject torn writes, ENOSPC, EIO, failed renames
+//! and dropped fsyncs into exactly these paths. Writes go to a
+//! per-store-unique temporary sibling (`<entry>.tmp.<pid>.<seq>`) and
+//! are renamed into place; temp files stranded by a killed process are
+//! removed by [`sweep_stats`] at runner startup.
 
+use crate::vfs::Vfs;
 use crate::CellSpec;
-use jsonio::Json;
+use jsonio::{checked, Json};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Schema version stamped into every entry; bump to invalidate wholesale.
-pub const ENTRY_SCHEMA: u64 = 1;
+/// v2: entries are checksummed `crc64:` sealed lines (PR 9) — v1 plain
+/// lines fail the frame check and read as misses of a different key
+/// space (the schema participates in the key), never as corruption.
+pub const ENTRY_SCHEMA: u64 = 2;
 
 /// A 128-bit content key rendered as 32 hex chars.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,9 +91,9 @@ pub enum Lookup {
     Hit(Json),
     /// No entry on disk — the ordinary cold miss.
     Miss,
-    /// An entry exists but is unreadable, torn, or fails the identity
-    /// checks. Callers recompute (exactly like a miss) and count the
-    /// corruption so it surfaces in the run manifest.
+    /// An entry exists but is unreadable, torn, or fails the checksum or
+    /// identity checks. Callers recompute (exactly like a miss) and
+    /// count the corruption so it surfaces in the run manifest.
     Corrupt,
 }
 
@@ -101,16 +107,14 @@ impl Lookup {
     }
 }
 
-/// Try to load a cached payload. Never panics: a missing entry is
-/// [`Lookup::Miss`], and any form of corruption (unreadable file, bad
-/// JSON, wrong schema/key/identity) is [`Lookup::Corrupt`].
-pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> Lookup {
-    let text = match std::fs::read_to_string(entry_path(dir, key)) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
-        Err(_) => return Lookup::Corrupt,
-    };
-    let Ok(entry) = Json::parse(text.trim_end()) else { return Lookup::Corrupt };
+/// Verify a sealed entry's identity fields against a request and extract
+/// the payload. Shared by [`load_with`] and the store's intent recovery.
+pub(crate) fn verify_entry(
+    entry: &Json,
+    key: CacheKey,
+    code_version: &str,
+    spec: &CellSpec,
+) -> Option<Json> {
     let matches = entry.get("schema").and_then(Json::as_u64) == Some(ENTRY_SCHEMA)
         && entry.get("key").and_then(Json::as_str) == Some(key.hex().as_str())
         && entry.get("code").and_then(Json::as_str) == Some(code_version)
@@ -120,10 +124,35 @@ pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> L
         && entry.get("seed").and_then(Json::as_u64) == Some(spec.seed)
         && entry.get("reps").and_then(Json::as_u64) == Some(spec.reps as u64);
     if !matches {
-        return Lookup::Corrupt;
+        return None;
     }
-    match entry.get("payload") {
-        Some(payload) => Lookup::Hit(payload.clone()),
+    entry.get("payload").cloned()
+}
+
+/// Try to load a cached payload. Never panics: a missing entry is
+/// [`Lookup::Miss`], and any form of corruption (unreadable file, broken
+/// checksum frame, bad JSON, wrong schema/key/identity) is
+/// [`Lookup::Corrupt`].
+pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> Lookup {
+    load_with(&Vfs::real(), dir, key, code_version, spec)
+}
+
+/// [`load`] through an explicit filesystem handle (fault-injectable).
+pub fn load_with(
+    vfs: &Vfs,
+    dir: &Path,
+    key: CacheKey,
+    code_version: &str,
+    spec: &CellSpec,
+) -> Lookup {
+    let text = match vfs.read_to_string(&entry_path(dir, key)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
+        Err(_) => return Lookup::Corrupt,
+    };
+    let Ok(entry) = checked::unseal(&text) else { return Lookup::Corrupt };
+    match verify_entry(&entry, key, code_version, spec) {
+        Some(payload) => Lookup::Hit(payload),
         None => Lookup::Corrupt,
     }
 }
@@ -133,7 +162,7 @@ pub fn load(dir: &Path, key: CacheKey, code_version: &str, spec: &CellSpec) -> L
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A unique temporary sibling of `path`: `<name>.tmp.<pid>.<seq>`. The
-/// `.tmp.` infix is the marker [`sweep_orphans`] looks for.
+/// `.tmp.` infix is the marker the orphan sweep looks for.
 pub(crate) fn unique_tmp(path: &Path) -> PathBuf {
     let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
     path.with_file_name(format!(
@@ -141,6 +170,30 @@ pub(crate) fn unique_tmp(path: &Path) -> PathBuf {
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ))
+}
+
+/// Render the sealed entry line for a cell (checksum frame + compact
+/// JSON + newline) — what [`store_with`] writes and fsck re-verifies.
+pub(crate) fn entry_line(
+    key: CacheKey,
+    code_version: &str,
+    spec: &CellSpec,
+    payload: &Json,
+) -> String {
+    let entry = Json::obj(vec![
+        ("schema", Json::U64(ENTRY_SCHEMA)),
+        ("key", Json::Str(key.hex())),
+        ("code", Json::Str(code_version.to_string())),
+        ("experiment", Json::Str(spec.experiment.clone())),
+        ("cell", Json::Str(spec.cell.clone())),
+        ("params", spec.params.clone()),
+        ("seed", Json::U64(spec.seed)),
+        ("reps", Json::U64(spec.reps as u64)),
+        ("payload", payload.clone()),
+    ]);
+    let mut line = checked::seal(&entry);
+    line.push('\n');
+    line
 }
 
 /// Persist a payload. Written to a per-store-unique temporary sibling
@@ -155,53 +208,86 @@ pub fn store(
     spec: &CellSpec,
     payload: &Json,
 ) -> std::io::Result<()> {
-    let path = entry_path(dir, key);
-    let parent = path.parent().ok_or_else(|| std::io::Error::other("entry path has no parent"))?;
-    std::fs::create_dir_all(parent)?;
-    let entry = Json::obj(vec![
-        ("schema", Json::U64(ENTRY_SCHEMA)),
-        ("key", Json::Str(key.hex())),
-        ("code", Json::Str(code_version.to_string())),
-        ("experiment", Json::Str(spec.experiment.clone())),
-        ("cell", Json::Str(spec.cell.clone())),
-        ("params", spec.params.clone()),
-        ("seed", Json::U64(spec.seed)),
-        ("reps", Json::U64(spec.reps as u64)),
-        ("payload", payload.clone()),
-    ]);
-    let mut line = entry.to_string();
-    line.push('\n');
-    let tmp = unique_tmp(&path);
-    std::fs::write(&tmp, line)?;
-    if let Err(e) = std::fs::rename(&tmp, &path) {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e);
+    store_with(&Vfs::real(), dir, key, code_version, spec, payload)
+}
+
+/// [`store`] through an explicit filesystem handle (fault-injectable).
+pub fn store_with(
+    vfs: &Vfs,
+    dir: &Path,
+    key: CacheKey,
+    code_version: &str,
+    spec: &CellSpec,
+    payload: &Json,
+) -> std::io::Result<()> {
+    vfs.write_atomic(&entry_path(dir, key), &entry_line(key, code_version, spec, payload))
+}
+
+/// Where the orphan sweep found stranded `*.tmp.*` files, by storage
+/// area. The split feeds telemetry: a journal-area orphan means a
+/// campaign died mid-append, which is worth distinguishing from a torn
+/// cache store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Temp files swept from cache shard directories (and the root).
+    pub cache_tmp: u64,
+    /// Temp files swept from `journal/` (journals, locks, indexes).
+    pub journal_tmp: u64,
+    /// Temp files swept from `manifests/`.
+    pub manifest_tmp: u64,
+}
+
+impl SweepStats {
+    /// Total files swept across all areas.
+    pub fn total(&self) -> u64 {
+        self.cache_tmp + self.journal_tmp + self.manifest_tmp
     }
-    Ok(())
 }
 
 /// Remove stale `*.tmp.*` siblings stranded by a process killed between
-/// temp write and rename — in the shard directories and in the
-/// `manifests/` directory alike. Returns the number removed. Sweeping is
-/// best-effort: an unreadable directory simply contributes nothing.
-pub fn sweep_orphans(dir: &Path) -> u64 {
-    let mut swept = 0;
-    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+/// temp write and rename — in the cache shard directories, the store's
+/// bookkeeping directories (`journal/`, `index/`, `intent/`), the
+/// `manifests/` directory, and the root itself. Sweeping is best-effort:
+/// an unreadable directory simply contributes nothing.
+pub fn sweep_stats(dir: &Path) -> SweepStats {
+    let mut stats = SweepStats::default();
+    let sweep_dir = |sub: &Path, counter: &mut u64| {
+        let Ok(files) = std::fs::read_dir(sub) else { return };
+        for file in files.flatten() {
+            let path = file.path();
+            if path.is_dir() {
+                continue;
+            }
+            if file.file_name().to_string_lossy().contains(".tmp.")
+                && std::fs::remove_file(&path).is_ok()
+            {
+                *counter += 1;
+            }
+        }
+    };
+    sweep_dir(dir, &mut stats.cache_tmp);
+    let Ok(entries) = std::fs::read_dir(dir) else { return stats };
     for entry in entries.flatten() {
         let sub = entry.path();
         if !sub.is_dir() {
             continue;
         }
-        let Ok(files) = std::fs::read_dir(&sub) else { continue };
-        for file in files.flatten() {
-            let name = file.file_name();
-            if name.to_string_lossy().contains(".tmp.") && std::fs::remove_file(file.path()).is_ok()
-            {
-                swept += 1;
-            }
-        }
+        let name = entry.file_name();
+        let counter = match name.to_string_lossy().as_ref() {
+            "journal" | "index" | "intent" => &mut stats.journal_tmp,
+            "manifests" => &mut stats.manifest_tmp,
+            _ => &mut stats.cache_tmp,
+        };
+        sweep_dir(&sub, counter);
     }
-    swept
+    stats
+}
+
+/// Total orphaned temp files swept under the cache root — the
+/// pre-breakdown form of [`sweep_stats`], kept for callers that only
+/// need the count.
+pub fn sweep_orphans(dir: &Path) -> u64 {
+    sweep_stats(dir).total()
 }
 
 #[cfg(test)]
@@ -245,5 +331,45 @@ mod tests {
         let key = CacheKey(0xAB00_0000_0000_0001, 2);
         let p = entry_path(Path::new("cache"), key);
         assert_eq!(p, Path::new("cache").join("ab").join("ab000000000000010000000000000002.json"));
+    }
+
+    #[test]
+    fn entries_are_sealed_and_torn_bytes_read_as_corrupt() {
+        let dir = std::env::temp_dir().join(format!("smi-lab-cache-seal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = cell_key("v1", &spec());
+        store(&dir, key, "v1", &spec(), &Json::U64(42)).expect("store");
+        let path = entry_path(&dir, key);
+        let text = std::fs::read_to_string(&path).expect("read entry");
+        assert!(text.starts_with("crc64:"), "entries are checksum-framed: {text:?}");
+        assert_eq!(load(&dir, key, "v1", &spec()), Lookup::Hit(Json::U64(42)));
+        // Tear the tail off the sealed line: the checksum fails closed.
+        std::fs::write(&path, &text[..text.len() / 2]).expect("tear");
+        assert_eq!(load(&dir, key, "v1", &spec()), Lookup::Corrupt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_classifies_areas() {
+        let dir = std::env::temp_dir().join(format!("smi-lab-cache-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for sub in ["ab", "journal", "manifests", "index"] {
+            std::fs::create_dir_all(dir.join(sub)).expect("mkdir");
+            std::fs::write(dir.join(sub).join("x.tmp.1.0"), "torn").expect("plant");
+            std::fs::write(dir.join(sub).join("keep.json"), "{}").expect("plant");
+        }
+        std::fs::write(dir.join("root.tmp.1.1"), "torn").expect("plant");
+        let stats = sweep_stats(&dir);
+        assert_eq!(
+            stats,
+            SweepStats { cache_tmp: 2, journal_tmp: 2, manifest_tmp: 1 },
+            "one per area plus the root-level orphan"
+        );
+        assert_eq!(stats.total(), 5);
+        assert_eq!(sweep_orphans(&dir), 0, "second sweep finds nothing");
+        for sub in ["ab", "journal", "manifests", "index"] {
+            assert!(dir.join(sub).join("keep.json").exists(), "{sub} data must survive");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

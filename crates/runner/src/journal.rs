@@ -19,9 +19,9 @@
 //! run manifest read back.
 
 use crate::cache::CacheKey;
+use crate::vfs::Vfs;
 use jsonio::Json;
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -112,20 +112,62 @@ impl Journal {
     }
 }
 
+/// Byte length of the longest prefix of `text` made of whole,
+/// newline-terminated, parseable JSON lines. Everything past it is a
+/// torn tail: a fragment with no newline, or a final line a fault tore
+/// mid-append. Garbage lines *inside* the valid region (followed by
+/// further valid lines) are the loader's tolerance problem, not a tail.
+pub fn torn_tail_start(text: &str) -> usize {
+    let mut valid_end = 0;
+    let mut pos = 0;
+    while let Some(nl) = text[pos..].find('\n') {
+        let line = &text[pos..pos + nl];
+        pos += nl + 1;
+        if Json::parse(line).is_ok() {
+            valid_end = pos;
+        }
+    }
+    valid_end
+}
+
+/// Truncate a journal's torn tail in place, returning the number of
+/// bytes removed. A missing or fully-valid file removes nothing. Called
+/// at campaign startup (under the campaign lock) and by `fsck --repair`.
+pub fn sweep_torn_tail(path: &Path) -> u64 {
+    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
+    let keep = torn_tail_start(&text);
+    if keep == text.len() {
+        return 0;
+    }
+    let Ok(file) = std::fs::OpenOptions::new().write(true).open(path) else { return 0 };
+    if file.set_len(keep as u64).is_err() {
+        return 0;
+    }
+    (text.len() - keep) as u64
+}
+
 /// Crash-safe journal appender shared by all worker threads.
 pub struct Writer {
     file: Mutex<std::fs::File>,
+    path: PathBuf,
+    vfs: Vfs,
 }
 
 impl Writer {
     /// Open (creating directories and the file as needed) the journal
-    /// for appending.
+    /// for appending, through the pass-through filesystem.
     pub fn open(path: &Path) -> std::io::Result<Writer> {
+        Writer::open_with(path, Vfs::real())
+    }
+
+    /// [`Writer::open`] through an explicit filesystem handle, so the
+    /// durability suite can tear journal appends.
+    pub fn open_with(path: &Path, vfs: Vfs) -> std::io::Result<Writer> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
         let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Writer { file: Mutex::new(file) })
+        Ok(Writer { file: Mutex::new(file), path: path.to_path_buf(), vfs })
     }
 
     /// Append one completion line and flush it. The whole line goes down
@@ -151,8 +193,7 @@ impl Writer {
         // Recover from a poisoned lock: the journal must keep absorbing
         // completions even after some worker panicked mid-append.
         let mut file = self.file.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        file.write_all(line.as_bytes())?;
-        file.flush()
+        self.vfs.append_line(&mut file, &self.path, &line)
     }
 }
 
@@ -205,6 +246,23 @@ mod tests {
         let j = Journal::load(&path);
         assert_eq!(j.len(), 2, "torn tail must not hide the intact prefix");
         assert!(!j.is_empty());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_sweep_truncates_to_the_valid_prefix() {
+        let path = tmp_journal("sweep");
+        let w = Writer::open(&path).expect("open journal");
+        w.append(key(1), "c1", Status::Ok, 1).expect("append");
+        w.append(key(2), "c2", Status::Ok, 1).expect("append");
+        drop(w);
+        let intact = std::fs::read_to_string(&path).expect("read journal");
+        let fragment = "{\"schema\":1,\"key\":\"00ab";
+        std::fs::write(&path, format!("{intact}{fragment}")).expect("tear");
+        assert_eq!(sweep_torn_tail(&path), fragment.len() as u64);
+        assert_eq!(std::fs::read_to_string(&path).expect("read journal"), intact);
+        assert_eq!(sweep_torn_tail(&path), 0, "a clean journal is untouched");
+        assert_eq!(sweep_torn_tail(Path::new("/nonexistent/j.jsonl")), 0);
         let _ = std::fs::remove_dir_all(path.parent().unwrap().parent().unwrap());
     }
 

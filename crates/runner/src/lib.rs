@@ -68,10 +68,12 @@ pub mod journal;
 pub mod lockfile;
 pub mod pool;
 pub mod proto;
+pub mod store;
 pub mod supervisor;
 pub mod telemetry;
 #[cfg(any(test, feature = "chaos"))]
 pub mod testcells;
+pub mod vfs;
 pub mod worker;
 
 use jsonio::Json;
@@ -188,6 +190,16 @@ pub struct Runner {
     /// supervised worker *subprocesses* instead of in-process threads —
     /// see [`supervisor`]. `None` keeps the classic in-process pool.
     pub isolate: Option<supervisor::IsolateConfig>,
+    /// The filesystem handle every byte this campaign persists flows
+    /// through. [`vfs::Vfs::real`] in production; the durability suite
+    /// (and `--vfs-faults`) installs a fault-injecting plan instead.
+    pub vfs: vfs::Vfs,
+    /// Graceful-degradation threshold: once this many combined disk
+    /// faults (store errors + load corruptions) accumulate, the campaign
+    /// drops to read-only-cache / journal-bypass mode and finishes
+    /// Degraded instead of hammering a failing disk. `0` disables the
+    /// ladder (every write keeps being attempted).
+    pub disk_fault_limit: u64,
 }
 
 impl std::fmt::Debug for Runner {
@@ -201,6 +213,8 @@ impl std::fmt::Debug for Runner {
             .field("max_attempts", &self.max_attempts)
             .field("perf_probe", &self.perf_probe.is_some())
             .field("isolate", &self.isolate)
+            .field("vfs_faulty", &self.vfs.is_faulty())
+            .field("disk_fault_limit", &self.disk_fault_limit)
             .finish()
     }
 }
@@ -219,6 +233,8 @@ impl Runner {
             max_attempts: 3,
             perf_probe: None,
             isolate: None,
+            vfs: vfs::Vfs::real(),
+            disk_fault_limit: 32,
         }
     }
 
@@ -251,33 +267,43 @@ impl Runner {
     /// silently corrupt the resume account, so the second one fails fast
     /// here. `CacheMode::Off` runs share no state and take no lock.
     pub fn try_run(&self, label: &str, cells: Vec<Cell>) -> Result<RunReport, RunnerError> {
-        let _lock = if self.cache_mode != CacheMode::Off {
+        let (_lock, lock_broken) = if self.cache_mode != CacheMode::Off {
             match lockfile::CampaignLock::acquire(&self.cache_dir, label) {
-                Ok(guard) => guard,
+                Ok(acquired) => (acquired.guard, acquired.broke),
                 Err(held) => return Err(RunnerError::Locked(held)),
             }
         } else {
-            None
+            (None, None)
         };
         Ok(match &self.isolate {
-            Some(cfg) => supervisor::run_isolated(self, cfg, label, cells),
-            None => self.run_inner(label, cells),
+            Some(cfg) => supervisor::run_isolated(self, cfg, label, cells, lock_broken),
+            None => self.run_inner(label, cells, lock_broken),
         })
     }
 
-    fn run_inner(&self, label: &str, cells: Vec<Cell>) -> RunReport {
-        let progress = telemetry::Progress::new(cells.len() as u64, self.verbose);
-        let started = Stopwatch::start();
+    /// Open the shared store and journal for one campaign: replay
+    /// intents, sweep orphans, truncate this label's torn journal tail,
+    /// and count prior completions. Shared verbatim by the in-process
+    /// pool and the isolated supervisor so the two startup paths can
+    /// never drift. Returns `None` store when the cache is off.
+    pub(crate) fn open_storage(
+        &self,
+        label: &str,
+        cells: &[Cell],
+        progress: &telemetry::Progress,
+        lock_broken: Option<lockfile::BrokenLock>,
+    ) -> (Option<store::Store>, Option<journal::Writer>, StorageAccount) {
         let cache_active = self.cache_mode != CacheMode::Off;
-        // Interrupted stores leave *.tmp.* siblings behind; sweep them
-        // before any worker races a stale orphan.
-        let orphans_swept = if cache_active { cache::sweep_orphans(&self.cache_dir) } else { 0 };
+        if !cache_active {
+            return (None, None, StorageAccount { lock_broken, ..StorageAccount::default() });
+        }
         let journal_path = journal::journal_path(&self.cache_dir, label);
-        let prior = if cache_active {
-            journal::Journal::load(&journal_path)
-        } else {
-            journal::Journal::default()
-        };
+        // Truncate a torn journal tail (we hold the campaign lock) so
+        // the appender never writes after a damaged fragment.
+        let journal_torn_bytes = journal::sweep_torn_tail(&journal_path);
+        let (store, open_stats) =
+            store::Store::open(self.vfs.clone(), &self.cache_dir, label, &self.code_version);
+        let prior = journal::Journal::load(&journal_path);
         let journal_prior_ok = cells
             .iter()
             .filter(|c| {
@@ -285,67 +311,90 @@ impl Runner {
                     == Some(journal::Status::Ok)
             })
             .count() as u64;
-        let writer = if cache_active {
-            match journal::Writer::open(&journal_path) {
-                Ok(w) => Some(w),
-                Err(_) => {
-                    progress.note_store_error();
-                    None
-                }
+        let writer = match journal::Writer::open_with(&journal_path, self.vfs.clone()) {
+            Ok(w) => Some(w),
+            Err(_) => {
+                progress.note_store_error();
+                None
             }
-        } else {
-            None
         };
+        let account = StorageAccount {
+            sweep: open_stats.sweep,
+            intents_resolved: open_stats.intents_resolved,
+            torn_entries_removed: open_stats.torn_entries_removed,
+            journal_torn_bytes,
+            journal_prior_ok,
+            lock_broken,
+            store: store::StoreCounters::default(),
+        };
+        (Some(store), writer, account)
+    }
+
+    fn run_inner(
+        &self,
+        label: &str,
+        cells: Vec<Cell>,
+        lock_broken: Option<lockfile::BrokenLock>,
+    ) -> RunReport {
+        let progress = telemetry::Progress::new(cells.len() as u64, self.verbose)
+            .with_disk_fault_limit(self.disk_fault_limit);
+        let started = Stopwatch::start();
+        let (store, writer, mut account) = self.open_storage(label, &cells, &progress, lock_broken);
+        let store = &store;
         let writer = &writer;
         let jobs: Vec<_> = cells
             .into_iter()
             .map(|cell| {
                 let progress = &progress;
-                move || self.run_cell(cell, progress, writer.as_ref())
+                move || self.run_cell(cell, progress, store.as_ref(), writer.as_ref())
             })
             .collect();
         let outcomes = pool::run_jobs(jobs, self.jobs);
-        assemble_report(
-            self,
-            label,
-            &progress,
-            &started,
-            orphans_swept,
-            journal_prior_ok,
-            outcomes,
-            None,
-        )
+        if let Some(store) = store {
+            account.store = store.counters();
+            // Bookkeeping append failures are disk faults too: fold them
+            // into the counted store errors so they degrade the run.
+            for _ in 0..account.store.index_errors {
+                progress.note_store_error();
+            }
+        }
+        assemble_report(self, label, &progress, &started, account, outcomes, None)
     }
 
     fn run_cell(
         &self,
         cell: Cell,
         progress: &telemetry::Progress,
+        store: Option<&store::Store>,
         writer: Option<&journal::Writer>,
     ) -> CellOutcome {
         let started = Stopwatch::start();
         let key = cache::cell_key(&self.code_version, &cell.spec);
         let journal_completion = |status: journal::Status, attempts: u32| {
             if let Some(w) = writer {
-                if w.append(key, &cell.spec.cell, status, attempts).is_err() {
+                if progress.storage_bypass() {
+                    progress.note_bypassed_write();
+                } else if w.append(key, &cell.spec.cell, status, attempts).is_err() {
                     progress.note_store_error();
                 }
             }
         };
         if self.cache_mode == CacheMode::ReadWrite {
-            match cache::load(&self.cache_dir, key, &self.code_version, &cell.spec) {
-                cache::Lookup::Hit(payload) => {
-                    let micros = started.elapsed_micros();
-                    progress.cell_done(&cell.spec.cell, micros, true);
-                    journal_completion(journal::Status::Ok, 0);
-                    return CellOutcome {
-                        spec: cell.spec,
-                        key,
-                        result: Ok(CellValue { payload, cached: true, attempts: 0, micros }),
-                    };
+            if let Some(store) = store {
+                match store.load(key, &cell.spec) {
+                    cache::Lookup::Hit(payload) => {
+                        let micros = started.elapsed_micros();
+                        progress.cell_done(&cell.spec.cell, micros, true);
+                        journal_completion(journal::Status::Ok, 0);
+                        return CellOutcome {
+                            spec: cell.spec,
+                            key,
+                            result: Ok(CellValue { payload, cached: true, attempts: 0, micros }),
+                        };
+                    }
+                    cache::Lookup::Corrupt => progress.note_load_corruption(),
+                    cache::Lookup::Miss => {}
                 }
-                cache::Lookup::Corrupt => progress.note_load_corruption(),
-                cache::Lookup::Miss => {}
             }
         }
         // Reset this worker thread's engine counters so whatever the
@@ -366,17 +415,12 @@ impl Runner {
             // function of the cell identity.
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
                 Ok(Ok(payload)) => {
-                    if self.cache_mode != CacheMode::Off
-                        && cache::store(
-                            &self.cache_dir,
-                            key,
-                            &self.code_version,
-                            &cell.spec,
-                            &payload,
-                        )
-                        .is_err()
-                    {
-                        progress.note_store_error();
+                    if let Some(store) = store {
+                        if progress.storage_bypass() {
+                            progress.note_bypassed_write();
+                        } else if store.put(key, &cell.spec, &payload).is_err() {
+                            progress.note_store_error();
+                        }
                     }
                     let micros = started.elapsed_micros();
                     if let Some(probe) = &self.perf_probe {
@@ -435,17 +479,35 @@ impl Runner {
     }
 }
 
+/// Everything a campaign's storage startup and teardown accounted for,
+/// bundled so the two execution modes pass one value, not eight.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct StorageAccount {
+    /// Orphaned temp files swept at startup, by area.
+    pub sweep: cache::SweepStats,
+    /// Write intents replayed by `Store::open`.
+    pub intents_resolved: u64,
+    /// Torn objects removed by intent replay.
+    pub torn_entries_removed: u64,
+    /// Torn journal-tail bytes truncated at startup.
+    pub journal_torn_bytes: u64,
+    /// Cells already journaled `ok` by an earlier run.
+    pub journal_prior_ok: u64,
+    /// The stale lock broken on the way in, if any.
+    pub lock_broken: Option<lockfile::BrokenLock>,
+    /// The store's final counters (filled after the pool drains).
+    pub store: store::StoreCounters,
+}
+
 /// Assemble the final [`RunReport`] from a drained campaign — shared by
 /// the in-process pool and the process-isolated supervisor so the two
 /// execution modes can never drift in how they account for a run.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble_report(
     runner: &Runner,
     label: &str,
     progress: &telemetry::Progress,
     started: &Stopwatch,
-    orphans_swept: u64,
-    journal_prior_ok: u64,
+    account: StorageAccount,
     outcomes: Vec<CellOutcome>,
     isolate: Option<supervisor::IsolateReport>,
 ) -> RunReport {
@@ -479,8 +541,17 @@ pub(crate) fn assemble_report(
         retries: faults.retries,
         cache_store_errors: faults.store_errors,
         cache_load_corruptions: faults.load_corruptions,
-        orphans_swept,
-        journal_prior_ok,
+        orphans_swept: account.sweep.total(),
+        sweep: account.sweep,
+        intents_resolved: account.intents_resolved,
+        torn_entries_removed: account.torn_entries_removed,
+        journal_torn_bytes: account.journal_torn_bytes,
+        journal_prior_ok: account.journal_prior_ok,
+        lock_broken: account.lock_broken,
+        store: account.store,
+        storage_bypass: progress.storage_bypass(),
+        bypassed_writes: progress.bypassed_writes(),
+        disk_fault_limit: runner.disk_fault_limit,
         wall_seconds: started.elapsed_seconds(),
         engine: progress.engine(),
         exec_micros: progress.exec_micros_total(),
@@ -517,7 +588,16 @@ fn aborted_report(runner: &Runner, label: &str, held: &lockfile::LockHeld) -> Ru
         cache_store_errors: 0,
         cache_load_corruptions: 0,
         orphans_swept: 0,
+        sweep: cache::SweepStats::default(),
+        intents_resolved: 0,
+        torn_entries_removed: 0,
+        journal_torn_bytes: 0,
         journal_prior_ok: 0,
+        lock_broken: None,
+        store: store::StoreCounters::default(),
+        storage_bypass: false,
+        bypassed_writes: 0,
+        disk_fault_limit: runner.disk_fault_limit,
         wall_seconds: 0.0,
         engine: EnginePerf::default(),
         exec_micros: 0,
@@ -801,12 +881,34 @@ pub struct RunReport {
     pub cache_store_errors: u64,
     /// Corrupt cache entries encountered on load (each recomputed).
     pub cache_load_corruptions: u64,
-    /// Stale `*.tmp.*` files swept at startup.
+    /// Stale `*.tmp.*` files swept at startup (all areas combined).
     pub orphans_swept: u64,
+    /// The same sweep broken down by storage area.
+    pub sweep: cache::SweepStats,
+    /// Write-ahead intents replayed by the store open (publishes that
+    /// were in flight when the previous run died).
+    pub intents_resolved: u64,
+    /// Objects intent replay proved torn and removed.
+    pub torn_entries_removed: u64,
+    /// Torn journal-tail bytes truncated at startup.
+    pub journal_torn_bytes: u64,
     /// Cells of this run already journaled `ok` by an earlier
     /// (possibly killed) run of the same label — the crash-safe resume
     /// account.
     pub journal_prior_ok: u64,
+    /// The stale campaign lock broken on the way in, if any — who held
+    /// it and how old it was.
+    pub lock_broken: Option<lockfile::BrokenLock>,
+    /// Shared-store counters: local hits, cross-campaign dedup hits,
+    /// misses, publishes, bookkeeping errors.
+    pub store: store::StoreCounters,
+    /// Whether the disk-fault ladder tripped into read-only-cache /
+    /// journal-bypass mode during the run.
+    pub storage_bypass: bool,
+    /// Storage writes skipped while the bypass was active.
+    pub bypassed_writes: u64,
+    /// The configured disk-fault threshold (0 = ladder disabled).
+    pub disk_fault_limit: u64,
     /// Wall time of the whole run.
     pub wall_seconds: f64,
     /// Engine hot-path counters summed over executed cells — all zero
@@ -878,7 +980,7 @@ impl RunReport {
     /// The machine-readable run manifest.
     pub fn manifest(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::U64(4)),
+            ("schema", Json::U64(5)),
             ("label", Json::Str(self.label.clone())),
             ("code", Json::Str(self.code_version.clone())),
             ("jobs", Json::U64(self.jobs as u64)),
@@ -894,6 +996,41 @@ impl RunReport {
             ("cache_load_corruptions", Json::U64(self.cache_load_corruptions)),
             ("orphans_swept", Json::U64(self.orphans_swept)),
             ("journal_prior_ok", Json::U64(self.journal_prior_ok)),
+            (
+                "storage",
+                Json::obj(vec![
+                    ("hits", Json::U64(self.store.hits)),
+                    ("dedup_hits", Json::U64(self.store.dedup_hits)),
+                    ("misses", Json::U64(self.store.misses)),
+                    ("corrupt", Json::U64(self.store.corrupt)),
+                    ("puts", Json::U64(self.store.puts)),
+                    ("index_errors", Json::U64(self.store.index_errors)),
+                    ("intents_resolved", Json::U64(self.intents_resolved)),
+                    ("torn_entries_removed", Json::U64(self.torn_entries_removed)),
+                    ("journal_torn_bytes", Json::U64(self.journal_torn_bytes)),
+                    (
+                        "sweep",
+                        Json::obj(vec![
+                            ("cache_tmp", Json::U64(self.sweep.cache_tmp)),
+                            ("journal_tmp", Json::U64(self.sweep.journal_tmp)),
+                            ("manifest_tmp", Json::U64(self.sweep.manifest_tmp)),
+                        ]),
+                    ),
+                    ("bypass", Json::Bool(self.storage_bypass)),
+                    ("bypassed_writes", Json::U64(self.bypassed_writes)),
+                    ("disk_fault_limit", Json::U64(self.disk_fault_limit)),
+                ]),
+            ),
+            (
+                "lock_broken",
+                match &self.lock_broken {
+                    None => Json::Null,
+                    Some(broke) => Json::obj(vec![
+                        ("holder_pid", broke.holder_pid.map(Json::U64).unwrap_or(Json::Null)),
+                        ("age_seconds", broke.age_seconds.map(Json::U64).unwrap_or(Json::Null)),
+                    ]),
+                },
+            ),
             (
                 "cache_hit_rate",
                 Json::F64(if self.cells_total > 0 {
@@ -1020,17 +1157,21 @@ impl RunReport {
     /// a kill mid-write never leaves a torn manifest (the stranded temp
     /// file is swept at the next runner startup).
     pub fn write_manifest(&self, cache_dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        self.write_manifest_with(&vfs::Vfs::real(), cache_dir)
+    }
+
+    /// [`RunReport::write_manifest`] through an explicit filesystem
+    /// handle, so the durability suite can fail the manifest rename.
+    pub fn write_manifest_with(
+        &self,
+        vfs: &vfs::Vfs,
+        cache_dir: &std::path::Path,
+    ) -> std::io::Result<PathBuf> {
         let dir = cache_dir.join("manifests");
-        std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.label.replace(['/', ' '], "-")));
         let mut body = self.manifest().to_string_pretty();
         body.push('\n');
-        let tmp = cache::unique_tmp(&path);
-        std::fs::write(&tmp, body)?;
-        if let Err(e) = std::fs::rename(&tmp, &path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e);
-        }
+        vfs.write_atomic(&path, &body)?;
         Ok(path)
     }
 }
@@ -1280,7 +1421,7 @@ mod tests {
 
         // The manifest carries counter, status, and reason.
         let m = report.manifest();
-        assert_eq!(m.get("schema").unwrap().as_u64(), Some(4));
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(5));
         assert_eq!(m.get("status").unwrap().as_str(), Some("degraded"));
         assert_eq!(m.get("cells_invalid").unwrap().as_u64(), Some(1));
         let listed = m.get("quarantined").unwrap().as_array().unwrap();

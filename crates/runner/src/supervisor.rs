@@ -42,8 +42,8 @@
 
 use crate::telemetry::{Progress, Stopwatch};
 use crate::{
-    assemble_report, cache, journal, pool::lock_clean, proto, CacheMode, Cell, CellError,
-    CellOutcome, CellSpec, CellValue, QuarantineKind, RunReport, Runner,
+    assemble_report, cache, journal, lockfile, pool::lock_clean, proto, store, CacheMode, Cell,
+    CellError, CellOutcome, CellSpec, CellValue, QuarantineKind, RunReport, Runner,
 };
 use jsonio::framed::{FrameReader, FrameWriter};
 use jsonio::Json;
@@ -151,6 +151,7 @@ struct Ctx<'a> {
     runner: &'a Runner,
     cfg: &'a IsolateConfig,
     progress: &'a Progress,
+    store: Option<&'a store::Store>,
     writer: Option<&'a journal::Writer>,
     queue: Mutex<VecDeque<WorkItem>>,
     slots: Vec<Mutex<Option<CellOutcome>>>,
@@ -161,7 +162,9 @@ struct Ctx<'a> {
 impl Ctx<'_> {
     fn journal(&self, key: cache::CacheKey, cell: &str, status: journal::Status, attempts: u32) {
         if let Some(w) = self.writer {
-            if w.append(key, cell, status, attempts).is_err() {
+            if self.progress.storage_bypass() {
+                self.progress.note_bypassed_write();
+            } else if w.append(key, cell, status, attempts).is_err() {
                 self.progress.note_store_error();
             }
         }
@@ -190,35 +193,12 @@ pub fn run_isolated(
     cfg: &IsolateConfig,
     label: &str,
     cells: Vec<Cell>,
+    lock_broken: Option<lockfile::BrokenLock>,
 ) -> RunReport {
-    let progress = Progress::new(cells.len() as u64, runner.verbose);
+    let progress = Progress::new(cells.len() as u64, runner.verbose)
+        .with_disk_fault_limit(runner.disk_fault_limit);
     let started = Stopwatch::start();
-    let cache_active = runner.cache_mode != CacheMode::Off;
-    let orphans_swept = if cache_active { cache::sweep_orphans(&runner.cache_dir) } else { 0 };
-    let journal_path = journal::journal_path(&runner.cache_dir, label);
-    let prior = if cache_active {
-        journal::Journal::load(&journal_path)
-    } else {
-        journal::Journal::default()
-    };
-    let journal_prior_ok = cells
-        .iter()
-        .filter(|c| {
-            prior.status(cache::cell_key(&runner.code_version, &c.spec))
-                == Some(journal::Status::Ok)
-        })
-        .count() as u64;
-    let writer = if cache_active {
-        match journal::Writer::open(&journal_path) {
-            Ok(w) => Some(w),
-            Err(_) => {
-                progress.note_store_error();
-                None
-            }
-        }
-    } else {
-        None
-    };
+    let (store, writer, mut account) = runner.open_storage(label, &cells, &progress, lock_broken);
 
     // Intake: satisfy cache hits here (cached payloads never cross a
     // pipe, so caching cannot perturb record bytes), queue the rest.
@@ -230,23 +210,30 @@ pub fn run_isolated(
         let key = cache::cell_key(&runner.code_version, &cell.spec);
         identities.push((cell.spec.clone(), key));
         if runner.cache_mode == CacheMode::ReadWrite {
-            match cache::load(&runner.cache_dir, key, &runner.code_version, &cell.spec) {
-                cache::Lookup::Hit(payload) => {
-                    progress.cell_done(&cell.spec.cell, 0, true);
-                    if let Some(w) = &writer {
-                        if w.append(key, &cell.spec.cell, journal::Status::Ok, 0).is_err() {
-                            progress.note_store_error();
+            if let Some(store) = &store {
+                match store.load(key, &cell.spec) {
+                    cache::Lookup::Hit(payload) => {
+                        progress.cell_done(&cell.spec.cell, 0, true);
+                        if let Some(w) = &writer {
+                            if progress.storage_bypass() {
+                                progress.note_bypassed_write();
+                            } else if w
+                                .append(key, &cell.spec.cell, journal::Status::Ok, 0)
+                                .is_err()
+                            {
+                                progress.note_store_error();
+                            }
                         }
+                        *lock_clean(&slots[idx]) = Some(CellOutcome {
+                            spec: cell.spec,
+                            key,
+                            result: Ok(CellValue { payload, cached: true, attempts: 0, micros: 0 }),
+                        });
+                        continue;
                     }
-                    *lock_clean(&slots[idx]) = Some(CellOutcome {
-                        spec: cell.spec,
-                        key,
-                        result: Ok(CellValue { payload, cached: true, attempts: 0, micros: 0 }),
-                    });
-                    continue;
+                    cache::Lookup::Corrupt => progress.note_load_corruption(),
+                    cache::Lookup::Miss => {}
                 }
-                cache::Lookup::Corrupt => progress.note_load_corruption(),
-                cache::Lookup::Miss => {}
             }
         }
         queue.push_back(WorkItem { idx, spec: cell.spec, key, attempts: 0, watch: None });
@@ -257,6 +244,7 @@ pub fn run_isolated(
         runner,
         cfg,
         progress: &progress,
+        store: store.as_ref(),
         writer: writer.as_ref(),
         queue: Mutex::new(queue),
         slots,
@@ -333,16 +321,15 @@ pub fn run_isolated(
         .collect();
 
     let isolate = IsolateReport { workers: stats, pool_exhausted_cells: pool_exhausted };
-    assemble_report(
-        runner,
-        label,
-        &progress,
-        &started,
-        orphans_swept,
-        journal_prior_ok,
-        outcomes,
-        Some(isolate),
-    )
+    if let Some(store) = &store {
+        account.store = store.counters();
+        // Bookkeeping append failures are disk faults too: fold them
+        // into the counted store errors so they degrade the run.
+        for _ in 0..account.store.index_errors {
+            progress.note_store_error();
+        }
+    }
+    assemble_report(runner, label, &progress, &started, account, outcomes, Some(isolate))
 }
 
 /// One manager thread: own one worker slot until the campaign drains
@@ -383,6 +370,7 @@ fn manage_worker(ctx: &Ctx<'_>, stats: &mut WorkerStats) {
         // bound. The bound is also backpressure — it caps the attempts
         // one worker death can cost.
         let mut pipe_broke = false;
+        let mut kill_injected = false;
         while inflight.len() < max_inflight {
             let popped = lock_clean(&ctx.queue).pop_front();
             let Some(mut item) = popped else { break };
@@ -406,6 +394,8 @@ fn manage_worker(ctx: &Ctx<'_>, stats: &mut WorkerStats) {
                         // Injected fault: SIGKILL our own worker with
                         // this cell in flight (the kill-resume gate).
                         let _ = c.child.kill();
+                        kill_injected = true;
+                        break;
                     }
                 }
                 Err(_) => {
@@ -418,6 +408,19 @@ fn manage_worker(ctx: &Ctx<'_>, stats: &mut WorkerStats) {
         if pipe_broke {
             if let Some(c) = conn.take() {
                 crash(ctx, stats, c, &mut inflight, "pipe-closed");
+            }
+            continue;
+        }
+        if kill_injected {
+            // Account the injected kill as a crash *now*, without
+            // draining the pipe first: if the supervisor was preempted
+            // between the dispatch write and the kill, a fast worker may
+            // already have replied `Done` for the doomed cell — reading
+            // it would let the kill's target land Ok and the injection
+            // silently miss. The attempt is charged either way, which is
+            // exactly what a SIGKILL-with-the-cell-in-flight means.
+            if let Some(c) = conn.take() {
+                crash(ctx, stats, c, &mut inflight, "worker-exit");
             }
             continue;
         }
@@ -506,17 +509,12 @@ fn handle_outcome(
     let budget = ctx.runner.max_attempts.max(1);
     match outcome {
         proto::WorkOutcome::Ok { payload, perf } => {
-            if ctx.runner.cache_mode != CacheMode::Off
-                && cache::store(
-                    &ctx.runner.cache_dir,
-                    item.key,
-                    &ctx.runner.code_version,
-                    &item.spec,
-                    &payload,
-                )
-                .is_err()
-            {
-                ctx.progress.note_store_error();
+            if let Some(store) = ctx.store {
+                if ctx.progress.storage_bypass() {
+                    ctx.progress.note_bypassed_write();
+                } else if store.put(item.key, &item.spec, &payload).is_err() {
+                    ctx.progress.note_store_error();
+                }
             }
             ctx.progress.note_engine(perf);
             let micros = item.elapsed();

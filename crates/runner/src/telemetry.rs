@@ -3,7 +3,7 @@
 //! Everything is lock-free on the hot path (atomics only); the printer
 //! takes a short mutex to serialize output lines.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -28,6 +28,9 @@ pub struct Progress {
     engine_queue_peak: AtomicU64,
     engine_runs: AtomicU64,
     histo: [AtomicU64; HISTO_BUCKETS],
+    disk_fault_limit: u64,
+    storage_bypass: AtomicBool,
+    bypassed_writes: AtomicU64,
     started: Instant,
     print: Option<Mutex<Instant>>,
 }
@@ -51,6 +54,9 @@ impl Progress {
             engine_queue_peak: AtomicU64::new(0),
             engine_runs: AtomicU64::new(0),
             histo: std::array::from_fn(|_| AtomicU64::new(0)),
+            disk_fault_limit: 0,
+            storage_bypass: AtomicBool::new(false),
+            bypassed_writes: AtomicU64::new(0),
             started: Instant::now(),
             // Backdate the throttle so the first completion prints.
             // `checked_sub` because Instant arithmetic panics on underflow
@@ -131,16 +137,58 @@ impl Progress {
         self.retries.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// Arm the graceful-degradation ladder: once `limit` combined disk
+    /// faults (store errors + load corruptions) accumulate, the campaign
+    /// drops to read-only-cache / journal-bypass mode instead of hitting
+    /// a failing disk with every remaining cell. `0` never trips.
+    pub fn with_disk_fault_limit(mut self, limit: u64) -> Self {
+        self.disk_fault_limit = limit;
+        self
+    }
+
+    fn maybe_trip_bypass(&self) {
+        if self.disk_fault_limit == 0 || self.storage_bypass.load(Ordering::Acquire) {
+            return;
+        }
+        let faults = self.store_errors.load(Ordering::Acquire)
+            + self.load_corruptions.load(Ordering::Acquire);
+        if faults >= self.disk_fault_limit && !self.storage_bypass.swap(true, Ordering::AcqRel) {
+            eprintln!(
+                "[runner] {faults} disk faults (limit {}): dropping to read-only-cache / \
+                 journal-bypass mode; completions from here are not persisted",
+                self.disk_fault_limit
+            );
+        }
+    }
+
+    /// Whether the degradation ladder has tripped: storage writes are
+    /// now skipped and counted instead of attempted.
+    pub fn storage_bypass(&self) -> bool {
+        self.storage_bypass.load(Ordering::Acquire)
+    }
+
+    /// Count one storage write skipped because the bypass is active.
+    pub fn note_bypassed_write(&self) {
+        self.bypassed_writes.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Storage writes skipped under bypass.
+    pub fn bypassed_writes(&self) -> u64 {
+        self.bypassed_writes.load(Ordering::Acquire)
+    }
+
     /// Count one failed cache (or journal) write — silent degradation
     /// turned into an observed counter.
     pub fn note_store_error(&self) {
         self.store_errors.fetch_add(1, Ordering::AcqRel);
+        self.maybe_trip_bypass();
     }
 
     /// Count one corrupt cache entry encountered on load (recomputed,
     /// never fatal — but worth knowing the disk is rotting).
     pub fn note_load_corruption(&self) {
         self.load_corruptions.fetch_add(1, Ordering::AcqRel);
+        self.maybe_trip_bypass();
     }
 
     /// Fold one executed cell's harvested engine counters into the run
@@ -412,6 +460,25 @@ mod tests {
         );
         let (done, cached, _) = p.totals();
         assert_eq!((done, cached), (5, 0), "quarantined cells count as done, never as cached");
+    }
+
+    #[test]
+    fn disk_fault_limit_trips_bypass_once() {
+        let p = Progress::new(10, false).with_disk_fault_limit(3);
+        p.note_store_error();
+        p.note_load_corruption();
+        assert!(!p.storage_bypass(), "below the limit the ladder stays up");
+        p.note_store_error();
+        assert!(p.storage_bypass(), "limit reached: read-only-cache mode");
+        p.note_bypassed_write();
+        p.note_bypassed_write();
+        assert_eq!(p.bypassed_writes(), 2);
+        // A zero limit never trips, no matter the fault count.
+        let q = Progress::new(10, false);
+        for _ in 0..100 {
+            q.note_store_error();
+        }
+        assert!(!q.storage_bypass());
     }
 
     #[test]

@@ -94,11 +94,12 @@ fn corrupted_entries_are_corrupt_not_panics() {
         assert!(load(&dir, key, "v1", &s).into_payload().is_none());
     }
 
-    // A tampered payload with otherwise-valid identity would need the
-    // identity fields to all match; flip one and it must be corrupt too.
+    // A tampered-but-correctly-resealed entry still fails the identity
+    // check: flip one identity field, reseal so the frame is valid, and
+    // the load must call it corrupt anyway.
     store(&dir, key, "v1", &s, &payload(7)).expect("store");
     let text = std::fs::read_to_string(&path).unwrap();
-    let mut entry = Json::parse(text.trim_end()).unwrap();
+    let mut entry = jsonio::checked::unseal(text.trim_end()).unwrap();
     if let Json::Obj(fields) = &mut entry {
         for (k, v) in fields.iter_mut() {
             if k == "seed" {
@@ -106,8 +107,17 @@ fn corrupted_entries_are_corrupt_not_panics() {
             }
         }
     }
-    std::fs::write(&path, entry.to_string()).unwrap();
+    std::fs::write(&path, jsonio::checked::seal(&entry)).unwrap();
     assert_eq!(load(&dir, key, "v1", &s), Lookup::Corrupt, "identity mismatch is corruption");
+
+    // A single flipped payload byte inside an otherwise intact frame
+    // fails the checksum — the torn-write detection the store rests on.
+    store(&dir, key, "v1", &s, &payload(7)).expect("store");
+    let sealed = std::fs::read_to_string(&path).unwrap();
+    let flipped = sealed.replacen("\"value\":7", "\"value\":8", 1);
+    assert_ne!(sealed, flipped, "the tamper must hit the payload");
+    std::fs::write(&path, flipped).unwrap();
+    assert_eq!(load(&dir, key, "v1", &s), Lookup::Corrupt, "checksum catches flipped bytes");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
