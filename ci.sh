@@ -108,3 +108,33 @@ rm -rf "$DUR_DIR"
 BENCH_SMOKE_OUT="$(mktemp -d)/BENCH_engine.json"
 ./target/release/smi-lab bench --samples 2 --out "$BENCH_SMOKE_OUT" >/dev/null
 rm -rf "$(dirname "$BENCH_SMOKE_OUT")"
+# Stats gate: adaptive sampling and CI-overlap bench gating end-to-end
+# (DESIGN.md §15). An adaptive campaign at two-rep minimum must drain
+# into a schema-6 manifest whose `stats` block carries the power check
+# (the binary re-reads and re-parses the manifest itself via
+# cli::verify_manifest; the greps below pin the machine-readable shape).
+STATS_DIR="$(mktemp -d)"
+./target/release/smi-lab table2 --quick --adaptive --max-reps 4 \
+    --ci-target 0.02 --no-cache --cache-dir "$STATS_DIR/cache" >/dev/null
+grep -q '"schema": 6' "$STATS_DIR/cache/manifests/table2.json"
+grep -q '"designed"' "$STATS_DIR/cache/manifests/table2.json"
+grep -q '"power"' "$STATS_DIR/cache/manifests/table2.json"
+# A planted regression — one case whose baseline interval sits far below
+# anything the engine can do — must fail `bench --gate` with exit 1,
+# while gating against the committed baseline (wide margin to absorb
+# machine-to-machine noise at 2 samples) must pass with exit 0.
+cat > "$STATS_DIR/planted.json" <<'EOF'
+{
+  "schema": 2,
+  "benchmarks": [
+    {"name": "event_queue_near_monotone", "ci_lo_ns": 1, "ci_hi_ns": 2}
+  ]
+}
+EOF
+rc=0
+./target/release/smi-lab bench --samples 2 --out "$STATS_DIR/gated.json" \
+    --gate "$STATS_DIR/planted.json" >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 1
+./target/release/smi-lab bench --samples 2 --out "$STATS_DIR/gated.json" \
+    --gate results/BENCH_engine.json --gate-margin 400 >/dev/null
+rm -rf "$STATS_DIR"

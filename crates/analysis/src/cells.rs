@@ -16,7 +16,7 @@ use crate::figures::{
     convolve_point, fig1_intervals, ubench_index, FigPoint, FigSeries, Figure1Result,
     Figure2Result, FIG1_CPUS, FIG2_CPUS, FIG2_INTERVALS,
 };
-use crate::mpi_tables::measure_cell;
+use crate::mpi_tables::{measure_cell, measure_cell_adaptive};
 use crate::mpi_tables::{
     HttTableCell, HttTableResult, Measured, TableCell, TableResult, SMM_CLASSES,
 };
@@ -24,6 +24,7 @@ use crate::opts::RunOptions;
 use jsonio::{Json, ToJson};
 use mpi_sim::{ClusterSpec, NetworkParams};
 use nas::{calibrate_extra, htt_cell, table_cell, Bench, Class};
+use runner::design::{AdaptiveRun, SampleDesign};
 use runner::{Cell, CellSpec};
 use smi_driver::SmiClass;
 
@@ -158,6 +159,91 @@ pub fn table_cells(bench: Bench, opts: &RunOptions) -> Vec<Cell> {
                     }
                 };
                 Ok(Json::obj(vec![("measured", measured.to_json())]))
+            })
+        })
+        .collect()
+}
+
+/// Fold one cell's three per-SMM sampling verdicts into the payload's
+/// `"stats"` block (what `runner::design::campaign_stats` scans for the
+/// schema-6 manifest): the cell met its target only if *every* SMM
+/// class did, its reported half-width is the loosest of the three, and
+/// the full per-SMM detail (n, t-CI, bootstrap CI, flags) rides along
+/// under `"smm"` so the manifest carries every interval.
+fn fold_smm_stats(runs: &[AdaptiveRun]) -> Json {
+    let worst = runs.iter().map(|r| r.ci.rel_half_width()).fold(0.0_f64, f64::max);
+    let smm = runs
+        .iter()
+        .zip(SMM_CLASSES)
+        .map(|(r, smm)| {
+            let mut entry = vec![("smm".to_string(), Json::Str(smm.label().to_string()))];
+            if let Json::Obj(fields) = r.stats_json() {
+                entry.extend(fields);
+            }
+            Json::Obj(entry)
+        })
+        .collect();
+    Json::obj(vec![
+        ("n", Json::U64(runs.iter().map(|r| r.n() as u64).sum())),
+        ("target", runs.first().map(|r| Json::F64(r.target)).unwrap_or(Json::Null)),
+        ("rel_half_width", if worst.is_finite() { Json::F64(worst) } else { Json::Null }),
+        ("met_target", Json::Bool(runs.iter().all(|r| r.met_target))),
+        ("stopped_early", Json::Bool(runs.iter().any(|r| r.stopped_early))),
+        ("exhausted", Json::Bool(runs.iter().any(|r| r.exhausted))),
+        ("smm", Json::Arr(smm)),
+    ])
+}
+
+/// Adaptive-design variant of [`table_cells`]: the same grid, labels,
+/// and per-repetition seeds, but every (cell, SMM class) runs the
+/// shared sampling loop (`runner::design::run_adaptive`) instead of a
+/// fixed repetition count — low-variance cells stop at `min_reps`,
+/// noisy ones spend up to `max_reps` chasing the CI target. The design
+/// is embedded in the cell params (distinct cache identity from fixed
+/// campaigns) and the payload keeps the `"measured"` array
+/// [`assemble_table`] renders, adding the `"stats"` block the schema-6
+/// manifest folds into its campaign power check. Cells without a paper
+/// baseline carry no `"stats"` (they sample nothing).
+pub fn adaptive_table_cells(bench: Bench, opts: &RunOptions, design: SampleDesign) -> Vec<Cell> {
+    let experiment = format!("table-{}", bench.name());
+    table_grid(bench)
+        .into_iter()
+        .map(|(class, nodes, rpn)| {
+            let label = format!("{}-n{}-r{}", class.letter(), nodes, rpn);
+            let params = Json::obj(vec![
+                ("class", Json::Str(class.letter().to_string())),
+                ("nodes", Json::U64(nodes as u64)),
+                ("rpn", Json::U64(rpn as u64)),
+                ("design", design.params_json()),
+            ]);
+            let opts = *opts;
+            // Fallible for the same reason as `table_cells`.
+            Cell::fallible(spec_for(&experiment, &label, params, &opts), move || {
+                let paper = table_cell(bench, class, nodes, rpn)
+                    .map(|c| c.smm)
+                    .unwrap_or([None, None, None]);
+                let Some(target) = paper[0] else {
+                    let hole: [Option<Measured>; 3] = [None, None, None];
+                    return Ok(Json::obj(vec![("measured", hole.to_json())]));
+                };
+                let network = NetworkParams::gigabit_cluster();
+                let spec = ClusterSpec::wyeast(nodes, rpn, false).map_err(|e| e.reason_json())?;
+                let extra = calibrate_extra(bench, class, &spec, &network, target)
+                    .map_err(|e| e.reason_json())?;
+                let mut measured: [Option<Measured>; 3] = [None, None, None];
+                let mut runs = Vec::with_capacity(3);
+                for (k, smm) in SMM_CLASSES.into_iter().enumerate() {
+                    let (m, run) = measure_cell_adaptive(
+                        bench, class, &spec, extra, smm, &opts, &network, &label, &design,
+                    )
+                    .map_err(|e| e.reason_json())?;
+                    measured[k] = Some(m);
+                    runs.push(run);
+                }
+                Ok(Json::obj(vec![
+                    ("measured", measured.to_json()),
+                    ("stats", fold_smm_stats(&runs)),
+                ]))
             })
         })
         .collect()
@@ -488,6 +574,56 @@ mod tests {
                     other => panic!("measured presence diverged: {other:?}"),
                 }
             }
+        }
+    }
+
+    #[test]
+    fn adaptive_cells_assemble_and_carry_stats() {
+        let opts = tiny();
+        let design = SampleDesign { min_reps: 2, max_reps: 4, target_rel_halfwidth: 1.0 };
+        let report =
+            quiet_runner().run("table-ep-adaptive", adaptive_table_cells(Bench::Ep, &opts, design));
+        let payloads = report.payloads();
+        // The renderer path is oblivious to the design: "measured" still
+        // assembles into a TableResult.
+        let table = assemble_table(Bench::Ep, &payloads);
+        let mut sampled = 0;
+        for (cell, payload) in table.cells.iter().zip(&payloads) {
+            if cell.measured[0].is_none() {
+                assert!(payload.get("stats").is_none(), "no-baseline cells sample nothing");
+                continue;
+            }
+            sampled += 1;
+            let stats = payload.get("stats").expect("measured cells carry a stats block");
+            assert_eq!(stats.get("target").and_then(Json::as_f64), Some(1.0));
+            let per_smm = stats.get("smm").and_then(Json::as_array).expect("per-SMM detail");
+            assert_eq!(per_smm.len(), 3);
+            let n = stats.get("n").and_then(Json::as_u64).expect("total n");
+            assert!((6..=12).contains(&n), "3 SMM classes × 2..=4 reps, got {n}");
+            // The conventional Measured rows report the adaptive n.
+            let reported: u64 = cell.measured.iter().flatten().map(|m| m.reps as u64).sum();
+            assert_eq!(reported, n);
+        }
+        assert!(sampled > 0, "the EP grid has paper baselines");
+        // The runner folds these blocks into the manifest stats section.
+        let campaign = runner::design::campaign_stats(&report.outcomes);
+        assert_eq!(campaign.get("designed").and_then(Json::as_u64), Some(sampled));
+    }
+
+    #[test]
+    fn adaptive_cells_are_schedule_invariant() {
+        let opts = tiny();
+        let design = SampleDesign { min_reps: 2, max_reps: 4, target_rel_halfwidth: 1.0 };
+        let serial = {
+            let mut r = Runner::new(1);
+            r.cache_mode = CacheMode::Off;
+            r.verbose = false;
+            r.run("table-ep-adaptive-j1", adaptive_table_cells(Bench::Ep, &opts, design))
+        };
+        let pooled = quiet_runner()
+            .run("table-ep-adaptive-j2", adaptive_table_cells(Bench::Ep, &opts, design));
+        for (a, b) in serial.payloads().iter().zip(&pooled.payloads()) {
+            assert_eq!(a.to_string(), b.to_string(), "payload bytes must not depend on jobs");
         }
     }
 

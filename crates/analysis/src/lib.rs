@@ -36,8 +36,8 @@ pub use figures::{
     impact_slope, run_figure1, run_figure2, FigPoint, FigSeries, Figure1Result, Figure2Result,
 };
 pub use mpi_tables::{
-    measure_cell, run_htt_table, run_table, HttTableCell, HttTableResult, Measured, TableCell,
-    TableResult, SMM_CLASSES,
+    measure_cell, measure_cell_adaptive, run_htt_table, run_table, HttTableCell, HttTableResult,
+    Measured, TableCell, TableResult, SMM_CLASSES,
 };
 pub use noise_study::{assemble_noise, noise_cell, noise_cells, render_noise, NoiseRow};
 pub use opts::RunOptions;

@@ -10,8 +10,9 @@
 //!    and report the average").
 
 use crate::opts::RunOptions;
-use mpi_sim::{ClusterSpec, NetworkParams, NodeState, RankProgram, SimError};
+use mpi_sim::{ClusterSpec, NetworkParams, NodeState, RankProgram, RunConfig, SimError};
 use nas::{calibrate_extra, htt_cell, programs, table_cell, Bench, Class};
+use runner::design::{run_adaptive, AdaptiveRun, SampleDesign};
 use sim_core::stats::Accumulator;
 use sim_core::SimRng;
 use smi_driver::{SmiClass, SmiDriver, SmiDriverConfig};
@@ -97,6 +98,36 @@ fn jittered_programs(
     programs(bench, class, spec, extra, &jitters)
 }
 
+/// Measure one repetition of a (cell, SMM class): the exact per-rep
+/// seed derivation and operation order of the original fixed loop,
+/// factored out so [`measure_cell`] and the adaptive sampler
+/// ([`measure_cell_adaptive`]) replay byte-identical simulations.
+/// Repetition `rep` is a pure function of the cell identity — never of
+/// how many repetitions ran before it — so an adaptive run's first `n`
+/// repetitions are exactly the fixed design's first `n`.
+#[allow(clippy::too_many_arguments)]
+fn measure_rep(
+    bench: Bench,
+    class: Class,
+    spec: &ClusterSpec,
+    extra: f64,
+    smm: SmiClass,
+    opts: &RunOptions,
+    network: &NetworkParams,
+    config: &RunConfig,
+    cell_label: &str,
+    rep: u32,
+) -> Result<f64, SimError> {
+    let mut rng = SimRng::from_path(
+        opts.seed,
+        &[bench.name(), cell_label, smm.label(), &format!("rep{rep}")],
+    );
+    let progs = jittered_programs(bench, class, spec, extra, opts, &mut rng);
+    let nodes = nodes_for(spec, smm, &mut rng);
+    let out = mpi_sim::run_with(spec, &nodes, &progs, network, config)?;
+    Ok(out.seconds())
+}
+
 /// Measure one cell (fixed spec) under one SMM class.
 #[allow(clippy::too_many_arguments)]
 pub fn measure_cell(
@@ -112,16 +143,47 @@ pub fn measure_cell(
     let mut acc = Accumulator::new();
     let config = opts.engine_config();
     for rep in 0..opts.reps {
-        let mut rng = SimRng::from_path(
-            opts.seed,
-            &[bench.name(), cell_label, smm.label(), &format!("rep{rep}")],
-        );
-        let progs = jittered_programs(bench, class, spec, extra, opts, &mut rng);
-        let nodes = nodes_for(spec, smm, &mut rng);
-        let out = mpi_sim::run_with(spec, &nodes, &progs, network, &config)?;
-        acc.push(out.seconds());
+        acc.push(measure_rep(
+            bench, class, spec, extra, smm, opts, network, &config, cell_label, rep,
+        )?);
     }
     Ok(Measured { mean: acc.mean(), std: acc.stddev(), reps: opts.reps })
+}
+
+/// Measure one cell under one SMM class with the adaptive stopping rule
+/// of DESIGN.md §15: repeat until the Student-t 95 % CI on the mean is
+/// relatively tighter than the design target, bounded by
+/// `[min_reps, max_reps]`. Per-repetition seeds are identical to
+/// [`measure_cell`]'s — the design only decides *how many* repetitions
+/// run, never what any repetition computes. Returns the conventional
+/// [`Measured`] summary (`reps` = repetitions actually executed) plus
+/// the full sampling verdict for the payload's `"stats"` block.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_cell_adaptive(
+    bench: Bench,
+    class: Class,
+    spec: &ClusterSpec,
+    extra: f64,
+    smm: SmiClass,
+    opts: &RunOptions,
+    network: &NetworkParams,
+    cell_label: &str,
+    design: &SampleDesign,
+) -> Result<(Measured, AdaptiveRun), SimError> {
+    let config = opts.engine_config();
+    // The bootstrap stream is labelled off the same cell identity as the
+    // repetition seeds, so the interval is reproducible wherever the
+    // cell executes (any worker thread, any `--isolate` subprocess).
+    let mut boot_rng =
+        SimRng::from_path(opts.seed, &[bench.name(), cell_label, smm.label(), "bootstrap"]);
+    let run = run_adaptive(design, &mut boot_rng, |rep| {
+        measure_rep(bench, class, spec, extra, smm, opts, network, &config, cell_label, rep)
+    })?;
+    let mut acc = Accumulator::new();
+    for &x in &run.samples {
+        acc.push(x);
+    }
+    Ok((Measured { mean: acc.mean(), std: acc.stddev(), reps: run.n() }, run))
 }
 
 /// Reproduce Table 1 (BT), 2 (EP) or 3 (FT).
@@ -346,6 +408,69 @@ mod tests {
         )
         .expect("measures");
         assert_ne!(a.mean, b.mean, "distinct labels must decorrelate phases");
+    }
+
+    #[test]
+    fn adaptive_reps_replay_the_fixed_design_prefix() {
+        let spec = ClusterSpec::wyeast(1, 1, false).expect("valid shape");
+        let net = NetworkParams::gigabit_cluster();
+        // An unreachable target: the sampler must spend the whole budget.
+        let design = SampleDesign { min_reps: 2, max_reps: 5, target_rel_halfwidth: 1e-12 };
+        let (m, run) = measure_cell_adaptive(
+            Bench::Ep,
+            Class::A,
+            &spec,
+            0.0,
+            SmiClass::Long,
+            &tiny_opts(),
+            &net,
+            "x",
+            &design,
+        )
+        .expect("measures");
+        assert_eq!(run.n(), 5, "impossible target exhausts max_reps");
+        assert!(run.exhausted);
+        assert_eq!(m.reps, 5);
+        // The adaptive loop's first `reps` samples ARE the fixed
+        // design's repetitions: same seeds, same numbers, bit for bit.
+        let fixed =
+            measure_cell(Bench::Ep, Class::A, &spec, 0.0, SmiClass::Long, &tiny_opts(), &net, "x")
+                .expect("measures");
+        let mut acc = Accumulator::new();
+        for &x in &run.samples[..tiny_opts().reps as usize] {
+            acc.push(x);
+        }
+        assert_eq!(acc.mean(), fixed.mean);
+        assert_eq!(acc.stddev(), fixed.std);
+    }
+
+    #[test]
+    fn adaptive_measurement_is_deterministic_and_stops_on_loose_targets() {
+        let spec = ClusterSpec::wyeast(1, 1, false).expect("valid shape");
+        let net = NetworkParams::gigabit_cluster();
+        // A ±100 % target is met as soon as a variance estimate exists.
+        let design = SampleDesign { min_reps: 2, max_reps: 9, target_rel_halfwidth: 1.0 };
+        let measure = || {
+            measure_cell_adaptive(
+                Bench::Ep,
+                Class::A,
+                &spec,
+                0.0,
+                SmiClass::Long,
+                &tiny_opts(),
+                &net,
+                "x",
+                &design,
+            )
+            .expect("measures")
+        };
+        let (a, run_a) = measure();
+        let (b, run_b) = measure();
+        assert_eq!(run_a.n(), 2, "loose target stops at min_reps");
+        assert!(run_a.stopped_early);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std, b.std);
+        assert_eq!(run_a.stats_json().to_string(), run_b.stats_json().to_string());
     }
 
     #[test]

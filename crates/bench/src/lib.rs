@@ -56,6 +56,49 @@ impl Bencher {
     }
 }
 
+/// Typed reasons a [`Summary`] statistic cannot be honestly computed.
+/// The infallible accessors ([`Summary::quantile_ns`] etc.) paper over
+/// these with documented clamps; [`Summary::try_quantile_ns`] surfaces
+/// them so callers that *report* a statistic can refuse to fabricate
+/// one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SummaryError {
+    /// No samples were recorded at all.
+    Empty,
+    /// The requested quantile is outside `[0, 1]`.
+    QuantileOutOfRange(f64),
+    /// Too few samples to resolve the interior quantile `q`: the
+    /// nearest-rank estimate degenerates to the maximum sample (a
+    /// one-sample "median", a ten-sample "p95"). `needed` is the
+    /// smallest sample count at which the rank separates from the
+    /// extreme.
+    Underresolved {
+        /// The quantile asked for.
+        q: f64,
+        /// Samples available.
+        n: usize,
+        /// Samples the quantile would need to be distinguishable from
+        /// the maximum.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaryError::Empty => write!(f, "no samples recorded"),
+            SummaryError::QuantileOutOfRange(q) => write!(f, "quantile {q} outside [0, 1]"),
+            SummaryError::Underresolved { q, n, needed } => write!(
+                f,
+                "quantile {q} unresolved at {n} sample(s): nearest-rank needs {needed} \
+                 to separate from the maximum"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
 /// Per-benchmark sample statistics: every sample is kept (sorted
 /// ascending, in nanoseconds) so dispersion survives into reports.
 #[derive(Clone, Debug)]
@@ -68,13 +111,43 @@ pub struct Summary {
 
 impl Summary {
     /// Nearest-rank quantile over the sorted samples; `q` in `[0, 1]`.
+    ///
+    /// Infallible with documented clamps: an empty summary returns `0`,
+    /// `q` is clamped into `[0, 1]`, and interior quantiles on samples
+    /// too small to resolve them degrade to the maximum sample (a
+    /// one-sample "p95" is that sample). Use [`try_quantile_ns`] when
+    /// fabricating a degenerate estimate would be misleading.
+    ///
+    /// [`try_quantile_ns`]: Summary::try_quantile_ns
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.samples_ns.is_empty() {
             return 0;
         }
         let n = self.samples_ns.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
         self.samples_ns[rank - 1]
+    }
+
+    /// Strict nearest-rank quantile: errors instead of clamping. An
+    /// interior quantile (`0 < q < 1`) whose nearest rank lands on the
+    /// last sample is [`SummaryError::Underresolved`] — e.g. a median
+    /// needs 2 samples, a p95 needs 20 before it means anything beyond
+    /// "the maximum".
+    pub fn try_quantile_ns(&self, q: f64) -> Result<u64, SummaryError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SummaryError::QuantileOutOfRange(q));
+        }
+        let n = self.samples_ns.len();
+        if n == 0 {
+            return Err(SummaryError::Empty);
+        }
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        if q > 0.0 && q < 1.0 && rank == n {
+            // Smallest n with ceil(q*n) <= n-1, i.e. n >= 1/(1-q).
+            let needed = (1.0 / (1.0 - q)).ceil() as usize;
+            return Err(SummaryError::Underresolved { q, n, needed });
+        }
+        Ok(self.samples_ns[rank - 1])
     }
 
     /// Fastest sample.
@@ -82,12 +155,15 @@ impl Summary {
         self.samples_ns.first().copied().unwrap_or(0)
     }
 
-    /// Median (nearest-rank p50).
+    /// Median (nearest-rank p50). Clamped like [`Summary::quantile_ns`]:
+    /// a one-sample summary reports that sample.
     pub fn median_ns(&self) -> u64 {
         self.quantile_ns(0.50)
     }
 
-    /// 95th percentile (nearest-rank).
+    /// 95th percentile (nearest-rank). Clamped like
+    /// [`Summary::quantile_ns`]: below 20 samples this is the maximum
+    /// sample — smoke runs report honest-but-degenerate tails.
     pub fn p95_ns(&self) -> u64 {
         self.quantile_ns(0.95)
     }
@@ -360,6 +436,45 @@ mod tests {
         let empty = Summary { name: "e".into(), samples_ns: vec![] };
         assert_eq!(empty.median_ns(), 0);
         assert_eq!(empty.mean_ns(), 0);
+    }
+
+    #[test]
+    fn strict_quantiles_reject_degenerate_samples() {
+        let empty = Summary { name: "e".into(), samples_ns: vec![] };
+        assert_eq!(empty.try_quantile_ns(0.5), Err(SummaryError::Empty));
+        assert_eq!(empty.try_quantile_ns(1.5), Err(SummaryError::QuantileOutOfRange(1.5)));
+
+        // One sample: min and max are exact, every interior quantile is
+        // a fabrication the strict API refuses.
+        let one = Summary { name: "one".into(), samples_ns: vec![42] };
+        assert_eq!(one.try_quantile_ns(0.0), Ok(42));
+        assert_eq!(one.try_quantile_ns(1.0), Ok(42));
+        assert_eq!(
+            one.try_quantile_ns(0.5),
+            Err(SummaryError::Underresolved { q: 0.5, n: 1, needed: 2 })
+        );
+        assert_eq!(
+            one.try_quantile_ns(0.95),
+            Err(SummaryError::Underresolved { q: 0.95, n: 1, needed: 20 })
+        );
+        // ... while the infallible accessors clamp, documented.
+        assert_eq!(one.median_ns(), 42);
+        assert_eq!(one.p95_ns(), 42);
+        assert_eq!(one.quantile_ns(7.0), 42, "q clamps into [0,1]");
+
+        // p95 resolves at exactly 20 samples, not 19.
+        let nineteen = Summary { name: "s19".into(), samples_ns: (1..=19).collect() };
+        assert_eq!(
+            nineteen.try_quantile_ns(0.95),
+            Err(SummaryError::Underresolved { q: 0.95, n: 19, needed: 20 })
+        );
+        let twenty = Summary { name: "s20".into(), samples_ns: (1..=20).collect() };
+        assert_eq!(twenty.try_quantile_ns(0.95), Ok(19));
+        assert_eq!(twenty.try_quantile_ns(0.5), Ok(10));
+
+        // The error renders a usable message.
+        let msg = one.try_quantile_ns(0.95).unwrap_err().to_string();
+        assert!(msg.contains("needs 20"), "{msg}");
     }
 
     #[test]

@@ -21,8 +21,30 @@ use sim_core::{
 };
 use std::hint::black_box;
 
-/// Schema version of `BENCH_engine.json`.
-pub const BENCH_SCHEMA: u64 = 1;
+/// Schema version of `BENCH_engine.json`. Schema 2 adds the seeded-
+/// bootstrap 95 % confidence interval on the mean (`ci_lo_ns`,
+/// `ci_hi_ns`) per case; schema-1 documents remain readable by the
+/// `--gate` comparator via the `[min_ns, p95_ns]` fallback interval.
+pub const BENCH_SCHEMA: u64 = 2;
+
+/// Root seed of the per-case bootstrap streams: fixed, so a report's CI
+/// is a pure function of its samples.
+const BENCH_CI_SEED: u64 = 0x20160816;
+
+/// Seeded-bootstrap 95 % CI on the mean of a case's samples, in whole
+/// nanoseconds (lo floored, hi ceiled, so the printed interval always
+/// contains the real one). The resampling stream is derived from the
+/// case *name*, never from sample values or order of execution.
+pub fn case_ci_ns(s: &Summary) -> (u64, u64) {
+    let xs: Vec<f64> = s.samples_ns.iter().map(|&n| n as f64).collect();
+    let mut rng = SimRng::from_path(BENCH_CI_SEED, &["bench-ci", &s.name]);
+    let ci = sim_core::stats::bootstrap_ci_mean(&xs, 200, &mut rng);
+    if !(ci.lo.is_finite() && ci.hi.is_finite()) {
+        // Empty case: an impossible report, but never a panic.
+        return (0, 0);
+    }
+    (ci.lo.floor().max(0.0) as u64, ci.hi.ceil() as u64)
+}
 
 /// One named benchmark case: a self-contained routine returning a
 /// checksum (black-boxed by the harness so the work cannot be elided).
@@ -262,6 +284,7 @@ pub fn suite_json(samples: usize, results: &[Summary]) -> Json {
                 results
                     .iter()
                     .map(|s| {
+                        let (ci_lo, ci_hi) = case_ci_ns(s);
                         Json::obj(vec![
                             ("name", Json::Str(s.name.clone())),
                             ("samples", Json::U64(s.samples_ns.len() as u64)),
@@ -270,6 +293,8 @@ pub fn suite_json(samples: usize, results: &[Summary]) -> Json {
                             ("p95_ns", Json::U64(s.p95_ns())),
                             ("mean_ns", Json::U64(s.mean_ns())),
                             ("max_ns", Json::U64(s.max_ns())),
+                            ("ci_lo_ns", Json::U64(ci_lo)),
+                            ("ci_hi_ns", Json::U64(ci_hi)),
                         ])
                     })
                     .collect(),
@@ -311,7 +336,25 @@ mod tests {
             let med = b.get("median_ns").and_then(|v| v.as_u64()).expect("median");
             let p95 = b.get("p95_ns").and_then(|v| v.as_u64()).expect("p95");
             assert!(min <= med && med <= p95, "ordered quantiles");
+            let mean = b.get("mean_ns").and_then(|v| v.as_u64()).expect("mean");
+            let lo = b.get("ci_lo_ns").and_then(|v| v.as_u64()).expect("ci lo");
+            let hi = b.get("ci_hi_ns").and_then(|v| v.as_u64()).expect("ci hi");
+            assert!(lo <= hi, "interval geometry");
+            assert!(lo <= mean + 1 && mean <= hi + 1, "CI brackets the mean");
         }
+    }
+
+    #[test]
+    fn case_ci_is_a_pure_function_of_the_samples() {
+        let a = Summary { name: "stable".into(), samples_ns: vec![100, 110, 105, 130, 95] };
+        let b = a.clone();
+        assert_eq!(case_ci_ns(&a), case_ci_ns(&b), "same samples, same interval");
+        let (lo, hi) = case_ci_ns(&a);
+        assert!(lo >= 95 && hi <= 130, "bootstrap means stay inside the sample range");
+        // Degenerate cases stay total.
+        assert_eq!(case_ci_ns(&Summary { name: "e".into(), samples_ns: vec![] }), (0, 0));
+        let one = Summary { name: "one".into(), samples_ns: vec![7] };
+        assert_eq!(case_ci_ns(&one), (7, 7));
     }
 
     #[test]

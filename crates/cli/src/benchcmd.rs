@@ -6,15 +6,28 @@
 //!
 //! ```text
 //! smi-lab bench [--json] [--samples N] [--out PATH]
+//!               [--gate BASELINE.json] [--gate-margin PCT]
 //! ```
 //!
 //! The suite (see `bench::suite`) is run at exactly `--samples` timed
-//! passes per case; the report records min/median/p95/mean over every
-//! sample. After writing, the file is read back and re-verified through
-//! `jsonio` — it must parse and contain every suite case at the
-//! requested sample count — so CI's `bench-smoke` stage can trust a
-//! zero exit. Exit codes: 0 report written and verified, 1 verification
-//! failed, 2 usage error.
+//! passes per case; the report records min/median/p95/mean and the
+//! seeded-bootstrap 95 % CI on the mean over every sample. After
+//! writing, the file is read back and re-verified through `jsonio` — it
+//! must parse and contain every suite case at the requested sample
+//! count — so CI's `bench-smoke` stage can trust a zero exit.
+//!
+//! `--gate BASELINE.json` turns the run into a regression gate:
+//! each case's fresh CI is compared against the baseline's interval
+//! (its `[ci_lo_ns, ci_hi_ns]`; legacy schema-1 baselines fall back to
+//! `[min_ns, p95_ns]`) widened by `--gate-margin` percent (default 25).
+//! Disjoint-and-slower is a `regression`, disjoint-and-faster an
+//! `improvement`, overlapping `ok`, and a case absent from the baseline
+//! `new` — overlapping confidence intervals are *indistinguishable*, so
+//! median-ratio noise can no longer fail a build on its own. The
+//! verdicts are printed as one machine-readable JSON document on
+//! stdout. Exit codes: 0 report written/verified and no regression,
+//! 1 verification failed or any case regressed, 2 usage error
+//! (including an unreadable baseline).
 
 use bench::fmt_ns;
 use bench::suite::{engine_suite_names, run_engine_suite, suite_json, BENCH_SCHEMA};
@@ -25,15 +38,28 @@ use jsonio::Json;
 const DEFAULT_SAMPLES: usize = 40;
 const DEFAULT_OUT: &str = "results/BENCH_engine.json";
 
+/// Baseline intervals widened by this percentage before the overlap
+/// test, absorbing machine-to-machine spread when gating against a
+/// committed baseline.
+const DEFAULT_GATE_MARGIN_PCT: f64 = 25.0;
+
 struct BenchArgs {
     json: bool,
     samples: usize,
     out: String,
+    gate: Option<String>,
+    gate_margin_pct: f64,
 }
 
 fn parse(argv: &[String]) -> Result<BenchArgs, String> {
-    let mut args =
-        BenchArgs { json: false, samples: DEFAULT_SAMPLES, out: DEFAULT_OUT.to_string() };
+    let mut args = BenchArgs {
+        json: false,
+        samples: DEFAULT_SAMPLES,
+        out: DEFAULT_OUT.to_string(),
+        gate: None,
+        gate_margin_pct: DEFAULT_GATE_MARGIN_PCT,
+    };
+    let mut gate_margin_set = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -48,8 +74,22 @@ fn parse(argv: &[String]) -> Result<BenchArgs, String> {
             "--out" => {
                 args.out = it.next().ok_or("--out needs a value")?.clone();
             }
+            "--gate" => {
+                args.gate = Some(it.next().ok_or("--gate needs a baseline json path")?.clone());
+            }
+            "--gate-margin" => {
+                let v = it.next().ok_or("--gate-margin needs a percentage")?;
+                args.gate_margin_pct = v.parse().map_err(|_| format!("bad --gate-margin {v}"))?;
+                if !(args.gate_margin_pct >= 0.0 && args.gate_margin_pct.is_finite()) {
+                    return Err("--gate-margin must be a finite percentage >= 0".to_string());
+                }
+                gate_margin_set = true;
+            }
             other => return Err(format!("unknown bench flag {other:?}")),
         }
+    }
+    if gate_margin_set && args.gate.is_none() {
+        return Err("--gate-margin needs --gate".to_string());
     }
     Ok(args)
 }
@@ -74,7 +114,7 @@ fn verify_report(text: &str, samples: usize) -> Result<(), String> {
         if entry.get("samples").and_then(|s| s.as_u64()) != Some(samples as u64) {
             return Err(format!("benchmark {name:?} did not run {samples} samples"));
         }
-        for field in ["min_ns", "median_ns", "p95_ns", "mean_ns"] {
+        for field in ["min_ns", "median_ns", "p95_ns", "mean_ns", "ci_lo_ns", "ci_hi_ns"] {
             if entry.get(field).and_then(|v| v.as_u64()).is_none() {
                 return Err(format!("benchmark {name:?} missing {field}"));
             }
@@ -83,15 +123,125 @@ fn verify_report(text: &str, samples: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// A case's comparison interval: the schema-2 bootstrap CI when
+/// present, else the legacy schema-1 `[min_ns, p95_ns]` spread — so old
+/// committed baselines stay gateable.
+fn case_interval(entry: &Json) -> Option<(f64, f64)> {
+    let get = |k: &str| entry.get(k).and_then(|v| v.as_u64()).map(|v| v as f64);
+    if let (Some(lo), Some(hi)) = (get("ci_lo_ns"), get("ci_hi_ns")) {
+        return Some((lo, hi));
+    }
+    Some((get("min_ns")?, get("p95_ns")?))
+}
+
+/// One per-case gate verdict.
+struct GateVerdict {
+    name: String,
+    verdict: &'static str,
+    current: (f64, f64),
+    baseline: Option<(f64, f64)>,
+}
+
+/// Compare a fresh report against a baseline document case by case:
+/// intervals that overlap (after widening the baseline by
+/// `margin_pct` %) are statistically indistinguishable (`ok`); a
+/// current interval entirely above the widened baseline is a
+/// `regression`, entirely below an `improvement`; cases the baseline
+/// lacks are `new`.
+fn gate_verdicts(current: &Json, baseline: &Json, margin_pct: f64) -> Vec<GateVerdict> {
+    let empty = Vec::new();
+    let base_entries = baseline.get("benchmarks").and_then(|b| b.as_array()).unwrap_or(&empty);
+    let cur_entries = current.get("benchmarks").and_then(|b| b.as_array()).unwrap_or(&empty);
+    let scale = margin_pct / 100.0;
+    cur_entries
+        .iter()
+        .filter_map(|entry| {
+            let name = entry.get("name").and_then(|n| n.as_str())?.to_string();
+            let cur = case_interval(entry)?;
+            let base = base_entries
+                .iter()
+                .find(|b| b.get("name").and_then(|n| n.as_str()).is_some_and(|n| n == name))
+                .and_then(case_interval);
+            let verdict = match base {
+                None => "new",
+                Some((blo, bhi)) => {
+                    let wlo = blo * (1.0 - scale);
+                    let whi = bhi * (1.0 + scale);
+                    if cur.0 > whi {
+                        "regression"
+                    } else if cur.1 < wlo {
+                        "improvement"
+                    } else {
+                        "ok"
+                    }
+                }
+            };
+            Some(GateVerdict { name, verdict, current: cur, baseline: base })
+        })
+        .collect()
+}
+
+/// Render gate verdicts as the machine-readable stdout document.
+fn gate_json(baseline_path: &str, margin_pct: f64, verdicts: &[GateVerdict]) -> Json {
+    let regressions = verdicts.iter().filter(|v| v.verdict == "regression").count();
+    Json::obj(vec![(
+        "gate",
+        Json::obj(vec![
+            ("baseline", Json::Str(baseline_path.to_string())),
+            ("margin_pct", Json::F64(margin_pct)),
+            ("regressions", Json::U64(regressions as u64)),
+            (
+                "verdicts",
+                Json::Arr(
+                    verdicts
+                        .iter()
+                        .map(|v| {
+                            let mut fields = vec![
+                                ("name".to_string(), Json::Str(v.name.clone())),
+                                ("verdict".to_string(), Json::Str(v.verdict.to_string())),
+                                ("current_lo_ns".to_string(), Json::F64(v.current.0)),
+                                ("current_hi_ns".to_string(), Json::F64(v.current.1)),
+                            ];
+                            if let Some((blo, bhi)) = v.baseline {
+                                fields.push(("baseline_lo_ns".to_string(), Json::F64(blo)));
+                                fields.push(("baseline_hi_ns".to_string(), Json::F64(bhi)));
+                            }
+                            Json::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    )])
+}
+
 /// Entry point for `smi-lab bench <flags>`; returns the process exit code.
 pub fn run_cli(argv: &[String]) -> i32 {
     let args = match parse(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab bench [--json] [--samples N] [--out PATH]");
+            eprintln!(
+                "usage: smi-lab bench [--json] [--samples N] [--out PATH] \
+                 [--gate BASELINE.json] [--gate-margin PCT]"
+            );
             return 2;
         }
+    };
+    // Read the baseline before spending bench time: an unreadable gate
+    // input is a usage error, not a regression.
+    let gate_baseline = match &args.gate {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("does not parse: {e:?}")))
+        {
+            Ok(doc) => Some((path.clone(), doc)),
+            Err(e) => {
+                eprintln!("error: gate baseline {path}: {e}");
+                return 2;
+            }
+        },
     };
     eprintln!("running engine suite ({} samples per case)...", args.samples);
     let results = run_engine_suite(args.samples);
@@ -134,6 +284,34 @@ pub fn run_cli(argv: &[String]) -> i32 {
         println!("{text}");
     }
     eprintln!("wrote {} ({} benchmarks, verified)", args.out, results.len());
+    if let Some((path, baseline)) = gate_baseline {
+        let verdicts = gate_verdicts(&doc, &baseline, args.gate_margin_pct);
+        println!("{}", gate_json(&path, args.gate_margin_pct, &verdicts).to_string_pretty());
+        let mut regressed = false;
+        for v in &verdicts {
+            let base = v
+                .baseline
+                .map(|(lo, hi)| format!("[{} .. {}]", fmt_ns(lo as u64), fmt_ns(hi as u64)))
+                .unwrap_or_else(|| "(absent)".to_string());
+            eprintln!(
+                "gate {:<32} {:<11} current [{} .. {}] baseline {base}",
+                v.name,
+                v.verdict,
+                fmt_ns(v.current.0 as u64),
+                fmt_ns(v.current.1 as u64),
+            );
+            regressed |= v.verdict == "regression";
+        }
+        if regressed {
+            eprintln!(
+                "gate FAILED against {path}: confidence intervals are disjoint beyond the \
+                 {}% margin",
+                args.gate_margin_pct
+            );
+            return 1;
+        }
+        eprintln!("gate passed against {path} ({} cases)", verdicts.len());
+    }
     0
 }
 
@@ -147,14 +325,118 @@ mod tests {
         assert!(!a.json);
         assert_eq!(a.samples, DEFAULT_SAMPLES);
         assert_eq!(a.out, DEFAULT_OUT);
-        let argv: Vec<String> =
-            ["--json", "--samples", "3", "--out", "x.json"].iter().map(|s| s.to_string()).collect();
+        assert!(a.gate.is_none());
+        assert_eq!(a.gate_margin_pct, DEFAULT_GATE_MARGIN_PCT);
+        let argv: Vec<String> = [
+            "--json",
+            "--samples",
+            "3",
+            "--out",
+            "x.json",
+            "--gate",
+            "b.json",
+            "--gate-margin",
+            "10",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let a = parse(&argv).expect("flags");
         assert!(a.json);
         assert_eq!(a.samples, 3);
         assert_eq!(a.out, "x.json");
+        assert_eq!(a.gate.as_deref(), Some("b.json"));
+        assert_eq!(a.gate_margin_pct, 10.0);
         assert!(parse(&["--samples".to_string(), "0".to_string()]).is_err());
         assert!(parse(&["--wat".to_string()]).is_err());
+        assert!(
+            parse(&["--gate-margin".to_string(), "10".to_string()]).is_err(),
+            "--gate-margin without --gate"
+        );
+        assert!(parse(&[
+            "--gate".to_string(),
+            "b.json".to_string(),
+            "--gate-margin".to_string(),
+            "-1".to_string()
+        ])
+        .is_err());
+    }
+
+    /// A minimal schema-2 report with one case at the given interval.
+    fn report_with(name: &str, lo: u64, hi: u64) -> Json {
+        Json::obj(vec![
+            ("schema", Json::U64(BENCH_SCHEMA)),
+            ("suite", Json::Str("engine".into())),
+            (
+                "benchmarks",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::Str(name.to_string())),
+                    ("min_ns", Json::U64(lo)),
+                    ("p95_ns", Json::U64(hi)),
+                    ("ci_lo_ns", Json::U64(lo)),
+                    ("ci_hi_ns", Json::U64(hi)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn gate_verdicts_classify_by_interval_overlap() {
+        // Overlap (even partial) is indistinguishable: ok.
+        let v = gate_verdicts(&report_with("c", 90, 110), &report_with("c", 100, 120), 0.0);
+        assert_eq!(v[0].verdict, "ok");
+        // Entirely above the widened baseline: regression.
+        let v = gate_verdicts(&report_with("c", 200, 220), &report_with("c", 100, 120), 0.0);
+        assert_eq!(v[0].verdict, "regression");
+        // ... but a margin can absorb the gap: 100% widens 120 to 240.
+        let v = gate_verdicts(&report_with("c", 200, 220), &report_with("c", 100, 120), 100.0);
+        assert_eq!(v[0].verdict, "ok");
+        // Entirely below: improvement.
+        let v = gate_verdicts(&report_with("c", 10, 20), &report_with("c", 100, 120), 0.0);
+        assert_eq!(v[0].verdict, "improvement");
+        // Absent from the baseline: new (never fails the gate).
+        let v = gate_verdicts(&report_with("fresh", 10, 20), &report_with("other", 1, 2), 0.0);
+        assert_eq!(v[0].verdict, "new");
+        assert!(v[0].baseline.is_none());
+        // The machine-readable document counts regressions.
+        let doc = gate_json(
+            "b.json",
+            0.0,
+            &gate_verdicts(&report_with("c", 200, 220), &report_with("c", 100, 120), 0.0),
+        );
+        let gate = doc.get("gate").expect("gate object");
+        assert_eq!(gate.get("regressions").and_then(|r| r.as_u64()), Some(1));
+        let verdicts = gate.get("verdicts").and_then(|v| v.as_array()).expect("verdicts");
+        assert_eq!(verdicts[0].get("verdict").and_then(|v| v.as_str()), Some("regression"));
+    }
+
+    /// The committed pre-optimization baseline is schema 1 (no CI
+    /// fields): the gate must keep reading it through the
+    /// `[min_ns, p95_ns]` fallback interval forever.
+    #[test]
+    fn gate_reads_legacy_schema1_baselines() {
+        let legacy = Json::parse(include_str!("../../../results/BENCH_engine_pre.json"))
+            .expect("committed baseline parses");
+        assert_eq!(legacy.get("schema").and_then(|s| s.as_u64()), Some(1));
+        let results = run_engine_suite(2);
+        let current = suite_json(2, &results);
+        let verdicts = gate_verdicts(&current, &legacy, 25.0);
+        assert_eq!(verdicts.len(), results.len(), "every current case gets a verdict");
+        for v in &verdicts {
+            match v.verdict {
+                // Cases the old baseline lacks are new, not failures.
+                "new" => assert!(v.baseline.is_none(), "{} new but has baseline", v.name),
+                "ok" | "regression" | "improvement" => {
+                    let (blo, bhi) = v.baseline.expect("compared cases carry the interval");
+                    assert!(blo <= bhi, "{}: baseline interval inverted", v.name);
+                }
+                other => panic!("unknown verdict {other:?}"),
+            }
+        }
+        // The legacy file predates noise_model_schedule_sweep: it must
+        // surface as new.
+        let sweep = verdicts.iter().find(|v| v.name == "noise_model_schedule_sweep");
+        assert_eq!(sweep.expect("sweep case present").verdict, "new");
     }
 
     #[test]

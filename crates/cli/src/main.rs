@@ -7,6 +7,7 @@
 //!                   [--records FILE] [--csv DIR] [--svg DIR] [--json DIR]
 //!                   [--noise SPEC] [--isolate] [--deadline-units N]
 //!                   [--isolate-watchdog-ms N] [--vfs-faults SPEC]
+//!                   [--adaptive] [--max-reps N] [--ci-target F]
 //!
 //! commands:
 //!   table1      BT under SMM 0/1/2            (Table 1)
@@ -69,6 +70,20 @@
 //! (exit 2) instead of silently corrupting the resume journal. A lock
 //! left by a SIGKILLed run is detected as stale and broken automatically.
 //!
+//! `--adaptive` (table1–3) replaces the fixed repetition count with the
+//! CI-targeted sampling design of DESIGN.md §15: every (cell, SMM
+//! class) runs at least `--reps` repetitions (the design's `min_reps`),
+//! then keeps sampling until the Student-t 95 % confidence interval on
+//! the mean is relatively tighter than `--ci-target` (default 0.05 =
+//! ±5 %) or `--max-reps` (default 4×reps) is spent. Per-repetition
+//! seeds are identical to the fixed design's, dispatch order is
+//! deterministically shuffled (and restored in every output byte), and
+//! the run manifest gains a schema-6 `stats` block: per-cell n, t and
+//! bootstrap CIs, stopped-early/exhausted flags, and the campaign-level
+//! power verdict naming every under-sampled cell. Results are
+//! byte-identical across `--jobs` counts and across in-process vs
+//! `--isolate` execution.
+//!
 //! `--validate` runs the engine's opt-in end-of-run audits (message
 //! conservation, byte tallies, freeze-schedule coverage) on every
 //! simulation — one extra pass per run, off by default.
@@ -101,8 +116,8 @@ mod fsckcmd;
 mod xcmds;
 
 use analysis::cells::{
-    assemble_figure1, assemble_figure2, assemble_htt_table, assemble_table, figure1_cells,
-    figure2_cells, htt_cells, table_cells, text_cell, text_payload,
+    adaptive_table_cells, assemble_figure1, assemble_figure2, assemble_htt_table, assemble_table,
+    figure1_cells, figure2_cells, htt_cells, table_cells, text_cell, text_payload,
 };
 use analysis::{
     assemble_noise, htt_report, noise_cell, render_chart, render_figure1, render_figure2,
@@ -111,6 +126,7 @@ use analysis::{
 };
 use jsonio::ToJson;
 use nas::Bench;
+use runner::design::SampleDesign;
 use runner::{CacheMode, Cell, RunStatus, Runner};
 use std::sync::atomic::{AtomicI32, Ordering};
 
@@ -138,6 +154,11 @@ struct Args {
     isolate_watchdog_ms: Option<u64>,
     isolate_kill: Vec<String>,
     vfs_faults: Option<String>,
+    /// `Some` when `--adaptive` asked for CI-targeted sampling
+    /// (DESIGN.md §15): `min_reps` = `--reps`, ceiling from
+    /// `--max-reps` (default 4×reps), target from `--ci-target`
+    /// (default 0.05 = ±5 %).
+    design: Option<SampleDesign>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -158,6 +179,9 @@ fn parse_args() -> Result<Args, String> {
     let mut isolate_watchdog_ms = None;
     let mut isolate_kill = Vec::new();
     let mut vfs_faults = None;
+    let mut adaptive = false;
+    let mut max_reps: Option<u32> = None;
+    let mut ci_target: Option<f64> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -201,6 +225,15 @@ fn parse_args() -> Result<Args, String> {
                 noise = Some(it.next().ok_or("--noise needs a spec (name[:k=v,...])")?.clone());
             }
             "--isolate" => isolate = true,
+            "--adaptive" => adaptive = true,
+            "--max-reps" => {
+                let v = it.next().ok_or("--max-reps needs a value")?;
+                max_reps = Some(v.parse().map_err(|_| format!("bad --max-reps {v}"))?);
+            }
+            "--ci-target" => {
+                let v = it.next().ok_or("--ci-target needs a value")?;
+                ci_target = Some(v.parse().map_err(|_| format!("bad --ci-target {v}"))?);
+            }
             "--deadline-units" => {
                 let v = it.next().ok_or("--deadline-units needs a value")?;
                 deadline_units = v.parse().map_err(|_| format!("bad --deadline-units {v}"))?;
@@ -245,6 +278,26 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err("--deadline-units/--isolate-watchdog-ms/--isolate-kill need --isolate".into());
     }
+    if (max_reps.is_some() || ci_target.is_some()) && !adaptive {
+        return Err("--max-reps/--ci-target need --adaptive".into());
+    }
+    let design = if adaptive {
+        // Adaptive sampling is defined for the MPI table grids; the
+        // hidden `worker` subcommand accepts it so `--isolate` can
+        // forward the design to its subprocesses.
+        if !matches!(command.as_deref(), Some("table1" | "table2" | "table3" | "worker")) {
+            return Err("--adaptive is supported for table1/table2/table3".into());
+        }
+        let d = SampleDesign {
+            min_reps: opts.reps,
+            max_reps: max_reps.unwrap_or_else(|| opts.reps.saturating_mul(4)),
+            target_rel_halfwidth: ci_target.unwrap_or(0.05),
+        };
+        d.validate()?;
+        Some(d)
+    } else {
+        None
+    };
     Ok(Args {
         command: command.ok_or("no command given (try `smi-lab all --quick`)")?,
         opts,
@@ -264,6 +317,7 @@ fn parse_args() -> Result<Args, String> {
         isolate_watchdog_ms,
         isolate_kill,
         vfs_faults,
+        design,
     })
 }
 
@@ -289,6 +343,13 @@ fn runner_for(args: &Args) -> Runner {
     }));
     if args.isolate {
         r.isolate = Some(isolate_config(args));
+    }
+    // Hunold's prescription for adaptive designs: decorrelate run order
+    // from grid order. The shuffle is seeded (reproducible) and every
+    // output byte is restored to submission order, so it is invisible
+    // in records, payloads, and manifests.
+    if args.design.is_some() {
+        r.dispatch_shuffle = Some(args.opts.seed);
     }
     if let Some(spec) = &args.vfs_faults {
         // Parse re-validated at parse_args time; a failure here would be
@@ -323,6 +384,16 @@ fn isolate_config(args: &Args) -> runner::supervisor::IsolateConfig {
         cmd.push("--noise".to_string());
         cmd.push(spec.clone());
     }
+    // The sampling design shapes cell identity (it is embedded in the
+    // cell params), so the worker must rebuild the same adaptive
+    // catalog the supervisor queues from.
+    if let Some(d) = &args.design {
+        cmd.push("--adaptive".to_string());
+        cmd.push("--max-reps".to_string());
+        cmd.push(d.max_reps.to_string());
+        cmd.push("--ci-target".to_string());
+        cmd.push(d.target_rel_halfwidth.to_string());
+    }
     let mut cfg = runner::supervisor::IsolateConfig::new(cmd);
     cfg.workers = args.jobs;
     cfg.deadline_units = args.deadline_units;
@@ -342,6 +413,11 @@ fn full_catalog(args: &Args) -> Vec<Cell> {
     let mut cells: Vec<Cell> = Vec::new();
     for bench in [Bench::Bt, Bench::Ep, Bench::Ft] {
         cells.extend(table_cells(bench, &args.opts));
+        // Adaptive variants carry their design in the cell params, so
+        // they coexist with the fixed cells as distinct identities.
+        if let Some(d) = args.design {
+            cells.extend(adaptive_table_cells(bench, &args.opts, d));
+        }
     }
     for bench in [Bench::Ep, Bench::Ft] {
         cells.extend(htt_cells(bench, &args.opts));
@@ -445,7 +521,19 @@ fn write_json<T: ToJson>(dir: &Option<String>, name: &str, value: &T) {
 }
 
 fn run_table_result(args: &Args, n: u32, bench: Bench) -> analysis::TableResult {
-    let report = execute(args, &format!("table{n}"), table_cells(bench, &args.opts));
+    let label = format!("table{n}");
+    let cells = match args.design {
+        Some(d) => adaptive_table_cells(bench, &args.opts, d),
+        None => table_cells(bench, &args.opts),
+    };
+    let expected = cells.len();
+    let report = execute(args, &label, cells);
+    // An adaptive campaign's conclusions live in the manifest's stats
+    // block (per-cell CIs, the power check): re-read it from disk and
+    // fail degraded if the account is missing or malformed.
+    if args.design.is_some() {
+        verify_manifest(args, &label, expected, true);
+    }
     assemble_table(bench, &report.payloads())
 }
 
@@ -617,18 +705,28 @@ fn cmd_noise(args: &Args) {
     let texts: Vec<&str> = specs.iter().map(String::as_str).collect();
     let rows = assemble_noise(&texts, &report.payloads());
     print!("{}", render_noise(&rows));
-    verify_manifest(args, "noise", specs.len());
+    verify_manifest(args, "noise", specs.len(), false);
 }
 
 /// Re-read a batch's manifest from disk and check it parses and accounts
-/// for every cell. Degrades (exit 1) rather than aborting on mismatch.
-fn verify_manifest(args: &Args, label: &str, cells_expected: usize) {
+/// for every cell — and, for adaptive campaigns (`expect_stats`), that
+/// the schema-6 `stats` block is present with its power verdict.
+/// Degrades (exit 1) rather than aborting on mismatch.
+fn verify_manifest(args: &Args, label: &str, cells_expected: usize, expect_stats: bool) {
     let path = std::path::Path::new(&args.cache_dir).join(format!("manifests/{label}.json"));
     let verified = std::fs::read_to_string(&path)
         .ok()
         .and_then(|body| jsonio::Json::parse(&body).ok())
-        .and_then(|m| m.get("cells_total").and_then(|c| c.as_u64()))
-        .is_some_and(|total| total == cells_expected as u64);
+        .is_some_and(|m| {
+            let total = m.get("cells_total").and_then(|c| c.as_u64());
+            let counted = total == Some(cells_expected as u64);
+            let stats_ok = !expect_stats
+                || m.get("stats").is_some_and(|s| {
+                    s.get("designed").and_then(|d| d.as_u64()).is_some()
+                        && s.get("power").and_then(|p| p.as_str()).is_some()
+                });
+            counted && stats_ok
+        });
     if verified {
         eprintln!("[runner] manifest verified: {} ({cells_expected} cells)", path.display());
     } else {
@@ -797,7 +895,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|noise|report|all|lint|bench|fsck> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR] [--noise SPEC] [--isolate] [--deadline-units N] [--isolate-watchdog-ms N] [--vfs-faults SPEC]");
+            eprintln!("usage: smi-lab <table1..table5|figure1|figure2|detect|bits|attribution|absorption|unixbench|scale|variance|energy|mops|noise|report|all|lint|bench|fsck> [--reps N] [--seed N] [--quick] [--validate] [--jobs N] [--resume] [--no-cache] [--cache-dir DIR] [--records FILE] [--csv DIR] [--svg DIR] [--json DIR] [--noise SPEC] [--isolate] [--deadline-units N] [--isolate-watchdog-ms N] [--vfs-faults SPEC] [--adaptive] [--max-reps N] [--ci-target F]");
             std::process::exit(2);
         }
     };

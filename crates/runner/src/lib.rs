@@ -64,6 +64,7 @@
 pub mod cache;
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
+pub mod design;
 pub mod journal;
 pub mod lockfile;
 pub mod pool;
@@ -83,10 +84,11 @@ use telemetry::Stopwatch;
 
 /// Engine-side hot-path counters harvested around one interval of work.
 ///
-/// The runner does not depend on any simulator crate, so it cannot read
-/// the engine's thread-local counters itself; the binary that owns both
-/// sides installs a [`Runner::perf_probe`] translating the engine's
-/// counters into this mirror struct.
+/// The runner does not depend on any simulator *engine* crate (its only
+/// simulation-side dependency is `sim-core`'s RNG/statistics kernels),
+/// so it cannot read the engine's thread-local counters itself; the
+/// binary that owns both sides installs a [`Runner::perf_probe`]
+/// translating the engine's counters into this mirror struct.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EnginePerf {
     /// Events popped from the engine's event queue.
@@ -200,6 +202,15 @@ pub struct Runner {
     /// Degraded instead of hammering a failing disk. `0` disables the
     /// ladder (every write keeps being attempted).
     pub disk_fault_limit: u64,
+    /// Deterministic randomized dispatch order (Hunold's experiment-
+    /// design prescription): `Some(seed)` shuffles the order cells are
+    /// handed to workers with a permutation seeded from
+    /// `(seed, campaign label)`, decorrelating cell position from any
+    /// slowly-drifting host state. Reports, records, and manifests are
+    /// always restored to submission order afterwards, so the shuffle
+    /// is invisible in every output byte. `None` (the default)
+    /// dispatches in submission order.
+    pub dispatch_shuffle: Option<u64>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -215,6 +226,7 @@ impl std::fmt::Debug for Runner {
             .field("isolate", &self.isolate)
             .field("vfs_faulty", &self.vfs.is_faulty())
             .field("disk_fault_limit", &self.disk_fault_limit)
+            .field("dispatch_shuffle", &self.dispatch_shuffle)
             .finish()
     }
 }
@@ -235,6 +247,7 @@ impl Runner {
             isolate: None,
             vfs: vfs::Vfs::real(),
             disk_fault_limit: 32,
+            dispatch_shuffle: None,
         }
     }
 
@@ -275,10 +288,32 @@ impl Runner {
         } else {
             (None, None)
         };
-        Ok(match &self.isolate {
+        // Deterministic dispatch shuffle (see `Runner::dispatch_shuffle`):
+        // permute the cells handed to either execution path, remember
+        // the permutation, and restore submission order in the report.
+        let (cells, order) = match self.dispatch_shuffle {
+            None => (cells, None),
+            Some(seed) => {
+                let mut order: Vec<usize> = (0..cells.len()).collect();
+                sim_core::SimRng::from_path(seed, &["dispatch-shuffle", label]).shuffle(&mut order);
+                let mut slots: Vec<Option<Cell>> = cells.into_iter().map(Some).collect();
+                let mut shuffled = Vec::with_capacity(slots.len());
+                for &i in &order {
+                    if let Some(cell) = slots[i].take() {
+                        shuffled.push(cell);
+                    }
+                }
+                (shuffled, Some(order))
+            }
+        };
+        let mut report = match &self.isolate {
             Some(cfg) => supervisor::run_isolated(self, cfg, label, cells, lock_broken),
             None => self.run_inner(label, cells, lock_broken),
-        })
+        };
+        if let Some(order) = order {
+            restore_submission_order(&mut report, &order);
+        }
+        Ok(report)
     }
 
     /// Open the shared store and journal for one campaign: replay
@@ -514,20 +549,7 @@ pub(crate) fn assemble_report(
     progress.print_summary(label);
     let (done, cached, _) = progress.totals();
     let faults = progress.faults();
-    let quarantined = outcomes
-        .iter()
-        .filter_map(|o| match &o.result {
-            Err(e) => Some(QuarantinedCell {
-                experiment: o.spec.experiment.clone(),
-                cell: o.spec.cell.clone(),
-                key: o.key,
-                attempts: e.attempts,
-                message: e.message.clone(),
-                reason: e.reason.clone(),
-            }),
-            Ok(_) => None,
-        })
-        .collect();
+    let quarantined = quarantines_of(&outcomes);
     RunReport {
         label: label.to_string(),
         jobs: runner.jobs,
@@ -562,6 +584,39 @@ pub(crate) fn assemble_report(
         outcomes,
         isolate,
     }
+}
+
+/// The quarantine entries for a set of outcomes, in the outcomes'
+/// order — shared by [`assemble_report`] and the post-shuffle order
+/// restoration so the two derivations cannot drift.
+pub(crate) fn quarantines_of(outcomes: &[CellOutcome]) -> Vec<QuarantinedCell> {
+    outcomes
+        .iter()
+        .filter_map(|o| match &o.result {
+            Err(e) => Some(QuarantinedCell {
+                experiment: o.spec.experiment.clone(),
+                cell: o.spec.cell.clone(),
+                key: o.key,
+                attempts: e.attempts,
+                message: e.message.clone(),
+                reason: e.reason.clone(),
+            }),
+            Ok(_) => None,
+        })
+        .collect()
+}
+
+/// Undo a dispatch shuffle: outcome `k` of the drained report belongs
+/// to submission index `order[k]`; put every outcome (and the derived
+/// quarantine list) back in submission order so records, payloads, and
+/// manifests are byte-identical to an unshuffled run.
+fn restore_submission_order(report: &mut RunReport, order: &[usize]) {
+    let mut slots: Vec<Option<CellOutcome>> = (0..order.len()).map(|_| None).collect();
+    for (k, outcome) in report.outcomes.drain(..).enumerate() {
+        slots[order[k]] = Some(outcome);
+    }
+    report.outcomes = slots.into_iter().flatten().collect();
+    report.quarantined = quarantines_of(&report.outcomes);
 }
 
 /// The report for a campaign that never started (the lock was held):
@@ -977,10 +1032,13 @@ impl RunReport {
         }
     }
 
-    /// The machine-readable run manifest.
+    /// The machine-readable run manifest. Schema 6 adds the `stats`
+    /// section: per-cell adaptive-sampling verdicts (n, CI, stopping
+    /// flags) and the campaign-level power check — `Json::Null` for
+    /// fixed-design campaigns (see [`design::campaign_stats`]).
     pub fn manifest(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::U64(5)),
+            ("schema", Json::U64(6)),
             ("label", Json::Str(self.label.clone())),
             ("code", Json::Str(self.code_version.clone())),
             ("jobs", Json::U64(self.jobs as u64)),
@@ -1118,6 +1176,7 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            ("stats", design::campaign_stats(&self.outcomes)),
             (
                 "isolate",
                 match &self.isolate {
@@ -1231,6 +1290,51 @@ mod tests {
         assert_eq!(executions.load(Ordering::Relaxed), 20);
         assert_eq!(report.cells_cached, 0);
         assert_eq!(report.status(), RunStatus::Clean);
+    }
+
+    #[test]
+    fn dispatch_shuffle_is_invisible_in_every_output_byte() {
+        let executions = Arc::new(AtomicU64::new(0));
+        let plain = {
+            let mut r = Runner::new(3);
+            r.cache_mode = CacheMode::Off;
+            r.verbose = false;
+            r.run("shuffled", counting_cells(17, &executions))
+        };
+        let shuffled = {
+            let mut r = Runner::new(3);
+            r.cache_mode = CacheMode::Off;
+            r.verbose = false;
+            r.dispatch_shuffle = Some(20160816);
+            r.run("shuffled", counting_cells(17, &executions))
+        };
+        assert_eq!(plain.records_jsonl(), shuffled.records_jsonl());
+        for (i, o) in shuffled.outcomes.iter().enumerate() {
+            assert_eq!(o.spec.cell, format!("c{i}"), "submission order restored");
+        }
+        // Fixed-design manifests carry a null stats section either way.
+        assert_eq!(shuffled.manifest().get("stats"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn dispatch_shuffle_restores_quarantines_in_submission_order() {
+        quiet_injected_panics();
+        let executions = Arc::new(AtomicU64::new(0));
+        let mut cells = counting_cells(9, &executions);
+        for broken in [1usize, 6] {
+            let spec = cells[broken].spec.clone();
+            cells[broken] = Cell::new(spec, || panic!("chaos: permanent fault"));
+        }
+        let mut runner = Runner::new(2);
+        runner.cache_mode = CacheMode::Off;
+        runner.verbose = false;
+        runner.max_attempts = 1;
+        runner.dispatch_shuffle = Some(7);
+        let report = runner.run("shuffled-quarantine", cells);
+        assert_eq!(report.cells_failed, 2);
+        let labels: Vec<&str> = report.quarantined.iter().map(|q| q.cell.as_str()).collect();
+        assert_eq!(labels, ["c1", "c6"], "quarantines listed in submission order");
+        assert!(report.outcomes[1].failed() && report.outcomes[6].failed());
     }
 
     #[test]
@@ -1421,7 +1525,7 @@ mod tests {
 
         // The manifest carries counter, status, and reason.
         let m = report.manifest();
-        assert_eq!(m.get("schema").unwrap().as_u64(), Some(5));
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(6));
         assert_eq!(m.get("status").unwrap().as_str(), Some("degraded"));
         assert_eq!(m.get("cells_invalid").unwrap().as_u64(), Some(1));
         let listed = m.get("quarantined").unwrap().as_array().unwrap();

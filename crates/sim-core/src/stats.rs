@@ -253,6 +253,454 @@ pub fn percent_change(base: f64, new: f64) -> f64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Exact streaming moments
+// ---------------------------------------------------------------------------
+
+/// Limb count of the fixed-point superaccumulator. Bit index `i` carries
+/// weight `2^(i − 1074)`; indices `0..=2097` cover every finite `f64`
+/// (`2^-1074` through just under `2^1024`), and the remaining ~78 bits
+/// are carry headroom — overflow would need more than `2^78` addends.
+const EXACT_SUM_LIMBS: usize = 34;
+
+/// A Kulisch-style superaccumulator: sums `f64`s *exactly*, in a
+/// fixed-point register wide enough for the whole double range.
+///
+/// Unlike floating-point (or compensated) summation, fixed-point
+/// addition is associative and commutative, so any parallel split or
+/// merge order produces bit-identical state — the property the adaptive
+/// sampler's deterministic merges are built on. Positive and negative
+/// addends accumulate in separate magnitude registers; `value()`
+/// subtracts them exactly and rounds once, to nearest-even, exactly as
+/// IEEE 754 would round the true real-number sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactSum {
+    pos: [u64; EXACT_SUM_LIMBS],
+    neg: [u64; EXACT_SUM_LIMBS],
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    /// The empty (zero) sum.
+    pub fn new() -> Self {
+        ExactSum { pos: [0; EXACT_SUM_LIMBS], neg: [0; EXACT_SUM_LIMBS] }
+    }
+
+    /// Add one finite `f64` exactly.
+    pub fn add(&mut self, x: f64) {
+        // smi-lint: allow(panic-path): analysis-side statistics kernel;
+        // measurement inputs are simulated seconds, always finite.
+        assert!(x.is_finite(), "ExactSum::add: non-finite addend {x}");
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as u32;
+        let frac = bits & ((1u64 << 52) - 1);
+        // value = mantissa · 2^(offset − 1074)
+        let (mantissa, offset) = if exp == 0 { (frac, 0) } else { (frac | (1u64 << 52), exp - 1) };
+        if mantissa == 0 {
+            return; // ±0.0
+        }
+        let reg = if bits >> 63 == 1 { &mut self.neg } else { &mut self.pos };
+        let limb = (offset / 64) as usize;
+        let shift = offset % 64;
+        let wide = (mantissa as u128) << shift;
+        add_into(reg, limb, wide as u64);
+        add_into(reg, limb + 1, (wide >> 64) as u64);
+    }
+
+    /// Add the product `a·b` exactly (two-product via fused
+    /// multiply-add). Exact whenever `a·b` neither overflows nor falls
+    /// into the subnormal range — true for all simulated durations.
+    pub fn add_product(&mut self, a: f64, b: f64) {
+        let hi = a * b;
+        let lo = a.mul_add(b, -hi);
+        self.add(hi);
+        self.add(lo);
+    }
+
+    /// Merge another exact sum into this one. Limb-wise integer
+    /// addition: associative, commutative, and therefore split-order
+    /// independent bit-for-bit.
+    pub fn merge(&mut self, other: &ExactSum) {
+        merge_reg(&mut self.pos, &other.pos);
+        merge_reg(&mut self.neg, &other.neg);
+    }
+
+    /// The exact sum, rounded once to the nearest `f64` (ties to even).
+    pub fn value(&self) -> f64 {
+        let mut mag = [0u64; EXACT_SUM_LIMBS];
+        let negative = match cmp_reg(&self.pos, &self.neg) {
+            core::cmp::Ordering::Equal => return 0.0,
+            core::cmp::Ordering::Greater => {
+                sub_reg(&mut mag, &self.pos, &self.neg);
+                false
+            }
+            core::cmp::Ordering::Less => {
+                sub_reg(&mut mag, &self.neg, &self.pos);
+                true
+            }
+        };
+        let v = round_reg(&mag);
+        if negative {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// Add `val` into `reg` starting at limb `idx`, propagating carries.
+fn add_into(reg: &mut [u64; EXACT_SUM_LIMBS], mut idx: usize, mut val: u64) {
+    while val != 0 {
+        let (sum, carry) = reg[idx].overflowing_add(val);
+        reg[idx] = sum;
+        val = carry as u64;
+        idx += 1;
+    }
+}
+
+/// `dst += src`, limb-wise with carry.
+fn merge_reg(dst: &mut [u64; EXACT_SUM_LIMBS], src: &[u64; EXACT_SUM_LIMBS]) {
+    let mut carry = 0u64;
+    for i in 0..EXACT_SUM_LIMBS {
+        let (s1, c1) = dst[i].overflowing_add(src[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        dst[i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    debug_assert_eq!(carry, 0, "ExactSum register overflow");
+}
+
+/// Lexicographic magnitude comparison, most-significant limb first.
+fn cmp_reg(a: &[u64; EXACT_SUM_LIMBS], b: &[u64; EXACT_SUM_LIMBS]) -> core::cmp::Ordering {
+    for i in (0..EXACT_SUM_LIMBS).rev() {
+        match a[i].cmp(&b[i]) {
+            core::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// `out = a − b`, assuming `a ≥ b`.
+fn sub_reg(
+    out: &mut [u64; EXACT_SUM_LIMBS],
+    a: &[u64; EXACT_SUM_LIMBS],
+    b: &[u64; EXACT_SUM_LIMBS],
+) {
+    let mut borrow = 0u64;
+    for i in 0..EXACT_SUM_LIMBS {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "sub_reg called with a < b");
+}
+
+/// Bit `i` of the fixed-point magnitude.
+fn reg_bit(mag: &[u64; EXACT_SUM_LIMBS], i: u32) -> u64 {
+    (mag[(i / 64) as usize] >> (i % 64)) & 1
+}
+
+/// Round the fixed-point magnitude (LSB weight `2^-1074`) to the
+/// nearest `f64`, ties to even.
+fn round_reg(mag: &[u64; EXACT_SUM_LIMBS]) -> f64 {
+    let top_limb = match (0..EXACT_SUM_LIMBS).rev().find(|&i| mag[i] != 0) {
+        Some(i) => i,
+        None => return 0.0,
+    };
+    let h = top_limb as u32 * 64 + (63 - mag[top_limb].leading_zeros());
+    if h < 52 {
+        // Fits entirely below the subnormal mantissa width: exact.
+        // f64::from_bits(1) is 2^-1074, the fixed-point LSB weight.
+        return mag[0] as f64 * f64::from_bits(1);
+    }
+    // 53-bit field mag[h-52 ..= h], then round-bit and sticky below it.
+    let p = h - 52;
+    let limb = (p / 64) as usize;
+    let sh = p % 64;
+    let mut mant = mag[limb] >> sh;
+    if sh != 0 && limb + 1 < EXACT_SUM_LIMBS {
+        mant |= mag[limb + 1] << (64 - sh);
+    }
+    mant &= (1u64 << 53) - 1;
+    let mut h = h;
+    if p > 0 {
+        let round = reg_bit(mag, p - 1) == 1;
+        let sticky = p > 1 && {
+            let q = p - 1; // any bit strictly below index q?
+            let ql = (q / 64) as usize;
+            mag[..ql].iter().any(|&l| l != 0) || (mag[ql] & ((1u64 << (q % 64)) - 1)) != 0
+        };
+        if round && (sticky || mant & 1 == 1) {
+            mant += 1;
+            if mant == 1u64 << 53 {
+                mant = 1u64 << 52;
+                h += 1;
+            }
+        }
+    }
+    // value = mant · 2^k with mant ∈ [2^52, 2^53): a normal f64, so the
+    // final scaling multiply is exact (k ≥ −1074 because h ≥ 52).
+    let k = h as i64 - 52 - 1074;
+    if k > 971 {
+        return f64::INFINITY; // beyond f64::MAX
+    }
+    let pow = if k >= -1022 {
+        f64::from_bits(((k + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (k + 1074))
+    };
+    mant as f64 * pow
+}
+
+/// Streaming moments with an *exact* merge: a Welford-style API
+/// (push/merge/mean/variance) whose internal state is a pair of
+/// [`ExactSum`] registers, so merging any partition of a sample equals
+/// pushing the whole sample — bit-for-bit, not just to tolerance.
+///
+/// This is what the adaptive sampler and bench gate use wherever a
+/// statistic must be reproducible across `--jobs` counts and process
+/// boundaries. [`Accumulator`] remains the light-weight approximate
+/// alternative for rendering-only paths.
+#[derive(Clone, Debug, Default)]
+pub struct Moments {
+    n: u64,
+    sum: ExactSum,
+    sumsq: ExactSum,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// The empty moment set.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            sum: ExactSum::new(),
+            sumsq: ExactSum::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        // smi-lint: allow(panic-path): analysis-side statistics kernel;
+        // measurement inputs are simulated seconds, always finite.
+        assert!(x.is_finite(), "Moments::push: non-finite observation {x}");
+        self.n += 1;
+        self.sum.add(x);
+        self.sumsq.add_product(x, x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another moment set into this one — exact, so any split of
+    /// a sample merges back to the whole-sample state bit-for-bit.
+    pub fn merge(&mut self, other: &Moments) {
+        self.n += other.n;
+        self.sum.merge(&other.sum);
+        self.sumsq.merge(&other.sumsq);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; zero if empty. A constant sample returns the
+    /// common value itself (not `round(n·x)/n`, which can differ by an
+    /// ulp), so degenerate cells report exactly what they measured.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        if self.min == self.max {
+            return self.min;
+        }
+        self.sum.value() / self.n as f64
+    }
+
+    /// Sample variance (n−1 denominator, clamped at zero); zero for
+    /// fewer than two points. A constant sample is exactly zero — the
+    /// `s²/n` correction term would otherwise reintroduce an ulp of
+    /// rounding noise and give degenerate cells a phantom spread.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 || self.min == self.max {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let s = self.sum.value();
+        let q = self.sumsq.value();
+        ((q - s * s / n) / (n - 1.0)).max(0.0)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; NaN if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; NaN if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Confidence intervals
+// ---------------------------------------------------------------------------
+
+/// A two-sided confidence interval `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ci {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Ci {
+    /// The degenerate point interval `[x, x]`.
+    pub fn point(x: f64) -> Self {
+        Ci { lo: x, hi: x }
+    }
+
+    /// The all-of-ℝ interval — "no information yet" (fewer than two
+    /// observations). Its relative half-width is infinite, so a
+    /// stopping rule can never fire on it.
+    pub fn unknown() -> Self {
+        Ci { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+    }
+
+    /// Half the interval width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Interval midpoint.
+    pub fn midpoint(&self) -> f64 {
+        self.lo / 2.0 + self.hi / 2.0
+    }
+
+    /// Half-width relative to the midpoint magnitude — the adaptive
+    /// stopping criterion. Zero for a point interval; infinite when the
+    /// midpoint is zero (or unknown) but the width is not.
+    pub fn rel_half_width(&self) -> f64 {
+        let hw = self.half_width();
+        if hw == 0.0 {
+            return 0.0;
+        }
+        let mid = self.midpoint();
+        if mid == 0.0 || !mid.is_finite() {
+            f64::INFINITY
+        } else {
+            hw / mid.abs()
+        }
+    }
+
+    /// Does the interval contain `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Do two intervals overlap (share at least one point)?
+    pub fn overlaps(&self, other: &Ci) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Student-t 95 % confidence interval on the mean of `xs`.
+///
+/// Total on every input: fewer than two observations yield
+/// [`Ci::unknown`] (no variance estimate exists), constant samples
+/// yield the point interval at the common value. Never panics.
+pub fn t_ci_mean(xs: &[f64]) -> Ci {
+    if xs.len() < 2 {
+        return Ci::unknown();
+    }
+    let mut m = Moments::new();
+    for &x in xs {
+        m.push(x);
+    }
+    let n = xs.len() as f64;
+    let hw = t_critical_95(xs.len() as u64 - 1) * m.stddev() / n.sqrt();
+    let mean = m.mean();
+    Ci { lo: mean - hw, hi: mean + hw }
+}
+
+/// Seeded-bootstrap 95 % confidence interval on the mean of `xs`
+/// (percentile method, `resamples` resamples drawn from `rng`).
+///
+/// Deterministic: the same sample, resample count, and RNG state
+/// produce the same interval bit-for-bit. Total on every input: empty
+/// samples yield [`Ci::unknown`], a single observation yields its point
+/// interval. The returned interval is widened, if necessary, to contain
+/// the sample mean, so the point estimate is always inside its own
+/// interval. Never panics.
+pub fn bootstrap_ci_mean(xs: &[f64], resamples: u32, rng: &mut crate::rng::SimRng) -> Ci {
+    if xs.is_empty() {
+        return Ci::unknown();
+    }
+    let n = xs.len();
+    if n == 1 {
+        return Ci::point(xs[0]);
+    }
+    let mut means = Vec::with_capacity(resamples as usize);
+    for _ in 0..resamples {
+        let mut m = Moments::new();
+        for _ in 0..n {
+            m.push(xs[rng.below(n as u64) as usize]);
+        }
+        means.push(m.mean());
+    }
+    means.sort_unstable_by(f64::total_cmp);
+    let lo = percentile_checked(&means, 0.025).unwrap_or(f64::NEG_INFINITY);
+    let hi = percentile_checked(&means, 0.975).unwrap_or(f64::INFINITY);
+    let mut whole = Moments::new();
+    for &x in xs {
+        whole.push(x);
+    }
+    let mean = whole.mean();
+    Ci { lo: lo.min(mean), hi: hi.max(mean) }
+}
+
+/// Non-panicking [`percentile`]: `None` on an empty slice or `q`
+/// outside `[0, 1]`, otherwise the same linear interpolation.
+pub fn percentile_checked(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +822,180 @@ mod tests {
             acc.push(x);
         }
         assert!((acc.cv() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_sum_round_trips_single_values() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            1e-300,
+            -1e300,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1), // min subnormal
+            f64::MAX,
+            123.456e-7,
+        ] {
+            let mut s = ExactSum::new();
+            s.add(x);
+            assert_eq!(s.value().to_bits(), if x == 0.0 { 0.0f64.to_bits() } else { x.to_bits() });
+        }
+    }
+
+    #[test]
+    fn exact_sum_recovers_catastrophic_cancellation() {
+        // 1e16 + 1 − 1e16 is 0 in plain f64 summation; exact here.
+        let mut s = ExactSum::new();
+        s.add(1e16);
+        s.add(1.0);
+        s.add(-1e16);
+        assert_eq!(s.value(), 1.0);
+        // Kahan's classic: 1 + 1e100 + 1 − 1e100 = 2.
+        let mut s = ExactSum::new();
+        for x in [1.0, 1e100, 1.0, -1e100] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn exact_sum_rounds_to_nearest_even() {
+        // 2^53 + 1 is exactly representable? No: odd, above 2^53 — the
+        // true sum must round to 2^53 (even mantissa), not 2^53 + 2.
+        let mut s = ExactSum::new();
+        s.add(9007199254740992.0); // 2^53
+        s.add(1.0);
+        assert_eq!(s.value(), 9007199254740992.0);
+        // 2^53 + 2 is representable: stays exact.
+        let mut s = ExactSum::new();
+        s.add(9007199254740992.0);
+        s.add(2.0);
+        assert_eq!(s.value(), 9007199254740994.0);
+        // 2^53 + 3 rounds up to 2^53 + 4 (ties-to-even on the half).
+        let mut s = ExactSum::new();
+        s.add(9007199254740992.0);
+        s.add(2.0);
+        s.add(1.0);
+        assert_eq!(s.value(), 9007199254740996.0);
+    }
+
+    #[test]
+    fn exact_sum_order_independent() {
+        let xs = [0.1, -7.3, 1e15, 2.5e-13, -0.30000000000000004, 42.0];
+        let mut fwd = ExactSum::new();
+        for &x in &xs {
+            fwd.add(x);
+        }
+        let mut rev = ExactSum::new();
+        for &x in xs.iter().rev() {
+            rev.add(x);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.value().to_bits(), rev.value().to_bits());
+    }
+
+    #[test]
+    fn moments_match_accumulator_and_merge_exactly() {
+        let xs: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() * 3.0 + 10.0).collect();
+        let mut whole = Moments::new();
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+            acc.push(x);
+        }
+        assert!((whole.mean() - acc.mean()).abs() < 1e-12);
+        assert!((whole.variance() - acc.variance()).abs() < 1e-10);
+        // Every split point merges back bit-for-bit.
+        for cut in 0..=xs.len() {
+            let mut left = Moments::new();
+            let mut right = Moments::new();
+            for &x in &xs[..cut] {
+                left.push(x);
+            }
+            for &x in &xs[cut..] {
+                right.push(x);
+            }
+            left.merge(&right);
+            assert_eq!(left.count(), whole.count());
+            assert_eq!(left.mean().to_bits(), whole.mean().to_bits(), "cut {cut}");
+            assert_eq!(left.variance().to_bits(), whole.variance().to_bits(), "cut {cut}");
+            assert_eq!(left.min().to_bits(), whole.min().to_bits());
+            assert_eq!(left.max().to_bits(), whole.max().to_bits());
+        }
+    }
+
+    #[test]
+    fn moments_empty_and_degenerate() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert!(m.min().is_nan());
+        let mut c = Moments::new();
+        for _ in 0..5 {
+            c.push(4.25);
+        }
+        assert_eq!(c.mean(), 4.25);
+        assert_eq!(c.variance(), 0.0);
+    }
+
+    #[test]
+    fn ci_geometry() {
+        let ci = Ci { lo: 9.0, hi: 11.0 };
+        assert_eq!(ci.half_width(), 1.0);
+        assert_eq!(ci.midpoint(), 10.0);
+        assert!((ci.rel_half_width() - 0.1).abs() < 1e-12);
+        assert!(ci.contains(10.0));
+        assert!(!ci.contains(11.5));
+        assert!(ci.overlaps(&Ci { lo: 10.5, hi: 20.0 }));
+        assert!(!ci.overlaps(&Ci { lo: 11.5, hi: 20.0 }));
+        assert_eq!(Ci::point(3.0).rel_half_width(), 0.0);
+        assert_eq!(Ci::unknown().rel_half_width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn t_ci_is_total_and_matches_accumulator() {
+        assert_eq!(t_ci_mean(&[]), Ci::unknown());
+        assert_eq!(t_ci_mean(&[5.0]), Ci::unknown());
+        let ci = t_ci_mean(&[7.0, 7.0, 7.0]);
+        assert_eq!(ci, Ci::point(7.0));
+        let xs = [10.0, 10.2, 9.8, 10.1, 9.9, 10.0];
+        let ci = t_ci_mean(&xs);
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((ci.half_width() - acc.ci95_half_width()).abs() < 1e-12);
+        assert!(ci.contains(acc.mean()));
+    }
+
+    #[test]
+    fn bootstrap_ci_deterministic_and_contains_mean() {
+        let xs = [10.0, 12.0, 9.0, 11.0, 10.5];
+        let mut r1 = crate::rng::SimRng::new(42);
+        let mut r2 = crate::rng::SimRng::new(42);
+        let a = bootstrap_ci_mean(&xs, 200, &mut r1);
+        let b = bootstrap_ci_mean(&xs, 200, &mut r2);
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        assert!(a.contains(mean(&xs)));
+        // Total on tiny inputs.
+        let mut r = crate::rng::SimRng::new(1);
+        assert_eq!(bootstrap_ci_mean(&[], 100, &mut r), Ci::unknown());
+        assert_eq!(bootstrap_ci_mean(&[3.0], 100, &mut r), Ci::point(3.0));
+        let two = bootstrap_ci_mean(&[1.0, 2.0], 100, &mut r);
+        assert!(two.contains(1.5));
+        assert!(two.lo >= 1.0 && two.hi <= 2.0);
+    }
+
+    #[test]
+    fn percentile_checked_is_total() {
+        assert_eq!(percentile_checked(&[], 0.5), None);
+        assert_eq!(percentile_checked(&[4.0], 0.5), Some(4.0));
+        assert_eq!(percentile_checked(&[1.0, 2.0], 1.5), None);
+        assert_eq!(percentile_checked(&[1.0, 2.0, 3.0, 4.0], 0.5), Some(2.5));
     }
 }

@@ -1,0 +1,202 @@
+//! Property-based tests for the experiment-design statistics kernels
+//! (`sim_core::stats`): the exact-merge streaming moments, the seeded
+//! bootstrap, and the t-based confidence intervals.
+//!
+//! These invariants back the adaptive sampler (DESIGN.md §15): a cell's
+//! statistics must not depend on how repetitions were split across
+//! workers, a bootstrap interval must be a pure function of (sample,
+//! seed), and no degenerate sample — empty, single, constant — may
+//! abort a campaign.
+
+use quickprop::{check, Gen};
+use sim_core::stats::{bootstrap_ci_mean, percentile_checked, t_ci_mean, Ci, ExactSum, Moments};
+use sim_core::SimRng;
+
+/// The exact-sum mean — the estimator the intervals are centred on.
+/// (The naive `stats::mean` slice helper accumulates f64 rounding and
+/// can drift an ulp away from it.)
+fn exact_mean(xs: &[f64]) -> f64 {
+    let mut m = Moments::new();
+    for &x in xs {
+        m.push(x);
+    }
+    m.mean()
+}
+
+/// A plausible measurement sample: positive seconds spanning several
+/// orders of magnitude, occasionally constant.
+fn sample(g: &mut Gen, len: std::ops::Range<usize>) -> Vec<f64> {
+    if g.below(8) == 0 {
+        let v = g.u64(1..1_000_000) as f64 / 1000.0;
+        return vec![v; g.usize(len)];
+    }
+    g.vec(len, |g| {
+        let mag = g.u64(1..1_000_000_000) as f64;
+        let scale = [1e-6, 1e-3, 1.0, 1e3][g.below(4) as usize];
+        mag * scale / 1000.0
+    })
+}
+
+#[test]
+fn moments_merge_of_any_split_is_bit_exact() {
+    check("moments_merge_of_any_split_is_bit_exact", 256, |g| {
+        let xs = sample(g, 0..40);
+        let mut whole = Moments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let cut = g.usize(0..xs.len() + 1);
+        let mut left = Moments::new();
+        let mut right = Moments::new();
+        for &x in &xs[..cut] {
+            left.push(x);
+        }
+        for &x in &xs[cut..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.mean().to_bits(), whole.mean().to_bits(), "mean differs at cut {cut}");
+        assert_eq!(
+            left.variance().to_bits(),
+            whole.variance().to_bits(),
+            "variance differs at cut {cut}"
+        );
+        assert_eq!(left.min().to_bits(), whole.min().to_bits());
+        assert_eq!(left.max().to_bits(), whole.max().to_bits());
+    });
+}
+
+#[test]
+fn moments_merge_is_commutative() {
+    check("moments_merge_is_commutative", 128, |g| {
+        let a = sample(g, 0..20);
+        let b = sample(g, 0..20);
+        let mut ma = Moments::new();
+        let mut mb = Moments::new();
+        for &x in &a {
+            ma.push(x);
+        }
+        for &x in &b {
+            mb.push(x);
+        }
+        let mut ab = ma.clone();
+        ab.merge(&mb);
+        let mut ba = mb;
+        ba.merge(&ma);
+        assert_eq!(ab.mean().to_bits(), ba.mean().to_bits());
+        assert_eq!(ab.variance().to_bits(), ba.variance().to_bits());
+    });
+}
+
+#[test]
+fn exact_sum_is_permutation_invariant() {
+    check("exact_sum_is_permutation_invariant", 128, |g| {
+        let mut xs = sample(g, 1..30);
+        // Mix in negatives so both magnitude registers participate.
+        for x in xs.iter_mut() {
+            if g.bool() {
+                *x = -*x;
+            }
+        }
+        let mut fwd = ExactSum::new();
+        for &x in &xs {
+            fwd.add(x);
+        }
+        // A deterministic shuffle drawn from the same generator.
+        let mut shuffled = xs.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, g.below(i as u64 + 1) as usize);
+        }
+        let mut any = ExactSum::new();
+        for &x in &shuffled {
+            any.add(x);
+        }
+        assert_eq!(fwd.value().to_bits(), any.value().to_bits());
+    });
+}
+
+#[test]
+fn bootstrap_ci_is_seed_deterministic_and_contains_the_mean() {
+    check("bootstrap_ci_is_seed_deterministic_and_contains_the_mean", 96, |g| {
+        let xs = sample(g, 1..20);
+        let seed = g.any_u64();
+        let resamples = g.u32(10..300);
+        let a = bootstrap_ci_mean(&xs, resamples, &mut SimRng::new(seed));
+        let b = bootstrap_ci_mean(&xs, resamples, &mut SimRng::new(seed));
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits(), "bootstrap must be a pure function of seed");
+        assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        let m = exact_mean(&xs);
+        assert!(a.contains(m), "CI {a:?} must contain the sample mean {m}");
+        assert!(a.lo <= a.hi);
+        // Resample means cannot leave the sample's own range (modulo an
+        // ulp of rounding in the exact-sum extraction).
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            a.lo >= lo * (1.0 - 1e-12) && a.hi <= hi * (1.0 + 1e-12),
+            "CI {a:?} outside sample range [{lo}, {hi}]"
+        );
+    });
+}
+
+#[test]
+fn intervals_are_total_on_degenerate_samples() {
+    check("intervals_are_total_on_degenerate_samples", 64, |g| {
+        let seed = g.any_u64();
+        // n = 0, 1, 2 and constant samples: never panic, always sane.
+        assert_eq!(t_ci_mean(&[]), Ci::unknown());
+        assert_eq!(bootstrap_ci_mean(&[], 50, &mut SimRng::new(seed)), Ci::unknown());
+        let x = g.u64(1..1_000_000) as f64 / 997.0;
+        assert_eq!(t_ci_mean(&[x]), Ci::unknown());
+        assert_eq!(bootstrap_ci_mean(&[x], 50, &mut SimRng::new(seed)), Ci::point(x));
+        let pair = [x, x * 1.5];
+        let t = t_ci_mean(&pair);
+        assert!(t.contains(exact_mean(&pair)));
+        let b = bootstrap_ci_mean(&pair, 50, &mut SimRng::new(seed));
+        assert!(b.contains(exact_mean(&pair)));
+        let constant = vec![x; g.usize(2..12)];
+        assert_eq!(t_ci_mean(&constant), Ci::point(x));
+        assert_eq!(bootstrap_ci_mean(&constant, 50, &mut SimRng::new(seed)), Ci::point(x));
+        assert_eq!(t_ci_mean(&constant).rel_half_width(), 0.0);
+    });
+}
+
+#[test]
+fn t_ci_contains_mean_and_narrows_with_n() {
+    check("t_ci_contains_mean_and_narrows_with_n", 96, |g| {
+        let xs = sample(g, 2..30);
+        let ci = t_ci_mean(&xs);
+        assert!(ci.lo <= ci.hi);
+        assert!(ci.contains(exact_mean(&xs)), "t-CI must contain the sample mean");
+        // Appending an exact copy of the sample keeps the mean and the
+        // stddev but doubles n: the interval can only tighten.
+        let doubled: Vec<f64> = xs.iter().chain(&xs).cloned().collect();
+        let ci2 = t_ci_mean(&doubled);
+        assert!(
+            ci2.half_width() <= ci.half_width() + 1e-9 * ci.half_width().abs(),
+            "more repetitions must not widen the interval: {ci:?} -> {ci2:?}"
+        );
+    });
+}
+
+#[test]
+fn percentile_checked_is_total_and_monotone() {
+    check("percentile_checked_is_total_and_monotone", 128, |g| {
+        let mut xs = sample(g, 0..25);
+        xs.sort_unstable_by(f64::total_cmp);
+        let q1 = g.below(1001) as f64 / 1000.0;
+        let q2 = g.below(1001) as f64 / 1000.0;
+        let (qlo, qhi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        match (percentile_checked(&xs, qlo), percentile_checked(&xs, qhi)) {
+            (Some(a), Some(b)) => {
+                assert!(!xs.is_empty());
+                assert!(a <= b, "percentile must be monotone in q: p({qlo})={a} > p({qhi})={b}");
+            }
+            (None, None) => assert!(xs.is_empty()),
+            other => panic!("inconsistent totality: {other:?}"),
+        }
+        assert_eq!(percentile_checked(&xs, 1.5), None);
+        assert_eq!(percentile_checked(&xs, -0.1), None);
+    });
+}
